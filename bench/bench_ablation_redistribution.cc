@@ -1,0 +1,88 @@
+// Abl-1 — does PLC leftover-airtime redistribution matter? Evaluates the
+// same assignments under the three PLC sharing models (physical max-min
+// over active extenders; strict 1/k over active; the paper's literal
+// c_j/|A| over all extenders) on the Fig. 3 case study and the enterprise
+// floor.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wolt;
+  bench::PrintHeader(
+      "Abl-1 — PLC sharing model ablation",
+      "Same associations, three airtime-sharing models. Redistribution is\n"
+      "what makes the Fig. 3c greedy outcome 30 rather than 25 Mbit/s.");
+
+  const std::vector<model::PlcSharing> models = {
+      model::PlcSharing::kMaxMinActive, model::PlcSharing::kEqualActive,
+      model::PlcSharing::kEqualAll};
+
+  // (a) Case study.
+  std::printf("(a) Fig. 3 case study\n");
+  const model::Network case_net = testbed::CaseStudyNetwork();
+  util::Table case_table({"policy", "maxmin-active", "equal-active",
+                          "equal-all"});
+  core::RssiPolicy rssi;
+  core::GreedyPolicy greedy;
+  core::WoltPolicy wolt;
+  for (core::AssociationPolicy* policy :
+       std::vector<core::AssociationPolicy*>{&rssi, &greedy, &wolt}) {
+    const model::Assignment a = policy->AssociateFresh(case_net);
+    std::vector<std::string> row = {policy->Name()};
+    for (model::PlcSharing sharing : models) {
+      model::EvalOptions opts;
+      opts.plc_sharing = sharing;
+      row.push_back(util::Fmt(
+          model::Evaluator(opts).AggregateThroughput(case_net, a), 1));
+    }
+    case_table.AddRow(row);
+  }
+  case_table.Print();
+
+  // (b) Enterprise floor: decisions fixed (computed under the physical
+  // model), aggregates re-evaluated under each sharing model.
+  std::printf("\n(b) enterprise floor (15 extenders, 36 users, 30 trials)\n");
+  const sim::ScenarioGenerator gen(bench::EnterpriseParams(36));
+  util::Rng rng(2020);
+  core::WoltOptions so;
+  so.subset_search = true;
+  core::WoltPolicy wolts(so);
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &wolts, &greedy,
+                                                    &rssi};
+  std::vector<std::vector<double>> sums(policies.size(),
+                                        std::vector<double>(models.size()));
+  const int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    util::Rng trial_rng = rng.Fork();
+    const model::Network net = gen.Generate(trial_rng);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const model::Assignment a = policies[p]->AssociateFresh(net);
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        model::EvalOptions opts;
+        opts.plc_sharing = models[m];
+        sums[p][m] +=
+            model::Evaluator(opts).AggregateThroughput(net, a) / kTrials;
+      }
+    }
+  }
+  util::Table ent_table({"policy", "maxmin-active", "equal-active",
+                         "equal-all"});
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    ent_table.AddRow({policies[p]->Name(), util::Fmt(sums[p][0], 1),
+                      util::Fmt(sums[p][1], 1), util::Fmt(sums[p][2], 1)});
+  }
+  ent_table.Print();
+  std::printf(
+      "\nTakeaways: redistribution only adds throughput (maxmin >= equal),\n"
+      "and counting idle extenders (equal-all) punishes concentration-heavy\n"
+      "policies like Greedy.\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ext-2 — finite offered loads: the paper models saturated users (§IV-A,
+// "worst case"). Real enterprise users stream video or browse at a few
+// Mbit/s. This bench sweeps the per-user offered load on the enterprise
+// floor and measures (a) how much of the offered load each policy delivers
+// and (b) how quickly the value of clever association evaporates as load
+// lightens — quantifying how conservative the saturated-demand assumption
+// is.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wolt;
+  bench::PrintHeader(
+      "Ext-2 — finite per-user demands vs the saturated assumption",
+      "15 extenders, 36 users, 20 trials; every user offers the same load\n"
+      "(0 = saturated). Policies decide from rates alone, as in the paper.");
+
+  const sim::ScenarioGenerator gen(bench::EnterpriseParams(36));
+  const model::Evaluator evaluator;
+
+  util::Table table({"per_user_demand", "offered_total", "WOLT-S_mbps",
+                     "Greedy_mbps", "RSSI_mbps", "WOLT-S_vs_RSSI"});
+  const int kTrials = 20;
+  for (double demand : {2.0, 4.0, 8.0, 16.0, 0.0}) {
+    double wolts_sum = 0.0, greedy_sum = 0.0, rssi_sum = 0.0;
+    util::Rng rng(2020);
+    for (int t = 0; t < kTrials; ++t) {
+      util::Rng trial_rng = rng.Fork();
+      model::Network net = gen.Generate(trial_rng);
+      for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+        net.SetUserDemand(i, demand);
+      }
+      core::WoltOptions so;
+      so.subset_search = true;
+      core::WoltPolicy wolts(so);
+      core::GreedyPolicy greedy;
+      core::RssiPolicy rssi;
+      wolts_sum += evaluator.AggregateThroughput(
+                       net, wolts.AssociateFresh(net)) / kTrials;
+      greedy_sum += evaluator.AggregateThroughput(
+                        net, greedy.AssociateFresh(net)) / kTrials;
+      rssi_sum += evaluator.AggregateThroughput(
+                      net, rssi.AssociateFresh(net)) / kTrials;
+    }
+    const char* label = demand == 0.0 ? "saturated" : nullptr;
+    char buf[32];
+    if (!label) {
+      std::snprintf(buf, sizeof(buf), "%.0f Mbit/s", demand);
+      label = buf;
+    }
+    table.AddRow({label,
+                  demand == 0.0 ? "inf" : util::Fmt(demand * 36.0, 0),
+                  util::Fmt(wolts_sum, 1), util::Fmt(greedy_sum, 1),
+                  util::Fmt(rssi_sum, 1),
+                  util::FmtPct(wolts_sum / rssi_sum - 1.0)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: at light loads every policy delivers ~the offered\n"
+      "total and association barely matters; as demand grows the PLC/WiFi\n"
+      "bottlenecks bind and the WOLT-S advantage appears — the saturated\n"
+      "assumption is the regime where association policy matters most.\n");
+  bench::PrintFooter();
+  return 0;
+}

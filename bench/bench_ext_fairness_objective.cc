@@ -1,0 +1,65 @@
+// Ext-1 — fairness-aware Phase II: the paper notes WOLT optimizes
+// efficiency, not fairness (§V-D). This bench swaps Problem 2's WiFi-sum
+// objective for proportional fairness (sum of log user throughput) and
+// measures the aggregate-vs-Jain tradeoff, alongside the weighted-TDMA
+// backhaul knob from the 1901 QoS mode.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/wolt.h"
+#include "plc/tdma.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wolt;
+  bench::PrintHeader(
+      "Ext-1 — fairness extensions (proportional-fair Phase II, TDMA QoS)",
+      "(a) WOLT with WiFi-sum vs proportional-fair Phase II objective;\n"
+      "(b) weighted 1901 TDMA slots as a backhaul QoS knob.");
+
+  std::printf("(a) Phase-II objective tradeoff (testbed scale, 40 trials)\n");
+  const testbed::LabTestbed lab;
+  util::Rng rng(2020);
+  const auto topologies = lab.GenerateTopologies(40, rng);
+
+  core::WoltPolicy wolt_sum;  // paper default
+  core::WoltOptions pf_opts;
+  pf_opts.phase2_objective = assign::Phase2Objective::kProportionalFair;
+  core::WoltPolicy wolt_pf(pf_opts);
+  core::GreedyPolicy greedy;
+  std::vector<core::AssociationPolicy*> policies = {&wolt_sum, &wolt_pf,
+                                                    &greedy};
+  const auto results = sim::RunNetworkTrials(topologies, policies);
+  util::Table table({"variant", "mean_aggregate_mbps", "mean_jain"});
+  const std::vector<std::string> names = {
+      "WOLT (WiFi-sum Phase II)", "WOLT (proportional-fair Phase II)",
+      "Greedy"};
+  for (std::size_t p = 0; p < results.size(); ++p) {
+    table.AddRow({names[p], util::Fmt(results[p].MeanAggregate(), 1),
+                  util::Fmt(results[p].MeanJain(), 3)});
+  }
+  table.Print();
+
+  std::printf("\n(b) weighted TDMA backhaul shares (two saturated links)\n");
+  const std::vector<double> rates = {100.0, 100.0};
+  const std::vector<double> demands = {1e9, 1e9};
+  util::Table tdma_table({"weights", "link1_mbps", "link2_mbps"});
+  for (double w1 : {1.0, 2.0, 4.0}) {
+    const std::vector<double> weights = {w1, 1.0};
+    const plc::TdmaSchedule s = plc::ScheduleTdma(rates, demands, weights);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f:1", w1);
+    tdma_table.AddRow({label, util::Fmt(s.throughput[0], 1),
+                       util::Fmt(s.throughput[1], 1)});
+  }
+  tdma_table.Print();
+  std::printf(
+      "\nTakeaway: the proportional-fair objective buys a markedly higher\n"
+      "Jain index for a modest aggregate cost, and TDMA weights let an\n"
+      "operator bias the backhaul deliberately instead of time-fairly.\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// §V-E fairness table — Jain's fairness index of per-user throughputs on
+// the enterprise floor. Paper: WOLT 0.66, Greedy 0.52, RSSI 0.65 — WOLT is
+// at least as fair as the baselines despite optimizing only the aggregate.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "testbed/traces.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wolt;
+  bench::PrintHeader(
+      "§V-E — Jain's fairness index (simulation, |U| = 36)",
+      "Fairness of per-user throughputs; WOLT does not optimize fairness\n"
+      "yet must match or beat the baselines.");
+
+  const sim::ScenarioGenerator gen(bench::EnterpriseParams(36));
+  core::WoltPolicy wolt;
+  core::WoltOptions so;
+  so.subset_search = true;
+  core::WoltPolicy wolts(so);
+  core::GreedyPolicy greedy;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &wolts, &greedy,
+                                                    &rssi};
+  util::Rng rng(2020);
+  const auto results = sim::RunStaticTrials(gen, policies, 100, rng);
+
+  const auto& ref = testbed::JainFairnessReference();
+  const auto paper = [&](const std::string& name) {
+    for (const auto& p : ref) {
+      if (p.label == name) return util::Fmt(p.value, 2);
+    }
+    return std::string("(extension)");
+  };
+
+  util::Table table({"policy", "jain_measured", "jain_paper"});
+  for (const auto& pr : results) {
+    table.AddRow({pr.policy, util::Fmt(pr.MeanJain(), 2), paper(pr.policy)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: WOLT and RSSI near parity (~0.65), Greedy clearly\n"
+      "less fair (~0.52).\n");
+  bench::PrintFooter();
+  return 0;
+}

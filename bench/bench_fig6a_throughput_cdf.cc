@@ -1,0 +1,87 @@
+// Fig. 6a — CDF of aggregate throughput over 100 enterprise-floor trials at
+// |U| = 36, 15 extenders. The paper reports WOLT ~2.5x the greedy baseline
+// and winning every trial; we report paper-faithful WOLT, the WOLT-S
+// activation-subset extension, Greedy and RSSI under the physically
+// validated sharing model, and dump the raw CDFs as CSV.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "testbed/traces.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wolt;
+  bench::PrintHeader(
+      "Fig. 6a — CDF of aggregate throughput (100 trials, |U| = 36)",
+      "100 m x 100 m floor, 15 extenders, calibrated PLC capacities.");
+
+  const sim::ScenarioGenerator gen(bench::EnterpriseParams(36));
+  core::WoltPolicy wolt;
+  core::WoltOptions so;
+  so.subset_search = true;
+  core::WoltPolicy wolts(so);
+  core::GreedyPolicy greedy;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &wolts, &greedy,
+                                                    &rssi};
+  util::Rng rng(2020);
+  const auto results = sim::RunStaticTrials(gen, policies, 100, rng);
+
+  bench::PrintPolicySummary(results);
+  std::printf("\nCDF (aggregate Mbit/s at selected percentiles):\n");
+  util::Table cdf({"policy", "p10", "p25", "p50", "p75", "p90"});
+  for (const auto& pr : results) {
+    const auto xs = pr.Aggregates();
+    cdf.AddRow({pr.policy, util::Fmt(util::Percentile(xs, 10), 1),
+                util::Fmt(util::Percentile(xs, 25), 1),
+                util::Fmt(util::Percentile(xs, 50), 1),
+                util::Fmt(util::Percentile(xs, 75), 1),
+                util::Fmt(util::Percentile(xs, 90), 1)});
+  }
+  cdf.Print();
+
+  int wolts_wins = 0;
+  for (std::size_t t = 0; t < results[1].trials.size(); ++t) {
+    if (results[1].trials[t].aggregate_mbps >=
+        results[2].trials[t].aggregate_mbps) {
+      ++wolts_wins;
+    }
+  }
+  std::printf("\nWOLT   / Greedy mean ratio: %s (paper: %.1fx)\n",
+              util::Fmt(results[0].MeanAggregate() /
+                            results[2].MeanAggregate(),
+                        2)
+                  .c_str(),
+              testbed::Fig6aImprovementRatio()[0].value);
+  std::printf("WOLT-S / Greedy mean ratio: %s, wins %d/100 trials\n",
+              util::Fmt(results[1].MeanAggregate() /
+                            results[2].MeanAggregate(),
+                        2)
+                  .c_str(),
+              wolts_wins);
+  std::printf(
+      "\nNote: the paper's 2.5x reflects a weaker online baseline; our\n"
+      "Greedy re-evaluates the true aggregate on every arrival. See\n"
+      "EXPERIMENTS.md for the full reproduction analysis.\n");
+
+  util::CsvWriter csv("fig6a_cdf.csv", {"policy", "aggregate_mbps",
+                                        "cumulative_probability"});
+  if (csv.ok()) {
+    for (const auto& pr : results) {
+      for (const auto& point : util::EmpiricalCdf(pr.Aggregates())) {
+        csv.AddRow({pr.policy, util::Fmt(point.value, 3),
+                    util::Fmt(point.cumulative_probability, 4)});
+      }
+    }
+    std::printf("raw CDF series written to fig6a_cdf.csv\n");
+  }
+  bench::PrintFooter();
+  return 0;
+}

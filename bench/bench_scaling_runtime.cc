@@ -1,0 +1,124 @@
+// Runtime/scalability microbenchmarks (google-benchmark): the O(|A|^3)
+// Hungarian core (§IV-B complexity claim), full WOLT association at
+// enterprise scales (the paper evaluates up to 15 extenders / 124+ users),
+// the greedy baseline, and the throughput evaluator.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "assign/hungarian.h"
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "model/evaluator.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wolt;
+
+assign::Matrix RandomUtilities(std::size_t rows, std::size_t cols,
+                               util::Rng& rng) {
+  assign::Matrix m(rows, std::vector<double>(cols, 0.0));
+  for (auto& row : m) {
+    for (double& cell : row) cell = rng.Uniform(1.0, 100.0);
+  }
+  return m;
+}
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(42);
+  const assign::Matrix m = RandomUtilities(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign::SolveAssignmentMax(m));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Hungarian)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_HungarianRectangular(benchmark::State& state) {
+  // The WOLT Phase-I shape: |A| extenders x |U| users.
+  const std::size_t extenders = 15;
+  const std::size_t users = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(42);
+  const assign::Matrix m = RandomUtilities(extenders, users, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign::SolveAssignmentMax(m));
+  }
+}
+BENCHMARK(BM_HungarianRectangular)->Arg(36)->Arg(124)->Arg(200)->Arg(400);
+
+model::Network MakeNetwork(std::size_t users, std::size_t extenders) {
+  sim::ScenarioParams p;
+  p.num_extenders = extenders;
+  p.num_users = users;
+  sim::ScenarioGenerator gen(p);
+  util::Rng rng(7);
+  return gen.Generate(rng);
+}
+
+void BM_WoltAssociate(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+  core::WoltPolicy wolt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wolt.AssociateFresh(net));
+  }
+}
+BENCHMARK(BM_WoltAssociate)
+    ->Args({36, 10})
+    ->Args({36, 15})
+    ->Args({124, 15})
+    ->Args({200, 15})
+    ->Args({200, 30});
+
+void BM_WoltSubsetAssociate(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)), 15);
+  core::WoltOptions so;
+  so.subset_search = true;
+  core::WoltPolicy wolt(so);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wolt.AssociateFresh(net));
+  }
+}
+BENCHMARK(BM_WoltSubsetAssociate)->Arg(36)->Arg(124);
+
+void BM_GreedyAssociate(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)), 15);
+  core::GreedyPolicy greedy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy.AssociateFresh(net));
+  }
+}
+BENCHMARK(BM_GreedyAssociate)->Arg(36)->Arg(124)->Arg(200);
+
+void BM_RssiAssociate(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)), 15);
+  core::RssiPolicy rssi;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rssi.AssociateFresh(net));
+  }
+}
+BENCHMARK(BM_RssiAssociate)->Arg(36)->Arg(200);
+
+void BM_Evaluator(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)), 15);
+  core::RssiPolicy rssi;
+  const model::Assignment a = rssi.AssociateFresh(net);
+  const model::Evaluator evaluator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(net, a));
+  }
+}
+BENCHMARK(BM_Evaluator)->Arg(36)->Arg(124)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

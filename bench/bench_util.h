@@ -1,0 +1,50 @@
+// Shared helpers for the figure-reproduction benches. Every bench prints a
+// header naming the paper artefact it regenerates, a table whose rows mirror
+// the series the paper reports (paper value next to measured value), and
+// optionally dumps raw series as CSV next to the binary.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "model/evaluator.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "testbed/lab.h"
+#include "util/table.h"
+
+namespace wolt::bench {
+
+inline void PrintHeader(const std::string& artefact,
+                        const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artefact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintFooter() { std::printf("\n"); }
+
+// The paper's §V-A enterprise simulation scenario: 100 m x 100 m, 15
+// extenders, calibrated PLC capacities.
+inline sim::ScenarioParams EnterpriseParams(std::size_t num_users = 36) {
+  sim::ScenarioParams p;
+  p.num_extenders = 15;
+  p.num_users = num_users;
+  return p;
+}
+
+// Mean-aggregate summary table over aligned policy trials.
+inline void PrintPolicySummary(const std::vector<sim::PolicyTrials>& results,
+                               const std::string& value_header = "mean_aggregate_mbps") {
+  util::Table table({"policy", value_header, "mean_jain", "trials"});
+  for (const auto& pr : results) {
+    table.AddRow({pr.policy, util::Fmt(pr.MeanAggregate(), 1),
+                  util::Fmt(pr.MeanJain(), 3),
+                  std::to_string(pr.trials.size())});
+  }
+  table.Print();
+}
+
+}  // namespace wolt::bench

@@ -1,0 +1,75 @@
+// Capacity-planning example: the intro's enterprise motivation — office
+// spaces have dozens of outlets; which ones are worth populating with
+// extenders? This tool sweeps the number of deployed extenders k (always
+// keeping the k best power-line outlets), re-associates users with WOLT-S
+// at each step, and prints the marginal aggregate-throughput value of each
+// additional extender.
+//
+//   $ ./capacity_planning [num_users] [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "core/wolt.h"
+#include "model/evaluator.h"
+#include "sim/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace wolt;
+  const std::size_t num_users =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 36;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 11;
+
+  sim::ScenarioParams params;
+  params.num_extenders = 15;  // candidate outlets
+  params.num_users = num_users;
+  const sim::ScenarioGenerator generator(params);
+  util::Rng rng(seed);
+  const model::Network full = generator.Generate(rng);
+
+  // Outlets ranked by measured PLC capacity.
+  std::vector<std::size_t> ranked(full.NumExtenders());
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    return full.PlcRate(a) > full.PlcRate(b);
+  });
+
+  std::printf("candidate outlets: %zu, users: %zu (seed %llu)\n\n",
+              full.NumExtenders(), full.NumUsers(),
+              static_cast<unsigned long long>(seed));
+  std::printf("%10s %12s %18s %12s %12s\n", "extenders", "new_outlet",
+              "aggregate(Mbit/s)", "marginal", "unreached");
+
+  const model::Evaluator evaluator;
+  double previous = 0.0;
+  for (std::size_t k = 1; k <= full.NumExtenders(); ++k) {
+    // Keep only the k best outlets: blank the rest out of the rate matrix.
+    model::Network deployed = full;
+    for (std::size_t idx = k; idx < ranked.size(); ++idx) {
+      deployed.SetPlcRate(ranked[idx], 0.0);
+      for (std::size_t i = 0; i < full.NumUsers(); ++i) {
+        deployed.SetWifiRate(i, ranked[idx], 0.0);
+      }
+    }
+    core::WoltOptions so;
+    so.subset_search = true;
+    core::WoltPolicy wolt(so);
+    const model::Assignment a = wolt.AssociateFresh(deployed);
+    const double aggregate = evaluator.AggregateThroughput(deployed, a);
+    std::size_t unreached = 0;
+    for (std::size_t i = 0; i < deployed.NumUsers(); ++i) {
+      if (!a.IsAssigned(i)) ++unreached;
+    }
+    std::printf("%10zu %12zu %18.1f %12.1f %12zu\n", k, ranked[k - 1],
+                aggregate, aggregate - previous, unreached);
+    previous = aggregate;
+  }
+  std::printf(
+      "\nReading: the marginal column shows when additional outlets stop\n"
+      "paying for themselves — coverage gains first, then the shared PLC\n"
+      "medium caps the return.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Control-plane example: drive the Central Controller through its wire
+// protocol, exactly as the paper's user-space deployment does (§V-A) —
+// capacity probes report each PLC link, users send scan reports, the CC
+// answers with association directives.
+//
+//   $ ./controller_demo
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/wolt.h"
+
+int main() {
+  using namespace wolt::core;
+
+  CentralController cc(2, std::make_unique<WoltPolicy>());
+
+  // Offline capacity estimation phase (iperf3 saturation per link).
+  const std::vector<std::string> capacity_lines = {
+      "CAPACITY extender=0 mbps=60",
+      "CAPACITY extender=1 mbps=20",
+  };
+  for (const auto& line : capacity_lines) {
+    std::printf(">> %s\n", line.c_str());
+    const auto msg = DecodeCapacityReport(line);
+    if (!msg) {
+      std::printf("   (malformed, dropped)\n");
+      continue;
+    }
+    cc.HandleCapacityReport(*msg);
+  }
+
+  // Two clients come online and report their scans (the Fig. 3 users).
+  const std::vector<std::string> scans = {
+      "SCAN user=101 rates=15,10 rssi=-58,-71",
+      "SCAN user=102 rates=40,20 rssi=-52,-66",
+      "SCAN user=999 rates=oops",  // malformed on purpose
+  };
+  for (const auto& line : scans) {
+    std::printf(">> %s\n", line.c_str());
+    const auto msg = DecodeScanReport(line);
+    if (!msg) {
+      std::printf("   (malformed, dropped)\n");
+      continue;
+    }
+    for (const auto& directive : cc.HandleUserArrival(*msg)) {
+      std::printf("<< %s\n", Encode(directive).c_str());
+    }
+  }
+
+  std::printf("\ncontroller state: %zu users, aggregate %.1f Mbit/s\n",
+              cc.NumUsers(), cc.CurrentAggregate());
+  std::printf("user 101 on extender %d, user 102 on extender %d\n",
+              *cc.ExtenderOf(101), *cc.ExtenderOf(102));
+
+  // User 102 leaves; the CC re-optimizes at the next epoch boundary.
+  std::printf("\nuser 102 departs; reoptimizing...\n");
+  cc.HandleUserDeparture(102);
+  for (const auto& directive : cc.Reoptimize()) {
+    std::printf("<< %s\n", Encode(directive).c_str());
+  }
+  std::printf("aggregate now %.1f Mbit/s\n", cc.CurrentAggregate());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Dynamic-arrivals example: drive the online scenario of §V-E — users join
+// and leave by a Poisson process, the central controller re-runs its policy
+// at every epoch boundary — and watch aggregate throughput, fairness and
+// re-association churn evolve.
+//
+//   $ ./dynamic_arrivals [epochs] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "sim/dynamics.h"
+
+int main(int argc, char** argv) {
+  using namespace wolt;
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+
+  sim::ScenarioParams scenario;
+  scenario.num_extenders = 15;
+  scenario.num_users = 0;  // populated by the arrival process
+  const sim::ScenarioGenerator generator(scenario);
+
+  core::WoltPolicy wolt;
+  core::GreedyPolicy greedy;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &greedy, &rssi};
+
+  sim::DynamicsParams params;
+  params.epochs = epochs;
+  util::Rng rng(seed);
+  const std::vector<sim::EpochStats> history =
+      sim::RunDynamicSimulation(generator, policies, params, rng);
+
+  std::printf("%5s %6s %8s %8s | %21s | %21s | %12s\n", "epoch", "users",
+              "arrived", "departed", "aggregate (W/G/R)", "Jain (W/G/R)",
+              "WOLT moves");
+  for (const auto& epoch : history) {
+    std::printf(
+        "%5d %6zu %8zu %8zu | %6.1f %6.1f %6.1f | %6.2f %6.2f %6.2f | %12zu\n",
+        epoch.epoch, epoch.population, epoch.arrivals, epoch.departures,
+        epoch.per_policy[0].aggregate_mbps, epoch.per_policy[1].aggregate_mbps,
+        epoch.per_policy[2].aggregate_mbps, epoch.per_policy[0].jain_fairness,
+        epoch.per_policy[1].jain_fairness, epoch.per_policy[2].jain_fairness,
+        epoch.per_policy[0].reassignments);
+  }
+  std::printf(
+      "\nWOLT re-associates existing users only when the sticky Phase II\n"
+      "finds a materially better extender, so the per-epoch move count\n"
+      "stays near one swap per arrival (Fig. 6c).\n");
+  return 0;
+}

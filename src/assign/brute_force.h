@@ -1,0 +1,45 @@
+// Exhaustive search for the optimal user association. Exponential
+// (|A|^|U| complete assignments), so only usable at case-study scale — the
+// paper itself uses brute force to establish the optimum of the Fig. 3
+// scenario. Tests use it as ground truth against WOLT and as evidence of
+// the NP-hard problem's cost curve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "model/assignment.h"
+#include "model/evaluator.h"
+#include "model/network.h"
+
+namespace wolt::assign {
+
+struct BruteForceOptions {
+  // Abort (throw std::invalid_argument) if the search space exceeds this.
+  std::uint64_t max_combinations = 50'000'000;
+  // If true, users may also be left unassigned (searches the relaxed
+  // Problem 1 without constraint (7); space becomes (|A|+1)^|U|).
+  bool allow_unassigned = false;
+  model::EvalOptions eval;
+};
+
+struct BruteForceResult {
+  model::Assignment best;
+  double best_aggregate_mbps = 0.0;
+  std::uint64_t evaluated = 0;  // feasible assignments evaluated
+};
+
+// Maximize aggregate end-to-end throughput over all feasible assignments
+// (reachability r_ij > 0 and per-extender caps B_j respected).
+BruteForceResult SolveBruteForce(const model::Network& net,
+                                 const BruteForceOptions& options = {});
+
+// General-objective variant (used by tests to brute-force Problem 2's
+// WiFi-only objective with some users pinned). `pinned` entries with a
+// valid extender are kept fixed; kUnassigned entries are enumerated.
+BruteForceResult SolveBruteForceObjective(
+    const model::Network& net, const model::Assignment& pinned,
+    const std::function<double(const model::Assignment&)>& objective,
+    const BruteForceOptions& options = {});
+
+}  // namespace wolt::assign

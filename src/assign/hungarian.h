@@ -1,0 +1,39 @@
+// Hungarian (Kuhn-Munkres) algorithm, O(n^2 * m) shortest-augmenting-path
+// formulation with potentials — the polynomial-time assignment solver Phase I
+// of WOLT relies on (Alg. 1 line 4, "ASSIGNMENT SOLVER"; complexity analysis
+// §IV-B).
+//
+// Solves the rectangular maximization problem: given utilities[r][c] for
+// rows r (tasks, e.g. extenders) and columns c (agents, e.g. users) with
+// rows <= cols, choose a distinct column for every row maximizing total
+// utility. Forbidden pairings are expressed with kForbidden.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace wolt::assign {
+
+using Matrix = std::vector<std::vector<double>>;
+
+struct HungarianResult {
+  // col_of_row[r] = column assigned to row r (always a valid index).
+  std::vector<int> col_of_row;
+  double total_utility = 0.0;
+  // False iff some row could only be matched through a forbidden pairing
+  // (its col_of_row entry is then not meaningful for that row).
+  bool feasible = true;
+};
+
+inline constexpr double kForbidden =
+    -std::numeric_limits<double>::infinity();
+
+// Maximize total utility. Requires a non-empty rectangular matrix with
+// rows <= cols; throws std::invalid_argument otherwise.
+HungarianResult SolveAssignmentMax(const Matrix& utilities);
+
+// Minimization twin (used by tests to cross-check against known instances).
+// Forbidden pairs are +infinity costs.
+HungarianResult SolveAssignmentMin(const Matrix& costs);
+
+}  // namespace wolt::assign

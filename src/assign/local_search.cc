@@ -1,0 +1,284 @@
+#include "assign/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wolt::assign {
+namespace {
+
+// Incremental WiFi-side state: per-extender user count and harmonic sum,
+// from which T_WiFi_j = n_j / inv_j. Keeping this explicit makes single-user
+// moves O(1) for the kWifiSum objective.
+struct WifiState {
+  std::vector<int> load;
+  std::vector<double> inv_sum;
+
+  WifiState(const model::Network& net, const model::Assignment& assign)
+      : load(net.NumExtenders(), 0), inv_sum(net.NumExtenders(), 0.0) {
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      const int e = assign.ExtenderOf(i);
+      if (e == model::Assignment::kUnassigned) continue;
+      Add(net, i, static_cast<std::size_t>(e));
+    }
+  }
+
+  void Add(const model::Network& net, std::size_t user, std::size_t ext) {
+    const double r = net.WifiRate(user, ext);
+    if (r <= 0.0) throw std::invalid_argument("insert at unreachable extender");
+    ++load[ext];
+    inv_sum[ext] += 1.0 / r;
+  }
+
+  void Remove(const model::Network& net, std::size_t user, std::size_t ext) {
+    const double r = net.WifiRate(user, ext);
+    --load[ext];
+    inv_sum[ext] -= 1.0 / r;
+    if (load[ext] == 0) inv_sum[ext] = 0.0;  // kill accumulated error
+  }
+
+  double CellThroughput(std::size_t ext) const {
+    return load[ext] > 0 ? static_cast<double>(load[ext]) / inv_sum[ext] : 0.0;
+  }
+
+  double WifiSum() const {
+    double total = 0.0;
+    for (std::size_t j = 0; j < load.size(); ++j) total += CellThroughput(j);
+    return total;
+  }
+
+  // Change in the WiFi-sum objective if `user` joined extender `ext`.
+  double InsertDelta(const model::Network& net, std::size_t user,
+                     std::size_t ext) const {
+    const double r = net.WifiRate(user, ext);
+    if (r <= 0.0) return -1.0;  // infeasible marker (deltas can be < 0 too,
+                                // callers must check reachability first)
+    const double before = CellThroughput(ext);
+    const double after = static_cast<double>(load[ext] + 1) /
+                         (inv_sum[ext] + 1.0 / r);
+    return after - before;
+  }
+};
+
+bool HasRoom(const model::Network& net, const WifiState& state,
+             std::size_t ext) {
+  const int cap = net.MaxUsers(ext);
+  return cap == 0 || state.load[ext] < cap;
+}
+
+// A placement target must be reachable over WiFi AND have a live power-line
+// backhaul — a dead PLC link delivers nothing end-to-end even though the
+// WiFi-sum objective cannot see that.
+bool UsableTarget(const model::Network& net, std::size_t user,
+                  std::size_t ext) {
+  return net.WifiRate(user, ext) > 0.0 && net.PlcRate(ext) > 0.0;
+}
+
+}  // namespace
+
+namespace {
+
+// Sum of log per-user throughputs over assigned users; a tiny floor keeps
+// starved users from collapsing the objective to -inf (they still dominate
+// the gradient, which is the point of proportional fairness).
+double ProportionalFairValue(const model::Evaluator& evaluator,
+                             const model::Network& net,
+                             const model::Assignment& assign) {
+  constexpr double kFloorMbps = 1e-3;
+  const model::EvalResult result = evaluator.Evaluate(net, assign);
+  double total = 0.0;
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    if (!assign.IsAssigned(i)) continue;
+    total += std::log(std::max(result.user_throughput_mbps[i], kFloorMbps));
+  }
+  return total;
+}
+
+}  // namespace
+
+double Phase2Value(const model::Network& net, const model::Assignment& assign,
+                   Phase2Objective objective, const model::EvalOptions& eval) {
+  switch (objective) {
+    case Phase2Objective::kWifiSum:
+      return WifiState(net, assign).WifiSum();
+    case Phase2Objective::kEndToEnd:
+      return model::Evaluator(eval).AggregateThroughput(net, assign);
+    case Phase2Objective::kProportionalFair:
+      return ProportionalFairValue(model::Evaluator(eval), net, assign);
+  }
+  return 0.0;
+}
+
+void GreedyInsert(const model::Network& net, model::Assignment& assign,
+                  const std::vector<std::size_t>& users,
+                  const LocalSearchOptions& options) {
+  WifiState state(net, assign);
+
+  for (std::size_t user : users) {
+    if (assign.IsAssigned(user)) continue;
+    int best_ext = -1;
+    double best_value = 0.0;
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      if (!UsableTarget(net, user, j) || !HasRoom(net, state, j)) continue;
+      double value;
+      if (options.objective == Phase2Objective::kWifiSum) {
+        value = state.InsertDelta(net, user, j);
+      } else {
+        assign.Assign(user, j);
+        value = Phase2Value(net, assign, options.objective, options.eval);
+        assign.Unassign(user);
+      }
+      if (best_ext < 0 || value > best_value) {
+        best_value = value;
+        best_ext = static_cast<int>(j);
+      }
+    }
+    if (best_ext < 0) continue;  // unreachable user stays unassigned
+    assign.Assign(user, static_cast<std::size_t>(best_ext));
+    state.Add(net, user, static_cast<std::size_t>(best_ext));
+  }
+}
+
+LocalSearchStats RelocateLocalSearch(const model::Network& net,
+                                     model::Assignment& assign,
+                                     const std::vector<std::size_t>& movable,
+                                     const LocalSearchOptions& options) {
+  WifiState state(net, assign);
+
+  const auto current_value = [&] {
+    return options.objective == Phase2Objective::kWifiSum
+               ? state.WifiSum()
+               : Phase2Value(net, assign, options.objective, options.eval);
+  };
+
+  LocalSearchStats stats;
+  stats.initial_value = current_value();
+  double value = stats.initial_value;
+
+  for (stats.passes = 0; stats.passes < options.max_passes; ++stats.passes) {
+    double pass_gain = 0.0;
+    for (std::size_t user : movable) {
+      const int from = assign.ExtenderOf(user);
+      if (from == model::Assignment::kUnassigned) continue;
+      const std::size_t from_ext = static_cast<std::size_t>(from);
+
+      // Try every alternative extender; apply the single best move.
+      int best_ext = -1;
+      double best_value = value;
+      for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+        if (j == from_ext || !UsableTarget(net, user, j) ||
+            !HasRoom(net, state, j)) {
+          continue;
+        }
+        state.Remove(net, user, from_ext);
+        state.Add(net, user, j);
+        assign.Assign(user, j);
+        const double candidate = current_value();
+        state.Remove(net, user, j);
+        state.Add(net, user, from_ext);
+        assign.Assign(user, from_ext);
+        if (candidate > best_value + options.improvement_tolerance) {
+          best_value = candidate;
+          best_ext = static_cast<int>(j);
+        }
+      }
+      if (best_ext >= 0) {
+        state.Remove(net, user, from_ext);
+        state.Add(net, user, static_cast<std::size_t>(best_ext));
+        assign.Assign(user, static_cast<std::size_t>(best_ext));
+        pass_gain += best_value - value;
+        value = best_value;
+        ++stats.moves;
+      }
+    }
+
+    if (options.swap_moves) {
+      // Pairwise exchange: two users on different extenders trade places
+      // (loads are unchanged, so B_j caps stay satisfied).
+      for (std::size_t a = 0; a < movable.size(); ++a) {
+        const std::size_t u1 = movable[a];
+        const int e1 = assign.ExtenderOf(u1);
+        if (e1 == model::Assignment::kUnassigned) continue;
+        for (std::size_t b = a + 1; b < movable.size(); ++b) {
+          const std::size_t u2 = movable[b];
+          const int e2 = assign.ExtenderOf(u2);
+          if (e2 == model::Assignment::kUnassigned || e1 == e2) continue;
+          const std::size_t x1 = static_cast<std::size_t>(
+              assign.ExtenderOf(u1));  // may have changed since e1 was read
+          const std::size_t x2 = static_cast<std::size_t>(e2);
+          if (x1 == x2) continue;
+          if (!UsableTarget(net, u1, x2) || !UsableTarget(net, u2, x1)) {
+            continue;
+          }
+          state.Remove(net, u1, x1);
+          state.Remove(net, u2, x2);
+          state.Add(net, u1, x2);
+          state.Add(net, u2, x1);
+          assign.Assign(u1, x2);
+          assign.Assign(u2, x1);
+          const double candidate = current_value();
+          if (candidate > value + options.improvement_tolerance) {
+            pass_gain += candidate - value;
+            value = candidate;
+            ++stats.moves;
+          } else {
+            state.Remove(net, u1, x2);
+            state.Remove(net, u2, x1);
+            state.Add(net, u1, x1);
+            state.Add(net, u2, x2);
+            assign.Assign(u1, x1);
+            assign.Assign(u2, x2);
+          }
+        }
+      }
+    }
+    if (pass_gain <= options.improvement_tolerance) break;
+  }
+
+  stats.final_value = value;
+  return stats;
+}
+
+double SolvePhase2MultiStart(const model::Network& net,
+                             model::Assignment& assign,
+                             const std::vector<std::size_t>& movable,
+                             const LocalSearchOptions& options) {
+  // Candidate insertion orders: as given, best-rate descending (strong
+  // users claim their extenders first), best-rate ascending (weak users get
+  // first pick of uncontended cells).
+  const auto best_rate = [&](std::size_t user) {
+    double best = 0.0;
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      best = std::max(best, net.WifiRate(user, j));
+    }
+    return best;
+  };
+  std::vector<std::vector<std::size_t>> orders;
+  orders.push_back(movable);
+  std::vector<std::size_t> desc = movable;
+  std::sort(desc.begin(), desc.end(), [&](std::size_t a, std::size_t b) {
+    return best_rate(a) > best_rate(b);
+  });
+  orders.push_back(desc);
+  std::vector<std::size_t> asc(desc.rbegin(), desc.rend());
+  orders.push_back(std::move(asc));
+
+  const model::Assignment base = assign;
+  model::Assignment best_assignment = assign;
+  double best_value = -1.0;
+  for (const auto& order : orders) {
+    model::Assignment candidate = base;
+    GreedyInsert(net, candidate, order, options);
+    RelocateLocalSearch(net, candidate, movable, options);
+    const double value =
+        Phase2Value(net, candidate, options.objective, options.eval);
+    if (value > best_value) {
+      best_value = value;
+      best_assignment = std::move(candidate);
+    }
+  }
+  assign = std::move(best_assignment);
+  return best_value;
+}
+
+}  // namespace wolt::assign

@@ -1,0 +1,84 @@
+// Discrete Phase-II solvers for Problem 2 (WiFi User Assignment Only).
+//
+// Phase II of WOLT assigns the remaining users U2 = U \ U1 so that the
+// aggregate throughput degradation is minimized with the Phase-I users
+// fixed. The paper solves a continuous relaxation numerically and proves
+// (Theorem 3) the optimum is integral; the proof's exchange argument —
+// shifting a user's fractional mass to the extender minimizing
+// sum_{i' in N_j} 1/r_i'j + 1/r_ij (Eq. 18) — directly yields the discrete
+// method here: marginal-gain greedy insertion followed by single-user
+// relocation local search with the paper's 1e-5 improvement stopping rule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/evaluator.h"
+#include "model/network.h"
+
+namespace wolt::assign {
+
+// Which objective the insertion/relocation maximizes.
+enum class Phase2Objective {
+  // Problem 2's objective: sum of per-extender WiFi throughputs (Eq. 14).
+  kWifiSum,
+  // Extension: full end-to-end aggregate min(T_WiFi, T_PLC) — more
+  // expensive per move but aware of PLC bottlenecks (ablation Abl-2).
+  kEndToEnd,
+  // Extension: proportional fairness — sum of log per-user end-to-end
+  // throughputs over assigned users. Trades a little aggregate for much
+  // better Jain fairness (the fairness direction §V-D leaves open).
+  kProportionalFair,
+};
+
+struct LocalSearchOptions {
+  Phase2Objective objective = Phase2Objective::kWifiSum;
+  // Stop when a full relocation pass improves the objective by less than
+  // this (the paper's interior-point stopping criterion, §IV-B).
+  double improvement_tolerance = 1e-5;
+  std::size_t max_passes = 100;
+  // Also try exchanging the extenders of pairs of movable users. Escapes
+  // the local optima single-user relocation cannot (two users parked on
+  // each other's best extender).
+  bool swap_moves = true;
+  model::EvalOptions eval;  // used only for kEndToEnd
+};
+
+// Objective value of a (possibly partial) assignment under the selected
+// Phase-II objective.
+double Phase2Value(const model::Network& net, const model::Assignment& assign,
+                   Phase2Objective objective, const model::EvalOptions& eval);
+
+// Insert each user of `users` (in the given order) at the extender that
+// maximizes the objective increase, respecting reachability and B_j.
+// Modifies `assign` in place. Users already assigned are skipped.
+void GreedyInsert(const model::Network& net, model::Assignment& assign,
+                  const std::vector<std::size_t>& users,
+                  const LocalSearchOptions& options = {});
+
+struct LocalSearchStats {
+  std::size_t passes = 0;
+  std::size_t moves = 0;
+  double initial_value = 0.0;
+  double final_value = 0.0;
+};
+
+// Repeatedly relocate single users from `movable` to better extenders until
+// no move improves the objective by more than the tolerance.
+LocalSearchStats RelocateLocalSearch(const model::Network& net,
+                                     model::Assignment& assign,
+                                     const std::vector<std::size_t>& movable,
+                                     const LocalSearchOptions& options = {});
+
+// Full Phase-II solve with multi-start: greedy insertion of `movable` under
+// several orderings (given order, best-rate-descending, best-rate-ascending),
+// each followed by relocation/swap local search; the best result is written
+// back into `assign`. Users already assigned in `assign` are held fixed.
+// Returns the best objective value found.
+double SolvePhase2MultiStart(const model::Network& net,
+                             model::Assignment& assign,
+                             const std::vector<std::size_t>& movable,
+                             const LocalSearchOptions& options = {});
+
+}  // namespace wolt::assign

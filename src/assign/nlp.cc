@@ -1,0 +1,258 @@
+#include "assign/nlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wolt::assign {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct Problem {
+  const model::Network* net = nullptr;
+  std::vector<std::size_t> movable;
+  std::vector<double> fixed_count;   // per extender
+  std::vector<double> fixed_invsum;  // per extender
+
+  double Objective(const std::vector<std::vector<double>>& x) const {
+    const std::size_t num_ext = net->NumExtenders();
+    double total = 0.0;
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      double n = fixed_count[j];
+      double s = fixed_invsum[j];
+      for (std::size_t k = 0; k < movable.size(); ++k) {
+        const double r = net->WifiRate(movable[k], j);
+        if (r <= 0.0) continue;
+        n += x[k][j];
+        s += x[k][j] / r;
+      }
+      if (n > kEps) total += n / (s + kEps);
+    }
+    return total;
+  }
+
+  // dF/dx_kj = (s_j - n_j / r_kj) / s_j^2.
+  void Gradient(const std::vector<std::vector<double>>& x,
+                std::vector<std::vector<double>>& grad) const {
+    const std::size_t num_ext = net->NumExtenders();
+    std::vector<double> n(num_ext), s(num_ext);
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      n[j] = fixed_count[j];
+      s[j] = fixed_invsum[j];
+      for (std::size_t k = 0; k < movable.size(); ++k) {
+        const double r = net->WifiRate(movable[k], j);
+        if (r <= 0.0) continue;
+        n[j] += x[k][j];
+        s[j] += x[k][j] / r;
+      }
+    }
+    for (std::size_t k = 0; k < movable.size(); ++k) {
+      for (std::size_t j = 0; j < num_ext; ++j) {
+        const double r = net->WifiRate(movable[k], j);
+        if (r <= 0.0) {
+          grad[k][j] = 0.0;
+          continue;
+        }
+        const double denom = (s[j] + kEps) * (s[j] + kEps);
+        grad[k][j] = (s[j] - n[j] / r) / denom;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> ProjectToSimplex(const std::vector<double>& v,
+                                     const std::vector<bool>& allowed) {
+  if (v.size() != allowed.size()) {
+    throw std::invalid_argument("size mismatch");
+  }
+  std::vector<double> values;
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (allowed[j]) values.push_back(v[j]);
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("no allowed entries to project onto");
+  }
+  // Standard O(n log n) simplex projection (Duchi et al.): find threshold
+  // tau so that sum max(v - tau, 0) = 1 over the allowed entries.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double cumulative = 0.0;
+  double tau = 0.0;
+  std::size_t rho = 0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    cumulative += sorted[k];
+    const double candidate =
+        (cumulative - 1.0) / static_cast<double>(k + 1);
+    if (sorted[k] - candidate > 0.0) {
+      tau = candidate;
+      rho = k + 1;
+    }
+  }
+  (void)rho;
+  std::vector<double> out(v.size(), 0.0);
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (allowed[j]) out[j] = std::max(v[j] - tau, 0.0);
+  }
+  return out;
+}
+
+NlpResult SolvePhase2Nlp(const model::Network& net,
+                         const model::Assignment& fixed,
+                         const std::vector<std::size_t>& movable,
+                         const NlpOptions& options) {
+  const std::size_t num_ext = net.NumExtenders();
+  if (num_ext == 0) throw std::invalid_argument("no extenders");
+
+  Problem prob;
+  prob.net = &net;
+  prob.movable = movable;
+  prob.fixed_count.assign(num_ext, 0.0);
+  prob.fixed_invsum.assign(num_ext, 0.0);
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    const int e = fixed.ExtenderOf(i);
+    if (e == model::Assignment::kUnassigned) continue;
+    const double r = net.WifiRate(i, static_cast<std::size_t>(e));
+    if (r <= 0.0) throw std::invalid_argument("fixed user unreachable");
+    prob.fixed_count[static_cast<std::size_t>(e)] += 1.0;
+    prob.fixed_invsum[static_cast<std::size_t>(e)] += 1.0 / r;
+  }
+  for (std::size_t user : movable) {
+    if (fixed.IsAssigned(user)) {
+      throw std::invalid_argument("movable user already fixed");
+    }
+  }
+
+  // Initialize each movable user uniformly over its reachable extenders.
+  std::vector<std::vector<bool>> allowed(movable.size(),
+                                         std::vector<bool>(num_ext, false));
+  std::vector<std::vector<double>> x(movable.size(),
+                                     std::vector<double>(num_ext, 0.0));
+  for (std::size_t k = 0; k < movable.size(); ++k) {
+    std::size_t reachable = 0;
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      if (net.WifiRate(movable[k], j) > 0.0 && net.PlcRate(j) > 0.0) {
+        allowed[k][j] = true;
+        ++reachable;
+      }
+    }
+    if (reachable == 0) {
+      throw std::invalid_argument("movable user reaches no extender");
+    }
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      if (allowed[k][j]) x[k][j] = 1.0 / static_cast<double>(reachable);
+    }
+  }
+
+  NlpResult result;
+  double value = prob.Objective(x);
+  double step = options.initial_step;
+  std::vector<std::vector<double>> grad(movable.size(),
+                                        std::vector<double>(num_ext, 0.0));
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    prob.Gradient(x, grad);
+
+    bool accepted = false;
+    double trial_step = step;
+    std::vector<std::vector<double>> trial = x;
+    for (std::size_t bt = 0; bt < options.max_backtracks; ++bt) {
+      for (std::size_t k = 0; k < movable.size(); ++k) {
+        std::vector<double> moved(num_ext);
+        for (std::size_t j = 0; j < num_ext; ++j) {
+          moved[j] = x[k][j] + trial_step * grad[k][j];
+        }
+        trial[k] = ProjectToSimplex(moved, allowed[k]);
+      }
+      const double trial_value = prob.Objective(trial);
+      if (trial_value > value) {
+        const double gain = trial_value - value;
+        x = trial;
+        value = trial_value;
+        step = trial_step * 1.5;  // mild step growth after success
+        accepted = true;
+        if (gain < options.improvement_tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      trial_step *= options.backtrack_factor;
+    }
+    if (!accepted) {
+      result.converged = true;  // no ascent direction at any step size
+      break;
+    }
+    if (result.converged) break;
+  }
+
+  // Vertex polish (the Theorem-3 exchange argument made algorithmic):
+  // projected gradient can stall at fractional stationary points, but for
+  // any user the objective restricted to that user's simplex is maximized
+  // at a vertex, so coordinate-wise vertex moves only improve F and drive
+  // the point integral. Iterate to a fixed point.
+  for (std::size_t pass = 0; pass < 100; ++pass) {
+    bool changed = false;
+    for (std::size_t k = 0; k < movable.size(); ++k) {
+      std::size_t best_j = 0;
+      double best_value = -1.0;
+      std::vector<double> saved = x[k];
+      for (std::size_t j = 0; j < num_ext; ++j) {
+        if (!allowed[k][j]) continue;
+        std::fill(x[k].begin(), x[k].end(), 0.0);
+        x[k][j] = 1.0;
+        const double v = prob.Objective(x);
+        if (v > best_value) {
+          best_value = v;
+          best_j = j;
+        }
+      }
+      std::fill(x[k].begin(), x[k].end(), 0.0);
+      x[k][best_j] = 1.0;
+      if (best_value > value + options.improvement_tolerance ||
+          saved[best_j] < 1.0 - 1e-9) {
+        changed = true;
+      }
+      value = best_value;
+    }
+    if (!changed) break;
+  }
+
+  result.objective_continuous = value;
+  result.fractional = x;
+
+  // Round by row-argmax and merge over the fixed users.
+  result.rounded = fixed;
+  double max_frac = 0.0;
+  for (std::size_t k = 0; k < movable.size(); ++k) {
+    std::size_t best = 0;
+    double best_mass = -1.0;
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      if (x[k][j] > best_mass) {
+        best_mass = x[k][j];
+        best = j;
+      }
+    }
+    max_frac = std::max(max_frac, 1.0 - best_mass);
+    result.rounded.Assign(movable[k], best);
+  }
+  result.max_fractionality = max_frac;
+
+  // WiFi-sum of the rounded point (comparable to the continuous objective).
+  std::vector<double> n(num_ext, 0.0), s(num_ext, 0.0);
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    const int e = result.rounded.ExtenderOf(i);
+    if (e == model::Assignment::kUnassigned) continue;
+    n[static_cast<std::size_t>(e)] += 1.0;
+    s[static_cast<std::size_t>(e)] +=
+        1.0 / net.WifiRate(i, static_cast<std::size_t>(e));
+  }
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    if (n[j] > 0.0) result.objective_rounded += n[j] / s[j];
+  }
+  return result;
+}
+
+}  // namespace wolt::assign

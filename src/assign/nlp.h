@@ -1,0 +1,64 @@
+// Continuous solver for Problem 2, mirroring the paper's numerical approach.
+//
+// The paper relaxes x_ij to [0, 1] (Eq. 16) and solves the resulting
+// nonlinear program with an interior-point solver, stopping when the
+// improvement drops below 1e-5; Theorem 3 shows an integral optimum always
+// exists (and is found in practice). We implement projected-gradient ascent:
+// each movable user's assignment row lives on the probability simplex over
+// its reachable extenders; the smooth objective is
+//   F(x) = sum_j n_j(x) / s_j(x),   n_j = fixed_count_j + sum_i x_ij,
+//                                   s_j = fixed_invsum_j + sum_i x_ij / r_ij,
+// which agrees with Problem 2's objective at integral points. Steps use
+// backtracking; iterates are projected onto each user's simplex. The result
+// reports how fractional the converged point is so tests can confirm
+// Theorem 3 empirically before rounding by row-argmax.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/network.h"
+
+namespace wolt::assign {
+
+struct NlpOptions {
+  std::size_t max_iterations = 5000;
+  double initial_step = 1.0;
+  // Stop when an accepted step improves the objective by less than this
+  // (the paper's 1e-5 criterion).
+  double improvement_tolerance = 1e-5;
+  // Backtracking: shrink the step by this factor while it fails to improve.
+  double backtrack_factor = 0.5;
+  std::size_t max_backtracks = 30;
+};
+
+struct NlpResult {
+  // Row-argmax rounding of the converged point, merged over the fixed
+  // assignment (fixed users keep their extenders).
+  model::Assignment rounded;
+  double objective_continuous = 0.0;  // F at the converged point
+  double objective_rounded = 0.0;     // WiFi-sum of the rounded assignment
+  // max_i (1 - max_j x_ij): 0 for a perfectly integral solution.
+  double max_fractionality = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  // The raw converged point: row per movable user, column per extender.
+  std::vector<std::vector<double>> fractional;
+};
+
+// Solve Problem 2: maximize sum_j T_WiFi_j over assignments of `movable`
+// users, with all users already assigned in `fixed` held in place. Movable
+// users must be unassigned in `fixed` and reachable (some r_ij > 0).
+NlpResult SolvePhase2Nlp(const model::Network& net,
+                         const model::Assignment& fixed,
+                         const std::vector<std::size_t>& movable,
+                         const NlpOptions& options = {});
+
+// Euclidean projection of `v` onto the probability simplex
+// {x >= 0, sum x = 1}; entries where `allowed` is false are forced to 0.
+// Exposed for unit testing. Requires at least one allowed entry.
+std::vector<double> ProjectToSimplex(const std::vector<double>& v,
+                                     const std::vector<bool>& allowed);
+
+}  // namespace wolt::assign

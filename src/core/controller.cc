@@ -1,0 +1,234 @@
+#include "core/controller.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace wolt::core {
+namespace {
+
+std::string JoinDoubles(const std::vector<double>& xs) {
+  std::string out;
+  char buf[64];
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    if (k) out += ',';
+    std::snprintf(buf, sizeof(buf), "%g", xs[k]);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> ParseDoubles(const std::string& csv) {
+  std::vector<double> out;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(item, &consumed);
+      if (consumed != item.size()) return std::nullopt;
+      out.push_back(value);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+// Splits "key=value" tokens of a message line after the type word.
+std::optional<std::unordered_map<std::string, std::string>> ParseFields(
+    const std::string& line, const std::string& expected_type) {
+  std::istringstream in(line);
+  std::string type;
+  if (!(in >> type) || type != expected_type) return std::nullopt;
+  std::unordered_map<std::string, std::string> fields;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string Encode(const ScanReport& msg) {
+  std::string out = "SCAN user=" + std::to_string(msg.user_id) +
+                    " rates=" + JoinDoubles(msg.rates_mbps);
+  if (!msg.rssi_dbm.empty()) out += " rssi=" + JoinDoubles(msg.rssi_dbm);
+  return out;
+}
+
+std::string Encode(const AssociationDirective& msg) {
+  return "DIRECTIVE user=" + std::to_string(msg.user_id) +
+         " extender=" + std::to_string(msg.extender);
+}
+
+std::string Encode(const CapacityReport& msg) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", msg.capacity_mbps);
+  return "CAPACITY extender=" + std::to_string(msg.extender) + " mbps=" + buf;
+}
+
+std::optional<ScanReport> DecodeScanReport(const std::string& line) {
+  const auto fields = ParseFields(line, "SCAN");
+  if (!fields || !fields->count("user") || !fields->count("rates")) {
+    return std::nullopt;
+  }
+  ScanReport msg;
+  try {
+    msg.user_id = std::stoll(fields->at("user"));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const auto rates = ParseDoubles(fields->at("rates"));
+  if (!rates) return std::nullopt;
+  msg.rates_mbps = *rates;
+  if (fields->count("rssi")) {
+    const auto rssi = ParseDoubles(fields->at("rssi"));
+    if (!rssi || rssi->size() != msg.rates_mbps.size()) return std::nullopt;
+    msg.rssi_dbm = *rssi;
+  }
+  return msg;
+}
+
+std::optional<AssociationDirective> DecodeAssociationDirective(
+    const std::string& line) {
+  const auto fields = ParseFields(line, "DIRECTIVE");
+  if (!fields || !fields->count("user") || !fields->count("extender")) {
+    return std::nullopt;
+  }
+  AssociationDirective msg;
+  try {
+    msg.user_id = std::stoll(fields->at("user"));
+    msg.extender = std::stoi(fields->at("extender"));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::optional<CapacityReport> DecodeCapacityReport(const std::string& line) {
+  const auto fields = ParseFields(line, "CAPACITY");
+  if (!fields || !fields->count("extender") || !fields->count("mbps")) {
+    return std::nullopt;
+  }
+  CapacityReport msg;
+  try {
+    msg.extender = std::stoi(fields->at("extender"));
+    msg.capacity_mbps = std::stod(fields->at("mbps"));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (msg.capacity_mbps < 0.0) return std::nullopt;
+  return msg;
+}
+
+CentralController::CentralController(std::size_t num_extenders,
+                                     PolicyPtr policy)
+    : net_(0, num_extenders), policy_(std::move(policy)) {
+  if (num_extenders == 0) throw std::invalid_argument("no extenders");
+  if (!policy_) throw std::invalid_argument("null policy");
+}
+
+void CentralController::HandleCapacityReport(const CapacityReport& report) {
+  if (report.extender < 0 ||
+      static_cast<std::size_t>(report.extender) >= net_.NumExtenders()) {
+    throw std::invalid_argument("unknown extender in capacity report");
+  }
+  net_.SetPlcRate(static_cast<std::size_t>(report.extender),
+                  report.capacity_mbps);
+}
+
+std::size_t CentralController::IndexOf(std::int64_t user_id) const {
+  const auto it = index_of_id_.find(user_id);
+  if (it == index_of_id_.end()) {
+    throw std::invalid_argument("unknown user id");
+  }
+  return it->second;
+}
+
+void CentralController::ApplyReport(std::size_t index,
+                                    const ScanReport& report) {
+  for (std::size_t j = 0; j < net_.NumExtenders(); ++j) {
+    net_.SetWifiRate(index, j, report.rates_mbps[j]);
+    if (!report.rssi_dbm.empty()) {
+      net_.SetRssi(index, j, report.rssi_dbm[j]);
+    }
+  }
+}
+
+std::vector<AssociationDirective> CentralController::RunPolicy() {
+  const model::Assignment before = assignment_;
+  assignment_ = policy_->Associate(net_, before);
+  std::vector<AssociationDirective> directives;
+  for (std::size_t i = 0; i < net_.NumUsers(); ++i) {
+    if (assignment_.IsAssigned(i) &&
+        assignment_.ExtenderOf(i) != before.ExtenderOf(i)) {
+      directives.push_back({id_of_index_[i], assignment_.ExtenderOf(i)});
+    }
+  }
+  return directives;
+}
+
+std::vector<AssociationDirective> CentralController::HandleUserArrival(
+    const ScanReport& report) {
+  if (report.rates_mbps.size() != net_.NumExtenders()) {
+    throw std::invalid_argument("scan report has wrong extender count");
+  }
+  if (index_of_id_.count(report.user_id)) {
+    throw std::invalid_argument("duplicate user id");
+  }
+  const std::size_t index = net_.AddUser(model::User{}, report.rates_mbps);
+  assignment_.AppendUser();
+  id_of_index_.push_back(report.user_id);
+  index_of_id_[report.user_id] = index;
+  ApplyReport(index, report);
+  return RunPolicy();
+}
+
+std::vector<AssociationDirective> CentralController::HandleScanUpdate(
+    const ScanReport& report) {
+  if (report.rates_mbps.size() != net_.NumExtenders()) {
+    throw std::invalid_argument("scan report has wrong extender count");
+  }
+  const std::size_t index = IndexOf(report.user_id);
+  ApplyReport(index, report);
+  // The refreshed rates may invalidate the current association.
+  const int current = assignment_.ExtenderOf(index);
+  if (current != model::Assignment::kUnassigned &&
+      net_.WifiRate(index, static_cast<std::size_t>(current)) <= 0.0) {
+    assignment_.Unassign(index);
+  }
+  return RunPolicy();
+}
+
+void CentralController::HandleUserDeparture(std::int64_t user_id) {
+  const std::size_t index = IndexOf(user_id);
+  net_.RemoveUser(index);
+  assignment_.EraseUser(index);
+  id_of_index_.erase(id_of_index_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  index_of_id_.clear();
+  for (std::size_t i = 0; i < id_of_index_.size(); ++i) {
+    index_of_id_[id_of_index_[i]] = i;
+  }
+}
+
+std::vector<AssociationDirective> CentralController::Reoptimize() {
+  return RunPolicy();
+}
+
+std::optional<int> CentralController::ExtenderOf(std::int64_t user_id) const {
+  const auto it = index_of_id_.find(user_id);
+  if (it == index_of_id_.end()) return std::nullopt;
+  if (!assignment_.IsAssigned(it->second)) return std::nullopt;
+  return assignment_.ExtenderOf(it->second);
+}
+
+double CentralController::CurrentAggregate() const {
+  return model::Evaluator().AggregateThroughput(net_, assignment_);
+}
+
+}  // namespace wolt::core

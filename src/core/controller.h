@@ -1,0 +1,112 @@
+// The Central Controller (CC) runtime of §V-A.
+//
+// In the paper's deployment, WOLT runs as a user-space utility: a client
+// that wants to associate scans the reachable extenders, estimates each
+// link's rate from the NIC's MCS report, and sends the measurements to the
+// CC; the CC knows every PLC link's (offline-estimated) capacity and every
+// existing association, computes the assignment, and answers with
+// association directives (the client initially camps on the best-RSSI
+// extender and switches if directed). This module implements that control
+// plane: stable external user ids over a mutating Network, message types
+// with a line-based wire encoding, and directive diffing so clients are
+// only told to move when their extender actually changed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+#include "model/evaluator.h"
+#include "model/network.h"
+
+namespace wolt::core {
+
+// --- Wire messages -------------------------------------------------------
+
+// Client -> CC: measurement report of a (new or existing) user.
+struct ScanReport {
+  std::int64_t user_id = 0;
+  std::vector<double> rates_mbps;  // per extender; 0 = unreachable
+  std::vector<double> rssi_dbm;    // optional; empty or per extender
+};
+
+// CC -> client: associate with this extender.
+struct AssociationDirective {
+  std::int64_t user_id = 0;
+  int extender = 0;
+};
+
+// Probe -> CC: offline PLC capacity estimate for one extender (§V-A).
+struct CapacityReport {
+  int extender = 0;
+  double capacity_mbps = 0.0;
+};
+
+// Line-based wire format, e.g.
+//   SCAN user=7 rates=10.5,0,32.5 rssi=-70.1,-90.0,-60.2
+//   DIRECTIVE user=7 extender=2
+//   CAPACITY extender=1 mbps=120.5
+std::string Encode(const ScanReport& msg);
+std::string Encode(const AssociationDirective& msg);
+std::string Encode(const CapacityReport& msg);
+std::optional<ScanReport> DecodeScanReport(const std::string& line);
+std::optional<AssociationDirective> DecodeAssociationDirective(
+    const std::string& line);
+std::optional<CapacityReport> DecodeCapacityReport(const std::string& line);
+
+// --- Controller ----------------------------------------------------------
+
+class CentralController {
+ public:
+  // Takes ownership of the association policy (WOLT in the paper; any
+  // AssociationPolicy works).
+  CentralController(std::size_t num_extenders, PolicyPtr policy);
+
+  // Record an offline capacity estimate for one extender.
+  void HandleCapacityReport(const CapacityReport& report);
+
+  // A new user reports its scan. Runs the policy and returns directives
+  // for every user whose extender changed (including the new user).
+  // Throws std::invalid_argument on duplicate ids or malformed reports.
+  std::vector<AssociationDirective> HandleUserArrival(
+      const ScanReport& report);
+
+  // An existing user refreshes its measurements (mobility). The policy is
+  // re-run; returns directives for every moved user.
+  std::vector<AssociationDirective> HandleScanUpdate(
+      const ScanReport& report);
+
+  // A user disconnected. No directives result (remaining users keep their
+  // extenders until the next arrival/update/reoptimize).
+  void HandleUserDeparture(std::int64_t user_id);
+
+  // Re-run the policy over the current state (the epoch-boundary action of
+  // the dynamic experiments).
+  std::vector<AssociationDirective> Reoptimize();
+
+  // Current association of a user, if known and associated.
+  std::optional<int> ExtenderOf(std::int64_t user_id) const;
+
+  std::size_t NumUsers() const { return net_.NumUsers(); }
+  const model::Network& network() const { return net_; }
+
+  // Aggregate throughput of the current association under the physical
+  // evaluation model.
+  double CurrentAggregate() const;
+
+ private:
+  std::size_t IndexOf(std::int64_t user_id) const;
+  void ApplyReport(std::size_t index, const ScanReport& report);
+  std::vector<AssociationDirective> RunPolicy();
+
+  model::Network net_;
+  model::Assignment assignment_;
+  PolicyPtr policy_;
+  std::vector<std::int64_t> id_of_index_;
+  std::unordered_map<std::int64_t, std::size_t> index_of_id_;
+};
+
+}  // namespace wolt::core

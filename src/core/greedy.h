@@ -1,0 +1,30 @@
+// The paper's centralized online greedy baseline (§V-B): each newly arriving
+// user is assigned to the extender that maximizes the aggregate end-to-end
+// throughput given all existing associations (which are never revisited).
+// If no extender improves the aggregate, the user goes where it degrades the
+// aggregate least — both cases are the same argmax over the post-assignment
+// aggregate, which is how the paper's CC implements it.
+#pragma once
+
+#include "core/policy.h"
+#include "model/evaluator.h"
+
+namespace wolt::core {
+
+class GreedyPolicy : public AssociationPolicy {
+ public:
+  explicit GreedyPolicy(model::EvalOptions eval = {}) : evaluator_(eval) {}
+
+  std::string Name() const override { return "Greedy"; }
+
+  // Users unassigned in `previous` are placed one at a time in index order
+  // (index order is arrival order in the dynamic simulator). Existing users
+  // are never re-assigned.
+  model::Assignment Associate(const model::Network& net,
+                              const model::Assignment& previous) override;
+
+ private:
+  model::Evaluator evaluator_;
+};
+
+}  // namespace wolt::core

@@ -1,0 +1,11 @@
+#include "core/optimal.h"
+
+namespace wolt::core {
+
+model::Assignment OptimalPolicy::Associate(const model::Network& net,
+                                           const model::Assignment& previous) {
+  (void)previous;
+  return assign::SolveBruteForce(net, options_).best;
+}
+
+}  // namespace wolt::core

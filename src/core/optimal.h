@@ -1,0 +1,28 @@
+// Optimal association by exhaustive search — the "optimal user association"
+// of the paper's Fig. 3d case study. Exponential; intended for case-study
+// and test-oracle use only (the NP-hardness of Problem 1, Theorem 1, is why
+// WOLT exists).
+#pragma once
+
+#include "assign/brute_force.h"
+#include "core/policy.h"
+
+namespace wolt::core {
+
+class OptimalPolicy : public AssociationPolicy {
+ public:
+  explicit OptimalPolicy(assign::BruteForceOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "Optimal"; }
+
+  // Ignores `previous` (re-optimizes globally). Throws if the search space
+  // exceeds options.max_combinations.
+  model::Assignment Associate(const model::Network& net,
+                              const model::Assignment& previous) override;
+
+ private:
+  assign::BruteForceOptions options_;
+};
+
+}  // namespace wolt::core

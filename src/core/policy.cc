@@ -1,0 +1,10 @@
+#include "core/policy.h"
+
+namespace wolt::core {
+
+model::Assignment AssociationPolicy::AssociateFresh(
+    const model::Network& net) {
+  return Associate(net, model::Assignment(net.NumUsers()));
+}
+
+}  // namespace wolt::core

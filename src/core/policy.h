@@ -1,0 +1,34 @@
+// The user-association policy interface shared by WOLT and the paper's
+// baselines. A policy maps a Network (rates r_ij, capacities c_j) plus the
+// current association state to a new association. Online baselines (Greedy,
+// RSSI) only place users that are unassigned in `previous` and never touch
+// existing ones; WOLT recomputes globally (with stickiness to bound churn);
+// Optimal recomputes globally by exhaustive search.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/assignment.h"
+#include "model/network.h"
+
+namespace wolt::core {
+
+class AssociationPolicy {
+ public:
+  virtual ~AssociationPolicy() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Produce an association for `net`. `previous` must have the same user
+  // count as `net`; users with kUnassigned entries are new arrivals.
+  virtual model::Assignment Associate(const model::Network& net,
+                                      const model::Assignment& previous) = 0;
+
+  // Convenience: associate from scratch (everyone is a new arrival).
+  model::Assignment AssociateFresh(const model::Network& net);
+};
+
+using PolicyPtr = std::unique_ptr<AssociationPolicy>;
+
+}  // namespace wolt::core

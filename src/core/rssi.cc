@@ -1,0 +1,42 @@
+#include "core/rssi.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace wolt::core {
+
+model::Assignment RssiPolicy::Associate(const model::Network& net,
+                                        const model::Assignment& previous) {
+  if (previous.NumUsers() != net.NumUsers()) {
+    throw std::invalid_argument("previous assignment size mismatch");
+  }
+  model::Assignment assign = previous;
+  std::vector<int> load = assign.LoadVector(net.NumExtenders());
+
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    if (assign.IsAssigned(i)) continue;
+    // Strongest signal first; fall back down the ranking when full. Rank by
+    // recorded RSSI when the network carries it (continuous, no ties),
+    // otherwise by rate (the monotone proxy).
+    int best = -1;
+    double best_metric = 0.0;
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      const double r = net.WifiRate(i, j);
+      if (r <= 0.0) continue;
+      const int cap = net.MaxUsers(j);
+      if (cap > 0 && load[j] >= cap) continue;
+      const double metric = net.HasRssi() ? net.Rssi(i, j) : r;
+      if (best < 0 || metric > best_metric) {
+        best_metric = metric;
+        best = static_cast<int>(j);
+      }
+    }
+    if (best >= 0) {
+      assign.Assign(i, static_cast<std::size_t>(best));
+      ++load[static_cast<std::size_t>(best)];
+    }
+  }
+  return assign;
+}
+
+}  // namespace wolt::core

@@ -1,0 +1,24 @@
+// Strongest-RSSI association — the default behaviour of commodity PLC-WiFi
+// extenders and the paper's first baseline (§V-C): every user attaches to
+// the extender with the best received signal, ignoring both the extender's
+// PLC link quality and the WiFi contention in its cell. Under any monotone
+// RSSI->rate mapping this is the extender with the highest r_ij, which is
+// how we implement it (the scenario generators build r_ij from RSSI).
+#pragma once
+
+#include "core/policy.h"
+
+namespace wolt::core {
+
+class RssiPolicy : public AssociationPolicy {
+ public:
+  std::string Name() const override { return "RSSI"; }
+
+  // Assigns only previously unassigned users; existing associations are
+  // untouched (RSSI users never receive re-association directives). If the
+  // best-RSSI extender is at its B_j cap, the next-strongest one is used.
+  model::Assignment Associate(const model::Network& net,
+                              const model::Assignment& previous) override;
+};
+
+}  // namespace wolt::core

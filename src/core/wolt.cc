@@ -1,0 +1,214 @@
+#include "core/wolt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "assign/hungarian.h"
+#include "assign/nlp.h"
+
+namespace wolt::core {
+namespace {
+
+// Extenders eligible for Phase I: live PLC link and at least one user that
+// can hear them.
+std::vector<std::size_t> ServiceableExtenders(const model::Network& net) {
+  std::vector<std::size_t> extenders;
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    if (net.PlcRate(j) <= 0.0) continue;
+    bool reachable = false;
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      if (net.WifiRate(i, j) > 0.0) {
+        reachable = true;
+        break;
+      }
+    }
+    if (reachable) extenders.push_back(j);
+  }
+  return extenders;
+}
+
+}  // namespace
+
+Phase1Result WoltPolicy::ComputePhase1(const model::Network& net) const {
+  Phase1Result result;
+  result.user_of_extender.assign(net.NumExtenders(), -1);
+
+  const std::vector<std::size_t> extenders = ServiceableExtenders(net);
+  const std::size_t num_users = net.NumUsers();
+  if (extenders.empty() || num_users == 0) return result;
+
+  // Alg. 1 lines 1-3: task utilities. |A| is the number of extenders that
+  // participate in the assignment within the extender's own PLC contention
+  // domain (all of them are active in the modified problem by
+  // construction; with the paper's single domain this is just the total).
+  std::vector<double> domain_count;
+  for (std::size_t j : extenders) {
+    const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
+    if (d >= domain_count.size()) domain_count.resize(d + 1, 0.0);
+    domain_count[d] += 1.0;
+  }
+  const auto utility = [&](std::size_t user, std::size_t ext) {
+    const double r = net.WifiRate(user, ext);
+    if (r <= 0.0) return assign::kForbidden;
+    if (options_.phase1_utility == Phase1Utility::kWifiOnly) return r;
+    const double peers =
+        domain_count[static_cast<std::size_t>(net.PlcDomain(ext))];
+    return std::min(net.PlcRate(ext) / peers, r);
+  };
+
+  // Hungarian needs rows <= cols; transpose when users are the scarce side.
+  const bool extenders_are_rows = extenders.size() <= num_users;
+  const std::size_t rows =
+      extenders_are_rows ? extenders.size() : num_users;
+  const std::size_t cols =
+      extenders_are_rows ? num_users : extenders.size();
+  assign::Matrix utilities(rows, std::vector<double>(cols, 0.0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t user = extenders_are_rows ? c : r;
+      const std::size_t ext = extenders_are_rows ? extenders[r]
+                                                 : extenders[c];
+      utilities[r][c] = utility(user, ext);
+    }
+  }
+
+  const assign::HungarianResult hungarian =
+      assign::SolveAssignmentMax(utilities);
+  result.total_utility = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t c = static_cast<std::size_t>(hungarian.col_of_row[r]);
+    const std::size_t user = extenders_are_rows ? c : r;
+    const std::size_t ext = extenders_are_rows ? extenders[r] : extenders[c];
+    if (net.WifiRate(user, ext) <= 0.0) continue;  // forbidden fallback pick
+    result.user_of_extender[ext] = static_cast<int>(user);
+    result.u1_users.push_back(user);
+    result.total_utility += utility(user, ext);
+  }
+  std::sort(result.u1_users.begin(), result.u1_users.end());
+  return result;
+}
+
+model::Assignment WoltPolicy::Associate(const model::Network& net,
+                                        const model::Assignment& previous) {
+  if (previous.NumUsers() != net.NumUsers()) {
+    throw std::invalid_argument("previous assignment size mismatch");
+  }
+  if (options_.subset_search) return AssociateSubsetSearch(net, previous);
+  return AssociateOnce(net, previous);
+}
+
+model::Assignment WoltPolicy::AssociateSubsetSearch(
+    const model::Network& net, const model::Assignment& previous) {
+  // Rank extenders by PLC rate; candidate k keeps the k strongest links
+  // and blanks the rest out of the WiFi rate matrix so neither phase can
+  // use them. The candidate with the best true aggregate wins; leftover
+  // users (only reachable via excluded extenders) are re-inserted on the
+  // full network afterwards so constraint (7) still holds.
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    if (net.PlcRate(j) > 0.0) order.push_back(j);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return net.PlcRate(a) > net.PlcRate(b);
+  });
+
+  const model::Evaluator evaluator(options_.eval);
+  model::Assignment best(net.NumUsers());
+  double best_aggregate = -1.0;
+  for (std::size_t k = 1; k <= order.size(); ++k) {
+    model::Network masked = net;
+    for (std::size_t idx = k; idx < order.size(); ++idx) {
+      for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+        masked.SetWifiRate(i, order[idx], 0.0);
+      }
+    }
+    model::Assignment candidate = AssociateOnce(masked, previous);
+    const double aggregate = evaluator.AggregateThroughput(net, candidate);
+    if (aggregate > best_aggregate) {
+      best_aggregate = aggregate;
+      best = std::move(candidate);
+    }
+  }
+
+  // Connect users the winning candidate had to leave out, then polish the
+  // whole assignment against the true end-to-end aggregate (the subset
+  // prefixes are ranked by PLC rate only; geography can make a non-prefix
+  // activation set better, which single-user moves recover).
+  assign::LocalSearchOptions polish;
+  polish.objective = assign::Phase2Objective::kEndToEnd;
+  polish.eval = options_.eval;
+  std::vector<std::size_t> leftover;
+  std::vector<std::size_t> everyone;
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    if (!net.UserReachable(i)) continue;
+    everyone.push_back(i);
+    if (!best.IsAssigned(i)) leftover.push_back(i);
+  }
+  if (!leftover.empty()) {
+    GreedyInsert(net, best, leftover, polish);
+  }
+  assign::RelocateLocalSearch(net, best, everyone, polish);
+  return best;
+}
+
+model::Assignment WoltPolicy::AssociateOnce(const model::Network& net,
+                                            const model::Assignment& previous) {
+  // Phase I: seed each extender with its Hungarian-selected user.
+  const Phase1Result phase1 = ComputePhase1(net);
+  model::Assignment assign(net.NumUsers());
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    const int user = phase1.user_of_extender[j];
+    if (user >= 0) assign.Assign(static_cast<std::size_t>(user), j);
+  }
+
+  // Phase II: place U2 = everyone not chosen in Phase I.
+  std::vector<std::size_t> u2;
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    if (!assign.IsAssigned(i) && net.UserReachable(i)) u2.push_back(i);
+  }
+
+  if (options_.use_nlp_phase2) {
+    const assign::NlpResult nlp = assign::SolvePhase2Nlp(net, assign, u2);
+    return nlp.rounded;
+  }
+
+  assign::LocalSearchOptions ls;
+  ls.objective = options_.phase2_objective;
+  ls.eval = options_.eval;
+
+  bool seeded = false;
+  if (options_.sticky) {
+    // Persisting users keep their extender as the Phase-II starting point;
+    // local search then only moves them for material gain. This is what
+    // bounds per-epoch churn (Fig. 6c).
+    std::vector<int> load = assign.LoadVector(net.NumExtenders());
+    for (std::size_t user : u2) {
+      const int prev = previous.ExtenderOf(user);
+      if (prev == model::Assignment::kUnassigned) continue;
+      const std::size_t ext = static_cast<std::size_t>(prev);
+      // A previous extender that became unreachable or whose power-line
+      // link died is not a valid seed — the user re-enters as an arrival.
+      if (net.WifiRate(user, ext) <= 0.0 || net.PlcRate(ext) <= 0.0) continue;
+      const int cap = net.MaxUsers(ext);
+      if (cap > 0 && load[ext] >= cap) continue;
+      assign.Assign(user, ext);
+      ++load[ext];
+      seeded = true;
+    }
+  }
+
+  if (seeded) {
+    // Sticky path: single start from the carried-over configuration.
+    GreedyInsert(net, assign, u2, ls);
+    if (options_.local_search) {
+      assign::RelocateLocalSearch(net, assign, u2, ls);
+    }
+  } else if (options_.local_search) {
+    assign::SolvePhase2MultiStart(net, assign, u2, ls);
+  } else {
+    GreedyInsert(net, assign, u2, ls);
+  }
+  return assign;
+}
+
+}  // namespace wolt::core

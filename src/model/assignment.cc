@@ -1,0 +1,99 @@
+#include "model/assignment.h"
+
+#include <stdexcept>
+
+namespace wolt::model {
+
+std::size_t Assignment::AssignedCount() const {
+  std::size_t count = 0;
+  for (int e : extender_of_) {
+    if (e != kUnassigned) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> Assignment::UsersOf(std::size_t extender) const {
+  std::vector<std::size_t> users;
+  for (std::size_t i = 0; i < extender_of_.size(); ++i) {
+    if (extender_of_[i] == static_cast<int>(extender)) users.push_back(i);
+  }
+  return users;
+}
+
+std::vector<int> Assignment::LoadVector(std::size_t num_extenders) const {
+  std::vector<int> load(num_extenders, 0);
+  for (int e : extender_of_) {
+    if (e == kUnassigned) continue;
+    if (e < 0 || static_cast<std::size_t>(e) >= num_extenders) {
+      throw std::out_of_range("assignment references unknown extender");
+    }
+    ++load[static_cast<std::size_t>(e)];
+  }
+  return load;
+}
+
+std::vector<std::size_t> Assignment::ActiveExtenders(
+    std::size_t num_extenders) const {
+  const std::vector<int> load = LoadVector(num_extenders);
+  std::vector<std::size_t> active;
+  for (std::size_t j = 0; j < num_extenders; ++j) {
+    if (load[j] > 0) active.push_back(j);
+  }
+  return active;
+}
+
+bool Assignment::IsCompleteFor(const Network& net) const {
+  if (NumUsers() != net.NumUsers()) return false;
+  for (std::size_t i = 0; i < NumUsers(); ++i) {
+    if (!IsAssigned(i)) return false;
+  }
+  return IsValidFor(net);
+}
+
+bool Assignment::IsValidFor(const Network& net) const {
+  if (NumUsers() != net.NumUsers()) return false;
+  std::vector<int> load(net.NumExtenders(), 0);
+  for (std::size_t i = 0; i < NumUsers(); ++i) {
+    const int e = extender_of_[i];
+    if (e == kUnassigned) continue;
+    if (e < 0 || static_cast<std::size_t>(e) >= net.NumExtenders()) {
+      return false;
+    }
+    if (net.WifiRate(i, static_cast<std::size_t>(e)) <= 0.0) return false;
+    ++load[static_cast<std::size_t>(e)];
+  }
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    const int cap = net.MaxUsers(j);
+    if (cap > 0 && load[j] > cap) return false;
+  }
+  return true;
+}
+
+std::size_t Assignment::CountReassignments(const Assignment& before,
+                                           const Assignment& after) {
+  if (before.NumUsers() != after.NumUsers()) {
+    throw std::invalid_argument(
+        "reassignment count requires aligned user sets");
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < before.NumUsers(); ++i) {
+    if (before.IsAssigned(i) && before.ExtenderOf(i) != after.ExtenderOf(i)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Assignment::ToString() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < extender_of_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(i) + "->";
+    out += extender_of_[i] == kUnassigned ? "?"
+                                          : std::to_string(extender_of_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace wolt::model

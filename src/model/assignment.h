@@ -1,0 +1,72 @@
+// A user->extender association (the decision variables x_ij of Problem 1 in
+// one-hot form). kUnassigned marks users not yet associated — the relaxed
+// Phase-I state and newly arrived users in the dynamic simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/network.h"
+
+namespace wolt::model {
+
+class Assignment {
+ public:
+  static constexpr int kUnassigned = -1;
+
+  Assignment() = default;
+  explicit Assignment(std::size_t num_users)
+      : extender_of_(num_users, kUnassigned) {}
+
+  std::size_t NumUsers() const { return extender_of_.size(); }
+
+  int ExtenderOf(std::size_t user) const { return extender_of_.at(user); }
+  bool IsAssigned(std::size_t user) const {
+    return extender_of_.at(user) != kUnassigned;
+  }
+
+  void Assign(std::size_t user, std::size_t extender) {
+    extender_of_.at(user) = static_cast<int>(extender);
+  }
+  void Unassign(std::size_t user) { extender_of_.at(user) = kUnassigned; }
+
+  // Keep the vector aligned with Network::AddUser / Network::RemoveUser.
+  void AppendUser() { extender_of_.push_back(kUnassigned); }
+  void EraseUser(std::size_t user) {
+    extender_of_.erase(extender_of_.begin() +
+                       static_cast<std::ptrdiff_t>(user));
+  }
+
+  std::size_t AssignedCount() const;
+
+  // Users currently associated with extender j (the set N_j).
+  std::vector<std::size_t> UsersOf(std::size_t extender) const;
+
+  // Per-extender association counts, size = num_extenders.
+  std::vector<int> LoadVector(std::size_t num_extenders) const;
+
+  // Extenders with at least one associated user (the active set).
+  std::vector<std::size_t> ActiveExtenders(std::size_t num_extenders) const;
+
+  // All users assigned, every assigned rate > 0, and every B_j respected.
+  bool IsCompleteFor(const Network& net) const;
+  // Partial validity: every *assigned* user has positive rate and B_j holds.
+  bool IsValidFor(const Network& net) const;
+
+  // Number of users whose extender differs between the two assignments
+  // (both must cover the same users). Users unassigned in `before` (new
+  // arrivals) are not counted as re-assignments.
+  static std::size_t CountReassignments(const Assignment& before,
+                                        const Assignment& after);
+
+  // Debug rendering, e.g. "[0->2, 1->0, 2->?]".
+  std::string ToString() const;
+
+  bool operator==(const Assignment&) const = default;
+
+ private:
+  std::vector<int> extender_of_;
+};
+
+}  // namespace wolt::model

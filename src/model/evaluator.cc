@@ -1,0 +1,373 @@
+#include "model/evaluator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "plc/timeshare.h"
+
+namespace wolt::model {
+namespace {
+
+constexpr double kBalanceTolerance = 1e-9;
+
+}  // namespace
+
+const char* ToString(PlcSharing s) {
+  switch (s) {
+    case PlcSharing::kMaxMinActive:
+      return "maxmin-active";
+    case PlcSharing::kEqualActive:
+      return "equal-active";
+    case PlcSharing::kEqualAll:
+      return "equal-all";
+  }
+  return "?";
+}
+
+const char* ToString(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kIdle:
+      return "idle";
+    case Bottleneck::kWifi:
+      return "wifi";
+    case Bottleneck::kPlc:
+      return "plc";
+    case Bottleneck::kBalanced:
+      return "balanced";
+  }
+  return "?";
+}
+
+double WifiCellThroughput(const std::vector<double>& user_rates) {
+  if (user_rates.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (double r : user_rates) {
+    if (r <= 0.0) throw std::invalid_argument("non-positive WiFi rate");
+    inv_sum += 1.0 / r;
+  }
+  return static_cast<double>(user_rates.size()) / inv_sum;
+}
+
+CellAllocation WifiCellAllocation(const std::vector<double>& user_rates,
+                                  const std::vector<double>& demands_mbps,
+                                  double airtime) {
+  if (user_rates.size() != demands_mbps.size()) {
+    throw std::invalid_argument("rates/demands size mismatch");
+  }
+  if (airtime < 0.0 || airtime > 1.0) {
+    throw std::invalid_argument("airtime must be in [0, 1]");
+  }
+  const std::size_t n = user_rates.size();
+  CellAllocation alloc;
+  alloc.user_throughput_mbps.assign(n, 0.0);
+  if (n == 0) return alloc;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (user_rates[i] <= 0.0) {
+      throw std::invalid_argument("non-positive WiFi rate");
+    }
+    if (demands_mbps[i] < 0.0) {
+      throw std::invalid_argument("negative demand");
+    }
+  }
+
+  // Raise a common throughput level over the backlogged users; users whose
+  // demand lies below the level freeze at their demand and return their
+  // airtime. Each round freezes at least one user, so O(n) rounds.
+  std::vector<std::size_t> backlogged(n);
+  for (std::size_t i = 0; i < n; ++i) backlogged[i] = i;
+  while (!backlogged.empty() && airtime > 1e-15) {
+    double inv_sum = 0.0;
+    for (std::size_t i : backlogged) inv_sum += 1.0 / user_rates[i];
+    const double level = airtime / inv_sum;
+    std::vector<std::size_t> still;
+    bool any_frozen = false;
+    for (std::size_t i : backlogged) {
+      const double d = demands_mbps[i];
+      if (d > 0.0 && d <= level) {
+        alloc.user_throughput_mbps[i] = d;
+        airtime -= d / user_rates[i];
+        any_frozen = true;
+      } else {
+        still.push_back(i);
+      }
+    }
+    if (!any_frozen) {
+      for (std::size_t i : still) alloc.user_throughput_mbps[i] = level;
+      break;
+    }
+    backlogged = std::move(still);
+  }
+  for (double x : alloc.user_throughput_mbps) alloc.total_mbps += x;
+  return alloc;
+}
+
+std::vector<double> MaxMinWithCaps(const std::vector<double>& caps,
+                                   double total) {
+  const std::size_t n = caps.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0 || total <= 0.0) return out;
+  for (double c : caps) {
+    if (c < 0.0) throw std::invalid_argument("negative cap");
+  }
+  std::vector<std::size_t> open;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (caps[i] > 0.0) open.push_back(i);
+  }
+  double remaining = total;
+  while (!open.empty() && remaining > 1e-15) {
+    const double share = remaining / static_cast<double>(open.size());
+    std::vector<std::size_t> still;
+    bool any_capped = false;
+    for (std::size_t i : open) {
+      if (caps[i] <= share) {
+        out[i] = caps[i];
+        remaining -= caps[i];
+        any_capped = true;
+      } else {
+        still.push_back(i);
+      }
+    }
+    if (!any_capped) {
+      for (std::size_t i : still) out[i] = share;
+      remaining = 0.0;
+      break;
+    }
+    open = std::move(still);
+  }
+  return out;
+}
+
+EvalResult Evaluator::Evaluate(const Network& net,
+                               const Assignment& assign) const {
+  if (assign.NumUsers() != net.NumUsers()) {
+    throw std::invalid_argument("assignment/network user count mismatch");
+  }
+  const std::size_t num_ext = net.NumExtenders();
+
+  EvalResult result;
+  result.extenders.resize(num_ext);
+  result.user_throughput_mbps.assign(net.NumUsers(), 0.0);
+
+  // WiFi side: per-extender harmonic sums over associated users.
+  std::vector<double> inv_rate_sum(num_ext, 0.0);
+  std::vector<int> load(num_ext, 0);
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    const int e = assign.ExtenderOf(i);
+    if (e == Assignment::kUnassigned) continue;
+    if (e < 0 || static_cast<std::size_t>(e) >= num_ext) {
+      throw std::invalid_argument("assignment references unknown extender");
+    }
+    const double r = net.WifiRate(i, static_cast<std::size_t>(e));
+    if (r <= 0.0) {
+      throw std::invalid_argument("user assigned to unreachable extender");
+    }
+    inv_rate_sum[static_cast<std::size_t>(e)] += 1.0 / r;
+    ++load[static_cast<std::size_t>(e)];
+  }
+
+  // Does any user carry a finite offered load? (0 = saturated, the paper's
+  // assumption; the common case takes the cheap harmonic-sum path.)
+  bool any_demand = false;
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    if (assign.IsAssigned(i) && net.UserDemand(i) > 0.0) {
+      any_demand = true;
+      break;
+    }
+  }
+
+  // Co-channel contention: active cells in one domain time-share the air.
+  // peers[j] = number of active cells contending with extender j (1 when
+  // every extender has its own channel).
+  std::vector<double> peers(num_ext, 1.0);
+  if (!options_.wifi_contention_domain.empty()) {
+    if (options_.wifi_contention_domain.size() != num_ext) {
+      throw std::invalid_argument("contention domain size mismatch");
+    }
+    std::vector<int> active_in_domain;
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      const int d = options_.wifi_contention_domain[j];
+      if (d < 0) throw std::invalid_argument("negative domain id");
+      if (static_cast<std::size_t>(d) >= active_in_domain.size()) {
+        active_in_domain.resize(static_cast<std::size_t>(d) + 1, 0);
+      }
+      if (load[j] > 0) ++active_in_domain[static_cast<std::size_t>(d)];
+    }
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      if (load[j] == 0) continue;
+      peers[j] = static_cast<double>(active_in_domain[static_cast<std::size_t>(
+          options_.wifi_contention_domain[j])]);
+    }
+  }
+
+  std::vector<double> wifi_demand(num_ext, 0.0);
+  std::vector<double> plc_rates(num_ext, 0.0);
+  // Per-extender per-user WiFi allocations (demand path only): the caps the
+  // TCP re-sharing respects when PLC throttles the cell.
+  std::vector<std::vector<std::size_t>> cell_users(any_demand ? num_ext : 0);
+  std::vector<std::vector<double>> cell_caps(any_demand ? num_ext : 0);
+  if (any_demand) {
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      const int e = assign.ExtenderOf(i);
+      if (e == Assignment::kUnassigned) continue;
+      cell_users[static_cast<std::size_t>(e)].push_back(i);
+    }
+  }
+  // Users camped on an extender whose power-line link is dead (c_j = 0,
+  // e.g. a failure injected mid-run) get zero end-to-end throughput; the
+  // extender consumes no PLC airtime.
+  std::vector<bool> dead_backhaul(num_ext, false);
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    plc_rates[j] = net.PlcRate(j);
+    if (load[j] == 0) continue;
+    ++result.active_extenders;
+    if (plc_rates[j] <= 0.0) {
+      dead_backhaul[j] = true;
+      continue;  // leave wifi_demand at 0 so the airtime allocator skips it
+    }
+    if (any_demand) {
+      std::vector<double> rates, demands;
+      rates.reserve(cell_users[j].size());
+      demands.reserve(cell_users[j].size());
+      for (std::size_t i : cell_users[j]) {
+        rates.push_back(net.WifiRate(i, j));
+        demands.push_back(net.UserDemand(i));
+      }
+      const CellAllocation alloc =
+          WifiCellAllocation(rates, demands, 1.0 / peers[j]);
+      wifi_demand[j] = alloc.total_mbps;
+      cell_caps[j] = alloc.user_throughput_mbps;
+    } else {
+      wifi_demand[j] =
+          static_cast<double>(load[j]) / inv_rate_sum[j] / peers[j];
+    }
+  }
+
+  // PLC side: airtime allocation, independently per contention domain
+  // (extenders on separate power-line segments do not share airtime; with
+  // the default single domain this is the paper's model verbatim).
+  plc::TimeShareResult shares;
+  shares.time_share.assign(num_ext, 0.0);
+  shares.throughput.assign(num_ext, 0.0);
+  std::vector<std::vector<std::size_t>> domain_members;
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
+    if (d >= domain_members.size()) domain_members.resize(d + 1);
+    domain_members[d].push_back(j);
+  }
+  for (const auto& members : domain_members) {
+    if (members.empty()) continue;
+    std::vector<double> d_rates, d_demand;
+    d_rates.reserve(members.size());
+    d_demand.reserve(members.size());
+    for (std::size_t j : members) {
+      d_rates.push_back(plc_rates[j]);
+      d_demand.push_back(wifi_demand[j]);
+    }
+    plc::TimeShareResult d_shares;
+    switch (options_.plc_sharing) {
+      case PlcSharing::kMaxMinActive:
+        d_shares = plc::MaxMinTimeShare(d_rates, d_demand);
+        break;
+      case PlcSharing::kEqualActive:
+        d_shares = plc::EqualTimeShare(d_rates, d_demand);
+        break;
+      case PlcSharing::kEqualAll: {
+        // Every extender of the domain owns 1/|A_d| of its airtime,
+        // whether or not it uses it.
+        d_shares.time_share.assign(members.size(), 0.0);
+        d_shares.throughput.assign(members.size(), 0.0);
+        const double share = 1.0 / static_cast<double>(members.size());
+        for (std::size_t k = 0; k < members.size(); ++k) {
+          if (d_demand[k] <= 0.0) continue;
+          d_shares.time_share[k] = share;
+          d_shares.throughput[k] =
+              std::min(d_demand[k], share * d_rates[k]);
+        }
+        break;
+      }
+    }
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      shares.time_share[members[k]] = d_shares.time_share[k];
+      shares.throughput[members[k]] = d_shares.throughput[k];
+    }
+  }
+
+  // Per-domain population counts for bottleneck attribution.
+  std::vector<int> domain_size(domain_members.size(), 0);
+  std::vector<int> domain_active(domain_members.size(), 0);
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
+    ++domain_size[d];
+    if (load[j] > 0) ++domain_active[d];
+  }
+
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    ExtenderReport& rep = result.extenders[j];
+    rep.num_users = load[j];
+    rep.wifi_throughput_mbps = wifi_demand[j];
+    rep.plc_time_share = shares.time_share[j];
+    rep.plc_throughput_mbps = shares.time_share[j] * plc_rates[j];
+    if (load[j] == 0) {
+      rep.bottleneck = Bottleneck::kIdle;
+      continue;
+    }
+    if (dead_backhaul[j]) {
+      rep.bottleneck = Bottleneck::kPlc;  // the backhaul delivers nothing
+      continue;
+    }
+    rep.end_to_end_mbps =
+        std::min(rep.wifi_throughput_mbps, rep.plc_throughput_mbps);
+    // Demand fully met -> the WiFi side limits (under max-min allocation a
+    // sated extender's airtime is capped at exactly its demand, so comparing
+    // wifi vs allocated-plc throughput would misread it as balanced). An
+    // extender is "balanced" only when its demand coincides with the equal
+    // airtime share it is entitled to within its contention domain.
+    const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
+    const double share_denominator =
+        options_.plc_sharing == PlcSharing::kEqualAll
+            ? static_cast<double>(domain_size[d])
+            : static_cast<double>(domain_active[d]);
+    const double equal_share_capacity = plc_rates[j] / share_denominator;
+    const bool demand_met = rep.end_to_end_mbps >=
+                            rep.wifi_throughput_mbps - kBalanceTolerance;
+    if (std::abs(rep.wifi_throughput_mbps - equal_share_capacity) <=
+        kBalanceTolerance) {
+      rep.bottleneck = Bottleneck::kBalanced;
+    } else {
+      rep.bottleneck = demand_met ? Bottleneck::kWifi : Bottleneck::kPlc;
+    }
+    result.aggregate_mbps += rep.end_to_end_mbps;
+  }
+
+  // TCP shares the extender's bottleneck throughput fairly among its users
+  // (§IV-A): equal split when everyone is saturated, max-min with each
+  // user's WiFi allocation as the cap otherwise.
+  if (any_demand) {
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      if (load[j] == 0 || dead_backhaul[j]) continue;
+      const std::vector<double> split = MaxMinWithCaps(
+          cell_caps[j], result.extenders[j].end_to_end_mbps);
+      for (std::size_t k = 0; k < cell_users[j].size(); ++k) {
+        result.user_throughput_mbps[cell_users[j][k]] = split[k];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      const int e = assign.ExtenderOf(i);
+      if (e == Assignment::kUnassigned) continue;
+      const ExtenderReport& rep =
+          result.extenders[static_cast<std::size_t>(e)];
+      result.user_throughput_mbps[i] =
+          rep.end_to_end_mbps / static_cast<double>(rep.num_users);
+    }
+  }
+  return result;
+}
+
+double Evaluator::AggregateThroughput(const Network& net,
+                                      const Assignment& assign) const {
+  return Evaluate(net, assign).aggregate_mbps;
+}
+
+}  // namespace wolt::model

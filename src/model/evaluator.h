@@ -1,0 +1,123 @@
+// Flow-level throughput engine: given a Network and an Assignment, compute
+// what every user and extender actually achieves end-to-end.
+//
+// Model (§III-A / §IV-A of the paper):
+//  * WiFi cell of extender j is throughput-fair (802.11 performance-anomaly
+//    behaviour, Eq. 1): every associated user gets the same WiFi throughput,
+//    so the cell's aggregate is T_WiFi_j = |N_j| / sum_{i in N_j} 1/r_ij.
+//  * The PLC backhaul is one time-fair contention domain shared by the
+//    *active* extenders. Under the real (evaluation) model, airtime unused
+//    by an extender whose WiFi demand is below its share is re-allocated
+//    max-min fairly (Fig. 3c); under the planning model used inside the
+//    optimization (Eq. 2), each active extender gets exactly 1/k of airtime.
+//  * Extender j's end-to-end throughput is min(T_WiFi_j, t_j * c_j), split
+//    equally among its users (saturated TCP fair sharing).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/network.h"
+
+namespace wolt::model {
+
+enum class Bottleneck {
+  kIdle,      // no users associated
+  kWifi,      // WiFi cell throughput below the PLC share
+  kPlc,       // PLC share below the WiFi cell throughput
+  kBalanced,  // equal within tolerance
+};
+
+const char* ToString(Bottleneck b);
+
+// How the single PLC contention domain divides airtime between extenders.
+enum class PlcSharing {
+  // Max-min fair airtime over the *active* extenders with demand caps —
+  // what the measurement study's hardware actually does (Fig. 2c time
+  // fairness + the Fig. 3c leftover re-allocation). The physical default.
+  kMaxMinActive,
+  // Strict 1/k shares over the active extenders, no leftover
+  // redistribution (ablation Abl-1).
+  kEqualActive,
+  // The paper's Problem-1 planning model taken literally: T_PLC_j =
+  // c_j / |A| with |A| = ALL extenders, idle or not (constraint (4)).
+  // Under this model activating every extender is always worthwhile, which
+  // is the regime in which the paper's simulation results (Fig. 6) arise.
+  kEqualAll,
+};
+
+const char* ToString(PlcSharing s);
+
+struct EvalOptions {
+  PlcSharing plc_sharing = PlcSharing::kMaxMinActive;
+  // Optional co-channel WiFi contention. Empty (default) models the paper's
+  // assumption that every extender has its own channel. When set (one
+  // domain id per extender, e.g. from wifi::ContentionDomains), active
+  // cells sharing a domain time-share the air: each cell's WiFi throughput
+  // is divided by the number of active cells in its domain.
+  std::vector<int> wifi_contention_domain;
+};
+
+struct ExtenderReport {
+  int num_users = 0;
+  double wifi_throughput_mbps = 0.0;  // T_WiFi_j
+  double plc_time_share = 0.0;        // t_j
+  double plc_throughput_mbps = 0.0;   // t_j * c_j (capacity made available)
+  double end_to_end_mbps = 0.0;       // min(T_WiFi_j, t_j * c_j)
+  Bottleneck bottleneck = Bottleneck::kIdle;
+};
+
+struct EvalResult {
+  std::vector<ExtenderReport> extenders;
+  std::vector<double> user_throughput_mbps;  // 0 for unassigned users
+  double aggregate_mbps = 0.0;               // objective (3) of Problem 1
+  int active_extenders = 0;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvalOptions options = {}) : options_(options) {}
+
+  // Full per-user / per-extender report. Throws std::invalid_argument if an
+  // assigned user has zero WiFi rate to its extender or the assignment
+  // references an unknown extender.
+  EvalResult Evaluate(const Network& net, const Assignment& assign) const;
+
+  // Aggregate end-to-end throughput only (same computation, convenience).
+  double AggregateThroughput(const Network& net,
+                             const Assignment& assign) const;
+
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  EvalOptions options_;
+};
+
+// The aggregate WiFi cell throughput T_WiFi_j for one extender given the
+// WiFi rates of its associated users (Eq. 1). Exposed for the Phase-II
+// solver which works purely on the WiFi side. Rates must all be positive.
+double WifiCellThroughput(const std::vector<double>& user_rates);
+
+// Demand-aware generalisation of Eq. 1: 802.11's long-term behaviour is an
+// equal-throughput level x across backlogged users, constrained by the
+// cell's unit airtime (sum x/r_i <= 1); users whose offered load d_i is
+// below the level are capped at d_i and release their airtime. demand 0
+// means saturated. Reduces exactly to Eq. 1 when everyone is saturated.
+struct CellAllocation {
+  std::vector<double> user_throughput_mbps;
+  double total_mbps = 0.0;
+};
+// `airtime` (fraction of the second the cell owns, 1.0 unless co-channel
+// contention shrinks it) scales the airtime budget.
+CellAllocation WifiCellAllocation(const std::vector<double>& user_rates,
+                                  const std::vector<double>& demands_mbps,
+                                  double airtime = 1.0);
+
+// Max-min fair division of `total` among users with finite caps: the TCP
+// re-sharing step when the PLC segment throttles a cell below its WiFi
+// throughput. The result sums to min(total, sum of caps).
+std::vector<double> MaxMinWithCaps(const std::vector<double>& caps,
+                                   double total);
+
+}  // namespace wolt::model

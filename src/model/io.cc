@@ -1,0 +1,247 @@
+#include "model/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace wolt::model {
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+void EmitDouble(std::ostream& out, double v) {
+  // %.17g round-trips doubles exactly.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+std::optional<double> ParseDouble(const std::string& s) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size() || std::isnan(v)) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::vector<double>> ParseDoubleList(const std::string& csv) {
+  std::vector<double> out;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const auto v = ParseDouble(item);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  return out;
+}
+
+// Parses "key=value" tokens from the remainder of a line.
+std::optional<std::unordered_map<std::string, std::string>> ParseKv(
+    std::istringstream& in) {
+  std::unordered_map<std::string, std::string> kv;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return kv;
+}
+
+}  // namespace
+
+void SaveNetwork(const Network& net, std::ostream& out) {
+  out << "wolt-network " << kFormatVersion << "\n";
+  out << "extenders " << net.NumExtenders() << "\n";
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    const Extender& e = net.ExtenderAt(j);
+    out << "extender " << j << " plc=";
+    EmitDouble(out, e.plc_rate_mbps);
+    out << " x=";
+    EmitDouble(out, e.position.x);
+    out << " y=";
+    EmitDouble(out, e.position.y);
+    out << " max_users=" << e.max_users;
+    if (e.plc_domain != 0) out << " domain=" << e.plc_domain;
+    if (!e.label.empty()) out << " label=" << e.label;
+    out << "\n";
+  }
+  out << "users " << net.NumUsers() << "\n";
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    const User& u = net.UserAt(i);
+    out << "user " << i << " x=";
+    EmitDouble(out, u.position.x);
+    out << " y=";
+    EmitDouble(out, u.position.y);
+    out << " demand=";
+    EmitDouble(out, u.demand_mbps);
+    if (!u.label.empty()) out << " label=" << u.label;
+    out << "\n";
+  }
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    out << "rates " << i << " ";
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      if (j) out << ',';
+      EmitDouble(out, net.WifiRate(i, j));
+    }
+    out << "\n";
+  }
+  if (net.HasRssi()) {
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      out << "rssi " << i << " ";
+      for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+        if (j) out << ',';
+        EmitDouble(out, net.Rssi(i, j));
+      }
+      out << "\n";
+    }
+  }
+}
+
+std::optional<Network> LoadNetwork(std::istream& in) {
+  std::string line;
+
+  const auto next_line = [&](std::istringstream& parsed) {
+    while (std::getline(in, line)) {
+      const std::size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      parsed = std::istringstream(line);
+      return true;
+    }
+    return false;
+  };
+
+  std::istringstream ls;
+  std::string word;
+  int version = 0;
+  if (!next_line(ls) || !(ls >> word >> version) || word != "wolt-network" ||
+      version != kFormatVersion) {
+    return std::nullopt;
+  }
+
+  std::size_t num_extenders = 0;
+  if (!next_line(ls) || !(ls >> word >> num_extenders) ||
+      word != "extenders" || num_extenders == 0) {
+    return std::nullopt;
+  }
+
+  Network net(0, num_extenders);
+  for (std::size_t j = 0; j < num_extenders; ++j) {
+    std::size_t index = 0;
+    if (!next_line(ls) || !(ls >> word >> index) || word != "extender" ||
+        index != j) {
+      return std::nullopt;
+    }
+    const auto kv = ParseKv(ls);
+    if (!kv || !kv->count("plc") || !kv->count("x") || !kv->count("y")) {
+      return std::nullopt;
+    }
+    const auto plc = ParseDouble(kv->at("plc"));
+    const auto x = ParseDouble(kv->at("x"));
+    const auto y = ParseDouble(kv->at("y"));
+    if (!plc || *plc < 0.0 || !x || !y) return std::nullopt;
+    net.SetPlcRate(j, *plc);
+    net.SetExtenderPosition(j, {*x, *y});
+    if (kv->count("max_users")) {
+      const auto mu = ParseDouble(kv->at("max_users"));
+      if (!mu || *mu < 0.0) return std::nullopt;
+      net.SetMaxUsers(j, static_cast<int>(*mu));
+    }
+    if (kv->count("domain")) {
+      const auto dom = ParseDouble(kv->at("domain"));
+      if (!dom || *dom < 0.0) return std::nullopt;
+      net.SetPlcDomain(j, static_cast<int>(*dom));
+    }
+    if (kv->count("label")) net.SetExtenderLabel(j, kv->at("label"));
+  }
+
+  std::size_t num_users = 0;
+  if (!next_line(ls) || !(ls >> word >> num_users) || word != "users") {
+    return std::nullopt;
+  }
+
+  std::vector<User> users(num_users);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    std::size_t index = 0;
+    if (!next_line(ls) || !(ls >> word >> index) || word != "user" ||
+        index != i) {
+      return std::nullopt;
+    }
+    const auto kv = ParseKv(ls);
+    if (!kv || !kv->count("x") || !kv->count("y") || !kv->count("demand")) {
+      return std::nullopt;
+    }
+    const auto x = ParseDouble(kv->at("x"));
+    const auto y = ParseDouble(kv->at("y"));
+    const auto demand = ParseDouble(kv->at("demand"));
+    if (!x || !y || !demand || *demand < 0.0) return std::nullopt;
+    users[i].position = {*x, *y};
+    users[i].demand_mbps = *demand;
+    if (kv->count("label")) users[i].label = kv->at("label");
+  }
+
+  for (std::size_t i = 0; i < num_users; ++i) {
+    std::size_t index = 0;
+    std::string csv;
+    if (!next_line(ls) || !(ls >> word >> index >> csv) || word != "rates" ||
+        index != i) {
+      return std::nullopt;
+    }
+    const auto rates = ParseDoubleList(csv);
+    if (!rates || rates->size() != num_extenders) return std::nullopt;
+    for (double r : *rates) {
+      if (r < 0.0) return std::nullopt;
+    }
+    net.AddUser(users[i], *rates);
+  }
+
+  // Optional RSSI block.
+  for (std::size_t i = 0; i < num_users; ++i) {
+    std::size_t index = 0;
+    std::string csv;
+    if (!next_line(ls)) {
+      if (i == 0) break;  // no RSSI block at all
+      return std::nullopt;  // partial block
+    }
+    if (!(ls >> word >> index >> csv) || word != "rssi" || index != i) {
+      return std::nullopt;
+    }
+    const auto rssi = ParseDoubleList(csv);
+    if (!rssi || rssi->size() != num_extenders) return std::nullopt;
+    for (std::size_t j = 0; j < num_extenders; ++j) {
+      net.SetRssi(i, j, (*rssi)[j]);
+    }
+  }
+  return net;
+}
+
+bool SaveNetworkFile(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  SaveNetwork(net, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Network> LoadNetworkFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return LoadNetwork(in);
+}
+
+std::string NetworkToString(const Network& net) {
+  std::ostringstream out;
+  SaveNetwork(net, out);
+  return out.str();
+}
+
+std::optional<Network> NetworkFromString(const std::string& text) {
+  std::istringstream in(text);
+  return LoadNetwork(in);
+}
+
+}  // namespace wolt::model

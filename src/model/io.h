@@ -1,0 +1,38 @@
+// Plain-text serialization of Network instances, so measured deployments
+// and generated scenarios can be stored, diffed, and replayed byte-for-byte
+// (the scenario files under a real CC's /etc would use exactly this).
+//
+// Format (line-oriented, '#' comments allowed):
+//   wolt-network 1
+//   extenders <n>
+//   extender <j> plc=<mbps> x=<m> y=<m> max_users=<k> [label=<str>]
+//   users <n>
+//   user <i> x=<m> y=<m> demand=<mbps> [label=<str>]
+//   rates <i> <r0>,<r1>,...        # one row per user
+//   rssi <i> <v0>,<v1>,...         # optional rows
+// Labels must not contain whitespace.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "model/network.h"
+
+namespace wolt::model {
+
+// Serialize to a stream / parse back. Load returns nullopt on any syntax
+// or consistency error (wrong counts, bad numbers, out-of-range indices).
+void SaveNetwork(const Network& net, std::ostream& out);
+std::optional<Network> LoadNetwork(std::istream& in);
+
+// File convenience wrappers. SaveNetworkFile returns false if the file
+// cannot be written.
+bool SaveNetworkFile(const Network& net, const std::string& path);
+std::optional<Network> LoadNetworkFile(const std::string& path);
+
+// Round-trip helper used by tests: serialize to a string.
+std::string NetworkToString(const Network& net);
+std::optional<Network> NetworkFromString(const std::string& text);
+
+}  // namespace wolt::model

@@ -1,0 +1,149 @@
+#include "model/network.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wolt::model {
+
+double Distance(const Position& a, const Position& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+namespace {
+constexpr double kNoRssi = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+Network::Network(std::size_t num_users, std::size_t num_extenders)
+    : users_(num_users),
+      extenders_(num_extenders),
+      rates_(num_users * num_extenders, 0.0),
+      rssi_(num_users * num_extenders, kNoRssi) {}
+
+void Network::SetWifiRate(std::size_t user, std::size_t extender, double mbps) {
+  if (mbps < 0.0) throw std::invalid_argument("negative WiFi rate");
+  rates_.at(user * NumExtenders() + extender) = mbps;
+}
+
+void Network::SetRssi(std::size_t user, std::size_t extender, double dbm) {
+  rssi_.at(user * NumExtenders() + extender) = dbm;
+  has_rssi_ = true;
+}
+
+double Network::Rssi(std::size_t user, std::size_t extender) const {
+  return rssi_.at(user * NumExtenders() + extender);
+}
+
+void Network::SetPlcRate(std::size_t extender, double mbps) {
+  if (mbps < 0.0) throw std::invalid_argument("negative PLC rate");
+  extenders_.at(extender).plc_rate_mbps = mbps;
+}
+
+void Network::SetMaxUsers(std::size_t extender, int max_users) {
+  extenders_.at(extender).max_users = max_users;
+}
+
+void Network::SetPlcDomain(std::size_t extender, int domain) {
+  if (domain < 0) throw std::invalid_argument("negative PLC domain");
+  extenders_.at(extender).plc_domain = domain;
+}
+
+int Network::PlcDomain(std::size_t extender) const {
+  return extenders_.at(extender).plc_domain;
+}
+
+void Network::SetUserPosition(std::size_t user, Position p) {
+  users_.at(user).position = p;
+}
+
+void Network::SetUserDemand(std::size_t user, double mbps) {
+  if (mbps < 0.0) throw std::invalid_argument("negative demand");
+  users_.at(user).demand_mbps = mbps;
+}
+
+double Network::UserDemand(std::size_t user) const {
+  return users_.at(user).demand_mbps;
+}
+
+void Network::SetExtenderPosition(std::size_t extender, Position p) {
+  extenders_.at(extender).position = p;
+}
+
+void Network::SetUserLabel(std::size_t user, std::string label) {
+  users_.at(user).label = std::move(label);
+}
+
+void Network::SetExtenderLabel(std::size_t extender, std::string label) {
+  extenders_.at(extender).label = std::move(label);
+}
+
+double Network::WifiRate(std::size_t user, std::size_t extender) const {
+  return rates_.at(user * NumExtenders() + extender);
+}
+
+double Network::PlcRate(std::size_t extender) const {
+  return extenders_.at(extender).plc_rate_mbps;
+}
+
+int Network::MaxUsers(std::size_t extender) const {
+  return extenders_.at(extender).max_users;
+}
+
+bool Network::UserReachable(std::size_t user) const {
+  for (std::size_t j = 0; j < NumExtenders(); ++j) {
+    if (WifiRate(user, j) > 0.0) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> Network::BestRateExtender(std::size_t user) const {
+  std::optional<std::size_t> best;
+  double best_rate = 0.0;
+  for (std::size_t j = 0; j < NumExtenders(); ++j) {
+    const double r = WifiRate(user, j);
+    if (r > best_rate) {
+      best_rate = r;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> Network::BestRssiExtender(std::size_t user) const {
+  if (!has_rssi_) return BestRateExtender(user);
+  std::optional<std::size_t> best;
+  double best_rssi = kNoRssi;
+  for (std::size_t j = 0; j < NumExtenders(); ++j) {
+    if (WifiRate(user, j) <= 0.0) continue;
+    const double r = Rssi(user, j);
+    if (!best || r > best_rssi) {
+      best_rssi = r;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::size_t Network::AddUser(const User& user,
+                             const std::vector<double>& rates) {
+  if (rates.size() != NumExtenders()) {
+    throw std::invalid_argument("rate row size != number of extenders");
+  }
+  users_.push_back(user);
+  rates_.insert(rates_.end(), rates.begin(), rates.end());
+  rssi_.insert(rssi_.end(), NumExtenders(), kNoRssi);
+  return users_.size() - 1;
+}
+
+void Network::RemoveUser(std::size_t user) {
+  if (user >= NumUsers()) throw std::out_of_range("user index");
+  const auto row = rates_.begin() +
+                   static_cast<std::ptrdiff_t>(user * NumExtenders());
+  rates_.erase(row, row + static_cast<std::ptrdiff_t>(NumExtenders()));
+  const auto rssi_row = rssi_.begin() +
+                        static_cast<std::ptrdiff_t>(user * NumExtenders());
+  rssi_.erase(rssi_row, rssi_row + static_cast<std::ptrdiff_t>(NumExtenders()));
+  users_.erase(users_.begin() + static_cast<std::ptrdiff_t>(user));
+}
+
+}  // namespace wolt::model

@@ -1,0 +1,52 @@
+#include "plc/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wolt::plc {
+
+ChannelModel::ChannelModel(ChannelModelParams params) : params_(params) {
+  if (params_.num_subcarriers <= 0 || params_.mimo_streams <= 0) {
+    throw std::invalid_argument("bad subcarrier/stream counts");
+  }
+  if (params_.band_high_mhz <= params_.band_low_mhz) {
+    throw std::invalid_argument("bad frequency band");
+  }
+}
+
+double ChannelModel::SnrDb(const PlcPath& path, double freq_mhz) const {
+  const double atten_per_m = params_.atten_db_per_m_base +
+                             params_.atten_db_per_m_per_mhz * freq_mhz;
+  return params_.snr0_db - atten_per_m * std::max(path.wire_length_m, 0.0) -
+         params_.branch_loss_db * static_cast<double>(path.branch_taps) +
+         path.shadowing_db;
+}
+
+int ChannelModel::BitsPerCarrier(double snr_db) const {
+  const double effective_db = snr_db - params_.shannon_gap_db;
+  const double snr_lin = std::pow(10.0, effective_db / 10.0);
+  const int bits = static_cast<int>(std::floor(std::log2(1.0 + snr_lin)));
+  return std::clamp(bits, 0, params_.max_bits_per_carrier);
+}
+
+double ChannelModel::PhyRateMbps(const PlcPath& path) const {
+  const int n = params_.num_subcarriers;
+  const double step =
+      (params_.band_high_mhz - params_.band_low_mhz) / static_cast<double>(n);
+  long total_bits_per_symbol = 0;
+  for (int k = 0; k < n; ++k) {
+    const double freq = params_.band_low_mhz + (static_cast<double>(k) + 0.5) * step;
+    total_bits_per_symbol += BitsPerCarrier(SnrDb(path, freq));
+  }
+  const double bits_per_second = static_cast<double>(total_bits_per_symbol) *
+                                 params_.symbol_rate_ksym_s * 1e3 *
+                                 static_cast<double>(params_.mimo_streams);
+  return bits_per_second * params_.fec_efficiency / 1e6;
+}
+
+double ChannelModel::CapacityMbps(const PlcPath& path) const {
+  return PhyRateMbps(path) * params_.mac_tcp_efficiency;
+}
+
+}  // namespace wolt::plc

@@ -1,0 +1,70 @@
+// Physical PLC channel model (HomePlug-AV2 style) producing per-link
+// isolation capacities.
+//
+// The paper measures its PLC capacities on TP-Link TL-WPA8630 ("AV1200")
+// hardware and observes isolation TCP throughputs of 60-160 Mbit/s across
+// building outlets (Fig. 2b). We do not have that hardware, so this module
+// synthesises capacities from first principles: OFDM subcarriers spanning
+// 1.8-86.13 MHz, per-subcarrier SNR that decays with wire length (stronger
+// at higher frequencies, the dominant effect on power-line channels) and
+// with the number of branch taps, bit loading via a Shannon-gap rule capped
+// at 4096-QAM, two MIMO streams, FEC and MAC/TCP overhead factors. Constants
+// are calibrated (tests/plc_channel_test.cc) so that typical office wire
+// runs of 5-80 m with 0-4 branch taps reproduce the measured 60-160 Mbit/s
+// band.
+#pragma once
+
+#include "util/rng.h"
+
+namespace wolt::plc {
+
+struct ChannelModelParams {
+  int num_subcarriers = 917;        // spaced over the band below
+  double band_low_mhz = 1.8;
+  double band_high_mhz = 86.13;     // AV2 extended band
+  int mimo_streams = 2;             // AV2 MIMO over L/N/PE pairs
+  double symbol_rate_ksym_s = 24.4; // OFDM symbols per second (thousands)
+  int max_bits_per_carrier = 12;    // 4096-QAM
+  double snr0_db = 38.0;            // injected SNR at zero length, low freq
+  double atten_db_per_m_base = 0.08;        // frequency-independent part
+  double atten_db_per_m_per_mhz = 0.010;    // frequency-dependent slope
+  double branch_loss_db = 3.0;      // per branch tap on the path
+  double shannon_gap_db = 6.0;      // coding gap for practical QAM
+  double fec_efficiency = 0.8;
+  double mac_tcp_efficiency = 0.5;  // PHY -> saturated TCP goodput
+};
+
+// A power-line path between the master router's central unit and one
+// extender outlet.
+struct PlcPath {
+  double wire_length_m = 20.0;
+  int branch_taps = 1;
+  // Lognormal shadowing term (dB) capturing appliance noise and wiring
+  // idiosyncrasies; sampled by the caller (0 = nominal).
+  double shadowing_db = 0.0;
+};
+
+class ChannelModel {
+ public:
+  explicit ChannelModel(ChannelModelParams params = {});
+
+  // PHY bit rate (Mbit/s) after bit loading and FEC, before MAC overhead.
+  double PhyRateMbps(const PlcPath& path) const;
+
+  // Saturated TCP goodput (Mbit/s) of the link in isolation — the quantity
+  // the paper calls the PLC link's capacity c_j.
+  double CapacityMbps(const PlcPath& path) const;
+
+  // Per-subcarrier SNR in dB at the given subcarrier frequency.
+  double SnrDb(const PlcPath& path, double freq_mhz) const;
+
+  // Bits loaded on one subcarrier at the given SNR.
+  int BitsPerCarrier(double snr_db) const;
+
+  const ChannelModelParams& params() const { return params_; }
+
+ private:
+  ChannelModelParams params_;
+};
+
+}  // namespace wolt::plc

@@ -1,0 +1,160 @@
+#include "plc/csma1901.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wolt::plc {
+namespace {
+
+double SuccessCycleUs(const Csma1901Params& p) {
+  return p.prs_us + p.cifs_us + p.frame_us + p.rifs_us + p.sack_us;
+}
+
+}  // namespace
+
+double IsolationThroughput(double link_rate_mbps,
+                           const Csma1901Params& params) {
+  if (link_rate_mbps <= 0.0) throw std::invalid_argument("non-positive rate");
+  const double avg_backoff_us =
+      static_cast<double>(params.cw[0]) / 2.0 * params.slot_us;
+  const double cycle = SuccessCycleUs(params) + avg_backoff_us;
+  const double payload_us = params.frame_us * params.payload_efficiency;
+  return link_rate_mbps * payload_us / cycle;
+}
+
+Csma1901Result SimulateCsma1901(std::span<const double> link_rates_mbps,
+                                double duration_s,
+                                const Csma1901Params& params,
+                                util::Rng& rng) {
+  const std::vector<int> equal(link_rates_mbps.size(), 1);
+  return SimulateCsma1901(link_rates_mbps, equal, duration_s, params, rng);
+}
+
+Csma1901Result SimulateCsma1901(std::span<const double> link_rates_mbps,
+                                std::span<const int> priorities,
+                                double duration_s,
+                                const Csma1901Params& params,
+                                util::Rng& rng) {
+  const std::size_t n = link_rates_mbps.size();
+  if (n == 0) throw std::invalid_argument("no stations");
+  if (priorities.size() != n) {
+    throw std::invalid_argument("priorities size mismatch");
+  }
+  for (double r : link_rates_mbps) {
+    if (r <= 0.0) throw std::invalid_argument("non-positive link rate");
+  }
+  for (int p : priorities) {
+    if (p < 0 || p > 3) throw std::invalid_argument("priority outside CA0-3");
+  }
+
+  // Priority resolution (PRS0/PRS1) precedes every frame and every
+  // backlogged station signals its class, so with saturated stations only
+  // the highest class present ever contends — strict preemption starves
+  // the lower classes completely. Restrict the contention set up front.
+  int top_priority = 0;
+  for (int p : priorities) top_priority = std::max(top_priority, p);
+  std::vector<std::size_t> contender_ids;
+  std::vector<double> contender_rates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (priorities[i] == top_priority) {
+      contender_ids.push_back(i);
+      contender_rates.push_back(link_rates_mbps[i]);
+    }
+  }
+  if (contender_ids.size() < n) {
+    Csma1901Result inner = SimulateCsma1901(
+        contender_rates, duration_s, params, rng);
+    Csma1901Result result;
+    result.stations.resize(n);
+    result.aggregate_mbps = inner.aggregate_mbps;
+    result.collision_events = inner.collision_events;
+    result.sim_time_s = inner.sim_time_s;
+    for (std::size_t k = 0; k < contender_ids.size(); ++k) {
+      result.stations[contender_ids[k]] = inner.stations[k];
+    }
+    return result;
+  }
+
+  struct Station {
+    int stage = 0;
+    int backoff = 0;
+    int deferral = 0;
+  };
+  const int num_stages = static_cast<int>(params.cw.size());
+  std::vector<Station> stations(n);
+  auto enter_stage = [&](Station& st, int stage) {
+    st.stage = std::min(stage, num_stages - 1);
+    st.backoff =
+        rng.UniformInt(0, params.cw[static_cast<std::size_t>(st.stage)]);
+    st.deferral = params.dc[static_cast<std::size_t>(st.stage)];
+  };
+  for (auto& st : stations) enter_stage(st, 0);
+
+  Csma1901Result result;
+  result.stations.resize(n);
+  std::vector<double> busy_us(n, 0.0);
+
+  const double duration_us = duration_s * 1e6;
+  double now_us = 0.0;
+  std::vector<std::size_t> ready;
+  while (now_us < duration_us) {
+    ready.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stations[i].backoff == 0) ready.push_back(i);
+    }
+    if (ready.empty()) {
+      for (auto& st : stations) --st.backoff;
+      now_us += params.slot_us;
+      continue;
+    }
+
+    const double busy_duration = SuccessCycleUs(params);
+    now_us += busy_duration;
+
+    if (ready.size() == 1) {
+      const std::size_t tx = ready.front();
+      busy_us[tx] += busy_duration;
+      ++result.stations[tx].successes;
+      enter_stage(stations[tx], 0);
+    } else {
+      ++result.collision_events;
+      for (std::size_t i : ready) {
+        ++result.stations[i].collisions;
+        enter_stage(stations[i], stations[i].stage + 1);
+      }
+    }
+
+    // All stations that sensed the busy medium decrement their deferral
+    // counter; exhausting it jumps them to the next stage — the 1901
+    // mechanism that curbs collisions without an actual collision.
+    for (std::size_t i = 0; i < n; ++i) {
+      Station& st = stations[i];
+      if (st.backoff == 0) continue;  // was a transmitter this round
+      if (st.deferral == 0) {
+        ++result.stations[i].deferral_jumps;
+        enter_stage(st, st.stage + 1);
+      } else {
+        --st.deferral;
+        --st.backoff;
+      }
+    }
+  }
+
+  result.sim_time_s = now_us / 1e6;
+  double total_busy_us = 0.0;
+  for (double b : busy_us) total_busy_us += b;
+  const double payload_fraction =
+      params.frame_us * params.payload_efficiency / SuccessCycleUs(params);
+  for (std::size_t i = 0; i < n; ++i) {
+    PlcStationResult& st = result.stations[i];
+    // Bits delivered = airtime spent in this station's successful cycles,
+    // times the payload fraction of a cycle, times the link's own rate.
+    st.throughput_mbps = busy_us[i] * payload_fraction * link_rates_mbps[i] /
+                         now_us;
+    st.airtime_share = total_busy_us > 0.0 ? busy_us[i] / total_busy_us : 0.0;
+    result.aggregate_mbps += st.throughput_mbps;
+  }
+  return result;
+}
+
+}  // namespace wolt::plc

@@ -1,0 +1,138 @@
+#include "plc/tdma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wolt::plc {
+namespace {
+
+// Largest-remainder apportionment of `slots` among members of `who`
+// proportional to `weights`. Returns per-member slot counts.
+std::vector<int> Apportion(int slots, const std::vector<std::size_t>& who,
+                           std::span<const double> weights) {
+  std::vector<int> out(who.size(), 0);
+  double total_weight = 0.0;
+  for (std::size_t k = 0; k < who.size(); ++k) total_weight += weights[who[k]];
+  if (total_weight <= 0.0 || slots <= 0) return out;
+
+  std::vector<double> remainder(who.size(), 0.0);
+  int assigned = 0;
+  for (std::size_t k = 0; k < who.size(); ++k) {
+    const double quota =
+        static_cast<double>(slots) * weights[who[k]] / total_weight;
+    out[k] = static_cast<int>(std::floor(quota));
+    remainder[k] = quota - std::floor(quota);
+    assigned += out[k];
+  }
+  // Hand the leftover slots to the largest remainders (stable tie-break by
+  // index).
+  std::vector<std::size_t> order(who.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (remainder[a] != remainder[b]) return remainder[a] > remainder[b];
+    return a < b;
+  });
+  for (std::size_t k = 0; assigned < slots && k < order.size(); ++k) {
+    ++out[order[k]];
+    ++assigned;
+  }
+  return out;
+}
+
+}  // namespace
+
+TdmaSchedule ScheduleTdma(std::span<const double> rates_mbps,
+                          std::span<const double> demands_mbps,
+                          std::span<const double> weights,
+                          const TdmaParams& params) {
+  const std::size_t n = rates_mbps.size();
+  if (demands_mbps.size() != n || weights.size() != n) {
+    throw std::invalid_argument("input size mismatch");
+  }
+  if (params.slots_per_beacon <= 0) {
+    throw std::invalid_argument("need at least one slot per beacon");
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (rates_mbps[j] < 0.0 || demands_mbps[j] < 0.0 || weights[j] < 0.0) {
+      throw std::invalid_argument("negative input");
+    }
+    if (demands_mbps[j] > 0.0 &&
+        (rates_mbps[j] <= 0.0 || weights[j] <= 0.0)) {
+      throw std::invalid_argument(
+          "backlogged extender needs positive rate and weight");
+    }
+  }
+
+  TdmaSchedule schedule;
+  schedule.slots.assign(n, 0);
+  schedule.time_share.assign(n, 0.0);
+  schedule.throughput.assign(n, 0.0);
+
+  const int total_slots = params.slots_per_beacon;
+  // Slots an extender needs to carry its full demand, clamped to the beacon
+  // (a saturated demand would otherwise overflow the integer conversion).
+  const auto needed_slots = [&](std::size_t j) {
+    const double raw = std::ceil(demands_mbps[j] *
+                                 static_cast<double>(total_slots) /
+                                 rates_mbps[j]);
+    return static_cast<int>(
+        std::min(raw, static_cast<double>(total_slots)));
+  };
+
+  std::vector<std::size_t> backlogged;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (demands_mbps[j] > 0.0) backlogged.push_back(j);
+  }
+
+  int remaining = total_slots;
+  // Each round sates at least one extender or terminates: O(n) rounds.
+  while (!backlogged.empty() && remaining > 0) {
+    const std::vector<int> share = Apportion(remaining, backlogged, weights);
+    std::vector<std::size_t> still;
+    bool any_sated = false;
+    for (std::size_t k = 0; k < backlogged.size(); ++k) {
+      const std::size_t j = backlogged[k];
+      const int need = needed_slots(j) - schedule.slots[j];
+      if (need <= share[k]) {
+        schedule.slots[j] += std::max(need, 0);
+        any_sated = true;
+      } else {
+        still.push_back(j);
+      }
+    }
+    int used = 0;
+    for (std::size_t j = 0; j < n; ++j) used += schedule.slots[j];
+    remaining = total_slots - used;
+    if (!any_sated) {
+      // Final round: hand out the remainder proportionally and stop.
+      const std::vector<int> final_share =
+          Apportion(remaining, still, weights);
+      for (std::size_t k = 0; k < still.size(); ++k) {
+        schedule.slots[still[k]] += final_share[k];
+      }
+      remaining = 0;
+      break;
+    }
+    backlogged = std::move(still);
+  }
+  schedule.unused_slots = remaining;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    schedule.time_share[j] = static_cast<double>(schedule.slots[j]) /
+                             static_cast<double>(total_slots);
+    schedule.throughput[j] =
+        std::min(demands_mbps[j], schedule.time_share[j] * rates_mbps[j]);
+  }
+  return schedule;
+}
+
+TdmaSchedule ScheduleTdmaEqual(std::span<const double> rates_mbps,
+                               std::span<const double> demands_mbps,
+                               const TdmaParams& params) {
+  const std::vector<double> weights(rates_mbps.size(), 1.0);
+  return ScheduleTdma(rates_mbps, demands_mbps, weights, params);
+}
+
+}  // namespace wolt::plc

@@ -1,0 +1,46 @@
+// IEEE 1901 TDMA mode.
+//
+// Besides CSMA/CA, the 1901 standard provides a TDMA-based, QoS-capable
+// access mode in which a schedule of fixed slots per beacon period is
+// allocated to stations (§II of the paper). This module implements a
+// weighted slot scheduler: each extender receives slots proportional to its
+// weight via largest-remainder apportionment, demand-capped slots are
+// re-apportioned to backlogged extenders, and the resulting quantized
+// airtime shares converge to the fluid max-min allocation as the number of
+// slots per beacon grows. It provides the substrate for QoS-weighted
+// backhaul sharing — a knob CSMA's time fairness does not offer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wolt::plc {
+
+struct TdmaParams {
+  // Slots per beacon period (HomePlug AV beacon = 33.33 ms; ~50 usable
+  // allocation slots is a realistic granularity).
+  int slots_per_beacon = 50;
+};
+
+struct TdmaSchedule {
+  std::vector<int> slots;          // per extender, sums to <= slots_per_beacon
+  std::vector<double> time_share;  // slots / slots_per_beacon
+  std::vector<double> throughput;  // min(demand, share * rate) per extender
+  int unused_slots = 0;            // slots no backlogged extender could use
+};
+
+// Build a schedule for extenders with PLC link rates `rates_mbps`, offered
+// loads `demands_mbps` and QoS weights `weights` (all same length; weights
+// must be positive where demand is positive). Zero-demand extenders get no
+// slots. Deterministic.
+TdmaSchedule ScheduleTdma(std::span<const double> rates_mbps,
+                          std::span<const double> demands_mbps,
+                          std::span<const double> weights,
+                          const TdmaParams& params = {});
+
+// Convenience: equal weights (pure time fairness, the CSMA-like default).
+TdmaSchedule ScheduleTdmaEqual(std::span<const double> rates_mbps,
+                               std::span<const double> demands_mbps,
+                               const TdmaParams& params = {});
+
+}  // namespace wolt::plc

@@ -1,0 +1,100 @@
+#include "plc/timeshare.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wolt::plc {
+namespace {
+
+void CheckInputs(std::span<const double> rates,
+                 std::span<const double> demands) {
+  if (rates.size() != demands.size()) {
+    throw std::invalid_argument("rates/demands size mismatch");
+  }
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    if (rates[j] < 0.0 || demands[j] < 0.0) {
+      throw std::invalid_argument("negative rate or demand");
+    }
+    if (demands[j] > 0.0 && rates[j] <= 0.0) {
+      throw std::invalid_argument("positive demand on zero-rate PLC link");
+    }
+  }
+}
+
+}  // namespace
+
+TimeShareResult MaxMinTimeShare(std::span<const double> rates_mbps,
+                                std::span<const double> demands_mbps) {
+  CheckInputs(rates_mbps, demands_mbps);
+  const std::size_t n = rates_mbps.size();
+  TimeShareResult result;
+  result.time_share.assign(n, 0.0);
+  result.throughput.assign(n, 0.0);
+
+  std::vector<std::size_t> backlogged;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (demands_mbps[j] > 0.0) backlogged.push_back(j);
+  }
+
+  double remaining_time = 1.0;
+  // Each round either sates at least one extender or terminates, so this
+  // loop runs at most n times.
+  while (!backlogged.empty() && remaining_time > 0.0) {
+    const double share = remaining_time / static_cast<double>(backlogged.size());
+    std::vector<std::size_t> still_backlogged;
+    bool any_sated = false;
+    for (std::size_t j : backlogged) {
+      const double needed_time = demands_mbps[j] / rates_mbps[j];
+      if (needed_time <= share) {
+        // Demand fits: cap airtime at exactly what is needed.
+        result.time_share[j] += needed_time;
+        any_sated = true;
+      } else {
+        still_backlogged.push_back(j);
+      }
+    }
+    if (!any_sated) {
+      // No one sated: split the remaining time equally and stop.
+      for (std::size_t j : still_backlogged) result.time_share[j] += share;
+      remaining_time = 0.0;
+      break;
+    }
+    // Recompute the time left after the newly sated extenders took their cut.
+    double used = 0.0;
+    for (std::size_t j = 0; j < n; ++j) used += result.time_share[j];
+    remaining_time = std::max(0.0, 1.0 - used);
+    backlogged = std::move(still_backlogged);
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    result.throughput[j] =
+        std::min(demands_mbps[j], result.time_share[j] * rates_mbps[j]);
+  }
+  return result;
+}
+
+TimeShareResult EqualTimeShare(std::span<const double> rates_mbps,
+                               std::span<const double> demands_mbps) {
+  CheckInputs(rates_mbps, demands_mbps);
+  const std::size_t n = rates_mbps.size();
+  TimeShareResult result;
+  result.time_share.assign(n, 0.0);
+  result.throughput.assign(n, 0.0);
+
+  std::size_t active = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (demands_mbps[j] > 0.0) ++active;
+  }
+  if (active == 0) return result;
+
+  const double share = 1.0 / static_cast<double>(active);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (demands_mbps[j] <= 0.0) continue;
+    result.time_share[j] = share;
+    result.throughput[j] =
+        std::min(demands_mbps[j], share * rates_mbps[j]);
+  }
+  return result;
+}
+
+}  // namespace wolt::plc

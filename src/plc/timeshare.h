@@ -1,0 +1,42 @@
+// Time-fair sharing of the single PLC contention domain (§III-A).
+//
+// The measurement study shows the 1901 MAC shares the power-line medium in a
+// time-fair way: with k active extenders each gets ~1/k of airtime (Fig. 2c),
+// and airtime left unused by an extender whose WiFi side demands less than
+// its share is re-allocated to the still-backlogged extenders (the Fig. 3c
+// greedy case: extender 1 uses only half its share, the leftover quarter of
+// total time flows to extender 2). That behaviour is exactly max-min fair
+// airtime allocation with demand caps, computed here by progressive filling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wolt::plc {
+
+struct TimeShareResult {
+  // Airtime fraction t_j given to each extender (sums to <= 1; equals 1
+  // unless every extender's demand is satisfied early).
+  std::vector<double> time_share;
+  // Delivered PLC throughput min(d_j, t_j * c_j) per extender (Mbit/s).
+  std::vector<double> throughput;
+};
+
+// Max-min fair airtime allocation over one shared medium.
+//   rates_mbps[j]   = c_j, PLC PHY/isolation rate of extender j's link.
+//   demands_mbps[j] = d_j, offered load (the extender's aggregate WiFi
+//                     throughput); an extender demanding 0 gets no airtime.
+// Progressive filling: start from equal shares of the remaining time among
+// backlogged extenders; extenders whose demand fits within their share are
+// capped at exactly d_j/c_j airtime and the surplus is re-split among the
+// rest, until shares stabilise.
+TimeShareResult MaxMinTimeShare(std::span<const double> rates_mbps,
+                                std::span<const double> demands_mbps);
+
+// The planning model used inside Problem 1 / Phase I (Eq. 2): every active
+// extender gets exactly 1/k of airtime, no leftover redistribution.
+// Extenders with zero demand are idle and excluded from k.
+TimeShareResult EqualTimeShare(std::span<const double> rates_mbps,
+                               std::span<const double> demands_mbps);
+
+}  // namespace wolt::plc

@@ -1,0 +1,40 @@
+#include "sim/des.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wolt::sim {
+
+void EventQueue::ScheduleAt(double when, Callback fn) {
+  if (when < now_) throw std::invalid_argument("scheduling into the past");
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(double delay, Callback fn) {
+  if (delay < 0.0) throw std::invalid_argument("negative delay");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; the event is copied out before pop so the
+  // callback may schedule further events safely.
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.when;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(double deadline) {
+  while (!events_.empty() && events_.top().when <= deadline) {
+    RunNext();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::Clear() {
+  while (!events_.empty()) events_.pop();
+}
+
+}  // namespace wolt::sim

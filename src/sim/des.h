@@ -1,0 +1,56 @@
+// Minimal discrete-event simulation engine: a time-ordered event queue with
+// deterministic FIFO tie-breaking. Drives the dynamic user arrival/departure
+// process (sim/dynamics); the slot-level MAC simulators advance time
+// directly and do not need a queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wolt::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedule `fn` at absolute time `when` (must be >= Now()).
+  void ScheduleAt(double when, Callback fn);
+  // Schedule `fn` `delay` time units from now (delay >= 0).
+  void ScheduleAfter(double delay, Callback fn);
+
+  double Now() const { return now_; }
+  bool Empty() const { return events_.empty(); }
+  std::size_t Pending() const { return events_.size(); }
+
+  // Pop and run the earliest event. Returns false if none remain.
+  bool RunNext();
+
+  // Run events until the queue empties or the next event is past `deadline`;
+  // clock ends at min(deadline, last event time). Events scheduled by
+  // running events are processed too.
+  void RunUntil(double deadline);
+
+  // Drop all pending events (the clock is unchanged).
+  void Clear();
+
+ private:
+  struct Event {
+    double when = 0.0;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wolt::sim

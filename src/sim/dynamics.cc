@@ -1,0 +1,121 @@
+#include "sim/dynamics.h"
+
+#include <stdexcept>
+
+#include "sim/des.h"
+#include "util/stats.h"
+
+namespace wolt::sim {
+
+std::vector<EpochStats> RunDynamicSimulation(
+    const ScenarioGenerator& generator,
+    const std::vector<core::AssociationPolicy*>& policies,
+    const DynamicsParams& params, util::Rng& rng) {
+  if (policies.empty()) throw std::invalid_argument("no policies");
+  if (params.arrival_rate <= 0.0 || params.epoch_length <= 0.0 ||
+      params.epochs <= 0) {
+    throw std::invalid_argument("bad dynamics parameters");
+  }
+
+  // Start with extenders only; the arrival process populates users.
+  ScenarioParams scenario = generator.params();
+  scenario.num_users = 0;
+  ScenarioGenerator empty_gen(scenario);
+  model::Network net = empty_gen.Generate(rng);
+
+  std::vector<model::Assignment> assignments(
+      policies.size(), model::Assignment(net.NumUsers()));
+  const model::Evaluator evaluator(params.eval);
+
+  EventQueue queue;
+  std::size_t arrivals_this_epoch = 0;
+  std::size_t departures_this_epoch = 0;
+  std::size_t moves_this_epoch = 0;
+
+  // Self-rescheduling arrival process.
+  std::function<void()> arrival = [&] {
+    generator.AddRandomUser(net, rng);
+    for (auto& a : assignments) a.AppendUser();
+    ++arrivals_this_epoch;
+    queue.ScheduleAfter(rng.Exponential(params.arrival_rate), arrival);
+  };
+  queue.ScheduleAfter(rng.Exponential(params.arrival_rate), arrival);
+
+  // Global departure process: each event removes one uniformly random user.
+  std::function<void()> departure = [&] {
+    if (net.NumUsers() > 0) {
+      const std::size_t victim = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(net.NumUsers()) - 1));
+      net.RemoveUser(victim);
+      for (auto& a : assignments) a.EraseUser(victim);
+      ++departures_this_epoch;
+    }
+    queue.ScheduleAfter(rng.Exponential(params.departure_rate), departure);
+  };
+  if (params.departure_rate > 0.0) {
+    queue.ScheduleAfter(rng.Exponential(params.departure_rate), departure);
+  }
+
+  // Mobility: teleport a random user and refresh its links. Assignments
+  // that became infeasible are dropped; the policies repair them at the
+  // next epoch boundary.
+  std::function<void()> move = [&] {
+    if (net.NumUsers() > 0) {
+      const std::size_t mover = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(net.NumUsers()) - 1));
+      const model::Position pos = generator.SampleUserPosition(rng);
+      const ScenarioGenerator::LinkSample links =
+          generator.LinksAt(net, pos, rng);
+      net.SetUserPosition(mover, pos);
+      for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+        net.SetWifiRate(mover, j, links.rates_mbps[j]);
+        net.SetRssi(mover, j, links.rssi_dbm[j]);
+      }
+      for (auto& a : assignments) {
+        const int e = a.ExtenderOf(mover);
+        if (e != model::Assignment::kUnassigned &&
+            net.WifiRate(mover, static_cast<std::size_t>(e)) <= 0.0) {
+          a.Unassign(mover);
+        }
+      }
+      ++moves_this_epoch;
+    }
+    queue.ScheduleAfter(rng.Exponential(params.move_rate), move);
+  };
+  if (params.move_rate > 0.0) {
+    queue.ScheduleAfter(rng.Exponential(params.move_rate), move);
+  }
+
+  std::vector<EpochStats> history;
+  for (int epoch = 1; epoch <= params.epochs; ++epoch) {
+    arrivals_this_epoch = 0;
+    departures_this_epoch = 0;
+    moves_this_epoch = 0;
+    queue.RunUntil(static_cast<double>(epoch) * params.epoch_length);
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.population = net.NumUsers();
+    stats.arrivals = arrivals_this_epoch;
+    stats.departures = departures_this_epoch;
+    stats.moves = moves_this_epoch;
+
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const model::Assignment before = assignments[p];
+      assignments[p] = policies[p]->Associate(net, before);
+      const model::EvalResult eval = evaluator.Evaluate(net, assignments[p]);
+
+      PolicyEpochStats ps;
+      ps.policy = policies[p]->Name();
+      ps.aggregate_mbps = eval.aggregate_mbps;
+      ps.jain_fairness = util::JainFairnessIndex(eval.user_throughput_mbps);
+      ps.reassignments =
+          model::Assignment::CountReassignments(before, assignments[p]);
+      stats.per_policy.push_back(std::move(ps));
+    }
+    history.push_back(std::move(stats));
+  }
+  return history;
+}
+
+}  // namespace wolt::sim

@@ -1,0 +1,57 @@
+// High-fidelity end-to-end simulation: compose the slot-level MAC
+// simulators into a full two-hop network estimate.
+//
+// The flow-level Evaluator applies Eq. 1 and the time-fair PLC model
+// analytically. This module instead *simulates* both hops: each extender's
+// WiFi cell runs the slot-level 802.11 DCF simulator over its associated
+// users (PHY rates recovered from the effective rates r_ij), and the PLC
+// backhaul runs the slot-level IEEE 1901 CSMA simulator across the active
+// extenders. The two hops are composed by a demand fixed point: a cell
+// whose backhaul delivers less than its WiFi aggregate is backlogged on the
+// PLC side; a cell whose users cannot fill its PLC share leaves airtime to
+// others (re-allocated by the demand-capped max-min allocator driven with
+// *simulated* rates). This is the reproduction's stand-in for the paper's
+// testbed cross-validation (Fig. 4c): the flow model is trusted because it
+// tracks this simulation, which shares no code with the formulas.
+#pragma once
+
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/network.h"
+#include "plc/csma1901.h"
+#include "util/rng.h"
+#include "wifi/dcf_sim.h"
+
+namespace wolt::sim {
+
+struct HifiParams {
+  // Simulated wall-clock per MAC run (longer = tighter estimates).
+  double wifi_duration_s = 2.0;
+  double plc_duration_s = 5.0;
+  // r_ij are effective (MAC-efficiency-scaled) rates; dividing by this
+  // recovers the PHY rate the DCF simulator needs. Must match the rate
+  // table used to build the network (RateTable::mac_efficiency()).
+  double wifi_mac_efficiency = 0.65;
+  wifi::DcfParams dcf;
+  plc::Csma1901Params csma;
+};
+
+struct HifiResult {
+  // Per-extender aggregates from the simulated WiFi cells (no PLC cap).
+  std::vector<double> wifi_cell_mbps;
+  // Per-extender PLC capacity share from the simulated 1901 backhaul.
+  std::vector<double> plc_share_mbps;
+  // Composed end-to-end per extender and per user.
+  std::vector<double> extender_mbps;
+  std::vector<double> user_throughput_mbps;
+  double aggregate_mbps = 0.0;
+};
+
+// Simulate the network under `assign`. Users assigned to extenders they
+// cannot hear throw std::invalid_argument (same contract as Evaluator).
+HifiResult SimulateHifi(const model::Network& net,
+                        const model::Assignment& assign,
+                        const HifiParams& params, util::Rng& rng);
+
+}  // namespace wolt::sim

@@ -1,0 +1,97 @@
+#include "sim/runner.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace wolt::sim {
+
+std::vector<double> PolicyTrials::Aggregates() const {
+  std::vector<double> xs;
+  xs.reserve(trials.size());
+  for (const auto& t : trials) xs.push_back(t.aggregate_mbps);
+  return xs;
+}
+
+double PolicyTrials::MeanAggregate() const {
+  const std::vector<double> xs = Aggregates();
+  return util::Mean(xs);
+}
+
+double PolicyTrials::MeanJain() const {
+  std::vector<double> xs;
+  xs.reserve(trials.size());
+  for (const auto& t : trials) xs.push_back(t.jain_fairness);
+  return util::Mean(xs);
+}
+
+std::vector<PolicyTrials> RunNetworkTrials(
+    const std::vector<model::Network>& networks,
+    const std::vector<core::AssociationPolicy*>& policies,
+    model::EvalOptions eval) {
+  if (policies.empty()) throw std::invalid_argument("no policies");
+  const model::Evaluator evaluator(eval);
+
+  std::vector<PolicyTrials> results(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    results[p].policy = policies[p]->Name();
+  }
+  for (const model::Network& net : networks) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const model::Assignment assignment =
+          policies[p]->AssociateFresh(net);
+      const model::EvalResult res = evaluator.Evaluate(net, assignment);
+      TrialRecord record;
+      record.aggregate_mbps = res.aggregate_mbps;
+      record.jain_fairness = util::JainFairnessIndex(res.user_throughput_mbps);
+      record.user_throughput_mbps = res.user_throughput_mbps;
+      results[p].trials.push_back(std::move(record));
+    }
+  }
+  return results;
+}
+
+std::vector<PolicyTrials> RunStaticTrials(
+    const ScenarioGenerator& generator,
+    const std::vector<core::AssociationPolicy*>& policies,
+    int num_trials, util::Rng& rng, model::EvalOptions eval) {
+  std::vector<model::Network> networks;
+  networks.reserve(static_cast<std::size_t>(num_trials));
+  for (int t = 0; t < num_trials; ++t) {
+    util::Rng trial_rng = rng.Fork();
+    networks.push_back(generator.Generate(trial_rng));
+  }
+  return RunNetworkTrials(networks, policies, eval);
+}
+
+WinLoss CompareUsers(const PolicyTrials& a, const PolicyTrials& b,
+                     double tolerance_mbps) {
+  if (a.trials.size() != b.trials.size()) {
+    throw std::invalid_argument("trial count mismatch");
+  }
+  std::size_t better = 0, worse = 0, equal = 0;
+  for (std::size_t t = 0; t < a.trials.size(); ++t) {
+    const auto& ua = a.trials[t].user_throughput_mbps;
+    const auto& ub = b.trials[t].user_throughput_mbps;
+    if (ua.size() != ub.size()) {
+      throw std::invalid_argument("user count mismatch in trial");
+    }
+    for (std::size_t i = 0; i < ua.size(); ++i) {
+      const double diff = ua[i] - ub[i];
+      if (diff > tolerance_mbps) {
+        ++better;
+      } else if (diff < -tolerance_mbps) {
+        ++worse;
+      } else {
+        ++equal;
+      }
+    }
+  }
+  const double total = static_cast<double>(better + worse + equal);
+  if (total == 0.0) return {};
+  return {static_cast<double>(better) / total,
+          static_cast<double>(worse) / total,
+          static_cast<double>(equal) / total};
+}
+
+}  // namespace wolt::sim

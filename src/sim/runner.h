@@ -1,0 +1,58 @@
+// Static trial runner: replays N independently generated topologies across
+// a set of association policies (every policy sees the identical network per
+// trial) and records aggregate throughput, per-user throughputs and Jain
+// fairness. Drives the Fig. 6a CDF, the fairness comparison of §V-E, and the
+// testbed-style multi-topology experiments of Fig. 4.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "model/evaluator.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace wolt::sim {
+
+struct TrialRecord {
+  double aggregate_mbps = 0.0;
+  double jain_fairness = 0.0;
+  std::vector<double> user_throughput_mbps;
+};
+
+struct PolicyTrials {
+  std::string policy;
+  std::vector<TrialRecord> trials;
+
+  std::vector<double> Aggregates() const;
+  double MeanAggregate() const;
+  double MeanJain() const;
+};
+
+// Generate `num_trials` networks with `generator` (forking the rng per
+// trial) and associate each with every policy from scratch.
+std::vector<PolicyTrials> RunStaticTrials(
+    const ScenarioGenerator& generator,
+    const std::vector<core::AssociationPolicy*>& policies,
+    int num_trials, util::Rng& rng, model::EvalOptions eval = {});
+
+// Same, but over caller-supplied networks (used by the testbed topologies).
+std::vector<PolicyTrials> RunNetworkTrials(
+    const std::vector<model::Network>& networks,
+    const std::vector<core::AssociationPolicy*>& policies,
+    model::EvalOptions eval = {});
+
+// Per-user win/loss comparison between two policies across aligned trials
+// (Fig. 4b): fraction of users whose throughput is higher / lower / equal
+// under `a` than under `b`.
+struct WinLoss {
+  double better = 0.0;
+  double worse = 0.0;
+  double equal = 0.0;
+};
+WinLoss CompareUsers(const PolicyTrials& a, const PolicyTrials& b,
+                     double tolerance_mbps = 1e-6);
+
+}  // namespace wolt::sim

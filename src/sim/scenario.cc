@@ -1,0 +1,103 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace wolt::sim {
+
+ScenarioGenerator::ScenarioGenerator(ScenarioParams params)
+    : params_(std::move(params)) {
+  if (params_.num_extenders == 0) throw std::invalid_argument("no extenders");
+  if (params_.width_m <= 0.0 || params_.height_m <= 0.0) {
+    throw std::invalid_argument("bad floor dimensions");
+  }
+}
+
+model::Position ScenarioGenerator::SampleUserPosition(util::Rng& rng) const {
+  return {rng.Uniform(0.0, params_.width_m),
+          rng.Uniform(0.0, params_.height_m)};
+}
+
+ScenarioGenerator::LinkSample ScenarioGenerator::LinksAt(
+    const model::Network& net, model::Position pos, util::Rng& rng) const {
+  LinkSample sample;
+  sample.rates_mbps.assign(net.NumExtenders(), 0.0);
+  sample.rssi_dbm.assign(net.NumExtenders(), 0.0);
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    const double d = model::Distance(pos, net.ExtenderAt(j).position);
+    const double shadow = rng.Normal(0.0, params_.shadowing_sigma_db);
+    const double rssi = params_.path_loss.RssiDbm(d, shadow);
+    sample.rssi_dbm[j] = rssi;
+    sample.rates_mbps[j] = params_.rate_table.RateAtRssi(rssi);
+  }
+  return sample;
+}
+
+std::vector<double> ScenarioGenerator::RatesAt(const model::Network& net,
+                                               model::Position pos,
+                                               util::Rng& rng) const {
+  return LinksAt(net, pos, rng).rates_mbps;
+}
+
+model::Network ScenarioGenerator::Generate(util::Rng& rng) const {
+  model::Network net(0, params_.num_extenders);
+
+  // Extenders on a jittered grid covering the floor.
+  const std::size_t grid_cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(params_.num_extenders))));
+  const std::size_t grid_rows =
+      (params_.num_extenders + grid_cols - 1) / grid_cols;
+  const double cell_w = params_.width_m / static_cast<double>(grid_cols);
+  const double cell_h = params_.height_m / static_cast<double>(grid_rows);
+  plc::CapacitySampler plc_sampler(params_.plc);
+  for (std::size_t j = 0; j < params_.num_extenders; ++j) {
+    const std::size_t gx = j % grid_cols;
+    const std::size_t gy = j / grid_cols;
+    const double jx =
+        rng.Uniform(-params_.extender_grid_jitter, params_.extender_grid_jitter);
+    const double jy =
+        rng.Uniform(-params_.extender_grid_jitter, params_.extender_grid_jitter);
+    model::Position p{(static_cast<double>(gx) + 0.5 + jx) * cell_w,
+                      (static_cast<double>(gy) + 0.5 + jy) * cell_h};
+    p.x = std::clamp(p.x, 0.0, params_.width_m);
+    p.y = std::clamp(p.y, 0.0, params_.height_m);
+    net.SetExtenderPosition(j, p);
+    net.SetPlcRate(j, plc_sampler.Sample(rng));
+    net.SetExtenderLabel(j, "ext" + std::to_string(j));
+  }
+
+  for (std::size_t i = 0; i < params_.num_users; ++i) {
+    AddRandomUser(net, rng);
+  }
+  return net;
+}
+
+std::size_t ScenarioGenerator::AddRandomUser(model::Network& net,
+                                             util::Rng& rng) const {
+  model::Position pos = SampleUserPosition(rng);
+  LinkSample links = LinksAt(net, pos, rng);
+  for (int attempt = 0; attempt < params_.max_placement_retries; ++attempt) {
+    bool reachable = false;
+    for (double r : links.rates_mbps) {
+      if (r > 0.0) {
+        reachable = true;
+        break;
+      }
+    }
+    if (reachable) break;
+    pos = SampleUserPosition(rng);
+    links = LinksAt(net, pos, rng);
+  }
+  model::User user;
+  user.position = pos;
+  user.label = "user" + std::to_string(net.NumUsers());
+  const std::size_t idx = net.AddUser(user, links.rates_mbps);
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    net.SetRssi(idx, j, links.rssi_dbm[j]);
+  }
+  return idx;
+}
+
+}  // namespace wolt::sim

@@ -1,0 +1,75 @@
+// Enterprise-floor scenario generator (§V-A of the paper): a 100 m x 100 m
+// plane with 15 PLC-WiFi extenders; users are placed uniformly at random;
+// WiFi rates come from distance -> RSSI -> MCS (wifi/), PLC capacities from
+// the calibrated sampler (plc/). Each extender operates on a non-overlapping
+// WiFi channel (the paper's assumption, §V-A), so there is no inter-cell
+// WiFi interference and r_ij depends only on the user-extender link.
+#pragma once
+
+#include <vector>
+
+#include "model/network.h"
+#include "plc/capacity.h"
+#include "util/rng.h"
+#include "wifi/mcs.h"
+#include "wifi/pathloss.h"
+
+namespace wolt::sim {
+
+struct ScenarioParams {
+  double width_m = 100.0;
+  double height_m = 100.0;
+  std::size_t num_extenders = 15;
+  std::size_t num_users = 36;
+
+  wifi::PathLossModel path_loss;
+  wifi::RateTable rate_table = wifi::RateTable::Ieee80211nHt20();
+  // Lognormal shadowing on each user-extender link (dB).
+  double shadowing_sigma_db = 3.0;
+
+  plc::CapacitySamplerParams plc;
+
+  // Place extenders on a jittered grid (power outlets spread through the
+  // building) rather than uniformly, avoiding degenerate clusters.
+  double extender_grid_jitter = 0.3;  // fraction of a grid cell
+
+  // Resample a user's position up to this many times if it cannot hear any
+  // extender; after that it is kept (and will stay unassociated).
+  int max_placement_retries = 20;
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(ScenarioParams params = {});
+
+  // Build a complete network: extender placement, PLC capacities, users and
+  // their rate rows. Deterministic given the Rng state.
+  model::Network Generate(util::Rng& rng) const;
+
+  // Sample a position for a new user (uniform over the floor).
+  model::Position SampleUserPosition(util::Rng& rng) const;
+
+  // One sampled WiFi link row: per-extender RSSI (with fresh shadowing
+  // draws) and the resulting MCS rate.
+  struct LinkSample {
+    std::vector<double> rates_mbps;
+    std::vector<double> rssi_dbm;
+  };
+  LinkSample LinksAt(const model::Network& net, model::Position pos,
+                     util::Rng& rng) const;
+
+  // WiFi rate row only (convenience over LinksAt).
+  std::vector<double> RatesAt(const model::Network& net, model::Position pos,
+                              util::Rng& rng) const;
+
+  // Add one user at a (retried) random position to an existing network,
+  // returning its index. Used by the dynamic simulator on arrivals.
+  std::size_t AddRandomUser(model::Network& net, util::Rng& rng) const;
+
+  const ScenarioParams& params() const { return params_; }
+
+ private:
+  ScenarioParams params_;
+};
+
+}  // namespace wolt::sim

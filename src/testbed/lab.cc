@@ -1,0 +1,117 @@
+#include "testbed/lab.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace wolt::testbed {
+
+model::Network CaseStudyNetwork() {
+  model::Network net(2, 2);
+  net.SetExtenderLabel(0, "extender1");
+  net.SetExtenderLabel(1, "extender2");
+  net.SetUserLabel(0, "user1");
+  net.SetUserLabel(1, "user2");
+  net.SetPlcRate(0, 60.0);
+  net.SetPlcRate(1, 20.0);
+  net.SetWifiRate(0, 0, 15.0);
+  net.SetWifiRate(0, 1, 10.0);
+  net.SetWifiRate(1, 0, 40.0);
+  net.SetWifiRate(1, 1, 20.0);
+  return net;
+}
+
+LabTestbed::LabTestbed(LabParams params) : params_(std::move(params)) {
+  if (params_.num_extenders == 0 || params_.num_users == 0) {
+    throw std::invalid_argument("empty lab");
+  }
+  if (params_.outlet_capacities_mbps.empty()) {
+    throw std::invalid_argument("no outlet capacities");
+  }
+}
+
+model::Network LabTestbed::GenerateTopology(util::Rng& rng) const {
+  model::Network net(0, params_.num_extenders);
+
+  // Extenders at random outlet positions; capacities drawn from the
+  // measured anchors with jitter (randomly picked outlets, §V-D).
+  for (std::size_t j = 0; j < params_.num_extenders; ++j) {
+    net.SetExtenderPosition(j, {rng.Uniform(0.0, params_.width_m),
+                                rng.Uniform(0.0, params_.height_m)});
+    const std::size_t k = static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<int>(params_.outlet_capacities_mbps.size()) - 1));
+    net.SetPlcRate(j, params_.outlet_capacities_mbps[k] *
+                          rng.LogNormal(0.0, params_.capacity_jitter_sigma));
+    net.SetExtenderLabel(j, "ext" + std::to_string(j));
+  }
+
+  // Pod centres for clustered laptop placement.
+  std::vector<model::Position> clusters;
+  for (int c = 0; c < params_.user_clusters; ++c) {
+    clusters.push_back({rng.Uniform(0.0, params_.width_m),
+                        rng.Uniform(0.0, params_.height_m)});
+  }
+  const auto draw_position = [&]() -> model::Position {
+    if (clusters.empty()) {
+      return {rng.Uniform(0.0, params_.width_m),
+              rng.Uniform(0.0, params_.height_m)};
+    }
+    const auto& centre = clusters[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int>(clusters.size()) - 1))];
+    return {std::clamp(centre.x + rng.Normal(0.0, params_.cluster_sigma_m),
+                       0.0, params_.width_m),
+            std::clamp(centre.y + rng.Normal(0.0, params_.cluster_sigma_m),
+                       0.0, params_.height_m)};
+  };
+
+  for (std::size_t i = 0; i < params_.num_users; ++i) {
+    // Laptops placed around pods; retried until they hear some extender.
+    std::vector<double> rates(params_.num_extenders, 0.0);
+    std::vector<double> rssi(params_.num_extenders, 0.0);
+    model::Position pos;
+    for (int attempt = 0; attempt < params_.max_placement_retries; ++attempt) {
+      pos = draw_position();
+      bool reachable = false;
+      for (std::size_t j = 0; j < params_.num_extenders; ++j) {
+        const double d = model::Distance(pos, net.ExtenderAt(j).position);
+        const double shadow = rng.Normal(0.0, params_.shadowing_sigma_db);
+        rssi[j] = params_.path_loss.RssiDbm(d, shadow);
+        rates[j] = params_.rate_table.RateAtRssi(rssi[j]);
+        if (rates[j] > 0.0) reachable = true;
+      }
+      if (reachable) break;
+    }
+    model::User user;
+    user.position = pos;
+    user.label = "laptop" + std::to_string(i);
+    const std::size_t idx = net.AddUser(user, rates);
+    for (std::size_t j = 0; j < params_.num_extenders; ++j) {
+      net.SetRssi(idx, j, rssi[j]);
+    }
+  }
+  return net;
+}
+
+std::vector<model::Network> LabTestbed::GenerateTopologies(
+    std::size_t count, util::Rng& rng) const {
+  std::vector<model::Network> topologies;
+  topologies.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    util::Rng topo_rng = rng.Fork();
+    topologies.push_back(GenerateTopology(topo_rng));
+  }
+  return topologies;
+}
+
+std::vector<double> LabTestbed::MeasureUserThroughputs(
+    const model::Network& net, const model::Assignment& assign,
+    util::Rng& rng, double noise_sigma) const {
+  const model::EvalResult result = model::Evaluator().Evaluate(net, assign);
+  std::vector<double> measured = result.user_throughput_mbps;
+  for (double& m : measured) {
+    m *= std::max(0.0, 1.0 + rng.Normal(0.0, noise_sigma));
+  }
+  return measured;
+}
+
+}  // namespace wolt::testbed

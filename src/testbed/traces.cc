@@ -1,0 +1,85 @@
+#include "testbed/traces.h"
+
+namespace wolt::testbed {
+
+const std::vector<ReferencePoint>& Fig2bPlcIsolationThroughputs() {
+  static const std::vector<ReferencePoint> points = {
+      {"link1", 60.0},
+      {"link2", 90.0},
+      {"link3", 120.0},
+      {"link4", 160.0},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& Fig2cSharingFractions() {
+  static const std::vector<ReferencePoint> points = {
+      {"1 active", 1.0},
+      {"2 active", 0.5},
+      {"3 active", 1.0 / 3.0},
+      {"4 active", 0.25},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& Fig3CaseStudyAggregates() {
+  static const std::vector<ReferencePoint> points = {
+      {"RSSI", 22.0},
+      {"Greedy", 30.0},
+      {"Optimal", 40.0},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& Fig4aImprovements() {
+  static const std::vector<ReferencePoint> points = {
+      {"WOLT_vs_Greedy", 0.26},
+      {"WOLT_vs_RSSI", 0.70},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& Fig4bUserWinFractions() {
+  static const std::vector<ReferencePoint> points = {
+      {"better_than_Greedy", 0.35},
+      {"better_than_RSSI", 0.55},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& Fig5UserExtremes() {
+  static const std::vector<ReferencePoint> points = {
+      {"worst3_total_loss_mbps", 6.0},
+      {"best3_total_gain_mbps", 38.0},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& Fig6aImprovementRatio() {
+  static const std::vector<ReferencePoint> points = {
+      {"WOLT_over_Greedy", 2.5},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& JainFairnessReference() {
+  static const std::vector<ReferencePoint> points = {
+      {"WOLT", 0.66},
+      {"Greedy", 0.52},
+      {"RSSI", 0.65},
+  };
+  return points;
+}
+
+const std::vector<ReferencePoint>& Fig6bPopulationTrajectory() {
+  static const std::vector<ReferencePoint> points = {
+      {"epoch1", 36.0},
+      {"epoch2", 66.0},
+      {"epoch3", 102.0},
+  };
+  return points;
+}
+
+double Fig6cMaxReassignmentsPerArrival() { return 2.0; }
+
+}  // namespace wolt::testbed

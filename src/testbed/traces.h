@@ -1,0 +1,50 @@
+// Paper-reported reference series. Each bench prints its measured values
+// next to these so EXPERIMENTS.md can record paper-vs-measured for every
+// figure. Values are read off the paper's text and figures (ICDCS 2020).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wolt::testbed {
+
+struct ReferencePoint {
+  std::string label;
+  double value = 0.0;
+};
+
+// Fig. 2b: isolation TCP throughput of the four measured PLC links (Mbit/s).
+const std::vector<ReferencePoint>& Fig2bPlcIsolationThroughputs();
+
+// Fig. 2c: with k extenders active, each delivers ~1/k of isolation
+// throughput (the reported sharing fractions).
+const std::vector<ReferencePoint>& Fig2cSharingFractions();
+
+// Fig. 3: aggregate throughput of the case study per association policy.
+const std::vector<ReferencePoint>& Fig3CaseStudyAggregates();
+
+// Fig. 4a: reported relative improvements of WOLT on the testbed.
+// (WOLT vs Greedy +26%, WOLT vs RSSI +70%.)
+const std::vector<ReferencePoint>& Fig4aImprovements();
+
+// Fig. 4b: fraction of users better off under WOLT (vs Greedy 35%, vs RSSI
+// 55%).
+const std::vector<ReferencePoint>& Fig4bUserWinFractions();
+
+// Fig. 5: worst-3 users lose ~6 Mbit/s total, best-3 gain ~38 Mbit/s total
+// (WOLT vs Greedy).
+const std::vector<ReferencePoint>& Fig5UserExtremes();
+
+// Fig. 6a: WOLT / Greedy mean aggregate ratio ~2.5x at |U| = 36.
+const std::vector<ReferencePoint>& Fig6aImprovementRatio();
+
+// §V-E: Jain fairness — WOLT 0.66, Greedy 0.52, RSSI 0.65.
+const std::vector<ReferencePoint>& JainFairnessReference();
+
+// §V-E: population trajectory over epochs (36, 66, 102).
+const std::vector<ReferencePoint>& Fig6bPopulationTrajectory();
+
+// Fig. 6c: re-assignments stay below ~2x the epoch's arrivals.
+double Fig6cMaxReassignmentsPerArrival();
+
+}  // namespace wolt::testbed

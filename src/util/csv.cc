@@ -1,0 +1,30 @@
+#include "util/csv.h"
+
+namespace wolt::util {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char ch : field) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (out_) AddRow(header);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  for (std::size_t c = 0; c < columns_; ++c) {
+    if (c) out_ << ',';
+    if (c < cells.size()) out_ << CsvEscape(cells[c]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace wolt::util

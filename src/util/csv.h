@@ -1,0 +1,30 @@
+// Minimal CSV writer used by benches to dump raw series (e.g. CDF points)
+// alongside the human-readable tables, so results can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wolt::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. `ok()` reports
+  // whether the stream is usable; benches treat an unwritable path as
+  // non-fatal (they still print tables to stdout).
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void AddRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+// RFC-4180-style escaping: quote fields containing comma/quote/newline.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace wolt::util

@@ -1,0 +1,95 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace wolt::util {
+namespace {
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(Next() % span);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double rate) {
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+int Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; exact Knuth sampling
+    // would need exp(-mean) which underflows for large means.
+    const int k = static_cast<int>(std::lround(Normal(mean, std::sqrt(mean))));
+    return k < 0 ? 0 : k;
+  }
+  const double limit = std::exp(-mean);
+  double prod = NextDouble();
+  int count = 0;
+  while (prod > limit) {
+    ++count;
+    prod *= NextDouble();
+  }
+  return count;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace wolt::util

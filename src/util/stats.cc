@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wolt::util {
+
+double Sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double Mean(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : Sum(xs) / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Min(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double Median(std::span<const double> xs) { return Percentile(xs, 50.0); }
+
+double Percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double JainFairnessIndex(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+double CdfAt(std::span<const double> xs, double value) {
+  if (xs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double x : xs) {
+    if (x <= value) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace wolt::util

@@ -1,0 +1,62 @@
+// Descriptive statistics used across the benchmark harness and tests:
+// means, deviations, percentiles, empirical CDFs, and Jain's fairness index
+// (the fairness metric reported in the paper's §V-E).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wolt::util {
+
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);  // population variance
+double StdDev(std::span<const double> xs);
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+double Sum(std::span<const double> xs);
+double Median(std::span<const double> xs);
+
+// Linear-interpolation percentile, p in [0, 100]. Empty input -> 0.
+double Percentile(std::span<const double> xs, double p);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 when all equal,
+// -> 1/n when one value dominates. Empty or all-zero input -> 1.0 (vacuously
+// fair), matching the usual convention.
+double JainFairnessIndex(std::span<const double> xs);
+
+// A point on an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_probability = 0.0;
+};
+
+// Empirical CDF of the sample: sorted values with cumulative probability
+// i/n at the i-th sorted value (i = 1..n).
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> xs);
+
+// Evaluate the empirical CDF of `xs` at `value` (fraction of samples <= value).
+double CdfAt(std::span<const double> xs, double value);
+
+// Online accumulator for streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Variance() const;  // population variance
+  double StdDev() const;
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  double Sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace wolt::util

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wolt::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 3, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::vector<std::string> sep;
+  sep.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep.emplace_back(widths[c], '-');
+  }
+  emit_row(sep);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FmtPct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace wolt::util

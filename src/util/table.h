@@ -1,0 +1,41 @@
+// Aligned ASCII table rendering for the benchmark harness. Every figure/table
+// reproduction prints its rows through this so that `bench_*` output is
+// directly comparable to the paper's reported series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wolt::util {
+
+// Builds a fixed-column text table. Numeric cells are formatted by the
+// caller (use Fmt below) so the table itself only aligns strings.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Render with column padding and a header separator, e.g.
+  //   policy   aggregate_mbps   gain
+  //   ------   --------------   ----
+  //   WOLT     412.3            2.5x
+  std::string Render() const;
+
+  // Render and write to stdout.
+  void Print() const;
+
+  std::size_t RowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with `digits` decimal places.
+std::string Fmt(double value, int digits = 2);
+
+// Format as percentage with sign, e.g. "+26.1%".
+std::string FmtPct(double fraction, int digits = 1);
+
+}  // namespace wolt::util

@@ -1,0 +1,116 @@
+#include "wifi/dcf_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wolt::wifi {
+namespace {
+
+double FrameAirtimeUs(double phy_rate_mbps, const DcfParams& p) {
+  // payload_bytes * 8 bits at phy_rate Mbit/s -> microseconds.
+  return p.preamble_us +
+         static_cast<double>(p.payload_bytes) * 8.0 / phy_rate_mbps;
+}
+
+double SuccessCycleUs(double phy_rate_mbps, const DcfParams& p) {
+  return p.difs_us + FrameAirtimeUs(phy_rate_mbps, p) + p.sifs_us + p.ack_us;
+}
+
+}  // namespace
+
+double EffectiveRate(double phy_rate_mbps, const DcfParams& params) {
+  if (phy_rate_mbps <= 0.0) throw std::invalid_argument("non-positive rate");
+  const double avg_backoff_us =
+      static_cast<double>(params.cw_min) / 2.0 * params.slot_us;
+  const double cycle_us = SuccessCycleUs(phy_rate_mbps, params) + avg_backoff_us;
+  return static_cast<double>(params.payload_bytes) * 8.0 / cycle_us;
+}
+
+double AnalyticCellThroughput(std::span<const double> phy_rates_mbps,
+                              const DcfParams& params) {
+  if (phy_rates_mbps.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (double r : phy_rates_mbps) inv_sum += 1.0 / EffectiveRate(r, params);
+  return static_cast<double>(phy_rates_mbps.size()) / inv_sum;
+}
+
+DcfResult SimulateDcf(std::span<const double> phy_rates_mbps,
+                      double duration_s, const DcfParams& params,
+                      util::Rng& rng) {
+  const std::size_t n = phy_rates_mbps.size();
+  if (n == 0) throw std::invalid_argument("no stations");
+  for (double r : phy_rates_mbps) {
+    if (r <= 0.0) throw std::invalid_argument("non-positive PHY rate");
+  }
+
+  struct Station {
+    int backoff = 0;
+    int cw = 0;
+  };
+  std::vector<Station> stations(n);
+  for (auto& st : stations) {
+    st.cw = params.cw_min;
+    st.backoff = rng.UniformInt(0, st.cw);
+  }
+
+  DcfResult result;
+  result.stations.resize(n);
+  std::vector<double> busy_us(n, 0.0);
+
+  const double duration_us = duration_s * 1e6;
+  double now_us = 0.0;
+  std::vector<std::size_t> ready;
+  while (now_us < duration_us) {
+    ready.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stations[i].backoff == 0) ready.push_back(i);
+    }
+    if (ready.empty()) {
+      // Idle slot: everyone decrements.
+      for (auto& st : stations) --st.backoff;
+      now_us += params.slot_us;
+      continue;
+    }
+    if (ready.size() == 1) {
+      const std::size_t tx = ready.front();
+      const double airtime = SuccessCycleUs(phy_rates_mbps[tx], params);
+      now_us += airtime;
+      busy_us[tx] += airtime;
+      ++result.stations[tx].successes;
+      stations[tx].cw = params.cw_min;
+      stations[tx].backoff = rng.UniformInt(0, stations[tx].cw);
+    } else {
+      // Collision: the channel is busy for the longest colliding frame;
+      // colliders double CW and redraw.
+      double longest_us = 0.0;
+      for (std::size_t i : ready) {
+        longest_us = std::max(
+            longest_us, params.difs_us + FrameAirtimeUs(phy_rates_mbps[i],
+                                                        params));
+      }
+      // EIFS-like penalty: colliders wait for the ACK timeout.
+      now_us += longest_us + params.sifs_us + params.ack_us;
+      ++result.collision_events;
+      for (std::size_t i : ready) {
+        ++result.stations[i].collisions;
+        stations[i].cw = std::min(2 * (stations[i].cw + 1) - 1, params.cw_max);
+        stations[i].backoff = rng.UniformInt(0, stations[i].cw);
+      }
+    }
+  }
+
+  result.sim_time_s = now_us / 1e6;
+  double total_busy_us = 0.0;
+  for (double b : busy_us) total_busy_us += b;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.stations[i].throughput_mbps =
+        static_cast<double>(result.stations[i].successes) *
+        static_cast<double>(params.payload_bytes) * 8.0 / now_us;
+    result.stations[i].airtime_share =
+        total_busy_us > 0.0 ? busy_us[i] / total_busy_us : 0.0;
+    result.aggregate_mbps += result.stations[i].throughput_mbps;
+  }
+  return result;
+}
+
+}  // namespace wolt::wifi

@@ -1,0 +1,69 @@
+// Slot-level 802.11 DCF simulator.
+//
+// Purpose: independently validate the throughput-fair WiFi sharing formula
+// (Eq. 1) that the flow-level evaluator uses, including the 802.11
+// performance anomaly (Heusse et al. [15], reproduced by the paper's Fig. 2a
+// measurement): saturated stations win the channel equally often, so a
+// slow station drags every station's throughput down to the slow station's
+// frame pace.
+//
+// The simulator implements CSMA/CA with binary exponential backoff: each
+// saturated station draws a backoff from [0, CW]; idle slots decrement all
+// counters; a sole station at zero transmits successfully (frame airtime
+// depends on its own PHY rate, which is what creates the anomaly); multiple
+// stations at zero collide and double their CWs. Management frames, capture
+// effects and rate adaptation are out of scope — the quantity under test is
+// the MAC sharing behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wolt::wifi {
+
+struct DcfParams {
+  double slot_us = 9.0;
+  double difs_us = 34.0;
+  double sifs_us = 16.0;
+  double preamble_us = 20.0;   // PHY preamble + PLCP header
+  double ack_us = 44.0;        // ACK frame at base rate incl. preamble
+  int payload_bytes = 1500;
+  int cw_min = 15;
+  int cw_max = 1023;
+};
+
+struct DcfStationResult {
+  std::int64_t successes = 0;
+  std::int64_t collisions = 0;
+  double throughput_mbps = 0.0;
+  double airtime_share = 0.0;  // fraction of busy time spent on this station
+};
+
+struct DcfResult {
+  std::vector<DcfStationResult> stations;
+  double aggregate_mbps = 0.0;
+  std::int64_t collision_events = 0;
+  double sim_time_s = 0.0;
+};
+
+// Simulate `duration_s` of saturated traffic from stations with the given
+// PHY rates (Mbit/s, all > 0). Deterministic given the Rng state.
+DcfResult SimulateDcf(std::span<const double> phy_rates_mbps,
+                      double duration_s, const DcfParams& params,
+                      util::Rng& rng);
+
+// Saturation throughput of a single station at this PHY rate (payload bits
+// over the full DIFS + backoff-average + frame + SIFS + ACK cycle). This is
+// the "effective rate" to plug into Eq. 1 when comparing the analytic
+// formula against the simulator.
+double EffectiveRate(double phy_rate_mbps, const DcfParams& params);
+
+// Eq. 1 prediction of the cell aggregate using effective rates:
+// n / sum_i 1/r_eff_i.
+double AnalyticCellThroughput(std::span<const double> phy_rates_mbps,
+                              const DcfParams& params);
+
+}  // namespace wolt::wifi

@@ -1,0 +1,73 @@
+#include "wifi/mcs.h"
+
+#include <stdexcept>
+
+namespace wolt::wifi {
+
+RateTable::RateTable(std::vector<McsEntry> entries, double mac_efficiency)
+    : entries_(std::move(entries)), mac_efficiency_(mac_efficiency) {
+  if (entries_.empty()) throw std::invalid_argument("empty MCS table");
+  if (mac_efficiency_ <= 0.0 || mac_efficiency_ > 1.0) {
+    throw std::invalid_argument("MAC efficiency must be in (0, 1]");
+  }
+  for (std::size_t k = 1; k < entries_.size(); ++k) {
+    if (entries_[k].phy_rate_mbps < entries_[k - 1].phy_rate_mbps ||
+        entries_[k].min_rssi_dbm < entries_[k - 1].min_rssi_dbm) {
+      throw std::invalid_argument("MCS table must be sorted ascending");
+    }
+  }
+}
+
+const McsEntry* RateTable::McsAtRssi(double rssi_dbm) const {
+  const McsEntry* best = nullptr;
+  for (const McsEntry& e : entries_) {
+    if (rssi_dbm >= e.min_rssi_dbm) best = &e;
+  }
+  return best;
+}
+
+double RateTable::RateAtRssi(double rssi_dbm) const {
+  const McsEntry* mcs = McsAtRssi(rssi_dbm);
+  return mcs ? mcs->phy_rate_mbps * mac_efficiency_ : 0.0;
+}
+
+double RateTable::MaxRate() const {
+  return entries_.back().phy_rate_mbps * mac_efficiency_;
+}
+
+double RateTable::MinSensitivityDbm() const {
+  return entries_.front().min_rssi_dbm;
+}
+
+RateTable RateTable::Ieee80211nHt20(double mac_efficiency) {
+  // Sensitivity thresholds follow typical 802.11n receiver specs.
+  return RateTable(
+      {
+          {0, -82.0, 6.5, "BPSK 1/2"},
+          {1, -79.0, 13.0, "QPSK 1/2"},
+          {2, -77.0, 19.5, "QPSK 3/4"},
+          {3, -74.0, 26.0, "16-QAM 1/2"},
+          {4, -70.0, 39.0, "16-QAM 3/4"},
+          {5, -66.0, 52.0, "64-QAM 2/3"},
+          {6, -65.0, 58.5, "64-QAM 3/4"},
+          {7, -64.0, 65.0, "64-QAM 5/6"},
+      },
+      mac_efficiency);
+}
+
+RateTable RateTable::CiscoAironet80211g(double mac_efficiency) {
+  return RateTable(
+      {
+          {0, -94.0, 6.0, "BPSK 1/2"},
+          {1, -91.0, 9.0, "BPSK 3/4"},
+          {2, -91.0, 12.0, "QPSK 1/2"},
+          {3, -90.0, 18.0, "QPSK 3/4"},
+          {4, -86.0, 24.0, "16-QAM 1/2"},
+          {5, -84.0, 36.0, "16-QAM 3/4"},
+          {6, -79.0, 48.0, "64-QAM 2/3"},
+          {7, -77.0, 54.0, "64-QAM 3/4"},
+      },
+      mac_efficiency);
+}
+
+}  // namespace wolt::wifi

@@ -1,0 +1,53 @@
+// RSSI -> modulation-and-coding-scheme -> usable rate mapping.
+//
+// The association algorithms consume r_ij, the long-term WiFi throughput a
+// user would get alone on the extender's channel. We model it as the PHY
+// rate of the highest MCS whose sensitivity threshold the RSSI clears, times
+// a MAC efficiency factor (preamble/backoff/ACK overhead). Two tables are
+// provided: 802.11n HT20 (MCS0-7, what a TL-WPA8630-class extender uses per
+// spatial stream) and the Cisco Aironet 802.11g stepping the paper's
+// simulator cites [28].
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wolt::wifi {
+
+struct McsEntry {
+  int index = 0;
+  double min_rssi_dbm = 0.0;  // receiver sensitivity threshold
+  double phy_rate_mbps = 0.0;
+  std::string modulation;
+};
+
+class RateTable {
+ public:
+  // `entries` must be sorted by ascending PHY rate (and ascending RSSI
+  // threshold); `mac_efficiency` scales PHY rate to achievable throughput.
+  RateTable(std::vector<McsEntry> entries, double mac_efficiency);
+
+  // Achievable rate (Mbit/s) at the given RSSI; 0 when below the lowest
+  // sensitivity threshold (out of range).
+  double RateAtRssi(double rssi_dbm) const;
+
+  // Highest MCS decodable at this RSSI, or nullptr if out of range.
+  const McsEntry* McsAtRssi(double rssi_dbm) const;
+
+  double MaxRate() const;
+  double MinSensitivityDbm() const;
+  std::span<const McsEntry> entries() const { return entries_; }
+  double mac_efficiency() const { return mac_efficiency_; }
+
+  // 802.11n, 20 MHz, long GI, 1 spatial stream: 6.5..65 Mbit/s PHY.
+  static RateTable Ieee80211nHt20(double mac_efficiency = 0.65);
+  // 802.11g stepping per the Cisco Aironet 1200 datasheet: 6..54 Mbit/s.
+  static RateTable CiscoAironet80211g(double mac_efficiency = 0.65);
+
+ private:
+  std::vector<McsEntry> entries_;
+  double mac_efficiency_;
+};
+
+}  // namespace wolt::wifi

@@ -1,0 +1,21 @@
+#include "wifi/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wolt::wifi {
+
+double PathLossModel::PathLossDb(double distance_m) const {
+  const double d = std::max(distance_m, 0.1);
+  return pl0_db + 10.0 * exponent * std::log10(d);
+}
+
+double PathLossModel::RssiDbm(double distance_m) const {
+  return tx_power_dbm - PathLossDb(distance_m);
+}
+
+double PathLossModel::RssiDbm(double distance_m, double shadowing_db) const {
+  return RssiDbm(distance_m) + shadowing_db;
+}
+
+}  // namespace wolt::wifi

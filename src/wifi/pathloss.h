@@ -1,0 +1,33 @@
+// Indoor radio propagation for the enterprise-floor simulator (§V-A): the
+// paper "uses a simple model to simulate the WiFi channel qualities where the
+// channel quality is a function of the distance between the extender and the
+// user", citing the Cisco Aironet rate-vs-distance datasheet [28]. We provide
+// the standard log-distance path-loss model with optional lognormal
+// shadowing; wifi/mcs.h maps the resulting RSSI to a PHY rate.
+#pragma once
+
+namespace wolt::wifi {
+
+struct PathLossModel {
+  // Reference path loss at d0 = 1 m (dB). ~40 dB at 2.4 GHz free space.
+  double pl0_db = 40.0;
+  // Path-loss exponent; 3.5 reflects an office floor with interior walls
+  // and furniture (free space is 2, heavy clutter approaches 4). Chosen so
+  // the MCS ladder actually spans the enterprise floor: top rates within
+  // ~12 m of an extender, MCS0 around 40 m, unreachable beyond ~45 m.
+  double exponent = 3.5;
+  // Transmit power (dBm); modest indoor AP setting.
+  double tx_power_dbm = 16.0;
+
+  // Path loss at distance d metres (d clamped to >= 0.1 m so co-located
+  // nodes do not produce -inf).
+  double PathLossDb(double distance_m) const;
+
+  // Received signal strength (dBm) at distance d, without shadowing.
+  double RssiDbm(double distance_m) const;
+
+  // RSSI with an externally sampled shadowing term (dB, add to the mean).
+  double RssiDbm(double distance_m, double shadowing_db) const;
+};
+
+}  // namespace wolt::wifi

@@ -1,0 +1,132 @@
+#include "model/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace wolt::model {
+namespace {
+
+Network TwoByTwo() {
+  Network net(2, 2);
+  net.SetWifiRate(0, 0, 10.0);
+  net.SetWifiRate(0, 1, 20.0);
+  net.SetWifiRate(1, 0, 30.0);
+  // (1,1) left unreachable.
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  return net;
+}
+
+TEST(AssignmentTest, StartsUnassigned) {
+  Assignment a(3);
+  EXPECT_EQ(a.NumUsers(), 3u);
+  EXPECT_EQ(a.AssignedCount(), 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(a.IsAssigned(i));
+    EXPECT_EQ(a.ExtenderOf(i), Assignment::kUnassigned);
+  }
+}
+
+TEST(AssignmentTest, AssignUnassignRoundTrip) {
+  Assignment a(2);
+  a.Assign(0, 1);
+  EXPECT_TRUE(a.IsAssigned(0));
+  EXPECT_EQ(a.ExtenderOf(0), 1);
+  EXPECT_EQ(a.AssignedCount(), 1u);
+  a.Unassign(0);
+  EXPECT_FALSE(a.IsAssigned(0));
+  EXPECT_EQ(a.AssignedCount(), 0u);
+}
+
+TEST(AssignmentTest, UsersOfAndLoadVector) {
+  Assignment a(4);
+  a.Assign(0, 1);
+  a.Assign(2, 1);
+  a.Assign(3, 0);
+  EXPECT_EQ(a.UsersOf(1), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(a.UsersOf(0), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(a.LoadVector(2), (std::vector<int>{1, 2}));
+  EXPECT_EQ(a.ActiveExtenders(3), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(AssignmentTest, LoadVectorRejectsUnknownExtender) {
+  Assignment a(1);
+  a.Assign(0, 5);
+  EXPECT_THROW(a.LoadVector(2), std::out_of_range);
+}
+
+TEST(AssignmentTest, ValidityChecksReachability) {
+  const Network net = TwoByTwo();
+  Assignment a(2);
+  a.Assign(0, 0);
+  EXPECT_TRUE(a.IsValidFor(net));
+  EXPECT_FALSE(a.IsCompleteFor(net));  // user 1 unassigned
+  a.Assign(1, 0);
+  EXPECT_TRUE(a.IsCompleteFor(net));
+  a.Assign(1, 1);  // unreachable pair
+  EXPECT_FALSE(a.IsValidFor(net));
+}
+
+TEST(AssignmentTest, ValidityChecksCapacity) {
+  Network net = TwoByTwo();
+  net.SetMaxUsers(0, 1);
+  Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  EXPECT_FALSE(a.IsValidFor(net));
+  net.SetMaxUsers(0, 2);
+  EXPECT_TRUE(a.IsValidFor(net));
+}
+
+TEST(AssignmentTest, SizeMismatchIsInvalid) {
+  const Network net = TwoByTwo();
+  Assignment a(3);
+  EXPECT_FALSE(a.IsValidFor(net));
+}
+
+TEST(AssignmentTest, AppendAndEraseKeepAlignment) {
+  Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 1);
+  a.AppendUser();
+  EXPECT_EQ(a.NumUsers(), 3u);
+  EXPECT_FALSE(a.IsAssigned(2));
+  a.EraseUser(0);
+  EXPECT_EQ(a.NumUsers(), 2u);
+  EXPECT_EQ(a.ExtenderOf(0), 1);  // former user 1 shifted down
+}
+
+TEST(AssignmentTest, CountReassignments) {
+  Assignment before(3), after(3);
+  before.Assign(0, 0);
+  before.Assign(1, 1);
+  // user 2 new (unassigned before).
+  after.Assign(0, 1);  // moved
+  after.Assign(1, 1);  // kept
+  after.Assign(2, 0);  // new arrival -> not a reassignment
+  EXPECT_EQ(Assignment::CountReassignments(before, after), 1u);
+}
+
+TEST(AssignmentTest, CountReassignmentsSizeMismatchThrows) {
+  Assignment a(2), b(3);
+  EXPECT_THROW(Assignment::CountReassignments(a, b), std::invalid_argument);
+}
+
+TEST(AssignmentTest, ToStringShowsAssignments) {
+  Assignment a(2);
+  a.Assign(0, 1);
+  EXPECT_EQ(a.ToString(), "[0->1, 1->?]");
+}
+
+TEST(AssignmentTest, EqualityComparison) {
+  Assignment a(2), b(2);
+  EXPECT_EQ(a, b);
+  a.Assign(0, 1);
+  EXPECT_NE(a, b);
+  b.Assign(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace wolt::model

@@ -1,0 +1,133 @@
+#include "assign/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::assign {
+namespace {
+
+TEST(BruteForceTest, CaseStudyOptimumIs40) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  const BruteForceResult r = SolveBruteForce(net);
+  EXPECT_NEAR(r.best_aggregate_mbps, 40.0, 1e-9);
+  EXPECT_EQ(r.best.ExtenderOf(0), 1);
+  EXPECT_EQ(r.best.ExtenderOf(1), 0);
+  EXPECT_EQ(r.evaluated, 4u);  // 2^2 complete assignments
+}
+
+TEST(BruteForceTest, RespectsReachability) {
+  model::Network net(2, 2);
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  net.SetWifiRate(0, 0, 10.0);  // user0 only reaches ext0
+  net.SetWifiRate(1, 1, 20.0);  // user1 only reaches ext1
+  const BruteForceResult r = SolveBruteForce(net);
+  EXPECT_EQ(r.best.ExtenderOf(0), 0);
+  EXPECT_EQ(r.best.ExtenderOf(1), 1);
+  EXPECT_EQ(r.evaluated, 1u);  // only one feasible complete assignment
+}
+
+TEST(BruteForceTest, RespectsCapacityLimits) {
+  model::Network net(2, 2);
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    net.SetWifiRate(i, 0, 50.0);
+    net.SetWifiRate(i, 1, 5.0);
+  }
+  net.SetMaxUsers(0, 1);  // both users would prefer ext0, only one fits
+  const BruteForceResult r = SolveBruteForce(net);
+  const std::vector<int> load = r.best.LoadVector(2);
+  EXPECT_LE(load[0], 1);
+}
+
+TEST(BruteForceTest, AllowUnassignedFindsRelaxedOptimum) {
+  // Two users on one extender where the second user only hurts: the relaxed
+  // search (constraint (7) dropped) leaves the slow user out.
+  model::Network net(2, 1);
+  net.SetPlcRate(0, 1000.0);
+  net.SetWifiRate(0, 0, 50.0);
+  net.SetWifiRate(1, 0, 1.0);
+  BruteForceOptions opts;
+  opts.allow_unassigned = true;
+  const BruteForceResult r = SolveBruteForce(net, opts);
+  EXPECT_NEAR(r.best_aggregate_mbps, 50.0, 1e-9);
+  EXPECT_FALSE(r.best.IsAssigned(1));
+}
+
+TEST(BruteForceTest, ThrowsWhenSpaceTooLarge) {
+  model::Network net(30, 10);
+  for (std::size_t j = 0; j < 10; ++j) net.SetPlcRate(j, 100.0);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) net.SetWifiRate(i, j, 10.0);
+  }
+  EXPECT_THROW(SolveBruteForce(net), std::invalid_argument);
+}
+
+TEST(BruteForceTest, ThrowsWhenNoFeasibleAssignment) {
+  model::Network net(1, 1);
+  net.SetPlcRate(0, 100.0);
+  // user unreachable
+  EXPECT_THROW(SolveBruteForce(net), std::runtime_error);
+}
+
+TEST(BruteForceTest, PinnedUsersStayPut) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment pinned(2);
+  pinned.Assign(0, 0);  // force user0 onto extender0
+  const model::Evaluator evaluator;
+  const BruteForceResult r = SolveBruteForceObjective(
+      net, pinned,
+      [&](const model::Assignment& a) {
+        return evaluator.AggregateThroughput(net, a);
+      });
+  EXPECT_EQ(r.best.ExtenderOf(0), 0);
+  // Best completion: user1 -> ext1 (the greedy outcome, 30 Mbps).
+  EXPECT_EQ(r.best.ExtenderOf(1), 1);
+  EXPECT_NEAR(r.best_aggregate_mbps, 30.0, 1e-9);
+}
+
+TEST(BruteForceTest, CustomObjectiveIsHonoured) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  const model::Assignment none(2);
+  // Minimize aggregate (via negation): worst complete assignment puts both
+  // users on extender 2.
+  const BruteForceResult r = SolveBruteForceObjective(
+      net, none, [&](const model::Assignment& a) {
+        return -model::Evaluator().AggregateThroughput(net, a);
+      });
+  const double worst = -r.best_aggregate_mbps;
+  EXPECT_LE(worst, 20.0 + 1e-9);
+}
+
+TEST(BruteForceTest, OptimumAtLeastAnyHeuristic) {
+  // Property: on random small instances the brute-force optimum dominates
+  // an arbitrary (best-rate) assignment.
+  for (int seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 31);
+    model::Network net(4, 3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+      }
+    }
+    model::Assignment best_rate(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      best_rate.Assign(i, *net.BestRateExtender(i));
+    }
+    const BruteForceResult r = SolveBruteForce(net);
+    EXPECT_GE(r.best_aggregate_mbps,
+              model::Evaluator().AggregateThroughput(net, best_rate) - 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wolt::assign

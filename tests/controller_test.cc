@@ -1,0 +1,182 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+
+namespace wolt::core {
+namespace {
+
+// --- Wire format ----------------------------------------------------------
+
+TEST(WireFormatTest, ScanReportRoundTrip) {
+  ScanReport msg;
+  msg.user_id = 42;
+  msg.rates_mbps = {10.5, 0.0, 32.5};
+  msg.rssi_dbm = {-70.5, -90.0, -60.25};
+  const auto decoded = DecodeScanReport(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->user_id, 42);
+  EXPECT_EQ(decoded->rates_mbps, msg.rates_mbps);
+  EXPECT_EQ(decoded->rssi_dbm, msg.rssi_dbm);
+}
+
+TEST(WireFormatTest, ScanReportWithoutRssi) {
+  ScanReport msg;
+  msg.user_id = 1;
+  msg.rates_mbps = {5.0};
+  const auto decoded = DecodeScanReport(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->rssi_dbm.empty());
+}
+
+TEST(WireFormatTest, DirectiveRoundTrip) {
+  const AssociationDirective msg{7, 2};
+  const auto decoded = DecodeAssociationDirective(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->user_id, 7);
+  EXPECT_EQ(decoded->extender, 2);
+}
+
+TEST(WireFormatTest, CapacityRoundTrip) {
+  const CapacityReport msg{3, 120.5};
+  const auto decoded = DecodeCapacityReport(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->extender, 3);
+  EXPECT_DOUBLE_EQ(decoded->capacity_mbps, 120.5);
+}
+
+TEST(WireFormatTest, MalformedMessagesRejected) {
+  EXPECT_FALSE(DecodeScanReport("SCAN").has_value());
+  EXPECT_FALSE(DecodeScanReport("SCAN user=x rates=1").has_value());
+  EXPECT_FALSE(DecodeScanReport("SCAN user=1 rates=1,abc").has_value());
+  EXPECT_FALSE(
+      DecodeScanReport("SCAN user=1 rates=1,2 rssi=-50").has_value());
+  EXPECT_FALSE(DecodeScanReport("DIRECTIVE user=1 extender=0").has_value());
+  EXPECT_FALSE(DecodeAssociationDirective("DIRECTIVE user=1").has_value());
+  EXPECT_FALSE(DecodeCapacityReport("CAPACITY extender=1").has_value());
+  EXPECT_FALSE(
+      DecodeCapacityReport("CAPACITY extender=1 mbps=-5").has_value());
+}
+
+// --- Controller -----------------------------------------------------------
+
+// Fig. 3 scenario driven entirely through the control plane.
+class ControllerCaseStudy : public ::testing::Test {
+ protected:
+  CentralController MakeController(PolicyPtr policy) {
+    CentralController cc(2, std::move(policy));
+    cc.HandleCapacityReport({0, 60.0});
+    cc.HandleCapacityReport({1, 20.0});
+    return cc;
+  }
+  ScanReport User1() { return {101, {15.0, 10.0}, {}}; }
+  ScanReport User2() { return {102, {40.0, 20.0}, {}}; }
+};
+
+TEST_F(ControllerCaseStudy, RejectsBadConstruction) {
+  EXPECT_THROW(CentralController(0, std::make_unique<RssiPolicy>()),
+               std::invalid_argument);
+  EXPECT_THROW(CentralController(2, nullptr), std::invalid_argument);
+}
+
+TEST_F(ControllerCaseStudy, WoltReachesOptimumWithReassociation) {
+  CentralController cc = MakeController(std::make_unique<WoltPolicy>());
+  auto d1 = cc.HandleUserArrival(User1());
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0].user_id, 101);
+  EXPECT_EQ(d1[0].extender, 0);  // alone, extender 0 gives 15 > 10
+
+  // User 2 arrives: the optimal configuration moves user 1 to extender 1.
+  auto d2 = cc.HandleUserArrival(User2());
+  EXPECT_EQ(cc.ExtenderOf(101), 1);
+  EXPECT_EQ(cc.ExtenderOf(102), 0);
+  EXPECT_NEAR(cc.CurrentAggregate(), 40.0, 1e-9);
+  // Directives cover exactly the users that moved (both here).
+  EXPECT_EQ(d2.size(), 2u);
+}
+
+TEST_F(ControllerCaseStudy, GreedyNeverMovesExistingUsers) {
+  CentralController cc = MakeController(std::make_unique<GreedyPolicy>());
+  cc.HandleUserArrival(User1());
+  const auto d2 = cc.HandleUserArrival(User2());
+  ASSERT_EQ(d2.size(), 1u);  // only the new user is directed
+  EXPECT_EQ(d2[0].user_id, 102);
+  EXPECT_EQ(cc.ExtenderOf(101), 0);
+  EXPECT_EQ(cc.ExtenderOf(102), 1);
+  EXPECT_NEAR(cc.CurrentAggregate(), 30.0, 1e-9);
+}
+
+TEST_F(ControllerCaseStudy, DepartureFreesTheExtender) {
+  CentralController cc = MakeController(std::make_unique<WoltPolicy>());
+  cc.HandleUserArrival(User1());
+  cc.HandleUserArrival(User2());
+  cc.HandleUserDeparture(102);
+  EXPECT_EQ(cc.NumUsers(), 1u);
+  EXPECT_FALSE(cc.ExtenderOf(102).has_value());
+  // Reoptimize brings user 1 back to its solo optimum (extender 0).
+  cc.Reoptimize();
+  EXPECT_EQ(cc.ExtenderOf(101), 0);
+  EXPECT_NEAR(cc.CurrentAggregate(), 15.0, 1e-9);
+}
+
+TEST_F(ControllerCaseStudy, ScanUpdateTriggersReassociation) {
+  CentralController cc = MakeController(std::make_unique<WoltPolicy>());
+  cc.HandleUserArrival(User1());
+  // User 1 walks: now it only hears extender 1.
+  ScanReport moved = User1();
+  moved.rates_mbps = {0.0, 30.0};
+  const auto directives = cc.HandleScanUpdate(moved);
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_EQ(directives[0].extender, 1);
+  EXPECT_EQ(cc.ExtenderOf(101), 1);
+}
+
+TEST_F(ControllerCaseStudy, InputValidation) {
+  CentralController cc = MakeController(std::make_unique<WoltPolicy>());
+  EXPECT_THROW(cc.HandleCapacityReport({5, 10.0}), std::invalid_argument);
+  EXPECT_THROW(cc.HandleUserArrival({1, {10.0}, {}}),
+               std::invalid_argument);  // wrong rate count
+  cc.HandleUserArrival(User1());
+  EXPECT_THROW(cc.HandleUserArrival(User1()), std::invalid_argument);
+  EXPECT_THROW(cc.HandleUserDeparture(999), std::invalid_argument);
+  EXPECT_THROW(cc.HandleScanUpdate({999, {1.0, 1.0}, {}}),
+               std::invalid_argument);
+}
+
+TEST(ControllerTest, IdsStayStableAcrossDepartures) {
+  CentralController cc(1, std::make_unique<RssiPolicy>());
+  cc.HandleCapacityReport({0, 100.0});
+  for (std::int64_t id = 1; id <= 5; ++id) {
+    cc.HandleUserArrival({id, {20.0}, {}});
+  }
+  cc.HandleUserDeparture(2);
+  cc.HandleUserDeparture(4);
+  EXPECT_EQ(cc.NumUsers(), 3u);
+  EXPECT_TRUE(cc.ExtenderOf(1).has_value());
+  EXPECT_TRUE(cc.ExtenderOf(3).has_value());
+  EXPECT_TRUE(cc.ExtenderOf(5).has_value());
+  EXPECT_FALSE(cc.ExtenderOf(2).has_value());
+  // Arrivals after removal still work.
+  cc.HandleUserArrival({6, {20.0}, {}});
+  EXPECT_EQ(cc.NumUsers(), 4u);
+  EXPECT_TRUE(cc.ExtenderOf(6).has_value());
+}
+
+TEST(ControllerTest, RssiFromScanReportGuidesRssiPolicy) {
+  // Rates tie; the recorded RSSI must break the tie.
+  CentralController cc(2, std::make_unique<RssiPolicy>());
+  cc.HandleCapacityReport({0, 100.0});
+  cc.HandleCapacityReport({1, 100.0});
+  ScanReport report{1, {20.0, 20.0}, {-75.0, -55.0}};
+  cc.HandleUserArrival(report);
+  EXPECT_EQ(cc.ExtenderOf(1), 1);
+}
+
+}  // namespace
+}  // namespace wolt::core

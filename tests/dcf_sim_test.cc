@@ -1,0 +1,147 @@
+#include "wifi/dcf_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "model/evaluator.h"
+#include "util/rng.h"
+
+namespace wolt::wifi {
+namespace {
+
+constexpr double kSimSeconds = 5.0;
+
+TEST(DcfSimTest, RejectsBadInputs) {
+  util::Rng rng(1);
+  DcfParams params;
+  EXPECT_THROW(SimulateDcf(std::vector<double>{}, 1.0, params, rng),
+               std::invalid_argument);
+  EXPECT_THROW(SimulateDcf(std::vector<double>{10.0, 0.0}, 1.0, params, rng),
+               std::invalid_argument);
+  EXPECT_THROW(EffectiveRate(0.0, params), std::invalid_argument);
+}
+
+TEST(DcfSimTest, SingleStationNearsEffectiveRate) {
+  util::Rng rng(2);
+  const DcfParams params;
+  const std::vector<double> rates = {54.0};
+  const DcfResult r = SimulateDcf(rates, kSimSeconds, params, rng);
+  EXPECT_EQ(r.collision_events, 0);
+  EXPECT_NEAR(r.aggregate_mbps, EffectiveRate(54.0, params),
+              EffectiveRate(54.0, params) * 0.05);
+}
+
+TEST(DcfSimTest, EqualRatesShareEqually) {
+  util::Rng rng(3);
+  const std::vector<double> rates = {24.0, 24.0, 24.0};
+  const DcfResult r = SimulateDcf(rates, kSimSeconds, DcfParams{}, rng);
+  for (const auto& st : r.stations) {
+    EXPECT_NEAR(st.throughput_mbps, r.aggregate_mbps / 3.0,
+                r.aggregate_mbps * 0.03);
+  }
+}
+
+TEST(DcfSimTest, ThroughputFairSharingWithUnequalRates) {
+  // The 802.11 performance anomaly (Fig. 2a): fast and slow stations obtain
+  // the SAME throughput, not the same airtime.
+  util::Rng rng(4);
+  const std::vector<double> rates = {54.0, 6.0};
+  const DcfResult r = SimulateDcf(rates, kSimSeconds, DcfParams{}, rng);
+  EXPECT_NEAR(r.stations[0].throughput_mbps, r.stations[1].throughput_mbps,
+              r.stations[0].throughput_mbps * 0.08);
+  // The slow station hogs airtime.
+  EXPECT_GT(r.stations[1].airtime_share, 2.0 * r.stations[0].airtime_share);
+}
+
+TEST(DcfSimTest, AnomalyDragsFastStationBelowHalfItsSoloThroughput) {
+  util::Rng rng(5);
+  const DcfParams params;
+  const DcfResult solo =
+      SimulateDcf(std::vector<double>{54.0}, kSimSeconds, params, rng);
+  const DcfResult pair =
+      SimulateDcf(std::vector<double>{54.0, 6.0}, kSimSeconds, params, rng);
+  EXPECT_LT(pair.stations[0].throughput_mbps,
+            0.5 * solo.stations[0].throughput_mbps);
+}
+
+TEST(DcfSimTest, MatchesAnalyticFormulaWithinTolerance) {
+  // Validates Eq. 1 (with effective rates) against the slot-level MAC —
+  // the model-fidelity link between the evaluator and the simulator.
+  util::Rng rng(6);
+  const DcfParams params;
+  const std::vector<std::vector<double>> cases = {
+      {54.0, 54.0},
+      {54.0, 24.0},
+      {36.0, 12.0, 6.0},
+      {65.0, 39.0, 19.5, 6.5},
+  };
+  for (const auto& rates : cases) {
+    const DcfResult r = SimulateDcf(rates, kSimSeconds, params, rng);
+    const double analytic = AnalyticCellThroughput(rates, params);
+    EXPECT_NEAR(r.aggregate_mbps, analytic, analytic * 0.15)
+        << "n=" << rates.size();
+  }
+}
+
+TEST(DcfSimTest, HarmonicShapeMatchesEvaluatorFormula) {
+  // The simulator's aggregate across mixed-rate stations must track the
+  // harmonic-mean shape of model::WifiCellThroughput once rates are mapped
+  // to effective rates.
+  util::Rng rng(7);
+  const DcfParams params;
+  const std::vector<double> rates = {54.0, 12.0};
+  const DcfResult r = SimulateDcf(rates, kSimSeconds, params, rng);
+  const double harmonic = model::WifiCellThroughput(
+      {EffectiveRate(54.0, params), EffectiveRate(12.0, params)});
+  EXPECT_NEAR(r.aggregate_mbps, harmonic, harmonic * 0.15);
+}
+
+TEST(DcfSimTest, CollisionsOccurWithManyStations) {
+  util::Rng rng(8);
+  const std::vector<double> rates(10, 24.0);
+  const DcfResult r = SimulateDcf(rates, kSimSeconds, DcfParams{}, rng);
+  EXPECT_GT(r.collision_events, 0);
+  double total_share = 0.0;
+  for (const auto& st : r.stations) total_share += st.airtime_share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(DcfSimTest, DeterministicGivenSeed) {
+  const std::vector<double> rates = {54.0, 6.0};
+  util::Rng rng1(99), rng2(99);
+  const DcfResult a = SimulateDcf(rates, 1.0, DcfParams{}, rng1);
+  const DcfResult b = SimulateDcf(rates, 1.0, DcfParams{}, rng2);
+  ASSERT_EQ(a.stations.size(), b.stations.size());
+  for (std::size_t i = 0; i < a.stations.size(); ++i) {
+    EXPECT_EQ(a.stations[i].successes, b.stations[i].successes);
+    EXPECT_EQ(a.stations[i].collisions, b.stations[i].collisions);
+  }
+}
+
+TEST(DcfSimTest, EffectiveRateBelowPhyRate) {
+  const DcfParams params;
+  for (double rate : {6.5, 13.0, 26.0, 54.0, 65.0}) {
+    EXPECT_LT(EffectiveRate(rate, params), rate);
+    EXPECT_GT(EffectiveRate(rate, params), 0.0);
+  }
+}
+
+// More stations => higher collision overhead => aggregate does not grow.
+class DcfScalingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DcfScalingTest, AggregateBoundedByEffectiveRate) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const DcfParams params;
+  const std::vector<double> rates(static_cast<std::size_t>(GetParam()), 24.0);
+  const DcfResult r = SimulateDcf(rates, 2.0, params, rng);
+  EXPECT_LE(r.aggregate_mbps, EffectiveRate(24.0, params) * 1.02);
+  EXPECT_GT(r.aggregate_mbps, EffectiveRate(24.0, params) * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(StationCounts, DcfScalingTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace wolt::wifi

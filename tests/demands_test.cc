@@ -1,0 +1,200 @@
+// Tests for the finite-demand extension: demand-aware WiFi cell allocation,
+// capped TCP re-sharing, and end-to-end evaluation with offered loads.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "model/evaluator.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wolt::model {
+namespace {
+
+TEST(WifiCellAllocationTest, SaturatedReducesToEq1) {
+  const std::vector<double> rates = {15.0, 40.0};
+  const std::vector<double> saturated = {0.0, 0.0};
+  const CellAllocation alloc = WifiCellAllocation(rates, saturated);
+  EXPECT_NEAR(alloc.total_mbps, WifiCellThroughput(rates), 1e-9);
+  // Throughput-fair: equal shares.
+  EXPECT_NEAR(alloc.user_throughput_mbps[0], alloc.user_throughput_mbps[1],
+              1e-9);
+}
+
+TEST(WifiCellAllocationTest, LightDemandFreezesAndReleasesAirtime) {
+  // User 0 wants only 2 Mbit/s; user 1 (saturated) gets the released air.
+  const std::vector<double> rates = {15.0, 40.0};
+  const std::vector<double> demands = {2.0, 0.0};
+  const CellAllocation alloc = WifiCellAllocation(rates, demands);
+  EXPECT_NEAR(alloc.user_throughput_mbps[0], 2.0, 1e-9);
+  // Remaining airtime 1 - 2/15; user 1 alone: x = airtime * 40.
+  EXPECT_NEAR(alloc.user_throughput_mbps[1], (1.0 - 2.0 / 15.0) * 40.0,
+              1e-9);
+  EXPECT_GT(alloc.total_mbps, WifiCellThroughput(rates));
+}
+
+TEST(WifiCellAllocationTest, AllDemandsTinyLeavesAirtimeUnused) {
+  const std::vector<double> rates = {30.0, 30.0};
+  const std::vector<double> demands = {1.0, 2.0};
+  const CellAllocation alloc = WifiCellAllocation(rates, demands);
+  EXPECT_NEAR(alloc.user_throughput_mbps[0], 1.0, 1e-9);
+  EXPECT_NEAR(alloc.user_throughput_mbps[1], 2.0, 1e-9);
+  EXPECT_NEAR(alloc.total_mbps, 3.0, 1e-9);
+}
+
+TEST(WifiCellAllocationTest, AirtimeBudgetScalesThroughput) {
+  const std::vector<double> rates = {40.0};
+  const std::vector<double> demands = {0.0};
+  const CellAllocation full = WifiCellAllocation(rates, demands, 1.0);
+  const CellAllocation half = WifiCellAllocation(rates, demands, 0.5);
+  EXPECT_NEAR(half.total_mbps, full.total_mbps / 2.0, 1e-9);
+}
+
+TEST(WifiCellAllocationTest, InputValidation) {
+  EXPECT_THROW(WifiCellAllocation({10.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(WifiCellAllocation({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(WifiCellAllocation({10.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(WifiCellAllocation({10.0}, {0.0}, 1.5),
+               std::invalid_argument);
+  EXPECT_EQ(WifiCellAllocation({}, {}).total_mbps, 0.0);
+}
+
+TEST(MaxMinWithCapsTest, EqualSplitWhenCapsLoose) {
+  const std::vector<double> out = MaxMinWithCaps({10.0, 10.0}, 10.0);
+  EXPECT_NEAR(out[0], 5.0, 1e-9);
+  EXPECT_NEAR(out[1], 5.0, 1e-9);
+}
+
+TEST(MaxMinWithCapsTest, SmallCapReleasesToOthers) {
+  const std::vector<double> out = MaxMinWithCaps({2.0, 10.0}, 10.0);
+  EXPECT_NEAR(out[0], 2.0, 1e-9);
+  EXPECT_NEAR(out[1], 8.0, 1e-9);
+}
+
+TEST(MaxMinWithCapsTest, TotalBoundedBySumOfCaps) {
+  const std::vector<double> out = MaxMinWithCaps({2.0, 3.0}, 100.0);
+  EXPECT_NEAR(out[0] + out[1], 5.0, 1e-9);
+}
+
+TEST(MaxMinWithCapsTest, EdgeCases) {
+  EXPECT_TRUE(MaxMinWithCaps({}, 5.0).empty());
+  const std::vector<double> zero_total = MaxMinWithCaps({1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(zero_total[0], 0.0);
+  EXPECT_THROW(MaxMinWithCaps({-1.0}, 1.0), std::invalid_argument);
+}
+
+// --- End-to-end evaluation with demands ---
+
+TEST(DemandEvaluatorTest, DemandsCapUserThroughput) {
+  Network net = testbed::CaseStudyNetwork();
+  net.SetUserDemand(1, 5.0);  // user 2 only needs 5 Mbit/s
+  Assignment a(2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);  // the Fig. 3d optimal configuration
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_NEAR(r.user_throughput_mbps[1], 5.0, 1e-9);
+  // User 1 keeps its PLC-capped 10.
+  EXPECT_NEAR(r.user_throughput_mbps[0], 10.0, 1e-9);
+  EXPECT_NEAR(r.aggregate_mbps, 15.0, 1e-9);
+}
+
+TEST(DemandEvaluatorTest, ReleasedWifiAirtimeHelpsCellPeers) {
+  // Two users on one extender with a huge PLC link: the light user's spare
+  // airtime flows to the saturated one.
+  Network net(2, 1);
+  net.SetPlcRate(0, 1000.0);
+  net.SetWifiRate(0, 0, 15.0);
+  net.SetWifiRate(1, 0, 40.0);
+  net.SetUserDemand(0, 2.0);
+  Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_NEAR(r.user_throughput_mbps[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.user_throughput_mbps[1], (1.0 - 2.0 / 15.0) * 40.0, 1e-9);
+}
+
+TEST(DemandEvaluatorTest, PlcThrottleRespectsPerUserCaps) {
+  // WiFi side allocates {2, 34.7} but the PLC link only carries 10: the
+  // re-share gives the light user its full 2 and the rest to the other.
+  Network net(2, 1);
+  net.SetPlcRate(0, 10.0);
+  net.SetWifiRate(0, 0, 15.0);
+  net.SetWifiRate(1, 0, 40.0);
+  net.SetUserDemand(0, 2.0);
+  Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_NEAR(r.user_throughput_mbps[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.user_throughput_mbps[1], 8.0, 1e-9);
+  EXPECT_NEAR(r.aggregate_mbps, 10.0, 1e-9);
+}
+
+TEST(DemandEvaluatorTest, SaturatedNetworkUnchangedByDemandPath) {
+  // Setting every demand to 0 must reproduce the saturated fast path
+  // exactly (same aggregate, same per-user split).
+  const Network net = testbed::CaseStudyNetwork();
+  Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 1);
+  const EvalResult fast = Evaluator().Evaluate(net, a);
+  Network copy = net;
+  copy.SetUserDemand(0, 1e9);  // effectively saturated but takes slow path
+  copy.SetUserDemand(1, 1e9);
+  const EvalResult slow = Evaluator().Evaluate(copy, a);
+  EXPECT_NEAR(fast.aggregate_mbps, slow.aggregate_mbps, 1e-6);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(fast.user_throughput_mbps[i], slow.user_throughput_mbps[i],
+                1e-6);
+  }
+}
+
+TEST(DemandEvaluatorTest, NegativeDemandRejected) {
+  Network net(1, 1);
+  EXPECT_THROW(net.SetUserDemand(0, -1.0), std::invalid_argument);
+}
+
+// Property: lowering any single user's demand never increases that user's
+// throughput and never decreases the cell's total.
+class DemandMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DemandMonotonicityTest, ReleasingDemandHelpsTheCell) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  const int n = rng.UniformInt(2, 6);
+  std::vector<double> rates(static_cast<std::size_t>(n));
+  std::vector<double> demands(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rates[static_cast<std::size_t>(i)] = rng.Uniform(5.0, 65.0);
+    demands[static_cast<std::size_t>(i)] =
+        rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(1.0, 30.0);
+  }
+  const CellAllocation base = WifiCellAllocation(rates, demands);
+  const std::size_t victim =
+      static_cast<std::size_t>(rng.UniformInt(0, n - 1));
+  std::vector<double> reduced = demands;
+  reduced[victim] = std::max(base.user_throughput_mbps[victim] * 0.3, 0.01);
+  const CellAllocation after = WifiCellAllocation(rates, reduced);
+  EXPECT_LE(after.user_throughput_mbps[victim],
+            base.user_throughput_mbps[victim] + 1e-9);
+  // The cell loses at most what the victim gave up (others can only gain
+  // from the released airtime, and gain nothing if none is backlogged).
+  const double victim_loss = base.user_throughput_mbps[victim] -
+                             after.user_throughput_mbps[victim];
+  EXPECT_GE(after.total_mbps, base.total_mbps - victim_loss - 1e-9);
+  // Every other user weakly benefits.
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<std::size_t>(i) == victim) continue;
+    EXPECT_GE(after.user_throughput_mbps[static_cast<std::size_t>(i)],
+              base.user_throughput_mbps[static_cast<std::size_t>(i)] - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandMonotonicityTest,
+                         ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace wolt::model

@@ -1,0 +1,95 @@
+#include "sim/des.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace wolt::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 10.0);
+}
+
+TEST(EventQueueTest, FifoAmongSimultaneousEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int k = 0; k < 5; ++k) {
+    q.ScheduleAt(1.0, [&order, k] { order.push_back(k); });
+  }
+  q.RunUntil(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
+  EXPECT_EQ(q.Pending(), 1u);
+  q.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.5, chain);
+  q.RunUntil(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.Now(), 100.0);
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.ScheduleAt(5.0, [] {});
+  q.RunUntil(5.0);
+  EXPECT_THROW(q.ScheduleAt(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.ScheduleAfter(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, RunNextAdvancesClock) {
+  EventQueue q;
+  q.ScheduleAt(2.5, [] {});
+  EXPECT_TRUE(q.RunNext());
+  EXPECT_DOUBLE_EQ(q.Now(), 2.5);
+  EXPECT_FALSE(q.RunNext());
+}
+
+TEST(EventQueueTest, ClearDropsPendingEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(2.0, [&] { ++fired; });
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  q.RunUntil(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fire_time = -1.0;
+  q.ScheduleAt(3.0, [&] {
+    q.ScheduleAfter(2.0, [&] { fire_time = q.Now(); });
+  });
+  q.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(fire_time, 5.0);
+}
+
+}  // namespace
+}  // namespace wolt::sim

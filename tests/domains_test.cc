@@ -1,0 +1,140 @@
+// Tests for the multi-domain PLC extension: extenders on electrically
+// separated power-line segments (phases, breaker panels) time-share only
+// within their own domain.
+#include <gtest/gtest.h>
+
+#include "core/wolt.h"
+#include "model/evaluator.h"
+#include "model/io.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::model {
+namespace {
+
+// Two copies of the case-study network side by side.
+Network TwoSegmentNetwork() {
+  Network net(4, 4);
+  for (int copy = 0; copy < 2; ++copy) {
+    const std::size_t eo = static_cast<std::size_t>(copy) * 2;  // extender base
+    const std::size_t uo = static_cast<std::size_t>(copy) * 2;  // user base
+    net.SetPlcRate(eo + 0, 60.0);
+    net.SetPlcRate(eo + 1, 20.0);
+    net.SetWifiRate(uo + 0, eo + 0, 15.0);
+    net.SetWifiRate(uo + 0, eo + 1, 10.0);
+    net.SetWifiRate(uo + 1, eo + 0, 40.0);
+    net.SetWifiRate(uo + 1, eo + 1, 20.0);
+  }
+  return net;
+}
+
+Assignment OptimalPerCopy() {
+  Assignment a(4);
+  a.Assign(0, 1);
+  a.Assign(1, 0);
+  a.Assign(2, 3);
+  a.Assign(3, 2);
+  return a;
+}
+
+TEST(PlcDomainTest, DefaultsToSingleDomain) {
+  const Network net = testbed::CaseStudyNetwork();
+  EXPECT_EQ(net.PlcDomain(0), 0);
+  EXPECT_EQ(net.PlcDomain(1), 0);
+}
+
+TEST(PlcDomainTest, NegativeDomainRejected) {
+  Network net(1, 1);
+  EXPECT_THROW(net.SetPlcDomain(0, -1), std::invalid_argument);
+}
+
+TEST(PlcDomainTest, SeparateSegmentsDoNotContend) {
+  // One shared medium: the two copies halve each other. Two segments:
+  // each copy independently achieves its Fig. 3d optimum of 40.
+  Network shared = TwoSegmentNetwork();
+  Network split = TwoSegmentNetwork();
+  split.SetPlcDomain(2, 1);
+  split.SetPlcDomain(3, 1);
+  const Assignment a = OptimalPerCopy();
+  const Evaluator evaluator;
+  const double shared_agg = evaluator.AggregateThroughput(shared, a);
+  const double split_agg = evaluator.AggregateThroughput(split, a);
+  EXPECT_NEAR(split_agg, 80.0, 1e-9);  // 2x the single-copy optimum
+  EXPECT_LT(shared_agg, split_agg - 10.0);
+}
+
+TEST(PlcDomainTest, SplitExactlyDoublesTheSingleCopy) {
+  Network split = TwoSegmentNetwork();
+  split.SetPlcDomain(2, 1);
+  split.SetPlcDomain(3, 1);
+  const Evaluator evaluator;
+  const EvalResult r = evaluator.Evaluate(split, OptimalPerCopy());
+  // Per-extender results match the single-copy case study exactly.
+  EXPECT_NEAR(r.extenders[0].end_to_end_mbps, 30.0, 1e-9);
+  EXPECT_NEAR(r.extenders[1].end_to_end_mbps, 10.0, 1e-9);
+  EXPECT_NEAR(r.extenders[2].end_to_end_mbps, 30.0, 1e-9);
+  EXPECT_NEAR(r.extenders[3].end_to_end_mbps, 10.0, 1e-9);
+  EXPECT_EQ(r.extenders[0].bottleneck, Bottleneck::kPlc);
+}
+
+TEST(PlcDomainTest, EqualAllCountsPerDomain) {
+  Network split = TwoSegmentNetwork();
+  split.SetPlcDomain(2, 1);
+  split.SetPlcDomain(3, 1);
+  EvalOptions opts;
+  opts.plc_sharing = PlcSharing::kEqualAll;
+  // Only user 1 assigned, on extender 0 (domain 0): its share is c/2 over
+  // its own domain's two extenders, not c/4 over all four.
+  Assignment a(4);
+  a.Assign(1, 0);
+  const EvalResult r = Evaluator(opts).Evaluate(split, a);
+  EXPECT_NEAR(r.extenders[0].plc_throughput_mbps, 30.0, 1e-9);
+}
+
+TEST(PlcDomainTest, WoltExploitsExtraSegments) {
+  // With two segments WOLT's Phase-I utility sees c_j/2 per domain (not
+  // c_j/4) and the full pipeline reaches the doubled optimum.
+  Network split = TwoSegmentNetwork();
+  split.SetPlcDomain(2, 1);
+  split.SetPlcDomain(3, 1);
+  core::WoltPolicy wolt;
+  const Assignment a = wolt.AssociateFresh(split);
+  EXPECT_NEAR(Evaluator().AggregateThroughput(split, a), 80.0, 1e-9);
+}
+
+TEST(PlcDomainTest, DomainSurvivesSerialization) {
+  Network split = TwoSegmentNetwork();
+  split.SetPlcDomain(3, 2);
+  const auto loaded = NetworkFromString(NetworkToString(split));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->PlcDomain(0), 0);
+  EXPECT_EQ(loaded->PlcDomain(3), 2);
+}
+
+TEST(PlcDomainTest, RandomSplitNeverReducesAggregate) {
+  // Property: moving extenders onto separate segments (less contention)
+  // can only help, for any fixed assignment.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Network net(8, 4);
+    Assignment a(8);
+    for (std::size_t j = 0; j < 4; ++j) {
+      net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t e = static_cast<std::size_t>(rng.UniformInt(0, 3));
+      net.SetWifiRate(i, e, rng.Uniform(5.0, 65.0));
+      a.Assign(i, e);
+    }
+    const double single = Evaluator().AggregateThroughput(net, a);
+    Network split = net;
+    for (std::size_t j = 0; j < 4; ++j) {
+      split.SetPlcDomain(j, rng.UniformInt(0, 1));
+    }
+    const double multi = Evaluator().AggregateThroughput(split, a);
+    EXPECT_GE(multi, single - 1e-9) << "trial=" << trial;
+  }
+}
+
+}  // namespace
+}  // namespace wolt::model

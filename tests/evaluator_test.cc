@@ -1,0 +1,232 @@
+#include "model/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "testbed/lab.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wolt::model {
+namespace {
+
+TEST(WifiCellThroughputTest, SingleUserGetsOwnRate) {
+  EXPECT_DOUBLE_EQ(WifiCellThroughput({54.0}), 54.0);
+}
+
+TEST(WifiCellThroughputTest, HarmonicSharing) {
+  // Eq. 1 with rates 15 and 40: 2 / (1/15 + 1/40) = 240/11.
+  EXPECT_NEAR(WifiCellThroughput({15.0, 40.0}), 240.0 / 11.0, 1e-9);
+}
+
+TEST(WifiCellThroughputTest, PerformanceAnomaly) {
+  // Adding a slow user drags the aggregate below the fast user's solo rate.
+  const double fast_alone = WifiCellThroughput({54.0});
+  const double with_slow = WifiCellThroughput({54.0, 6.0});
+  EXPECT_LT(with_slow, fast_alone);
+  // And the aggregate is below twice the slow rate (each user gets the same
+  // throughput, which is below the slow user's rate).
+  EXPECT_LT(with_slow, 2.0 * 6.0);
+}
+
+TEST(WifiCellThroughputTest, RejectsNonPositiveRates) {
+  EXPECT_THROW(WifiCellThroughput({10.0, 0.0}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(WifiCellThroughput({}), 0.0);
+}
+
+// --- Fig. 3 case study: the canonical validation of the whole model. ---
+
+TEST(EvaluatorCaseStudyTest, RssiAssignmentYields22Mbps) {
+  const Network net = testbed::CaseStudyNetwork();
+  Assignment a(2);
+  a.Assign(0, 0);  // both users pick extender 1 (their best WiFi rate)
+  a.Assign(1, 0);
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_NEAR(r.aggregate_mbps, 240.0 / 11.0, 1e-9);  // ~21.8 ("22")
+  // Throughput-fair: both users see the same throughput.
+  EXPECT_NEAR(r.user_throughput_mbps[0], r.user_throughput_mbps[1], 1e-9);
+  EXPECT_EQ(r.active_extenders, 1);
+  EXPECT_EQ(r.extenders[0].bottleneck, Bottleneck::kWifi);
+}
+
+TEST(EvaluatorCaseStudyTest, GreedyAssignmentYields30Mbps) {
+  const Network net = testbed::CaseStudyNetwork();
+  Assignment a(2);
+  a.Assign(0, 0);  // user1 -> extender1
+  a.Assign(1, 1);  // user2 -> extender2
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_NEAR(r.aggregate_mbps, 30.0, 1e-9);
+  EXPECT_NEAR(r.user_throughput_mbps[0], 15.0, 1e-9);
+  EXPECT_NEAR(r.user_throughput_mbps[1], 15.0, 1e-9);
+  // Extender 1 is WiFi-bottlenecked; its PLC leftover flows to extender 2.
+  EXPECT_NEAR(r.extenders[0].plc_time_share, 0.25, 1e-9);
+  EXPECT_NEAR(r.extenders[1].plc_time_share, 0.75, 1e-9);
+}
+
+TEST(EvaluatorCaseStudyTest, OptimalAssignmentYields40Mbps) {
+  const Network net = testbed::CaseStudyNetwork();
+  Assignment a(2);
+  a.Assign(0, 1);  // user1 -> extender2
+  a.Assign(1, 0);  // user2 -> extender1
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_NEAR(r.aggregate_mbps, 40.0, 1e-9);
+  EXPECT_NEAR(r.user_throughput_mbps[0], 10.0, 1e-9);
+  EXPECT_NEAR(r.user_throughput_mbps[1], 30.0, 1e-9);
+  EXPECT_EQ(r.extenders[0].bottleneck, Bottleneck::kPlc);
+}
+
+TEST(EvaluatorCaseStudyTest, WithoutRedistributionGreedyDropsTo25) {
+  // Ablation: under strict 1/k sharing extender 2 is capped at 10 Mbps.
+  const Network net = testbed::CaseStudyNetwork();
+  Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 1);
+  EvalOptions opts;
+  opts.plc_sharing = PlcSharing::kEqualActive;
+  const EvalResult r = Evaluator(opts).Evaluate(net, a);
+  EXPECT_NEAR(r.aggregate_mbps, 25.0, 1e-9);
+}
+
+TEST(EvaluatorCaseStudyTest, EqualAllModelCountsIdleExtenders) {
+  // Under the paper's literal Problem-1 model both extenders own half the
+  // airtime even when only extender 1 is active: both users on ext1 give
+  // min(21.8, 30) = 21.8; a single user on ext1 alone gives min(15, 30).
+  const Network net = testbed::CaseStudyNetwork();
+  Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  EvalOptions opts;
+  opts.plc_sharing = PlcSharing::kEqualAll;
+  const EvalResult r = Evaluator(opts).Evaluate(net, a);
+  EXPECT_NEAR(r.aggregate_mbps, 240.0 / 11.0, 1e-9);
+  EXPECT_NEAR(r.extenders[0].plc_throughput_mbps, 30.0, 1e-9);
+  // Greedy-style split under kEqualAll: ext2 gets no leftover -> 25 total.
+  Assignment split(2);
+  split.Assign(0, 0);
+  split.Assign(1, 1);
+  EXPECT_NEAR(Evaluator(opts).AggregateThroughput(net, split), 25.0, 1e-9);
+}
+
+// --- General behaviour ---
+
+TEST(EvaluatorTest, IdleExtendersConsumeNoAirtime) {
+  Network net(1, 3);
+  net.SetWifiRate(0, 0, 50.0);
+  for (std::size_t j = 0; j < 3; ++j) net.SetPlcRate(j, 90.0);
+  Assignment a(1);
+  a.Assign(0, 0);
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_EQ(r.active_extenders, 1);
+  EXPECT_EQ(r.extenders[1].bottleneck, Bottleneck::kIdle);
+  EXPECT_DOUBLE_EQ(r.extenders[1].plc_time_share, 0.0);
+  // Sole active extender: not split with idle ones.
+  EXPECT_NEAR(r.aggregate_mbps, 50.0, 1e-9);
+}
+
+TEST(EvaluatorTest, UnassignedUsersGetZero) {
+  Network net(2, 1);
+  net.SetWifiRate(0, 0, 20.0);
+  net.SetWifiRate(1, 0, 20.0);
+  net.SetPlcRate(0, 100.0);
+  Assignment a(2);
+  a.Assign(0, 0);
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_DOUBLE_EQ(r.user_throughput_mbps[1], 0.0);
+  EXPECT_NEAR(r.aggregate_mbps, 20.0, 1e-9);
+}
+
+TEST(EvaluatorTest, ThrowsOnUnreachableAssignment) {
+  Network net(1, 1);
+  net.SetPlcRate(0, 100.0);
+  Assignment a(1);
+  a.Assign(0, 0);  // r = 0
+  EXPECT_THROW(Evaluator().Evaluate(net, a), std::invalid_argument);
+}
+
+TEST(EvaluatorTest, ThrowsOnSizeMismatch) {
+  Network net(1, 1);
+  Assignment a(2);
+  EXPECT_THROW(Evaluator().Evaluate(net, a), std::invalid_argument);
+}
+
+TEST(EvaluatorTest, PlcBottleneckCapsCell) {
+  Network net(1, 1);
+  net.SetWifiRate(0, 0, 100.0);
+  net.SetPlcRate(0, 40.0);
+  Assignment a(1);
+  a.Assign(0, 0);
+  const EvalResult r = Evaluator().Evaluate(net, a);
+  EXPECT_NEAR(r.aggregate_mbps, 40.0, 1e-9);
+  EXPECT_EQ(r.extenders[0].bottleneck, Bottleneck::kPlc);
+}
+
+TEST(EvaluatorTest, AggregateThroughputMatchesEvaluate) {
+  const Network net = testbed::CaseStudyNetwork();
+  Assignment a(2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);
+  const Evaluator ev;
+  EXPECT_DOUBLE_EQ(ev.AggregateThroughput(net, a),
+                   ev.Evaluate(net, a).aggregate_mbps);
+}
+
+// Properties over random instances.
+class EvaluatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorProperty, InvariantsHold) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const int num_users = rng.UniformInt(1, 12);
+  const int num_ext = rng.UniformInt(1, 5);
+  Network net(static_cast<std::size_t>(num_users),
+              static_cast<std::size_t>(num_ext));
+  for (int j = 0; j < num_ext; ++j) {
+    net.SetPlcRate(static_cast<std::size_t>(j), rng.Uniform(20.0, 200.0));
+  }
+  Assignment a(static_cast<std::size_t>(num_users));
+  for (int i = 0; i < num_users; ++i) {
+    const std::size_t e =
+        static_cast<std::size_t>(rng.UniformInt(0, num_ext - 1));
+    net.SetWifiRate(static_cast<std::size_t>(i), e, rng.Uniform(5.0, 65.0));
+    a.Assign(static_cast<std::size_t>(i), e);
+  }
+
+  EvalOptions maxmin_opts;
+  maxmin_opts.plc_sharing = PlcSharing::kMaxMinActive;
+  EvalOptions equal_opts;
+  equal_opts.plc_sharing = PlcSharing::kEqualActive;
+  const EvalResult with = Evaluator(maxmin_opts).Evaluate(net, a);
+  const EvalResult without = Evaluator(equal_opts).Evaluate(net, a);
+
+  // Redistribution never reduces the aggregate.
+  EXPECT_GE(with.aggregate_mbps, without.aggregate_mbps - 1e-9);
+
+  // Aggregate equals the sum of user throughputs (everyone assigned).
+  EXPECT_NEAR(with.aggregate_mbps, util::Sum(with.user_throughput_mbps),
+              1e-6);
+
+  // Each extender's end-to-end is min of its two segments and users on the
+  // same extender get equal throughput.
+  for (int j = 0; j < num_ext; ++j) {
+    const auto& rep = with.extenders[static_cast<std::size_t>(j)];
+    EXPECT_LE(rep.end_to_end_mbps, rep.wifi_throughput_mbps + 1e-9);
+    EXPECT_LE(rep.end_to_end_mbps, rep.plc_throughput_mbps + 1e-9);
+    const auto users = a.UsersOf(static_cast<std::size_t>(j));
+    for (std::size_t k = 1; k < users.size(); ++k) {
+      EXPECT_NEAR(with.user_throughput_mbps[users[k]],
+                  with.user_throughput_mbps[users[0]], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorProperty, ::testing::Range(1, 41));
+
+TEST(BottleneckToStringTest, AllValuesNamed) {
+  EXPECT_STREQ(ToString(Bottleneck::kIdle), "idle");
+  EXPECT_STREQ(ToString(Bottleneck::kWifi), "wifi");
+  EXPECT_STREQ(ToString(Bottleneck::kPlc), "plc");
+  EXPECT_STREQ(ToString(Bottleneck::kBalanced), "balanced");
+}
+
+}  // namespace
+}  // namespace wolt::model

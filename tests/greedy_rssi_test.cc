@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/optimal.h"
+#include "core/rssi.h"
+#include "model/evaluator.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::core {
+namespace {
+
+TEST(RssiTest, CaseStudyBothUsersPickExtender1) {
+  // Fig. 3b: both users hear extender 1 best -> 22 Mbps aggregate.
+  const model::Network net = testbed::CaseStudyNetwork();
+  RssiPolicy rssi;
+  const model::Assignment a = rssi.AssociateFresh(net);
+  EXPECT_EQ(a.ExtenderOf(0), 0);
+  EXPECT_EQ(a.ExtenderOf(1), 0);
+  EXPECT_NEAR(model::Evaluator().AggregateThroughput(net, a), 240.0 / 11.0,
+              1e-9);
+}
+
+TEST(RssiTest, NeverReassignsExistingUsers) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment prev(2);
+  prev.Assign(0, 1);  // user0 parked on its weaker extender
+  RssiPolicy rssi;
+  const model::Assignment a = rssi.Associate(net, prev);
+  EXPECT_EQ(a.ExtenderOf(0), 1);  // untouched
+  EXPECT_EQ(a.ExtenderOf(1), 0);  // new user gets best RSSI
+}
+
+TEST(RssiTest, FallsBackWhenBestExtenderFull) {
+  model::Network net(2, 2);
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    net.SetWifiRate(i, 0, 60.0);
+    net.SetWifiRate(i, 1, 10.0);
+  }
+  net.SetMaxUsers(0, 1);
+  RssiPolicy rssi;
+  const model::Assignment a = rssi.AssociateFresh(net);
+  EXPECT_EQ(a.ExtenderOf(0), 0);
+  EXPECT_EQ(a.ExtenderOf(1), 1);
+}
+
+TEST(RssiTest, UnreachableUserLeftOut) {
+  model::Network net(1, 1);
+  net.SetPlcRate(0, 100.0);
+  RssiPolicy rssi;
+  const model::Assignment a = rssi.AssociateFresh(net);
+  EXPECT_FALSE(a.IsAssigned(0));
+}
+
+TEST(GreedyTest, CaseStudyReproducesFig3c) {
+  // User 1 arrives first (alone: ext0 gives min(60,15)=15 vs ext1
+  // min(20,10)=10), then user 2 picks ext1 (aggregate 30 vs 21.8).
+  const model::Network net = testbed::CaseStudyNetwork();
+  GreedyPolicy greedy;
+  const model::Assignment a = greedy.AssociateFresh(net);
+  EXPECT_EQ(a.ExtenderOf(0), 0);
+  EXPECT_EQ(a.ExtenderOf(1), 1);
+  EXPECT_NEAR(model::Evaluator().AggregateThroughput(net, a), 30.0, 1e-9);
+}
+
+TEST(GreedyTest, ArrivalOrderMatters) {
+  // Reversed arrival order changes the greedy outcome — the classic online
+  // pathology WOLT avoids. With user 2 first: it picks ext0 (40 capped to
+  // 60 -> 40); user 1 then compares joining ext0 vs ext1.
+  model::Network net = testbed::CaseStudyNetwork();
+  GreedyPolicy greedy;
+  // Simulate reversed order via `previous`: assign user 1 (index 1) first.
+  model::Assignment prev(2);
+  prev.Assign(1, 0);  // user2 alone would choose ext0: min(60, 40) = 40
+  const model::Assignment a = greedy.Associate(net, prev);
+  EXPECT_TRUE(a.IsCompleteFor(net));
+  const double agg = model::Evaluator().AggregateThroughput(net, a);
+  // user1's options: join ext0 -> 2/(1/15+1/40) = 21.8; ext1 -> max-min
+  // split gives 30+10 = 40 total. Greedy picks ext1.
+  EXPECT_EQ(a.ExtenderOf(0), 1);
+  EXPECT_NEAR(agg, 40.0, 1e-9);
+}
+
+TEST(GreedyTest, NeverReassignsExistingUsers) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment prev(2);
+  prev.Assign(0, 1);
+  GreedyPolicy greedy;
+  const model::Assignment a = greedy.Associate(net, prev);
+  EXPECT_EQ(a.ExtenderOf(0), 1);
+}
+
+TEST(GreedyTest, RespectsCapacityLimits) {
+  model::Network net(3, 2);
+  net.SetPlcRate(0, 200.0);
+  net.SetPlcRate(1, 200.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    net.SetWifiRate(i, 0, 60.0);
+    net.SetWifiRate(i, 1, 60.0);
+  }
+  net.SetMaxUsers(0, 1);
+  GreedyPolicy greedy;
+  const model::Assignment a = greedy.AssociateFresh(net);
+  EXPECT_LE(a.LoadVector(2)[0], 1);
+  EXPECT_TRUE(a.IsCompleteFor(net));
+}
+
+TEST(GreedyTest, AtLeastAsGoodAsRssiOnAverage) {
+  const model::Evaluator evaluator;
+  double greedy_total = 0.0, rssi_total = 0.0;
+  for (int seed = 1; seed <= 30; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 37);
+    model::Network net(8, 3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+      }
+    }
+    GreedyPolicy greedy;
+    RssiPolicy rssi;
+    greedy_total +=
+        evaluator.AggregateThroughput(net, greedy.AssociateFresh(net));
+    rssi_total +=
+        evaluator.AggregateThroughput(net, rssi.AssociateFresh(net));
+  }
+  EXPECT_GT(greedy_total, rssi_total);
+}
+
+TEST(OptimalTest, CaseStudyReaches40) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  OptimalPolicy optimal;
+  const model::Assignment a = optimal.AssociateFresh(net);
+  EXPECT_NEAR(model::Evaluator().AggregateThroughput(net, a), 40.0, 1e-9);
+}
+
+TEST(OptimalTest, DominatesGreedyAndRssiEverywhere) {
+  const model::Evaluator evaluator;
+  for (int seed = 1; seed <= 15; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 59);
+    model::Network net(5, 3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+    }
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+      }
+    }
+    OptimalPolicy optimal;
+    GreedyPolicy greedy;
+    RssiPolicy rssi;
+    const double opt =
+        evaluator.AggregateThroughput(net, optimal.AssociateFresh(net));
+    EXPECT_GE(opt, evaluator.AggregateThroughput(
+                       net, greedy.AssociateFresh(net)) - 1e-9);
+    EXPECT_GE(opt, evaluator.AggregateThroughput(
+                       net, rssi.AssociateFresh(net)) - 1e-9);
+  }
+}
+
+TEST(PolicyTest, SizeMismatchThrows) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  GreedyPolicy greedy;
+  RssiPolicy rssi;
+  EXPECT_THROW(greedy.Associate(net, model::Assignment(1)),
+               std::invalid_argument);
+  EXPECT_THROW(rssi.Associate(net, model::Assignment(9)),
+               std::invalid_argument);
+}
+
+TEST(PolicyTest, Names) {
+  EXPECT_EQ(GreedyPolicy().Name(), "Greedy");
+  EXPECT_EQ(RssiPolicy().Name(), "RSSI");
+  EXPECT_EQ(OptimalPolicy().Name(), "Optimal");
+}
+
+}  // namespace
+}  // namespace wolt::core

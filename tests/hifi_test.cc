@@ -1,0 +1,127 @@
+#include "sim/hifi.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/optimal.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "model/evaluator.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::sim {
+namespace {
+
+// The case-study rates were chosen as effective rates; use efficiency 1.0
+// so the DCF sim sees them as PHY rates of comparable magnitude.
+HifiParams CaseStudyParams() {
+  HifiParams p;
+  p.wifi_mac_efficiency = 0.65;
+  return p;
+}
+
+TEST(HifiTest, RejectsBadInputs) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  util::Rng rng(1);
+  EXPECT_THROW(SimulateHifi(net, model::Assignment(5), {}, rng),
+               std::invalid_argument);
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  HifiParams bad;
+  bad.wifi_mac_efficiency = 0.0;
+  EXPECT_THROW(SimulateHifi(net, a, bad, rng), std::invalid_argument);
+  model::Network dead = net;
+  dead.SetPlcRate(0, 0.0);
+  EXPECT_THROW(SimulateHifi(dead, a, {}, rng), std::invalid_argument);
+}
+
+TEST(HifiTest, EmptyAssignmentYieldsZero) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  util::Rng rng(2);
+  const HifiResult r =
+      SimulateHifi(net, model::Assignment(2), CaseStudyParams(), rng);
+  EXPECT_DOUBLE_EQ(r.aggregate_mbps, 0.0);
+}
+
+TEST(HifiTest, TracksFlowModelOnCaseStudy) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  util::Rng rng(3);
+  const model::Evaluator evaluator;
+  for (const auto& [e0, e1] : std::vector<std::pair<int, int>>{
+           {0, 0}, {0, 1}, {1, 0}, {1, 1}}) {
+    model::Assignment a(2);
+    a.Assign(0, static_cast<std::size_t>(e0));
+    a.Assign(1, static_cast<std::size_t>(e1));
+    const double flow = evaluator.AggregateThroughput(net, a);
+    const HifiResult hifi = SimulateHifi(net, a, CaseStudyParams(), rng);
+    EXPECT_NEAR(hifi.aggregate_mbps, flow, flow * 0.25)
+        << "assignment " << e0 << "," << e1;
+  }
+}
+
+TEST(HifiTest, PreservesThePolicyOrdering) {
+  // The reproduction's Fig. 4c claim: conclusions drawn from the flow model
+  // survive at MAC level. Optimal > RSSI on the case study in both models.
+  const model::Network net = testbed::CaseStudyNetwork();
+  util::Rng rng(4);
+  core::OptimalPolicy optimal;
+  core::RssiPolicy rssi;
+  const HifiResult best = SimulateHifi(net, optimal.AssociateFresh(net),
+                                       CaseStudyParams(), rng);
+  const HifiResult worst =
+      SimulateHifi(net, rssi.AssociateFresh(net), CaseStudyParams(), rng);
+  EXPECT_GT(best.aggregate_mbps, worst.aggregate_mbps * 1.3);
+}
+
+TEST(HifiTest, TracksFlowModelOnLabTopologies) {
+  const testbed::LabTestbed lab;
+  util::Rng rng(5);
+  const model::Evaluator evaluator;
+  core::WoltPolicy wolt;
+  double ratio_sum = 0.0;
+  const int kTopologies = 5;
+  for (int t = 0; t < kTopologies; ++t) {
+    util::Rng topo_rng = rng.Fork();
+    const model::Network net = lab.GenerateTopology(topo_rng);
+    const model::Assignment a = wolt.AssociateFresh(net);
+    const double flow = evaluator.AggregateThroughput(net, a);
+    const HifiResult hifi = SimulateHifi(net, a, HifiParams{}, rng);
+    ratio_sum += hifi.aggregate_mbps / flow;
+  }
+  // MAC overhead biases the simulation slightly below the formulas; the
+  // two must stay within ~20% on average.
+  const double mean_ratio = ratio_sum / kTopologies;
+  EXPECT_GT(mean_ratio, 0.7);
+  EXPECT_LT(mean_ratio, 1.15);
+}
+
+TEST(HifiTest, UserThroughputsSumToExtenderThroughput) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  util::Rng rng(6);
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  const HifiResult r = SimulateHifi(net, a, CaseStudyParams(), rng);
+  EXPECT_NEAR(r.user_throughput_mbps[0] + r.user_throughput_mbps[1],
+              r.extender_mbps[0], 1e-9);
+  // Throughput-fair cell: the two users end up close to each other.
+  EXPECT_NEAR(r.user_throughput_mbps[0], r.user_throughput_mbps[1],
+              0.2 * r.user_throughput_mbps[0] + 0.5);
+}
+
+TEST(HifiTest, DeterministicGivenSeed) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);
+  util::Rng r1(9), r2(9);
+  const HifiResult x = SimulateHifi(net, a, CaseStudyParams(), r1);
+  const HifiResult y = SimulateHifi(net, a, CaseStudyParams(), r2);
+  EXPECT_DOUBLE_EQ(x.aggregate_mbps, y.aggregate_mbps);
+}
+
+}  // namespace
+}  // namespace wolt::sim

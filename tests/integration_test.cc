@@ -1,0 +1,199 @@
+// End-to-end integration tests mirroring the paper's headline claims at a
+// scale that keeps ctest fast. The full-scale reproductions live in bench/.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/optimal.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "model/evaluator.h"
+#include "plc/capacity.h"
+#include "sim/dynamics.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt {
+namespace {
+
+TEST(IntegrationTest, TestbedWoltBeatsBothBaselines) {
+  // Fig. 4a shape: over random lab topologies WOLT's mean aggregate exceeds
+  // Greedy's and RSSI's, and RSSI is the weakest.
+  const testbed::LabTestbed lab;
+  util::Rng rng(101);
+  const auto topologies = lab.GenerateTopologies(25, rng);
+  core::WoltPolicy wolt;
+  core::GreedyPolicy greedy;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &greedy, &rssi};
+  const auto results = sim::RunNetworkTrials(topologies, policies);
+  const double wolt_mean = results[0].MeanAggregate();
+  const double greedy_mean = results[1].MeanAggregate();
+  const double rssi_mean = results[2].MeanAggregate();
+  EXPECT_GT(wolt_mean, greedy_mean);
+  EXPECT_GT(wolt_mean, rssi_mean);
+  EXPECT_GT(greedy_mean, rssi_mean);
+}
+
+TEST(IntegrationTest, EnterpriseSimSubsetWoltDominatesGreedy) {
+  // Fig. 6a shape, achieved by the WOLT-S extension: per-trial dominance
+  // over the online greedy baseline on the enterprise floor under the
+  // physical sharing model. (Paper-faithful WOLT converges to the
+  // all-extenders-active aggregate at this scale — see EXPERIMENTS.md.)
+  sim::ScenarioParams p;
+  p.num_extenders = 15;
+  p.num_users = 36;
+  const sim::ScenarioGenerator gen(p);
+  core::WoltOptions so;
+  so.subset_search = true;
+  core::WoltPolicy wolts(so);
+  core::GreedyPolicy greedy;
+  std::vector<core::AssociationPolicy*> policies = {&wolts, &greedy};
+  util::Rng rng(202);
+  const auto results = sim::RunStaticTrials(gen, policies, 20, rng);
+  int wins = 0;
+  for (std::size_t t = 0; t < 20; ++t) {
+    if (results[0].trials[t].aggregate_mbps >=
+        results[1].trials[t].aggregate_mbps) {
+      ++wins;
+    }
+  }
+  EXPECT_GE(wins, 17);  // paper: WOLT wins in all trials
+  EXPECT_GT(results[0].MeanAggregate(), results[1].MeanAggregate());
+}
+
+TEST(IntegrationTest, EnterpriseSimPhysicalModelBoundedGap) {
+  // Reproduction finding (documented in EXPERIMENTS.md): under the
+  // physically-validated max-min active-extender sharing, WOLT's
+  // all-extenders-active Phase I costs aggregate at 15-extender scale; the
+  // gap to greedy must stay bounded.
+  sim::ScenarioParams p;
+  p.num_extenders = 15;
+  p.num_users = 36;
+  const sim::ScenarioGenerator gen(p);
+  core::WoltPolicy wolt;
+  core::GreedyPolicy greedy;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &greedy};
+  util::Rng rng(202);
+  const auto results = sim::RunStaticTrials(gen, policies, 20, rng);
+  EXPECT_GT(results[0].MeanAggregate(), 0.7 * results[1].MeanAggregate());
+}
+
+TEST(IntegrationTest, FairnessOrderingMatchesPaper) {
+  // §V-E: Jain index ordering WOLT >= RSSI > Greedy (0.66 / 0.65 / 0.52).
+  sim::ScenarioParams p;
+  p.num_extenders = 15;
+  p.num_users = 36;
+  const sim::ScenarioGenerator gen(p);
+  core::WoltPolicy wolt;
+  core::GreedyPolicy greedy;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &greedy, &rssi};
+  util::Rng rng(303);
+  const auto results = sim::RunStaticTrials(gen, policies, 20, rng);
+  EXPECT_GT(results[0].MeanJain(), results[1].MeanJain());  // WOLT > Greedy
+}
+
+TEST(IntegrationTest, SmallScaleSimMatchesOptimalClosely) {
+  // Fig. 4c spirit: at testbed scale the full WOLT pipeline lands within a
+  // few percent of brute-force optimum.
+  testbed::LabParams lp;
+  lp.num_users = 5;  // keep 3^5 brute force instant
+  const testbed::LabTestbed lab(lp);
+  util::Rng rng(404);
+  const model::Evaluator evaluator;
+  double ratio_sum = 0.0;
+  const int cases = 10;
+  for (int t = 0; t < cases; ++t) {
+    const model::Network net = lab.GenerateTopology(rng);
+    core::WoltPolicy wolt;
+    core::OptimalPolicy optimal;
+    const double w =
+        evaluator.AggregateThroughput(net, wolt.AssociateFresh(net));
+    const double o =
+        evaluator.AggregateThroughput(net, optimal.AssociateFresh(net));
+    EXPECT_LE(w, o + 1e-9);
+    ratio_sum += w / o;
+  }
+  EXPECT_GE(ratio_sum / cases, 0.92);
+}
+
+TEST(IntegrationTest, NoisyCapacityEstimatesBarelyHurtWolt) {
+  // The deployment pipeline (§V-A): WOLT consumes iperf3-style capacity
+  // estimates, not ground truth. 5% probe noise must not change decisions
+  // materially.
+  const testbed::LabTestbed lab;
+  const plc::CapacityEstimator estimator;
+  util::Rng rng(505);
+  const model::Evaluator evaluator;
+  double truth_total = 0.0, noisy_total = 0.0;
+  for (int t = 0; t < 15; ++t) {
+    const model::Network net = lab.GenerateTopology(rng);
+    // Build the "estimated" network: same WiFi rates, estimated c_j.
+    model::Network estimated = net;
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      estimated.SetPlcRate(j, estimator.Estimate(net.PlcRate(j), rng));
+    }
+    core::WoltPolicy wolt;
+    const model::Assignment truth_assign = wolt.AssociateFresh(net);
+    const model::Assignment noisy_assign = wolt.AssociateFresh(estimated);
+    // Both evaluated on the TRUE network.
+    truth_total += evaluator.AggregateThroughput(net, truth_assign);
+    noisy_total += evaluator.AggregateThroughput(net, noisy_assign);
+  }
+  EXPECT_GT(noisy_total, truth_total * 0.93);
+}
+
+TEST(IntegrationTest, DynamicScenarioEndToEnd) {
+  // Fig. 6b/6c shape at reduced scale: WOLT stays ahead over epochs while
+  // keeping churn near one swap per arrival.
+  sim::ScenarioParams p;
+  p.num_extenders = 8;
+  p.num_users = 0;
+  const sim::ScenarioGenerator gen(p);
+  model::EvalOptions paper_model;
+  paper_model.plc_sharing = model::PlcSharing::kEqualAll;
+  core::WoltPolicy wolt;
+  core::GreedyPolicy greedy(paper_model);
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &greedy};
+  sim::DynamicsParams params;
+  params.eval = paper_model;
+  util::Rng rng(606);
+  const auto history = sim::RunDynamicSimulation(gen, policies, params, rng);
+  ASSERT_EQ(history.size(), 3u);
+  std::size_t total_arrivals = 0, total_reassignments = 0;
+  for (const auto& epoch : history) {
+    EXPECT_GE(epoch.per_policy[0].aggregate_mbps,
+              epoch.per_policy[1].aggregate_mbps * 0.95);
+    total_arrivals += epoch.arrivals;
+    total_reassignments += epoch.per_policy[0].reassignments;
+  }
+  EXPECT_LE(total_reassignments,
+            2 * total_arrivals + 3 * gen.params().num_extenders);
+}
+
+TEST(IntegrationTest, PolicyInterfacePolymorphism) {
+  // The public API: all policies usable through the base pointer.
+  const model::Network net = testbed::CaseStudyNetwork();
+  std::vector<core::PolicyPtr> policies;
+  policies.push_back(std::make_unique<core::WoltPolicy>());
+  policies.push_back(std::make_unique<core::GreedyPolicy>());
+  policies.push_back(std::make_unique<core::RssiPolicy>());
+  policies.push_back(std::make_unique<core::OptimalPolicy>());
+  const model::Evaluator evaluator;
+  std::vector<double> aggregates;
+  for (const auto& p : policies) {
+    aggregates.push_back(
+        evaluator.AggregateThroughput(net, p->AssociateFresh(net)));
+  }
+  EXPECT_NEAR(aggregates[0], 40.0, 1e-9);          // WOLT
+  EXPECT_NEAR(aggregates[1], 30.0, 1e-9);          // Greedy
+  EXPECT_NEAR(aggregates[2], 240.0 / 11.0, 1e-9);  // RSSI
+  EXPECT_NEAR(aggregates[3], 40.0, 1e-9);          // Optimal
+}
+
+}  // namespace
+}  // namespace wolt

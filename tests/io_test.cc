@@ -1,0 +1,127 @@
+#include "model/io.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::model {
+namespace {
+
+void ExpectNetworksEqual(const Network& a, const Network& b) {
+  ASSERT_EQ(a.NumUsers(), b.NumUsers());
+  ASSERT_EQ(a.NumExtenders(), b.NumExtenders());
+  for (std::size_t j = 0; j < a.NumExtenders(); ++j) {
+    EXPECT_DOUBLE_EQ(a.PlcRate(j), b.PlcRate(j));
+    EXPECT_EQ(a.MaxUsers(j), b.MaxUsers(j));
+    EXPECT_DOUBLE_EQ(a.ExtenderAt(j).position.x, b.ExtenderAt(j).position.x);
+    EXPECT_DOUBLE_EQ(a.ExtenderAt(j).position.y, b.ExtenderAt(j).position.y);
+    EXPECT_EQ(a.ExtenderAt(j).label, b.ExtenderAt(j).label);
+  }
+  for (std::size_t i = 0; i < a.NumUsers(); ++i) {
+    EXPECT_DOUBLE_EQ(a.UserDemand(i), b.UserDemand(i));
+    EXPECT_EQ(a.UserAt(i).label, b.UserAt(i).label);
+    for (std::size_t j = 0; j < a.NumExtenders(); ++j) {
+      EXPECT_DOUBLE_EQ(a.WifiRate(i, j), b.WifiRate(i, j));
+      if (a.HasRssi() && b.HasRssi()) {
+        EXPECT_DOUBLE_EQ(a.Rssi(i, j), b.Rssi(i, j));
+      }
+    }
+  }
+  EXPECT_EQ(a.HasRssi(), b.HasRssi());
+}
+
+TEST(NetworkIoTest, CaseStudyRoundTrip) {
+  const Network net = testbed::CaseStudyNetwork();
+  const auto loaded = NetworkFromString(NetworkToString(net));
+  ASSERT_TRUE(loaded.has_value());
+  ExpectNetworksEqual(net, *loaded);
+}
+
+TEST(NetworkIoTest, GeneratedScenarioRoundTripBitExact) {
+  sim::ScenarioParams p;
+  p.num_extenders = 8;
+  p.num_users = 12;
+  util::Rng rng(5);
+  const Network net = sim::ScenarioGenerator(p).Generate(rng);
+  const std::string text = NetworkToString(net);
+  const auto loaded = NetworkFromString(text);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectNetworksEqual(net, *loaded);
+  // Idempotent: re-serializing reproduces the identical byte stream.
+  EXPECT_EQ(NetworkToString(*loaded), text);
+}
+
+TEST(NetworkIoTest, DemandsAndCapsSurvive) {
+  Network net = testbed::CaseStudyNetwork();
+  net.SetUserDemand(0, 7.5);
+  net.SetMaxUsers(1, 3);
+  const auto loaded = NetworkFromString(NetworkToString(net));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->UserDemand(0), 7.5);
+  EXPECT_EQ(loaded->MaxUsers(1), 3);
+}
+
+TEST(NetworkIoTest, CommentsAndBlankLinesIgnored) {
+  const Network net = testbed::CaseStudyNetwork();
+  std::string text = "# a scenario file\n\n" + NetworkToString(net);
+  const auto loaded = NetworkFromString(text);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectNetworksEqual(net, *loaded);
+}
+
+TEST(NetworkIoTest, FileRoundTrip) {
+  const Network net = testbed::CaseStudyNetwork();
+  const std::string path = ::testing::TempDir() + "/wolt_net_io_test.txt";
+  ASSERT_TRUE(SaveNetworkFile(net, path));
+  const auto loaded = LoadNetworkFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectNetworksEqual(net, *loaded);
+}
+
+TEST(NetworkIoTest, UnwritablePathFails) {
+  EXPECT_FALSE(SaveNetworkFile(testbed::CaseStudyNetwork(),
+                               "/nonexistent_zzz/net.txt"));
+  EXPECT_FALSE(LoadNetworkFile("/nonexistent_zzz/net.txt").has_value());
+}
+
+TEST(NetworkIoTest, MalformedInputsRejected) {
+  EXPECT_FALSE(NetworkFromString("").has_value());
+  EXPECT_FALSE(NetworkFromString("not-a-network 1\n").has_value());
+  EXPECT_FALSE(NetworkFromString("wolt-network 99\n").has_value());
+  // Wrong extender index ordering.
+  EXPECT_FALSE(NetworkFromString("wolt-network 1\nextenders 1\n"
+                                 "extender 5 plc=10 x=0 y=0\n")
+                   .has_value());
+  // Negative PLC rate.
+  EXPECT_FALSE(NetworkFromString("wolt-network 1\nextenders 1\n"
+                                 "extender 0 plc=-5 x=0 y=0\nusers 0\n")
+                   .has_value());
+  // Rate row with the wrong arity.
+  EXPECT_FALSE(
+      NetworkFromString("wolt-network 1\nextenders 2\n"
+                        "extender 0 plc=10 x=0 y=0\n"
+                        "extender 1 plc=10 x=1 y=0\n"
+                        "users 1\nuser 0 x=0 y=0 demand=0\n"
+                        "rates 0 5\n")
+          .has_value());
+  // Garbage number.
+  EXPECT_FALSE(
+      NetworkFromString("wolt-network 1\nextenders 1\n"
+                        "extender 0 plc=ten x=0 y=0\nusers 0\n")
+          .has_value());
+}
+
+TEST(NetworkIoTest, LoadedNetworkIsUsable) {
+  // A loaded network must drive the full pipeline (reachability queries,
+  // association) exactly like the original.
+  const Network net = testbed::CaseStudyNetwork();
+  const auto loaded = NetworkFromString(NetworkToString(net));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->UserReachable(0));
+  EXPECT_EQ(*loaded->BestRateExtender(1), 0u);
+}
+
+}  // namespace
+}  // namespace wolt::model

@@ -1,0 +1,134 @@
+#include "testbed/lab.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "testbed/traces.h"
+#include "util/stats.h"
+
+namespace wolt::testbed {
+namespace {
+
+TEST(CaseStudyTest, MatchesFig3aRates) {
+  const model::Network net = CaseStudyNetwork();
+  ASSERT_EQ(net.NumUsers(), 2u);
+  ASSERT_EQ(net.NumExtenders(), 2u);
+  EXPECT_DOUBLE_EQ(net.PlcRate(0), 60.0);
+  EXPECT_DOUBLE_EQ(net.PlcRate(1), 20.0);
+  EXPECT_DOUBLE_EQ(net.WifiRate(0, 0), 15.0);
+  EXPECT_DOUBLE_EQ(net.WifiRate(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(net.WifiRate(1, 0), 40.0);
+  EXPECT_DOUBLE_EQ(net.WifiRate(1, 1), 20.0);
+}
+
+TEST(LabTestbedTest, RejectsBadParams) {
+  LabParams p;
+  p.num_users = 0;
+  EXPECT_THROW(LabTestbed{p}, std::invalid_argument);
+  p = {};
+  p.outlet_capacities_mbps.clear();
+  EXPECT_THROW(LabTestbed{p}, std::invalid_argument);
+}
+
+TEST(LabTestbedTest, TopologyHasPaperDimensions) {
+  const LabTestbed lab;
+  util::Rng rng(1);
+  const model::Network net = lab.GenerateTopology(rng);
+  EXPECT_EQ(net.NumExtenders(), 3u);  // three TL-WPA8630 extenders
+  EXPECT_EQ(net.NumUsers(), 7u);      // seven laptops
+}
+
+TEST(LabTestbedTest, CapacitiesNearMeasuredAnchors) {
+  const LabTestbed lab;
+  util::Rng rng(2);
+  std::vector<double> caps;
+  for (int t = 0; t < 50; ++t) {
+    const model::Network net = lab.GenerateTopology(rng);
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      caps.push_back(net.PlcRate(j));
+    }
+  }
+  // Jittered anchors 60..160: everything within a generous band around it.
+  EXPECT_GT(util::Min(caps), 35.0);
+  EXPECT_LT(util::Max(caps), 250.0);
+  EXPECT_NEAR(util::Mean(caps), 108.0, 20.0);
+}
+
+TEST(LabTestbedTest, UsersReachableInAllTopologies) {
+  const LabTestbed lab;
+  util::Rng rng(3);
+  const auto topologies = lab.GenerateTopologies(25, rng);
+  EXPECT_EQ(topologies.size(), 25u);
+  for (const auto& net : topologies) {
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      EXPECT_TRUE(net.UserReachable(i));
+    }
+  }
+}
+
+TEST(LabTestbedTest, TopologiesDiffer) {
+  const LabTestbed lab;
+  util::Rng rng(4);
+  const auto topologies = lab.GenerateTopologies(2, rng);
+  bool any_difference = false;
+  for (std::size_t j = 0; j < topologies[0].NumExtenders(); ++j) {
+    if (topologies[0].PlcRate(j) != topologies[1].PlcRate(j)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(LabTestbedTest, MeasurementNoiseIsBoundedAndUnbiased) {
+  const LabTestbed lab;
+  util::Rng rng(5);
+  const model::Network net = CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);  // optimal: users get 10 and 30
+  std::vector<double> u0, u1;
+  for (int t = 0; t < 2000; ++t) {
+    const auto measured = lab.MeasureUserThroughputs(net, a, rng);
+    u0.push_back(measured[0]);
+    u1.push_back(measured[1]);
+  }
+  EXPECT_NEAR(util::Mean(u0), 10.0, 0.2);
+  EXPECT_NEAR(util::Mean(u1), 30.0, 0.5);
+  EXPECT_GT(util::StdDev(u0), 0.1);  // noise actually applied
+}
+
+TEST(LabTestbedTest, ZeroNoiseReproducesModelExactly) {
+  const LabTestbed lab;
+  util::Rng rng(6);
+  const model::Network net = CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);
+  const auto measured = lab.MeasureUserThroughputs(net, a, rng, 0.0);
+  EXPECT_DOUBLE_EQ(measured[0], 10.0);
+  EXPECT_DOUBLE_EQ(measured[1], 30.0);
+}
+
+TEST(TracesTest, ReferenceSeriesAreComplete) {
+  EXPECT_EQ(Fig2bPlcIsolationThroughputs().size(), 4u);
+  EXPECT_EQ(Fig2cSharingFractions().size(), 4u);
+  EXPECT_EQ(Fig3CaseStudyAggregates().size(), 3u);
+  EXPECT_EQ(Fig4aImprovements().size(), 2u);
+  EXPECT_EQ(Fig4bUserWinFractions().size(), 2u);
+  EXPECT_EQ(Fig5UserExtremes().size(), 2u);
+  EXPECT_EQ(JainFairnessReference().size(), 3u);
+  EXPECT_EQ(Fig6bPopulationTrajectory().size(), 3u);
+  EXPECT_DOUBLE_EQ(Fig6cMaxReassignmentsPerArrival(), 2.0);
+}
+
+TEST(TracesTest, Fig3ReferenceMatchesPaperNumbers) {
+  const auto& points = Fig3CaseStudyAggregates();
+  EXPECT_EQ(points[0].label, "RSSI");
+  EXPECT_DOUBLE_EQ(points[0].value, 22.0);
+  EXPECT_DOUBLE_EQ(points[1].value, 30.0);
+  EXPECT_DOUBLE_EQ(points[2].value, 40.0);
+}
+
+}  // namespace
+}  // namespace wolt::testbed

@@ -1,0 +1,181 @@
+#include "assign/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assign/brute_force.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::assign {
+namespace {
+
+model::Network RandomNetwork(util::Rng& rng, std::size_t users,
+                             std::size_t exts) {
+  model::Network net(users, exts);
+  for (std::size_t j = 0; j < exts; ++j) {
+    net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+  }
+  for (std::size_t i = 0; i < users; ++i) {
+    for (std::size_t j = 0; j < exts; ++j) {
+      net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+    }
+  }
+  return net;
+}
+
+TEST(Phase2ValueTest, WifiSumMatchesHandComputation) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  // Both on ext0: sum = 2/(1/15 + 1/40) = 240/11.
+  EXPECT_NEAR(Phase2Value(net, a, Phase2Objective::kWifiSum, {}),
+              240.0 / 11.0, 1e-9);
+  a.Assign(1, 1);
+  EXPECT_NEAR(Phase2Value(net, a, Phase2Objective::kWifiSum, {}),
+              15.0 + 20.0, 1e-9);
+}
+
+TEST(Phase2ValueTest, EndToEndUsesEvaluator) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 1);
+  EXPECT_NEAR(Phase2Value(net, a, Phase2Objective::kEndToEnd, {}), 30.0,
+              1e-9);
+}
+
+TEST(GreedyInsertTest, PicksBestMarginalExtender) {
+  // User 1 fixed on ext0 (rate 15); inserting user 2 onto ext1 gives WiFi
+  // sum 15+20=35 vs both-on-ext0 21.8, so greedy must pick ext1.
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  GreedyInsert(net, a, {1});
+  EXPECT_EQ(a.ExtenderOf(1), 1);
+}
+
+TEST(GreedyInsertTest, SkipsAssignedAndUnreachableUsers) {
+  model::Network net(3, 2);
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  net.SetWifiRate(0, 0, 10.0);
+  net.SetWifiRate(1, 1, 10.0);
+  // user 2 unreachable everywhere.
+  model::Assignment a(3);
+  a.Assign(0, 0);
+  GreedyInsert(net, a, {0, 1, 2});
+  EXPECT_EQ(a.ExtenderOf(0), 0);  // untouched
+  EXPECT_EQ(a.ExtenderOf(1), 1);
+  EXPECT_FALSE(a.IsAssigned(2));  // left out, no crash
+}
+
+TEST(GreedyInsertTest, RespectsCapacityCaps) {
+  model::Network net(3, 2);
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    net.SetWifiRate(i, 0, 60.0);  // everyone prefers ext0
+    net.SetWifiRate(i, 1, 10.0);
+  }
+  net.SetMaxUsers(0, 2);
+  model::Assignment a(3);
+  GreedyInsert(net, a, {0, 1, 2});
+  const std::vector<int> load = a.LoadVector(2);
+  EXPECT_EQ(load[0], 2);
+  EXPECT_EQ(load[1], 1);
+}
+
+TEST(GreedyInsertTest, EndToEndObjectiveVariant) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  LocalSearchOptions opts;
+  opts.objective = Phase2Objective::kEndToEnd;
+  GreedyInsert(net, a, {1}, opts);
+  // End-to-end: ext1 gives 30 total vs 21.8 on ext0.
+  EXPECT_EQ(a.ExtenderOf(1), 1);
+}
+
+TEST(RelocateTest, ImprovesToLocalOptimum) {
+  // Start from a bad configuration and verify local search escapes it.
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);  // both users on ext0: WiFi sum 21.8
+  const LocalSearchStats stats = RelocateLocalSearch(net, a, {0, 1});
+  EXPECT_GT(stats.final_value, stats.initial_value);
+  EXPECT_GE(stats.moves, 1u);
+  // WiFi-sum optimum keeps each user alone on an extender.
+  EXPECT_NE(a.ExtenderOf(0), a.ExtenderOf(1));
+}
+
+TEST(RelocateTest, OnlyMovesMovableUsers) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 0);
+  a.Assign(1, 0);
+  RelocateLocalSearch(net, a, {1});  // user0 pinned
+  EXPECT_EQ(a.ExtenderOf(0), 0);
+}
+
+TEST(RelocateTest, StopsOnTolerance) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);  // already the WiFi-sum optimum (10 + 40 = 50)
+  const LocalSearchStats stats = RelocateLocalSearch(net, a, {0, 1});
+  EXPECT_EQ(stats.moves, 0u);
+  EXPECT_DOUBLE_EQ(stats.initial_value, stats.final_value);
+}
+
+TEST(RelocateTest, NeverDecreasesObjective) {
+  for (int seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 131);
+    const model::Network net = RandomNetwork(rng, 8, 3);
+    model::Assignment a(8);
+    std::vector<std::size_t> movable;
+    for (std::size_t i = 0; i < 8; ++i) {
+      a.Assign(i, static_cast<std::size_t>(rng.UniformInt(0, 2)));
+      movable.push_back(i);
+    }
+    const LocalSearchStats stats = RelocateLocalSearch(net, a, movable);
+    EXPECT_GE(stats.final_value, stats.initial_value - 1e-9) << seed;
+    EXPECT_TRUE(a.IsCompleteFor(net));
+  }
+}
+
+TEST(RelocateTest, ReachesBruteForceOptimumOnWifiSum) {
+  // Problem 2 with no fixed users: greedy insertion + relocation should hit
+  // the exhaustive WiFi-sum optimum on small instances (Theorem 3 says the
+  // continuous relaxation is integral; the discrete landscape is benign).
+  int optimal_hits = 0;
+  double ratio_sum = 0.0;
+  const int cases = 30;
+  for (int seed = 1; seed <= cases; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 733);
+    const model::Network net = RandomNetwork(rng, 6, 3);
+    model::Assignment a(6);
+    std::vector<std::size_t> all = {0, 1, 2, 3, 4, 5};
+    const double heuristic = SolvePhase2MultiStart(net, a, all);
+
+    const model::Assignment none(6);
+    const BruteForceResult bf = SolveBruteForceObjective(
+        net, none, [&](const model::Assignment& cand) {
+          return Phase2Value(net, cand, Phase2Objective::kWifiSum, {});
+        });
+    EXPECT_LE(heuristic, bf.best_aggregate_mbps + 1e-6);
+    ratio_sum += heuristic / bf.best_aggregate_mbps;
+    if (heuristic >= bf.best_aggregate_mbps - 1e-6) ++optimal_hits;
+  }
+  // A local-search heuristic for an NP-hard landscape: it must hit the
+  // exact optimum in a clear majority of instances and stay within a
+  // fraction of a percent of it on average.
+  EXPECT_GE(optimal_hits, cases * 2 / 3);
+  EXPECT_GE(ratio_sum / cases, 0.995);
+}
+
+}  // namespace
+}  // namespace wolt::assign

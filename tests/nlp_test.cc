@@ -1,0 +1,181 @@
+#include "assign/nlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "assign/brute_force.h"
+#include "assign/local_search.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::assign {
+namespace {
+
+model::Network RandomNetwork(util::Rng& rng, std::size_t users,
+                             std::size_t exts) {
+  model::Network net(users, exts);
+  for (std::size_t j = 0; j < exts; ++j) {
+    net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+  }
+  for (std::size_t i = 0; i < users; ++i) {
+    for (std::size_t j = 0; j < exts; ++j) {
+      net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+    }
+  }
+  return net;
+}
+
+TEST(SimplexProjectionTest, AlreadyOnSimplexIsFixedPoint) {
+  const std::vector<double> v = {0.2, 0.3, 0.5};
+  const std::vector<bool> allowed = {true, true, true};
+  const std::vector<double> p = ProjectToSimplex(v, allowed);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(p[i], v[i], 1e-12);
+  }
+}
+
+TEST(SimplexProjectionTest, ProjectionSumsToOneAndNonNegative) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = rng.UniformInt(1, 8);
+    std::vector<double> v(static_cast<std::size_t>(n));
+    std::vector<bool> allowed(static_cast<std::size_t>(n), false);
+    int num_allowed = 0;
+    for (int i = 0; i < n; ++i) {
+      v[static_cast<std::size_t>(i)] = rng.Uniform(-5.0, 5.0);
+      if (rng.Bernoulli(0.8) || (i == n - 1 && num_allowed == 0)) {
+        allowed[static_cast<std::size_t>(i)] = true;
+        ++num_allowed;
+      }
+    }
+    const std::vector<double> p = ProjectToSimplex(v, allowed);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      ASSERT_GE(p[i], -1e-12);
+      if (!allowed[i]) {
+        ASSERT_EQ(p[i], 0.0);
+      }
+      sum += p[i];
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SimplexProjectionTest, LargestEntryDominatesProjection) {
+  const std::vector<double> v = {10.0, 0.0, 0.0};
+  const std::vector<bool> allowed = {true, true, true};
+  const std::vector<double> p = ProjectToSimplex(v, allowed);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+TEST(SimplexProjectionTest, RejectsNoAllowedEntries) {
+  EXPECT_THROW(ProjectToSimplex({1.0}, {false}), std::invalid_argument);
+  EXPECT_THROW(ProjectToSimplex({1.0}, {false, true}),
+               std::invalid_argument);
+}
+
+TEST(NlpTest, CaseStudyPhase2MatchesDiscreteSolver) {
+  // Fix user 1 on extender 0 (a Phase-I-like seed), let the NLP place
+  // user 2: WiFi-sum is maximized on extender 1.
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment fixed(2);
+  fixed.Assign(0, 0);
+  const NlpResult r = SolvePhase2Nlp(net, fixed, {1});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.rounded.ExtenderOf(0), 0);
+  EXPECT_EQ(r.rounded.ExtenderOf(1), 1);
+  EXPECT_LT(r.max_fractionality, 0.01);  // Theorem 3: integral optimum
+}
+
+TEST(NlpTest, SolutionsAreNearIntegral) {
+  // Theorem 3 empirically: converged points are (near-)integral across
+  // random instances.
+  for (int seed = 1; seed <= 15; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 389);
+    const model::Network net = RandomNetwork(rng, 6, 3);
+    model::Assignment fixed(6);
+    fixed.Assign(0, 0);
+    fixed.Assign(1, 1);
+    fixed.Assign(2, 2);
+    const NlpResult r = SolvePhase2Nlp(net, fixed, {3, 4, 5});
+    EXPECT_LT(r.max_fractionality, 0.05) << "seed=" << seed;
+    EXPECT_TRUE(r.rounded.IsCompleteFor(net));
+  }
+}
+
+TEST(NlpTest, RoundedObjectiveNearContinuous) {
+  for (int seed = 1; seed <= 15; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 641);
+    const model::Network net = RandomNetwork(rng, 5, 2);
+    model::Assignment fixed(5);
+    fixed.Assign(0, 0);
+    fixed.Assign(1, 1);
+    const NlpResult r = SolvePhase2Nlp(net, fixed, {2, 3, 4});
+    // Rounding an integral optimum must not lose objective value.
+    EXPECT_GE(r.objective_rounded, r.objective_continuous * 0.97)
+        << "seed=" << seed;
+  }
+}
+
+TEST(NlpTest, MatchesBruteForceOnSmallInstances) {
+  int hits = 0;
+  const int cases = 20;
+  for (int seed = 1; seed <= cases; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 947);
+    const model::Network net = RandomNetwork(rng, 5, 3);
+    model::Assignment fixed(5);
+    fixed.Assign(0, 0);
+    const NlpResult r = SolvePhase2Nlp(net, fixed, {1, 2, 3, 4});
+
+    const BruteForceResult bf = SolveBruteForceObjective(
+        net, fixed, [&](const model::Assignment& cand) {
+          return Phase2Value(net, cand, Phase2Objective::kWifiSum, {});
+        });
+    EXPECT_LE(r.objective_rounded, bf.best_aggregate_mbps + 1e-6);
+    if (r.objective_rounded >= bf.best_aggregate_mbps - 1e-3) ++hits;
+  }
+  // Projected gradient is a local method; it should still find the global
+  // optimum in the large majority of these small instances.
+  EXPECT_GE(hits, cases * 3 / 4);
+}
+
+TEST(NlpTest, RejectsBadInputs) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment fixed(2);
+  fixed.Assign(0, 0);
+  // Movable user already fixed.
+  EXPECT_THROW(SolvePhase2Nlp(net, fixed, {0}), std::invalid_argument);
+  // Unreachable movable user.
+  model::Network island(1, 1);
+  island.SetPlcRate(0, 100.0);
+  EXPECT_THROW(SolvePhase2Nlp(island, model::Assignment(1), {0}),
+               std::invalid_argument);
+}
+
+TEST(NlpTest, EmptyMovableSetIsNoop) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment fixed(2);
+  fixed.Assign(0, 0);
+  fixed.Assign(1, 1);
+  const NlpResult r = SolvePhase2Nlp(net, fixed, {});
+  EXPECT_EQ(r.rounded, fixed);
+}
+
+TEST(NlpTest, RespectsReachabilityInRounding) {
+  model::Network net(2, 2);
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  net.SetWifiRate(0, 0, 30.0);
+  net.SetWifiRate(1, 1, 30.0);  // user1 can only reach ext1
+  model::Assignment fixed(2);
+  fixed.Assign(0, 0);
+  const NlpResult r = SolvePhase2Nlp(net, fixed, {1});
+  EXPECT_EQ(r.rounded.ExtenderOf(1), 1);
+}
+
+}  // namespace
+}  // namespace wolt::assign

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wifi/mcs.h"
+#include "wifi/pathloss.h"
+
+namespace wolt::wifi {
+namespace {
+
+TEST(PathLossTest, ReferenceLossAtOneMetre) {
+  PathLossModel m;
+  EXPECT_NEAR(m.PathLossDb(1.0), m.pl0_db, 1e-12);
+}
+
+TEST(PathLossTest, TenXDistanceAddsTenNdB) {
+  PathLossModel m;
+  m.exponent = 3.0;
+  EXPECT_NEAR(m.PathLossDb(10.0) - m.PathLossDb(1.0), 30.0, 1e-9);
+  EXPECT_NEAR(m.PathLossDb(100.0) - m.PathLossDb(10.0), 30.0, 1e-9);
+}
+
+TEST(PathLossTest, MonotoneInDistance) {
+  PathLossModel m;
+  double prev = m.RssiDbm(0.5);
+  for (double d = 1.0; d <= 120.0; d += 1.0) {
+    const double rssi = m.RssiDbm(d);
+    ASSERT_LT(rssi, prev) << "RSSI must strictly decrease, d=" << d;
+    prev = rssi;
+  }
+}
+
+TEST(PathLossTest, ClampsTinyDistances) {
+  PathLossModel m;
+  EXPECT_DOUBLE_EQ(m.PathLossDb(0.0), m.PathLossDb(0.05));
+}
+
+TEST(PathLossTest, ShadowingShiftsRssi) {
+  PathLossModel m;
+  EXPECT_NEAR(m.RssiDbm(10.0, 5.0), m.RssiDbm(10.0) + 5.0, 1e-12);
+  EXPECT_NEAR(m.RssiDbm(10.0, -7.0), m.RssiDbm(10.0) - 7.0, 1e-12);
+}
+
+TEST(PathLossTest, FloorScaleRssiSpansTheMcsLadder) {
+  // The default model must make the MCS ladder meaningful on a 100 m
+  // enterprise floor: top MCS near an extender, MCS0 still decodable at
+  // ~40 m (grid spacing keeps users within that of some extender), and out
+  // of range beyond ~50 m (so distant extenders are genuinely unusable).
+  PathLossModel m;
+  EXPECT_GT(m.RssiDbm(10.0), -70.0);   // high MCS up close
+  EXPECT_GT(m.RssiDbm(40.0), -82.0);   // MCS0 at grid scale
+  EXPECT_LT(m.RssiDbm(50.0), -82.0);   // far extenders unreachable
+}
+
+TEST(RateTableTest, Ieee80211nRatesAtKnownRssi) {
+  const RateTable table = RateTable::Ieee80211nHt20(1.0);
+  EXPECT_DOUBLE_EQ(table.RateAtRssi(-60.0), 65.0);   // best MCS
+  EXPECT_DOUBLE_EQ(table.RateAtRssi(-80.0), 6.5);    // MCS0 only
+  EXPECT_DOUBLE_EQ(table.RateAtRssi(-90.0), 0.0);    // out of range
+  EXPECT_DOUBLE_EQ(table.RateAtRssi(-75.0), 19.5);   // QPSK 3/4
+}
+
+TEST(RateTableTest, MacEfficiencyScalesRates) {
+  const RateTable table = RateTable::Ieee80211nHt20(0.65);
+  EXPECT_NEAR(table.RateAtRssi(-60.0), 65.0 * 0.65, 1e-12);
+  EXPECT_NEAR(table.MaxRate(), 65.0 * 0.65, 1e-12);
+}
+
+TEST(RateTableTest, RateMonotoneInRssi) {
+  const RateTable table = RateTable::Ieee80211nHt20();
+  double prev = -1.0;
+  for (double rssi = -95.0; rssi <= -40.0; rssi += 0.5) {
+    const double rate = table.RateAtRssi(rssi);
+    ASSERT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(RateTableTest, McsAtRssiReturnsEntry) {
+  const RateTable table = RateTable::Ieee80211nHt20();
+  const McsEntry* e = table.McsAtRssi(-70.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->index, 4);
+  EXPECT_EQ(e->modulation, "16-QAM 3/4");
+  EXPECT_EQ(table.McsAtRssi(-100.0), nullptr);
+}
+
+TEST(RateTableTest, AironetTableCoversLongerRange) {
+  const RateTable aironet = RateTable::CiscoAironet80211g(1.0);
+  // 802.11g sensitivity is lower; -90 dBm still yields a rate.
+  EXPECT_GT(aironet.RateAtRssi(-90.0), 0.0);
+  EXPECT_DOUBLE_EQ(aironet.RateAtRssi(-70.0), 54.0);
+  EXPECT_DOUBLE_EQ(aironet.MinSensitivityDbm(), -94.0);
+}
+
+TEST(RateTableTest, RejectsBadConstruction) {
+  EXPECT_THROW(RateTable({}, 0.65), std::invalid_argument);
+  EXPECT_THROW(RateTable({{0, -80.0, 6.0, ""}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(RateTable({{0, -80.0, 6.0, ""}}, 1.5), std::invalid_argument);
+  // Unsorted rates rejected.
+  EXPECT_THROW(RateTable({{0, -80.0, 12.0, ""}, {1, -78.0, 6.0, ""}}, 0.5),
+               std::invalid_argument);
+}
+
+// End-to-end: distance -> RSSI -> rate pipeline produces the stepped
+// rate-vs-distance curve the paper's simulator uses.
+class RateVsDistanceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateVsDistanceTest, PipelineYieldsDecreasingRates) {
+  const PathLossModel pl;
+  const RateTable table = RateTable::Ieee80211nHt20();
+  const double d = GetParam();
+  const double near_rate = table.RateAtRssi(pl.RssiDbm(d));
+  const double far_rate = table.RateAtRssi(pl.RssiDbm(d * 2.0));
+  EXPECT_GE(near_rate, far_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RateVsDistanceTest,
+                         ::testing::Values(1.0, 5.0, 10.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace wolt::wifi

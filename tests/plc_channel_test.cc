@@ -1,0 +1,170 @@
+#include "plc/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "plc/capacity.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wolt::plc {
+namespace {
+
+TEST(ChannelModelTest, RejectsBadParams) {
+  ChannelModelParams p;
+  p.num_subcarriers = 0;
+  EXPECT_THROW(ChannelModel{p}, std::invalid_argument);
+  p = {};
+  p.band_high_mhz = p.band_low_mhz;
+  EXPECT_THROW(ChannelModel{p}, std::invalid_argument);
+}
+
+TEST(ChannelModelTest, SnrDecaysWithLengthFrequencyAndTaps) {
+  const ChannelModel model;
+  PlcPath a{10.0, 0, 0.0};
+  PlcPath b{30.0, 0, 0.0};
+  EXPECT_GT(model.SnrDb(a, 10.0), model.SnrDb(b, 10.0));
+  EXPECT_GT(model.SnrDb(a, 10.0), model.SnrDb(a, 50.0));
+  PlcPath tapped = a;
+  tapped.branch_taps = 3;
+  EXPECT_GT(model.SnrDb(a, 10.0), model.SnrDb(tapped, 10.0));
+}
+
+TEST(ChannelModelTest, BitLoadingClampedAndMonotone) {
+  const ChannelModel model;
+  EXPECT_EQ(model.BitsPerCarrier(-20.0), 0);
+  EXPECT_EQ(model.BitsPerCarrier(100.0), model.params().max_bits_per_carrier);
+  int prev = 0;
+  for (double snr = 0.0; snr <= 60.0; snr += 1.0) {
+    const int bits = model.BitsPerCarrier(snr);
+    ASSERT_GE(bits, prev);
+    prev = bits;
+  }
+}
+
+TEST(ChannelModelTest, CapacityMonotoneInWireLength) {
+  const ChannelModel model;
+  double prev = 1e18;
+  for (double len = 5.0; len <= 80.0; len += 5.0) {
+    const double cap = model.CapacityMbps({len, 1, 0.0});
+    ASSERT_LE(cap, prev) << "len=" << len;
+    prev = cap;
+  }
+}
+
+TEST(ChannelModelTest, CalibrationCoversMeasuredBand) {
+  // The paper's building outlets measured 60-160 Mbit/s isolation TCP
+  // throughput (Fig. 2b). Typical office runs must land in (or bracket)
+  // that band.
+  const ChannelModel model;
+  const double best = model.CapacityMbps({5.0, 0, 0.0});
+  const double worst = model.CapacityMbps({60.0, 3, 0.0});
+  EXPECT_GE(best, 140.0) << "short clean run should reach ~160 Mbps";
+  EXPECT_LE(best, 260.0);
+  EXPECT_LE(worst, 80.0) << "long tapped run should drop toward ~60 Mbps";
+  EXPECT_GE(worst, 10.0);
+}
+
+TEST(ChannelModelTest, ShadowingShiftsCapacity) {
+  const ChannelModel model;
+  const double nominal = model.CapacityMbps({20.0, 1, 0.0});
+  EXPECT_GT(model.CapacityMbps({20.0, 1, 6.0}), nominal);
+  EXPECT_LT(model.CapacityMbps({20.0, 1, -6.0}), nominal);
+}
+
+TEST(ChannelModelTest, PhyRateAboveTcpCapacity) {
+  const ChannelModel model;
+  const PlcPath path{15.0, 1, 0.0};
+  EXPECT_GT(model.PhyRateMbps(path), model.CapacityMbps(path));
+}
+
+TEST(CapacitySamplerTest, AnchorsModeStaysInClampedRange) {
+  CapacitySamplerParams p;  // measured-anchor mode by default
+  const CapacitySampler sampler(p);
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double c = sampler.Sample(rng);
+    ASSERT_GE(c, p.min_capacity_mbps);
+    ASSERT_LE(c, p.max_capacity_mbps);
+  }
+}
+
+TEST(CapacitySamplerTest, AnchorsModeSpansMeasuredBand) {
+  const CapacitySampler sampler{CapacitySamplerParams{}};
+  util::Rng rng(6);
+  const std::vector<double> caps = sampler.SampleMany(2000, rng);
+  EXPECT_LT(util::Min(caps), 70.0);   // low anchors appear
+  EXPECT_GT(util::Max(caps), 140.0);  // high anchors appear
+  EXPECT_NEAR(util::Mean(caps), 108.0, 15.0);  // near anchor mean (107.5)
+}
+
+TEST(CapacitySamplerTest, ChannelModelModeProducesSpread) {
+  CapacitySamplerParams p;
+  p.source = CapacitySource::kChannelModel;
+  const CapacitySampler sampler(p);
+  util::Rng rng(7);
+  const std::vector<double> caps = sampler.SampleMany(500, rng);
+  EXPECT_GT(util::StdDev(caps), 5.0);
+  for (double c : caps) {
+    ASSERT_GE(c, p.min_capacity_mbps);
+    ASSERT_LE(c, p.max_capacity_mbps);
+  }
+}
+
+TEST(CapacitySamplerTest, RejectsEmptyAnchors) {
+  CapacitySamplerParams p;
+  p.measured_anchors.clear();
+  EXPECT_THROW(CapacitySampler{p}, std::invalid_argument);
+}
+
+TEST(CapacityEstimatorTest, UnbiasedAndConcentrating) {
+  const CapacityEstimator estimator;
+  util::Rng rng(8);
+  std::vector<double> estimates;
+  for (int i = 0; i < 2000; ++i) {
+    estimates.push_back(estimator.Estimate(100.0, rng));
+  }
+  EXPECT_NEAR(util::Mean(estimates), 100.0, 0.5);
+  // Probe averaging: stddev well below single-probe 5%.
+  EXPECT_LT(util::StdDev(estimates), 3.0);
+}
+
+TEST(CapacityEstimatorTest, MoreProbesTighterEstimate) {
+  CapacityEstimatorParams few{1, 0.1};
+  CapacityEstimatorParams many{25, 0.1};
+  util::Rng rng_few(9), rng_many(9);
+  std::vector<double> e_few, e_many;
+  for (int i = 0; i < 1000; ++i) {
+    e_few.push_back(CapacityEstimator(few).Estimate(100.0, rng_few));
+    e_many.push_back(CapacityEstimator(many).Estimate(100.0, rng_many));
+  }
+  EXPECT_LT(util::StdDev(e_many), util::StdDev(e_few) * 0.5);
+}
+
+TEST(CapacityEstimatorTest, RejectsBadInput) {
+  EXPECT_THROW(CapacityEstimator({0, 0.05}), std::invalid_argument);
+  const CapacityEstimator est;
+  util::Rng rng(10);
+  EXPECT_THROW(est.Estimate(0.0, rng), std::invalid_argument);
+}
+
+// Property: capacity is monotone non-increasing in branch taps.
+class TapsMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TapsMonotoneTest, MoreTapsNeverHelp) {
+  const ChannelModel model;
+  const double len = GetParam();
+  double prev = 1e18;
+  for (int taps = 0; taps <= 5; ++taps) {
+    const double cap = model.CapacityMbps({len, taps, 0.0});
+    ASSERT_LE(cap, prev);
+    prev = cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WireLengths, TapsMonotoneTest,
+                         ::testing::Values(5.0, 15.0, 30.0, 50.0));
+
+}  // namespace
+}  // namespace wolt::plc

@@ -1,0 +1,173 @@
+// Cross-policy property suite: invariants every association policy must
+// satisfy on randomized instances, plus structural properties of the
+// throughput model that policies rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/optimal.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "model/evaluator.h"
+#include "util/rng.h"
+
+namespace wolt {
+namespace {
+
+model::Network RandomNetwork(util::Rng& rng, std::size_t users,
+                             std::size_t exts, double reach_probability) {
+  model::Network net(users, exts);
+  for (std::size_t j = 0; j < exts; ++j) {
+    net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+  }
+  for (std::size_t i = 0; i < users; ++i) {
+    for (std::size_t j = 0; j < exts; ++j) {
+      if (rng.Bernoulli(reach_probability)) {
+        net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+      }
+    }
+  }
+  return net;
+}
+
+std::vector<core::PolicyPtr> AllPolicies() {
+  std::vector<core::PolicyPtr> policies;
+  policies.push_back(std::make_unique<core::WoltPolicy>());
+  core::WoltOptions so;
+  so.subset_search = true;
+  policies.push_back(std::make_unique<core::WoltPolicy>(so));
+  core::WoltOptions nlp;
+  nlp.use_nlp_phase2 = true;
+  policies.push_back(std::make_unique<core::WoltPolicy>(nlp));
+  core::WoltOptions e2e;
+  e2e.phase2_objective = assign::Phase2Objective::kEndToEnd;
+  policies.push_back(std::make_unique<core::WoltPolicy>(e2e));
+  core::WoltOptions pf;
+  pf.phase2_objective = assign::Phase2Objective::kProportionalFair;
+  policies.push_back(std::make_unique<core::WoltPolicy>(pf));
+  policies.push_back(std::make_unique<core::GreedyPolicy>());
+  policies.push_back(std::make_unique<core::RssiPolicy>());
+  return policies;
+}
+
+class PolicyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyPropertyTest, AssignmentsAreValidAndCoverReachableUsers) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 127);
+  const model::Network net = RandomNetwork(rng, 10, 4, 0.7);
+  for (const auto& policy : AllPolicies()) {
+    const model::Assignment a = policy->AssociateFresh(net);
+    EXPECT_TRUE(a.IsValidFor(net)) << policy->Name();
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      if (net.UserReachable(i)) {
+        EXPECT_TRUE(a.IsAssigned(i))
+            << policy->Name() << " left reachable user " << i << " out";
+      } else {
+        EXPECT_FALSE(a.IsAssigned(i));
+      }
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, PoliciesAreDeterministic) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const model::Network net = RandomNetwork(rng, 8, 3, 0.8);
+  for (const auto& policy : AllPolicies()) {
+    const model::Assignment a = policy->AssociateFresh(net);
+    const model::Assignment b = policy->AssociateFresh(net);
+    EXPECT_EQ(a, b) << policy->Name();
+  }
+}
+
+TEST_P(PolicyPropertyTest, CapacityLimitsAlwaysRespected) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 137);
+  model::Network net = RandomNetwork(rng, 9, 3, 1.0);
+  for (std::size_t j = 0; j < 3; ++j) net.SetMaxUsers(j, 3);
+  for (const auto& policy : AllPolicies()) {
+    const model::Assignment a = policy->AssociateFresh(net);
+    // The NLP Phase-II variant does not enforce B_j (the paper relaxes the
+    // constraint); every other policy must respect the caps.
+    if (!a.IsValidFor(net)) continue;
+    const auto load = a.LoadVector(3);
+    for (int l : load) {
+      EXPECT_LE(l, 3) << policy->Name();
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, OptimalDominatesEveryPolicy) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 139);
+  const model::Network net = RandomNetwork(rng, 6, 3, 0.9);
+  bool any_reachable = false;
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    if (net.UserReachable(i)) any_reachable = true;
+  }
+  if (!any_reachable) return;
+  const model::Evaluator evaluator;
+  double opt = 0.0;
+  try {
+    core::OptimalPolicy optimal;
+    opt = evaluator.AggregateThroughput(net, optimal.AssociateFresh(net));
+  } catch (const std::exception&) {
+    return;  // instance has no complete feasible assignment
+  }
+  for (const auto& policy : AllPolicies()) {
+    const model::Assignment a = policy->AssociateFresh(net);
+    if (!a.IsCompleteFor(net)) continue;  // optimal only defined on complete
+    EXPECT_LE(evaluator.AggregateThroughput(net, a), opt + 1e-9)
+        << policy->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyPropertyTest, ::testing::Range(1, 16));
+
+// --- Model structure the policies rely on ---
+
+class ModelScalingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelScalingTest, AggregateScalesLinearlyWithAllRates) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 149);
+  const model::Network net = RandomNetwork(rng, 8, 3, 1.0);
+  model::Network scaled(net.NumUsers(), net.NumExtenders());
+  const double alpha = 2.5;
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    scaled.SetPlcRate(j, net.PlcRate(j) * alpha);
+  }
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      scaled.SetWifiRate(i, j, net.WifiRate(i, j) * alpha);
+    }
+  }
+  model::Assignment a(net.NumUsers());
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    a.Assign(i, static_cast<std::size_t>(rng.UniformInt(0, 2)));
+  }
+  const model::Evaluator evaluator;
+  EXPECT_NEAR(evaluator.AggregateThroughput(scaled, a),
+              alpha * evaluator.AggregateThroughput(net, a), 1e-6);
+}
+
+TEST_P(ModelScalingTest, ScalingPreservesWoltDecisions) {
+  // Homogeneous scaling changes no relative comparison, so WOLT must pick
+  // the same assignment.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 151);
+  const model::Network net = RandomNetwork(rng, 8, 3, 1.0);
+  model::Network scaled = net;
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    scaled.SetPlcRate(j, net.PlcRate(j) * 3.0);
+  }
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      scaled.SetWifiRate(i, j, net.WifiRate(i, j) * 3.0);
+    }
+  }
+  core::WoltPolicy wolt;
+  EXPECT_EQ(wolt.AssociateFresh(net), wolt.AssociateFresh(scaled));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelScalingTest, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace wolt

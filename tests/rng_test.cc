@@ -1,0 +1,174 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace wolt::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveAndCoversRange) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const int x = rng.UniformInt(2, 6);
+    ASSERT_GE(x, 2);
+    ASSERT_LE(x, 6);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(rng.LogNormal(0.0, 0.5), 0.0);
+  }
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int k = rng.Poisson(mean);
+    ASSERT_GE(k, 0);
+    sum += k;
+    sum_sq += static_cast<double>(k) * k;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sum_sq / n - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, std::max(0.05, mean * 0.03));
+  EXPECT_NEAR(sample_var, mean, std::max(0.1, mean * 0.06));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.5, 3.0, 12.0, 36.0, 100.0));
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, BernoulliFrequencyMatches) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  int matches = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++matches;
+  }
+  EXPECT_LT(matches, 3);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s1 = 1, s2 = 1;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+}  // namespace
+}  // namespace wolt::util

@@ -1,0 +1,113 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "testbed/lab.h"
+
+namespace wolt::sim {
+namespace {
+
+ScenarioGenerator SmallScenario(std::size_t users = 12) {
+  ScenarioParams p;
+  p.num_extenders = 5;
+  p.num_users = users;
+  return ScenarioGenerator(p);
+}
+
+TEST(RunnerTest, RejectsEmptyPolicyList) {
+  util::Rng rng(1);
+  EXPECT_THROW(RunStaticTrials(SmallScenario(), {}, 3, rng),
+               std::invalid_argument);
+}
+
+TEST(RunnerTest, ProducesOneRecordPerTrialPerPolicy) {
+  core::WoltPolicy wolt;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &rssi};
+  util::Rng rng(2);
+  const auto results = RunStaticTrials(SmallScenario(), policies, 7, rng);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].policy, "WOLT");
+  EXPECT_EQ(results[1].policy, "RSSI");
+  for (const auto& pr : results) {
+    EXPECT_EQ(pr.trials.size(), 7u);
+    for (const auto& t : pr.trials) {
+      EXPECT_GT(t.aggregate_mbps, 0.0);
+      EXPECT_EQ(t.user_throughput_mbps.size(), 12u);
+    }
+  }
+}
+
+TEST(RunnerTest, PoliciesSeeIdenticalNetworksPerTrial) {
+  // RSSI twice must produce identical records (same networks, same policy).
+  core::RssiPolicy rssi_a, rssi_b;
+  std::vector<core::AssociationPolicy*> policies = {&rssi_a, &rssi_b};
+  util::Rng rng(3);
+  const auto results = RunStaticTrials(SmallScenario(), policies, 5, rng);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(results[0].trials[t].aggregate_mbps,
+                     results[1].trials[t].aggregate_mbps);
+  }
+}
+
+TEST(RunnerTest, SummaryStatisticsAreConsistent) {
+  core::WoltPolicy wolt;
+  std::vector<core::AssociationPolicy*> policies = {&wolt};
+  util::Rng rng(4);
+  const auto results = RunStaticTrials(SmallScenario(), policies, 10, rng);
+  const auto aggregates = results[0].Aggregates();
+  EXPECT_EQ(aggregates.size(), 10u);
+  double sum = 0.0;
+  for (double a : aggregates) sum += a;
+  EXPECT_NEAR(results[0].MeanAggregate(), sum / 10.0, 1e-9);
+  EXPECT_GT(results[0].MeanJain(), 0.0);
+  EXPECT_LE(results[0].MeanJain(), 1.0 + 1e-9);
+}
+
+TEST(RunnerTest, RunNetworkTrialsOnCaseStudy) {
+  core::WoltPolicy wolt;
+  core::GreedyPolicy greedy;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &greedy, &rssi};
+  const std::vector<model::Network> nets = {testbed::CaseStudyNetwork()};
+  const auto results = RunNetworkTrials(nets, policies);
+  EXPECT_NEAR(results[0].trials[0].aggregate_mbps, 40.0, 1e-9);  // WOLT
+  EXPECT_NEAR(results[1].trials[0].aggregate_mbps, 30.0, 1e-9);  // Greedy
+  EXPECT_NEAR(results[2].trials[0].aggregate_mbps, 240.0 / 11.0, 1e-9);
+}
+
+TEST(CompareUsersTest, FractionsSumToOne) {
+  core::WoltPolicy wolt;
+  core::GreedyPolicy greedy;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &greedy};
+  util::Rng rng(5);
+  const auto results = RunStaticTrials(SmallScenario(), policies, 8, rng);
+  const WinLoss wl = CompareUsers(results[0], results[1]);
+  EXPECT_NEAR(wl.better + wl.worse + wl.equal, 1.0, 1e-9);
+  EXPECT_GE(wl.better, 0.0);
+  EXPECT_GE(wl.worse, 0.0);
+}
+
+TEST(CompareUsersTest, IdenticalPoliciesAllEqual) {
+  core::RssiPolicy a, b;
+  std::vector<core::AssociationPolicy*> policies = {&a, &b};
+  util::Rng rng(6);
+  const auto results = RunStaticTrials(SmallScenario(), policies, 4, rng);
+  const WinLoss wl = CompareUsers(results[0], results[1]);
+  EXPECT_DOUBLE_EQ(wl.equal, 1.0);
+}
+
+TEST(CompareUsersTest, MismatchedTrialsThrow) {
+  PolicyTrials a, b;
+  a.trials.resize(2);
+  b.trials.resize(3);
+  EXPECT_THROW(CompareUsers(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wolt::sim

@@ -1,0 +1,155 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace wolt::sim {
+namespace {
+
+TEST(ScenarioTest, GeneratesRequestedSizes) {
+  ScenarioGenerator gen;
+  util::Rng rng(1);
+  const model::Network net = gen.Generate(rng);
+  EXPECT_EQ(net.NumExtenders(), 15u);
+  EXPECT_EQ(net.NumUsers(), 36u);
+}
+
+TEST(ScenarioTest, RejectsBadParams) {
+  ScenarioParams p;
+  p.num_extenders = 0;
+  EXPECT_THROW(ScenarioGenerator{p}, std::invalid_argument);
+  p = {};
+  p.width_m = -1.0;
+  EXPECT_THROW(ScenarioGenerator{p}, std::invalid_argument);
+}
+
+TEST(ScenarioTest, ExtendersInsideFloorWithPositiveCapacities) {
+  ScenarioGenerator gen;
+  util::Rng rng(2);
+  const model::Network net = gen.Generate(rng);
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    const auto& e = net.ExtenderAt(j);
+    EXPECT_GE(e.position.x, 0.0);
+    EXPECT_LE(e.position.x, 100.0);
+    EXPECT_GE(e.position.y, 0.0);
+    EXPECT_LE(e.position.y, 100.0);
+    EXPECT_GT(e.plc_rate_mbps, 0.0);
+  }
+}
+
+TEST(ScenarioTest, ExtendersAreSpreadAcrossTheFloor) {
+  // Jittered-grid placement: extenders must not collapse into one corner.
+  ScenarioGenerator gen;
+  util::Rng rng(3);
+  const model::Network net = gen.Generate(rng);
+  std::vector<double> xs, ys;
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    xs.push_back(net.ExtenderAt(j).position.x);
+    ys.push_back(net.ExtenderAt(j).position.y);
+  }
+  EXPECT_GT(util::Max(xs) - util::Min(xs), 50.0);
+  EXPECT_GT(util::Max(ys) - util::Min(ys), 50.0);
+}
+
+TEST(ScenarioTest, AllUsersReachable) {
+  ScenarioGenerator gen;
+  for (int seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    const model::Network net = gen.Generate(rng);
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      EXPECT_TRUE(net.UserReachable(i)) << "seed=" << seed << " user=" << i;
+    }
+  }
+}
+
+TEST(ScenarioTest, RatesDecreaseWithDistanceOnAverage) {
+  ScenarioGenerator gen;
+  util::Rng rng(5);
+  const model::Network net = gen.Generate(rng);
+  // Correlation check: users' best extender should usually be nearby.
+  int best_is_nearest = 0;
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    const auto best = net.BestRssiExtender(i);
+    ASSERT_TRUE(best.has_value());
+    std::size_t nearest = 0;
+    double nearest_d = 1e18;
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      const double d = model::Distance(net.UserAt(i).position,
+                                       net.ExtenderAt(j).position);
+      if (d < nearest_d) {
+        nearest_d = d;
+        nearest = j;
+      }
+    }
+    if (*best == nearest) ++best_is_nearest;
+  }
+  // Shadowing shuffles some, but geography must dominate.
+  EXPECT_GT(best_is_nearest, static_cast<int>(net.NumUsers()) / 2);
+}
+
+TEST(ScenarioTest, DeterministicGivenSeed) {
+  ScenarioGenerator gen;
+  util::Rng a(77), b(77);
+  const model::Network na = gen.Generate(a);
+  const model::Network nb = gen.Generate(b);
+  ASSERT_EQ(na.NumUsers(), nb.NumUsers());
+  for (std::size_t i = 0; i < na.NumUsers(); ++i) {
+    for (std::size_t j = 0; j < na.NumExtenders(); ++j) {
+      ASSERT_DOUBLE_EQ(na.WifiRate(i, j), nb.WifiRate(i, j));
+    }
+  }
+  for (std::size_t j = 0; j < na.NumExtenders(); ++j) {
+    ASSERT_DOUBLE_EQ(na.PlcRate(j), nb.PlcRate(j));
+  }
+}
+
+TEST(ScenarioTest, AddRandomUserGrowsNetwork) {
+  ScenarioGenerator gen;
+  util::Rng rng(6);
+  model::Network net = gen.Generate(rng);
+  const std::size_t before = net.NumUsers();
+  const std::size_t idx = gen.AddRandomUser(net, rng);
+  EXPECT_EQ(idx, before);
+  EXPECT_EQ(net.NumUsers(), before + 1);
+  EXPECT_TRUE(net.UserReachable(idx));
+}
+
+TEST(ScenarioTest, PlcCapacitiesSpanMeasuredBand) {
+  ScenarioGenerator gen;
+  util::Rng rng(7);
+  std::vector<double> caps;
+  for (int trial = 0; trial < 20; ++trial) {
+    const model::Network net = gen.Generate(rng);
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      caps.push_back(net.PlcRate(j));
+    }
+  }
+  EXPECT_LT(util::Min(caps), 80.0);
+  EXPECT_GT(util::Max(caps), 130.0);
+}
+
+TEST(ScenarioTest, RatesAtMatchesTableSteps) {
+  // Every produced rate must be one of the MCS table's discrete rates.
+  ScenarioGenerator gen;
+  util::Rng rng(8);
+  const model::Network net = gen.Generate(rng);
+  const auto entries = gen.params().rate_table.entries();
+  const double eff = gen.params().rate_table.mac_efficiency();
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      const double r = net.WifiRate(i, j);
+      if (r == 0.0) continue;
+      bool found = false;
+      for (const auto& e : entries) {
+        if (std::abs(r - e.phy_rate_mbps * eff) < 1e-9) found = true;
+      }
+      EXPECT_TRUE(found) << "rate " << r << " not in MCS table";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wolt::sim

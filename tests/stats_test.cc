@@ -1,0 +1,174 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wolt::util {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  const std::vector<double> xs;
+  EXPECT_EQ(Mean(xs), 0.0);
+  EXPECT_EQ(Variance(xs), 0.0);
+  EXPECT_EQ(StdDev(xs), 0.0);
+  EXPECT_EQ(Min(xs), 0.0);
+  EXPECT_EQ(Max(xs), 0.0);
+  EXPECT_EQ(Percentile(xs, 50.0), 0.0);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(Variance(xs), 0.0);
+}
+
+TEST(StatsTest, VarianceKnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+}
+
+TEST(StatsTest, MinMaxSum) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+  EXPECT_DOUBLE_EQ(Sum(xs), 11.0);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, PercentileEndpointsAndInterpolation) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 12.5), 15.0);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRange) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 200.0), 2.0);
+}
+
+TEST(JainTest, AllEqualIsOne) {
+  const std::vector<double> xs = {4.0, 4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(xs), 1.0);
+}
+
+TEST(JainTest, SingleDominatorApproachesOneOverN) {
+  const std::vector<double> xs = {100.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(xs), 0.25);
+}
+
+TEST(JainTest, KnownMixedValue) {
+  // J([1,2,3]) = 36 / (3*14) = 6/7.
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(JainFairnessIndex(xs), 6.0 / 7.0, 1e-12);
+}
+
+TEST(JainTest, EmptyAndAllZeroAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(JainTest, ScaleInvariant) {
+  const std::vector<double> xs = {1.0, 5.0, 9.0};
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(x * 37.0);
+  EXPECT_NEAR(JainFairnessIndex(xs), JainFairnessIndex(scaled), 1e-12);
+}
+
+TEST(CdfTest, EmpiricalCdfIsSortedAndEndsAtOne) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  const auto cdf = EmpiricalCdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 5.0);
+  EXPECT_NEAR(cdf[0].cumulative_probability, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative_probability, 1.0);
+}
+
+TEST(CdfTest, CdfAtMatchesCounts) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(CdfAt(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(CdfAt(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(CdfAt(xs, 10.0), 1.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    xs.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_EQ(rs.Count(), xs.size());
+  EXPECT_NEAR(rs.Mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(rs.Variance(), Variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.Min(), Min(xs));
+  EXPECT_DOUBLE_EQ(rs.Max(), Max(xs));
+  EXPECT_NEAR(rs.Sum(), Sum(xs), 1e-6);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.Count(), 0u);
+  EXPECT_EQ(rs.Mean(), 0.0);
+  EXPECT_EQ(rs.Variance(), 0.0);
+}
+
+// Property: for any sample, quantiles are monotone and pinned to min/max.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, QuantilesAreMonotone) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Uniform(-50.0, 50.0));
+  const double p0 = Percentile(xs, 0.0);
+  const double p25 = Percentile(xs, 25.0);
+  const double p50 = Percentile(xs, 50.0);
+  const double p75 = Percentile(xs, 75.0);
+  const double p100 = Percentile(xs, 100.0);
+  EXPECT_LE(p0, p25);
+  EXPECT_LE(p25, p50);
+  EXPECT_LE(p50, p75);
+  EXPECT_LE(p75, p100);
+  EXPECT_DOUBLE_EQ(p0, Min(xs));
+  EXPECT_DOUBLE_EQ(p100, Max(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Range(1, 11));
+
+// Property: Jain index is always in [1/n, 1] for nonnegative input.
+class JainRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JainRangeTest, WithinTheoreticalBounds) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  const int n = rng.UniformInt(1, 40);
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.Uniform(0.0, 100.0));
+  const double j = JainFairnessIndex(xs);
+  EXPECT_GE(j, 1.0 / n - 1e-12);
+  EXPECT_LE(j, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JainRangeTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace wolt::util

@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace wolt::util {
+namespace {
+
+TEST(TableTest, RendersHeaderSeparatorAndRows) {
+  Table t({"policy", "mbps"});
+  t.AddRow({"WOLT", "412.3"});
+  t.AddRow({"Greedy", "164.9"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  EXPECT_NE(out.find("WOLT"), std::string::npos);
+  EXPECT_NE(out.find("164.9"), std::string::npos);
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t({"a", "long_header"});
+  t.AddRow({"xxxxxxxx", "1"});
+  const std::string out = t.Render();
+  std::istringstream lines(out);
+  std::string header, sep, row;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row);
+  // The second column starts at the same offset in all lines.
+  EXPECT_EQ(header.find("long_header"), row.find("1"));
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(FmtTest, FormatsDigits) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 0), "3");
+  EXPECT_EQ(Fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtTest, PercentWithSign) {
+  EXPECT_EQ(FmtPct(0.26, 1), "+26.0%");
+  EXPECT_EQ(FmtPct(-0.125, 1), "-12.5%");
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/wolt_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    ASSERT_TRUE(csv.ok());
+    csv.AddRow({"1", "2"});
+    csv.AddRow({"3", "4,5"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"4,5\"");
+}
+
+TEST(CsvTest, UnwritablePathIsNotOk) {
+  CsvWriter csv("/nonexistent_dir_zzz/file.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+  csv.AddRow({"1"});  // must not crash
+}
+
+}  // namespace
+}  // namespace wolt::util

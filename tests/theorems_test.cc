@@ -1,0 +1,176 @@
+// Empirical verification of the paper's analytic results (Lemma 1, Lemma 2,
+// Theorem 2, Theorem 3) on randomized instances. These are the load-bearing
+// claims behind WOLT's two-phase design; each test constructs the exact
+// setting of the claim and checks it holds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "assign/brute_force.h"
+#include "assign/nlp.h"
+#include "core/wolt.h"
+#include "model/evaluator.h"
+#include "util/rng.h"
+
+namespace wolt {
+namespace {
+
+model::Network RandomNetwork(util::Rng& rng, std::size_t users,
+                             std::size_t exts) {
+  model::Network net(users, exts);
+  for (std::size_t j = 0; j < exts; ++j) {
+    net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+  }
+  for (std::size_t i = 0; i < users; ++i) {
+    for (std::size_t j = 0; j < exts; ++j) {
+      net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+    }
+  }
+  return net;
+}
+
+// Objective (3) under the planning model used in the paper's proofs.
+double PlanningObjective(const model::Network& net,
+                         const model::Assignment& a) {
+  model::EvalOptions opts;
+  opts.plc_sharing = model::PlcSharing::kEqualAll;
+  return model::Evaluator(opts).AggregateThroughput(net, a);
+}
+
+// --- Lemma 1: disconnecting a below-average user cannot hurt. ---
+
+class Lemma1Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma1Test, DisconnectingSlowUserNeverDecreasesObjective) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 881);
+  const std::size_t users = 6, exts = 2;
+  const model::Network net = RandomNetwork(rng, users, exts);
+  model::Assignment a(users);
+  for (std::size_t i = 0; i < users; ++i) {
+    a.Assign(i, static_cast<std::size_t>(rng.UniformInt(0, 1)));
+  }
+  // Pick an extender with >= 2 users and its user with the largest 1/r
+  // (certainly >= the average of its peers' 1/r).
+  for (std::size_t j = 0; j < exts; ++j) {
+    const auto cell = a.UsersOf(j);
+    if (cell.size() < 2) continue;
+    std::size_t slowest = cell.front();
+    for (std::size_t i : cell) {
+      if (net.WifiRate(i, j) < net.WifiRate(slowest, j)) slowest = i;
+    }
+    const double before = PlanningObjective(net, a);
+    model::Assignment without = a;
+    without.Unassign(slowest);
+    const double after = PlanningObjective(net, without);
+    EXPECT_GE(after, before - 1e-9)
+        << "extender " << j << " slowest user " << slowest;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Test, ::testing::Range(1, 31));
+
+// --- Lemma 2: the modified problem has a one-user-per-extender optimum. ---
+
+class Lemma2Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma2Test, ModifiedProblemOptimumUsesOneUserPerExtender) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 907);
+  const std::size_t users = 5, exts = 2;
+  const model::Network net = RandomNetwork(rng, users, exts);
+
+  // Enumerate the modified problem: users may stay unassigned (constraint
+  // (7) relaxed), every extender must serve >= 1 user (modification (b)).
+  assign::BruteForceOptions opts;
+  opts.allow_unassigned = true;
+  const model::Assignment none(users);
+  const auto best = assign::SolveBruteForceObjective(
+      net, none,
+      [&](const model::Assignment& a) {
+        const auto load = a.LoadVector(exts);
+        for (int l : load) {
+          if (l == 0) return -1.0;  // violates modification (b)
+        }
+        return PlanningObjective(net, a);
+      },
+      opts);
+
+  // There must exist an optimal solution with exactly one user per
+  // extender: verify the best such solution attains the same value.
+  double best_single = -1.0;
+  for (std::size_t i1 = 0; i1 < users; ++i1) {
+    for (std::size_t i2 = 0; i2 < users; ++i2) {
+      if (i1 == i2) continue;
+      model::Assignment a(users);
+      a.Assign(i1, 0);
+      a.Assign(i2, 1);
+      best_single = std::max(best_single, PlanningObjective(net, a));
+    }
+  }
+  EXPECT_NEAR(best_single, best.best_aggregate_mbps, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Test, ::testing::Range(1, 31));
+
+// --- Theorem 2: Phase I (Hungarian over min(c/|A|, r)) solves the
+// modified problem exactly. ---
+
+class Theorem2Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem2Test, HungarianPhase1MatchesExhaustiveModifiedOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 991);
+  const std::size_t users = 5, exts = 2;
+  const model::Network net = RandomNetwork(rng, users, exts);
+
+  core::WoltPolicy wolt;
+  const core::Phase1Result phase1 = wolt.ComputePhase1(net);
+  // Build the Phase-I-only assignment and score it under the planning
+  // model.
+  model::Assignment a(users);
+  for (std::size_t j = 0; j < exts; ++j) {
+    ASSERT_GE(phase1.user_of_extender[j], 0);
+    a.Assign(static_cast<std::size_t>(phase1.user_of_extender[j]), j);
+  }
+  const double phase1_value = PlanningObjective(net, a);
+
+  // Exhaustive optimum of the modified problem (via Lemma 2 we only need
+  // one-user-per-extender configurations).
+  double exhaustive = -1.0;
+  for (std::size_t i1 = 0; i1 < users; ++i1) {
+    for (std::size_t i2 = 0; i2 < users; ++i2) {
+      if (i1 == i2) continue;
+      model::Assignment cand(users);
+      cand.Assign(i1, 0);
+      cand.Assign(i2, 1);
+      exhaustive = std::max(exhaustive, PlanningObjective(net, cand));
+    }
+  }
+  EXPECT_NEAR(phase1_value, exhaustive, 1e-9);
+  // And the Hungarian's utility total equals the achieved value (the
+  // Theorem-2 mapping is exact).
+  EXPECT_NEAR(phase1.total_utility, phase1_value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2Test, ::testing::Range(1, 31));
+
+// --- Theorem 3: the Phase-II relaxation has integral optima. ---
+
+class Theorem3Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem3Test, NlpConvergesToIntegralPointsLosinglessly) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1033);
+  const model::Network net = RandomNetwork(rng, 6, 3);
+  model::Assignment fixed(6);
+  fixed.Assign(0, 0);
+  fixed.Assign(1, 1);
+  fixed.Assign(2, 2);
+  const assign::NlpResult r = assign::SolvePhase2Nlp(net, fixed, {3, 4, 5});
+  EXPECT_EQ(r.max_fractionality, 0.0);
+  // Rounding an integral point is lossless.
+  EXPECT_NEAR(r.objective_rounded, r.objective_continuous, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem3Test, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace wolt

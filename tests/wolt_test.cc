@@ -1,0 +1,313 @@
+#include "core/wolt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "assign/brute_force.h"
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "model/evaluator.h"
+#include "testbed/lab.h"
+#include "util/rng.h"
+
+namespace wolt::core {
+namespace {
+
+model::Network RandomNetwork(util::Rng& rng, std::size_t users,
+                             std::size_t exts) {
+  model::Network net(users, exts);
+  for (std::size_t j = 0; j < exts; ++j) {
+    net.SetPlcRate(j, rng.Uniform(20.0, 160.0));
+  }
+  for (std::size_t i = 0; i < users; ++i) {
+    for (std::size_t j = 0; j < exts; ++j) {
+      net.SetWifiRate(i, j, rng.Uniform(5.0, 65.0));
+    }
+  }
+  return net;
+}
+
+TEST(WoltPhase1Test, CaseStudyUtilitiesAndAssignment) {
+  // Utilities u_ij = min(c_j/2, r_ij):
+  //   user1: ext1 min(30,15)=15, ext2 min(10,10)=10
+  //   user2: ext1 min(30,40)=30, ext2 min(10,20)=10
+  // Hungarian optimum: user2->ext1 (30) + user1->ext2 (10) = 40.
+  const model::Network net = testbed::CaseStudyNetwork();
+  WoltPolicy wolt;
+  const Phase1Result p1 = wolt.ComputePhase1(net);
+  EXPECT_EQ(p1.user_of_extender[0], 1);
+  EXPECT_EQ(p1.user_of_extender[1], 0);
+  EXPECT_NEAR(p1.total_utility, 40.0, 1e-9);
+  EXPECT_EQ(p1.u1_users, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(WoltTest, CaseStudyReachesOptimal40) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  WoltPolicy wolt;
+  const model::Assignment a = wolt.AssociateFresh(net);
+  EXPECT_NEAR(model::Evaluator().AggregateThroughput(net, a), 40.0, 1e-9);
+}
+
+TEST(WoltPhase1Test, OneUserPerExtenderWhenUsersAbound) {
+  util::Rng rng(11);
+  const model::Network net = RandomNetwork(rng, 10, 4);
+  WoltPolicy wolt;
+  const Phase1Result p1 = wolt.ComputePhase1(net);
+  EXPECT_EQ(p1.u1_users.size(), 4u);  // Lemma 2: exactly |A| users
+  // All selected users distinct.
+  std::vector<std::size_t> sorted = p1.u1_users;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(WoltPhase1Test, FewerUsersThanExtendersAssignsAllUsers) {
+  util::Rng rng(13);
+  const model::Network net = RandomNetwork(rng, 2, 5);
+  WoltPolicy wolt;
+  const Phase1Result p1 = wolt.ComputePhase1(net);
+  EXPECT_EQ(p1.u1_users.size(), 2u);
+  const model::Assignment a = wolt.AssociateFresh(net);
+  EXPECT_TRUE(a.IsCompleteFor(net));
+}
+
+TEST(WoltPhase1Test, DeadPlcLinkExcluded) {
+  model::Network net = testbed::CaseStudyNetwork();
+  net.SetPlcRate(1, 0.0);  // extender 2's power-line link is dead
+  WoltPolicy wolt;
+  const Phase1Result p1 = wolt.ComputePhase1(net);
+  EXPECT_EQ(p1.user_of_extender[1], -1);
+}
+
+TEST(WoltTest, CompleteAssignmentOnRandomNetworks) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 211);
+    const model::Network net = RandomNetwork(rng, 12, 4);
+    WoltPolicy wolt;
+    const model::Assignment a = wolt.AssociateFresh(net);
+    EXPECT_TRUE(a.IsCompleteFor(net)) << "seed=" << seed;
+  }
+}
+
+TEST(WoltTest, UnreachableUsersLeftUnassigned) {
+  model::Network net(3, 2);
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  net.SetWifiRate(0, 0, 20.0);
+  net.SetWifiRate(1, 1, 20.0);
+  // user 2 hears nothing.
+  WoltPolicy wolt;
+  const model::Assignment a = wolt.AssociateFresh(net);
+  EXPECT_TRUE(a.IsAssigned(0));
+  EXPECT_TRUE(a.IsAssigned(1));
+  EXPECT_FALSE(a.IsAssigned(2));
+}
+
+TEST(WoltTest, MatchesBruteForceCloselyOnSmallInstances) {
+  // WOLT is a heuristic for an NP-hard problem; on small random instances
+  // it should land within a few percent of the exhaustive optimum and never
+  // beat it.
+  double total_ratio = 0.0;
+  const int cases = 25;
+  const model::Evaluator evaluator;
+  for (int seed = 1; seed <= cases; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 449);
+    const model::Network net = RandomNetwork(rng, 6, 3);
+    WoltPolicy wolt;
+    const model::Assignment a = wolt.AssociateFresh(net);
+    const double wolt_agg = evaluator.AggregateThroughput(net, a);
+    const double opt = assign::SolveBruteForce(net).best_aggregate_mbps;
+    EXPECT_LE(wolt_agg, opt + 1e-6) << "seed=" << seed;
+    total_ratio += wolt_agg / opt;
+  }
+  EXPECT_GE(total_ratio / cases, 0.9);
+}
+
+TEST(WoltTest, BeatsRssiOnAverage) {
+  const model::Evaluator evaluator;
+  double wolt_total = 0.0, rssi_total = 0.0;
+  for (int seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 577);
+    const model::Network net = RandomNetwork(rng, 10, 3);
+    WoltPolicy wolt;
+    RssiPolicy rssi;
+    wolt_total += evaluator.AggregateThroughput(net, wolt.AssociateFresh(net));
+    rssi_total += evaluator.AggregateThroughput(net, rssi.AssociateFresh(net));
+  }
+  EXPECT_GT(wolt_total, rssi_total);
+}
+
+TEST(WoltTest, NearGreedyOnUnstructuredRandomRates) {
+  // On fully unstructured (uniform-random) rate matrices the paper-default
+  // WOLT (WiFi-sum Phase II) can trail the end-to-end-aware greedy slightly;
+  // it must stay within a few percent. The paper's structured scenarios
+  // (geographic rates, diverse PLC) are covered by the Fig. 4/6 benches and
+  // tests below.
+  const model::Evaluator evaluator;
+  double wolt_total = 0.0, greedy_total = 0.0;
+  for (int seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 613);
+    const model::Network net = RandomNetwork(rng, 10, 3);
+    WoltPolicy wolt;
+    GreedyPolicy greedy;
+    wolt_total += evaluator.AggregateThroughput(net, wolt.AssociateFresh(net));
+    greedy_total +=
+        evaluator.AggregateThroughput(net, greedy.AssociateFresh(net));
+  }
+  EXPECT_GT(wolt_total, greedy_total * 0.95);
+}
+
+TEST(WoltTest, EndToEndPhase2BeatsGreedyOnRandomRates) {
+  // The end-to-end Phase-II extension closes the unstructured-rates gap.
+  const model::Evaluator evaluator;
+  double wolt_total = 0.0, greedy_total = 0.0;
+  for (int seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 613);
+    const model::Network net = RandomNetwork(rng, 10, 3);
+    WoltOptions opts;
+    opts.phase2_objective = assign::Phase2Objective::kEndToEnd;
+    WoltPolicy wolt(opts);
+    GreedyPolicy greedy;
+    wolt_total += evaluator.AggregateThroughput(net, wolt.AssociateFresh(net));
+    greedy_total +=
+        evaluator.AggregateThroughput(net, greedy.AssociateFresh(net));
+  }
+  EXPECT_GT(wolt_total, greedy_total * 0.99);
+}
+
+TEST(WoltTest, StickyReassociationBoundsChurn) {
+  // Re-associating after adding one user should not shuffle everyone.
+  util::Rng rng(17);
+  model::Network net = RandomNetwork(rng, 12, 3);
+  WoltPolicy wolt;
+  const model::Assignment before = wolt.AssociateFresh(net);
+
+  // One arrival.
+  std::vector<double> rates(net.NumExtenders());
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    rates[j] = rng.Uniform(5.0, 65.0);
+  }
+  net.AddUser(model::User{}, rates);
+  model::Assignment prev = before;
+  prev.AppendUser();
+  const model::Assignment after = wolt.Associate(net, prev);
+
+  const std::size_t churn = model::Assignment::CountReassignments(prev, after);
+  // Fig. 6c: about one swap per arrival; allow some slack plus Phase I churn
+  // (at most |A| seeds can move).
+  EXPECT_LE(churn, 2u + net.NumExtenders());
+}
+
+TEST(WoltTest, NonStickyStillValid) {
+  util::Rng rng(19);
+  const model::Network net = RandomNetwork(rng, 10, 3);
+  WoltOptions opts;
+  opts.sticky = false;
+  WoltPolicy wolt(opts);
+  EXPECT_TRUE(wolt.AssociateFresh(net).IsCompleteFor(net));
+}
+
+TEST(WoltTest, NlpPhase2Variant) {
+  util::Rng rng(23);
+  const model::Network net = RandomNetwork(rng, 8, 3);
+  WoltOptions opts;
+  opts.use_nlp_phase2 = true;
+  WoltPolicy wolt(opts);
+  const model::Assignment a = wolt.AssociateFresh(net);
+  EXPECT_TRUE(a.IsCompleteFor(net));
+  // NLP and discrete Phase II should land on comparable aggregates.
+  WoltPolicy discrete;
+  const double nlp_agg =
+      model::Evaluator().AggregateThroughput(net, a);
+  const double discrete_agg = model::Evaluator().AggregateThroughput(
+      net, discrete.AssociateFresh(net));
+  EXPECT_NEAR(nlp_agg, discrete_agg, discrete_agg * 0.25);
+}
+
+TEST(WoltTest, WifiOnlyUtilityAblationDegradesPlcAwareness) {
+  // With rich PLC diversity the paper's min(c/|A|, r) utility should beat a
+  // WiFi-only Phase I on average (this is the core insight of the paper).
+  const model::Evaluator evaluator;
+  double paper_total = 0.0, naive_total = 0.0;
+  for (int seed = 1; seed <= 30; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 89);
+    model::Network net = RandomNetwork(rng, 8, 3);
+    // Exaggerate PLC diversity: one strong link, two weak.
+    net.SetPlcRate(0, 160.0);
+    net.SetPlcRate(1, 25.0);
+    net.SetPlcRate(2, 25.0);
+    WoltPolicy paper;
+    WoltOptions naive_opts;
+    naive_opts.phase1_utility = Phase1Utility::kWifiOnly;
+    WoltPolicy naive(naive_opts);
+    paper_total +=
+        evaluator.AggregateThroughput(net, paper.AssociateFresh(net));
+    naive_total +=
+        evaluator.AggregateThroughput(net, naive.AssociateFresh(net));
+  }
+  EXPECT_GE(paper_total, naive_total * 0.99);
+}
+
+TEST(WoltTest, SubsetSearchDominatesPlainWoltAtScale) {
+  // Extension result: under physical (active-only max-min) PLC sharing,
+  // force-activating every extender is wasteful at enterprise scale;
+  // best-of-k activation must never do worse and should win clearly on
+  // average.
+  const model::Evaluator evaluator;
+  double plain_total = 0.0, subset_total = 0.0;
+  for (int seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 1009);
+    model::Network net = RandomNetwork(rng, 15, 8);
+    // Diverse PLC links make over-activation costly.
+    for (std::size_t j = 0; j < 8; ++j) {
+      net.SetPlcRate(j, j < 2 ? 160.0 : 40.0);
+    }
+    WoltPolicy plain;
+    WoltOptions so;
+    so.subset_search = true;
+    WoltPolicy subset(so);
+    const double p =
+        evaluator.AggregateThroughput(net, plain.AssociateFresh(net));
+    const double s =
+        evaluator.AggregateThroughput(net, subset.AssociateFresh(net));
+    EXPECT_GE(s, p - 1e-6) << "seed=" << seed;
+    plain_total += p;
+    subset_total += s;
+  }
+  EXPECT_GT(subset_total, plain_total * 1.05);
+}
+
+TEST(WoltTest, SubsetSearchKeepsEveryoneConnected) {
+  util::Rng rng(31);
+  const model::Network net = RandomNetwork(rng, 12, 5);
+  WoltOptions so;
+  so.subset_search = true;
+  WoltPolicy subset(so);
+  EXPECT_TRUE(subset.AssociateFresh(net).IsCompleteFor(net));
+  EXPECT_EQ(subset.Name(), "WOLT-S");
+}
+
+TEST(WoltTest, SubsetSearchMatchesCaseStudyOptimum) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  WoltOptions so;
+  so.subset_search = true;
+  WoltPolicy subset(so);
+  const model::Assignment a = subset.AssociateFresh(net);
+  EXPECT_NEAR(model::Evaluator().AggregateThroughput(net, a), 40.0, 1e-9);
+}
+
+TEST(WoltTest, PreviousSizeMismatchThrows) {
+  const model::Network net = testbed::CaseStudyNetwork();
+  WoltPolicy wolt;
+  EXPECT_THROW(wolt.Associate(net, model::Assignment(5)),
+               std::invalid_argument);
+}
+
+TEST(WoltTest, NameIsWolt) {
+  EXPECT_EQ(WoltPolicy().Name(), "WOLT");
+}
+
+}  // namespace
+}  // namespace wolt::core
