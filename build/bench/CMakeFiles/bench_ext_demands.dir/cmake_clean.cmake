@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_demands.dir/bench_ext_demands.cc.o"
+  "CMakeFiles/bench_ext_demands.dir/bench_ext_demands.cc.o.d"
+  "bench_ext_demands"
+  "bench_ext_demands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_demands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

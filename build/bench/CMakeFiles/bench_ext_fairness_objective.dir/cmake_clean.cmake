@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fairness_objective.dir/bench_ext_fairness_objective.cc.o"
+  "CMakeFiles/bench_ext_fairness_objective.dir/bench_ext_fairness_objective.cc.o.d"
+  "bench_ext_fairness_objective"
+  "bench_ext_fairness_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fairness_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fairness_jain.dir/bench_fairness_jain.cc.o"
+  "CMakeFiles/bench_fairness_jain.dir/bench_fairness_jain.cc.o.d"
+  "bench_fairness_jain"
+  "bench_fairness_jain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fairness_jain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_plc_isolation.dir/bench_fig2b_plc_isolation.cc.o"
+  "CMakeFiles/bench_fig2b_plc_isolation.dir/bench_fig2b_plc_isolation.cc.o.d"
+  "bench_fig2b_plc_isolation"
+  "bench_fig2b_plc_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_plc_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_per_user_effects.dir/bench_fig4b_per_user_effects.cc.o"
+  "CMakeFiles/bench_fig4b_per_user_effects.dir/bench_fig4b_per_user_effects.cc.o.d"
+  "bench_fig4b_per_user_effects"
+  "bench_fig4b_per_user_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_per_user_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_sim_fidelity.dir/bench_fig4c_sim_fidelity.cc.o"
+  "CMakeFiles/bench_fig4c_sim_fidelity.dir/bench_fig4c_sim_fidelity.cc.o.d"
+  "bench_fig4c_sim_fidelity"
+  "bench_fig4c_sim_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_sim_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

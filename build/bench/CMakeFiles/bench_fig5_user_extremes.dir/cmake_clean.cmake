@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_user_extremes.dir/bench_fig5_user_extremes.cc.o"
+  "CMakeFiles/bench_fig5_user_extremes.dir/bench_fig5_user_extremes.cc.o.d"
+  "bench_fig5_user_extremes"
+  "bench_fig5_user_extremes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_user_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

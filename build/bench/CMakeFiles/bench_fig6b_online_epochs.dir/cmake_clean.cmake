@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_online_epochs.dir/bench_fig6b_online_epochs.cc.o"
+  "CMakeFiles/bench_fig6b_online_epochs.dir/bench_fig6b_online_epochs.cc.o.d"
+  "bench_fig6b_online_epochs"
+  "bench_fig6b_online_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_online_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_reassignments.dir/bench_fig6c_reassignments.cc.o"
+  "CMakeFiles/bench_fig6c_reassignments.dir/bench_fig6c_reassignments.cc.o.d"
+  "bench_fig6c_reassignments"
+  "bench_fig6c_reassignments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_reassignments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

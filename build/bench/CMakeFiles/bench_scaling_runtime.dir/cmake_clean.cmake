@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_runtime.dir/bench_scaling_runtime.cc.o"
+  "CMakeFiles/bench_scaling_runtime.dir/bench_scaling_runtime.cc.o.d"
+  "bench_scaling_runtime"
+  "bench_scaling_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

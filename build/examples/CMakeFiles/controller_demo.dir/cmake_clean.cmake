@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_demo.dir/controller_demo.cpp.o"
+  "CMakeFiles/controller_demo.dir/controller_demo.cpp.o.d"
+  "controller_demo"
+  "controller_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_floor.dir/enterprise_floor.cpp.o"
+  "CMakeFiles/enterprise_floor.dir/enterprise_floor.cpp.o.d"
+  "enterprise_floor"
+  "enterprise_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

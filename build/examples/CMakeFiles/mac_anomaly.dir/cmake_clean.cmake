@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_anomaly.dir/mac_anomaly.cpp.o"
+  "CMakeFiles/mac_anomaly.dir/mac_anomaly.cpp.o.d"
+  "mac_anomaly"
+  "mac_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

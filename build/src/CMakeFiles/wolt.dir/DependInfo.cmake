@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/brute_force.cc" "src/CMakeFiles/wolt.dir/assign/brute_force.cc.o" "gcc" "src/CMakeFiles/wolt.dir/assign/brute_force.cc.o.d"
+  "/root/repo/src/assign/hungarian.cc" "src/CMakeFiles/wolt.dir/assign/hungarian.cc.o" "gcc" "src/CMakeFiles/wolt.dir/assign/hungarian.cc.o.d"
+  "/root/repo/src/assign/local_search.cc" "src/CMakeFiles/wolt.dir/assign/local_search.cc.o" "gcc" "src/CMakeFiles/wolt.dir/assign/local_search.cc.o.d"
+  "/root/repo/src/assign/nlp.cc" "src/CMakeFiles/wolt.dir/assign/nlp.cc.o" "gcc" "src/CMakeFiles/wolt.dir/assign/nlp.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/CMakeFiles/wolt.dir/core/controller.cc.o" "gcc" "src/CMakeFiles/wolt.dir/core/controller.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/CMakeFiles/wolt.dir/core/greedy.cc.o" "gcc" "src/CMakeFiles/wolt.dir/core/greedy.cc.o.d"
+  "/root/repo/src/core/optimal.cc" "src/CMakeFiles/wolt.dir/core/optimal.cc.o" "gcc" "src/CMakeFiles/wolt.dir/core/optimal.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/wolt.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/wolt.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/rssi.cc" "src/CMakeFiles/wolt.dir/core/rssi.cc.o" "gcc" "src/CMakeFiles/wolt.dir/core/rssi.cc.o.d"
+  "/root/repo/src/core/wolt.cc" "src/CMakeFiles/wolt.dir/core/wolt.cc.o" "gcc" "src/CMakeFiles/wolt.dir/core/wolt.cc.o.d"
+  "/root/repo/src/model/assignment.cc" "src/CMakeFiles/wolt.dir/model/assignment.cc.o" "gcc" "src/CMakeFiles/wolt.dir/model/assignment.cc.o.d"
+  "/root/repo/src/model/evaluator.cc" "src/CMakeFiles/wolt.dir/model/evaluator.cc.o" "gcc" "src/CMakeFiles/wolt.dir/model/evaluator.cc.o.d"
+  "/root/repo/src/model/io.cc" "src/CMakeFiles/wolt.dir/model/io.cc.o" "gcc" "src/CMakeFiles/wolt.dir/model/io.cc.o.d"
+  "/root/repo/src/model/network.cc" "src/CMakeFiles/wolt.dir/model/network.cc.o" "gcc" "src/CMakeFiles/wolt.dir/model/network.cc.o.d"
+  "/root/repo/src/plc/capacity.cc" "src/CMakeFiles/wolt.dir/plc/capacity.cc.o" "gcc" "src/CMakeFiles/wolt.dir/plc/capacity.cc.o.d"
+  "/root/repo/src/plc/channel.cc" "src/CMakeFiles/wolt.dir/plc/channel.cc.o" "gcc" "src/CMakeFiles/wolt.dir/plc/channel.cc.o.d"
+  "/root/repo/src/plc/csma1901.cc" "src/CMakeFiles/wolt.dir/plc/csma1901.cc.o" "gcc" "src/CMakeFiles/wolt.dir/plc/csma1901.cc.o.d"
+  "/root/repo/src/plc/tdma.cc" "src/CMakeFiles/wolt.dir/plc/tdma.cc.o" "gcc" "src/CMakeFiles/wolt.dir/plc/tdma.cc.o.d"
+  "/root/repo/src/plc/timeshare.cc" "src/CMakeFiles/wolt.dir/plc/timeshare.cc.o" "gcc" "src/CMakeFiles/wolt.dir/plc/timeshare.cc.o.d"
+  "/root/repo/src/sim/des.cc" "src/CMakeFiles/wolt.dir/sim/des.cc.o" "gcc" "src/CMakeFiles/wolt.dir/sim/des.cc.o.d"
+  "/root/repo/src/sim/dynamics.cc" "src/CMakeFiles/wolt.dir/sim/dynamics.cc.o" "gcc" "src/CMakeFiles/wolt.dir/sim/dynamics.cc.o.d"
+  "/root/repo/src/sim/hifi.cc" "src/CMakeFiles/wolt.dir/sim/hifi.cc.o" "gcc" "src/CMakeFiles/wolt.dir/sim/hifi.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/wolt.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/wolt.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/wolt.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/wolt.dir/sim/scenario.cc.o.d"
+  "/root/repo/src/testbed/lab.cc" "src/CMakeFiles/wolt.dir/testbed/lab.cc.o" "gcc" "src/CMakeFiles/wolt.dir/testbed/lab.cc.o.d"
+  "/root/repo/src/testbed/traces.cc" "src/CMakeFiles/wolt.dir/testbed/traces.cc.o" "gcc" "src/CMakeFiles/wolt.dir/testbed/traces.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/wolt.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/wolt.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/wolt.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/wolt.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/wolt.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/wolt.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/wolt.dir/util/table.cc.o" "gcc" "src/CMakeFiles/wolt.dir/util/table.cc.o.d"
+  "/root/repo/src/wifi/channels.cc" "src/CMakeFiles/wolt.dir/wifi/channels.cc.o" "gcc" "src/CMakeFiles/wolt.dir/wifi/channels.cc.o.d"
+  "/root/repo/src/wifi/dcf_sim.cc" "src/CMakeFiles/wolt.dir/wifi/dcf_sim.cc.o" "gcc" "src/CMakeFiles/wolt.dir/wifi/dcf_sim.cc.o.d"
+  "/root/repo/src/wifi/mcs.cc" "src/CMakeFiles/wolt.dir/wifi/mcs.cc.o" "gcc" "src/CMakeFiles/wolt.dir/wifi/mcs.cc.o.d"
+  "/root/repo/src/wifi/pathloss.cc" "src/CMakeFiles/wolt.dir/wifi/pathloss.cc.o" "gcc" "src/CMakeFiles/wolt.dir/wifi/pathloss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

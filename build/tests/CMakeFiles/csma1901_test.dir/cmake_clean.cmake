@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csma1901_test.dir/csma1901_test.cc.o"
+  "CMakeFiles/csma1901_test.dir/csma1901_test.cc.o.d"
+  "csma1901_test"
+  "csma1901_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csma1901_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcf_sim_test.dir/dcf_sim_test.cc.o"
+  "CMakeFiles/dcf_sim_test.dir/dcf_sim_test.cc.o.d"
+  "dcf_sim_test"
+  "dcf_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcf_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demands_test.dir/demands_test.cc.o"
+  "CMakeFiles/demands_test.dir/demands_test.cc.o.d"
+  "demands_test"
+  "demands_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domains_test.dir/domains_test.cc.o"
+  "CMakeFiles/domains_test.dir/domains_test.cc.o.d"
+  "domains_test"
+  "domains_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_rssi_test.dir/greedy_rssi_test.cc.o"
+  "CMakeFiles/greedy_rssi_test.dir/greedy_rssi_test.cc.o.d"
+  "greedy_rssi_test"
+  "greedy_rssi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_rssi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_test.dir/lab_test.cc.o"
+  "CMakeFiles/lab_test.dir/lab_test.cc.o.d"
+  "lab_test"
+  "lab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

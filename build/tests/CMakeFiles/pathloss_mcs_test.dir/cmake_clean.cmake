@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathloss_mcs_test.dir/pathloss_mcs_test.cc.o"
+  "CMakeFiles/pathloss_mcs_test.dir/pathloss_mcs_test.cc.o.d"
+  "pathloss_mcs_test"
+  "pathloss_mcs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathloss_mcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

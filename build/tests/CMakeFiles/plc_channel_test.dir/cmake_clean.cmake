@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_channel_test.dir/plc_channel_test.cc.o"
+  "CMakeFiles/plc_channel_test.dir/plc_channel_test.cc.o.d"
+  "plc_channel_test"
+  "plc_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

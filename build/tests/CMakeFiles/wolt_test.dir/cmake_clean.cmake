@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolt_test.dir/wolt_test.cc.o"
+  "CMakeFiles/wolt_test.dir/wolt_test.cc.o.d"
+  "wolt_test"
+  "wolt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
