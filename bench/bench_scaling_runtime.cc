@@ -1,16 +1,19 @@
 // Runtime/scalability microbenchmarks (google-benchmark): the O(|A|^3)
 // Hungarian core (§IV-B complexity claim), full WOLT association at
-// enterprise scales (the paper evaluates up to 15 extenders / 124+ users),
-// the greedy baseline, and the throughput evaluator.
+// enterprise scales (the paper evaluates up to 15 extenders / 124+ users;
+// we push to 1000 users / 50 extenders), the greedy baseline, the
+// throughput evaluator, and the Phase-II move-evaluation loop in isolation.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "assign/hungarian.h"
+#include "assign/local_search.h"
 #include "core/greedy.h"
 #include "core/rssi.h"
 #include "core/wolt.h"
 #include "model/evaluator.h"
+#include "model/incremental.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
 
@@ -20,9 +23,9 @@ using namespace wolt;
 
 assign::Matrix RandomUtilities(std::size_t rows, std::size_t cols,
                                util::Rng& rng) {
-  assign::Matrix m(rows, std::vector<double>(cols, 0.0));
-  for (auto& row : m) {
-    for (double& cell : row) cell = rng.Uniform(1.0, 100.0);
+  assign::Matrix m(rows, cols, 0.0);
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    m.data()[k] = rng.Uniform(1.0, 100.0);
   }
   return m;
 }
@@ -73,7 +76,10 @@ BENCHMARK(BM_WoltAssociate)
     ->Args({36, 15})
     ->Args({124, 15})
     ->Args({200, 15})
-    ->Args({200, 30});
+    ->Args({200, 30})
+    ->Args({500, 30})
+    ->Args({1000, 50})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_WoltSubsetAssociate(benchmark::State& state) {
   const model::Network net =
@@ -118,6 +124,81 @@ void BM_Evaluator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Evaluator)->Arg(36)->Arg(124)->Arg(200);
+
+// Same evaluation with a reused EvalScratch: the allocation-free hot path
+// the Phase-II search and the subset search run on.
+void BM_EvaluatorScratch(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)), 15);
+  core::RssiPolicy rssi;
+  const model::Assignment a = rssi.AssociateFresh(net);
+  const model::Evaluator evaluator;
+  model::EvalScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(net, a, scratch));
+  }
+}
+BENCHMARK(BM_EvaluatorScratch)->Arg(36)->Arg(124)->Arg(200);
+
+// The Phase-II move-evaluation loop in isolation: relocation + swap local
+// search under the end-to-end objective, starting from the RSSI baseline's
+// assignment. This is the loop the incremental delta-evaluation engine
+// accelerates — every candidate move used to cost a full Evaluate.
+void BM_RelocateLocalSearch(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+  core::RssiPolicy rssi;
+  const model::Assignment start = rssi.AssociateFresh(net);
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    if (start.IsAssigned(i)) movable.push_back(i);
+  }
+  assign::LocalSearchOptions options;
+  options.objective = assign::Phase2Objective::kEndToEnd;
+  for (auto _ : state) {
+    model::Assignment a = start;
+    benchmark::DoNotOptimize(
+        assign::RelocateLocalSearch(net, a, movable, options));
+  }
+}
+BENCHMARK(BM_RelocateLocalSearch)
+    ->Args({124, 15})
+    ->Args({200, 15})
+    ->Args({500, 30})
+    ->Unit(benchmark::kMicrosecond);
+
+// A raw apply/revert move cycle on the incremental engine (the unit cost
+// the local search pays per candidate).
+void BM_IncrementalMove(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)), 15);
+  core::RssiPolicy rssi;
+  const model::Assignment a = rssi.AssociateFresh(net);
+  model::IncrementalEvaluator inc(net, a);
+  // Find a user with two reachable extenders.
+  std::size_t user = 0;
+  int alt = -1;
+  for (std::size_t i = 0; i < net.NumUsers() && alt < 0; ++i) {
+    const int cur = inc.ExtenderOf(i);
+    if (cur < 0) continue;
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      if (static_cast<int>(j) != cur && net.WifiRate(i, j) > 0.0 &&
+          net.PlcRate(j) > 0.0) {
+        user = i;
+        alt = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  const int home = inc.ExtenderOf(user);
+  for (auto _ : state) {
+    inc.ApplyMove(user, alt);
+    inc.ApplyMove(user, home);
+    benchmark::DoNotOptimize(inc.aggregate_mbps());
+  }
+}
+BENCHMARK(BM_IncrementalMove)->Arg(124)->Arg(500);
 
 }  // namespace
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the runtime/scalability microbenchmark suite and emits the results as
+# google-benchmark JSON (BENCH_scaling.json by default). The checked-in
+# BENCH_scaling.json at the repo root keeps a before/after pair of such runs
+# ({"before": ..., "after": ...}) across performance-sensitive changes; merge
+# a fresh run in with:
+#
+#   jq -n --slurpfile old BENCH_scaling.json --slurpfile new /tmp/run.json \
+#     '{before: $old[0].after // $old[0], after: $new[0]}' > BENCH_scaling.json
+#
+# Usage: bench/run_benches.sh [output.json] [benchmark_filter]
+#   BENCH_BIN=path/to/bench_scaling_runtime overrides the binary location.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-BENCH_scaling.json}"
+filter="${2:-.}"
+
+bin="${BENCH_BIN:-}"
+if [[ -z "${bin}" ]]; then
+  for candidate in \
+      "${repo_root}/build-perf/bench/bench_scaling_runtime" \
+      "${repo_root}/build/bench/bench_scaling_runtime"; do
+    if [[ -x "${candidate}" ]]; then
+      bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${bin}" || ! -x "${bin}" ]]; then
+  echo "bench_scaling_runtime not found; build it first, e.g.:" >&2
+  echo "  cmake --preset perf && cmake --build --preset perf -j" >&2
+  exit 1
+fi
+
+"${bin}" \
+  --benchmark_filter="${filter}" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="${out}" >/dev/null
+
+echo "wrote ${out} ($(jq '.benchmarks | length' "${out}") benchmarks)" >&2

@@ -13,27 +13,30 @@ constexpr double kBigCost = 1e15;
 // Shortest-augmenting-path Hungarian on an n x m cost matrix (n <= m),
 // 1-indexed internally. Returns row assigned to each column in p.
 HungarianResult SolveMinImpl(const Matrix& costs) {
-  const std::size_t n = costs.size();
-  const std::size_t m = costs.front().size();
+  const std::size_t n = costs.rows();
+  const std::size_t m = costs.cols();
 
   std::vector<double> u(n + 1, 0.0);
   std::vector<double> v(m + 1, 0.0);
   std::vector<std::size_t> p(m + 1, 0);  // p[j] = row matched to column j
   std::vector<std::size_t> way(m + 1, 0);
+  std::vector<double> minv(m + 1);
+  std::vector<bool> used(m + 1);
 
   for (std::size_t i = 1; i <= n; ++i) {
     p[0] = i;
     std::size_t j0 = 0;
-    std::vector<double> minv(m + 1, std::numeric_limits<double>::max());
-    std::vector<bool> used(m + 1, false);
+    minv.assign(m + 1, std::numeric_limits<double>::max());
+    used.assign(m + 1, false);
     do {
       used[j0] = true;
       const std::size_t i0 = p[j0];
+      const double* row = costs.Row(i0 - 1);
       double delta = std::numeric_limits<double>::max();
       std::size_t j1 = 0;
       for (std::size_t j = 1; j <= m; ++j) {
         if (used[j]) continue;
-        const double cur = costs[i0 - 1][j - 1] - u[i0] - v[j];
+        const double cur = row[j - 1] - u[i0] - v[j];
         if (cur < minv[j]) {
           minv[j] = cur;
           way[j] = j0;
@@ -65,7 +68,7 @@ HungarianResult SolveMinImpl(const Matrix& costs) {
   for (std::size_t j = 1; j <= m; ++j) {
     if (p[j] == 0) continue;
     result.col_of_row[p[j] - 1] = static_cast<int>(j - 1);
-    const double c = costs[p[j] - 1][j - 1];
+    const double c = costs(p[j] - 1, j - 1);
     result.total_utility += c;
     if (c >= kBigCost / 2.0) result.feasible = false;
   }
@@ -73,14 +76,10 @@ HungarianResult SolveMinImpl(const Matrix& costs) {
 }
 
 void CheckShape(const Matrix& matrix) {
-  if (matrix.empty() || matrix.front().empty()) {
+  if (matrix.empty()) {
     throw std::invalid_argument("empty matrix");
   }
-  const std::size_t cols = matrix.front().size();
-  for (const auto& row : matrix) {
-    if (row.size() != cols) throw std::invalid_argument("ragged matrix");
-  }
-  if (matrix.size() > cols) {
+  if (matrix.rows() > matrix.cols()) {
     throw std::invalid_argument("Hungarian requires rows <= cols");
   }
 }
@@ -90,10 +89,9 @@ void CheckShape(const Matrix& matrix) {
 HungarianResult SolveAssignmentMin(const Matrix& costs) {
   CheckShape(costs);
   Matrix bounded = costs;
-  for (auto& row : bounded) {
-    for (double& c : row) {
-      if (std::isinf(c) || c > kBigCost) c = kBigCost;
-    }
+  double* data = bounded.data();
+  for (std::size_t k = 0; k < bounded.size(); ++k) {
+    if (std::isinf(data[k]) || data[k] > kBigCost) data[k] = kBigCost;
   }
   return SolveMinImpl(bounded);
 }
@@ -101,21 +99,18 @@ HungarianResult SolveAssignmentMin(const Matrix& costs) {
 HungarianResult SolveAssignmentMax(const Matrix& utilities) {
   CheckShape(utilities);
   // Negate (and clamp forbidden entries) to reuse the min solver.
-  Matrix costs(utilities.size(),
-               std::vector<double>(utilities.front().size(), 0.0));
-  for (std::size_t r = 0; r < utilities.size(); ++r) {
-    for (std::size_t c = 0; c < utilities[r].size(); ++c) {
-      const double util = utilities[r][c];
-      costs[r][c] = (util == kForbidden || std::isinf(util)) ? kBigCost
-                                                             : -util;
-    }
+  Matrix costs(utilities.rows(), utilities.cols(), 0.0);
+  for (std::size_t k = 0; k < utilities.size(); ++k) {
+    const double util = utilities.data()[k];
+    costs.data()[k] =
+        (util == kForbidden || std::isinf(util)) ? kBigCost : -util;
   }
   HungarianResult result = SolveMinImpl(costs);
   // Recompute total in utility space (excluding infeasible picks).
   result.total_utility = 0.0;
-  for (std::size_t r = 0; r < utilities.size(); ++r) {
+  for (std::size_t r = 0; r < utilities.rows(); ++r) {
     const double util =
-        utilities[r][static_cast<std::size_t>(result.col_of_row[r])];
+        utilities(r, static_cast<std::size_t>(result.col_of_row[r]));
     if (util != kForbidden) result.total_utility += util;
   }
   return result;

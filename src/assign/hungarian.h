@@ -3,18 +3,61 @@
 // of WOLT relies on (Alg. 1 line 4, "ASSIGNMENT SOLVER"; complexity analysis
 // §IV-B).
 //
-// Solves the rectangular maximization problem: given utilities[r][c] for
+// Solves the rectangular maximization problem: given utilities(r, c) for
 // rows r (tasks, e.g. extenders) and columns c (agents, e.g. users) with
 // rows <= cols, choose a distinct column for every row maximizing total
 // utility. Forbidden pairings are expressed with kForbidden.
 #pragma once
 
+#include <cstddef>
+#include <initializer_list>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 namespace wolt::assign {
 
-using Matrix = std::vector<std::vector<double>>;
+// Dense row-major matrix. Replaces the old vector<vector<double>>: one
+// contiguous allocation, cache-friendly row scans in the solver's inner
+// loop, and no per-row indirection.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+  Matrix(std::initializer_list<std::initializer_list<double>> init)
+      : rows_(init.size()), cols_(init.size() ? init.begin()->size() : 0) {
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_) throw std::invalid_argument("ragged matrix");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  // Pointer to the start of row r (cols() contiguous values).
+  const double* Row(std::size_t r) const { return data_.data() + r * cols_; }
+  double* Row(std::size_t r) { return data_.data() + r * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
 
 struct HungarianResult {
   // col_of_row[r] = column assigned to row r (always a valid index).

@@ -1,158 +1,426 @@
 #include "assign/local_search.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "model/incremental.h"
 
 namespace wolt::assign {
 namespace {
 
-// Incremental WiFi-side state: per-extender user count and harmonic sum,
-// from which T_WiFi_j = n_j / inv_j. Keeping this explicit makes single-user
-// moves O(1) for the kWifiSum objective.
-struct WifiState {
-  std::vector<int> load;
-  std::vector<double> inv_sum;
+// Static per-(user, extender) placement data, hoisted out of the move loops
+// so the hot paths never call back into Network. Built once per search (the
+// multi-start solve shares one instance across all of its starts).
+struct SearchContext {
+  std::size_t num_users = 0;
+  std::size_t num_extenders = 0;
+  // 1 / r_ij, row-major; 0 when user i cannot reach extender j.
+  std::vector<double> inv_rate;
+  // Placement allowed: reachable over WiFi AND live power-line backhaul AND
+  // enabled by the activation mask. A dead PLC link delivers nothing
+  // end-to-end even though the WiFi-sum objective cannot see that.
+  std::vector<std::uint8_t> usable;
+  std::vector<int> cap;  // B_j, 0 = unconstrained
 
-  WifiState(const model::Network& net, const model::Assignment& assign)
-      : load(net.NumExtenders(), 0), inv_sum(net.NumExtenders(), 0.0) {
-    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
-      const int e = assign.ExtenderOf(i);
-      if (e == model::Assignment::kUnassigned) continue;
-      Add(net, i, static_cast<std::size_t>(e));
+  SearchContext(const model::Network& net, const LocalSearchOptions& options)
+      : num_users(net.NumUsers()),
+        num_extenders(net.NumExtenders()),
+        inv_rate(num_users * num_extenders, 0.0),
+        usable(num_users * num_extenders, 0),
+        cap(num_extenders, 0) {
+    std::vector<std::uint8_t> target_ok(num_extenders, 0);
+    for (std::size_t j = 0; j < num_extenders; ++j) {
+      cap[j] = net.MaxUsers(j);
+      const bool allowed =
+          options.extender_mask.empty() || options.extender_mask[j] != 0;
+      target_ok[j] = allowed && net.PlcRate(j) > 0.0;
+    }
+    for (std::size_t i = 0; i < num_users; ++i) {
+      double* inv = &inv_rate[i * num_extenders];
+      std::uint8_t* use = &usable[i * num_extenders];
+      for (std::size_t j = 0; j < num_extenders; ++j) {
+        const double r = net.WifiRate(i, j);
+        if (r > 0.0) {
+          inv[j] = 1.0 / r;
+          use[j] = target_ok[j];
+        }
+      }
     }
   }
 
-  void Add(const model::Network& net, std::size_t user, std::size_t ext) {
-    const double r = net.WifiRate(user, ext);
-    if (r <= 0.0) throw std::invalid_argument("insert at unreachable extender");
+  const double* InvRow(std::size_t user) const {
+    return &inv_rate[user * num_extenders];
+  }
+  const std::uint8_t* UsableRow(std::size_t user) const {
+    return &usable[user * num_extenders];
+  }
+  bool Usable(std::size_t user, std::size_t ext) const {
+    return usable[user * num_extenders + ext] != 0;
+  }
+  bool HasRoom(std::size_t ext, int load) const {
+    return cap[ext] == 0 || load < cap[ext];
+  }
+};
+
+// Incremental WiFi-side state: per-extender user count, harmonic sum, and
+// cached cell throughput T_WiFi_j = n_j / inv_j. Single-user moves are O(1).
+// `mutations` counts cell changes; the relocation stage uses it to prove a
+// user's failed target scan needs no repeat (the deltas only read cell
+// state, so an unchanged counter means an unchanged scan outcome).
+struct WifiState {
+  std::vector<int> load;
+  std::vector<double> inv_sum;
+  std::vector<double> thr;
+  std::uint64_t mutations = 0;
+
+  WifiState(const SearchContext& ctx, const model::Assignment& assign)
+      : load(ctx.num_extenders, 0),
+        inv_sum(ctx.num_extenders, 0.0),
+        thr(ctx.num_extenders, 0.0) {
+    for (std::size_t i = 0; i < assign.NumUsers(); ++i) {
+      const int e = assign.ExtenderOf(i);
+      if (e == model::Assignment::kUnassigned) continue;
+      Add(ctx, i, static_cast<std::size_t>(e));
+    }
+  }
+
+  void Add(const SearchContext& ctx, std::size_t user, std::size_t ext) {
+    const double inv = ctx.InvRow(user)[ext];
+    if (inv <= 0.0) {
+      throw std::invalid_argument("insert at unreachable extender");
+    }
     ++load[ext];
-    inv_sum[ext] += 1.0 / r;
+    inv_sum[ext] += inv;
+    Refresh(ext);
   }
 
-  void Remove(const model::Network& net, std::size_t user, std::size_t ext) {
-    const double r = net.WifiRate(user, ext);
+  void Remove(const SearchContext& ctx, std::size_t user, std::size_t ext) {
     --load[ext];
-    inv_sum[ext] -= 1.0 / r;
+    inv_sum[ext] -= ctx.InvRow(user)[ext];
     if (load[ext] == 0) inv_sum[ext] = 0.0;  // kill accumulated error
+    Refresh(ext);
   }
 
-  double CellThroughput(std::size_t ext) const {
-    return load[ext] > 0 ? static_cast<double>(load[ext]) / inv_sum[ext] : 0.0;
+  void Refresh(std::size_t ext) {
+    thr[ext] =
+        load[ext] > 0 ? static_cast<double>(load[ext]) / inv_sum[ext] : 0.0;
+    ++mutations;
   }
 
   double WifiSum() const {
     double total = 0.0;
-    for (std::size_t j = 0; j < load.size(); ++j) total += CellThroughput(j);
+    for (double t : thr) total += t;
     return total;
-  }
-
-  // Change in the WiFi-sum objective if `user` joined extender `ext`.
-  double InsertDelta(const model::Network& net, std::size_t user,
-                     std::size_t ext) const {
-    const double r = net.WifiRate(user, ext);
-    if (r <= 0.0) return -1.0;  // infeasible marker (deltas can be < 0 too,
-                                // callers must check reachability first)
-    const double before = CellThroughput(ext);
-    const double after = static_cast<double>(load[ext] + 1) /
-                         (inv_sum[ext] + 1.0 / r);
-    return after - before;
   }
 };
 
-bool HasRoom(const model::Network& net, const WifiState& state,
-             std::size_t ext) {
-  const int cap = net.MaxUsers(ext);
-  return cap == 0 || state.load[ext] < cap;
-}
-
-// A placement target must be reachable over WiFi AND have a live power-line
-// backhaul — a dead PLC link delivers nothing end-to-end even though the
-// WiFi-sum objective cannot see that.
-bool UsableTarget(const model::Network& net, std::size_t user,
-                  std::size_t ext) {
-  return net.WifiRate(user, ext) > 0.0 && net.PlcRate(ext) > 0.0;
-}
-
-}  // namespace
-
-namespace {
-
-// Sum of log per-user throughputs over assigned users; a tiny floor keeps
-// starved users from collapsing the objective to -inf (they still dominate
-// the gradient, which is the point of proportional fairness).
-double ProportionalFairValue(const model::Evaluator& evaluator,
-                             const model::Network& net,
-                             const model::Assignment& assign) {
-  constexpr double kFloorMbps = 1e-3;
-  const model::EvalResult result = evaluator.Evaluate(net, assign);
-  double total = 0.0;
-  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
-    if (!assign.IsAssigned(i)) continue;
-    total += std::log(std::max(result.user_throughput_mbps[i], kFloorMbps));
-  }
-  return total;
-}
-
-}  // namespace
-
-double Phase2Value(const model::Network& net, const model::Assignment& assign,
-                   Phase2Objective objective, const model::EvalOptions& eval) {
-  switch (objective) {
-    case Phase2Objective::kWifiSum:
-      return WifiState(net, assign).WifiSum();
-    case Phase2Objective::kEndToEnd:
-      return model::Evaluator(eval).AggregateThroughput(net, assign);
-    case Phase2Objective::kProportionalFair:
-      return ProportionalFairValue(model::Evaluator(eval), net, assign);
-  }
-  return 0.0;
-}
-
-void GreedyInsert(const model::Network& net, model::Assignment& assign,
-                  const std::vector<std::size_t>& users,
-                  const LocalSearchOptions& options) {
-  WifiState state(net, assign);
-
+void GreedyInsertWifi(const SearchContext& ctx, model::Assignment& assign,
+                      const std::vector<std::size_t>& users) {
+  WifiState ws(ctx, assign);
   for (std::size_t user : users) {
     if (assign.IsAssigned(user)) continue;
+    const double* inv = ctx.InvRow(user);
+    const std::uint8_t* use = ctx.UsableRow(user);
     int best_ext = -1;
     double best_value = 0.0;
-    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
-      if (!UsableTarget(net, user, j) || !HasRoom(net, state, j)) continue;
-      double value;
-      if (options.objective == Phase2Objective::kWifiSum) {
-        value = state.InsertDelta(net, user, j);
-      } else {
-        assign.Assign(user, j);
-        value = Phase2Value(net, assign, options.objective, options.eval);
-        assign.Unassign(user);
-      }
-      if (best_ext < 0 || value > best_value) {
-        best_value = value;
+    for (std::size_t j = 0; j < ctx.num_extenders; ++j) {
+      if (!use[j] || !ctx.HasRoom(j, ws.load[j])) continue;
+      const double after =
+          static_cast<double>(ws.load[j] + 1) / (ws.inv_sum[j] + inv[j]);
+      const double candidate = after - ws.thr[j];
+      if (best_ext < 0 || candidate > best_value) {
+        best_value = candidate;
         best_ext = static_cast<int>(j);
       }
     }
     if (best_ext < 0) continue;  // unreachable user stays unassigned
     assign.Assign(user, static_cast<std::size_t>(best_ext));
-    state.Add(net, user, static_cast<std::size_t>(best_ext));
+    ws.Add(ctx, user, static_cast<std::size_t>(best_ext));
   }
 }
 
-LocalSearchStats RelocateLocalSearch(const model::Network& net,
-                                     model::Assignment& assign,
-                                     const std::vector<std::size_t>& movable,
-                                     const LocalSearchOptions& options) {
-  WifiState state(net, assign);
-
-  const auto current_value = [&] {
-    return options.objective == Phase2Objective::kWifiSum
-               ? state.WifiSum()
-               : Phase2Value(net, assign, options.objective, options.eval);
-  };
+LocalSearchStats RelocateWifi(const SearchContext& ctx,
+                              model::Assignment& assign,
+                              const std::vector<std::size_t>& movable,
+                              const LocalSearchOptions& options) {
+  WifiState ws(ctx, assign);
+  const std::size_t num_ext = ctx.num_extenders;
 
   LocalSearchStats stats;
-  stats.initial_value = current_value();
+  stats.initial_value = ws.WifiSum();
+  double value = stats.initial_value;
+
+  // Local mirror of the association (bypasses bounds-checked accessors in
+  // the O(|movable|^2) swap loop).
+  std::vector<int> ext_of(ctx.num_users);
+  for (std::size_t i = 0; i < ctx.num_users; ++i) {
+    ext_of[i] = assign.ExtenderOf(i);
+  }
+
+  const std::size_t m = movable.size();
+  // Relocation-scan memo: a user whose scan found no improving target needs
+  // no rescan until some cell changes (the deltas only read cell state).
+  // `swap_scanned` is the same memo for the pairwise stage: a u1 whose
+  // partner scan committed nothing stays fruitless while no cell changes.
+  std::vector<std::uint64_t> scanned(m, ~std::uint64_t{0});
+  std::vector<std::uint64_t> swap_scanned(m, ~std::uint64_t{0});
+
+  // Swap-stage pruning aggregates over the *movable* users of each cell:
+  // cell_min_inv[c * E + e] = min over users on cell c of 1/r at extender e
+  // (the best imaginable partner leaving c for e), and cell_max_own[c] =
+  // max over users on cell c of 1/r at c itself (the partner whose exit
+  // frees the most airtime). From these, an upper bound on the swap delta
+  // against ANY partner on cell c follows without touching the partners.
+  // Every quantity is compared through the same monotone FP expressions the
+  // exact test uses, so the skip can never drop a pair the exact test would
+  // have accepted.
+  std::vector<double> cell_min_inv(num_ext * num_ext, 0.0);
+  std::vector<double> cell_max_own(num_ext, 0.0);
+  std::vector<int> cell_movable(num_ext, 0);
+  // Per-cell bitmask of movable-list indices currently on the cell; the
+  // pair loop walks the OR of the non-hopeless cells' masks in ascending
+  // index order, i.e. visits exactly the surviving pairs in the same order
+  // a full scan would.
+  const std::size_t words = (m + 63) / 64;
+  std::vector<std::uint64_t> cell_mask(num_ext * words, 0);
+  std::vector<std::uint64_t> partner_mask(words, 0);
+  const auto rebuild_cell = [&](std::size_t c) {
+    double* row = &cell_min_inv[c * num_ext];
+    for (std::size_t e = 0; e < num_ext; ++e) {
+      row[e] = std::numeric_limits<double>::infinity();
+    }
+    cell_max_own[c] = 0.0;
+    cell_movable[c] = 0;
+    std::uint64_t* mask = &cell_mask[c * words];
+    std::fill(mask, mask + words, 0);
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      const std::size_t u = movable[idx];
+      if (ext_of[u] != static_cast<int>(c)) continue;
+      ++cell_movable[c];
+      mask[idx / 64] |= std::uint64_t{1} << (idx % 64);
+      const double* inv = ctx.InvRow(u);
+      for (std::size_t e = 0; e < num_ext; ++e) {
+        row[e] = std::min(row[e], inv[e]);
+      }
+      cell_max_own[c] = std::max(cell_max_own[c], inv[c]);
+    }
+  };
+  std::vector<std::uint8_t> hopeless(num_ext, 0);
+  // Mutation stamp of the last full cell-aggregate rebuild; swap commits
+  // rebuild their two cells in place, so the aggregates stay current and
+  // the next pass can skip the full rebuild unless the relocate stage moved
+  // someone.
+  std::uint64_t cells_mut = ~std::uint64_t{0};
+
+  for (stats.passes = 0; stats.passes < options.max_passes; ++stats.passes) {
+    double pass_gain = 0.0;
+    for (std::size_t a = 0; a < m; ++a) {
+      const std::size_t user = movable[a];
+      const int from = ext_of[user];
+      if (from == model::Assignment::kUnassigned) continue;
+      if (scanned[a] == ws.mutations) continue;
+      const std::size_t from_ext = static_cast<std::size_t>(from);
+      const double* inv = ctx.InvRow(user);
+      const std::uint8_t* use = ctx.UsableRow(user);
+      const double thr_from = ws.thr[from_ext];
+      const int load_from = ws.load[from_ext];
+      const double after_from =
+          load_from > 1 ? static_cast<double>(load_from - 1) /
+                              (ws.inv_sum[from_ext] - inv[from_ext])
+                        : 0.0;
+
+      // Try every alternative extender; apply the single best move.
+      int best_ext = -1;
+      double best_value = value;
+      for (std::size_t j = 0; j < num_ext; ++j) {
+        if (j == from_ext || !use[j] || !ctx.HasRoom(j, ws.load[j])) {
+          continue;
+        }
+        const double after_to =
+            static_cast<double>(ws.load[j] + 1) / (ws.inv_sum[j] + inv[j]);
+        const double before = thr_from + ws.thr[j];
+        const double candidate = value + (after_from + after_to - before);
+        if (candidate > best_value + options.improvement_tolerance) {
+          best_value = candidate;
+          best_ext = static_cast<int>(j);
+        }
+      }
+      if (best_ext >= 0) {
+        const std::size_t to = static_cast<std::size_t>(best_ext);
+        ws.Remove(ctx, user, from_ext);
+        ws.Add(ctx, user, to);
+        assign.Assign(user, to);
+        ext_of[user] = best_ext;
+        pass_gain += best_value - value;
+        value = best_value;
+        ++stats.moves;
+      } else {
+        scanned[a] = ws.mutations;
+      }
+    }
+
+    if (options.swap_moves) {
+      // Pairwise exchange: two users on different extenders trade places
+      // (loads are unchanged, so B_j caps stay satisfied).
+      if (cells_mut != ws.mutations) {
+        for (std::size_t c = 0; c < num_ext; ++c) rebuild_cell(c);
+        cells_mut = ws.mutations;
+      }
+      for (std::size_t a = 0; a < m; ++a) {
+        const std::size_t u1 = movable[a];
+        const int e1 = ext_of[u1];
+        if (e1 == model::Assignment::kUnassigned) continue;
+        if (swap_scanned[a] == ws.mutations) continue;
+        const std::uint64_t mut0 = ws.mutations;
+        const double* inv1 = ctx.InvRow(u1);
+        const std::uint8_t* use1 = ctx.UsableRow(u1);
+        // Snapshot of u1's cell plus the per-cell delta upper bounds; both
+        // go stale only when a swap commits (it relocates u1 and changes
+        // two cells), so they are refreshed there and nowhere else.
+        std::size_t x1 = static_cast<std::size_t>(e1);
+        double base1 = 0.0, thr1 = 0.0, load1 = 0.0;
+        const auto refresh_u1 = [&] {
+          base1 = ws.inv_sum[x1] - inv1[x1];
+          thr1 = ws.thr[x1];
+          load1 = static_cast<double>(ws.load[x1]);
+          for (std::size_t c = 0; c < num_ext; ++c) {
+            if (c == x1 || c == static_cast<std::size_t>(e1) || !use1[c] ||
+                cell_movable[c] == 0) {
+              hopeless[c] = 1;
+              continue;
+            }
+            // Best imaginable partner from cell c: fastest member at x1
+            // (smallest added 1/r) and slowest member at c (largest removed
+            // 1/r) — possibly different users, hence an upper bound.
+            const double best_after_x1 =
+                load1 / (base1 + cell_min_inv[c * num_ext + x1]);
+            const double best_after_c =
+                static_cast<double>(ws.load[c]) /
+                (ws.inv_sum[c] - cell_max_own[c] + inv1[c]);
+            const double before = thr1 + ws.thr[c];
+            const double bound =
+                value + (best_after_x1 + best_after_c - before);
+            hopeless[c] = !(bound > value + options.improvement_tolerance);
+          }
+          std::fill(partner_mask.begin(), partner_mask.end(), 0);
+          for (std::size_t c = 0; c < num_ext; ++c) {
+            if (hopeless[c]) continue;
+            const std::uint64_t* mask = &cell_mask[c * words];
+            for (std::size_t w = 0; w < words; ++w) partner_mask[w] |= mask[w];
+          }
+        };
+        refresh_u1();
+        for (std::size_t w = a / 64; w < words; ++w) {
+          std::uint64_t bits = partner_mask[w];
+          if (w == a / 64) {
+            // only partners after u1 in the movable order
+            bits &= (a % 64 == 63) ? 0 : ~std::uint64_t{0} << (a % 64 + 1);
+          }
+          while (bits) {
+            const std::size_t b =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::size_t u2 = movable[b];
+            const std::size_t x2 = static_cast<std::size_t>(ext_of[u2]);
+            if (!ctx.Usable(u2, x1)) continue;
+            const double* inv2 = ctx.InvRow(u2);
+            const double after_x1 = load1 / (base1 + inv2[x1]);
+            const double after_x2 =
+                static_cast<double>(ws.load[x2]) /
+                (ws.inv_sum[x2] - inv2[x2] + inv1[x2]);
+            const double before = thr1 + ws.thr[x2];
+            const double candidate = value + (after_x1 + after_x2 - before);
+            if (candidate > value + options.improvement_tolerance) {
+              ws.Remove(ctx, u1, x1);
+              ws.Remove(ctx, u2, x2);
+              ws.Add(ctx, u1, x2);
+              ws.Add(ctx, u2, x1);
+              assign.Assign(u1, x2);
+              assign.Assign(u2, x1);
+              ext_of[u1] = static_cast<int>(x2);
+              ext_of[u2] = static_cast<int>(x1);
+              pass_gain += candidate - value;
+              value = candidate;
+              ++stats.moves;
+              rebuild_cell(x1);
+              rebuild_cell(x2);
+              cells_mut = ws.mutations;
+              x1 = static_cast<std::size_t>(ext_of[u1]);
+              refresh_u1();
+              // the partner set changed under us; resume after b
+              bits = partner_mask[w];
+              bits &= (b % 64 == 63) ? 0 : ~std::uint64_t{0} << (b % 64 + 1);
+            }
+          }
+        }
+        if (ws.mutations == mut0) swap_scanned[a] = mut0;
+      }
+    }
+    if (pass_gain <= options.improvement_tolerance) break;
+  }
+
+  stats.final_value = value;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator-backed objectives (kEndToEnd / kProportionalFair): every
+// candidate move delegates to model::IncrementalEvaluator (O(|PLC domain|)
+// per move, allocation-free). No full Evaluator run happens per move.
+
+double ValueOf(const model::IncrementalValues& v, Phase2Objective objective) {
+  return objective == Phase2Objective::kEndToEnd ? v.aggregate_mbps
+                                                 : v.log_utility;
+}
+
+double IncValue(const model::IncrementalEvaluator& inc,
+                Phase2Objective objective) {
+  return objective == Phase2Objective::kEndToEnd ? inc.aggregate_mbps()
+                                                 : inc.log_utility();
+}
+
+void GreedyInsertInc(const SearchContext& ctx, const model::Network& net,
+                     model::Assignment& assign,
+                     const std::vector<std::size_t>& users,
+                     const LocalSearchOptions& options) {
+  model::IncrementalEvaluator inc(
+      net, assign, options.eval, model::IncrementalEvaluator::kDefaultLogFloorMbps,
+      /*track_log_utility=*/options.objective == Phase2Objective::kProportionalFair);
+  for (std::size_t user : users) {
+    if (assign.IsAssigned(user)) continue;
+    int best_ext = -1;
+    double best_value = 0.0;
+    for (std::size_t j = 0; j < ctx.num_extenders; ++j) {
+      if (!ctx.Usable(user, j) || !ctx.HasRoom(j, inc.Load(j))) continue;
+      const double candidate =
+          ValueOf(inc.PeekMove(user, static_cast<int>(j)), options.objective);
+      if (best_ext < 0 || candidate > best_value) {
+        best_value = candidate;
+        best_ext = static_cast<int>(j);
+      }
+    }
+    if (best_ext < 0) continue;  // unreachable user stays unassigned
+    assign.Assign(user, static_cast<std::size_t>(best_ext));
+    inc.ApplyMove(user, best_ext);
+  }
+}
+
+LocalSearchStats RelocateInc(const SearchContext& ctx,
+                             const model::Network& net,
+                             model::Assignment& assign,
+                             const std::vector<std::size_t>& movable,
+                             const LocalSearchOptions& options) {
+  model::IncrementalEvaluator inc(
+      net, assign, options.eval, model::IncrementalEvaluator::kDefaultLogFloorMbps,
+      /*track_log_utility=*/options.objective == Phase2Objective::kProportionalFair);
+
+  LocalSearchStats stats;
+  stats.initial_value = IncValue(inc, options.objective);
   double value = stats.initial_value;
 
   for (stats.passes = 0; stats.passes < options.max_passes; ++stats.passes) {
@@ -162,29 +430,23 @@ LocalSearchStats RelocateLocalSearch(const model::Network& net,
       if (from == model::Assignment::kUnassigned) continue;
       const std::size_t from_ext = static_cast<std::size_t>(from);
 
-      // Try every alternative extender; apply the single best move.
       int best_ext = -1;
       double best_value = value;
-      for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
-        if (j == from_ext || !UsableTarget(net, user, j) ||
-            !HasRoom(net, state, j)) {
+      for (std::size_t j = 0; j < ctx.num_extenders; ++j) {
+        if (j == from_ext || !ctx.Usable(user, j) ||
+            !ctx.HasRoom(j, inc.Load(j))) {
           continue;
         }
-        state.Remove(net, user, from_ext);
-        state.Add(net, user, j);
-        assign.Assign(user, j);
-        const double candidate = current_value();
-        state.Remove(net, user, j);
-        state.Add(net, user, from_ext);
-        assign.Assign(user, from_ext);
+        const double candidate =
+            ValueOf(inc.PeekMove(user, static_cast<int>(j)),
+                    options.objective);
         if (candidate > best_value + options.improvement_tolerance) {
           best_value = candidate;
           best_ext = static_cast<int>(j);
         }
       }
       if (best_ext >= 0) {
-        state.Remove(net, user, from_ext);
-        state.Add(net, user, static_cast<std::size_t>(best_ext));
+        inc.ApplyMove(user, best_ext);
         assign.Assign(user, static_cast<std::size_t>(best_ext));
         pass_gain += best_value - value;
         value = best_value;
@@ -193,8 +455,6 @@ LocalSearchStats RelocateLocalSearch(const model::Network& net,
     }
 
     if (options.swap_moves) {
-      // Pairwise exchange: two users on different extenders trade places
-      // (loads are unchanged, so B_j caps stay satisfied).
       for (std::size_t a = 0; a < movable.size(); ++a) {
         const std::size_t u1 = movable[a];
         const int e1 = assign.ExtenderOf(u1);
@@ -207,27 +467,17 @@ LocalSearchStats RelocateLocalSearch(const model::Network& net,
               assign.ExtenderOf(u1));  // may have changed since e1 was read
           const std::size_t x2 = static_cast<std::size_t>(e2);
           if (x1 == x2) continue;
-          if (!UsableTarget(net, u1, x2) || !UsableTarget(net, u2, x1)) {
-            continue;
-          }
-          state.Remove(net, u1, x1);
-          state.Remove(net, u2, x2);
-          state.Add(net, u1, x2);
-          state.Add(net, u2, x1);
-          assign.Assign(u1, x2);
-          assign.Assign(u2, x1);
-          const double candidate = current_value();
+          if (!ctx.Usable(u1, x2) || !ctx.Usable(u2, x1)) continue;
+          const double candidate =
+              ValueOf(inc.PeekSwap(u1, u2), options.objective);
           if (candidate > value + options.improvement_tolerance) {
+            inc.ApplyMove(u1, static_cast<int>(x2));
+            inc.ApplyMove(u2, static_cast<int>(x1));
+            assign.Assign(u1, x2);
+            assign.Assign(u2, x1);
             pass_gain += candidate - value;
             value = candidate;
             ++stats.moves;
-          } else {
-            state.Remove(net, u1, x2);
-            state.Remove(net, u2, x1);
-            state.Add(net, u1, x1);
-            state.Add(net, u2, x2);
-            assign.Assign(u1, x1);
-            assign.Assign(u2, x2);
           }
         }
       }
@@ -239,16 +489,76 @@ LocalSearchStats RelocateLocalSearch(const model::Network& net,
   return stats;
 }
 
+}  // namespace
+
+double Phase2Value(const model::Network& net, const model::Assignment& assign,
+                   Phase2Objective objective, const model::EvalOptions& eval) {
+  switch (objective) {
+    case Phase2Objective::kWifiSum: {
+      const std::size_t num_ext = net.NumExtenders();
+      std::vector<int> load(num_ext, 0);
+      std::vector<double> inv_sum(num_ext, 0.0);
+      for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+        const int e = assign.ExtenderOf(i);
+        if (e == model::Assignment::kUnassigned) continue;
+        const double r = net.WifiRate(i, static_cast<std::size_t>(e));
+        if (r <= 0.0) {
+          throw std::invalid_argument("insert at unreachable extender");
+        }
+        ++load[static_cast<std::size_t>(e)];
+        inv_sum[static_cast<std::size_t>(e)] += 1.0 / r;
+      }
+      double total = 0.0;
+      for (std::size_t j = 0; j < num_ext; ++j) {
+        if (load[j] > 0) total += static_cast<double>(load[j]) / inv_sum[j];
+      }
+      return total;
+    }
+    case Phase2Objective::kEndToEnd:
+      return model::IncrementalEvaluator(net, assign, eval).aggregate_mbps();
+    case Phase2Objective::kProportionalFair:
+      return model::IncrementalEvaluator(net, assign, eval).log_utility();
+  }
+  return 0.0;
+}
+
+void GreedyInsert(const model::Network& net, model::Assignment& assign,
+                  const std::vector<std::size_t>& users,
+                  const LocalSearchOptions& options) {
+  const SearchContext ctx(net, options);
+  if (options.objective == Phase2Objective::kWifiSum) {
+    GreedyInsertWifi(ctx, assign, users);
+  } else {
+    GreedyInsertInc(ctx, net, assign, users, options);
+  }
+}
+
+LocalSearchStats RelocateLocalSearch(const model::Network& net,
+                                     model::Assignment& assign,
+                                     const std::vector<std::size_t>& movable,
+                                     const LocalSearchOptions& options) {
+  const SearchContext ctx(net, options);
+  if (options.objective == Phase2Objective::kWifiSum) {
+    return RelocateWifi(ctx, assign, movable, options);
+  }
+  return RelocateInc(ctx, net, assign, movable, options);
+}
+
 double SolvePhase2MultiStart(const model::Network& net,
                              model::Assignment& assign,
                              const std::vector<std::size_t>& movable,
                              const LocalSearchOptions& options) {
+  const SearchContext ctx(net, options);
+
   // Candidate insertion orders: as given, best-rate descending (strong
   // users claim their extenders first), best-rate ascending (weak users get
   // first pick of uncontended cells).
   const auto best_rate = [&](std::size_t user) {
     double best = 0.0;
     for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      if (!options.extender_mask.empty() && !options.extender_mask[j]) {
+        continue;
+      }
       best = std::max(best, net.WifiRate(user, j));
     }
     return best;
@@ -263,17 +573,41 @@ double SolvePhase2MultiStart(const model::Network& net,
   std::vector<std::size_t> asc(desc.rbegin(), desc.rend());
   orders.push_back(std::move(asc));
 
+  const bool wifi = options.objective == Phase2Objective::kWifiSum;
   const model::Assignment base = assign;
   model::Assignment best_assignment = assign;
   double best_value = -1.0;
+  bool first = true;
+  // Different insertion orders frequently greedy-insert into the same
+  // assignment; the local search is deterministic, so a duplicate start can
+  // only reproduce an earlier run's result and is skipped outright.
+  std::vector<std::vector<int>> seen_starts;
   for (const auto& order : orders) {
     model::Assignment candidate = base;
-    GreedyInsert(net, candidate, order, options);
-    RelocateLocalSearch(net, candidate, movable, options);
-    const double value =
-        Phase2Value(net, candidate, options.objective, options.eval);
-    if (value > best_value) {
-      best_value = value;
+    if (wifi) {
+      GreedyInsertWifi(ctx, candidate, order);
+    } else {
+      GreedyInsertInc(ctx, net, candidate, order, options);
+    }
+    std::vector<int> snap(ctx.num_users);
+    for (std::size_t i = 0; i < ctx.num_users; ++i) {
+      snap[i] = candidate.ExtenderOf(i);
+    }
+    bool duplicate = false;
+    for (const auto& prior : seen_starts) {
+      if (prior == snap) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen_starts.push_back(std::move(snap));
+    const LocalSearchStats stats =
+        wifi ? RelocateWifi(ctx, candidate, movable, options)
+             : RelocateInc(ctx, net, candidate, movable, options);
+    if (first || stats.final_value > best_value) {
+      first = false;
+      best_value = stats.final_value;
       best_assignment = std::move(candidate);
     }
   }

@@ -8,9 +8,17 @@
 // sum_{i' in N_j} 1/r_i'j + 1/r_ij (Eq. 18) — directly yields the discrete
 // method here: marginal-gain greedy insertion followed by single-user
 // relocation local search with the paper's 1e-5 improvement stopping rule.
+//
+// All three objectives are evaluated incrementally per candidate move: the
+// WiFi-sum objective via O(1) harmonic-sum deltas, the end-to-end and
+// proportional-fair objectives via model::IncrementalEvaluator (O(|PLC
+// domain|) per move, no allocations). No full evaluator run happens inside
+// the relocate/swap inner loops.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "model/assignment.h"
@@ -42,7 +50,12 @@ struct LocalSearchOptions {
   // the local optima single-user relocation cannot (two users parked on
   // each other's best extender).
   bool swap_moves = true;
-  model::EvalOptions eval;  // used only for kEndToEnd
+  model::EvalOptions eval;  // used only for kEndToEnd / kProportionalFair
+  // Optional per-extender availability mask (the subset search's activation
+  // restriction): empty means every extender is allowed; otherwise size
+  // NumExtenders(), and only extenders with a non-zero entry are placement
+  // targets. The span must stay valid for the duration of the call.
+  std::span<const std::uint8_t> extender_mask;
 };
 
 // Objective value of a (possibly partial) assignment under the selected

@@ -9,11 +9,17 @@
 namespace wolt::core {
 namespace {
 
-// Extenders eligible for Phase I: live PLC link and at least one user that
-// can hear them.
-std::vector<std::size_t> ServiceableExtenders(const model::Network& net) {
+bool MaskAllows(std::span<const std::uint8_t> mask, std::size_t ext) {
+  return mask.empty() || mask[ext] != 0;
+}
+
+// Extenders eligible for Phase I: enabled by the mask, live PLC link, and
+// at least one user that can hear them.
+std::vector<std::size_t> ServiceableExtenders(
+    const model::Network& net, std::span<const std::uint8_t> mask) {
   std::vector<std::size_t> extenders;
   for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    if (!MaskAllows(mask, j)) continue;
     if (net.PlcRate(j) <= 0.0) continue;
     bool reachable = false;
     for (std::size_t i = 0; i < net.NumUsers(); ++i) {
@@ -27,13 +33,28 @@ std::vector<std::size_t> ServiceableExtenders(const model::Network& net) {
   return extenders;
 }
 
+// A user counts as reachable when some enabled extender hears it.
+bool ReachableUnderMask(const model::Network& net, std::size_t user,
+                        std::span<const std::uint8_t> mask) {
+  if (mask.empty()) return net.UserReachable(user);
+  for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+    if (mask[j] && net.WifiRate(user, j) > 0.0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Phase1Result WoltPolicy::ComputePhase1(const model::Network& net) const {
+  return ComputePhase1(net, {});
+}
+
+Phase1Result WoltPolicy::ComputePhase1(
+    const model::Network& net, std::span<const std::uint8_t> mask) const {
   Phase1Result result;
   result.user_of_extender.assign(net.NumExtenders(), -1);
 
-  const std::vector<std::size_t> extenders = ServiceableExtenders(net);
+  const std::vector<std::size_t> extenders = ServiceableExtenders(net, mask);
   const std::size_t num_users = net.NumUsers();
   if (extenders.empty() || num_users == 0) return result;
 
@@ -62,13 +83,13 @@ Phase1Result WoltPolicy::ComputePhase1(const model::Network& net) const {
       extenders_are_rows ? extenders.size() : num_users;
   const std::size_t cols =
       extenders_are_rows ? num_users : extenders.size();
-  assign::Matrix utilities(rows, std::vector<double>(cols, 0.0));
+  assign::Matrix utilities(rows, cols, 0.0);
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       const std::size_t user = extenders_are_rows ? c : r;
       const std::size_t ext = extenders_are_rows ? extenders[r]
                                                  : extenders[c];
-      utilities[r][c] = utility(user, ext);
+      utilities(r, c) = utility(user, ext);
     }
   }
 
@@ -94,16 +115,17 @@ model::Assignment WoltPolicy::Associate(const model::Network& net,
     throw std::invalid_argument("previous assignment size mismatch");
   }
   if (options_.subset_search) return AssociateSubsetSearch(net, previous);
-  return AssociateOnce(net, previous);
+  return AssociateOnce(net, previous, {});
 }
 
 model::Assignment WoltPolicy::AssociateSubsetSearch(
     const model::Network& net, const model::Assignment& previous) {
   // Rank extenders by PLC rate; candidate k keeps the k strongest links
-  // and blanks the rest out of the WiFi rate matrix so neither phase can
-  // use them. The candidate with the best true aggregate wins; leftover
-  // users (only reachable via excluded extenders) are re-inserted on the
-  // full network afterwards so constraint (7) still holds.
+  // enabled via an activation mask so neither phase can use the rest (no
+  // per-candidate Network copy). The candidate with the best true aggregate
+  // wins; leftover users (only reachable via excluded extenders) are
+  // re-inserted on the full network afterwards so constraint (7) still
+  // holds.
   std::vector<std::size_t> order;
   for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
     if (net.PlcRate(j) > 0.0) order.push_back(j);
@@ -113,17 +135,15 @@ model::Assignment WoltPolicy::AssociateSubsetSearch(
   });
 
   const model::Evaluator evaluator(options_.eval);
+  model::EvalScratch scratch;
   model::Assignment best(net.NumUsers());
   double best_aggregate = -1.0;
+  std::vector<std::uint8_t> mask(net.NumExtenders(), 0);
   for (std::size_t k = 1; k <= order.size(); ++k) {
-    model::Network masked = net;
-    for (std::size_t idx = k; idx < order.size(); ++idx) {
-      for (std::size_t i = 0; i < net.NumUsers(); ++i) {
-        masked.SetWifiRate(i, order[idx], 0.0);
-      }
-    }
-    model::Assignment candidate = AssociateOnce(masked, previous);
-    const double aggregate = evaluator.AggregateThroughput(net, candidate);
+    mask[order[k - 1]] = 1;  // masks are nested: candidate k adds one link
+    model::Assignment candidate = AssociateOnce(net, previous, mask);
+    const double aggregate =
+        evaluator.Evaluate(net, candidate, scratch).aggregate_mbps;
     if (aggregate > best_aggregate) {
       best_aggregate = aggregate;
       best = std::move(candidate);
@@ -151,10 +171,11 @@ model::Assignment WoltPolicy::AssociateSubsetSearch(
   return best;
 }
 
-model::Assignment WoltPolicy::AssociateOnce(const model::Network& net,
-                                            const model::Assignment& previous) {
+model::Assignment WoltPolicy::AssociateOnce(
+    const model::Network& net, const model::Assignment& previous,
+    std::span<const std::uint8_t> mask) {
   // Phase I: seed each extender with its Hungarian-selected user.
-  const Phase1Result phase1 = ComputePhase1(net);
+  const Phase1Result phase1 = ComputePhase1(net, mask);
   model::Assignment assign(net.NumUsers());
   for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
     const int user = phase1.user_of_extender[j];
@@ -164,17 +185,34 @@ model::Assignment WoltPolicy::AssociateOnce(const model::Network& net,
   // Phase II: place U2 = everyone not chosen in Phase I.
   std::vector<std::size_t> u2;
   for (std::size_t i = 0; i < net.NumUsers(); ++i) {
-    if (!assign.IsAssigned(i) && net.UserReachable(i)) u2.push_back(i);
+    if (!assign.IsAssigned(i) && ReachableUnderMask(net, i, mask)) {
+      u2.push_back(i);
+    }
   }
 
   if (options_.use_nlp_phase2) {
-    const assign::NlpResult nlp = assign::SolvePhase2Nlp(net, assign, u2);
+    if (mask.empty()) {
+      const assign::NlpResult nlp = assign::SolvePhase2Nlp(net, assign, u2);
+      return nlp.rounded;
+    }
+    // The projected-gradient solver has no activation-mask concept; blank
+    // the masked-out extenders from a network copy (rare path: NLP inside
+    // the subset search).
+    model::Network masked = net;
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      if (mask[j]) continue;
+      for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+        masked.SetWifiRate(i, j, 0.0);
+      }
+    }
+    const assign::NlpResult nlp = assign::SolvePhase2Nlp(masked, assign, u2);
     return nlp.rounded;
   }
 
   assign::LocalSearchOptions ls;
   ls.objective = options_.phase2_objective;
   ls.eval = options_.eval;
+  ls.extender_mask = mask;
 
   bool seeded = false;
   if (options_.sticky) {
@@ -186,8 +224,10 @@ model::Assignment WoltPolicy::AssociateOnce(const model::Network& net,
       const int prev = previous.ExtenderOf(user);
       if (prev == model::Assignment::kUnassigned) continue;
       const std::size_t ext = static_cast<std::size_t>(prev);
-      // A previous extender that became unreachable or whose power-line
-      // link died is not a valid seed — the user re-enters as an arrival.
+      // A previous extender that became unreachable, masked out of the
+      // candidate activation set, or whose power-line link died is not a
+      // valid seed — the user re-enters as an arrival.
+      if (!MaskAllows(mask, ext)) continue;
       if (net.WifiRate(user, ext) <= 0.0 || net.PlcRate(ext) <= 0.0) continue;
       const int cap = net.MaxUsers(ext);
       if (cap > 0 && load[ext] >= cap) continue;

@@ -16,6 +16,8 @@
 // load near one swap per arrival (Fig. 6c).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "assign/local_search.h"
@@ -78,13 +80,20 @@ class WoltPolicy : public AssociationPolicy {
 
   // Run Phase I alone (Alg. 1 lines 1-4).
   Phase1Result ComputePhase1(const model::Network& net) const;
+  // Phase I restricted to an extender activation mask (empty = all
+  // enabled). Used by the subset search, which no longer copies the
+  // Network per candidate activation set.
+  Phase1Result ComputePhase1(const model::Network& net,
+                             std::span<const std::uint8_t> mask) const;
 
   const WoltOptions& options() const { return options_; }
 
  private:
-  // One full Phase I + Phase II solve on the given (possibly masked) net.
+  // One full Phase I + Phase II solve restricted to the extenders enabled
+  // in `mask` (empty = all).
   model::Assignment AssociateOnce(const model::Network& net,
-                                  const model::Assignment& previous);
+                                  const model::Assignment& previous,
+                                  std::span<const std::uint8_t> mask);
   // Extension: best-of-k activation search (see WoltOptions::subset_search).
   model::Assignment AssociateSubsetSearch(const model::Network& net,
                                           const model::Assignment& previous);

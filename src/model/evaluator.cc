@@ -1,9 +1,8 @@
 #include "model/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-
-#include "plc/timeshare.h"
 
 namespace wolt::model {
 namespace {
@@ -11,6 +10,67 @@ namespace {
 constexpr double kBalanceTolerance = 1e-9;
 
 }  // namespace
+
+namespace detail {
+
+void MaxMinSharesInPlace(const int* members, std::size_t count,
+                         const double* rates, const double* demands,
+                         double* time_share, std::size_t* idx) {
+  std::size_t m = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t j = static_cast<std::size_t>(members[k]);
+    time_share[j] = 0.0;
+    if (demands[j] > 0.0) idx[m++] = j;
+  }
+  double remaining = 1.0;
+  // Each round either sates at least one extender or terminates, so this
+  // loop runs at most `count` times.
+  while (m > 0 && remaining > 0.0) {
+    const double share = remaining / static_cast<double>(m);
+    std::size_t w = 0;
+    bool any_sated = false;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t j = idx[k];
+      const double needed = demands[j] / rates[j];
+      if (needed <= share) {
+        time_share[j] += needed;
+        any_sated = true;
+      } else {
+        idx[w++] = j;
+      }
+    }
+    if (!any_sated) {
+      for (std::size_t k = 0; k < w; ++k) time_share[idx[k]] += share;
+      break;
+    }
+    double used = 0.0;
+    for (std::size_t k = 0; k < count; ++k) {
+      used += time_share[static_cast<std::size_t>(members[k])];
+    }
+    remaining = std::max(0.0, 1.0 - used);
+    m = w;
+  }
+}
+
+void EqualSharesInPlace(const int* members, std::size_t count,
+                        const double* demands, double* time_share,
+                        bool denominator_all) {
+  std::size_t active = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t j = static_cast<std::size_t>(members[k]);
+    time_share[j] = 0.0;
+    if (demands[j] > 0.0) ++active;
+  }
+  if (active == 0) return;
+  const double share =
+      1.0 / static_cast<double>(denominator_all ? count : active);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t j = static_cast<std::size_t>(members[k]);
+    if (demands[j] > 0.0) time_share[j] = share;
+  }
+}
+
+}  // namespace detail
 
 const char* ToString(PlcSharing s) {
   switch (s) {
@@ -73,30 +133,35 @@ CellAllocation WifiCellAllocation(const std::vector<double>& user_rates,
 
   // Raise a common throughput level over the backlogged users; users whose
   // demand lies below the level freeze at their demand and return their
-  // airtime. Each round freezes at least one user, so O(n) rounds.
+  // airtime. Each round freezes at least one user, so O(n) rounds. One
+  // index buffer, compacted in place (no per-round reallocation).
   std::vector<std::size_t> backlogged(n);
   for (std::size_t i = 0; i < n; ++i) backlogged[i] = i;
-  while (!backlogged.empty() && airtime > 1e-15) {
+  std::size_t m = n;
+  while (m > 0 && airtime > 1e-15) {
     double inv_sum = 0.0;
-    for (std::size_t i : backlogged) inv_sum += 1.0 / user_rates[i];
+    for (std::size_t k = 0; k < m; ++k) {
+      inv_sum += 1.0 / user_rates[backlogged[k]];
+    }
     const double level = airtime / inv_sum;
-    std::vector<std::size_t> still;
-    bool any_frozen = false;
-    for (std::size_t i : backlogged) {
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t i = backlogged[k];
       const double d = demands_mbps[i];
       if (d > 0.0 && d <= level) {
         alloc.user_throughput_mbps[i] = d;
         airtime -= d / user_rates[i];
-        any_frozen = true;
       } else {
-        still.push_back(i);
+        backlogged[w++] = i;
       }
     }
-    if (!any_frozen) {
-      for (std::size_t i : still) alloc.user_throughput_mbps[i] = level;
+    if (w == m) {
+      for (std::size_t k = 0; k < m; ++k) {
+        alloc.user_throughput_mbps[backlogged[k]] = level;
+      }
       break;
     }
-    backlogged = std::move(still);
+    m = w;
   }
   for (double x : alloc.user_throughput_mbps) alloc.total_mbps += x;
   return alloc;
@@ -110,49 +175,61 @@ std::vector<double> MaxMinWithCaps(const std::vector<double>& caps,
   for (double c : caps) {
     if (c < 0.0) throw std::invalid_argument("negative cap");
   }
+  // One index buffer over the uncapped users, compacted in place.
   std::vector<std::size_t> open;
+  open.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (caps[i] > 0.0) open.push_back(i);
   }
+  std::size_t m = open.size();
   double remaining = total;
-  while (!open.empty() && remaining > 1e-15) {
-    const double share = remaining / static_cast<double>(open.size());
-    std::vector<std::size_t> still;
-    bool any_capped = false;
-    for (std::size_t i : open) {
+  while (m > 0 && remaining > 1e-15) {
+    const double share = remaining / static_cast<double>(m);
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t i = open[k];
       if (caps[i] <= share) {
         out[i] = caps[i];
         remaining -= caps[i];
-        any_capped = true;
       } else {
-        still.push_back(i);
+        open[w++] = i;
       }
     }
-    if (!any_capped) {
-      for (std::size_t i : still) out[i] = share;
-      remaining = 0.0;
+    if (w == m) {
+      for (std::size_t k = 0; k < m; ++k) out[open[k]] = share;
       break;
     }
-    open = std::move(still);
+    m = w;
   }
   return out;
 }
 
 EvalResult Evaluator::Evaluate(const Network& net,
                                const Assignment& assign) const {
+  EvalScratch scratch;
+  Evaluate(net, assign, scratch);
+  return std::move(scratch.result);
+}
+
+const EvalResult& Evaluator::Evaluate(const Network& net,
+                                      const Assignment& assign,
+                                      EvalScratch& scratch) const {
   if (assign.NumUsers() != net.NumUsers()) {
     throw std::invalid_argument("assignment/network user count mismatch");
   }
   const std::size_t num_ext = net.NumExtenders();
+  const std::size_t num_users = net.NumUsers();
 
-  EvalResult result;
-  result.extenders.resize(num_ext);
-  result.user_throughput_mbps.assign(net.NumUsers(), 0.0);
+  EvalResult& result = scratch.result;
+  result.extenders.assign(num_ext, ExtenderReport{});
+  result.user_throughput_mbps.assign(num_users, 0.0);
+  result.aggregate_mbps = 0.0;
+  result.active_extenders = 0;
 
   // WiFi side: per-extender harmonic sums over associated users.
-  std::vector<double> inv_rate_sum(num_ext, 0.0);
-  std::vector<int> load(num_ext, 0);
-  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+  scratch.inv_rate_sum.assign(num_ext, 0.0);
+  scratch.load.assign(num_ext, 0);
+  for (std::size_t i = 0; i < num_users; ++i) {
     const int e = assign.ExtenderOf(i);
     if (e == Assignment::kUnassigned) continue;
     if (e < 0 || static_cast<std::size_t>(e) >= num_ext) {
@@ -162,14 +239,14 @@ EvalResult Evaluator::Evaluate(const Network& net,
     if (r <= 0.0) {
       throw std::invalid_argument("user assigned to unreachable extender");
     }
-    inv_rate_sum[static_cast<std::size_t>(e)] += 1.0 / r;
-    ++load[static_cast<std::size_t>(e)];
+    scratch.inv_rate_sum[static_cast<std::size_t>(e)] += 1.0 / r;
+    ++scratch.load[static_cast<std::size_t>(e)];
   }
 
   // Does any user carry a finite offered load? (0 = saturated, the paper's
   // assumption; the common case takes the cheap harmonic-sum path.)
   bool any_demand = false;
-  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+  for (std::size_t i = 0; i < num_users; ++i) {
     if (assign.IsAssigned(i) && net.UserDemand(i) > 0.0) {
       any_demand = true;
       break;
@@ -179,140 +256,151 @@ EvalResult Evaluator::Evaluate(const Network& net,
   // Co-channel contention: active cells in one domain time-share the air.
   // peers[j] = number of active cells contending with extender j (1 when
   // every extender has its own channel).
-  std::vector<double> peers(num_ext, 1.0);
+  scratch.peers.assign(num_ext, 1.0);
   if (!options_.wifi_contention_domain.empty()) {
     if (options_.wifi_contention_domain.size() != num_ext) {
       throw std::invalid_argument("contention domain size mismatch");
     }
-    std::vector<int> active_in_domain;
+    scratch.active_in_wifi_domain.clear();
     for (std::size_t j = 0; j < num_ext; ++j) {
       const int d = options_.wifi_contention_domain[j];
       if (d < 0) throw std::invalid_argument("negative domain id");
-      if (static_cast<std::size_t>(d) >= active_in_domain.size()) {
-        active_in_domain.resize(static_cast<std::size_t>(d) + 1, 0);
+      if (static_cast<std::size_t>(d) >= scratch.active_in_wifi_domain.size()) {
+        scratch.active_in_wifi_domain.resize(static_cast<std::size_t>(d) + 1,
+                                             0);
       }
-      if (load[j] > 0) ++active_in_domain[static_cast<std::size_t>(d)];
+      if (scratch.load[j] > 0) {
+        ++scratch.active_in_wifi_domain[static_cast<std::size_t>(d)];
+      }
     }
     for (std::size_t j = 0; j < num_ext; ++j) {
-      if (load[j] == 0) continue;
-      peers[j] = static_cast<double>(active_in_domain[static_cast<std::size_t>(
-          options_.wifi_contention_domain[j])]);
+      if (scratch.load[j] == 0) continue;
+      scratch.peers[j] = static_cast<double>(
+          scratch.active_in_wifi_domain[static_cast<std::size_t>(
+              options_.wifi_contention_domain[j])]);
     }
   }
 
-  std::vector<double> wifi_demand(num_ext, 0.0);
-  std::vector<double> plc_rates(num_ext, 0.0);
+  scratch.wifi_demand.assign(num_ext, 0.0);
+  scratch.plc_rates.assign(num_ext, 0.0);
   // Per-extender per-user WiFi allocations (demand path only): the caps the
   // TCP re-sharing respects when PLC throttles the cell.
-  std::vector<std::vector<std::size_t>> cell_users(any_demand ? num_ext : 0);
-  std::vector<std::vector<double>> cell_caps(any_demand ? num_ext : 0);
   if (any_demand) {
-    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    scratch.cell_users.resize(num_ext);
+    scratch.cell_caps.resize(num_ext);
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      scratch.cell_users[j].clear();
+      scratch.cell_caps[j].clear();
+    }
+    for (std::size_t i = 0; i < num_users; ++i) {
       const int e = assign.ExtenderOf(i);
       if (e == Assignment::kUnassigned) continue;
-      cell_users[static_cast<std::size_t>(e)].push_back(i);
+      scratch.cell_users[static_cast<std::size_t>(e)].push_back(i);
     }
   }
   // Users camped on an extender whose power-line link is dead (c_j = 0,
   // e.g. a failure injected mid-run) get zero end-to-end throughput; the
   // extender consumes no PLC airtime.
-  std::vector<bool> dead_backhaul(num_ext, false);
+  scratch.dead_backhaul.assign(num_ext, 0);
   for (std::size_t j = 0; j < num_ext; ++j) {
-    plc_rates[j] = net.PlcRate(j);
-    if (load[j] == 0) continue;
+    scratch.plc_rates[j] = net.PlcRate(j);
+    if (scratch.load[j] == 0) continue;
     ++result.active_extenders;
-    if (plc_rates[j] <= 0.0) {
-      dead_backhaul[j] = true;
+    if (scratch.plc_rates[j] <= 0.0) {
+      scratch.dead_backhaul[j] = 1;
       continue;  // leave wifi_demand at 0 so the airtime allocator skips it
     }
     if (any_demand) {
-      std::vector<double> rates, demands;
-      rates.reserve(cell_users[j].size());
-      demands.reserve(cell_users[j].size());
-      for (std::size_t i : cell_users[j]) {
-        rates.push_back(net.WifiRate(i, j));
-        demands.push_back(net.UserDemand(i));
+      scratch.tmp_rates.clear();
+      scratch.tmp_demands.clear();
+      for (std::size_t i : scratch.cell_users[j]) {
+        scratch.tmp_rates.push_back(net.WifiRate(i, j));
+        scratch.tmp_demands.push_back(net.UserDemand(i));
       }
-      const CellAllocation alloc =
-          WifiCellAllocation(rates, demands, 1.0 / peers[j]);
-      wifi_demand[j] = alloc.total_mbps;
-      cell_caps[j] = alloc.user_throughput_mbps;
+      const CellAllocation alloc = WifiCellAllocation(
+          scratch.tmp_rates, scratch.tmp_demands, 1.0 / scratch.peers[j]);
+      scratch.wifi_demand[j] = alloc.total_mbps;
+      scratch.cell_caps[j] = alloc.user_throughput_mbps;
     } else {
-      wifi_demand[j] =
-          static_cast<double>(load[j]) / inv_rate_sum[j] / peers[j];
+      scratch.wifi_demand[j] = static_cast<double>(scratch.load[j]) /
+                               scratch.inv_rate_sum[j] / scratch.peers[j];
     }
   }
 
   // PLC side: airtime allocation, independently per contention domain
   // (extenders on separate power-line segments do not share airtime; with
-  // the default single domain this is the paper's model verbatim).
-  plc::TimeShareResult shares;
-  shares.time_share.assign(num_ext, 0.0);
-  shares.throughput.assign(num_ext, 0.0);
-  std::vector<std::vector<std::size_t>> domain_members;
+  // the default single domain this is the paper's model verbatim). Domains
+  // are grouped CSR-style: counting sort into domain_items, no per-domain
+  // vectors.
+  std::size_t num_domains = 0;
   for (std::size_t j = 0; j < num_ext; ++j) {
     const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
-    if (d >= domain_members.size()) domain_members.resize(d + 1);
-    domain_members[d].push_back(j);
+    num_domains = std::max(num_domains, d + 1);
   }
-  for (const auto& members : domain_members) {
-    if (members.empty()) continue;
-    std::vector<double> d_rates, d_demand;
-    d_rates.reserve(members.size());
-    d_demand.reserve(members.size());
-    for (std::size_t j : members) {
-      d_rates.push_back(plc_rates[j]);
-      d_demand.push_back(wifi_demand[j]);
-    }
-    plc::TimeShareResult d_shares;
-    switch (options_.plc_sharing) {
-      case PlcSharing::kMaxMinActive:
-        d_shares = plc::MaxMinTimeShare(d_rates, d_demand);
-        break;
-      case PlcSharing::kEqualActive:
-        d_shares = plc::EqualTimeShare(d_rates, d_demand);
-        break;
-      case PlcSharing::kEqualAll: {
-        // Every extender of the domain owns 1/|A_d| of its airtime,
-        // whether or not it uses it.
-        d_shares.time_share.assign(members.size(), 0.0);
-        d_shares.throughput.assign(members.size(), 0.0);
-        const double share = 1.0 / static_cast<double>(members.size());
-        for (std::size_t k = 0; k < members.size(); ++k) {
-          if (d_demand[k] <= 0.0) continue;
-          d_shares.time_share[k] = share;
-          d_shares.throughput[k] =
-              std::min(d_demand[k], share * d_rates[k]);
-        }
-        break;
-      }
-    }
-    for (std::size_t k = 0; k < members.size(); ++k) {
-      shares.time_share[members[k]] = d_shares.time_share[k];
-      shares.throughput[members[k]] = d_shares.throughput[k];
+  scratch.domain_start.assign(num_domains + 1, 0);
+  scratch.domain_size.assign(num_domains, 0);
+  scratch.domain_active.assign(num_domains, 0);
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
+    ++scratch.domain_start[d + 1];
+    ++scratch.domain_size[d];
+    if (scratch.load[j] > 0) ++scratch.domain_active[d];
+  }
+  for (std::size_t d = 0; d < num_domains; ++d) {
+    scratch.domain_start[d + 1] += scratch.domain_start[d];
+  }
+  scratch.domain_items.assign(num_ext, 0);
+  {
+    // Fill positions; reuse mm_idx as the per-domain write cursor.
+    scratch.mm_idx.assign(num_domains, 0);
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
+      scratch.domain_items[static_cast<std::size_t>(
+          scratch.domain_start[d]) +
+                           scratch.mm_idx[d]++] = static_cast<int>(j);
     }
   }
 
-  // Per-domain population counts for bottleneck attribution.
-  std::vector<int> domain_size(domain_members.size(), 0);
-  std::vector<int> domain_active(domain_members.size(), 0);
-  for (std::size_t j = 0; j < num_ext; ++j) {
-    const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
-    ++domain_size[d];
-    if (load[j] > 0) ++domain_active[d];
+  scratch.time_share.assign(num_ext, 0.0);
+  scratch.mm_idx.assign(num_ext, 0);
+  for (std::size_t d = 0; d < num_domains; ++d) {
+    const std::size_t begin = static_cast<std::size_t>(scratch.domain_start[d]);
+    const std::size_t count =
+        static_cast<std::size_t>(scratch.domain_start[d + 1]) - begin;
+    if (count == 0) continue;
+    const int* members = scratch.domain_items.data() + begin;
+    switch (options_.plc_sharing) {
+      case PlcSharing::kMaxMinActive:
+        detail::MaxMinSharesInPlace(members, count, scratch.plc_rates.data(),
+                            scratch.wifi_demand.data(),
+                            scratch.time_share.data(), scratch.mm_idx.data());
+        break;
+      case PlcSharing::kEqualActive:
+        detail::EqualSharesInPlace(members, count, scratch.wifi_demand.data(),
+                           scratch.time_share.data(),
+                           /*denominator_all=*/false);
+        break;
+      case PlcSharing::kEqualAll:
+        // Every extender of the domain owns 1/|A_d| of its airtime,
+        // whether or not it uses it.
+        detail::EqualSharesInPlace(members, count, scratch.wifi_demand.data(),
+                           scratch.time_share.data(),
+                           /*denominator_all=*/true);
+        break;
+    }
   }
 
   for (std::size_t j = 0; j < num_ext; ++j) {
     ExtenderReport& rep = result.extenders[j];
-    rep.num_users = load[j];
-    rep.wifi_throughput_mbps = wifi_demand[j];
-    rep.plc_time_share = shares.time_share[j];
-    rep.plc_throughput_mbps = shares.time_share[j] * plc_rates[j];
-    if (load[j] == 0) {
+    rep.num_users = scratch.load[j];
+    rep.wifi_throughput_mbps = scratch.wifi_demand[j];
+    rep.plc_time_share = scratch.time_share[j];
+    rep.plc_throughput_mbps = scratch.time_share[j] * scratch.plc_rates[j];
+    if (scratch.load[j] == 0) {
       rep.bottleneck = Bottleneck::kIdle;
       continue;
     }
-    if (dead_backhaul[j]) {
+    if (scratch.dead_backhaul[j]) {
       rep.bottleneck = Bottleneck::kPlc;  // the backhaul delivers nothing
       continue;
     }
@@ -326,9 +414,10 @@ EvalResult Evaluator::Evaluate(const Network& net,
     const std::size_t d = static_cast<std::size_t>(net.PlcDomain(j));
     const double share_denominator =
         options_.plc_sharing == PlcSharing::kEqualAll
-            ? static_cast<double>(domain_size[d])
-            : static_cast<double>(domain_active[d]);
-    const double equal_share_capacity = plc_rates[j] / share_denominator;
+            ? static_cast<double>(scratch.domain_size[d])
+            : static_cast<double>(scratch.domain_active[d]);
+    const double equal_share_capacity =
+        scratch.plc_rates[j] / share_denominator;
     const bool demand_met = rep.end_to_end_mbps >=
                             rep.wifi_throughput_mbps - kBalanceTolerance;
     if (std::abs(rep.wifi_throughput_mbps - equal_share_capacity) <=
@@ -345,15 +434,15 @@ EvalResult Evaluator::Evaluate(const Network& net,
   // user's WiFi allocation as the cap otherwise.
   if (any_demand) {
     for (std::size_t j = 0; j < num_ext; ++j) {
-      if (load[j] == 0 || dead_backhaul[j]) continue;
+      if (scratch.load[j] == 0 || scratch.dead_backhaul[j]) continue;
       const std::vector<double> split = MaxMinWithCaps(
-          cell_caps[j], result.extenders[j].end_to_end_mbps);
-      for (std::size_t k = 0; k < cell_users[j].size(); ++k) {
-        result.user_throughput_mbps[cell_users[j][k]] = split[k];
+          scratch.cell_caps[j], result.extenders[j].end_to_end_mbps);
+      for (std::size_t k = 0; k < scratch.cell_users[j].size(); ++k) {
+        result.user_throughput_mbps[scratch.cell_users[j][k]] = split[k];
       }
     }
   } else {
-    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    for (std::size_t i = 0; i < num_users; ++i) {
       const int e = assign.ExtenderOf(i);
       if (e == Assignment::kUnassigned) continue;
       const ExtenderReport& rep =
@@ -367,7 +456,8 @@ EvalResult Evaluator::Evaluate(const Network& net,
 
 double Evaluator::AggregateThroughput(const Network& net,
                                       const Assignment& assign) const {
-  return Evaluate(net, assign).aggregate_mbps;
+  EvalScratch scratch;
+  return Evaluate(net, assign, scratch).aggregate_mbps;
 }
 
 }  // namespace wolt::model

@@ -75,6 +75,40 @@ struct EvalResult {
   int active_extenders = 0;
 };
 
+// Reusable workspace for Evaluator::Evaluate. Holding one of these across
+// calls makes the saturated (no per-user demands) path allocation-free in
+// steady state: every buffer, including the result, keeps its capacity
+// between evaluations. The contents are owned by the evaluator between
+// calls; only `result` is meaningful to callers.
+struct EvalScratch {
+  EvalResult result;
+
+  // Per-extender accumulators.
+  std::vector<double> inv_rate_sum;
+  std::vector<int> load;
+  std::vector<double> peers;
+  std::vector<double> wifi_demand;
+  std::vector<double> plc_rates;
+  std::vector<double> time_share;
+  std::vector<unsigned char> dead_backhaul;
+
+  // Per-domain bookkeeping (CSR grouping of extenders by PLC domain).
+  std::vector<int> domain_start;  // size = num_domains + 1
+  std::vector<int> domain_items;  // size = num_extenders
+  std::vector<int> domain_size;
+  std::vector<int> domain_active;
+  std::vector<int> active_in_wifi_domain;
+
+  // Max-min progressive-filling index buffer (two-pointer compaction).
+  std::vector<std::size_t> mm_idx;
+
+  // Demand-path buffers (allocate only when finite demands are present).
+  std::vector<std::vector<std::size_t>> cell_users;
+  std::vector<std::vector<double>> cell_caps;
+  std::vector<double> tmp_rates;
+  std::vector<double> tmp_demands;
+};
+
 class Evaluator {
  public:
   explicit Evaluator(EvalOptions options = {}) : options_(options) {}
@@ -83,6 +117,11 @@ class Evaluator {
   // assigned user has zero WiFi rate to its extender or the assignment
   // references an unknown extender.
   EvalResult Evaluate(const Network& net, const Assignment& assign) const;
+
+  // Hot-path variant: evaluates into `scratch` and returns scratch.result.
+  // No heap allocation on the saturated path once the scratch has warmed up.
+  const EvalResult& Evaluate(const Network& net, const Assignment& assign,
+                             EvalScratch& scratch) const;
 
   // Aggregate end-to-end throughput only (same computation, convenience).
   double AggregateThroughput(const Network& net,
@@ -93,6 +132,26 @@ class Evaluator {
  private:
   EvalOptions options_;
 };
+
+namespace detail {
+
+// Max-min fair airtime over the extenders listed in `members` (progressive
+// filling with demand caps, §III-A / Fig. 3c). Same arithmetic as
+// plc::MaxMinTimeShare but operating in place on per-extender arrays with a
+// caller-provided index buffer (size >= count), so hot paths never
+// allocate. Shared by Evaluator and IncrementalEvaluator so both engines
+// produce bit-identical airtime shares.
+void MaxMinSharesInPlace(const int* members, std::size_t count,
+                         const double* rates, const double* demands,
+                         double* time_share, std::size_t* idx);
+
+// Strict 1/k shares over the domain's extenders. `denominator_all` selects
+// the kEqualAll planning model (count idle extenders in the denominator).
+void EqualSharesInPlace(const int* members, std::size_t count,
+                        const double* demands, double* time_share,
+                        bool denominator_all);
+
+}  // namespace detail
 
 // The aggregate WiFi cell throughput T_WiFi_j for one extender given the
 // WiFi rates of its associated users (Eq. 1). Exposed for the Phase-II

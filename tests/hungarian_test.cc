@@ -15,8 +15,8 @@ namespace {
 // Exhaustive reference for small instances: max-utility assignment of a
 // distinct column to every row.
 double BruteForceBest(const Matrix& utilities) {
-  const std::size_t rows = utilities.size();
-  const std::size_t cols = utilities.front().size();
+  const std::size_t rows = utilities.rows();
+  const std::size_t cols = utilities.cols();
   std::vector<std::size_t> perm(cols);
   for (std::size_t c = 0; c < cols; ++c) perm[c] = c;
   double best = -1e30;
@@ -24,11 +24,11 @@ double BruteForceBest(const Matrix& utilities) {
     double total = 0.0;
     bool feasible = true;
     for (std::size_t r = 0; r < rows; ++r) {
-      if (utilities[r][perm[r]] == kForbidden) {
+      if (utilities(r, perm[r]) == kForbidden) {
         feasible = false;
         break;
       }
-      total += utilities[r][perm[r]];
+      total += utilities(r, perm[r]);
     }
     if (feasible) best = std::max(best, total);
   } while (std::next_permutation(perm.begin(), perm.end()));
@@ -118,12 +118,10 @@ TEST_P(HungarianRandomTest, MatchesBruteForce) {
   util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
   const int rows = rng.UniformInt(1, 5);
   const int cols = rng.UniformInt(rows, 7);
-  Matrix u(static_cast<std::size_t>(rows),
-           std::vector<double>(static_cast<std::size_t>(cols), 0.0));
-  for (auto& row : u) {
-    for (double& cell : row) {
-      cell = rng.Bernoulli(0.1) ? kForbidden : rng.Uniform(0.0, 100.0);
-    }
+  Matrix u(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols),
+           0.0);
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    u.data()[k] = rng.Bernoulli(0.1) ? kForbidden : rng.Uniform(0.0, 100.0);
   }
   const double reference = BruteForceBest(u);
   if (reference < -1e29) return;  // instance wholly infeasible
@@ -143,9 +141,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomTest, ::testing::Range(1, 61));
 TEST(HungarianTest, EnterpriseScaleRunsFast) {
   util::Rng rng(2024);
   const std::size_t rows = 15, cols = 200;
-  Matrix u(rows, std::vector<double>(cols, 0.0));
-  for (auto& row : u) {
-    for (double& cell : row) cell = rng.Uniform(1.0, 100.0);
+  Matrix u(rows, cols, 0.0);
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    u.data()[k] = rng.Uniform(1.0, 100.0);
   }
   const HungarianResult r = SolveAssignmentMax(u);
   EXPECT_TRUE(r.feasible);
