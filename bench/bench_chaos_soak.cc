@@ -1,0 +1,151 @@
+// Chaos soak harness — the robustness experiment for the §V-A control
+// plane. Two parts:
+//
+//   1. Soak: N seeded mixed-fault scenarios (lossy/corrupting/reordering
+//      wire + extender crashes, flaps and capacity drift + mid-run
+//      departures) through the full client/probe/controller loop. Reports
+//      how hard the fault universe hit and whether every degradation
+//      invariant held (no escape, id consistency, aggregate >= the
+//      evacuate-dead-extenders baseline, bounded churn, reconvergence).
+//
+//   2. Kill-the-busiest recovery: the RunFailureTrials experiment — how
+//      much throughput each policy wins back after the busiest extenders'
+//      backhauls die (WOLT evacuates; Greedy/RSSI strand their users).
+//
+//   $ ./bench_chaos_soak [num_scenarios]   (default 100)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "fault/chaos.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wolt;
+  int num_scenarios = 100;
+  if (argc > 1) {
+    const int n = std::atoi(argv[1]);
+    if (n > 0) num_scenarios = n;
+  }
+
+  bench::PrintHeader(
+      "Chaos soak — control-plane resilience under mixed faults",
+      "Seeded scenarios: lossy wire (loss/dup/corrupt/reorder) + extender\n"
+      "crash/flap/drift + mid-run departures; warmup -> faults -> settle.");
+
+  const fault::ChaosParams params = fault::DefaultChaosParams();
+  const auto results = fault::RunChaosSoak(params, /*base_seed=*/1, num_scenarios);
+
+  int completed = 0, ids_ok = 0, match_ok = 0, margin_ok = 0, quiesced = 0;
+  double worst_margin = 0.0;
+  std::size_t lost = 0, corrupted = 0, crashes = 0, flaps = 0, drifts = 0;
+  std::size_t retries = 0, given_up = 0, evictions = 0, departures = 0;
+  std::size_t rejects = 0, moves = 0;
+  double prefault = 0.0, final_agg = 0.0;
+  for (const auto& r : results) {
+    completed += r.completed && r.error.empty();
+    ids_ok += r.ids_consistent;
+    match_ok += r.clients_match_controller;
+    margin_ok += r.aggregate_ge_evacuation;
+    quiesced += r.quiesced;
+    worst_margin = std::min(worst_margin, r.worst_margin);
+    lost += r.wire_stats.lost;
+    corrupted += r.wire_stats.corrupted;
+    crashes += r.health_stats.crashes;
+    flaps += r.health_stats.flaps;
+    drifts += r.health_stats.drifts;
+    retries += r.retries_sent;
+    given_up += r.directives_given_up;
+    evictions += r.evictions;
+    departures += r.departures;
+    rejects += r.decode_rejects + r.status_rejects;
+    moves += r.total_reassignments;
+    prefault += r.prefault_aggregate / static_cast<double>(results.size());
+    final_agg += r.final_aggregate / static_cast<double>(results.size());
+  }
+
+  const int n = static_cast<int>(results.size());
+  util::Table inv({"invariant", "passed", "of"});
+  inv.AddRow({"completed (no exception escaped)", std::to_string(completed),
+              std::to_string(n)});
+  inv.AddRow({"controller ids == surviving clients", std::to_string(ids_ok),
+              std::to_string(n)});
+  inv.AddRow({"believed == actual association", std::to_string(match_ok),
+              std::to_string(n)});
+  inv.AddRow({"reopt aggregate >= evacuation baseline",
+              std::to_string(margin_ok), std::to_string(n)});
+  inv.AddRow({"reconverged + quiesced after faults", std::to_string(quiesced),
+              std::to_string(n)});
+  inv.Print();
+
+  std::printf("\nfault volume across %d scenarios:\n", n);
+  util::Table vol({"metric", "total"});
+  vol.AddRow({"wire messages lost", std::to_string(lost)});
+  vol.AddRow({"wire messages corrupted", std::to_string(corrupted)});
+  vol.AddRow({"backhaul crashes", std::to_string(crashes)});
+  vol.AddRow({"backhaul flaps", std::to_string(flaps)});
+  vol.AddRow({"capacity drifts", std::to_string(drifts)});
+  vol.AddRow({"mid-run departures", std::to_string(departures)});
+  vol.AddRow({"messages rejected (decode+status)", std::to_string(rejects)});
+  vol.AddRow({"directive retries sent", std::to_string(retries)});
+  vol.AddRow({"directives given up", std::to_string(given_up)});
+  vol.AddRow({"ghost users evicted", std::to_string(evictions)});
+  vol.AddRow({"total reassignments", std::to_string(moves)});
+  vol.Print();
+  std::printf(
+      "\nworst reopt-vs-evacuation margin: %.6f Mbit/s (>= 0 required)\n"
+      "mean ground-truth aggregate: %.1f pre-fault -> %.1f post-settle\n",
+      worst_margin, prefault, final_agg);
+
+  // --- Part 2: kill-the-busiest recovery ---------------------------------
+  std::printf(
+      "\nRecovery after killing the 2 busiest extenders (15 extenders,\n"
+      "36 users, 20 topologies; recovery = re-associated / healthy):\n");
+  core::WoltPolicy wolt;
+  core::WoltOptions so;
+  so.subset_search = true;
+  core::WoltPolicy wolts(so);
+  core::GreedyPolicy greedy;
+  core::RssiPolicy rssi;
+  std::vector<core::AssociationPolicy*> policies = {&wolt, &wolts, &greedy,
+                                                    &rssi};
+  const sim::ScenarioGenerator gen(bench::EnterpriseParams(36));
+  util::Rng rng(77);
+  const auto recovery =
+      sim::RunFailureTrials(gen, policies, /*num_trials=*/20,
+                            /*kill_count=*/2, rng);
+  util::Table rec({"policy", "healthy_mbps", "degraded_mbps", "recovered_mbps",
+                   "recovery", "stranded", "moves"});
+  for (const auto& pr : recovery) {
+    double healthy = 0, degraded = 0, recovered = 0, stranded = 0, mv = 0;
+    for (const auto& t : pr.trials) {
+      healthy += t.healthy_mbps / static_cast<double>(pr.trials.size());
+      degraded += t.degraded_mbps / static_cast<double>(pr.trials.size());
+      recovered += t.recovered_mbps / static_cast<double>(pr.trials.size());
+      stranded += static_cast<double>(t.stranded_users) /
+                  static_cast<double>(pr.trials.size());
+      mv += static_cast<double>(t.reassignments) /
+            static_cast<double>(pr.trials.size());
+    }
+    rec.AddRow({pr.policy, util::Fmt(healthy, 1), util::Fmt(degraded, 1),
+                util::Fmt(recovered, 1), util::Fmt(pr.MeanRecoveryRatio(), 3),
+                util::Fmt(stranded, 1), util::Fmt(mv, 1)});
+  }
+  rec.Print();
+  std::printf(
+      "\nExpected shape: every invariant passes; WOLT variants recover most\n"
+      "of the healthy aggregate by evacuating dead extenders, while\n"
+      "Greedy/RSSI never move existing users and strand theirs.\n");
+
+  const bool ok = completed == n && ids_ok == n && match_ok == n &&
+                  margin_ok == n && quiesced == n;
+  bench::PrintFooter();
+  return ok ? 0 : 1;
+}

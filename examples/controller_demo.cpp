@@ -45,7 +45,12 @@ int main() {
       std::printf("   (malformed, dropped)\n");
       continue;
     }
-    for (const auto& directive : cc.HandleUserArrival(*msg)) {
+    const auto result = cc.HandleUserArrival(*msg);
+    if (!result.ok()) {
+      std::printf("   (rejected: %s)\n", ToString(result.status));
+      continue;
+    }
+    for (const auto& directive : result.directives) {
       std::printf("<< %s\n", Encode(directive).c_str());
     }
   }

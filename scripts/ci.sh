@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + tests, the full suite under ASan/UBSan, and a
+# chaos smoke. Run from anywhere; everything happens at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: configure + build (build/)"
+cmake --preset default >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure
+
+echo "==> sanitize: configure + build (build-asan/, ASan+UBSan)"
+cmake --preset sanitize >/dev/null
+cmake --build build-asan -j"$(nproc)"
+
+echo "==> sanitize: ctest (includes the 100-seed chaos soak)"
+ctest --test-dir build-asan --output-on-failure
+
+echo "==> chaos smoke: 10-seed soak with invariant gate"
+./build/bench/bench_chaos_soak 10
+
+echo "==> CI gate passed"

@@ -1,11 +1,17 @@
 #include "core/controller.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <initializer_list>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace wolt::core {
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 std::string JoinDoubles(const std::vector<double>& xs) {
   std::string out;
@@ -18,24 +24,65 @@ std::string JoinDoubles(const std::vector<double>& xs) {
   return out;
 }
 
+// Strict numeric parsers: the whole token must be consumed and the value
+// must be finite. std::stod/stoll accept trailing garbage ("12abc" -> 12)
+// and throw on overflow; both are wire faults here, so wrap and check.
+std::optional<double> ParseDouble(const std::string& s) {
+  // Whitelist plain decimal syntax first: stod also accepts hex floats
+  // ("0x10"), leading whitespace and nan/inf spellings, none of which are
+  // legal on this wire.
+  if (s.empty() ||
+      s.find_first_not_of("0123456789.+-eE") != std::string::npos) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(s, &consumed);
+    if (consumed != s.size() || !std::isfinite(value)) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> ParseInt64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(s, &consumed);
+    if (consumed != s.size()) return std::nullopt;
+    return static_cast<std::int64_t>(value);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<int> ParseInt(const std::string& s) {
+  const auto wide = ParseInt64(s);
+  if (!wide || *wide < std::numeric_limits<int>::min() ||
+      *wide > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*wide);
+}
+
 std::optional<std::vector<double>> ParseDoubles(const std::string& csv) {
+  if (!csv.empty() && csv.back() == ',') return std::nullopt;
   std::vector<double> out;
   std::istringstream in(csv);
   std::string item;
   while (std::getline(in, item, ',')) {
-    try {
-      std::size_t consumed = 0;
-      const double value = std::stod(item, &consumed);
-      if (consumed != item.size()) return std::nullopt;
-      out.push_back(value);
-    } catch (const std::exception&) {
-      return std::nullopt;
-    }
+    const auto value = ParseDouble(item);
+    if (!value) return std::nullopt;
+    out.push_back(*value);
   }
+  if (out.empty()) return std::nullopt;  // "rates=" carries no measurement
   return out;
 }
 
 // Splits "key=value" tokens of a message line after the type word.
+// Duplicate keys are a wire fault (a spliced/corrupted line), not a
+// last-writer-wins merge.
 std::optional<std::unordered_map<std::string, std::string>> ParseFields(
     const std::string& line, const std::string& expected_type) {
   std::istringstream in(line);
@@ -46,23 +93,66 @@ std::optional<std::unordered_map<std::string, std::string>> ParseFields(
   while (in >> token) {
     const std::size_t eq = token.find('=');
     if (eq == std::string::npos || eq == 0) return std::nullopt;
-    fields[token.substr(0, eq)] = token.substr(eq + 1);
+    if (!fields.emplace(token.substr(0, eq), token.substr(eq + 1)).second) {
+      return std::nullopt;
+    }
   }
   return fields;
 }
 
+// Unknown keys are trailing garbage in disguise (a corrupted or spliced
+// line), not forward-compatible extensions.
+bool OnlyKeys(const std::unordered_map<std::string, std::string>& fields,
+              std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : fields) {
+    (void)value;
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    if (!known) return false;
+  }
+  return true;
+}
+
+bool AllNonNegative(const std::vector<double>& xs) {
+  return std::all_of(xs.begin(), xs.end(), [](double x) { return x >= 0.0; });
+}
+
 }  // namespace
+
+const char* ToString(HandleStatus s) {
+  switch (s) {
+    case HandleStatus::kOk: return "ok";
+    case HandleStatus::kMalformed: return "malformed";
+    case HandleStatus::kDuplicateUser: return "duplicate-user";
+    case HandleStatus::kUnknownUser: return "unknown-user";
+    case HandleStatus::kUnknownExtender: return "unknown-extender";
+    case HandleStatus::kIgnoredStale: return "ignored-stale";
+  }
+  return "?";
+}
 
 std::string Encode(const ScanReport& msg) {
   std::string out = "SCAN user=" + std::to_string(msg.user_id) +
                     " rates=" + JoinDoubles(msg.rates_mbps);
   if (!msg.rssi_dbm.empty()) out += " rssi=" + JoinDoubles(msg.rssi_dbm);
+  if (msg.associated_extender) {
+    out += " assoc=" + std::to_string(*msg.associated_extender);
+  }
   return out;
 }
 
 std::string Encode(const AssociationDirective& msg) {
   return "DIRECTIVE user=" + std::to_string(msg.user_id) +
          " extender=" + std::to_string(msg.extender);
+}
+
+std::string Encode(const DirectiveAck& msg) {
+  return "ACK user=" + std::to_string(msg.user_id) +
+         " extender=" + std::to_string(msg.extender);
+}
+
+std::string Encode(const DepartureNotice& msg) {
+  return "DEPART user=" + std::to_string(msg.user_id);
 }
 
 std::string Encode(const CapacityReport& msg) {
@@ -73,22 +163,26 @@ std::string Encode(const CapacityReport& msg) {
 
 std::optional<ScanReport> DecodeScanReport(const std::string& line) {
   const auto fields = ParseFields(line, "SCAN");
-  if (!fields || !fields->count("user") || !fields->count("rates")) {
+  if (!fields || !fields->count("user") || !fields->count("rates") ||
+      !OnlyKeys(*fields, {"user", "rates", "rssi", "assoc"})) {
     return std::nullopt;
   }
   ScanReport msg;
-  try {
-    msg.user_id = std::stoll(fields->at("user"));
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  const auto user = ParseInt64(fields->at("user"));
+  if (!user) return std::nullopt;
+  msg.user_id = *user;
   const auto rates = ParseDoubles(fields->at("rates"));
-  if (!rates) return std::nullopt;
+  if (!rates || !AllNonNegative(*rates)) return std::nullopt;
   msg.rates_mbps = *rates;
   if (fields->count("rssi")) {
     const auto rssi = ParseDoubles(fields->at("rssi"));
     if (!rssi || rssi->size() != msg.rates_mbps.size()) return std::nullopt;
     msg.rssi_dbm = *rssi;
+  }
+  if (fields->count("assoc")) {
+    const auto assoc = ParseInt(fields->at("assoc"));
+    if (!assoc || *assoc < -1) return std::nullopt;
+    msg.associated_extender = *assoc;
   }
   return msg;
 }
@@ -96,57 +190,98 @@ std::optional<ScanReport> DecodeScanReport(const std::string& line) {
 std::optional<AssociationDirective> DecodeAssociationDirective(
     const std::string& line) {
   const auto fields = ParseFields(line, "DIRECTIVE");
-  if (!fields || !fields->count("user") || !fields->count("extender")) {
+  if (!fields || !fields->count("user") || !fields->count("extender") ||
+      !OnlyKeys(*fields, {"user", "extender"})) {
     return std::nullopt;
   }
-  AssociationDirective msg;
-  try {
-    msg.user_id = std::stoll(fields->at("user"));
-    msg.extender = std::stoi(fields->at("extender"));
-  } catch (const std::exception&) {
+  const auto user = ParseInt64(fields->at("user"));
+  const auto extender = ParseInt(fields->at("extender"));
+  if (!user || !extender || *extender < 0) return std::nullopt;
+  return AssociationDirective{*user, *extender};
+}
+
+std::optional<DirectiveAck> DecodeDirectiveAck(const std::string& line) {
+  const auto fields = ParseFields(line, "ACK");
+  if (!fields || !fields->count("user") || !fields->count("extender") ||
+      !OnlyKeys(*fields, {"user", "extender"})) {
     return std::nullopt;
   }
-  return msg;
+  const auto user = ParseInt64(fields->at("user"));
+  const auto extender = ParseInt(fields->at("extender"));
+  if (!user || !extender || *extender < 0) return std::nullopt;
+  return DirectiveAck{*user, *extender};
+}
+
+std::optional<DepartureNotice> DecodeDepartureNotice(const std::string& line) {
+  const auto fields = ParseFields(line, "DEPART");
+  if (!fields || !fields->count("user") || !OnlyKeys(*fields, {"user"})) {
+    return std::nullopt;
+  }
+  const auto user = ParseInt64(fields->at("user"));
+  if (!user) return std::nullopt;
+  return DepartureNotice{*user};
 }
 
 std::optional<CapacityReport> DecodeCapacityReport(const std::string& line) {
   const auto fields = ParseFields(line, "CAPACITY");
-  if (!fields || !fields->count("extender") || !fields->count("mbps")) {
+  if (!fields || !fields->count("extender") || !fields->count("mbps") ||
+      !OnlyKeys(*fields, {"extender", "mbps"})) {
     return std::nullopt;
   }
-  CapacityReport msg;
-  try {
-    msg.extender = std::stoi(fields->at("extender"));
-    msg.capacity_mbps = std::stod(fields->at("mbps"));
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-  if (msg.capacity_mbps < 0.0) return std::nullopt;
-  return msg;
+  const auto extender = ParseInt(fields->at("extender"));
+  const auto mbps = ParseDouble(fields->at("mbps"));
+  if (!extender || *extender < 0 || !mbps || *mbps < 0.0) return std::nullopt;
+  return CapacityReport{*extender, *mbps};
 }
 
 CentralController::CentralController(std::size_t num_extenders,
-                                     PolicyPtr policy)
-    : net_(0, num_extenders), policy_(std::move(policy)) {
+                                     PolicyPtr policy, RetryParams retry)
+    : net_(0, num_extenders),
+      policy_(std::move(policy)),
+      retry_(retry),
+      last_capacity_(num_extenders, -kInf) {
   if (num_extenders == 0) throw std::invalid_argument("no extenders");
   if (!policy_) throw std::invalid_argument("null policy");
 }
 
-void CentralController::HandleCapacityReport(const CapacityReport& report) {
+void CentralController::AdvanceTime(double now) {
+  if (std::isfinite(now)) now_ = std::max(now_, now);
+}
+
+HandleStatus CentralController::HandleCapacityReport(
+    const CapacityReport& report) {
   if (report.extender < 0 ||
       static_cast<std::size_t>(report.extender) >= net_.NumExtenders()) {
-    throw std::invalid_argument("unknown extender in capacity report");
+    return HandleStatus::kUnknownExtender;
+  }
+  if (!std::isfinite(report.capacity_mbps) || report.capacity_mbps < 0.0) {
+    return HandleStatus::kMalformed;
   }
   net_.SetPlcRate(static_cast<std::size_t>(report.extender),
                   report.capacity_mbps);
+  last_capacity_[static_cast<std::size_t>(report.extender)] = now_;
+  return HandleStatus::kOk;
 }
 
-std::size_t CentralController::IndexOf(std::int64_t user_id) const {
-  const auto it = index_of_id_.find(user_id);
-  if (it == index_of_id_.end()) {
-    throw std::invalid_argument("unknown user id");
+HandleStatus CentralController::ValidateScan(const ScanReport& report) const {
+  if (report.rates_mbps.size() != net_.NumExtenders()) {
+    return HandleStatus::kMalformed;
   }
-  return it->second;
+  for (double r : report.rates_mbps) {
+    if (!std::isfinite(r) || r < 0.0) return HandleStatus::kMalformed;
+  }
+  if (!report.rssi_dbm.empty()) {
+    if (report.rssi_dbm.size() != net_.NumExtenders()) {
+      return HandleStatus::kMalformed;
+    }
+    for (double s : report.rssi_dbm) {
+      if (!std::isfinite(s)) return HandleStatus::kMalformed;
+    }
+  }
+  if (report.associated_extender && *report.associated_extender < -1) {
+    return HandleStatus::kMalformed;
+  }
+  return HandleStatus::kOk;
 }
 
 void CentralController::ApplyReport(std::size_t index,
@@ -157,11 +292,40 @@ void CentralController::ApplyReport(std::size_t index,
       net_.SetRssi(index, j, report.rssi_dbm[j]);
     }
   }
+  last_scan_[index] = now_;
 }
 
-std::vector<AssociationDirective> CentralController::RunPolicy() {
+void CentralController::RegisterDirective(const AssociationDirective& d) {
+  pending_[d.user_id] =
+      PendingDirective{d.extender, 1, now_ + retry_.initial_backoff};
+}
+
+std::vector<AssociationDirective> CentralController::RunPolicy(bool guard) {
   const model::Assignment before = assignment_;
-  assignment_ = policy_->Associate(net_, before);
+  model::Assignment proposed = policy_->Associate(net_, before);
+  // Do-no-harm guard (epoch reoptimization only): policies plan under their
+  // own sharing model, which can diverge from the physical evaluator. Never
+  // deploy a reoptimization that scores below the trivial fallback of
+  // keeping everyone in place and evacuating users whose extender backhaul
+  // reports zero capacity. Arrival/scan-triggered runs stay unguarded:
+  // admitting a weak user legitimately lowers a max-min aggregate, and
+  // vetoing that would strand the user forever.
+  if (guard) {
+    model::Assignment fallback = before;
+    for (std::size_t i = 0; i < net_.NumUsers(); ++i) {
+      const int j = fallback.ExtenderOf(i);
+      if (j != model::Assignment::kUnassigned &&
+          net_.PlcRate(static_cast<std::size_t>(j)) <= 0.0) {
+        fallback.Unassign(i);
+      }
+    }
+    const model::Evaluator eval;
+    if (eval.AggregateThroughput(net_, proposed) + 1e-9 <
+        eval.AggregateThroughput(net_, fallback)) {
+      proposed = fallback;
+    }
+  }
+  assignment_ = std::move(proposed);
   std::vector<AssociationDirective> directives;
   for (std::size_t i = 0; i < net_.NumUsers(); ++i) {
     if (assignment_.IsAssigned(i) &&
@@ -169,31 +333,33 @@ std::vector<AssociationDirective> CentralController::RunPolicy() {
       directives.push_back({id_of_index_[i], assignment_.ExtenderOf(i)});
     }
   }
+  for (const auto& d : directives) RegisterDirective(d);
   return directives;
 }
 
-std::vector<AssociationDirective> CentralController::HandleUserArrival(
-    const ScanReport& report) {
-  if (report.rates_mbps.size() != net_.NumExtenders()) {
-    throw std::invalid_argument("scan report has wrong extender count");
+HandleResult CentralController::HandleUserArrival(const ScanReport& report) {
+  if (const HandleStatus v = ValidateScan(report); v != HandleStatus::kOk) {
+    return {v, {}};
   }
   if (index_of_id_.count(report.user_id)) {
-    throw std::invalid_argument("duplicate user id");
+    return {HandleStatus::kDuplicateUser, {}};
   }
   const std::size_t index = net_.AddUser(model::User{}, report.rates_mbps);
   assignment_.AppendUser();
   id_of_index_.push_back(report.user_id);
+  last_scan_.push_back(now_);
   index_of_id_[report.user_id] = index;
   ApplyReport(index, report);
-  return RunPolicy();
+  return {HandleStatus::kOk, RunPolicy()};
 }
 
-std::vector<AssociationDirective> CentralController::HandleScanUpdate(
-    const ScanReport& report) {
-  if (report.rates_mbps.size() != net_.NumExtenders()) {
-    throw std::invalid_argument("scan report has wrong extender count");
+HandleResult CentralController::HandleScanUpdate(const ScanReport& report) {
+  if (const HandleStatus v = ValidateScan(report); v != HandleStatus::kOk) {
+    return {v, {}};
   }
-  const std::size_t index = IndexOf(report.user_id);
+  const auto it = index_of_id_.find(report.user_id);
+  if (it == index_of_id_.end()) return {HandleStatus::kUnknownUser, {}};
+  const std::size_t index = it->second;
   ApplyReport(index, report);
   // The refreshed rates may invalidate the current association.
   const int current = assignment_.ExtenderOf(index);
@@ -201,23 +367,98 @@ std::vector<AssociationDirective> CentralController::HandleScanUpdate(
       net_.WifiRate(index, static_cast<std::size_t>(current)) <= 0.0) {
     assignment_.Unassign(index);
   }
-  return RunPolicy();
+  HandleResult result{HandleStatus::kOk, RunPolicy()};
+  // Reconciliation: the client told us where it actually is. If that
+  // disagrees with the believed association and nothing is in flight,
+  // re-issue the believed directive (the original was lost / abandoned).
+  if (report.associated_extender && assignment_.IsAssigned(index) &&
+      *report.associated_extender != assignment_.ExtenderOf(index) &&
+      !pending_.count(report.user_id)) {
+    const AssociationDirective fix{report.user_id,
+                                   assignment_.ExtenderOf(index)};
+    const bool already =
+        std::any_of(result.directives.begin(), result.directives.end(),
+                    [&](const AssociationDirective& d) {
+                      return d.user_id == fix.user_id;
+                    });
+    if (!already) {
+      RegisterDirective(fix);
+      result.directives.push_back(fix);
+    }
+  }
+  return result;
 }
 
-void CentralController::HandleUserDeparture(std::int64_t user_id) {
-  const std::size_t index = IndexOf(user_id);
+void CentralController::RemoveUserAt(std::size_t index) {
+  pending_.erase(id_of_index_[index]);
   net_.RemoveUser(index);
   assignment_.EraseUser(index);
   id_of_index_.erase(id_of_index_.begin() +
                      static_cast<std::ptrdiff_t>(index));
+  last_scan_.erase(last_scan_.begin() + static_cast<std::ptrdiff_t>(index));
   index_of_id_.clear();
   for (std::size_t i = 0; i < id_of_index_.size(); ++i) {
     index_of_id_[id_of_index_[i]] = i;
   }
 }
 
+HandleStatus CentralController::HandleUserDeparture(std::int64_t user_id) {
+  const auto it = index_of_id_.find(user_id);
+  if (it == index_of_id_.end()) return HandleStatus::kUnknownUser;
+  RemoveUserAt(it->second);
+  return HandleStatus::kOk;
+}
+
+HandleStatus CentralController::HandleDirectiveAck(const DirectiveAck& ack) {
+  if (!index_of_id_.count(ack.user_id)) return HandleStatus::kUnknownUser;
+  const auto it = pending_.find(ack.user_id);
+  if (it == pending_.end()) return HandleStatus::kOk;  // duplicate ack
+  if (it->second.extender != ack.extender) {
+    return HandleStatus::kIgnoredStale;  // ack for a superseded directive
+  }
+  pending_.erase(it);
+  return HandleStatus::kOk;
+}
+
 std::vector<AssociationDirective> CentralController::Reoptimize() {
-  return RunPolicy();
+  return RunPolicy(/*guard=*/true);
+}
+
+std::vector<AssociationDirective> CentralController::CollectRetries() {
+  std::vector<AssociationDirective> due;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingDirective& p = it->second;
+    if (p.next_retry > now_) {
+      ++it;
+      continue;
+    }
+    if (p.attempts >= retry_.max_attempts) {
+      ++given_up_;
+      it = pending_.erase(it);
+      continue;
+    }
+    due.push_back({it->first, p.extender});
+    double backoff = retry_.initial_backoff;
+    for (int a = 1; a < p.attempts; ++a) backoff *= retry_.multiplier;
+    backoff = std::min(backoff * retry_.multiplier, retry_.max_backoff);
+    ++p.attempts;
+    p.next_retry = now_ + backoff;
+    ++it;
+  }
+  std::sort(due.begin(), due.end(),
+            [](const AssociationDirective& a, const AssociationDirective& b) {
+              return a.user_id < b.user_id;
+            });
+  return due;
+}
+
+std::vector<std::int64_t> CentralController::EvictStale(double max_age) {
+  std::vector<std::int64_t> evicted;
+  for (std::size_t i = 0; i < id_of_index_.size(); ++i) {
+    if (now_ - last_scan_[i] > max_age) evicted.push_back(id_of_index_[i]);
+  }
+  for (std::int64_t id : evicted) HandleUserDeparture(id);
+  return evicted;
 }
 
 std::optional<int> CentralController::ExtenderOf(std::int64_t user_id) const {
@@ -225,6 +466,28 @@ std::optional<int> CentralController::ExtenderOf(std::int64_t user_id) const {
   if (it == index_of_id_.end()) return std::nullopt;
   if (!assignment_.IsAssigned(it->second)) return std::nullopt;
   return assignment_.ExtenderOf(it->second);
+}
+
+bool CentralController::KnowsUser(std::int64_t user_id) const {
+  return index_of_id_.count(user_id) > 0;
+}
+
+std::vector<std::int64_t> CentralController::UserIds() const {
+  return id_of_index_;
+}
+
+double CentralController::ScanAge(std::int64_t user_id) const {
+  const auto it = index_of_id_.find(user_id);
+  if (it == index_of_id_.end()) return kInf;
+  return now_ - last_scan_[it->second];
+}
+
+double CentralController::CapacityAge(int extender) const {
+  if (extender < 0 ||
+      static_cast<std::size_t>(extender) >= last_capacity_.size()) {
+    return kInf;
+  }
+  return now_ - last_capacity_[static_cast<std::size_t>(extender)];
 }
 
 double CentralController::CurrentAggregate() const {

@@ -10,6 +10,19 @@
 // plane: stable external user ids over a mutating Network, message types
 // with a line-based wire encoding, and directive diffing so clients are
 // only told to move when their extender actually changed.
+//
+// The control plane is hardened for a lossy wire (see fault/plane.h and
+// DESIGN.md "Failure semantics and the fault plane"):
+//   * Decoders never throw; malformed bytes — NaN/Inf/negative rates,
+//     overflowing ids, trailing garbage, duplicate keys — yield nullopt.
+//   * Handlers never throw on bad *messages*; they return a typed
+//     HandleStatus instead (constructor misuse still throws: that is a
+//     programming error, not a wire fault).
+//   * Directives are retried with capped exponential backoff until acked;
+//     re-delivery is idempotent on both ends.
+//   * Measurements are timestamped; a user whose scans stop arriving keeps
+//     its last-known-good rates (and its association) until the staleness
+//     eviction threshold, so a lost scan never drops a live user.
 #pragma once
 
 #include <cstdint>
@@ -31,12 +44,28 @@ struct ScanReport {
   std::int64_t user_id = 0;
   std::vector<double> rates_mbps;  // per extender; 0 = unreachable
   std::vector<double> rssi_dbm;    // optional; empty or per extender
+  // Optional: the extender the client is actually camped on (-1 = none).
+  // Lets the CC reconcile its believed association against reality after
+  // directives were lost on the wire.
+  std::optional<int> associated_extender;
 };
 
 // CC -> client: associate with this extender.
 struct AssociationDirective {
   std::int64_t user_id = 0;
   int extender = 0;
+};
+
+// Client -> CC: directive received and applied.
+struct DirectiveAck {
+  std::int64_t user_id = 0;
+  int extender = 0;
+};
+
+// Client -> CC: clean goodbye. (May be lost; staleness eviction is the
+// backstop that reaps ghost users.)
+struct DepartureNotice {
+  std::int64_t user_id = 0;
 };
 
 // Probe -> CC: offline PLC capacity estimate for one extender (§V-A).
@@ -46,67 +75,157 @@ struct CapacityReport {
 };
 
 // Line-based wire format, e.g.
-//   SCAN user=7 rates=10.5,0,32.5 rssi=-70.1,-90.0,-60.2
+//   SCAN user=7 rates=10.5,0,32.5 rssi=-70.1,-90.0,-60.2 assoc=2
 //   DIRECTIVE user=7 extender=2
+//   ACK user=7 extender=2
+//   DEPART user=7
 //   CAPACITY extender=1 mbps=120.5
+// Decoders are total: any input — including corrupted bytes — yields either
+// a fully validated message (finite values, non-negative rates/capacities,
+// in-range ids) or nullopt. They never throw.
 std::string Encode(const ScanReport& msg);
 std::string Encode(const AssociationDirective& msg);
+std::string Encode(const DirectiveAck& msg);
+std::string Encode(const DepartureNotice& msg);
 std::string Encode(const CapacityReport& msg);
 std::optional<ScanReport> DecodeScanReport(const std::string& line);
 std::optional<AssociationDirective> DecodeAssociationDirective(
     const std::string& line);
+std::optional<DirectiveAck> DecodeDirectiveAck(const std::string& line);
+std::optional<DepartureNotice> DecodeDepartureNotice(const std::string& line);
 std::optional<CapacityReport> DecodeCapacityReport(const std::string& line);
 
 // --- Controller ----------------------------------------------------------
 
+// Typed rejection of a control message. Handlers return these instead of
+// throwing: a malformed or duplicated message from the wire must never be
+// able to take the controller down.
+enum class HandleStatus {
+  kOk = 0,
+  kMalformed,        // non-finite/negative fields, wrong extender count
+  kDuplicateUser,    // arrival for an id that is already registered
+  kUnknownUser,      // update/departure/ack for an id never seen (or evicted)
+  kUnknownExtender,  // capacity report for an out-of-range extender
+  kIgnoredStale,     // ack for a superseded directive; pending one kept
+};
+const char* ToString(HandleStatus s);
+
+struct HandleResult {
+  HandleStatus status = HandleStatus::kOk;
+  std::vector<AssociationDirective> directives;
+  bool ok() const { return status == HandleStatus::kOk; }
+};
+
+// Retransmission schedule for unacknowledged directives: exponential
+// backoff starting at `initial_backoff`, multiplied per attempt and capped
+// at `max_backoff`; after `max_attempts` total sends the directive is
+// abandoned (the scan-report reconciliation path re-issues it if the client
+// is still live and mismatched).
+struct RetryParams {
+  double initial_backoff = 1.0;
+  double multiplier = 2.0;
+  double max_backoff = 8.0;
+  int max_attempts = 5;
+};
+
 class CentralController {
  public:
   // Takes ownership of the association policy (WOLT in the paper; any
-  // AssociationPolicy works).
-  CentralController(std::size_t num_extenders, PolicyPtr policy);
+  // AssociationPolicy works). Throws std::invalid_argument on zero
+  // extenders or a null policy (construction bugs, not wire input).
+  CentralController(std::size_t num_extenders, PolicyPtr policy,
+                    RetryParams retry = {});
+
+  // Advance the controller's monotonic clock (time units are the caller's;
+  // the dynamic simulator uses DES time). Staleness ages and retry backoff
+  // are measured against this clock. Never moves backwards.
+  void AdvanceTime(double now);
+  double Now() const { return now_; }
 
   // Record an offline capacity estimate for one extender.
-  void HandleCapacityReport(const CapacityReport& report);
+  HandleStatus HandleCapacityReport(const CapacityReport& report);
 
-  // A new user reports its scan. Runs the policy and returns directives
-  // for every user whose extender changed (including the new user).
-  // Throws std::invalid_argument on duplicate ids or malformed reports.
-  std::vector<AssociationDirective> HandleUserArrival(
-      const ScanReport& report);
+  // A new user reports its scan. Runs the policy; the result carries
+  // directives for every user whose extender changed (including the new
+  // user). Duplicate ids and malformed reports are rejected via status,
+  // leaving the controller state untouched.
+  HandleResult HandleUserArrival(const ScanReport& report);
 
   // An existing user refreshes its measurements (mobility). The policy is
-  // re-run; returns directives for every moved user.
-  std::vector<AssociationDirective> HandleScanUpdate(
-      const ScanReport& report);
+  // re-run; the result carries directives for every moved user. If the
+  // report names the client's actual extender and it disagrees with the
+  // controller's believed association, the believed directive is re-issued
+  // (reconciliation after lost directives).
+  HandleResult HandleScanUpdate(const ScanReport& report);
 
   // A user disconnected. No directives result (remaining users keep their
   // extenders until the next arrival/update/reoptimize).
-  void HandleUserDeparture(std::int64_t user_id);
+  HandleStatus HandleUserDeparture(std::int64_t user_id);
+
+  // A client confirmed a directive. Duplicate acks are idempotent (kOk);
+  // acks for a superseded directive are ignored (kIgnoredStale).
+  HandleStatus HandleDirectiveAck(const DirectiveAck& ack);
 
   // Re-run the policy over the current state (the epoch-boundary action of
   // the dynamic experiments).
   std::vector<AssociationDirective> Reoptimize();
 
+  // Directives due for retransmission at Now(), in user-id order. Each
+  // returned directive has its attempt count bumped and its backoff
+  // doubled (capped); exhausted directives are abandoned instead and
+  // counted in DirectivesGivenUp().
+  std::vector<AssociationDirective> CollectRetries();
+
+  // Remove every user whose last accepted scan is older than `max_age`
+  // (ghost users whose departure notice was lost). Returns evicted ids.
+  std::vector<std::int64_t> EvictStale(double max_age);
+
   // Current association of a user, if known and associated.
   std::optional<int> ExtenderOf(std::int64_t user_id) const;
+  bool KnowsUser(std::int64_t user_id) const;
+  std::vector<std::int64_t> UserIds() const;
+
+  // Age of a user's last accepted scan / an extender's last accepted
+  // capacity report; +infinity when never seen.
+  double ScanAge(std::int64_t user_id) const;
+  double CapacityAge(int extender) const;
+
+  std::size_t PendingDirectives() const { return pending_.size(); }
+  std::size_t DirectivesGivenUp() const { return given_up_; }
 
   std::size_t NumUsers() const { return net_.NumUsers(); }
   const model::Network& network() const { return net_; }
+  const model::Assignment& assignment() const { return assignment_; }
 
   // Aggregate throughput of the current association under the physical
   // evaluation model.
   double CurrentAggregate() const;
 
  private:
-  std::size_t IndexOf(std::int64_t user_id) const;
+  struct PendingDirective {
+    int extender = 0;
+    int attempts = 0;       // sends so far (including the first)
+    double next_retry = 0;  // absolute controller time
+  };
+
+  HandleStatus ValidateScan(const ScanReport& report) const;
   void ApplyReport(std::size_t index, const ScanReport& report);
-  std::vector<AssociationDirective> RunPolicy();
+  // guard=true (epoch reoptimization) arms the do-no-harm fallback check.
+  std::vector<AssociationDirective> RunPolicy(bool guard = false);
+  void RegisterDirective(const AssociationDirective& d);
+  void RemoveUserAt(std::size_t index);
 
   model::Network net_;
   model::Assignment assignment_;
   PolicyPtr policy_;
+  RetryParams retry_;
+  double now_ = 0.0;
+  std::size_t given_up_ = 0;
   std::vector<std::int64_t> id_of_index_;
+  std::vector<double> last_scan_;      // by index, controller time
+  std::vector<double> last_capacity_;  // by extender, -inf = never
   std::unordered_map<std::int64_t, std::size_t> index_of_id_;
+  std::unordered_map<std::int64_t, PendingDirective> pending_;
 };
 
 }  // namespace wolt::core

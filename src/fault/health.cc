@@ -1,0 +1,131 @@
+#include "fault/health.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wolt::fault {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}
+
+HealthModel::HealthModel(std::vector<double> baseline_mbps,
+                         HealthParams params, std::uint64_t seed)
+    : baseline_(std::move(baseline_mbps)),
+      factor_(baseline_.size(), 1.0),
+      up_(baseline_.size(), 1),
+      down_seq_(baseline_.size(), 0),
+      params_(params),
+      rng_(seed) {
+  if (baseline_.empty()) throw std::invalid_argument("no extenders");
+}
+
+double HealthModel::Capacity(std::size_t j) const {
+  return up_[j] ? baseline_[j] * factor_[j] : 0.0;
+}
+
+std::size_t HealthModel::NumDown() const {
+  std::size_t n = 0;
+  for (char u : up_) n += (u == 0);
+  return n;
+}
+
+void HealthModel::Emit(std::size_t j) {
+  if (on_capacity_) on_capacity_(j, Capacity(j));
+}
+
+std::size_t HealthModel::PickUp() {
+  std::size_t alive = 0;
+  for (char u : up_) alive += (u != 0);
+  if (alive == 0) return kNone;
+  std::size_t pick = static_cast<std::size_t>(
+      rng_.UniformInt(0, static_cast<int>(alive) - 1));
+  for (std::size_t j = 0; j < up_.size(); ++j) {
+    if (!up_[j]) continue;
+    if (pick-- == 0) return j;
+  }
+  return kNone;
+}
+
+void HealthModel::TakeDown(std::size_t j, double up_after_delay) {
+  up_[j] = 0;
+  const std::uint64_t seq = ++down_seq_[j];
+  Emit(j);
+  queue_->ScheduleAfter(up_after_delay, [this, j, seq] { Restore(j, seq); });
+}
+
+void HealthModel::Restore(std::size_t j, std::uint64_t expected_seq) {
+  // A newer outage superseded this repair timer (e.g. a flap while the
+  // crash repair was pending): let the newer timer own the restore.
+  if (down_seq_[j] != expected_seq || up_[j]) return;
+  up_[j] = 1;
+  ++stats_.repairs;
+  Emit(j);
+}
+
+void HealthModel::ScheduleCrash() {
+  if (params_.crash_rate <= 0.0) return;
+  queue_->ScheduleAfter(rng_.Exponential(params_.crash_rate), [this] {
+    if (enabled_) {
+      const std::size_t j = PickUp();
+      if (j != kNone) {
+        ++stats_.crashes;
+        TakeDown(j, rng_.Exponential(std::max(params_.repair_rate, 1e-9)));
+      }
+      ScheduleCrash();
+    }
+  });
+}
+
+void HealthModel::ScheduleFlap() {
+  if (params_.flap_rate <= 0.0) return;
+  queue_->ScheduleAfter(rng_.Exponential(params_.flap_rate), [this] {
+    if (enabled_) {
+      const std::size_t j = PickUp();
+      if (j != kNone) {
+        ++stats_.flaps;
+        TakeDown(j, rng_.Exponential(
+                        1.0 / std::max(params_.flap_down_mean, 1e-9)));
+      }
+      ScheduleFlap();
+    }
+  });
+}
+
+void HealthModel::ScheduleDrift() {
+  if (params_.drift_rate <= 0.0) return;
+  queue_->ScheduleAfter(rng_.Exponential(params_.drift_rate), [this] {
+    if (enabled_) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng_.UniformInt(0, static_cast<int>(baseline_.size()) - 1));
+      ++stats_.drifts;
+      factor_[j] = std::clamp(factor_[j] * rng_.LogNormal(0.0, params_.drift_sigma),
+                              params_.drift_min_factor, params_.drift_max_factor);
+      if (up_[j]) Emit(j);
+      ScheduleDrift();
+    }
+  });
+}
+
+void HealthModel::Schedule(sim::EventQueue& queue,
+                           CapacityCallback on_capacity) {
+  queue_ = &queue;
+  on_capacity_ = std::move(on_capacity);
+  enabled_ = true;
+  ScheduleCrash();
+  ScheduleFlap();
+  ScheduleDrift();
+}
+
+void HealthModel::StopAndRestore() {
+  enabled_ = false;
+  for (std::size_t j = 0; j < baseline_.size(); ++j) {
+    const bool degraded = !up_[j] || factor_[j] != 1.0;
+    ++down_seq_[j];  // invalidate any pending repair timers
+    up_[j] = 1;
+    factor_[j] = 1.0;
+    if (degraded) Emit(j);
+  }
+}
+
+}  // namespace wolt::fault

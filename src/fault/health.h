@@ -1,0 +1,105 @@
+// Extender backhaul health as discrete-event fault processes.
+//
+// Enterprise PLC deployments lose extenders mid-run: breakers trip, units
+// get unplugged, and power-line capacity drifts with the electrical
+// environment (cf. the PLC deployment study referenced in PAPERS.md).
+// HealthModel owns the ground-truth backhaul state of every extender —
+// up/down and an effective capacity relative to a baseline — and drives it
+// with three seeded Poisson processes scheduled on the existing
+// sim::EventQueue:
+//
+//   * crash:  a random live extender's backhaul dies hard; an exponential
+//             repair timer brings it back later.
+//   * flap:   a short transient outage (loose plug, interference burst)
+//             that heals on its own after a brief exponential downtime.
+//   * drift:  a random extender's capacity takes a multiplicative lognormal
+//             step, clamped to a band around its baseline.
+//
+// Every transition invokes a caller-supplied callback with the extender's
+// new effective capacity (0 while down) — the simulator applies it to the
+// truth network directly, while the chaos harness turns it into a CAPACITY
+// probe message pushed through the lossy wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/des.h"
+#include "util/rng.h"
+
+namespace wolt::fault {
+
+struct HealthParams {
+  // Fleet-wide rates (events per time unit across all extenders).
+  double crash_rate = 0.0;
+  double repair_rate = 0.5;       // per-crash; mean downtime = 1/rate
+  double flap_rate = 0.0;
+  double flap_down_mean = 0.3;    // mean transient downtime (time units)
+  double drift_rate = 0.0;
+  double drift_sigma = 0.15;      // lognormal sigma of each drift step
+  double drift_min_factor = 0.3;  // clamp band around the baseline
+  double drift_max_factor = 1.5;
+
+  bool any() const {
+    return crash_rate > 0.0 || flap_rate > 0.0 || drift_rate > 0.0;
+  }
+};
+
+struct HealthStats {
+  std::size_t crashes = 0;
+  std::size_t repairs = 0;  // crash repairs + flap recoveries
+  std::size_t flaps = 0;
+  std::size_t drifts = 0;
+};
+
+class HealthModel {
+ public:
+  // extender index, new effective backhaul capacity (0 while down)
+  using CapacityCallback = std::function<void(std::size_t, double)>;
+
+  HealthModel(std::vector<double> baseline_mbps, HealthParams params,
+              std::uint64_t seed);
+
+  // Install the self-rescheduling fault processes on `queue` and start
+  // injecting. `on_capacity` fires on every health transition. The queue
+  // and callback must outlive the model (or the queue must be drained).
+  void Schedule(sim::EventQueue& queue, CapacityCallback on_capacity);
+
+  // Stop injecting (pending fault events become no-ops) and restore every
+  // extender to its baseline capacity, firing the callback for each
+  // extender that was degraded. Used for the settle phase of chaos runs.
+  void StopAndRestore();
+
+  std::size_t NumExtenders() const { return baseline_.size(); }
+  bool IsUp(std::size_t j) const { return up_[j] != 0; }
+  // Effective capacity: 0 while down, baseline * drift factor while up.
+  double Capacity(std::size_t j) const;
+  std::size_t NumDown() const;
+
+  const HealthStats& stats() const { return stats_; }
+
+ private:
+  void ScheduleCrash();
+  void ScheduleFlap();
+  void ScheduleDrift();
+  void TakeDown(std::size_t j, double up_after_delay);
+  void Restore(std::size_t j, std::uint64_t expected_seq);
+  void Emit(std::size_t j);
+  // Uniformly random currently-up extender, or npos when all are down.
+  std::size_t PickUp();
+
+  std::vector<double> baseline_;
+  std::vector<double> factor_;      // drift multiplier, 1.0 initially
+  std::vector<char> up_;
+  std::vector<std::uint64_t> down_seq_;  // guards stale restore events
+  HealthParams params_;
+  HealthStats stats_;
+  util::Rng rng_;
+  sim::EventQueue* queue_ = nullptr;
+  CapacityCallback on_capacity_;
+  bool enabled_ = false;
+};
+
+}  // namespace wolt::fault

@@ -1,0 +1,90 @@
+#include "fault/plane.h"
+
+#include <algorithm>
+
+namespace wolt::fault {
+
+const char* ToString(MessageClass c) {
+  switch (c) {
+    case MessageClass::kScan: return "scan";
+    case MessageClass::kDirective: return "directive";
+    case MessageClass::kCapacity: return "capacity";
+    case MessageClass::kAck: return "ack";
+    case MessageClass::kDeparture: return "departure";
+  }
+  return "?";
+}
+
+FaultPlaneParams FaultPlaneParams::Uniform(const WireFaults& w) {
+  FaultPlaneParams p;
+  for (auto& f : p.per_class) f = w;
+  return p;
+}
+
+FaultPlane::FaultPlane(FaultPlaneParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+std::string FaultPlane::Corrupt(std::string bytes) {
+  if (bytes.empty()) return bytes;
+  // A burst of 1..3 independent mutations. Bit flips dominate (they model
+  // in-flight bit errors and often keep the line parseable-but-wrong, the
+  // nastiest case for a decoder); splices and truncations model framing
+  // errors and torn reads.
+  const int mutations = rng_.UniformInt(1, 3);
+  for (int m = 0; m < mutations && !bytes.empty(); ++m) {
+    const std::size_t pos = static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<int>(bytes.size()) - 1));
+    switch (rng_.UniformInt(0, 3)) {
+      case 0:  // flip one bit
+        bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << rng_.UniformInt(0, 7)));
+        break;
+      case 1:  // overwrite with an arbitrary byte
+        bytes[pos] = static_cast<char>(rng_.UniformInt(0, 255));
+        break;
+      case 2:  // truncate (torn read)
+        bytes.resize(pos);
+        break;
+      case 3:  // insert a random byte
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                     static_cast<char>(rng_.UniformInt(0, 255)));
+        break;
+    }
+  }
+  return bytes;
+}
+
+std::vector<FaultPlane::Delivery> FaultPlane::Transmit(
+    MessageClass cls, const std::string& bytes) {
+  const WireFaults& f = params_.ForClass(cls);
+  ++stats_.sent;
+  if (f.loss > 0.0 && rng_.Bernoulli(f.loss)) {
+    ++stats_.lost;
+    return {};
+  }
+  int copies = 1;
+  if (f.duplicate > 0.0 && rng_.Bernoulli(f.duplicate)) {
+    ++copies;
+    ++stats_.duplicated;
+  }
+  std::vector<Delivery> out;
+  out.reserve(static_cast<std::size_t>(copies));
+  for (int c = 0; c < copies; ++c) {
+    Delivery d;
+    d.delay = f.base_latency;
+    if (f.delay_prob > 0.0 && rng_.Bernoulli(f.delay_prob)) {
+      d.delay += rng_.Exponential(1.0 / std::max(f.delay_mean, 1e-9));
+      ++stats_.delayed;
+    }
+    if (f.corrupt > 0.0 && rng_.Bernoulli(f.corrupt)) {
+      d.bytes = Corrupt(bytes);
+      ++stats_.corrupted;
+    } else {
+      d.bytes = bytes;
+    }
+    ++stats_.delivered;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace wolt::fault

@@ -1,0 +1,101 @@
+// Deterministic wire-level fault injection for the control plane of §V-A.
+//
+// The paper's deployment runs the Central Controller as a user-space utility
+// talking to clients and capacity probes over a real enterprise network — a
+// channel that loses, delays, reorders, duplicates and corrupts messages.
+// FaultPlane models that channel: every encoded control message passes
+// through Transmit(), which returns zero or more (delay, bytes) deliveries
+// drawn from a seeded RNG with per-message-class fault probabilities. The
+// caller schedules each delivery on its discrete-event queue; independent
+// random delays yield reordering for free.
+//
+// All randomness comes from the seed given at construction, so any fault
+// trace — and therefore any chaos-soak failure — replays exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wolt::fault {
+
+// Control-plane message classes (the wire formats of core/controller.h).
+enum class MessageClass : int {
+  kScan = 0,       // client -> CC measurement report
+  kDirective,      // CC -> client association directive
+  kCapacity,       // probe -> CC PLC capacity estimate
+  kAck,            // client -> CC directive acknowledgement
+  kDeparture,      // client -> CC goodbye
+};
+inline constexpr int kNumMessageClasses = 5;
+const char* ToString(MessageClass c);
+
+// Fault probabilities for one message class. All probabilities are per
+// message; `delay_mean` is the mean of the exponential extra latency added
+// when the delay fault fires.
+struct WireFaults {
+  double loss = 0.0;         // message vanishes entirely
+  double duplicate = 0.0;    // a second, independently delayed copy arrives
+  double corrupt = 0.0;      // byte-level mangling (per delivered copy)
+  double delay_prob = 0.0;   // extra queueing delay (per delivered copy)
+  double delay_mean = 0.5;   // mean of the extra delay (time units)
+  double base_latency = 0.0; // fixed latency added to every delivery
+};
+
+struct FaultPlaneParams {
+  // Indexed by MessageClass.
+  WireFaults per_class[kNumMessageClasses];
+
+  WireFaults& ForClass(MessageClass c) {
+    return per_class[static_cast<int>(c)];
+  }
+  const WireFaults& ForClass(MessageClass c) const {
+    return per_class[static_cast<int>(c)];
+  }
+  // Same faults on every message class.
+  static FaultPlaneParams Uniform(const WireFaults& w);
+};
+
+struct FaultPlaneStats {
+  std::size_t sent = 0;        // Transmit() calls
+  std::size_t delivered = 0;   // copies handed back to the caller
+  std::size_t lost = 0;        // messages dropped outright
+  std::size_t duplicated = 0;  // extra copies generated
+  std::size_t corrupted = 0;   // copies whose bytes were mangled
+  std::size_t delayed = 0;     // copies that drew extra latency
+};
+
+class FaultPlane {
+ public:
+  struct Delivery {
+    double delay = 0.0;  // relative to the send time
+    std::string bytes;
+  };
+
+  FaultPlane(FaultPlaneParams params, std::uint64_t seed);
+
+  // Push one encoded message through the lossy wire. Empty result = lost;
+  // more than one entry = duplicated. Bytes may differ from the input when
+  // the corruption fault fired.
+  std::vector<Delivery> Transmit(MessageClass cls, const std::string& bytes);
+
+  // Swap the fault configuration mid-run (e.g. a clean wire for the settle
+  // phase of a chaos scenario). The RNG stream continues.
+  void SetParams(const FaultPlaneParams& params) { params_ = params; }
+  const FaultPlaneParams& params() const { return params_; }
+
+  const FaultPlaneStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FaultPlaneStats{}; }
+
+ private:
+  std::string Corrupt(std::string bytes);
+
+  FaultPlaneParams params_;
+  FaultPlaneStats stats_;
+  util::Rng rng_;
+};
+
+}  // namespace wolt::fault

@@ -1,7 +1,9 @@
 #include "sim/dynamics.h"
 
+#include <memory>
 #include <stdexcept>
 
+#include "fault/health.h"
 #include "sim/des.h"
 #include "util/stats.h"
 
@@ -59,6 +61,24 @@ std::vector<EpochStats> RunDynamicSimulation(
   // Mobility: teleport a random user and refresh its links. Assignments
   // that became infeasible are dropped; the policies repair them at the
   // next epoch boundary.
+  // Backhaul fault injection: the HealthModel owns the ground-truth backhaul
+  // state and applies every transition straight to the shared network, so
+  // each policy's epoch re-association sees the same outages and must
+  // evacuate dead extenders on its own. Constructed only when enabled to
+  // leave the fault-free RNG stream (and all existing results) unchanged.
+  std::unique_ptr<fault::HealthModel> health;
+  if (params.health.any()) {
+    std::vector<double> baselines(net.NumExtenders());
+    for (std::size_t j = 0; j < net.NumExtenders(); ++j) {
+      baselines[j] = net.PlcRate(j);
+    }
+    health = std::make_unique<fault::HealthModel>(std::move(baselines),
+                                                  params.health, rng.Next());
+    health->Schedule(queue, [&net](std::size_t j, double mbps) {
+      net.SetPlcRate(j, mbps);
+    });
+  }
+
   std::function<void()> move = [&] {
     if (net.NumUsers() > 0) {
       const std::size_t mover = static_cast<std::size_t>(
@@ -87,6 +107,7 @@ std::vector<EpochStats> RunDynamicSimulation(
   }
 
   std::vector<EpochStats> history;
+  fault::HealthStats last_health;
   for (int epoch = 1; epoch <= params.epochs; ++epoch) {
     arrivals_this_epoch = 0;
     departures_this_epoch = 0;
@@ -99,6 +120,14 @@ std::vector<EpochStats> RunDynamicSimulation(
     stats.arrivals = arrivals_this_epoch;
     stats.departures = departures_this_epoch;
     stats.moves = moves_this_epoch;
+    if (health) {
+      const fault::HealthStats& h = health->stats();
+      stats.crashes = h.crashes - last_health.crashes;
+      stats.repairs = h.repairs - last_health.repairs;
+      stats.flaps = h.flaps - last_health.flaps;
+      stats.extenders_down = health->NumDown();
+      last_health = h;
+    }
 
     for (std::size_t p = 0; p < policies.size(); ++p) {
       const model::Assignment before = assignments[p];
@@ -111,6 +140,13 @@ std::vector<EpochStats> RunDynamicSimulation(
       ps.jain_fairness = util::JainFairnessIndex(eval.user_throughput_mbps);
       ps.reassignments =
           model::Assignment::CountReassignments(before, assignments[p]);
+      for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+        const int e = assignments[p].ExtenderOf(i);
+        if (e != model::Assignment::kUnassigned &&
+            net.PlcRate(static_cast<std::size_t>(e)) <= 0.0) {
+          ++ps.stranded_users;
+        }
+      }
       stats.per_policy.push_back(std::move(ps));
     }
     history.push_back(std::move(stats));

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "fault/health.h"
 #include "model/evaluator.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
@@ -33,6 +34,11 @@ struct DynamicsParams {
   double move_rate = 0.0;
   double epoch_length = 12.0;    // time units per epoch
   int epochs = 3;
+  // Backhaul fault injection (fault/health.h): crashes, flaps and capacity
+  // drift scheduled on the same event queue as the birth-death process.
+  // Defaults to no faults, which leaves the RNG stream — and therefore all
+  // fault-free results — untouched.
+  fault::HealthParams health;
   model::EvalOptions eval;
 };
 
@@ -43,6 +49,9 @@ struct PolicyEpochStats {
   // Existing users whose extender changed at this epoch's re-association
   // (new arrivals are not counted).
   std::size_t reassignments = 0;
+  // Users this policy left associated to a dead backhaul after the epoch's
+  // re-association (0 for policies that evacuate, like WOLT).
+  std::size_t stranded_users = 0;
 };
 
 struct EpochStats {
@@ -51,6 +60,11 @@ struct EpochStats {
   std::size_t arrivals = 0;    // users that arrived during the epoch
   std::size_t departures = 0;  // users that departed during the epoch
   std::size_t moves = 0;       // mobility events during the epoch
+  // Fault-injection counters (all 0 when DynamicsParams::health is off).
+  std::size_t crashes = 0;         // hard backhaul failures this epoch
+  std::size_t repairs = 0;         // recoveries (crash repairs + flap ends)
+  std::size_t flaps = 0;           // transient outages this epoch
+  std::size_t extenders_down = 0;  // dead backhauls at the epoch boundary
   std::vector<PolicyEpochStats> per_policy;
 };
 

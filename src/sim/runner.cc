@@ -1,5 +1,6 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/stats.h"
@@ -62,6 +63,66 @@ std::vector<PolicyTrials> RunStaticTrials(
     networks.push_back(generator.Generate(trial_rng));
   }
   return RunNetworkTrials(networks, policies, eval);
+}
+
+double PolicyResilience::MeanRecoveryRatio() const {
+  if (trials.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& t : trials) {
+    sum += t.healthy_mbps > 0.0 ? t.recovered_mbps / t.healthy_mbps : 0.0;
+  }
+  return sum / static_cast<double>(trials.size());
+}
+
+std::vector<PolicyResilience> RunFailureTrials(
+    const ScenarioGenerator& generator,
+    const std::vector<core::AssociationPolicy*>& policies, int num_trials,
+    int kill_count, util::Rng& rng, model::EvalOptions eval) {
+  if (policies.empty()) throw std::invalid_argument("no policies");
+  if (num_trials <= 0 || kill_count <= 0) {
+    throw std::invalid_argument("bad failure-trial parameters");
+  }
+  const model::Evaluator evaluator(eval);
+
+  std::vector<PolicyResilience> results(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    results[p].policy = policies[p]->Name();
+  }
+  for (int t = 0; t < num_trials; ++t) {
+    util::Rng trial_rng = rng.Fork();
+    const model::Network healthy_net = generator.Generate(trial_rng);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      ResilienceRecord rec;
+      const model::Assignment before =
+          policies[p]->AssociateFresh(healthy_net);
+      rec.healthy_mbps =
+          evaluator.Evaluate(healthy_net, before).aggregate_mbps;
+
+      // Kill the `kill_count` busiest extenders under this assignment.
+      model::Network net = healthy_net;
+      const std::vector<int> load = before.LoadVector(net.NumExtenders());
+      std::vector<std::size_t> order(net.NumExtenders());
+      for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (load[a] != load[b]) return load[a] > load[b];
+        return a < b;
+      });
+      const std::size_t kills = std::min(static_cast<std::size_t>(kill_count),
+                                         net.NumExtenders());
+      for (std::size_t k = 0; k < kills; ++k) {
+        net.SetPlcRate(order[k], 0.0);
+        rec.stranded_users +=
+            static_cast<std::size_t>(load[order[k]]);
+      }
+
+      rec.degraded_mbps = evaluator.Evaluate(net, before).aggregate_mbps;
+      const model::Assignment after = policies[p]->Associate(net, before);
+      rec.recovered_mbps = evaluator.Evaluate(net, after).aggregate_mbps;
+      rec.reassignments = model::Assignment::CountReassignments(before, after);
+      results[p].trials.push_back(std::move(rec));
+    }
+  }
+  return results;
 }
 
 WinLoss CompareUsers(const PolicyTrials& a, const PolicyTrials& b,

@@ -55,4 +55,38 @@ struct WinLoss {
 WinLoss CompareUsers(const PolicyTrials& a, const PolicyTrials& b,
                      double tolerance_mbps = 1e-6);
 
+// --- Failure / recovery trials -------------------------------------------
+
+// One kill-the-busiest-extenders trial for one policy: associate fresh on a
+// healthy network, zero the PLC backhaul of the `kill_count` extenders
+// carrying the most users (per this policy's own assignment), then measure
+// the stranded assignment and the policy's re-association on the degraded
+// network.
+struct ResilienceRecord {
+  double healthy_mbps = 0.0;    // fresh association, healthy network
+  double degraded_mbps = 0.0;   // same assignment after the kills
+  double recovered_mbps = 0.0;  // policy re-association on the dead network
+  std::size_t stranded_users = 0;  // users whose extender was killed
+  std::size_t reassignments = 0;   // moves the recovery performed
+};
+
+struct PolicyResilience {
+  std::string policy;
+  std::vector<ResilienceRecord> trials;
+
+  // Mean of recovered/healthy across trials (1.0 = full recovery).
+  double MeanRecoveryRatio() const;
+};
+
+// Generate `num_trials` networks (forking the rng per trial) and run the
+// kill/recover experiment for every policy. Every policy sees the same
+// topologies but kills its own busiest extenders. Online policies that
+// never move existing users (Greedy, RSSI) recover nothing — their stranded
+// users stay stranded — which is exactly the contrast the chaos bench
+// reports.
+std::vector<PolicyResilience> RunFailureTrials(
+    const ScenarioGenerator& generator,
+    const std::vector<core::AssociationPolicy*>& policies, int num_trials,
+    int kill_count, util::Rng& rng, model::EvalOptions eval = {});
+
 }  // namespace wolt::sim

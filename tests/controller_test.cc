@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -24,6 +26,7 @@ TEST(WireFormatTest, ScanReportRoundTrip) {
   EXPECT_EQ(decoded->user_id, 42);
   EXPECT_EQ(decoded->rates_mbps, msg.rates_mbps);
   EXPECT_EQ(decoded->rssi_dbm, msg.rssi_dbm);
+  EXPECT_FALSE(decoded->associated_extender.has_value());
 }
 
 TEST(WireFormatTest, ScanReportWithoutRssi) {
@@ -35,12 +38,40 @@ TEST(WireFormatTest, ScanReportWithoutRssi) {
   EXPECT_TRUE(decoded->rssi_dbm.empty());
 }
 
+TEST(WireFormatTest, ScanReportCarriesAssociation) {
+  ScanReport msg;
+  msg.user_id = 9;
+  msg.rates_mbps = {5.0, 6.0};
+  msg.associated_extender = 1;
+  const auto decoded = DecodeScanReport(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->associated_extender.has_value());
+  EXPECT_EQ(*decoded->associated_extender, 1);
+
+  msg.associated_extender = -1;  // camped nowhere
+  const auto decoded2 = DecodeScanReport(Encode(msg));
+  ASSERT_TRUE(decoded2.has_value());
+  ASSERT_TRUE(decoded2->associated_extender.has_value());
+  EXPECT_EQ(*decoded2->associated_extender, -1);
+}
+
 TEST(WireFormatTest, DirectiveRoundTrip) {
   const AssociationDirective msg{7, 2};
   const auto decoded = DecodeAssociationDirective(Encode(msg));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->user_id, 7);
   EXPECT_EQ(decoded->extender, 2);
+}
+
+TEST(WireFormatTest, AckAndDepartureRoundTrip) {
+  const auto ack = DecodeDirectiveAck(Encode(DirectiveAck{7, 2}));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->user_id, 7);
+  EXPECT_EQ(ack->extender, 2);
+
+  const auto bye = DecodeDepartureNotice(Encode(DepartureNotice{11}));
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_EQ(bye->user_id, 11);
 }
 
 TEST(WireFormatTest, CapacityRoundTrip) {
@@ -64,6 +95,33 @@ TEST(WireFormatTest, MalformedMessagesRejected) {
       DecodeCapacityReport("CAPACITY extender=1 mbps=-5").has_value());
 }
 
+TEST(WireFormatTest, HostileNumericsRejected) {
+  // NaN / Inf / negative rates must not reach the controller.
+  EXPECT_FALSE(DecodeScanReport("SCAN user=1 rates=nan").has_value());
+  EXPECT_FALSE(DecodeScanReport("SCAN user=1 rates=inf,1").has_value());
+  EXPECT_FALSE(DecodeScanReport("SCAN user=1 rates=-3").has_value());
+  EXPECT_FALSE(
+      DecodeScanReport("SCAN user=1 rates=1 rssi=nan").has_value());
+  EXPECT_FALSE(DecodeCapacityReport("CAPACITY extender=0 mbps=nan")
+                   .has_value());
+  EXPECT_FALSE(DecodeCapacityReport("CAPACITY extender=0 mbps=inf")
+                   .has_value());
+  // Overflowing / fractional ids.
+  EXPECT_FALSE(
+      DecodeScanReport("SCAN user=99999999999999999999 rates=1").has_value());
+  EXPECT_FALSE(DecodeScanReport("SCAN user=1.5 rates=1").has_value());
+  EXPECT_FALSE(DecodeAssociationDirective(
+                   "DIRECTIVE user=1 extender=99999999999999999999")
+                   .has_value());
+  // Trailing garbage, duplicate keys, bad assoc.
+  EXPECT_FALSE(DecodeScanReport("SCAN user=1 rates=1 junk").has_value());
+  EXPECT_FALSE(DecodeScanReport("SCAN user=1 user=2 rates=1").has_value());
+  EXPECT_FALSE(
+      DecodeScanReport("SCAN user=1 rates=1 assoc=-2").has_value());
+  EXPECT_FALSE(DecodeCapacityReport("CAPACITY extender=0 mbps=5 x=1")
+                   .has_value());
+}
+
 // --- Controller -----------------------------------------------------------
 
 // Fig. 3 scenario driven entirely through the control plane.
@@ -71,12 +129,12 @@ class ControllerCaseStudy : public ::testing::Test {
  protected:
   CentralController MakeController(PolicyPtr policy) {
     CentralController cc(2, std::move(policy));
-    cc.HandleCapacityReport({0, 60.0});
-    cc.HandleCapacityReport({1, 20.0});
+    EXPECT_EQ(cc.HandleCapacityReport({0, 60.0}), HandleStatus::kOk);
+    EXPECT_EQ(cc.HandleCapacityReport({1, 20.0}), HandleStatus::kOk);
     return cc;
   }
-  ScanReport User1() { return {101, {15.0, 10.0}, {}}; }
-  ScanReport User2() { return {102, {40.0, 20.0}, {}}; }
+  ScanReport User1() { return {101, {15.0, 10.0}, {}, {}}; }
+  ScanReport User2() { return {102, {40.0, 20.0}, {}, {}}; }
 };
 
 TEST_F(ControllerCaseStudy, RejectsBadConstruction) {
@@ -87,26 +145,28 @@ TEST_F(ControllerCaseStudy, RejectsBadConstruction) {
 
 TEST_F(ControllerCaseStudy, WoltReachesOptimumWithReassociation) {
   CentralController cc = MakeController(std::make_unique<WoltPolicy>());
-  auto d1 = cc.HandleUserArrival(User1());
-  ASSERT_EQ(d1.size(), 1u);
-  EXPECT_EQ(d1[0].user_id, 101);
-  EXPECT_EQ(d1[0].extender, 0);  // alone, extender 0 gives 15 > 10
+  const auto r1 = cc.HandleUserArrival(User1());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1.directives.size(), 1u);
+  EXPECT_EQ(r1.directives[0].user_id, 101);
+  EXPECT_EQ(r1.directives[0].extender, 0);  // alone, extender 0 gives 15 > 10
 
   // User 2 arrives: the optimal configuration moves user 1 to extender 1.
-  auto d2 = cc.HandleUserArrival(User2());
+  const auto r2 = cc.HandleUserArrival(User2());
+  ASSERT_TRUE(r2.ok());
   EXPECT_EQ(cc.ExtenderOf(101), 1);
   EXPECT_EQ(cc.ExtenderOf(102), 0);
   EXPECT_NEAR(cc.CurrentAggregate(), 40.0, 1e-9);
   // Directives cover exactly the users that moved (both here).
-  EXPECT_EQ(d2.size(), 2u);
+  EXPECT_EQ(r2.directives.size(), 2u);
 }
 
 TEST_F(ControllerCaseStudy, GreedyNeverMovesExistingUsers) {
   CentralController cc = MakeController(std::make_unique<GreedyPolicy>());
   cc.HandleUserArrival(User1());
-  const auto d2 = cc.HandleUserArrival(User2());
-  ASSERT_EQ(d2.size(), 1u);  // only the new user is directed
-  EXPECT_EQ(d2[0].user_id, 102);
+  const auto r2 = cc.HandleUserArrival(User2());
+  ASSERT_EQ(r2.directives.size(), 1u);  // only the new user is directed
+  EXPECT_EQ(r2.directives[0].user_id, 102);
   EXPECT_EQ(cc.ExtenderOf(101), 0);
   EXPECT_EQ(cc.ExtenderOf(102), 1);
   EXPECT_NEAR(cc.CurrentAggregate(), 30.0, 1e-9);
@@ -116,7 +176,7 @@ TEST_F(ControllerCaseStudy, DepartureFreesTheExtender) {
   CentralController cc = MakeController(std::make_unique<WoltPolicy>());
   cc.HandleUserArrival(User1());
   cc.HandleUserArrival(User2());
-  cc.HandleUserDeparture(102);
+  EXPECT_EQ(cc.HandleUserDeparture(102), HandleStatus::kOk);
   EXPECT_EQ(cc.NumUsers(), 1u);
   EXPECT_FALSE(cc.ExtenderOf(102).has_value());
   // Reoptimize brings user 1 back to its solo optimum (extender 0).
@@ -131,29 +191,170 @@ TEST_F(ControllerCaseStudy, ScanUpdateTriggersReassociation) {
   // User 1 walks: now it only hears extender 1.
   ScanReport moved = User1();
   moved.rates_mbps = {0.0, 30.0};
-  const auto directives = cc.HandleScanUpdate(moved);
-  ASSERT_EQ(directives.size(), 1u);
-  EXPECT_EQ(directives[0].extender, 1);
+  const auto result = cc.HandleScanUpdate(moved);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_EQ(result.directives[0].extender, 1);
   EXPECT_EQ(cc.ExtenderOf(101), 1);
 }
 
-TEST_F(ControllerCaseStudy, InputValidation) {
+TEST_F(ControllerCaseStudy, BadMessagesRejectedWithoutThrowing) {
   CentralController cc = MakeController(std::make_unique<WoltPolicy>());
-  EXPECT_THROW(cc.HandleCapacityReport({5, 10.0}), std::invalid_argument);
-  EXPECT_THROW(cc.HandleUserArrival({1, {10.0}, {}}),
-               std::invalid_argument);  // wrong rate count
-  cc.HandleUserArrival(User1());
-  EXPECT_THROW(cc.HandleUserArrival(User1()), std::invalid_argument);
-  EXPECT_THROW(cc.HandleUserDeparture(999), std::invalid_argument);
-  EXPECT_THROW(cc.HandleScanUpdate({999, {1.0, 1.0}, {}}),
-               std::invalid_argument);
+  EXPECT_EQ(cc.HandleCapacityReport({5, 10.0}),
+            HandleStatus::kUnknownExtender);
+  EXPECT_EQ(cc.HandleCapacityReport({-1, 10.0}),
+            HandleStatus::kUnknownExtender);
+  EXPECT_EQ(cc.HandleCapacityReport(
+                {0, std::numeric_limits<double>::quiet_NaN()}),
+            HandleStatus::kMalformed);
+  // Wrong rate count.
+  EXPECT_EQ(cc.HandleUserArrival({1, {10.0}, {}, {}}).status,
+            HandleStatus::kMalformed);
+  EXPECT_EQ(cc.NumUsers(), 0u);
+  ASSERT_TRUE(cc.HandleUserArrival(User1()).ok());
+  // Duplicate arrival leaves state untouched.
+  EXPECT_EQ(cc.HandleUserArrival(User1()).status,
+            HandleStatus::kDuplicateUser);
+  EXPECT_EQ(cc.NumUsers(), 1u);
+  EXPECT_EQ(cc.HandleUserDeparture(999), HandleStatus::kUnknownUser);
+  EXPECT_EQ(cc.HandleScanUpdate({999, {1.0, 1.0}, {}, {}}).status,
+            HandleStatus::kUnknownUser);
+  // A malformed update must not clobber the stored measurements.
+  EXPECT_EQ(
+      cc.HandleScanUpdate(
+            {101, {std::numeric_limits<double>::infinity(), 1.0}, {}, {}})
+          .status,
+      HandleStatus::kMalformed);
+  EXPECT_NEAR(cc.network().WifiRate(0, 0), 15.0, 1e-12);
+}
+
+// --- Directive acks, retries, staleness (lossy-wire hardening) ------------
+
+class LossyWireTest : public ::testing::Test {
+ protected:
+  static CentralController Make(RetryParams retry = {}) {
+    CentralController cc(2, std::make_unique<WoltPolicy>(), retry);
+    cc.HandleCapacityReport({0, 60.0});
+    cc.HandleCapacityReport({1, 20.0});
+    return cc;
+  }
+};
+
+TEST_F(LossyWireTest, AckClearsPendingDirective) {
+  CentralController cc = Make();
+  const auto r = cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});
+  ASSERT_EQ(r.directives.size(), 1u);
+  EXPECT_EQ(cc.PendingDirectives(), 1u);
+  EXPECT_EQ(cc.HandleDirectiveAck({101, r.directives[0].extender}),
+            HandleStatus::kOk);
+  EXPECT_EQ(cc.PendingDirectives(), 0u);
+  // Duplicate ack is idempotent.
+  EXPECT_EQ(cc.HandleDirectiveAck({101, r.directives[0].extender}),
+            HandleStatus::kOk);
+  // Ack for a never-seen user is rejected.
+  EXPECT_EQ(cc.HandleDirectiveAck({999, 0}), HandleStatus::kUnknownUser);
+}
+
+TEST_F(LossyWireTest, StaleAckDoesNotClearNewerDirective) {
+  CentralController cc = Make();
+  cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});  // -> extender 0
+  cc.HandleUserArrival({102, {40.0, 20.0}, {}, {}});  // moves 101 -> 1
+  ASSERT_EQ(cc.ExtenderOf(101), 1);
+  // A late ack for the original directive (extender 0) must not clear the
+  // pending move to extender 1.
+  const std::size_t pending = cc.PendingDirectives();
+  EXPECT_EQ(cc.HandleDirectiveAck({101, 0}), HandleStatus::kIgnoredStale);
+  EXPECT_EQ(cc.PendingDirectives(), pending);
+  EXPECT_EQ(cc.HandleDirectiveAck({101, 1}), HandleStatus::kOk);
+  EXPECT_EQ(cc.PendingDirectives(), pending - 1);
+}
+
+TEST_F(LossyWireTest, RetriesBackOffExponentiallyAndGiveUp) {
+  RetryParams retry;
+  retry.initial_backoff = 1.0;
+  retry.multiplier = 2.0;
+  retry.max_backoff = 8.0;
+  retry.max_attempts = 4;
+  CentralController cc = Make(retry);
+  cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});  // attempt 1 sent
+  EXPECT_EQ(cc.PendingDirectives(), 1u);
+
+  // Not due yet.
+  cc.AdvanceTime(0.5);
+  EXPECT_TRUE(cc.CollectRetries().empty());
+
+  // Due at +1.0 (attempt 2), then backoff doubles: +2, then +4.
+  cc.AdvanceTime(1.0);
+  auto due = cc.CollectRetries();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].user_id, 101);
+  cc.AdvanceTime(2.9);
+  EXPECT_TRUE(cc.CollectRetries().empty());
+  cc.AdvanceTime(3.0);
+  EXPECT_EQ(cc.CollectRetries().size(), 1u);  // attempt 3
+  cc.AdvanceTime(7.0);
+  EXPECT_EQ(cc.CollectRetries().size(), 1u);  // attempt 4 (last allowed)
+  // Attempt budget exhausted: the directive is abandoned, not re-sent.
+  cc.AdvanceTime(100.0);
+  EXPECT_TRUE(cc.CollectRetries().empty());
+  EXPECT_EQ(cc.PendingDirectives(), 0u);
+  EXPECT_EQ(cc.DirectivesGivenUp(), 1u);
+}
+
+TEST_F(LossyWireTest, ScanReconciliationReissuesLostDirective) {
+  RetryParams retry;
+  retry.max_attempts = 1;  // give up immediately after the first send
+  CentralController cc = Make(retry);
+  cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});  // believed: extender 0
+  cc.AdvanceTime(10.0);
+  cc.CollectRetries();  // abandons the unacked directive
+  EXPECT_EQ(cc.PendingDirectives(), 0u);
+
+  // The client never got the directive: it is still camped nowhere, and its
+  // next scan says so. The CC re-issues the believed association.
+  ScanReport scan{101, {15.0, 10.0}, {}, -1};
+  const auto result = cc.HandleScanUpdate(scan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_EQ(result.directives[0].user_id, 101);
+  EXPECT_EQ(result.directives[0].extender, 0);
+  EXPECT_EQ(cc.PendingDirectives(), 1u);
+
+  // Once the client confirms the right extender, scans are quiet again.
+  cc.HandleDirectiveAck({101, 0});
+  ScanReport agree{101, {15.0, 10.0}, {}, 0};
+  EXPECT_TRUE(cc.HandleScanUpdate(agree).directives.empty());
+}
+
+TEST_F(LossyWireTest, StaleUsersAreEvicted) {
+  CentralController cc = Make();
+  cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});
+  cc.AdvanceTime(5.0);
+  cc.HandleUserArrival({102, {40.0, 20.0}, {}, {}});
+  EXPECT_EQ(cc.ScanAge(101), 5.0);
+  EXPECT_EQ(cc.ScanAge(102), 0.0);
+  EXPECT_TRUE(std::isinf(cc.ScanAge(999)));
+
+  // Only 101 has gone quiet past the threshold.
+  const auto evicted = cc.EvictStale(4.0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 101);
+  EXPECT_FALSE(cc.KnowsUser(101));
+  EXPECT_TRUE(cc.KnowsUser(102));
+  // Eviction also drops any pending directive for the ghost.
+  for (const auto id : cc.UserIds()) EXPECT_NE(id, 101);
+
+  // A fresh scan keeps a user alive indefinitely.
+  cc.AdvanceTime(9.0);
+  cc.HandleScanUpdate({102, {40.0, 20.0}, {}, {}});
+  EXPECT_TRUE(cc.EvictStale(4.0).empty());
 }
 
 TEST(ControllerTest, IdsStayStableAcrossDepartures) {
   CentralController cc(1, std::make_unique<RssiPolicy>());
   cc.HandleCapacityReport({0, 100.0});
   for (std::int64_t id = 1; id <= 5; ++id) {
-    cc.HandleUserArrival({id, {20.0}, {}});
+    cc.HandleUserArrival({id, {20.0}, {}, {}});
   }
   cc.HandleUserDeparture(2);
   cc.HandleUserDeparture(4);
@@ -163,7 +364,7 @@ TEST(ControllerTest, IdsStayStableAcrossDepartures) {
   EXPECT_TRUE(cc.ExtenderOf(5).has_value());
   EXPECT_FALSE(cc.ExtenderOf(2).has_value());
   // Arrivals after removal still work.
-  cc.HandleUserArrival({6, {20.0}, {}});
+  cc.HandleUserArrival({6, {20.0}, {}, {}});
   EXPECT_EQ(cc.NumUsers(), 4u);
   EXPECT_TRUE(cc.ExtenderOf(6).has_value());
 }
@@ -173,7 +374,7 @@ TEST(ControllerTest, RssiFromScanReportGuidesRssiPolicy) {
   CentralController cc(2, std::make_unique<RssiPolicy>());
   cc.HandleCapacityReport({0, 100.0});
   cc.HandleCapacityReport({1, 100.0});
-  ScanReport report{1, {20.0, 20.0}, {-75.0, -55.0}};
+  ScanReport report{1, {20.0, 20.0}, {-75.0, -55.0}, {}};
   cc.HandleUserArrival(report);
   EXPECT_EQ(cc.ExtenderOf(1), 1);
 }

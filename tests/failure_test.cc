@@ -56,12 +56,73 @@ TEST(FailureTest, WoltAvoidsDeadExtenders) {
   EXPECT_NEAR(agg, 2.0 / (1.0 / 10.0 + 1.0 / 20.0), 1e-9);
 }
 
+TEST(FailureTest, DeadBackhaulSafeUnderAllPlcSharingModes) {
+  // The dead extender must starve its users — and only its users — under
+  // every PLC airtime-sharing model, not just the physical default.
+  model::Network net = testbed::CaseStudyNetwork();
+  model::Assignment a(2);
+  a.Assign(0, 1);  // user 0 on the (soon dead) extender 2
+  a.Assign(1, 0);
+  net.SetPlcRate(1, 0.0);
+
+  // kMaxMinActive / kEqualActive: the dead cell advertises zero demand, so
+  // the survivor owns the whole airtime: min(WiFi 40, PLC 60) = 40.
+  for (const auto mode :
+       {model::PlcSharing::kMaxMinActive, model::PlcSharing::kEqualActive}) {
+    model::EvalOptions opt;
+    opt.plc_sharing = mode;
+    const model::EvalResult r = model::Evaluator(opt).Evaluate(net, a);
+    EXPECT_DOUBLE_EQ(r.user_throughput_mbps[0], 0.0) << ToString(mode);
+    EXPECT_EQ(r.extenders[1].bottleneck, model::Bottleneck::kPlc);
+    EXPECT_NEAR(r.user_throughput_mbps[1], 40.0, 1e-9) << ToString(mode);
+    EXPECT_NEAR(r.aggregate_mbps, 40.0, 1e-9) << ToString(mode);
+  }
+
+  // kEqualAll: the planning model reserves 1/|A| airtime for every
+  // extender, dead or not — the survivor is throttled to 60/2 = 30.
+  {
+    model::EvalOptions opt;
+    opt.plc_sharing = model::PlcSharing::kEqualAll;
+    const model::EvalResult r = model::Evaluator(opt).Evaluate(net, a);
+    EXPECT_DOUBLE_EQ(r.user_throughput_mbps[0], 0.0);
+    EXPECT_NEAR(r.user_throughput_mbps[1], 30.0, 1e-9);
+    EXPECT_NEAR(r.aggregate_mbps, 30.0, 1e-9);
+  }
+}
+
+TEST(FailureTest, DeadCellStillContendsOnSharedWifiChannel) {
+  // A client camped on a dead-backhaul extender keeps transmitting on the
+  // WiFi side: when both cells share a channel it still eats airtime even
+  // though its backhaul delivers nothing. Evacuating the dead cell frees
+  // the channel.
+  model::Network net = testbed::CaseStudyNetwork();
+  model::EvalOptions opt;
+  opt.wifi_contention_domain = {0, 0};  // co-channel cells
+  const model::Evaluator eval(opt);
+
+  model::Assignment camped(2);
+  camped.Assign(0, 1);
+  camped.Assign(1, 0);
+  net.SetPlcRate(1, 0.0);
+  const model::EvalResult r = eval.Evaluate(net, camped);
+  EXPECT_DOUBLE_EQ(r.user_throughput_mbps[0], 0.0);
+  // Survivor's cell halves: min(40/2, 60) = 20.
+  EXPECT_NEAR(r.user_throughput_mbps[1], 20.0, 1e-9);
+  EXPECT_NEAR(r.aggregate_mbps, 20.0, 1e-9);
+
+  // Once the ghost user leaves the dead cell, the survivor gets the full
+  // channel back.
+  model::Assignment evacuated(2);
+  evacuated.Assign(1, 0);  // user 0 unassigned
+  EXPECT_NEAR(eval.Evaluate(net, evacuated).aggregate_mbps, 40.0, 1e-9);
+}
+
 TEST(FailureTest, ControllerEvacuatesAfterCapacityLoss) {
   core::CentralController cc(2, std::make_unique<core::WoltPolicy>());
   cc.HandleCapacityReport({0, 60.0});
   cc.HandleCapacityReport({1, 20.0});
-  cc.HandleUserArrival({101, {15.0, 10.0}, {}});
-  cc.HandleUserArrival({102, {40.0, 20.0}, {}});
+  cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});
+  cc.HandleUserArrival({102, {40.0, 20.0}, {}, {}});
   ASSERT_NEAR(cc.CurrentAggregate(), 40.0, 1e-9);
 
   // Extender 1's power line dies; the next probe reports 0.

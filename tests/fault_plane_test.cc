@@ -1,0 +1,163 @@
+// Unit coverage of the fault-injection layer itself: the wire fault plane
+// and the extender health model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fault/health.h"
+#include "fault/plane.h"
+#include "sim/des.h"
+
+namespace wolt::fault {
+namespace {
+
+TEST(FaultPlaneTest, CleanWireIsTransparent) {
+  FaultPlane plane(FaultPlaneParams{}, 1);
+  const std::string msg = "SCAN user=1 rates=10";
+  for (int k = 0; k < 100; ++k) {
+    const auto out = plane.Transmit(MessageClass::kScan, msg);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].bytes, msg);
+    EXPECT_DOUBLE_EQ(out[0].delay, 0.0);
+  }
+  EXPECT_EQ(plane.stats().sent, 100u);
+  EXPECT_EQ(plane.stats().delivered, 100u);
+  EXPECT_EQ(plane.stats().lost, 0u);
+  EXPECT_EQ(plane.stats().corrupted, 0u);
+}
+
+TEST(FaultPlaneTest, DeterministicGivenSeed) {
+  WireFaults w;
+  w.loss = 0.2;
+  w.duplicate = 0.2;
+  w.corrupt = 0.3;
+  w.delay_prob = 0.5;
+  const FaultPlaneParams params = FaultPlaneParams::Uniform(w);
+  FaultPlane a(params, 42), b(params, 42);
+  for (int k = 0; k < 500; ++k) {
+    const auto da = a.Transmit(MessageClass::kDirective, "DIRECTIVE user=1 extender=2");
+    const auto db = b.Transmit(MessageClass::kDirective, "DIRECTIVE user=1 extender=2");
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i].bytes, db[i].bytes);
+      EXPECT_DOUBLE_EQ(da[i].delay, db[i].delay);
+    }
+  }
+}
+
+TEST(FaultPlaneTest, FaultRatesMatchConfiguration) {
+  WireFaults w;
+  w.loss = 0.25;
+  w.duplicate = 0.25;
+  w.base_latency = 0.1;
+  FaultPlaneParams params;  // faults on kScan only
+  params.ForClass(MessageClass::kScan) = w;
+  FaultPlane plane(params, 7);
+
+  const int n = 4000;
+  for (int k = 0; k < n; ++k) plane.Transmit(MessageClass::kScan, "x");
+  const auto& s = plane.stats();
+  EXPECT_NEAR(static_cast<double>(s.lost) / n, 0.25, 0.03);
+  // Duplication only applies to delivered messages.
+  EXPECT_NEAR(static_cast<double>(s.duplicated) / (n - s.lost), 0.25, 0.03);
+  EXPECT_EQ(s.delivered, n - s.lost + s.duplicated);
+
+  // Other classes are untouched.
+  const auto out = plane.Transmit(MessageClass::kAck, "ACK user=1 extender=0");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].delay, 0.0);
+}
+
+TEST(FaultPlaneTest, CorruptionMutatesBytes) {
+  WireFaults w;
+  w.corrupt = 1.0;
+  FaultPlane plane(FaultPlaneParams::Uniform(w), 13);
+  const std::string msg = "CAPACITY extender=3 mbps=117.5";
+  int changed = 0;
+  for (int k = 0; k < 200; ++k) {
+    for (const auto& d : plane.Transmit(MessageClass::kCapacity, msg)) {
+      if (d.bytes != msg) ++changed;
+    }
+  }
+  // Mutation is byte-level and random; near-misses (flip to the same byte)
+  // are possible but the overwhelming majority must differ.
+  EXPECT_GT(changed, 150);
+  EXPECT_GT(plane.stats().corrupted, 150u);
+}
+
+// --- HealthModel ----------------------------------------------------------
+
+TEST(HealthModelTest, CrashAndRepairCycle) {
+  HealthParams hp;
+  hp.crash_rate = 2.0;
+  hp.repair_rate = 1.0;
+  HealthModel health({100.0, 80.0, 60.0}, hp, 11);
+  sim::EventQueue queue;
+  std::vector<double> last(3, -1.0);
+  health.Schedule(queue, [&](std::size_t j, double mbps) { last[j] = mbps; });
+  queue.RunUntil(50.0);
+  EXPECT_GT(health.stats().crashes, 0u);
+  EXPECT_GT(health.stats().repairs, 0u);
+  // Every down extender reports capacity 0; every up one a positive value.
+  for (std::size_t j = 0; j < 3; ++j) {
+    if (health.IsUp(j)) {
+      EXPECT_GT(health.Capacity(j), 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(health.Capacity(j), 0.0);
+      EXPECT_DOUBLE_EQ(last[j], 0.0);
+    }
+  }
+}
+
+TEST(HealthModelTest, DriftStaysInsideClampBand) {
+  HealthParams hp;
+  hp.drift_rate = 5.0;
+  hp.drift_sigma = 0.5;  // violent steps to stress the clamp
+  hp.drift_min_factor = 0.5;
+  hp.drift_max_factor = 1.25;
+  HealthModel health({100.0}, hp, 3);
+  sim::EventQueue queue;
+  double min_seen = 100.0, max_seen = 100.0;
+  health.Schedule(queue, [&](std::size_t, double mbps) {
+    min_seen = std::min(min_seen, mbps);
+    max_seen = std::max(max_seen, mbps);
+  });
+  queue.RunUntil(50.0);
+  EXPECT_GT(health.stats().drifts, 10u);
+  EXPECT_GE(min_seen, 50.0 - 1e-9);
+  EXPECT_LE(max_seen, 125.0 + 1e-9);
+}
+
+TEST(HealthModelTest, StopAndRestoreHealsEverything) {
+  HealthParams hp;
+  hp.crash_rate = 3.0;
+  hp.repair_rate = 0.05;  // long repairs: extenders stay down
+  hp.flap_rate = 2.0;
+  hp.drift_rate = 2.0;
+  HealthModel health({100.0, 80.0, 60.0, 40.0}, hp, 21);
+  sim::EventQueue queue;
+  std::vector<double> cap = {100.0, 80.0, 60.0, 40.0};
+  health.Schedule(queue, [&](std::size_t j, double mbps) { cap[j] = mbps; });
+  queue.RunUntil(20.0);
+
+  health.StopAndRestore();
+  EXPECT_EQ(health.NumDown(), 0u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_TRUE(health.IsUp(j));
+    EXPECT_DOUBLE_EQ(health.Capacity(j), cap[j]);  // callback fired
+  }
+  EXPECT_DOUBLE_EQ(cap[0], 100.0);
+  EXPECT_DOUBLE_EQ(cap[3], 40.0);
+
+  // Pending repair timers from the chaotic past must be inert: draining the
+  // queue afterwards changes nothing.
+  const auto stats = health.stats();
+  queue.RunUntil(200.0);
+  EXPECT_EQ(health.stats().crashes, stats.crashes);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_TRUE(health.IsUp(j));
+}
+
+}  // namespace
+}  // namespace wolt::fault
