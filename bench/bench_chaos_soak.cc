@@ -12,7 +12,11 @@
 //      much throughput each policy wins back after the busiest extenders'
 //      backhauls die (WOLT evacuates; Greedy/RSSI strand their users).
 //
-//   $ ./bench_chaos_soak [num_scenarios]   (default 100)
+//   $ ./bench_chaos_soak [num_scenarios] [threads]   (default 100, 1)
+//
+// Scenarios run on the work-stealing thread pool; each is seeded from its
+// own index, so the results — and every number below — are identical for
+// any thread count.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,9 +34,14 @@
 int main(int argc, char** argv) {
   using namespace wolt;
   int num_scenarios = 100;
+  int threads = 1;
   if (argc > 1) {
     const int n = std::atoi(argv[1]);
     if (n > 0) num_scenarios = n;
+  }
+  if (argc > 2) {
+    const int t = std::atoi(argv[2]);
+    if (t > 0) threads = t;
   }
 
   bench::PrintHeader(
@@ -41,7 +50,9 @@ int main(int argc, char** argv) {
       "crash/flap/drift + mid-run departures; warmup -> faults -> settle.");
 
   const fault::ChaosParams params = fault::DefaultChaosParams();
-  const auto results = fault::RunChaosSoak(params, /*base_seed=*/1, num_scenarios);
+  const auto results =
+      fault::RunChaosSoakParallel(params, /*base_seed=*/1, num_scenarios,
+                                  threads);
 
   int completed = 0, ids_ok = 0, match_ok = 0, margin_ok = 0, quiesced = 0;
   double worst_margin = 0.0;

@@ -15,6 +15,8 @@
 #include "model/evaluator.h"
 #include "model/incremental.h"
 #include "sim/scenario.h"
+#include "sweep/engine.h"
+#include "sweep/grid.h"
 #include "util/rng.h"
 
 namespace {
@@ -199,6 +201,41 @@ void BM_IncrementalMove(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncrementalMove)->Arg(124)->Arg(500);
+
+// The parallel sweep engine on the Fig. 6a grid shape (scaled down to keep
+// iterations short): wall-clock scaling with thread count. The work is
+// bit-identical at every thread count — only the wall time may change, which
+// is why UseRealTime() is required (CPU time sums across workers). Recorded
+// into BENCH_sweep.json by bench/run_benches.sh.
+void BM_SweepThroughput(benchmark::State& state) {
+  sweep::SweepGrid grid;
+  grid.master_seed = 2020;
+  grid.SeedRange(24);
+  grid.users = {36};
+  grid.extenders = {15};
+  grid.sharing = {model::PlcSharing::kMaxMinActive};
+  grid.policies = {sweep::PolicyKind::kWolt, sweep::PolicyKind::kGreedy,
+                   sweep::PolicyKind::kRssi};
+  sweep::SweepOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  sweep::SweepEngine engine(options);
+  double aggregate = 0.0;
+  for (auto _ : state) {
+    const sweep::SweepResult result = engine.Run(grid);
+    aggregate = result.groups[0].aggregate_mbps.Mean();
+    benchmark::DoNotOptimize(aggregate);
+  }
+  state.counters["tasks"] = static_cast<double>(grid.NumTasks());
+  state.counters["mean_aggregate_mbps"] = aggregate;
+}
+BENCHMARK(BM_SweepThroughput)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,7 +4,10 @@
 // optionally dumps raw series as CSV next to the binary.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,58 @@
 #include "util/table.h"
 
 namespace wolt::bench {
+
+// Minimal --name=value flag parser for the figure benches. Unknown flags
+// abort with a message (a typo silently ignored would quietly change what a
+// recorded run measured). Positional (non --) arguments are kept in order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::vector<std::string>& known) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      const std::size_t eq = arg.find('=');
+      const std::string name = arg.substr(2, eq == std::string::npos
+                                                 ? std::string::npos
+                                                 : eq - 2);
+      bool ok = false;
+      for (const std::string& k : known) ok = ok || k == name;
+      if (!ok) {
+        std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+        std::exit(2);
+      }
+      values_[name] = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string Str(const std::string& name, const std::string& def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  long long Int(const std::string& name, long long def) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return std::atoll(it->second.c_str());
+  }
+
+  std::uint64_t U64(const std::string& name, std::uint64_t def) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
 
 inline void PrintHeader(const std::string& artefact,
                         const std::string& description) {

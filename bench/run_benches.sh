@@ -8,8 +8,18 @@
 #   jq -n --slurpfile old BENCH_scaling.json --slurpfile new /tmp/run.json \
 #     '{before: $old[0].after // $old[0], after: $new[0]}' > BENCH_scaling.json
 #
+# The sweep-engine thread-scaling numbers (BM_SweepThroughput/threads:N) are
+# recorded separately:
+#
+#   bench/run_benches.sh BENCH_sweep.json 'BM_SweepThroughput'
+#
 # Usage: bench/run_benches.sh [output.json] [benchmark_filter]
 #   BENCH_BIN=path/to/bench_scaling_runtime overrides the binary location.
+#
+# Failure behaviour: this script fails LOUDLY. A missing binary, a crashed
+# benchmark run, or empty/invalid JSON output exits non-zero and leaves any
+# existing output file untouched (results are written to a temp file and
+# moved into place only after validation).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,16 +38,34 @@ if [[ -z "${bin}" ]]; then
   done
 fi
 if [[ -z "${bin}" || ! -x "${bin}" ]]; then
-  echo "bench_scaling_runtime not found; build it first, e.g.:" >&2
+  echo "error: bench_scaling_runtime not found; build it first, e.g.:" >&2
   echo "  cmake --preset perf && cmake --build --preset perf -j" >&2
   exit 1
 fi
 
-"${bin}" \
-  --benchmark_filter="${filter}" \
-  --benchmark_min_time=0.5 \
-  --benchmark_format=json \
-  --benchmark_out_format=json \
-  --benchmark_out="${out}" >/dev/null
+tmp="$(mktemp "${out}.XXXXXX")"
+trap 'rm -f "${tmp}"' EXIT
 
+if ! "${bin}" \
+    --benchmark_filter="${filter}" \
+    --benchmark_min_time=0.5 \
+    --benchmark_format=json \
+    --benchmark_out_format=json \
+    --benchmark_out="${tmp}" >/dev/null; then
+  echo "error: ${bin} exited non-zero (filter '${filter}')" >&2
+  exit 1
+fi
+
+# -s guards the empty-file case (google-benchmark exits 0 on a filter that
+# matches nothing, without writing output); the jq output is compared as a
+# string because jq 1.6's -e exits 0 on empty input.
+if [[ ! -s "${tmp}" ]] ||
+    [[ "$(jq '.benchmarks | length > 0' "${tmp}" 2>/dev/null)" != "true" ]]; then
+  echo "error: ${bin} produced no benchmark results for filter '${filter}'" >&2
+  echo "       (missing, invalid, or empty .benchmarks JSON)" >&2
+  exit 1
+fi
+
+mv "${tmp}" "${out}"
+trap - EXIT
 echo "wrote ${out} ($(jq '.benchmarks | length' "${out}") benchmarks)" >&2

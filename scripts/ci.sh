@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 build + tests, the full suite under ASan/UBSan, and a
-# chaos smoke. Run from anywhere; everything happens at the repo root.
+# CI gate: tier-1 build + tests, the full suite under ASan/UBSan, the full
+# suite under TSan (the sweep engine's thread pool races would be invisible
+# to ASan), a parallel-determinism smoke (a 4-thread sweep must emit byte-
+# identical CSV to a 1-thread sweep), and a chaos smoke. Run from anywhere;
+# everything happens at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +21,22 @@ cmake --build build-asan -j"$(nproc)"
 echo "==> sanitize: ctest (includes the 100-seed chaos soak)"
 ctest --test-dir build-asan --output-on-failure
 
-echo "==> chaos smoke: 10-seed soak with invariant gate"
-./build/bench/bench_chaos_soak 10
+echo "==> tsan: configure + build (build-tsan/, ThreadSanitizer)"
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j"$(nproc)"
+
+echo "==> tsan: ctest (full suite under TSan)"
+ctest --test-dir build-tsan --output-on-failure
+
+echo "==> determinism smoke: 4-thread sweep CSV == 1-thread sweep CSV"
+./build/bench/bench_fig6a_throughput_cdf --trials=20 --threads=1 \
+    --csv=/tmp/wolt_sweep_t1.csv >/dev/null
+./build/bench/bench_fig6a_throughput_cdf --trials=20 --threads=4 \
+    --csv=/tmp/wolt_sweep_t4.csv >/dev/null
+cmp /tmp/wolt_sweep_t1.csv /tmp/wolt_sweep_t4.csv
+rm -f /tmp/wolt_sweep_t1.csv /tmp/wolt_sweep_t4.csv
+
+echo "==> chaos smoke: 10-seed soak with invariant gate (4 threads)"
+./build/bench/bench_chaos_soak 10 4
 
 echo "==> CI gate passed"

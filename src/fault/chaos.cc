@@ -9,6 +9,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 #include "core/wolt.h"
 #include "sim/des.h"
 #include "util/rng.h"
@@ -362,6 +364,17 @@ std::vector<ChaosResult> RunChaosSoak(const ChaosParams& params,
   for (int k = 0; k < count; ++k) {
     out.push_back(RunChaosScenario(params, base_seed + static_cast<std::uint64_t>(k)));
   }
+  return out;
+}
+
+std::vector<ChaosResult> RunChaosSoakParallel(const ChaosParams& params,
+                                              std::uint64_t base_seed,
+                                              int count, int threads) {
+  std::vector<ChaosResult> out(static_cast<std::size_t>(std::max(0, count)));
+  util::ThreadPool pool(threads);
+  pool.ParallelFor(out.size(), /*chunk=*/1, [&](std::size_t k) {
+    out[k] = RunChaosScenario(params, base_seed + k);
+  });
   return out;
 }
 

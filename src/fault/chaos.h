@@ -95,4 +95,12 @@ ChaosResult RunChaosScenario(const ChaosParams& params, std::uint64_t seed);
 std::vector<ChaosResult> RunChaosSoak(const ChaosParams& params,
                                       std::uint64_t base_seed, int count);
 
+// Same soak fanned out over a fixed-size work-stealing thread pool. Each
+// scenario is a pure function of its seed and writes only its own slot of
+// the result vector, so the output is element-for-element identical to the
+// sequential RunChaosSoak regardless of thread count or completion order.
+std::vector<ChaosResult> RunChaosSoakParallel(const ChaosParams& params,
+                                              std::uint64_t base_seed,
+                                              int count, int threads);
+
 }  // namespace wolt::fault

@@ -103,11 +103,38 @@ void SaveNetwork(const Network& net, std::ostream& out) {
   }
 }
 
-std::optional<Network> LoadNetwork(std::istream& in) {
-  std::string line;
+const char* ToString(IoErrorKind kind) {
+  switch (kind) {
+    case IoErrorKind::kNone:
+      return "none";
+    case IoErrorKind::kTruncated:
+      return "truncated";
+    case IoErrorKind::kBadHeader:
+      return "bad-header";
+    case IoErrorKind::kBadCount:
+      return "bad-count";
+    case IoErrorKind::kBadRecord:
+      return "bad-record";
+    case IoErrorKind::kBadKeyValue:
+      return "bad-key-value";
+    case IoErrorKind::kBadNumber:
+      return "bad-number";
+    case IoErrorKind::kBadDimension:
+      return "bad-dimension";
+    case IoErrorKind::kTrailingInput:
+      return "trailing-input";
+  }
+  return "?";
+}
 
+LoadResult LoadNetworkDetailed(std::istream& in) {
+  std::string line;
+  int line_number = 0;
+
+  // Advances to the next non-blank, non-comment line. Returns false at EOF.
   const auto next_line = [&](std::istringstream& parsed) {
     while (std::getline(in, line)) {
+      ++line_number;
       const std::size_t first = line.find_first_not_of(" \t\r");
       if (first == std::string::npos || line[first] == '#') continue;
       parsed = std::istringstream(line);
@@ -115,71 +142,110 @@ std::optional<Network> LoadNetwork(std::istream& in) {
     }
     return false;
   };
+  const auto fail = [&](IoErrorKind kind, std::string message) {
+    LoadResult res;
+    res.error = {kind, line_number, std::move(message)};
+    return res;
+  };
 
   std::istringstream ls;
   std::string word;
   int version = 0;
-  if (!next_line(ls) || !(ls >> word >> version) || word != "wolt-network" ||
-      version != kFormatVersion) {
-    return std::nullopt;
+  if (!next_line(ls)) return fail(IoErrorKind::kTruncated, "empty input");
+  if (!(ls >> word >> version) || word != "wolt-network") {
+    return fail(IoErrorKind::kBadHeader, "expected 'wolt-network <version>'");
+  }
+  if (version != kFormatVersion) {
+    return fail(IoErrorKind::kBadHeader,
+                "unsupported format version " + std::to_string(version));
   }
 
   std::size_t num_extenders = 0;
-  if (!next_line(ls) || !(ls >> word >> num_extenders) ||
-      word != "extenders" || num_extenders == 0) {
-    return std::nullopt;
+  if (!next_line(ls)) {
+    return fail(IoErrorKind::kTruncated, "missing extenders section");
+  }
+  if (!(ls >> word >> num_extenders) || word != "extenders" ||
+      num_extenders == 0) {
+    return fail(IoErrorKind::kBadCount, "expected 'extenders <n>' with n > 0");
   }
 
   Network net(0, num_extenders);
   for (std::size_t j = 0; j < num_extenders; ++j) {
     std::size_t index = 0;
-    if (!next_line(ls) || !(ls >> word >> index) || word != "extender" ||
-        index != j) {
-      return std::nullopt;
+    if (!next_line(ls)) {
+      return fail(IoErrorKind::kTruncated, "missing extender record");
+    }
+    if (!(ls >> word >> index) || word != "extender" || index != j) {
+      return fail(IoErrorKind::kBadRecord,
+                  "expected 'extender " + std::to_string(j) + " ...'");
     }
     const auto kv = ParseKv(ls);
-    if (!kv || !kv->count("plc") || !kv->count("x") || !kv->count("y")) {
-      return std::nullopt;
+    if (!kv) {
+      return fail(IoErrorKind::kBadKeyValue, "malformed key=value token");
+    }
+    if (!kv->count("plc") || !kv->count("x") || !kv->count("y")) {
+      return fail(IoErrorKind::kBadKeyValue,
+                  "extender record needs plc=, x=, y=");
     }
     const auto plc = ParseDouble(kv->at("plc"));
     const auto x = ParseDouble(kv->at("x"));
     const auto y = ParseDouble(kv->at("y"));
-    if (!plc || *plc < 0.0 || !x || !y) return std::nullopt;
+    if (!plc || *plc < 0.0 || !x || !y) {
+      return fail(IoErrorKind::kBadNumber,
+                  "extender plc/x/y must be numbers with plc >= 0");
+    }
     net.SetPlcRate(j, *plc);
     net.SetExtenderPosition(j, {*x, *y});
     if (kv->count("max_users")) {
       const auto mu = ParseDouble(kv->at("max_users"));
-      if (!mu || *mu < 0.0) return std::nullopt;
+      if (!mu || *mu < 0.0) {
+        return fail(IoErrorKind::kBadNumber, "max_users must be >= 0");
+      }
       net.SetMaxUsers(j, static_cast<int>(*mu));
     }
     if (kv->count("domain")) {
       const auto dom = ParseDouble(kv->at("domain"));
-      if (!dom || *dom < 0.0) return std::nullopt;
+      if (!dom || *dom < 0.0) {
+        return fail(IoErrorKind::kBadNumber, "domain must be >= 0");
+      }
       net.SetPlcDomain(j, static_cast<int>(*dom));
     }
     if (kv->count("label")) net.SetExtenderLabel(j, kv->at("label"));
   }
 
   std::size_t num_users = 0;
-  if (!next_line(ls) || !(ls >> word >> num_users) || word != "users") {
-    return std::nullopt;
+  if (!next_line(ls)) {
+    return fail(IoErrorKind::kTruncated, "missing users section");
+  }
+  if (!(ls >> word >> num_users) || word != "users") {
+    return fail(IoErrorKind::kBadCount, "expected 'users <n>'");
   }
 
   std::vector<User> users(num_users);
   for (std::size_t i = 0; i < num_users; ++i) {
     std::size_t index = 0;
-    if (!next_line(ls) || !(ls >> word >> index) || word != "user" ||
-        index != i) {
-      return std::nullopt;
+    if (!next_line(ls)) {
+      return fail(IoErrorKind::kTruncated, "missing user record");
+    }
+    if (!(ls >> word >> index) || word != "user" || index != i) {
+      return fail(IoErrorKind::kBadRecord,
+                  "expected 'user " + std::to_string(i) + " ...'");
     }
     const auto kv = ParseKv(ls);
-    if (!kv || !kv->count("x") || !kv->count("y") || !kv->count("demand")) {
-      return std::nullopt;
+    if (!kv) {
+      return fail(IoErrorKind::kBadKeyValue, "malformed key=value token");
+    }
+    if (!kv->count("x") || !kv->count("y") || !kv->count("demand")) {
+      return fail(IoErrorKind::kBadKeyValue,
+                  "user record needs x=, y=, demand=");
     }
     const auto x = ParseDouble(kv->at("x"));
     const auto y = ParseDouble(kv->at("y"));
     const auto demand = ParseDouble(kv->at("demand"));
-    if (!x || !y || !demand || *demand < 0.0) return std::nullopt;
+    if (!x || !y || !demand || *demand < 0.0) {
+      return fail(IoErrorKind::kBadNumber,
+                  "user x/y/demand must be numbers with demand >= 0");
+    }
     users[i].position = {*x, *y};
     users[i].demand_mbps = *demand;
     if (kv->count("label")) users[i].label = kv->at("label");
@@ -188,36 +254,72 @@ std::optional<Network> LoadNetwork(std::istream& in) {
   for (std::size_t i = 0; i < num_users; ++i) {
     std::size_t index = 0;
     std::string csv;
-    if (!next_line(ls) || !(ls >> word >> index >> csv) || word != "rates" ||
-        index != i) {
-      return std::nullopt;
+    if (!next_line(ls)) {
+      return fail(IoErrorKind::kTruncated, "missing rates row");
+    }
+    if (!(ls >> word >> index >> csv) || word != "rates" || index != i) {
+      return fail(IoErrorKind::kBadRecord,
+                  "expected 'rates " + std::to_string(i) + " <row>'");
     }
     const auto rates = ParseDoubleList(csv);
-    if (!rates || rates->size() != num_extenders) return std::nullopt;
+    if (!rates) return fail(IoErrorKind::kBadNumber, "unparsable rate");
+    if (rates->size() != num_extenders) {
+      return fail(IoErrorKind::kBadDimension,
+                  "rates row has " + std::to_string(rates->size()) +
+                      " entries, expected " + std::to_string(num_extenders));
+    }
     for (double r : *rates) {
-      if (r < 0.0) return std::nullopt;
+      if (r < 0.0) return fail(IoErrorKind::kBadNumber, "negative rate");
     }
     net.AddUser(users[i], *rates);
   }
 
   // Optional RSSI block.
+  bool saw_rssi = false;
   for (std::size_t i = 0; i < num_users; ++i) {
     std::size_t index = 0;
     std::string csv;
     if (!next_line(ls)) {
       if (i == 0) break;  // no RSSI block at all
-      return std::nullopt;  // partial block
+      return fail(IoErrorKind::kTruncated, "partial rssi block");
     }
     if (!(ls >> word >> index >> csv) || word != "rssi" || index != i) {
-      return std::nullopt;
+      if (i == 0 && word != "rssi") {
+        return fail(IoErrorKind::kTrailingInput,
+                    "unexpected input after rates rows");
+      }
+      return fail(IoErrorKind::kBadRecord,
+                  "expected 'rssi " + std::to_string(i) + " <row>'");
     }
+    saw_rssi = true;
     const auto rssi = ParseDoubleList(csv);
-    if (!rssi || rssi->size() != num_extenders) return std::nullopt;
+    if (!rssi) return fail(IoErrorKind::kBadNumber, "unparsable rssi");
+    if (rssi->size() != num_extenders) {
+      return fail(IoErrorKind::kBadDimension,
+                  "rssi row has " + std::to_string(rssi->size()) +
+                      " entries, expected " + std::to_string(num_extenders));
+    }
     for (std::size_t j = 0; j < num_extenders; ++j) {
       net.SetRssi(i, j, (*rssi)[j]);
     }
   }
-  return net;
+  // When the rssi loop consumed the stream to EOF itself (no-rssi files with
+  // users), there is nothing left to check; otherwise reject trailing input.
+  if (saw_rssi || num_users == 0) {
+    std::istringstream extra;
+    if (next_line(extra)) {
+      return fail(IoErrorKind::kTrailingInput,
+                  "unexpected input after the network definition");
+    }
+  }
+
+  LoadResult res;
+  res.network = std::move(net);
+  return res;
+}
+
+std::optional<Network> LoadNetwork(std::istream& in) {
+  return LoadNetworkDetailed(in).network;
 }
 
 bool SaveNetworkFile(const Network& net, const std::string& path) {
@@ -242,6 +344,11 @@ std::string NetworkToString(const Network& net) {
 std::optional<Network> NetworkFromString(const std::string& text) {
   std::istringstream in(text);
   return LoadNetwork(in);
+}
+
+LoadResult NetworkFromStringDetailed(const std::string& text) {
+  std::istringstream in(text);
+  return LoadNetworkDetailed(in);
 }
 
 }  // namespace wolt::model

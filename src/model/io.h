@@ -21,10 +21,42 @@
 
 namespace wolt::model {
 
+// What kind of defect stopped the parser. Every malformed input maps to one
+// of these (never an exception or a crash — the golden-file test feeds the
+// parser byte soup to hold it to that).
+enum class IoErrorKind {
+  kNone,           // parse succeeded
+  kTruncated,      // stream ended where a record was required
+  kBadHeader,      // missing/foreign magic line or unsupported version
+  kBadCount,       // unparsable or zero section count
+  kBadRecord,      // wrong keyword or out-of-sequence index
+  kBadKeyValue,    // malformed key=value token or missing required key
+  kBadNumber,      // unparsable or out-of-domain numeric value
+  kBadDimension,   // rate/RSSI row length != extender count
+  kTrailingInput,  // well-formed network followed by garbage
+};
+
+const char* ToString(IoErrorKind kind);
+
+struct IoError {
+  IoErrorKind kind = IoErrorKind::kNone;
+  int line = 0;  // 1-based input line of the defect; 0 when not applicable
+  std::string message;
+};
+
+struct LoadResult {
+  std::optional<Network> network;  // engaged iff the parse succeeded
+  IoError error;                   // kind == kNone iff network is engaged
+
+  bool ok() const { return network.has_value(); }
+};
+
 // Serialize to a stream / parse back. Load returns nullopt on any syntax
-// or consistency error (wrong counts, bad numbers, out-of-range indices).
+// or consistency error (wrong counts, bad numbers, out-of-range indices);
+// LoadNetworkDetailed additionally reports what went wrong and where.
 void SaveNetwork(const Network& net, std::ostream& out);
 std::optional<Network> LoadNetwork(std::istream& in);
+LoadResult LoadNetworkDetailed(std::istream& in);
 
 // File convenience wrappers. SaveNetworkFile returns false if the file
 // cannot be written.
@@ -34,5 +66,6 @@ std::optional<Network> LoadNetworkFile(const std::string& path);
 // Round-trip helper used by tests: serialize to a string.
 std::string NetworkToString(const Network& net);
 std::optional<Network> NetworkFromString(const std::string& text);
+LoadResult NetworkFromStringDetailed(const std::string& text);
 
 }  // namespace wolt::model

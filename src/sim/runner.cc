@@ -26,6 +26,18 @@ double PolicyTrials::MeanJain() const {
   return util::Mean(xs);
 }
 
+TrialRecord EvaluateTrial(const model::Evaluator& evaluator,
+                          const model::Network& net,
+                          core::AssociationPolicy& policy) {
+  const model::Assignment assignment = policy.AssociateFresh(net);
+  const model::EvalResult res = evaluator.Evaluate(net, assignment);
+  TrialRecord record;
+  record.aggregate_mbps = res.aggregate_mbps;
+  record.jain_fairness = util::JainFairnessIndex(res.user_throughput_mbps);
+  record.user_throughput_mbps = res.user_throughput_mbps;
+  return record;
+}
+
 std::vector<PolicyTrials> RunNetworkTrials(
     const std::vector<model::Network>& networks,
     const std::vector<core::AssociationPolicy*>& policies,
@@ -39,14 +51,8 @@ std::vector<PolicyTrials> RunNetworkTrials(
   }
   for (const model::Network& net : networks) {
     for (std::size_t p = 0; p < policies.size(); ++p) {
-      const model::Assignment assignment =
-          policies[p]->AssociateFresh(net);
-      const model::EvalResult res = evaluator.Evaluate(net, assignment);
-      TrialRecord record;
-      record.aggregate_mbps = res.aggregate_mbps;
-      record.jain_fairness = util::JainFairnessIndex(res.user_throughput_mbps);
-      record.user_throughput_mbps = res.user_throughput_mbps;
-      results[p].trials.push_back(std::move(record));
+      results[p].trials.push_back(
+          EvaluateTrial(evaluator, net, *policies[p]));
     }
   }
   return results;

@@ -31,6 +31,14 @@ struct PolicyTrials {
   double MeanJain() const;
 };
 
+// One policy on one network: associate from scratch and evaluate. The
+// shared per-trial kernel of RunNetworkTrials and the sweep engine's task
+// body (src/sweep/engine.cc) — both produce records through this function
+// so sequential and parallel sweeps score trials identically.
+TrialRecord EvaluateTrial(const model::Evaluator& evaluator,
+                          const model::Network& net,
+                          core::AssociationPolicy& policy);
+
 // Generate `num_trials` networks with `generator` (forking the rng per
 // trial) and associate each with every policy from scratch.
 std::vector<PolicyTrials> RunStaticTrials(

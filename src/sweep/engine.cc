@@ -1,0 +1,127 @@
+#include "sweep/engine.h"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace wolt::sweep {
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {}
+
+SweepResult SweepEngine::Run(const SweepGrid& grid) {
+  if (!grid.Valid()) {
+    throw std::invalid_argument("SweepGrid has an empty axis");
+  }
+  cancel_.store(false, std::memory_order_relaxed);
+
+  const std::size_t num_tasks = grid.NumTasks();
+  SweepResult result;
+  result.tasks.resize(num_tasks);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  util::ThreadPool pool(options_.threads);
+  const bool complete = pool.ParallelFor(
+      num_tasks, options_.chunk,
+      [this, &grid, &result](std::size_t index) {
+        TaskResult& task = result.tasks[index];
+        task.spec = grid.TaskAt(index);
+        if (options_.before_task) options_.before_task(index);
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          const TaskSpec& spec = task.spec;
+          // Topology stream: a pure function of (master seed, replicate
+          // seed value, scenario coordinates). Policy and sharing axes do
+          // not enter, so paired policies see identical networks.
+          util::Rng rng = util::Rng::Substream(
+              util::HashCombine64(grid.master_seed, spec.seed),
+              spec.scenario_ordinal);
+
+          sim::ScenarioParams params = grid.base;
+          params.num_users = spec.num_users;
+          params.num_extenders = spec.num_extenders;
+          const sim::ScenarioGenerator generator(params);
+          const model::Network net = generator.Generate(rng);
+
+          model::EvalOptions eval = options_.eval;
+          eval.plc_sharing = spec.sharing;
+          const model::Evaluator evaluator(eval);
+          const core::PolicyPtr policy = MakePolicy(spec.policy, eval);
+
+          const sim::TrialRecord record =
+              sim::EvaluateTrial(evaluator, net, *policy);
+          task.aggregate_mbps = record.aggregate_mbps;
+          task.jain_fairness = record.jain_fairness;
+          for (double x : record.user_throughput_mbps) {
+            task.user_throughput.Add(x);
+          }
+        } catch (const std::exception& e) {
+          task.error = e.what();
+        }
+        task.elapsed_us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        task.completed = true;
+      },
+      &cancel_);
+  result.cancelled = !complete;
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  // Merge strictly in task-index order: the one place results are combined,
+  // and the reason thread count cannot leak into the merged statistics.
+  result.groups.resize(grid.NumConfigs());
+  for (const TaskResult& task : result.tasks) {
+    if (!task.completed || !task.error.empty()) continue;
+    GroupStats& group = result.groups[task.spec.config_index];
+    if (group.aggregate_mbps.Count() == 0) {
+      group.num_users = task.spec.num_users;
+      group.num_extenders = task.spec.num_extenders;
+      group.sharing = task.spec.sharing;
+      group.policy = task.spec.policy;
+    }
+    group.aggregate_mbps.Add(task.aggregate_mbps);
+    group.jain.Add(task.jain_fairness);
+    group.user_throughput.Merge(task.user_throughput);
+  }
+  return result;
+}
+
+std::vector<sim::PolicyTrials> ToPolicyTrials(const SweepGrid& grid,
+                                              const SweepResult& result) {
+  if (grid.users.size() != 1 || grid.extenders.size() != 1 ||
+      grid.sharing.size() != 1) {
+    throw std::invalid_argument(
+        "ToPolicyTrials needs a single-configuration grid (policy axis "
+        "excepted)");
+  }
+  if (result.cancelled) {
+    throw std::invalid_argument("ToPolicyTrials on a cancelled sweep");
+  }
+  std::vector<sim::PolicyTrials> trials(grid.policies.size());
+  for (std::size_t p = 0; p < grid.policies.size(); ++p) {
+    trials[p].policy = ToString(grid.policies[p]);
+    trials[p].trials.reserve(grid.seeds.size());
+  }
+  // Seed is the innermost axis, so scanning tasks in index order appends
+  // each policy's replicates in seed order.
+  for (const TaskResult& task : result.tasks) {
+    if (!task.error.empty()) {
+      throw std::runtime_error("sweep task failed: " + task.error);
+    }
+    sim::TrialRecord record;
+    record.aggregate_mbps = task.aggregate_mbps;
+    record.jain_fairness = task.jain_fairness;
+    // Accumulator samples preserve insertion order = user index order.
+    record.user_throughput_mbps = task.user_throughput.Samples();
+    const std::size_t p = task.spec.config_index % grid.policies.size();
+    trials[p].trials.push_back(std::move(record));
+  }
+  return trials;
+}
+
+}  // namespace wolt::sweep

@@ -1,0 +1,104 @@
+// Work-sharded parallel experiment engine: executes every point of a
+// SweepGrid on a fixed-size thread pool (chunked work-stealing) and merges
+// the results into per-configuration statistics in task-index order, so an
+// N-thread run is bit-identical to the 1-thread run.
+//
+// Determinism contract (tested by tests/sweep_determinism_test.cc):
+//  * each task's RNG is a splitmix-jump substream of the grid's master seed
+//    keyed by grid coordinates — thread identity and completion order never
+//    enter the derivation;
+//  * each task writes only its own index-addressed result slot;
+//  * group accumulators are folded strictly in task-index order after the
+//    pool drains, never concurrently.
+// Per-task wall-clock timings are recorded for profiling but excluded from
+// reporters by default — they are the only thread-count-dependent output.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/evaluator.h"
+#include "sim/runner.h"
+#include "sweep/grid.h"
+#include "util/stats.h"
+
+namespace wolt::sweep {
+
+struct SweepOptions {
+  int threads = 1;
+  // Work-stealing chunk size in tasks; 0 = auto (~8 chunks per executor).
+  std::size_t chunk = 0;
+  // Evaluation options shared by every task; plc_sharing is overridden by
+  // the task's sharing-axis value.
+  model::EvalOptions eval;
+  // Test hook, called on the executing thread immediately before each task
+  // body runs. Used by the determinism test to perturb completion order;
+  // must not touch engine state.
+  std::function<void(std::size_t)> before_task;
+};
+
+struct TaskResult {
+  TaskSpec spec;
+  bool completed = false;      // false: cancelled before this task ran
+  std::string error;           // non-empty: the task body threw
+  double aggregate_mbps = 0.0;
+  double jain_fairness = 0.0;
+  // Per-user throughput samples accumulated within the task (merged into
+  // the group accumulator in task-index order).
+  util::Accumulator user_throughput;
+  double elapsed_us = 0.0;     // informational; thread-count dependent
+};
+
+// Merged statistics for one configuration (all replicate seeds of one
+// (users, extenders, sharing, policy) point, folded in task-index order).
+struct GroupStats {
+  std::size_t num_users = 0;
+  std::size_t num_extenders = 0;
+  model::PlcSharing sharing = model::PlcSharing::kMaxMinActive;
+  PolicyKind policy = PolicyKind::kWolt;
+
+  util::Accumulator aggregate_mbps;  // one sample per completed replicate
+  util::Accumulator jain;
+  util::Accumulator user_throughput;  // all users of all replicates
+};
+
+struct SweepResult {
+  std::vector<TaskResult> tasks;   // indexed by task index
+  std::vector<GroupStats> groups;  // indexed by config index
+  bool cancelled = false;
+  double wall_seconds = 0.0;       // informational
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+
+  // Runs every task of `grid`. Throws std::invalid_argument on an empty
+  // axis. Reentrant: Run may be called repeatedly; Cancel affects only the
+  // run in flight (reset at the start of each run).
+  SweepResult Run(const SweepGrid& grid);
+
+  // Signals the in-flight Run to stop claiming work. Already-started tasks
+  // finish; the returned SweepResult has cancelled=true and the unrun
+  // tasks' completed=false.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  const SweepOptions& options() const { return options_; }
+
+ private:
+  SweepOptions options_;
+  std::atomic<bool> cancel_{false};
+};
+
+// Regroups a sweep over a single (users, extenders, sharing) point into the
+// sequential runner's PolicyTrials shape — one entry per policy-axis value,
+// trials ordered by replicate seed — so existing figure drivers (CDFs,
+// paired win counts, CompareUsers) port unchanged. Throws if the grid has
+// more than one users/extenders/sharing value or the run was cancelled.
+std::vector<sim::PolicyTrials> ToPolicyTrials(const SweepGrid& grid,
+                                              const SweepResult& result);
+
+}  // namespace wolt::sweep

@@ -1,0 +1,96 @@
+#include "sweep/grid.h"
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+
+namespace wolt::sweep {
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kWolt:
+      return "WOLT";
+    case PolicyKind::kWoltSubset:
+      return "WOLT-S";
+    case PolicyKind::kGreedy:
+      return "Greedy";
+    case PolicyKind::kRssi:
+      return "RSSI";
+  }
+  return "?";
+}
+
+core::PolicyPtr MakePolicy(PolicyKind kind, const model::EvalOptions& eval) {
+  switch (kind) {
+    case PolicyKind::kWolt: {
+      core::WoltOptions options;
+      options.eval = eval;
+      return std::make_unique<core::WoltPolicy>(options);
+    }
+    case PolicyKind::kWoltSubset: {
+      core::WoltOptions options;
+      options.subset_search = true;
+      options.eval = eval;
+      return std::make_unique<core::WoltPolicy>(options);
+    }
+    case PolicyKind::kGreedy:
+      return std::make_unique<core::GreedyPolicy>();
+    case PolicyKind::kRssi:
+      return std::make_unique<core::RssiPolicy>();
+  }
+  throw std::invalid_argument("unknown PolicyKind");
+}
+
+void SweepGrid::SeedRange(std::size_t n) {
+  seeds.resize(n);
+  for (std::size_t k = 0; k < n; ++k) seeds[k] = k;
+}
+
+bool SweepGrid::Valid() const {
+  return !seeds.empty() && !users.empty() && !extenders.empty() &&
+         !sharing.empty() && !policies.empty();
+}
+
+std::size_t SweepGrid::NumTasks() const {
+  return seeds.size() * users.size() * extenders.size() * sharing.size() *
+         policies.size();
+}
+
+std::size_t SweepGrid::NumConfigs() const {
+  return users.size() * extenders.size() * sharing.size() * policies.size();
+}
+
+TaskSpec SweepGrid::TaskAt(std::size_t index) const {
+  if (!Valid() || index >= NumTasks()) {
+    throw std::out_of_range("SweepGrid::TaskAt: bad grid or index");
+  }
+  TaskSpec spec;
+  spec.index = index;
+
+  // Innermost to outermost: seed, policy, sharing, extenders, users.
+  std::size_t rest = index;
+  spec.seed_ordinal = rest % seeds.size();
+  rest /= seeds.size();
+  const std::size_t policy_idx = rest % policies.size();
+  rest /= policies.size();
+  const std::size_t sharing_idx = rest % sharing.size();
+  rest /= sharing.size();
+  const std::size_t ext_idx = rest % extenders.size();
+  rest /= extenders.size();
+  const std::size_t users_idx = rest;
+
+  spec.seed = seeds[spec.seed_ordinal];
+  spec.policy = policies[policy_idx];
+  spec.sharing = sharing[sharing_idx];
+  spec.num_extenders = extenders[ext_idx];
+  spec.num_users = users[users_idx];
+  spec.config_index = index / seeds.size();
+  spec.scenario_ordinal =
+      (users_idx * extenders.size() + ext_idx) * seeds.size() +
+      spec.seed_ordinal;
+  return spec;
+}
+
+}  // namespace wolt::sweep

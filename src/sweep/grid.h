@@ -1,0 +1,78 @@
+// Declarative experiment grids for the parallel sweep engine: the cartesian
+// product of a replicate-seed axis and four scenario/algorithm axes (users,
+// extenders, PLC sharing mode, association policy), flattened into a dense
+// task index space that the engine's thread pool chunks over.
+//
+// Axis order (outermost to innermost): users, extenders, sharing, policy,
+// seed. The seed axis is innermost so each configuration's replicates are
+// contiguous, and a task's *scenario* coordinates (users, extenders, seed)
+// — but not its policy or sharing mode — determine the topology RNG stream:
+// every policy and sharing mode sees the identical network for a given
+// replicate, which keeps paired comparisons (win counts, per-user deltas)
+// meaningful, exactly as the sequential runner's shared-network trials do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.h"
+#include "model/evaluator.h"
+#include "sim/scenario.h"
+
+namespace wolt::sweep {
+
+// The association policies a sweep can fan out over (constructed fresh per
+// task — policy instances hold scratch state and are not shared across
+// threads).
+enum class PolicyKind { kWolt, kWoltSubset, kGreedy, kRssi };
+
+const char* ToString(PolicyKind kind);
+
+// Fresh policy instance. `eval` parameterizes WOLT's internal candidate
+// scoring (the subset search evaluates under the same sharing model the
+// task is scored with); baselines ignore it.
+core::PolicyPtr MakePolicy(PolicyKind kind, const model::EvalOptions& eval);
+
+// One decoded grid point.
+struct TaskSpec {
+  std::size_t index = 0;         // dense task index in [0, NumTasks())
+  std::size_t config_index = 0;  // index ignoring the seed axis
+  std::uint64_t seed = 0;        // replicate-seed axis *value*
+  std::size_t seed_ordinal = 0;  // position on the seed axis
+  std::size_t num_users = 0;
+  std::size_t num_extenders = 0;
+  model::PlcSharing sharing = model::PlcSharing::kMaxMinActive;
+  PolicyKind policy = PolicyKind::kWolt;
+  // Ordinal over (users, extenders, seed) only — the topology stream index
+  // shared by every policy/sharing combination of the same replicate.
+  std::size_t scenario_ordinal = 0;
+};
+
+struct SweepGrid {
+  // Master seed of the whole sweep; per-task streams are splitmix-jumps of
+  // HashCombine64(master_seed, seed-axis value) at the scenario ordinal.
+  std::uint64_t master_seed = 1;
+
+  std::vector<std::uint64_t> seeds;            // replicate axis (values
+                                               // should be distinct)
+  std::vector<std::size_t> users;
+  std::vector<std::size_t> extenders;
+  std::vector<model::PlcSharing> sharing;
+  std::vector<PolicyKind> policies;
+
+  // Geometry / PHY / PLC knobs shared by every grid point; num_users and
+  // num_extenders are overridden per task.
+  sim::ScenarioParams base;
+
+  // Convenience: seeds = {0, 1, ..., n-1}.
+  void SeedRange(std::size_t n);
+
+  bool Valid() const;  // every axis non-empty
+  std::size_t NumTasks() const;
+  std::size_t NumConfigs() const;  // NumTasks() / seeds.size()
+  // Decodes `index`; requires Valid() and index < NumTasks().
+  TaskSpec TaskAt(std::size_t index) const;
+};
+
+}  // namespace wolt::sweep

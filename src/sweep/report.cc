@@ -1,0 +1,115 @@
+#include "sweep/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wolt::sweep {
+namespace {
+
+// %.17g round-trips doubles exactly (same convention as model/io).
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool WriteString(const std::string& text, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string TaskCsvString(const SweepResult& result, ReportOptions options) {
+  std::ostringstream out;
+  out << "index,seed,users,extenders,sharing,policy,completed,"
+         "aggregate_mbps,jain";
+  if (options.include_timing) out << ",elapsed_us";
+  out << "\n";
+  for (const TaskResult& task : result.tasks) {
+    const TaskSpec& spec = task.spec;
+    out << spec.index << ',' << spec.seed << ',' << spec.num_users << ','
+        << spec.num_extenders << ',' << model::ToString(spec.sharing) << ','
+        << ToString(spec.policy) << ',' << (task.completed ? 1 : 0) << ','
+        << Num(task.aggregate_mbps) << ',' << Num(task.jain_fairness);
+    if (options.include_timing) out << ',' << Num(task.elapsed_us);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string GroupCsvString(const SweepResult& result, ReportOptions) {
+  std::ostringstream out;
+  out << "users,extenders,sharing,policy,trials,mean_mbps,stddev_mbps,"
+         "min_mbps,p10_mbps,p50_mbps,p90_mbps,max_mbps,mean_jain,"
+         "user_jain\n";
+  for (const GroupStats& g : result.groups) {
+    const util::Accumulator& a = g.aggregate_mbps;
+    out << g.num_users << ',' << g.num_extenders << ','
+        << model::ToString(g.sharing) << ',' << ToString(g.policy) << ','
+        << a.Count() << ',' << Num(a.Mean()) << ',' << Num(a.StdDev()) << ','
+        << Num(a.Min()) << ',' << Num(a.Percentile(10)) << ','
+        << Num(a.Percentile(50)) << ',' << Num(a.Percentile(90)) << ','
+        << Num(a.Max()) << ',' << Num(g.jain.Mean()) << ','
+        << Num(g.user_throughput.Jain()) << "\n";
+  }
+  return out.str();
+}
+
+std::string JsonString(const SweepResult& result, ReportOptions options) {
+  std::ostringstream out;
+  out << "{\n  \"cancelled\": " << (result.cancelled ? "true" : "false")
+      << ",\n  \"groups\": [";
+  for (std::size_t g = 0; g < result.groups.size(); ++g) {
+    const GroupStats& group = result.groups[g];
+    const util::Accumulator& a = group.aggregate_mbps;
+    out << (g ? ",\n    {" : "\n    {") << "\"users\": " << group.num_users
+        << ", \"extenders\": " << group.num_extenders << ", \"sharing\": \""
+        << model::ToString(group.sharing) << "\", \"policy\": \""
+        << ToString(group.policy) << "\", \"trials\": " << a.Count()
+        << ", \"mean_mbps\": " << Num(a.Mean())
+        << ", \"stddev_mbps\": " << Num(a.StdDev())
+        << ", \"p50_mbps\": " << Num(a.Percentile(50))
+        << ", \"mean_jain\": " << Num(group.jain.Mean())
+        << ", \"user_jain\": " << Num(group.user_throughput.Jain()) << "}";
+  }
+  out << "\n  ],\n  \"tasks\": [";
+  for (std::size_t t = 0; t < result.tasks.size(); ++t) {
+    const TaskResult& task = result.tasks[t];
+    const TaskSpec& spec = task.spec;
+    out << (t ? ",\n    {" : "\n    {") << "\"index\": " << spec.index
+        << ", \"seed\": " << spec.seed << ", \"users\": " << spec.num_users
+        << ", \"extenders\": " << spec.num_extenders << ", \"sharing\": \""
+        << model::ToString(spec.sharing) << "\", \"policy\": \""
+        << ToString(spec.policy)
+        << "\", \"completed\": " << (task.completed ? "true" : "false")
+        << ", \"aggregate_mbps\": " << Num(task.aggregate_mbps)
+        << ", \"jain\": " << Num(task.jain_fairness);
+    if (options.include_timing) {
+      out << ", \"elapsed_us\": " << Num(task.elapsed_us);
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool WriteTaskCsv(const SweepResult& result, const std::string& path,
+                  ReportOptions options) {
+  return WriteString(TaskCsvString(result, options), path);
+}
+
+bool WriteGroupCsv(const SweepResult& result, const std::string& path,
+                   ReportOptions options) {
+  return WriteString(GroupCsvString(result, options), path);
+}
+
+bool WriteJson(const SweepResult& result, const std::string& path,
+               ReportOptions options) {
+  return WriteString(JsonString(result, options), path);
+}
+
+}  // namespace wolt::sweep

@@ -19,9 +19,23 @@ std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t HashCombine64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a;
+  const std::uint64_t ha = SplitMix64(state);
+  state ^= b;
+  return ha ^ SplitMix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(sm);
+}
+
+Rng Rng::Substream(std::uint64_t master_seed, std::uint64_t stream_index) {
+  // splitmix64 state after k draws is seed + k * gamma, so jumping the
+  // master stream to the 4-word block of `stream_index` is one multiply.
+  Rng rng(master_seed + 4 * stream_index * 0x9E3779B97F4A7C15ULL);
+  return rng;
 }
 
 std::uint64_t Rng::Next() {

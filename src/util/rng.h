@@ -16,6 +16,11 @@ namespace wolt::util {
 // splitmix64 step; used for seeding and as a cheap stateless hash.
 std::uint64_t SplitMix64(std::uint64_t& state);
 
+// Order-sensitive 64-bit hash combiner built on the splitmix64 mixer.
+// Used to fold axis values (e.g. a sweep replicate seed) into a master seed
+// without correlating the derived streams.
+std::uint64_t HashCombine64(std::uint64_t a, std::uint64_t b);
+
 // xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it can
 // also be plugged into <random> distributions if ever needed.
 class Rng {
@@ -67,6 +72,16 @@ class Rng {
   // Derive an independent child generator (e.g. one per trial) without
   // correlating streams.
   Rng Fork();
+
+  // Deterministic parallel substream: the generator whose state words are
+  // the splitmix64 outputs at positions [4*stream_index, 4*stream_index + 4)
+  // of the stream seeded by `master_seed`. Because splitmix64's state
+  // advances by a fixed increment per draw, the jump to any stream index is
+  // O(1). Substream(m, 0) is exactly Rng(m), and distinct indices yield
+  // disjoint seed material, so a sweep can hand task k its own stream purely
+  // from (master_seed, k) — never from thread identity — and an N-thread run
+  // draws bit-identical randomness to a 1-thread run.
+  static Rng Substream(std::uint64_t master_seed, std::uint64_t stream_index);
 
  private:
   std::array<std::uint64_t, 4> s_;

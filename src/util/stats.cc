@@ -81,6 +81,58 @@ double CdfAt(std::span<const double> xs, double value) {
   return static_cast<double>(count) / static_cast<double>(xs.size());
 }
 
+void Accumulator::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  samples_.push_back(x);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  // Chan et al.'s pairwise update; deterministic for a fixed operand order.
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  mean_ += delta * nb / (na + nb);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+double Accumulator::Variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::StdDev() const { return std::sqrt(Variance()); }
+
+double Accumulator::Jain() const {
+  if (n_ == 0 || sum_sq_ == 0.0) return 1.0;
+  return sum_ * sum_ / (static_cast<double>(n_) * sum_sq_);
+}
+
+double Accumulator::Percentile(double p) const {
+  return util::Percentile(samples_, p);
+}
+
 void RunningStats::Add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -38,6 +38,49 @@ std::vector<CdfPoint> EmpiricalCdf(std::span<const double> xs);
 // Evaluate the empirical CDF of `xs` at `value` (fraction of samples <= value).
 double CdfAt(std::span<const double> xs, double value);
 
+// Mergeable statistics accumulator for the parallel sweep engine: Welford
+// mean/variance (merged with Chan's parallel formula), min/max/sum/sum-of-
+// squares (for Jain's index), and the raw samples for exact percentiles.
+//
+// Merging is associative in value but NOT bit-associative: floating-point
+// merge results depend on operand order. Callers that need bit-identical
+// results across thread counts must merge partial accumulators in a fixed
+// order (the sweep engine merges in task-index order) — then the result is
+// a pure function of the inputs, independent of which thread produced each
+// partial.
+class Accumulator {
+ public:
+  void Add(double x);
+  // Folds `other` into this accumulator (Chan's parallel Welford update;
+  // samples are appended in order).
+  void Merge(const Accumulator& other);
+
+  std::size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Variance() const;  // population variance
+  double StdDev() const;
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  double Sum() const { return sum_; }
+  double SumSquares() const { return sum_sq_; }
+  // Jain's fairness index over everything added, same convention as
+  // JainFairnessIndex (empty / all-zero -> 1.0).
+  double Jain() const;
+  // Exact linear-interpolation percentile over the retained samples.
+  double Percentile(double p) const;
+  const std::vector<double>& Samples() const { return samples_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  std::vector<double> samples_;
+};
+
 // Online accumulator for streaming mean/variance (Welford).
 class RunningStats {
  public:

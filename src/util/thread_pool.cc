@@ -1,0 +1,109 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace wolt::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int executors = std::max(1, num_threads);
+  shards_.resize(static_cast<std::size_t>(executors));
+  workers_.reserve(static_cast<std::size_t>(executors - 1));
+  for (int w = 1; w < executors; ++w) {
+    workers_.emplace_back(
+        [this, w] { WorkerLoop(static_cast<std::size_t>(w)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::ParallelFor(std::size_t num_tasks, std::size_t chunk,
+                             const std::function<void(std::size_t)>& fn,
+                             const std::atomic<bool>* cancel) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  if (num_tasks == 0) return true;
+
+  const std::size_t executors = shards_.size();
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, num_tasks / (executors * 8));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    cancel_ = cancel;
+    chunk_ = chunk;
+    // Even contiguous shards; the first (num_tasks % executors) shards get
+    // one extra index.
+    const std::size_t base = num_tasks / executors;
+    const std::size_t extra = num_tasks % executors;
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < executors; ++s) {
+      const std::size_t len = base + (s < extra ? 1 : 0);
+      shards_[s].next.store(begin, std::memory_order_relaxed);
+      shards_[s].end = begin + len;
+      begin += len;
+    }
+    workers_running_ = static_cast<int>(workers_.size());
+    ++job_epoch_;
+  }
+  job_cv_.notify_all();
+
+  RunShards(0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_running_ == 0; });
+    fn_ = nullptr;
+    cancel_ = nullptr;
+  }
+
+  bool complete = true;
+  for (const Shard& s : shards_) {
+    if (s.next.load(std::memory_order_relaxed) < s.end) complete = false;
+  }
+  return complete;
+}
+
+void ThreadPool::WorkerLoop(std::size_t home) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || job_epoch_ != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+    }
+    RunShards(home);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_running_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunShards(std::size_t home) {
+  const std::size_t n = shards_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Shard& shard = shards_[(home + k) % n];
+    for (;;) {
+      if (cancel_ && cancel_->load(std::memory_order_relaxed)) return;
+      const std::size_t begin =
+          shard.next.fetch_add(chunk_, std::memory_order_relaxed);
+      if (begin >= shard.end) break;
+      const std::size_t end = std::min(begin + chunk_, shard.end);
+      for (std::size_t i = begin; i < end; ++i) (*fn_)(i);
+    }
+  }
+}
+
+}  // namespace wolt::util

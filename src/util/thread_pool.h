@@ -1,0 +1,87 @@
+// Fixed-size thread pool executing indexed task spaces with chunked
+// work-stealing — the concurrency substrate of the sweep engine.
+//
+// ParallelFor(num_tasks, ...) splits [0, num_tasks) into one contiguous
+// shard per executor; each executor drains its own shard in chunks via an
+// atomic cursor, then steals chunks from the other shards. Every index runs
+// exactly once, on some executor, in some order — so anything an fn() writes
+// must land in an index-addressed slot, and any cross-task reduction must
+// happen after ParallelFor returns, in task-index order, if the caller wants
+// thread-count-independent results (see SweepEngine).
+//
+// The calling thread is executor 0: ThreadPool(1) spawns no threads at all
+// and degenerates to a sequential loop, which is what makes "1-thread run"
+// a meaningful determinism baseline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wolt::util {
+
+class ThreadPool {
+ public:
+  // `num_threads` is the total executor count including the caller; values
+  // < 1 are clamped to 1. ThreadPool(n) spawns n-1 worker threads.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(i) for every i in [0, num_tasks), blocking until all claimed
+  // tasks finish. `chunk` is the steal granularity (0 = auto: shards split
+  // ~8 chunks per executor). If `cancel` is non-null and becomes true,
+  // executors stop claiming new chunks (already-claimed tasks still run to
+  // completion); returns false iff cancelled before all tasks ran. fn must
+  // not throw. Calls from multiple threads serialize.
+  bool ParallelFor(std::size_t num_tasks, std::size_t chunk,
+                   const std::function<void(std::size_t)>& fn,
+                   const std::atomic<bool>* cancel = nullptr);
+
+ private:
+  // One contiguous shard of the index space; `next` is bumped by the owner
+  // and by thieves alike, so a task index is claimed exactly once.
+  struct alignas(64) Shard {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+
+    Shard() = default;
+    // Copyable so std::vector can size the shard array (only ever done
+    // before a job is published, never while executors run).
+    Shard(const Shard& other)
+        : next(other.next.load(std::memory_order_relaxed)), end(other.end) {}
+  };
+
+  void WorkerLoop(std::size_t home);
+  // Drains shards starting from `home`, then steals round-robin.
+  void RunShards(std::size_t home);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait here for a job / shutdown
+  std::condition_variable done_cv_;  // ParallelFor waits here for completion
+  bool shutdown_ = false;
+  std::uint64_t job_epoch_ = 0;  // bumped per ParallelFor, under mu_
+  int workers_running_ = 0;      // workers still inside the current job
+
+  // Current job (valid while workers_running_ > 0 or the caller is in
+  // RunShards). Written under mu_ before the epoch bump publishes it.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::size_t chunk_ = 1;
+  std::vector<Shard> shards_;
+  std::atomic<bool> incomplete_{false};  // a chunk was left unclaimed
+
+  std::mutex run_mu_;  // serializes concurrent ParallelFor calls
+};
+
+}  // namespace wolt::util

@@ -170,5 +170,48 @@ TEST(RngTest, SplitMix64KnownSequenceIsStable) {
   }
 }
 
+TEST(RngTest, SubstreamZeroMatchesDirectSeeding) {
+  // The sweep engine's determinism hinges on this identity: stream 0 of a
+  // master seed IS the plain generator for that seed.
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL}) {
+    Rng direct(seed);
+    Rng stream = Rng::Substream(seed, 0);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(direct.Next(), stream.Next()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RngTest, SubstreamIsPureFunctionOfSeedAndIndex) {
+  Rng a = Rng::Substream(123, 7);
+  Rng b = Rng::Substream(123, 7);  // derivation order / history irrelevant
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SubstreamsAreMutuallyIndependent) {
+  // Adjacent and distant stream indices must not share output prefixes.
+  std::vector<std::uint64_t> firsts;
+  for (std::uint64_t k : {0ULL, 1ULL, 2ULL, 3ULL, 1000ULL, 1000000ULL}) {
+    Rng s = Rng::Substream(99, k);
+    firsts.push_back(s.Next());
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(std::adjacent_find(firsts.begin(), firsts.end()), firsts.end());
+
+  Rng a = Rng::Substream(99, 1);
+  Rng b = Rng::Substream(99, 2);
+  int matches = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++matches;
+  }
+  EXPECT_LT(matches, 3);
+}
+
+TEST(RngTest, HashCombine64IsOrderSensitive) {
+  EXPECT_NE(HashCombine64(1, 2), HashCombine64(2, 1));
+  EXPECT_NE(HashCombine64(0, 0), HashCombine64(0, 1));
+  EXPECT_EQ(HashCombine64(17, 29), HashCombine64(17, 29));  // stateless
+}
+
 }  // namespace
 }  // namespace wolt::util

@@ -125,6 +125,94 @@ TEST(RunningStatsTest, MatchesBatchComputation) {
   EXPECT_NEAR(rs.Sum(), Sum(xs), 1e-6);
 }
 
+TEST(AccumulatorTest, MatchesBatchFunctions) {
+  util::Rng rng(5150);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(-50.0, 150.0);
+    xs.push_back(x);
+    acc.Add(x);
+  }
+  EXPECT_EQ(acc.Count(), xs.size());
+  EXPECT_NEAR(acc.Mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(acc.Variance(), Variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(acc.Min(), Min(xs));
+  EXPECT_DOUBLE_EQ(acc.Max(), Max(xs));
+  EXPECT_NEAR(acc.Sum(), Sum(xs), 1e-9);
+  EXPECT_NEAR(acc.Percentile(50.0), Percentile(xs, 50.0), 1e-12);
+  EXPECT_NEAR(acc.Percentile(90.0), Percentile(xs, 90.0), 1e-12);
+  EXPECT_EQ(acc.Samples(), xs);  // insertion order retained
+}
+
+TEST(AccumulatorTest, JainMatchesBatchAndConventions) {
+  std::vector<double> xs = {4.0, 2.0, 4.0, 2.0};
+  Accumulator acc;
+  for (double x : xs) acc.Add(x);
+  EXPECT_NEAR(acc.Jain(), JainFairnessIndex(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(Accumulator().Jain(), 1.0);  // empty: vacuously fair
+  Accumulator zeros;
+  zeros.Add(0.0);
+  zeros.Add(0.0);
+  EXPECT_DOUBLE_EQ(zeros.Jain(), 1.0);
+}
+
+TEST(AccumulatorTest, MergeEqualsSequentialWithinTolerance) {
+  util::Rng rng(6174);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(0.0, 1000.0);
+    whole.Add(x);
+    (i < 250 ? left : right).Add(x);
+  }
+  Accumulator merged = left;
+  merged.Merge(right);
+  EXPECT_EQ(merged.Count(), whole.Count());
+  EXPECT_NEAR(merged.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(merged.Variance(), whole.Variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(merged.Max(), whole.Max());
+  EXPECT_EQ(merged.Samples(), whole.Samples());
+}
+
+TEST(AccumulatorTest, MergeInFixedOrderIsBitReproducible) {
+  // The engine's contract: merging the SAME partials in the SAME order must
+  // give bit-identical state no matter when or where the partials were
+  // produced. (Different orders may differ in the last ulp — that is why
+  // the engine fixes task-index order.)
+  util::Rng rng(31337);
+  std::vector<Accumulator> parts(8);
+  for (int i = 0; i < 320; ++i) {
+    parts[static_cast<std::size_t>(i) % parts.size()].Add(
+        rng.Uniform(0.0, 10.0));
+  }
+  Accumulator a, b;
+  for (const Accumulator& p : parts) a.Merge(p);
+  for (const Accumulator& p : parts) b.Merge(p);
+  EXPECT_EQ(a.Mean(), b.Mean());
+  EXPECT_EQ(a.Variance(), b.Variance());
+  EXPECT_EQ(a.Sum(), b.Sum());
+  EXPECT_EQ(a.SumSquares(), b.SumSquares());
+  EXPECT_EQ(a.Samples(), b.Samples());
+}
+
+TEST(AccumulatorTest, MergeWithEmptyIsIdentity) {
+  Accumulator acc;
+  acc.Add(3.0);
+  acc.Add(5.0);
+  const double mean = acc.Mean();
+  const double var = acc.Variance();
+  acc.Merge(Accumulator());  // no-op
+  EXPECT_EQ(acc.Count(), 2u);
+  EXPECT_EQ(acc.Mean(), mean);
+  EXPECT_EQ(acc.Variance(), var);
+
+  Accumulator empty;
+  empty.Merge(acc);  // adopt
+  EXPECT_EQ(empty.Count(), 2u);
+  EXPECT_EQ(empty.Mean(), mean);
+}
+
 TEST(RunningStatsTest, EmptyIsZero) {
   RunningStats rs;
   EXPECT_EQ(rs.Count(), 0u);
