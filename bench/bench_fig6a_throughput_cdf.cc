@@ -11,6 +11,7 @@
 //
 //   $ ./bench_fig6a_throughput_cdf [--trials=100] [--threads=1]
 //                                  [--seed=2020] [--csv=fig6a_cdf.csv]
+//                                  [--trace=out.json] [--metrics=out.json]
 #include <cstdio>
 #include <vector>
 
@@ -24,7 +25,9 @@
 
 int main(int argc, char** argv) {
   using namespace wolt;
-  const bench::Flags flags(argc, argv, {"trials", "threads", "seed", "csv"});
+  bench::ObsSession obs(argc, argv);
+  const bench::Flags flags(
+      argc, argv, {"trials", "threads", "seed", "csv", "trace", "metrics"});
   const int trials = static_cast<int>(flags.Int("trials", 100));
   const int threads = static_cast<int>(flags.Int("threads", 1));
   const std::string csv_path = flags.Str("csv", "fig6a_cdf.csv");
@@ -49,8 +52,10 @@ int main(int argc, char** argv) {
 
   sweep::SweepOptions options;
   options.threads = threads;
+  options.collect_metrics = obs.metrics_enabled();
   sweep::SweepEngine engine(options);
   const sweep::SweepResult sweep_result = engine.Run(grid);
+  if (obs.metrics_enabled()) obs.Merge(sweep_result.metrics);
   const auto results = sweep::ToPolicyTrials(grid, sweep_result);
 
   bench::PrintPolicySummary(results);

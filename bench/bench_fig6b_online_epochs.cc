@@ -14,8 +14,12 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wolt;
+  // --trace=out.json captures one span per online epoch and per policy
+  // reassociation (the EXPERIMENTS.md fig6b trace recipe); --metrics=out.json
+  // captures solver/controller counters for the whole run.
+  bench::ObsSession obs(argc, argv);
   bench::PrintHeader(
       "Fig. 6b — aggregate throughput over epochs (online arrivals)",
       "Poisson arrivals (rate 3), epoch = 12 time units, net ~+33 users\n"

@@ -5,15 +5,19 @@
 // throughput evaluator, and the Phase-II move-evaluation loop in isolation.
 #include <benchmark/benchmark.h>
 
+#include <optional>
 #include <vector>
 
 #include "assign/hungarian.h"
 #include "assign/local_search.h"
+#include "bench_util.h"
 #include "core/greedy.h"
 #include "core/rssi.h"
 #include "core/wolt.h"
 #include "model/evaluator.h"
 #include "model/incremental.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "sim/scenario.h"
 #include "sweep/engine.h"
 #include "sweep/grid.h"
@@ -81,6 +85,41 @@ BENCHMARK(BM_WoltAssociate)
     ->Args({200, 30})
     ->Args({500, 30})
     ->Args({1000, 50})
+    ->Unit(benchmark::kMicrosecond);
+
+// The same association with and without a MetricsScope installed, from ONE
+// benchmark function so the two arms share code layout and heap history —
+// range(2) == 1 installs the scope and every solver hook (Hungarian augment
+// steps, local-search move tallies, evaluator counters) fires into a live
+// registry; range(2) == 0 constructs the identical registry but never
+// installs it, so the hooks see a null scope. The /200/15/1 vs /200/15/0
+// pair in BENCH_sweep.json is the < 3% instrumentation-overhead guard
+// (with WOLT_OBS=OFF the scope install is a no-op and the arms are
+// identical code).
+void BM_WoltAssociateObs(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+  core::WoltPolicy wolt;
+  obs::MetricsRegistry registry;
+  std::optional<obs::ScopedMetrics> scoped;
+  if (state.range(2) != 0) scoped.emplace(registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wolt.AssociateFresh(net));
+  }
+  // Surface one counter as proof the hooks were live (the default WOLT
+  // Phase II runs on the incremental evaluator, so Hungarian solves — one
+  // per Phase I — is the counter guaranteed nonzero per iteration).
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name == "hungarian.solves") {
+      state.counters["hungarian_solves"] = static_cast<double>(c.value);
+    }
+  }
+}
+BENCHMARK(BM_WoltAssociateObs)
+    ->Args({200, 15, 0})
+    ->Args({200, 15, 1})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_WoltSubsetAssociate(benchmark::State& state) {
@@ -239,4 +278,15 @@ BENCHMARK(BM_SweepThroughput)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): --trace=/--metrics= are consumed
+// by the ObsSession and stripped before google-benchmark's flag parser (which
+// rejects unknown flags) sees argv.
+int main(int argc, char** argv) {
+  wolt::bench::ObsSession obs(argc, argv);
+  wolt::bench::ObsSession::Strip(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,11 +7,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "model/evaluator.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
 #include "testbed/lab.h"
@@ -69,6 +73,88 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+};
+
+// Observability session for bench binaries: --trace=out.json installs a
+// process-global tracer (spans dumped as Chrome trace_event JSON on exit),
+// --metrics=out.json installs a MetricsScope over an owned registry on the
+// main thread (the instrumentation hooks feed it) and dumps the snapshot
+// JSON plus a summary table on exit. Construct one at the top of main()
+// BEFORE benchmark::Initialize or Flags (both flags are recognized here and
+// can be stripped with Strip() for parsers that reject unknown flags).
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace=", 0) == 0) {
+        trace_path_ = arg.substr(8);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        metrics_path_ = arg.substr(10);
+      }
+    }
+    if (!trace_path_.empty()) {
+      tracer_.emplace();
+      obs::Tracer::SetGlobal(&*tracer_);
+    }
+    if (!metrics_path_.empty()) {
+      scope_.emplace(registry_);
+    }
+  }
+
+  ~ObsSession() {
+    scope_.reset();
+    if (!metrics_path_.empty()) {
+      obs::MetricsSnapshot snap = registry_.Snapshot();
+      snap.Merge(extra_);
+      std::ofstream out(metrics_path_, std::ios::binary);
+      out << snap.Json();
+      std::printf("\nmetrics -> %s\n%s", metrics_path_.c_str(),
+                  snap.TableString().c_str());
+    }
+    if (tracer_) {
+      obs::Tracer::SetGlobal(nullptr);
+      tracer_->WriteChromeTrace(trace_path_);
+      std::printf("\ntrace -> %s (%zu events)\n%s", trace_path_.c_str(),
+                  tracer_->NumEvents(),
+                  tracer_->SummaryTableString().c_str());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  // Removes --trace=/--metrics= from argv (in place) so flag parsers that
+  // reject unknown flags (google-benchmark) never see them.
+  static void Strip(int& argc, char** argv) {
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace=", 0) == 0 || arg.rfind("--metrics=", 0) == 0) {
+        continue;
+      }
+      argv[w++] = argv[i];
+    }
+    argc = w;
+  }
+
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
+  bool metrics_enabled() const { return !metrics_path_.empty(); }
+
+  // For benches whose work runs inside the sweep engine: worker threads
+  // never see this session's main-thread scope, so the bench must run the
+  // engine with collect_metrics=true and fold the engine's merged snapshot
+  // in here; it is written alongside the session's own at exit.
+  void Merge(const obs::MetricsSnapshot& snap) { extra_.Merge(snap); }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::MetricsRegistry registry_;
+  obs::MetricsSnapshot extra_;
+  std::optional<obs::Tracer> tracer_;
+  std::optional<obs::ScopedMetrics> scope_;
 };
 
 inline void PrintHeader(const std::string& artefact,

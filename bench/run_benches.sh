@@ -16,6 +16,11 @@
 # Usage: bench/run_benches.sh [output.json] [benchmark_filter]
 #   BENCH_BIN=path/to/bench_scaling_runtime overrides the binary location.
 #
+# Every run also archives an observability metrics snapshot (solver counter
+# totals accumulated across all benchmark iterations) next to the output as
+# <output%.json>.metrics.json — with WOLT_OBS=OFF builds the snapshot is a
+# valid-but-empty document.
+#
 # Failure behaviour: this script fails LOUDLY. A missing binary, a crashed
 # benchmark run, or empty/invalid JSON output exits non-zero and leaves any
 # existing output file untouched (results are written to a temp file and
@@ -43,10 +48,13 @@ if [[ -z "${bin}" || ! -x "${bin}" ]]; then
   exit 1
 fi
 
+metrics_out="${out%.json}.metrics.json"
 tmp="$(mktemp "${out}.XXXXXX")"
-trap 'rm -f "${tmp}"' EXIT
+tmp_metrics="$(mktemp "${metrics_out}.XXXXXX")"
+trap 'rm -f "${tmp}" "${tmp_metrics}"' EXIT
 
 if ! "${bin}" \
+    --metrics="${tmp_metrics}" \
     --benchmark_filter="${filter}" \
     --benchmark_min_time=0.5 \
     --benchmark_format=json \
@@ -66,6 +74,15 @@ if [[ ! -s "${tmp}" ]] ||
   exit 1
 fi
 
+# The metrics snapshot must at least parse; counter totals vary with the
+# iteration counts google-benchmark chose, so only validity is checked.
+if [[ ! -s "${tmp_metrics}" ]] || ! jq -e . "${tmp_metrics}" >/dev/null 2>&1; then
+  echo "error: ${bin} produced no valid metrics snapshot" >&2
+  exit 1
+fi
+
 mv "${tmp}" "${out}"
+mv "${tmp_metrics}" "${metrics_out}"
 trap - EXIT
 echo "wrote ${out} ($(jq '.benchmarks | length' "${out}") benchmarks)" >&2
+echo "wrote ${metrics_out} (metrics snapshot)" >&2

@@ -4,8 +4,90 @@
 # to ASan), a parallel-determinism smoke (a 4-thread sweep must emit byte-
 # identical CSV to a 1-thread sweep), and a chaos smoke. Run from anywhere;
 # everything happens at the repo root.
+#
+#   scripts/ci.sh               the full gate above
+#   scripts/ci.sh --coverage    observability coverage gate instead: gcov
+#                               line coverage of src/obs/ must be >= 90%,
+#                               plus a TSan pass over the obs suites (the
+#                               lock-free metrics fast path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--coverage" ]]; then
+  echo "==> coverage: configure + build (build-cov/, -O0 --coverage)"
+  cmake --preset coverage >/dev/null
+  cmake --build build-cov -j"$(nproc)" --target obs_test obs_golden_test \
+    solver_differential_test sweep_determinism_test controller_test \
+    dynamics_test evaluator_test local_search_test hungarian_test nlp_test
+
+  echo "==> coverage: run the suites that exercise src/obs/"
+  # Stale counters from previous runs poison the percentages.
+  find build-cov -name '*.gcda' -delete
+  ctest --test-dir build-cov --output-on-failure -R \
+    '^(obs_test|obs_golden_test|solver_differential_test|sweep_determinism_test|controller_test|dynamics_test|evaluator_test|local_search_test|hungarian_test|nlp_test)$'
+
+  echo "==> coverage: gcov line coverage of src/obs/ (gate: >= 90%)"
+  # CMake names the profile files after the object (metrics.cc.gcno), so a
+  # plain `gcov -o objdir src/obs/metrics.cc` misses them; feed the .gcda
+  # files to gcov directly instead. The JSON goes through a temp file because
+  # the heredoc below already claims python's stdin.
+  objdir="build-cov/src/CMakeFiles/wolt.dir/obs"
+  gcov_tmp="$(mktemp)"
+  trap 'rm -f "${gcov_tmp}"' EXIT
+  for gcda in "${objdir}"/*.gcda; do
+    gcov --json-format --stdout "${gcda}" >>"${gcov_tmp}"
+    echo >>"${gcov_tmp}"
+  done
+  python3 - "${gcov_tmp}" <<'PY'
+import json
+import sys
+
+per_file = {}  # path -> {line_number -> max count}
+with open(sys.argv[1]) as fh:
+    docs = fh.read().splitlines()
+for doc in docs:
+    if not doc.strip():
+        continue
+    data = json.loads(doc)
+    for f in data.get("files", []):
+        path = f["file"]
+        if "src/obs/" not in path.replace("\\", "/"):
+            continue
+        lines = per_file.setdefault(path, {})
+        for line in f["lines"]:
+            n = line["line_number"]
+            lines[n] = max(lines.get(n, 0), line["count"])
+
+if not per_file:
+    sys.exit("error: gcov reported no src/obs/ lines (build-cov stale?)")
+
+total = covered = 0
+print(f"{'file':44} {'lines':>6} {'covered':>8} {'pct':>7}")
+for path in sorted(per_file):
+    lines = per_file[path]
+    file_total = len(lines)
+    file_cov = sum(1 for c in lines.values() if c > 0)
+    total += file_total
+    covered += file_cov
+    short = path[path.replace("\\", "/").rfind("src/obs/"):]
+    print(f"{short:44} {file_total:6d} {file_cov:8d} "
+          f"{100.0 * file_cov / file_total:6.1f}%")
+pct = 100.0 * covered / total
+print(f"{'TOTAL src/obs/':44} {total:6d} {covered:8d} {pct:6.1f}%")
+if pct < 90.0:
+    sys.exit(f"error: src/obs/ line coverage {pct:.1f}% < 90%")
+PY
+
+  echo "==> coverage: TSan pass over the lock-free metrics path"
+  cmake --preset tsan >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target obs_test obs_golden_test \
+    thread_pool_test sweep_determinism_test
+  ctest --test-dir build-tsan --output-on-failure -R \
+    '^(obs_test|obs_golden_test|thread_pool_test|sweep_determinism_test)$'
+
+  echo "==> coverage gate passed"
+  exit 0
+fi
 
 echo "==> tier-1: configure + build (build/)"
 cmake --preset default >/dev/null

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace wolt::assign {
 namespace {
 
@@ -23,12 +25,14 @@ HungarianResult SolveMinImpl(const Matrix& costs) {
   std::vector<double> minv(m + 1);
   std::vector<bool> used(m + 1);
 
+  std::uint64_t augment_steps = 0;
   for (std::size_t i = 1; i <= n; ++i) {
     p[0] = i;
     std::size_t j0 = 0;
     minv.assign(m + 1, std::numeric_limits<double>::max());
     used.assign(m + 1, false);
     do {
+      ++augment_steps;
       used[j0] = true;
       const std::size_t i0 = p[j0];
       const double* row = costs.Row(i0 - 1);
@@ -61,6 +65,11 @@ HungarianResult SolveMinImpl(const Matrix& costs) {
       p[j0] = p[j1];
       j0 = j1;
     } while (j0 != 0);
+  }
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->solver.hungarian_solves.Add(1);
+    s->solver.hungarian_augment_steps.Add(augment_steps);
   }
 
   HungarianResult result;

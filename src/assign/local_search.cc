@@ -9,9 +9,33 @@
 #include <vector>
 
 #include "model/incremental.h"
+#include "obs/obs.h"
 
 namespace wolt::assign {
 namespace {
+
+// Candidate accounting, accumulated on the stack and flushed into the
+// active MetricsScope once per search. Site contract: every candidate
+// bumps `generated` together with exactly one of `pruned` (skipped without
+// computing its delta) or `evaluated` — that is what makes the
+// pruned + evaluated == generated invariant exact by construction, whatever
+// the rescan/resume semantics of the surrounding loop. With WOLT_OBS=OFF
+// the flush is compile-time dead and the increments fold away with it.
+struct MoveTally {
+  std::uint64_t generated = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t accepted = 0;
+
+  void Prune(std::uint64_t n = 1) {
+    generated += n;
+    pruned += n;
+  }
+  void Evaluate() {
+    ++generated;
+    ++evaluated;
+  }
+};
 
 // Static per-(user, extender) placement data, hoisted out of the move loops
 // so the hot paths never call back into Network. Built once per search (the
@@ -122,6 +146,7 @@ struct WifiState {
 void GreedyInsertWifi(const SearchContext& ctx, model::Assignment& assign,
                       const std::vector<std::size_t>& users) {
   WifiState ws(ctx, assign);
+  std::uint64_t inserts = 0;
   for (std::size_t user : users) {
     if (assign.IsAssigned(user)) continue;
     const double* inv = ctx.InvRow(user);
@@ -141,6 +166,10 @@ void GreedyInsertWifi(const SearchContext& ctx, model::Assignment& assign,
     if (best_ext < 0) continue;  // unreachable user stays unassigned
     assign.Assign(user, static_cast<std::size_t>(best_ext));
     ws.Add(ctx, user, static_cast<std::size_t>(best_ext));
+    ++inserts;
+  }
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->solver.ls_inserts.Add(inserts);
   }
 }
 
@@ -154,6 +183,10 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
   LocalSearchStats stats;
   stats.initial_value = ws.WifiSum();
   double value = stats.initial_value;
+
+  MoveTally rel, swp;
+  std::uint64_t memo_skips = 0;
+  std::uint64_t passes_run = 0;
 
   // Local mirror of the association (bypasses bounds-checked accessors in
   // the O(|movable|^2) swap loop).
@@ -216,14 +249,22 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
   // the next pass can skip the full rebuild unless the relocate stage moved
   // someone.
   std::uint64_t cells_mut = ~std::uint64_t{0};
+  // Movable users currently on any cell (swap commits preserve it; the
+  // rebuild block above recomputes it). Feeds the O(1) pruning tally in
+  // refresh_u1.
+  int total_movable = 0;
 
   for (stats.passes = 0; stats.passes < options.max_passes; ++stats.passes) {
+    ++passes_run;
     double pass_gain = 0.0;
     for (std::size_t a = 0; a < m; ++a) {
       const std::size_t user = movable[a];
       const int from = ext_of[user];
       if (from == model::Assignment::kUnassigned) continue;
-      if (scanned[a] == ws.mutations) continue;
+      if (scanned[a] == ws.mutations) {
+        ++memo_skips;
+        continue;
+      }
       const std::size_t from_ext = static_cast<std::size_t>(from);
       const double* inv = ctx.InvRow(user);
       const std::uint8_t* use = ctx.UsableRow(user);
@@ -238,9 +279,12 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
       int best_ext = -1;
       double best_value = value;
       for (std::size_t j = 0; j < num_ext; ++j) {
-        if (j == from_ext || !use[j] || !ctx.HasRoom(j, ws.load[j])) {
+        if (j == from_ext) continue;  // self-move, not a candidate
+        if (!use[j] || !ctx.HasRoom(j, ws.load[j])) {
+          rel.Prune();
           continue;
         }
+        rel.Evaluate();
         const double after_to =
             static_cast<double>(ws.load[j] + 1) / (ws.inv_sum[j] + inv[j]);
         const double before = thr_from + ws.thr[j];
@@ -259,6 +303,7 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
         pass_gain += best_value - value;
         value = best_value;
         ++stats.moves;
+        ++rel.accepted;
       } else {
         scanned[a] = ws.mutations;
       }
@@ -270,12 +315,19 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
       if (cells_mut != ws.mutations) {
         for (std::size_t c = 0; c < num_ext; ++c) rebuild_cell(c);
         cells_mut = ws.mutations;
+        total_movable = 0;
+        for (std::size_t c = 0; c < num_ext; ++c) {
+          total_movable += cell_movable[c];
+        }
       }
       for (std::size_t a = 0; a < m; ++a) {
         const std::size_t u1 = movable[a];
         const int e1 = ext_of[u1];
         if (e1 == model::Assignment::kUnassigned) continue;
-        if (swap_scanned[a] == ws.mutations) continue;
+        if (swap_scanned[a] == ws.mutations) {
+          ++memo_skips;
+          continue;
+        }
         const std::uint64_t mut0 = ws.mutations;
         const double* inv1 = ctx.InvRow(u1);
         const std::uint8_t* use1 = ctx.UsableRow(u1);
@@ -308,11 +360,28 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
             hopeless[c] = !(bound > value + options.improvement_tolerance);
           }
           std::fill(partner_mask.begin(), partner_mask.end(), 0);
+          int surviving = 0;
           for (std::size_t c = 0; c < num_ext; ++c) {
             if (hopeless[c]) continue;
+            surviving += cell_movable[c];
             const std::uint64_t* mask = &cell_mask[c * words];
             for (std::size_t w = 0; w < words; ++w) partner_mask[w] |= mask[w];
           }
+          // Pruning tally: every movable user on a ruled-out cell counts as
+          // one generated-and-pruned swap candidate for this scan (whether
+          // the cell fell to the delta bound, unusability, or being u1's own
+          // cell — mirroring the relocate stage, which tallies unusable
+          // targets as pruned too). The count is an upper bound on the pairs
+          // a full scan would actually have visited (the b > a resume
+          // position is ignored), computed as one subtraction so the bound
+          // loop above stays tally-free; Prune() bumps generated and pruned
+          // together, so pruned + evaluated == generated stays exact.
+          const int own = cell_movable[x1] +
+                          (static_cast<std::size_t>(e1) != x1
+                               ? cell_movable[static_cast<std::size_t>(e1)]
+                               : 0);
+          swp.Prune(static_cast<std::uint64_t>(total_movable - own -
+                                               surviving));
         };
         refresh_u1();
         for (std::size_t w = a / 64; w < words; ++w) {
@@ -327,7 +396,11 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
             bits &= bits - 1;
             const std::size_t u2 = movable[b];
             const std::size_t x2 = static_cast<std::size_t>(ext_of[u2]);
-            if (!ctx.Usable(u2, x1)) continue;
+            if (!ctx.Usable(u2, x1)) {
+              swp.Prune();
+              continue;
+            }
+            swp.Evaluate();
             const double* inv2 = ctx.InvRow(u2);
             const double after_x1 = load1 / (base1 + inv2[x1]);
             const double after_x2 =
@@ -347,6 +420,7 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
               pass_gain += candidate - value;
               value = candidate;
               ++stats.moves;
+              ++swp.accepted;
               rebuild_cell(x1);
               rebuild_cell(x2);
               cells_mut = ws.mutations;
@@ -362,6 +436,19 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
       }
     }
     if (pass_gain <= options.improvement_tolerance) break;
+  }
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->solver.relocate_generated.Add(rel.generated);
+    s->solver.relocate_pruned.Add(rel.pruned);
+    s->solver.relocate_evaluated.Add(rel.evaluated);
+    s->solver.relocate_accepted.Add(rel.accepted);
+    s->solver.swap_generated.Add(swp.generated);
+    s->solver.swap_pruned.Add(swp.pruned);
+    s->solver.swap_evaluated.Add(swp.evaluated);
+    s->solver.swap_accepted.Add(swp.accepted);
+    s->solver.ls_passes.Add(passes_run);
+    s->solver.ls_memo_skips.Add(memo_skips);
   }
 
   stats.final_value = value;
@@ -391,6 +478,7 @@ void GreedyInsertInc(const SearchContext& ctx, const model::Network& net,
   model::IncrementalEvaluator inc(
       net, assign, options.eval, model::IncrementalEvaluator::kDefaultLogFloorMbps,
       /*track_log_utility=*/options.objective == Phase2Objective::kProportionalFair);
+  std::uint64_t inserts = 0;
   for (std::size_t user : users) {
     if (assign.IsAssigned(user)) continue;
     int best_ext = -1;
@@ -407,6 +495,10 @@ void GreedyInsertInc(const SearchContext& ctx, const model::Network& net,
     if (best_ext < 0) continue;  // unreachable user stays unassigned
     assign.Assign(user, static_cast<std::size_t>(best_ext));
     inc.ApplyMove(user, best_ext);
+    ++inserts;
+  }
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->solver.ls_inserts.Add(inserts);
   }
 }
 
@@ -423,7 +515,11 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
   stats.initial_value = IncValue(inc, options.objective);
   double value = stats.initial_value;
 
+  MoveTally rel, swp;
+  std::uint64_t passes_run = 0;
+
   for (stats.passes = 0; stats.passes < options.max_passes; ++stats.passes) {
+    ++passes_run;
     double pass_gain = 0.0;
     for (std::size_t user : movable) {
       const int from = assign.ExtenderOf(user);
@@ -433,10 +529,12 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
       int best_ext = -1;
       double best_value = value;
       for (std::size_t j = 0; j < ctx.num_extenders; ++j) {
-        if (j == from_ext || !ctx.Usable(user, j) ||
-            !ctx.HasRoom(j, inc.Load(j))) {
+        if (j == from_ext) continue;  // self-move, not a candidate
+        if (!ctx.Usable(user, j) || !ctx.HasRoom(j, inc.Load(j))) {
+          rel.Prune();
           continue;
         }
+        rel.Evaluate();
         const double candidate =
             ValueOf(inc.PeekMove(user, static_cast<int>(j)),
                     options.objective);
@@ -451,6 +549,7 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
         pass_gain += best_value - value;
         value = best_value;
         ++stats.moves;
+        ++rel.accepted;
       }
     }
 
@@ -467,7 +566,11 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
               assign.ExtenderOf(u1));  // may have changed since e1 was read
           const std::size_t x2 = static_cast<std::size_t>(e2);
           if (x1 == x2) continue;
-          if (!ctx.Usable(u1, x2) || !ctx.Usable(u2, x1)) continue;
+          if (!ctx.Usable(u1, x2) || !ctx.Usable(u2, x1)) {
+            swp.Prune();
+            continue;
+          }
+          swp.Evaluate();
           const double candidate =
               ValueOf(inc.PeekSwap(u1, u2), options.objective);
           if (candidate > value + options.improvement_tolerance) {
@@ -478,11 +581,24 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
             pass_gain += candidate - value;
             value = candidate;
             ++stats.moves;
+            ++swp.accepted;
           }
         }
       }
     }
     if (pass_gain <= options.improvement_tolerance) break;
+  }
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->solver.relocate_generated.Add(rel.generated);
+    s->solver.relocate_pruned.Add(rel.pruned);
+    s->solver.relocate_evaluated.Add(rel.evaluated);
+    s->solver.relocate_accepted.Add(rel.accepted);
+    s->solver.swap_generated.Add(swp.generated);
+    s->solver.swap_pruned.Add(swp.pruned);
+    s->solver.swap_evaluated.Add(swp.evaluated);
+    s->solver.swap_accepted.Add(swp.accepted);
+    s->solver.ls_passes.Add(passes_run);
   }
 
   stats.final_value = value;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace wolt::assign {
 namespace {
 
@@ -152,6 +154,7 @@ NlpResult SolvePhase2Nlp(const model::Network& net,
   std::vector<std::vector<double>> grad(movable.size(),
                                         std::vector<double>(num_ext, 0.0));
 
+  std::uint64_t backtracks = 0;
   for (result.iterations = 0; result.iterations < options.max_iterations;
        ++result.iterations) {
     prob.Gradient(x, grad);
@@ -179,6 +182,7 @@ NlpResult SolvePhase2Nlp(const model::Network& net,
         }
         break;
       }
+      ++backtracks;
       trial_step *= options.backtrack_factor;
     }
     if (!accepted) {
@@ -186,6 +190,12 @@ NlpResult SolvePhase2Nlp(const model::Network& net,
       break;
     }
     if (result.converged) break;
+  }
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->solver.nlp_solves.Add(1);
+    s->solver.nlp_iterations.Add(
+        static_cast<std::uint64_t>(result.iterations));
+    s->solver.nlp_backtracks.Add(backtracks);
   }
 
   // Vertex polish (the Theorem-3 exchange argument made algorithmic):

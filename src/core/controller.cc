@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace wolt::core {
 namespace {
 
@@ -296,11 +298,17 @@ void CentralController::ApplyReport(std::size_t index,
 }
 
 void CentralController::RegisterDirective(const AssociationDirective& d) {
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->ctrl.directives_sent.Add(1);
+  }
   pending_[d.user_id] =
       PendingDirective{d.extender, 1, now_ + retry_.initial_backoff};
 }
 
 std::vector<AssociationDirective> CentralController::RunPolicy(bool guard) {
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->ctrl.policy_runs.Add(1);
+  }
   const model::Assignment before = assignment_;
   model::Assignment proposed = policy_->Associate(net_, before);
   // Do-no-harm guard (epoch reoptimization only): policies plan under their
@@ -323,6 +331,9 @@ std::vector<AssociationDirective> CentralController::RunPolicy(bool guard) {
     if (eval.AggregateThroughput(net_, proposed) + 1e-9 <
         eval.AggregateThroughput(net_, fallback)) {
       proposed = fallback;
+      if (obs::MetricsScope* s = obs::CurrentScope()) {
+        s->ctrl.reopt_guard_trips.Add(1);
+      }
     }
   }
   assignment_ = std::move(proposed);
@@ -410,13 +421,19 @@ HandleStatus CentralController::HandleUserDeparture(std::int64_t user_id) {
 }
 
 HandleStatus CentralController::HandleDirectiveAck(const DirectiveAck& ack) {
+  obs::MetricsScope* s = obs::CurrentScope();
   if (!index_of_id_.count(ack.user_id)) return HandleStatus::kUnknownUser;
   const auto it = pending_.find(ack.user_id);
-  if (it == pending_.end()) return HandleStatus::kOk;  // duplicate ack
+  if (it == pending_.end()) {
+    if (s) s->ctrl.acks.Add(1);
+    return HandleStatus::kOk;  // duplicate ack
+  }
   if (it->second.extender != ack.extender) {
+    if (s) s->ctrl.acks_stale.Add(1);
     return HandleStatus::kIgnoredStale;  // ack for a superseded directive
   }
   pending_.erase(it);
+  if (s) s->ctrl.acks.Add(1);
   return HandleStatus::kOk;
 }
 
@@ -434,10 +451,16 @@ std::vector<AssociationDirective> CentralController::CollectRetries() {
     }
     if (p.attempts >= retry_.max_attempts) {
       ++given_up_;
+      if (obs::MetricsScope* s = obs::CurrentScope()) {
+        s->ctrl.directives_given_up.Add(1);
+      }
       it = pending_.erase(it);
       continue;
     }
     due.push_back({it->first, p.extender});
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->ctrl.directives_retried.Add(1);
+    }
     double backoff = retry_.initial_backoff;
     for (int a = 1; a < p.attempts; ++a) backoff *= retry_.multiplier;
     backoff = std::min(backoff * retry_.multiplier, retry_.max_backoff);
@@ -458,6 +481,11 @@ std::vector<std::int64_t> CentralController::EvictStale(double max_age) {
     if (now_ - last_scan_[i] > max_age) evicted.push_back(id_of_index_[i]);
   }
   for (std::int64_t id : evicted) HandleUserDeparture(id);
+  if (!evicted.empty()) {
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->ctrl.evictions.Add(evicted.size());
+    }
+  }
   return evicted;
 }
 

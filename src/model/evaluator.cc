@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace wolt::model {
 namespace {
 
@@ -23,9 +25,11 @@ void MaxMinSharesInPlace(const int* members, std::size_t count,
     if (demands[j] > 0.0) idx[m++] = j;
   }
   double remaining = 1.0;
+  std::uint64_t rounds = 0;
   // Each round either sates at least one extender or terminates, so this
   // loop runs at most `count` times.
   while (m > 0 && remaining > 0.0) {
+    ++rounds;
     const double share = remaining / static_cast<double>(m);
     std::size_t w = 0;
     bool any_sated = false;
@@ -49,6 +53,11 @@ void MaxMinSharesInPlace(const int* members, std::size_t count,
     }
     remaining = std::max(0.0, 1.0 - used);
     m = w;
+  }
+  if (rounds > 0) {
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->eval.maxmin_rounds.Add(rounds);
+    }
   }
 }
 
@@ -216,6 +225,9 @@ const EvalResult& Evaluator::Evaluate(const Network& net,
                                       EvalScratch& scratch) const {
   if (assign.NumUsers() != net.NumUsers()) {
     throw std::invalid_argument("assignment/network user count mismatch");
+  }
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->eval.evaluations.Add(1);
   }
   const std::size_t num_ext = net.NumExtenders();
   const std::size_t num_users = net.NumUsers();
@@ -427,6 +439,32 @@ const EvalResult& Evaluator::Evaluate(const Network& net,
       rep.bottleneck = demand_met ? Bottleneck::kWifi : Bottleneck::kPlc;
     }
     result.aggregate_mbps += rep.end_to_end_mbps;
+  }
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    std::uint64_t wifi = 0, plc = 0, balanced = 0, idle = 0, dead = 0;
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      switch (result.extenders[j].bottleneck) {
+        case Bottleneck::kWifi:
+          ++wifi;
+          break;
+        case Bottleneck::kPlc:
+          ++plc;
+          break;
+        case Bottleneck::kBalanced:
+          ++balanced;
+          break;
+        case Bottleneck::kIdle:
+          ++idle;
+          break;
+      }
+      if (scratch.dead_backhaul[j]) ++dead;
+    }
+    if (wifi) s->eval.bottleneck_wifi.Add(wifi);
+    if (plc) s->eval.bottleneck_plc.Add(plc);
+    if (balanced) s->eval.bottleneck_balanced.Add(balanced);
+    if (idle) s->eval.bottleneck_idle.Add(idle);
+    if (dead) s->eval.dead_backhaul.Add(dead);
   }
 
   // TCP shares the extender's bottleneck throughput fairly among its users

@@ -1,0 +1,371 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace wolt::obs {
+namespace {
+
+std::string FmtDouble(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+std::string FmtU64(std::uint64_t x) { return std::to_string(x); }
+
+std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? ~std::uint64_t{0} : sum;
+}
+
+// Metric names are identifier-like by convention ("ls.swap.evaluated");
+// escaping keeps the serializer total anyway.
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendHistogramJson(std::string& out, const HistogramSample& h) {
+  out += "{\"bounds\":[";
+  for (std::size_t k = 0; k < h.bounds.size(); ++k) {
+    if (k) out += ',';
+    out += FmtDouble(h.bounds[k]);
+  }
+  out += "],\"counts\":[";
+  for (std::size_t k = 0; k < h.counts.size(); ++k) {
+    if (k) out += ',';
+    out += FmtU64(h.counts[k]);
+  }
+  out += "],\"underflow\":" + FmtU64(h.underflow);
+  out += ",\"overflow\":" + FmtU64(h.overflow);
+  out += ",\"rejected\":" + FmtU64(h.rejected);
+  out += '}';
+}
+
+// One {"counters":...,"gauges":...,"histograms":...} object over the
+// samples matching `timing`.
+void AppendSection(std::string& out, const MetricsSnapshot& snap,
+                   bool timing) {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const CounterSample& c : snap.counters) {
+    if (c.timing != timing) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, c.name);
+    out += ':';
+    out += FmtU64(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSample& g : snap.gauges) {
+    if (g.timing != timing) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, g.name);
+    out += ':';
+    out += FmtDouble(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.timing != timing) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, h.name);
+    out += ':';
+    AppendHistogramJson(out, h);
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  if (bounds_.size() < 2) {
+    throw std::invalid_argument("histogram needs >= 2 bucket edges");
+  }
+  for (std::size_t k = 0; k < bounds_.size(); ++k) {
+    if (!std::isfinite(bounds_[k])) {
+      throw std::invalid_argument("histogram edges must be finite");
+    }
+    if (k > 0 && !(bounds_[k - 1] < bounds_[k])) {
+      throw std::invalid_argument(
+          "histogram edges must be strictly increasing");
+    }
+  }
+  counts_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() - 1);
+}
+
+void Histogram::Observe(double x) {
+  if (std::isnan(x)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x < bounds_.front()) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= bounds_.back()) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Linear scan: bucket counts are small and fixed (latency decades), and
+  // the scan beats binary search at these sizes.
+  std::size_t k = 0;
+  while (x >= bounds_[k + 1]) ++k;
+  counts_[k].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = Underflow() + Overflow();
+  for (const auto& c : counts_) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const MetricsRegistry::Slot* MetricsRegistry::FindSlot(std::string_view name,
+                                                       Kind kind,
+                                                       bool timing) const {
+  if (name.empty()) throw std::invalid_argument("empty metric name");
+  const auto it = slots_.find(name);
+  if (it == slots_.end()) return nullptr;
+  if (it->second.kind != kind) {
+    throw std::invalid_argument("metric '" + std::string(name) +
+                                "' re-registered as a different kind");
+  }
+  if (it->second.timing != timing) {
+    throw std::invalid_argument("metric '" + std::string(name) +
+                                "' re-registered with a different timing "
+                                "flag");
+  }
+  return &it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, bool timing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Slot* slot = FindSlot(name, Kind::kCounter, timing)) {
+    return counters_[slot->index];
+  }
+  const std::size_t index = counters_.size();
+  counters_.emplace_back();
+  const auto [it, inserted] =
+      slots_.emplace(std::string(name), Slot{Kind::kCounter, timing, index});
+  counter_names_.push_back(&it->first);
+  return counters_[index];
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, bool timing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Slot* slot = FindSlot(name, Kind::kGauge, timing)) {
+    return gauges_[slot->index];
+  }
+  const std::size_t index = gauges_.size();
+  gauges_.emplace_back();
+  const auto [it, inserted] =
+      slots_.emplace(std::string(name), Slot{Kind::kGauge, timing, index});
+  gauge_names_.push_back(&it->first);
+  return gauges_[index];
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds,
+                                         bool timing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Slot* slot = FindSlot(name, Kind::kHistogram, timing)) {
+    Histogram& h = histograms_[slot->index];
+    if (h.Bounds().size() != bounds.size() ||
+        !std::equal(bounds.begin(), bounds.end(), h.Bounds().begin())) {
+      throw std::invalid_argument("histogram '" + std::string(name) +
+                                  "' re-registered with different bounds");
+    }
+    return h;
+  }
+  const std::size_t index = histograms_.size();
+  histograms_.emplace_back(bounds);
+  const auto [it, inserted] = slots_.emplace(
+      std::string(name), Slot{Kind::kHistogram, timing, index});
+  histogram_names_.push_back(&it->first);
+  return histograms_[index];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  // slots_ is name-ordered, so emitting in map order yields sorted samples.
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back(
+            {name, slot.timing, counters_[slot.index].Value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back(
+            {name, slot.timing, gauges_[slot.index].Value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[slot.index];
+        HistogramSample sample;
+        sample.name = name;
+        sample.timing = slot.timing;
+        sample.bounds = h.Bounds();
+        sample.counts.resize(h.NumBuckets());
+        for (std::size_t k = 0; k < h.NumBuckets(); ++k) {
+          sample.counts[k] = h.BucketCount(k);
+        }
+        sample.underflow = h.Underflow();
+        sample.overflow = h.Overflow();
+        sample.rejected = h.Rejected();
+        snap.histograms.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+// Merge one sorted sample vector into another with kind-specific folding.
+template <typename Sample, typename Fold>
+void MergeSamples(std::vector<Sample>& into, const std::vector<Sample>& from,
+                  const Fold& fold) {
+  std::vector<Sample> merged;
+  merged.reserve(into.size() + from.size());
+  std::size_t a = 0, b = 0;
+  while (a < into.size() || b < from.size()) {
+    if (b == from.size() ||
+        (a < into.size() && into[a].name < from[b].name)) {
+      merged.push_back(std::move(into[a++]));
+    } else if (a == into.size() || from[b].name < into[a].name) {
+      merged.push_back(from[b++]);
+    } else {
+      Sample s = std::move(into[a++]);
+      fold(s, from[b++]);
+      merged.push_back(std::move(s));
+    }
+  }
+  into = std::move(merged);
+}
+
+}  // namespace
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  const auto check = [](bool ok, const std::string& name) {
+    if (!ok) {
+      throw std::invalid_argument("metrics snapshot merge conflict on '" +
+                                  name + "'");
+    }
+  };
+  MergeSamples(counters, other.counters,
+               [&](CounterSample& s, const CounterSample& o) {
+                 check(s.timing == o.timing, s.name);
+                 s.value = SaturatingAdd(s.value, o.value);
+               });
+  MergeSamples(gauges, other.gauges,
+               [&](GaugeSample& s, const GaugeSample& o) {
+                 check(s.timing == o.timing, s.name);
+                 s.value = std::max(s.value, o.value);
+               });
+  MergeSamples(histograms, other.histograms,
+               [&](HistogramSample& s, const HistogramSample& o) {
+                 check(s.timing == o.timing && s.bounds == o.bounds, s.name);
+                 for (std::size_t k = 0; k < s.counts.size(); ++k) {
+                   s.counts[k] = SaturatingAdd(s.counts[k], o.counts[k]);
+                 }
+                 s.underflow = SaturatingAdd(s.underflow, o.underflow);
+                 s.overflow = SaturatingAdd(s.overflow, o.overflow);
+                 s.rejected = SaturatingAdd(s.rejected, o.rejected);
+               });
+}
+
+std::string MetricsSnapshot::Json(bool include_timing) const {
+  std::string out;
+  out.reserve(1024);
+  AppendSection(out, *this, /*timing=*/false);
+  if (include_timing) {
+    // Splice the timing section into the same object.
+    out.pop_back();  // trailing '}'
+    out += ",\"timing\":";
+    AppendSection(out, *this, /*timing=*/true);
+    out += '}';
+  }
+  out += '\n';
+  return out;
+}
+
+std::string MetricsSnapshot::TableString() const {
+  std::string out;
+  if (!counters.empty()) {
+    util::Table table({"counter", "value", "timing"});
+    for (const CounterSample& c : counters) {
+      table.AddRow({c.name, FmtU64(c.value), c.timing ? "yes" : ""});
+    }
+    out += table.Render();
+  }
+  if (!gauges.empty()) {
+    util::Table table({"gauge", "value", "timing"});
+    for (const GaugeSample& g : gauges) {
+      table.AddRow({g.name, util::Fmt(g.value, 3), g.timing ? "yes" : ""});
+    }
+    if (!out.empty()) out += '\n';
+    out += table.Render();
+  }
+  if (!histograms.empty()) {
+    util::Table table(
+        {"histogram", "count", "underflow", "overflow", "rejected",
+         "timing"});
+    for (const HistogramSample& h : histograms) {
+      std::uint64_t count = h.underflow + h.overflow;
+      for (const std::uint64_t c : h.counts) count += c;
+      table.AddRow({h.name, FmtU64(count), FmtU64(h.underflow),
+                    FmtU64(h.overflow), FmtU64(h.rejected),
+                    h.timing ? "yes" : ""});
+    }
+    if (!out.empty()) out += '\n';
+    out += table.Render();
+  }
+  return out;
+}
+
+}  // namespace wolt::obs

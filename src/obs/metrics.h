@@ -1,0 +1,210 @@
+// Structured runtime metrics: a registry of named monotonic counters,
+// gauges, and fixed-bucket histograms with a lock-free fast path.
+//
+// Determinism contract (tested by tests/obs_golden_test.cc):
+//  * Counter/histogram updates are commutative, so any set of updates folds
+//    to the same totals regardless of thread interleaving; on top of that
+//    the sweep engine keeps one registry per task and merges the snapshots
+//    strictly in task-index order, so even order-sensitive metrics (gauges,
+//    future additions) cannot observe thread count.
+//  * Every metric carries a `timing` flag at registration. Timing-derived
+//    values (latency histograms, steal counts) are the only thread-count-
+//    dependent output and are quarantined: MetricsSnapshot::Json(false) —
+//    the "deterministic section" — omits them entirely, exactly as the
+//    sweep reporters quarantine per-task wall-clock.
+//
+// Concurrency: value updates (Counter::Add, Gauge::Set/Max,
+// Histogram::Observe) are lock-free relaxed atomics — safe from any thread,
+// cheap enough for solver inner loops. Name registration and snapshotting
+// take the registry mutex (cold paths: instrumentation resolves handles
+// once per scope, see obs/obs.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wolt::obs {
+
+// Monotonic counter. Add saturates at 2^64-1 instead of wrapping, so a
+// runaway increment can never masquerade as a small value.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    const std::uint64_t old = value_.fetch_add(n, std::memory_order_relaxed);
+    if (old + n < old) {  // wrapped: pin to the ceiling
+      value_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-value / high-watermark gauge. Merges (across sweep tasks) take the
+// maximum, which is order-independent.
+class Gauge {
+ public:
+  void Set(double x) { value_.store(x, std::memory_order_relaxed); }
+  void Max(double x) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (x > cur && !value_.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram over `bounds` (>= 2 strictly increasing finite
+// edges): bucket k counts observations in [bounds[k], bounds[k+1]).
+// Observations below the first edge land in `underflow`, at/above the last
+// edge in `overflow`; NaN is rejected (tallied separately, never counted).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double x);
+
+  const std::vector<double>& Bounds() const { return bounds_; }
+  std::size_t NumBuckets() const { return counts_.size(); }
+  std::uint64_t BucketCount(std::size_t k) const {
+    return counts_[k].load(std::memory_order_relaxed);
+  }
+  std::uint64_t Underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t Overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t Rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  // Total accepted observations (buckets + underflow + overflow).
+  std::uint64_t Count() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+// Plain-data copy of a registry's state at one instant. Mergeable (the
+// sweep engine folds per-task snapshots in task-index order) and
+// serializable with a byte-stable encoding: names sorted, integers exact,
+// doubles %.17g.
+struct CounterSample {
+  std::string name;
+  bool timing = false;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  bool timing = false;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  bool timing = false;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t rejected = 0;
+};
+
+class MetricsSnapshot {
+ public:
+  // Sorted by name (Snapshot() and Merge() maintain the invariant).
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool Empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Fold `other` in: counters add (saturating), gauges take the max,
+  // histograms add bucket-wise. Metrics unknown to *this are adopted.
+  // Throws std::invalid_argument on a shape conflict (same name, different
+  // kind/bounds/timing flag) — merging snapshots of differently-shaped
+  // registries is a programming error.
+  void Merge(const MetricsSnapshot& other);
+
+  // Deterministic JSON document:
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{"name":{"bounds":[...],"counts":[...],
+  //                          "underflow":0,"overflow":0,"rejected":0}},
+  //    "timing":{"counters":...,"gauges":...,"histograms":...}}
+  // include_timing=false omits the "timing" section entirely — that is the
+  // deterministic section the golden test asserts byte-identical across
+  // thread counts.
+  std::string Json(bool include_timing = true) const;
+  std::string DeterministicJson() const { return Json(false); }
+
+  // Human-readable summary (one util::Table per metric kind).
+  std::string TableString() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name; the returned reference is stable for the
+  // registry's lifetime (deque storage). Re-registration must agree on the
+  // timing flag (and, for histograms, the bounds) or std::invalid_argument
+  // is thrown. Names must be non-empty; one name cannot be reused across
+  // metric kinds.
+  Counter& GetCounter(std::string_view name, bool timing = false);
+  Gauge& GetGauge(std::string_view name, bool timing = false);
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> bounds,
+                          bool timing = false);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Process-wide registry for ad-hoc instrumentation outside a sweep task
+  // scope (benches install it via obs::ScopedMetrics; nothing writes to it
+  // unless a scope is active).
+  static MetricsRegistry& Default();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Slot {
+    Kind kind;
+    bool timing;
+    std::size_t index;  // into the kind's deque
+  };
+
+  // Checks name/kind/timing consistency; returns the slot if present.
+  const Slot* FindSlot(std::string_view name, Kind kind, bool timing) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot, std::less<>> slots_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<const std::string*> counter_names_;
+  std::vector<const std::string*> gauge_names_;
+  std::vector<const std::string*> histogram_names_;
+};
+
+}  // namespace wolt::obs

@@ -1,0 +1,60 @@
+#include "obs/obs.h"
+
+#if WOLT_OBS_ENABLED
+
+namespace wolt::obs {
+namespace {
+
+Histogram& LatencyHist(MetricsRegistry& r, std::string_view name) {
+  return r.GetHistogram(name, kLatencyBoundsUs, /*timing=*/true);
+}
+
+}  // namespace
+
+EvalCounters::EvalCounters(MetricsRegistry& r)
+    : evaluations(r.GetCounter("eval.evaluations")),
+      bottleneck_wifi(r.GetCounter("eval.bottleneck.wifi")),
+      bottleneck_plc(r.GetCounter("eval.bottleneck.plc")),
+      bottleneck_balanced(r.GetCounter("eval.bottleneck.balanced")),
+      bottleneck_idle(r.GetCounter("eval.bottleneck.idle")),
+      dead_backhaul(r.GetCounter("eval.dead_backhaul")),
+      maxmin_rounds(r.GetCounter("eval.maxmin_rounds")) {}
+
+SolverCounters::SolverCounters(MetricsRegistry& r)
+    : hungarian_solves(r.GetCounter("hungarian.solves")),
+      hungarian_augment_steps(r.GetCounter("hungarian.augment_steps")),
+      relocate_generated(r.GetCounter("ls.relocate.generated")),
+      relocate_pruned(r.GetCounter("ls.relocate.pruned")),
+      relocate_evaluated(r.GetCounter("ls.relocate.evaluated")),
+      relocate_accepted(r.GetCounter("ls.relocate.accepted")),
+      swap_generated(r.GetCounter("ls.swap.generated")),
+      swap_pruned(r.GetCounter("ls.swap.pruned")),
+      swap_evaluated(r.GetCounter("ls.swap.evaluated")),
+      swap_accepted(r.GetCounter("ls.swap.accepted")),
+      ls_passes(r.GetCounter("ls.passes")),
+      ls_memo_skips(r.GetCounter("ls.memo_skips")),
+      ls_inserts(r.GetCounter("ls.inserts")),
+      nlp_solves(r.GetCounter("nlp.solves")),
+      nlp_iterations(r.GetCounter("nlp.iterations")),
+      nlp_backtracks(r.GetCounter("nlp.backtracks")) {}
+
+ControllerCounters::ControllerCounters(MetricsRegistry& r)
+    : directives_sent(r.GetCounter("ctrl.directives.sent")),
+      directives_retried(r.GetCounter("ctrl.directives.retried")),
+      directives_given_up(r.GetCounter("ctrl.directives.given_up")),
+      acks(r.GetCounter("ctrl.acks")),
+      acks_stale(r.GetCounter("ctrl.acks.stale")),
+      evictions(r.GetCounter("ctrl.evictions")),
+      reopt_guard_trips(r.GetCounter("ctrl.reopt_guard_trips")),
+      policy_runs(r.GetCounter("ctrl.policy_runs")) {}
+
+SweepCounters::SweepCounters(MetricsRegistry& r)
+    : tasks_completed(r.GetCounter("sweep.tasks.completed")),
+      tasks_failed(r.GetCounter("sweep.tasks.failed")),
+      task_latency_us(LatencyHist(r, "sweep.task_latency_us")),
+      phase_generate_us(LatencyHist(r, "sweep.phase.generate_us")),
+      phase_solve_us(LatencyHist(r, "sweep.phase.solve_us")) {}
+
+}  // namespace wolt::obs
+
+#endif  // WOLT_OBS_ENABLED

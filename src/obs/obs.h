@@ -1,0 +1,195 @@
+// Instrumentation hook layer: how the hot code paths (model/Evaluator, the
+// assign/ solvers, core/controller, sweep/Engine) report into a
+// MetricsRegistry without paying registry lookups per event.
+//
+// Usage at an instrumentation site:
+//
+//   if (obs::MetricsScope* s = obs::CurrentScope()) {
+//     s->solver.swap_evaluated.Add(1);
+//   }
+//
+// A MetricsScope pre-resolves every hook counter against one registry (a
+// handful of mutex-guarded lookups, paid once per ScopedMetrics install —
+// e.g. once per sweep task); the hot path is then one thread-local load,
+// one branch, and a relaxed atomic add. With no scope installed the hooks
+// cost the load+branch only, so un-instrumented runs (every existing test
+// and bench) are unaffected.
+//
+// Compile-time kill switch: building with -DWOLT_OBS=OFF (CMake) defines
+// WOLT_OBS_ENABLED=0, CurrentScope() becomes a constexpr nullptr, and every
+// hook folds to dead code — zero overhead, verified by the bench guard in
+// bench_scaling_runtime.cc. The obs library itself (metrics, tracer) always
+// builds; only the hooks vanish.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+#ifndef WOLT_OBS_ENABLED
+#define WOLT_OBS_ENABLED 1
+#endif
+
+namespace wolt::obs {
+
+// Shared bucket edges for timing histograms: latency decades, 1µs..10s.
+// Everything that registers a *_us histogram uses these bounds so per-task
+// snapshots always merge cleanly.
+inline constexpr double kLatencyBoundsUs[] = {1.0, 10.0, 100.0, 1000.0,
+                                              1e4, 1e5,  1e6,   1e7};
+
+#if WOLT_OBS_ENABLED
+
+// --- Hook counter bundles, resolved once per scope ----------------------
+
+// model/Evaluator: work volume and bottleneck attribution.
+struct EvalCounters {
+  explicit EvalCounters(MetricsRegistry& r);
+  Counter& evaluations;          // full Evaluate() calls
+  Counter& bottleneck_wifi;      // per-extender tallies per evaluation
+  Counter& bottleneck_plc;
+  Counter& bottleneck_balanced;
+  Counter& bottleneck_idle;
+  Counter& dead_backhaul;        // extenders skipped for a dead PLC link
+  Counter& maxmin_rounds;        // progressive-filling rebalance iterations
+};
+
+// assign/ solvers: Hungarian, Phase-II local search, NLP.
+struct SolverCounters {
+  explicit SolverCounters(MetricsRegistry& r);
+  Counter& hungarian_solves;
+  Counter& hungarian_augment_steps;
+
+  // Candidate accounting for the relocation and swap stages. Invariant
+  // (asserted per-instance by tests/solver_differential_test.cc): every
+  // generated candidate is either pruned or evaluated, and only evaluated
+  // candidates can be accepted.
+  Counter& relocate_generated;
+  Counter& relocate_pruned;
+  Counter& relocate_evaluated;
+  Counter& relocate_accepted;
+  Counter& swap_generated;
+  Counter& swap_pruned;
+  Counter& swap_evaluated;
+  Counter& swap_accepted;
+  Counter& ls_passes;
+  Counter& ls_memo_skips;   // whole user scans skipped by mutation memos
+  Counter& ls_inserts;      // greedy-insertion placements
+
+  Counter& nlp_solves;
+  Counter& nlp_iterations;  // accepted ascent steps
+  Counter& nlp_backtracks;  // rejected trial steps
+};
+
+// core/CentralController: control-plane traffic and safety valves.
+struct ControllerCounters {
+  explicit ControllerCounters(MetricsRegistry& r);
+  Counter& directives_sent;      // first transmissions
+  Counter& directives_retried;   // retransmissions from CollectRetries
+  Counter& directives_given_up;
+  Counter& acks;                 // accepted (pending directive cleared)
+  Counter& acks_stale;           // superseded/duplicate acks ignored
+  Counter& evictions;            // stale users reaped
+  Counter& reopt_guard_trips;    // do-no-harm fallback taken
+  Counter& policy_runs;
+};
+
+// sweep/Engine: task accounting plus per-phase latency histograms. The
+// histograms are timing-flagged — wall-clock is the one thread-count-
+// dependent signal a sweep produces, and the deterministic snapshot section
+// must exclude it (tests/obs_golden_test.cc).
+struct SweepCounters {
+  explicit SweepCounters(MetricsRegistry& r);
+  Counter& tasks_completed;
+  Counter& tasks_failed;
+  Histogram& task_latency_us;       // timing
+  Histogram& phase_generate_us;     // timing: scenario generation
+  Histogram& phase_solve_us;        // timing: associate + evaluate
+};
+
+// Every hook bundle bound to one registry.
+struct MetricsScope {
+  explicit MetricsScope(MetricsRegistry& r)
+      : registry(r), eval(r), solver(r), ctrl(r), sweep(r) {}
+  MetricsRegistry& registry;
+  EvalCounters eval;
+  SolverCounters solver;
+  ControllerCounters ctrl;
+  SweepCounters sweep;
+};
+
+namespace internal {
+inline thread_local MetricsScope* tls_scope = nullptr;
+}  // namespace internal
+
+// The calling thread's active scope, or nullptr when instrumentation is
+// off. Hot-path contract: one thread-local load.
+inline MetricsScope* CurrentScope() { return internal::tls_scope; }
+
+// RAII install of a scope on the calling thread. Nests: the previous scope
+// is restored on destruction (an inner ScopedMetrics shadows, not merges).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry& registry)
+      : scope_(registry), prev_(internal::tls_scope) {
+    internal::tls_scope = &scope_;
+  }
+  ~ScopedMetrics() { internal::tls_scope = prev_; }
+
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+  MetricsScope& scope() { return scope_; }
+
+ private:
+  MetricsScope scope_;
+  MetricsScope* prev_;
+};
+
+#else  // WOLT_OBS_ENABLED == 0: hooks compile to nothing.
+
+struct NoopCounter {
+  void Add(std::uint64_t = 1) const {}
+};
+struct NoopHistogram {
+  void Observe(double) const {}
+};
+
+struct EvalCounters {
+  NoopCounter evaluations, bottleneck_wifi, bottleneck_plc,
+      bottleneck_balanced, bottleneck_idle, dead_backhaul, maxmin_rounds;
+};
+struct SolverCounters {
+  NoopCounter hungarian_solves, hungarian_augment_steps, relocate_generated,
+      relocate_pruned, relocate_evaluated, relocate_accepted, swap_generated,
+      swap_pruned, swap_evaluated, swap_accepted, ls_passes, ls_memo_skips,
+      ls_inserts, nlp_solves, nlp_iterations, nlp_backtracks;
+};
+struct ControllerCounters {
+  NoopCounter directives_sent, directives_retried, directives_given_up,
+      acks, acks_stale, evictions, reopt_guard_trips, policy_runs;
+};
+struct SweepCounters {
+  NoopCounter tasks_completed, tasks_failed;
+  NoopHistogram task_latency_us, phase_generate_us, phase_solve_us;
+};
+
+struct MetricsScope {
+  EvalCounters eval;
+  SolverCounters solver;
+  ControllerCounters ctrl;
+  SweepCounters sweep;
+};
+
+constexpr MetricsScope* CurrentScope() { return nullptr; }
+
+// Accepts and ignores a registry so call sites compile unchanged; the
+// registry stays empty (snapshots of an un-hooked run report nothing).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry&) {}
+};
+
+#endif  // WOLT_OBS_ENABLED
+
+}  // namespace wolt::obs

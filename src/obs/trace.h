@@ -1,0 +1,99 @@
+// Scoped tracing: RAII spans collected into a Tracer and exported as Chrome
+// trace_event JSON (load into chrome://tracing or Perfetto) or as a
+// plain-text per-span summary table.
+//
+// Timing is wall-clock and therefore never deterministic; traces are a
+// profiling artefact, not a comparison artefact. The golden/differential
+// tests validate only the *shape* of the output (well-formed JSON, properly
+// nested spans), never the numbers.
+//
+// Cost model: constructing a ScopedTimer against a null tracer reads no
+// clock and touches no shared state — benches leave tracing off and pay a
+// branch. Event capture takes the tracer mutex (spans mark phase/task
+// boundaries, not inner-loop iterations).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wolt::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   // since tracer construction
+  double dur_us = 0.0;
+  int tid = 0;
+};
+
+// Small dense id for the calling thread (0, 1, 2, ... in first-use order) —
+// readable lane labels instead of opaque native handles.
+int CurrentTraceTid();
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since construction (the trace clock).
+  double NowUs() const;
+
+  void Record(std::string_view name, std::string_view category,
+              double ts_us, double dur_us, int tid);
+
+  std::size_t NumEvents() const;
+  std::vector<TraceEvent> Events() const;
+
+  // {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":1,
+  //                  "tid":...},...]} — complete ("X") events only.
+  std::string ChromeTraceJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+  // Per-span-name aggregate (count, total/mean/min/max µs) via util::Table.
+  std::string SummaryTableString() const;
+
+  // Process-wide tracer the instrumentation hooks emit to; null (the
+  // default) disables span capture globally. The caller keeps ownership and
+  // must SetGlobal(nullptr) before destroying the tracer.
+  static Tracer* Global();
+  static void SetGlobal(Tracer* tracer);
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span: records [construction, destruction) into `tracer` and, when
+// `latency` is given, Observes the duration (µs) into that histogram. With
+// both sinks null the timer is fully inert — no clock reads.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name,
+                       std::string_view category = "wolt",
+                       Tracer* tracer = Tracer::Global(),
+                       Histogram* latency = nullptr);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  bool active() const { return tracer_ != nullptr || latency_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  Histogram* latency_;
+  std::string name_;
+  std::string category_;
+  std::chrono::steady_clock::time_point start_{};
+  double start_ts_us_ = 0.0;
+};
+
+}  // namespace wolt::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fault/health.h"
+#include "obs/trace.h"
 #include "sim/des.h"
 #include "util/stats.h"
 
@@ -109,6 +110,9 @@ std::vector<EpochStats> RunDynamicSimulation(
   std::vector<EpochStats> history;
   fault::HealthStats last_health;
   for (int epoch = 1; epoch <= params.epochs; ++epoch) {
+    // One span per online epoch: drives the fig6b trace recipe
+    // (EXPERIMENTS.md). Inert unless a global tracer is installed.
+    obs::ScopedTimer epoch_span("dynamics.epoch", "dynamics");
     arrivals_this_epoch = 0;
     departures_this_epoch = 0;
     moves_this_epoch = 0;
@@ -130,6 +134,7 @@ std::vector<EpochStats> RunDynamicSimulation(
     }
 
     for (std::size_t p = 0; p < policies.size(); ++p) {
+      obs::ScopedTimer policy_span("dynamics.reassociate", "dynamics");
       const model::Assignment before = assignments[p];
       assignments[p] = policies[p]->Associate(net, before);
       const model::EvalResult eval = evaluator.Evaluate(net, assignments[p]);

