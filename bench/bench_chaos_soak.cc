@@ -17,6 +17,7 @@
 // Scenarios run on the work-stealing thread pool; each is seeded from its
 // own index, so the results — and every number below — are identical for
 // any thread count.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,6 +32,10 @@
 #include "util/rng.h"
 #include "util/table.h"
 
+namespace {
+std::atomic<bool> g_cancel{false};
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace wolt;
   int num_scenarios = 100;
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
     const int t = std::atoi(argv[2]);
     if (t > 0) threads = t;
   }
+  bench::CancelOnSignal::Install(&g_cancel);
 
   bench::PrintHeader(
       "Chaos soak — control-plane resilience under mixed faults",
@@ -52,7 +58,16 @@ int main(int argc, char** argv) {
   const fault::ChaosParams params = fault::DefaultChaosParams();
   const auto results =
       fault::RunChaosSoakParallel(params, /*base_seed=*/1, num_scenarios,
-                                  threads);
+                                  threads, &g_cancel);
+  if (bench::CancelOnSignal::Raised()) {
+    std::fprintf(stderr,
+                 "\ninterrupted (signal %d): soak cancelled after draining "
+                 "in-flight scenarios; rerun to get full results (scenarios "
+                 "are cheap and purely seed-derived, so there is nothing to "
+                 "resume)\n",
+                 bench::CancelOnSignal::SignalNumber());
+    return bench::CancelOnSignal::ExitCode();
+  }
 
   int completed = 0, ids_ok = 0, match_ok = 0, margin_ok = 0, quiesced = 0;
   double worst_margin = 0.0;

@@ -9,8 +9,14 @@
 // every number printed and every CSV byte is identical for any N (the CI
 // determinism smoke cmp's the CSV of a 1-thread and a 4-thread run).
 //
+// Crash safety: --journal=PATH checkpoints every completed trial to a
+// write-ahead journal; SIGINT/SIGTERM (or a crash) mid-sweep leaves a
+// resumable journal, and a rerun with --resume=PATH restores the finished
+// trials and produces byte-identical output to an uninterrupted run.
+//
 //   $ ./bench_fig6a_throughput_cdf [--trials=100] [--threads=1]
 //                                  [--seed=2020] [--csv=fig6a_cdf.csv]
+//                                  [--journal=sweep.wal] [--resume=sweep.wal]
 //                                  [--trace=out.json] [--metrics=out.json]
 #include <cstdio>
 #include <vector>
@@ -23,14 +29,25 @@
 #include "util/stats.h"
 #include "util/table.h"
 
+namespace {
+// Signal-handler bridge: SweepEngine::Cancel is a relaxed atomic store, so
+// calling it through this file-scope pointer is async-signal-safe.
+wolt::sweep::SweepEngine* g_engine = nullptr;
+void CancelSweep() {
+  if (g_engine) g_engine->Cancel();
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace wolt;
   bench::ObsSession obs(argc, argv);
-  const bench::Flags flags(
-      argc, argv, {"trials", "threads", "seed", "csv", "trace", "metrics"});
+  const bench::Flags flags(argc, argv,
+                           {"trials", "threads", "seed", "csv", "journal",
+                            "resume", "trace", "metrics"});
   const int trials = static_cast<int>(flags.Int("trials", 100));
   const int threads = static_cast<int>(flags.Int("threads", 1));
   const std::string csv_path = flags.Str("csv", "fig6a_cdf.csv");
+  const std::string resume_path = flags.Str("resume", "");
 
   char desc[160];
   std::snprintf(desc, sizeof(desc),
@@ -53,8 +70,38 @@ int main(int argc, char** argv) {
   sweep::SweepOptions options;
   options.threads = threads;
   options.collect_metrics = obs.metrics_enabled();
+  if (!resume_path.empty()) {
+    options.journal_path = resume_path;
+    options.resume = true;
+  } else {
+    options.journal_path = flags.Str("journal", "");
+  }
   sweep::SweepEngine engine(options);
+  g_engine = &engine;
+  bench::CancelOnSignal::Install(/*cancel=*/nullptr, &CancelSweep);
   const sweep::SweepResult sweep_result = engine.Run(grid);
+  if (sweep_result.resumed_tasks > 0) {
+    std::printf("resumed %zu already-journaled task(s) from %s\n",
+                sweep_result.resumed_tasks, resume_path.c_str());
+  }
+  if (sweep_result.cancelled) {
+    // The engine has already flushed and closed the journal with every
+    // finished task; nothing partial was emitted.
+    if (!options.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "\ninterrupted (signal %d): sweep cancelled; resumable "
+                   "from %s via --resume=%s\n",
+                   bench::CancelOnSignal::SignalNumber(),
+                   options.journal_path.c_str(), options.journal_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "\ninterrupted (signal %d): sweep cancelled; rerun with "
+                   "--journal=PATH to make interrupted runs resumable\n",
+                   bench::CancelOnSignal::SignalNumber());
+    }
+    return bench::CancelOnSignal::Raised() ? bench::CancelOnSignal::ExitCode()
+                                           : 1;
+  }
   if (obs.metrics_enabled()) obs.Merge(sweep_result.metrics);
   const auto results = sweep::ToPolicyTrials(grid, sweep_result);
 
@@ -99,18 +146,17 @@ int main(int argc, char** argv) {
 
   util::CsvWriter csv(csv_path, {"policy", "aggregate_mbps",
                                  "cumulative_probability"});
-  if (csv.ok()) {
-    for (const auto& pr : results) {
-      for (const auto& point : util::EmpiricalCdf(pr.Aggregates())) {
-        csv.AddRow({pr.policy, util::Fmt(point.value, 6),
-                    util::Fmt(point.cumulative_probability, 4)});
-      }
+  for (const auto& pr : results) {
+    for (const auto& point : util::EmpiricalCdf(pr.Aggregates())) {
+      csv.AddRow({pr.policy, util::Fmt(point.value, 6),
+                  util::Fmt(point.cumulative_probability, 4)});
     }
-    std::printf("raw CDF series written to %s\n", csv_path.c_str());
-  } else {
+  }
+  if (!csv.ok() || !csv.Commit()) {
     std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
     return 1;
   }
+  std::printf("raw CDF series written to %s\n", csv_path.c_str());
   bench::PrintFooter();
   return 0;
 }

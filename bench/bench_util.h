@@ -4,10 +4,11 @@
 // optionally dumps raw series as CSV next to the binary.
 #pragma once
 
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -19,6 +20,7 @@
 #include "sim/runner.h"
 #include "sim/scenario.h"
 #include "testbed/lab.h"
+#include "util/fileio.h"
 #include "util/table.h"
 
 namespace wolt::bench {
@@ -107,8 +109,7 @@ class ObsSession {
     if (!metrics_path_.empty()) {
       obs::MetricsSnapshot snap = registry_.Snapshot();
       snap.Merge(extra_);
-      std::ofstream out(metrics_path_, std::ios::binary);
-      out << snap.Json();
+      util::WriteFileAtomic(metrics_path_, snap.Json());
       std::printf("\nmetrics -> %s\n%s", metrics_path_.c_str(),
                   snap.TableString().c_str());
     }
@@ -155,6 +156,57 @@ class ObsSession {
   obs::MetricsSnapshot extra_;
   std::optional<obs::Tracer> tracer_;
   std::optional<obs::ScopedMetrics> scope_;
+};
+
+// SIGINT/SIGTERM -> cooperative cancellation for long-running bench CLIs.
+// Install() registers async-signal-safe handlers that set a lock-free flag
+// and flip the provided cancel token; a sweep/soak observing the token
+// drains its in-flight tasks, flushes its journal, and returns with
+// cancelled=true, after which the bench should report resumability and
+// exit with code 128+signo (the shell convention for death-by-signal).
+class CancelOnSignal {
+ public:
+  // `cancel` must outlive the process's last signal (file-scope or
+  // main()-scope object); null is allowed when only `hook` is used. `hook`
+  // runs inside the handler, so it must be async-signal-safe — a relaxed
+  // atomic store (e.g. SweepEngine::Cancel through a file-scope pointer)
+  // qualifies. Re-installation replaces both. Capturing lambdas do not
+  // convert to the hook type by design: captures would not be signal-safe.
+  static void Install(std::atomic<bool>* cancel, void (*hook)() = nullptr) {
+    Token() = cancel;
+    Hook() = hook;
+    std::signal(SIGINT, &CancelOnSignal::Handle);
+    std::signal(SIGTERM, &CancelOnSignal::Handle);
+  }
+
+  static bool Raised() {
+    return Signo().load(std::memory_order_relaxed) != 0;
+  }
+  static int SignalNumber() {
+    return Signo().load(std::memory_order_relaxed);
+  }
+  static int ExitCode() { return 128 + SignalNumber(); }
+
+ private:
+  static void Handle(int sig) {
+    Signo().store(sig, std::memory_order_relaxed);
+    if (std::atomic<bool>* c = Token()) {
+      c->store(true, std::memory_order_relaxed);
+    }
+    if (void (*h)() = Hook()) h();
+  }
+  static std::atomic<int>& Signo() {
+    static std::atomic<int> signo{0};
+    return signo;
+  }
+  static std::atomic<bool>*& Token() {
+    static std::atomic<bool>* token = nullptr;
+    return token;
+  }
+  static auto Hook() -> void (*&)() {
+    static void (*hook)() = nullptr;
+    return hook;
+  }
 };
 
 inline void PrintHeader(const std::string& artefact,

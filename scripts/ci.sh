@@ -118,6 +118,24 @@ echo "==> determinism smoke: 4-thread sweep CSV == 1-thread sweep CSV"
 cmp /tmp/wolt_sweep_t1.csv /tmp/wolt_sweep_t4.csv
 rm -f /tmp/wolt_sweep_t1.csv /tmp/wolt_sweep_t4.csv
 
+echo "==> crash-resume smoke: SIGKILL a journaled sweep, resume, compare CSV"
+# 500 trials run ~1s, so the kill at 0.2s lands mid-sweep; if the sweep ever
+# wins the race anyway, the resume is a no-op and the property still holds.
+# The resumed CSV must match an uninterrupted golden byte-for-byte.
+rm -f /tmp/wolt_resume.wal /tmp/wolt_resume.csv /tmp/wolt_resume_golden.csv
+./build/bench/bench_fig6a_throughput_cdf --trials=500 --threads=4 \
+    --csv=/tmp/wolt_resume_golden.csv >/dev/null
+./build/bench/bench_fig6a_throughput_cdf --trials=500 --threads=4 \
+    --journal=/tmp/wolt_resume.wal --csv=/tmp/wolt_resume.csv >/dev/null &
+pid=$!
+sleep 0.2
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+./build/bench/bench_fig6a_throughput_cdf --trials=500 --threads=4 \
+    --resume=/tmp/wolt_resume.wal --csv=/tmp/wolt_resume.csv >/dev/null
+cmp /tmp/wolt_resume.csv /tmp/wolt_resume_golden.csv
+rm -f /tmp/wolt_resume.wal /tmp/wolt_resume.csv /tmp/wolt_resume_golden.csv
+
 echo "==> chaos smoke: 10-seed soak with invariant gate (4 threads)"
 ./build/bench/bench_chaos_soak 10 4
 

@@ -14,7 +14,8 @@ constexpr double kBigCost = 1e15;
 
 // Shortest-augmenting-path Hungarian on an n x m cost matrix (n <= m),
 // 1-indexed internally. Returns row assigned to each column in p.
-HungarianResult SolveMinImpl(const Matrix& costs) {
+HungarianResult SolveMinImpl(const Matrix& costs,
+                             const util::Deadline* deadline) {
   const std::size_t n = costs.rows();
   const std::size_t m = costs.cols();
 
@@ -26,7 +27,15 @@ HungarianResult SolveMinImpl(const Matrix& costs) {
   std::vector<bool> used(m + 1);
 
   std::uint64_t augment_steps = 0;
+  bool deadline_hit = false;
   for (std::size_t i = 1; i <= n; ++i) {
+    // One row augmentation is the solver's bounded unit of work. Stopping
+    // before row i leaves rows < i matched to distinct columns — a valid
+    // best-so-far partial assignment.
+    if (util::DeadlineExpired(deadline)) {
+      deadline_hit = true;
+      break;
+    }
     p[0] = i;
     std::size_t j0 = 0;
     minv.assign(m + 1, std::numeric_limits<double>::max());
@@ -73,6 +82,7 @@ HungarianResult SolveMinImpl(const Matrix& costs) {
   }
 
   HungarianResult result;
+  result.deadline_hit = deadline_hit;
   result.col_of_row.assign(n, -1);
   for (std::size_t j = 1; j <= m; ++j) {
     if (p[j] == 0) continue;
@@ -95,17 +105,19 @@ void CheckShape(const Matrix& matrix) {
 
 }  // namespace
 
-HungarianResult SolveAssignmentMin(const Matrix& costs) {
+HungarianResult SolveAssignmentMin(const Matrix& costs,
+                                   const util::Deadline* deadline) {
   CheckShape(costs);
   Matrix bounded = costs;
   double* data = bounded.data();
   for (std::size_t k = 0; k < bounded.size(); ++k) {
     if (std::isinf(data[k]) || data[k] > kBigCost) data[k] = kBigCost;
   }
-  return SolveMinImpl(bounded);
+  return SolveMinImpl(bounded, deadline);
 }
 
-HungarianResult SolveAssignmentMax(const Matrix& utilities) {
+HungarianResult SolveAssignmentMax(const Matrix& utilities,
+                                   const util::Deadline* deadline) {
   CheckShape(utilities);
   // Negate (and clamp forbidden entries) to reuse the min solver.
   Matrix costs(utilities.rows(), utilities.cols(), 0.0);
@@ -114,10 +126,12 @@ HungarianResult SolveAssignmentMax(const Matrix& utilities) {
     costs.data()[k] =
         (util == kForbidden || std::isinf(util)) ? kBigCost : -util;
   }
-  HungarianResult result = SolveMinImpl(costs);
-  // Recompute total in utility space (excluding infeasible picks).
+  HungarianResult result = SolveMinImpl(costs, deadline);
+  // Recompute total in utility space (excluding infeasible picks; rows left
+  // unmatched by a deadline-truncated solve carry col_of_row == -1).
   result.total_utility = 0.0;
   for (std::size_t r = 0; r < utilities.rows(); ++r) {
+    if (result.col_of_row[r] < 0) continue;
     const double util =
         utilities(r, static_cast<std::size_t>(result.col_of_row[r]));
     if (util != kForbidden) result.total_utility += util;

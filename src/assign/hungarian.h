@@ -15,6 +15,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace wolt::assign {
 
 // Dense row-major matrix. Replaces the old vector<vector<double>>: one
@@ -60,23 +62,33 @@ class Matrix {
 };
 
 struct HungarianResult {
-  // col_of_row[r] = column assigned to row r (always a valid index).
+  // col_of_row[r] = column assigned to row r, or -1 when row r is
+  // unmatched (only possible after a deadline-truncated solve).
   std::vector<int> col_of_row;
   double total_utility = 0.0;
   // False iff some row could only be matched through a forbidden pairing
   // (its col_of_row entry is then not meaningful for that row).
   bool feasible = true;
+  // True iff the solve stopped early on deadline expiry. The rows matched
+  // before the stop form a valid partial assignment (distinct columns);
+  // every later row has col_of_row == -1.
+  bool deadline_hit = false;
 };
 
 inline constexpr double kForbidden =
     -std::numeric_limits<double>::infinity();
 
 // Maximize total utility. Requires a non-empty rectangular matrix with
-// rows <= cols; throws std::invalid_argument otherwise.
-HungarianResult SolveAssignmentMax(const Matrix& utilities);
+// rows <= cols; throws std::invalid_argument otherwise. `deadline` (may be
+// null = unlimited) is polled once per row augmentation: the rows matched
+// so far are kept and the rest left unmatched, so the result is always a
+// consistent best-so-far partial matching.
+HungarianResult SolveAssignmentMax(const Matrix& utilities,
+                                   const util::Deadline* deadline = nullptr);
 
 // Minimization twin (used by tests to cross-check against known instances).
 // Forbidden pairs are +infinity costs.
-HungarianResult SolveAssignmentMin(const Matrix& costs);
+HungarianResult SolveAssignmentMin(const Matrix& costs,
+                                   const util::Deadline* deadline = nullptr);
 
 }  // namespace wolt::assign

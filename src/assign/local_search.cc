@@ -144,10 +144,14 @@ struct WifiState {
 };
 
 void GreedyInsertWifi(const SearchContext& ctx, model::Assignment& assign,
-                      const std::vector<std::size_t>& users) {
+                      const std::vector<std::size_t>& users,
+                      const util::Deadline* deadline) {
   WifiState ws(ctx, assign);
   std::uint64_t inserts = 0;
   for (std::size_t user : users) {
+    // On expiry the remaining users simply stay unassigned — the partial
+    // assignment built so far is valid as-is.
+    if (util::DeadlineExpired(deadline)) break;
     if (assign.IsAssigned(user)) continue;
     const double* inv = ctx.InvRow(user);
     const std::uint8_t* use = ctx.UsableRow(user);
@@ -258,6 +262,12 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
     ++passes_run;
     double pass_gain = 0.0;
     for (std::size_t a = 0; a < m; ++a) {
+      // One user's target scan is the bounded unit of work; committed moves
+      // are already in `assign`, so stopping here is always valid.
+      if (util::DeadlineExpired(options.deadline)) {
+        stats.deadline_hit = true;
+        break;
+      }
       const std::size_t user = movable[a];
       const int from = ext_of[user];
       if (from == model::Assignment::kUnassigned) continue;
@@ -309,7 +319,7 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
       }
     }
 
-    if (options.swap_moves) {
+    if (options.swap_moves && !stats.deadline_hit) {
       // Pairwise exchange: two users on different extenders trade places
       // (loads are unchanged, so B_j caps stay satisfied).
       if (cells_mut != ws.mutations) {
@@ -321,6 +331,10 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
         }
       }
       for (std::size_t a = 0; a < m; ++a) {
+        if (util::DeadlineExpired(options.deadline)) {
+          stats.deadline_hit = true;
+          break;
+        }
         const std::size_t u1 = movable[a];
         const int e1 = ext_of[u1];
         if (e1 == model::Assignment::kUnassigned) continue;
@@ -435,6 +449,7 @@ LocalSearchStats RelocateWifi(const SearchContext& ctx,
         if (ws.mutations == mut0) swap_scanned[a] = mut0;
       }
     }
+    if (stats.deadline_hit) break;
     if (pass_gain <= options.improvement_tolerance) break;
   }
 
@@ -480,6 +495,7 @@ void GreedyInsertInc(const SearchContext& ctx, const model::Network& net,
       /*track_log_utility=*/options.objective == Phase2Objective::kProportionalFair);
   std::uint64_t inserts = 0;
   for (std::size_t user : users) {
+    if (util::DeadlineExpired(options.deadline)) break;
     if (assign.IsAssigned(user)) continue;
     int best_ext = -1;
     double best_value = 0.0;
@@ -522,6 +538,10 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
     ++passes_run;
     double pass_gain = 0.0;
     for (std::size_t user : movable) {
+      if (util::DeadlineExpired(options.deadline)) {
+        stats.deadline_hit = true;
+        break;
+      }
       const int from = assign.ExtenderOf(user);
       if (from == model::Assignment::kUnassigned) continue;
       const std::size_t from_ext = static_cast<std::size_t>(from);
@@ -553,8 +573,12 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
       }
     }
 
-    if (options.swap_moves) {
+    if (options.swap_moves && !stats.deadline_hit) {
       for (std::size_t a = 0; a < movable.size(); ++a) {
+        if (util::DeadlineExpired(options.deadline)) {
+          stats.deadline_hit = true;
+          break;
+        }
         const std::size_t u1 = movable[a];
         const int e1 = assign.ExtenderOf(u1);
         if (e1 == model::Assignment::kUnassigned) continue;
@@ -586,6 +610,7 @@ LocalSearchStats RelocateInc(const SearchContext& ctx,
         }
       }
     }
+    if (stats.deadline_hit) break;
     if (pass_gain <= options.improvement_tolerance) break;
   }
 
@@ -643,7 +668,7 @@ void GreedyInsert(const model::Network& net, model::Assignment& assign,
                   const LocalSearchOptions& options) {
   const SearchContext ctx(net, options);
   if (options.objective == Phase2Objective::kWifiSum) {
-    GreedyInsertWifi(ctx, assign, users);
+    GreedyInsertWifi(ctx, assign, users, options.deadline);
   } else {
     GreedyInsertInc(ctx, net, assign, users, options);
   }
@@ -699,9 +724,13 @@ double SolvePhase2MultiStart(const model::Network& net,
   // only reproduce an earlier run's result and is skipped outright.
   std::vector<std::vector<int>> seen_starts;
   for (const auto& order : orders) {
+    // Keep the first start even under an expired deadline (its insert and
+    // search truncate internally, still yielding a complete, valid
+    // assignment); skip the extra starts once a result exists.
+    if (!first && util::DeadlineExpired(options.deadline)) break;
     model::Assignment candidate = base;
     if (wifi) {
-      GreedyInsertWifi(ctx, candidate, order);
+      GreedyInsertWifi(ctx, candidate, order, options.deadline);
     } else {
       GreedyInsertInc(ctx, net, candidate, order, options);
     }

@@ -24,6 +24,7 @@
 #include "model/assignment.h"
 #include "model/evaluator.h"
 #include "model/network.h"
+#include "util/deadline.h"
 
 namespace wolt::assign {
 
@@ -56,6 +57,11 @@ struct LocalSearchOptions {
   // NumExtenders(), and only extenders with a non-zero entry are placement
   // targets. The span must stay valid for the duration of the call.
   std::span<const std::uint8_t> extender_mask;
+  // Optional cooperative wall-clock budget (null = unlimited), polled once
+  // per user scan / insertion. On expiry the search stops and returns its
+  // best-so-far assignment — always valid, possibly not locally optimal.
+  // An unexpired deadline never alters the result.
+  const util::Deadline* deadline = nullptr;
 };
 
 // Objective value of a (possibly partial) assignment under the selected
@@ -75,6 +81,8 @@ struct LocalSearchStats {
   std::size_t moves = 0;
   double initial_value = 0.0;
   double final_value = 0.0;
+  // True iff the search stopped early because options.deadline expired.
+  bool deadline_hit = false;
 };
 
 // Repeatedly relocate single users from `movable` to better extenders until

@@ -157,6 +157,13 @@ NlpResult SolvePhase2Nlp(const model::Network& net,
   std::uint64_t backtracks = 0;
   for (result.iterations = 0; result.iterations < options.max_iterations;
        ++result.iterations) {
+    // One gradient step (with its backtracking line search) is the bounded
+    // unit of work; the iterate is always a feasible point, so stopping
+    // here still rounds to a valid assignment below.
+    if (util::DeadlineExpired(options.deadline)) {
+      result.deadline_hit = true;
+      break;
+    }
     prob.Gradient(x, grad);
 
     bool accepted = false;
@@ -204,6 +211,10 @@ NlpResult SolvePhase2Nlp(const model::Network& net,
   // at a vertex, so coordinate-wise vertex moves only improve F and drive
   // the point integral. Iterate to a fixed point.
   for (std::size_t pass = 0; pass < 100; ++pass) {
+    if (util::DeadlineExpired(options.deadline)) {
+      result.deadline_hit = true;
+      break;
+    }
     bool changed = false;
     for (std::size_t k = 0; k < movable.size(); ++k) {
       std::size_t best_j = 0;

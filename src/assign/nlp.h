@@ -19,6 +19,7 @@
 
 #include "model/assignment.h"
 #include "model/network.h"
+#include "util/deadline.h"
 
 namespace wolt::assign {
 
@@ -31,6 +32,11 @@ struct NlpOptions {
   // Backtracking: shrink the step by this factor while it fails to improve.
   double backtrack_factor = 0.5;
   std::size_t max_backtracks = 30;
+  // Optional cooperative wall-clock budget (null = unlimited), polled once
+  // per ascent iteration and per vertex-polish pass. On expiry the solve
+  // stops and rounds its best-so-far point — the result is always a
+  // complete, valid assignment.
+  const util::Deadline* deadline = nullptr;
 };
 
 struct NlpResult {
@@ -43,6 +49,8 @@ struct NlpResult {
   double max_fractionality = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  // True iff the solve stopped early because options.deadline expired.
+  bool deadline_hit = false;
   // The raw converged point: row per movable user, column per extender.
   std::vector<std::vector<double>> fractional;
 };

@@ -7,8 +7,12 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/greedy.h"
+#include "core/wolt.h"
 #include "obs/obs.h"
+#include "util/deadline.h"
 
 namespace wolt::core {
 namespace {
@@ -133,6 +137,16 @@ const char* ToString(HandleStatus s) {
   return "?";
 }
 
+const char* ToString(ReoptTier t) {
+  switch (t) {
+    case ReoptTier::kFull: return "full";
+    case ReoptTier::kHungarianOnly: return "hungarian-only";
+    case ReoptTier::kGreedy: return "greedy";
+    case ReoptTier::kHoldLastGood: return "hold-last-good";
+  }
+  return "?";
+}
+
 std::string Encode(const ScanReport& msg) {
   std::string out = "SCAN user=" + std::to_string(msg.user_id) +
                     " rates=" + JoinDoubles(msg.rates_mbps);
@@ -237,17 +251,41 @@ std::optional<CapacityReport> DecodeCapacityReport(const std::string& line) {
 }
 
 CentralController::CentralController(std::size_t num_extenders,
-                                     PolicyPtr policy, RetryParams retry)
+                                     PolicyPtr policy, RetryParams retry,
+                                     QuarantineParams quarantine)
     : net_(0, num_extenders),
       policy_(std::move(policy)),
       retry_(retry),
-      last_capacity_(num_extenders, -kInf) {
+      quarantine_(quarantine),
+      last_capacity_(num_extenders, -kInf),
+      flap_(num_extenders) {
   if (num_extenders == 0) throw std::invalid_argument("no extenders");
   if (!policy_) throw std::invalid_argument("null policy");
 }
 
 void CentralController::AdvanceTime(double now) {
   if (std::isfinite(now)) now_ = std::max(now_, now);
+  // Release quarantined backhauls that have been flap-free long enough;
+  // their last reported capacity (tracked while quarantined) comes back.
+  for (std::size_t j = 0; j < flap_.size(); ++j) {
+    FlapState& f = flap_[j];
+    if (!f.quarantined || now_ < f.release_at) continue;
+    f.quarantined = false;
+    f.flips.clear();
+    net_.SetPlcRate(j, f.held_capacity);
+    ++quarantine_releases_;
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->ctrl.quarantine_releases.Add(1);
+    }
+  }
+}
+
+bool CentralController::IsQuarantined(int extender) const {
+  if (extender < 0 ||
+      static_cast<std::size_t>(extender) >= flap_.size()) {
+    return false;
+  }
+  return flap_[static_cast<std::size_t>(extender)].quarantined;
 }
 
 HandleStatus CentralController::HandleCapacityReport(
@@ -259,9 +297,43 @@ HandleStatus CentralController::HandleCapacityReport(
   if (!std::isfinite(report.capacity_mbps) || report.capacity_mbps < 0.0) {
     return HandleStatus::kMalformed;
   }
-  net_.SetPlcRate(static_cast<std::size_t>(report.extender),
-                  report.capacity_mbps);
-  last_capacity_[static_cast<std::size_t>(report.extender)] = now_;
+  const std::size_t ext = static_cast<std::size_t>(report.extender);
+  last_capacity_[ext] = now_;
+
+  if (quarantine_.flap_threshold > 0) {
+    FlapState& f = flap_[ext];
+    const int up = report.capacity_mbps > 0.0 ? 1 : 0;
+    if (f.last_up >= 0 && up != f.last_up) {
+      f.flips.push_back(now_);
+      // Drop transitions that fell out of the sliding window.
+      const double cutoff = now_ - quarantine_.window;
+      f.flips.erase(std::remove_if(f.flips.begin(), f.flips.end(),
+                                   [&](double t) { return t < cutoff; }),
+                    f.flips.end());
+      if (f.quarantined) {
+        // Hysteresis: flapping while quarantined restarts the hold clock.
+        f.release_at = now_ + quarantine_.hold;
+      } else if (static_cast<int>(f.flips.size()) >=
+                 quarantine_.flap_threshold) {
+        f.quarantined = true;
+        f.release_at = now_ + quarantine_.hold;
+        ++quarantine_trips_;
+        if (obs::MetricsScope* s = obs::CurrentScope()) {
+          s->ctrl.quarantine_trips.Add(1);
+        }
+      }
+    }
+    f.last_up = up;
+    if (f.quarantined) {
+      // Planning sees a dead link; remember what was reported so release
+      // restores the freshest estimate.
+      f.held_capacity = report.capacity_mbps;
+      net_.SetPlcRate(ext, 0.0);
+      return HandleStatus::kOk;
+    }
+  }
+
+  net_.SetPlcRate(ext, report.capacity_mbps);
   return HandleStatus::kOk;
 }
 
@@ -305,6 +377,34 @@ void CentralController::RegisterDirective(const AssociationDirective& d) {
       PendingDirective{d.extender, 1, now_ + retry_.initial_backoff};
 }
 
+model::Assignment CentralController::EvacuationFallback() const {
+  // Keep everyone in place, but unassign users whose extender backhaul is
+  // dead (reported zero or quarantined — quarantine forces the rate to 0).
+  model::Assignment fallback = assignment_;
+  for (std::size_t i = 0; i < net_.NumUsers(); ++i) {
+    const int j = fallback.ExtenderOf(i);
+    if (j != model::Assignment::kUnassigned &&
+        net_.PlcRate(static_cast<std::size_t>(j)) <= 0.0) {
+      fallback.Unassign(i);
+    }
+  }
+  return fallback;
+}
+
+std::vector<AssociationDirective> CentralController::DiffAndRegister(
+    const model::Assignment& before, model::Assignment proposed) {
+  assignment_ = std::move(proposed);
+  std::vector<AssociationDirective> directives;
+  for (std::size_t i = 0; i < net_.NumUsers(); ++i) {
+    if (assignment_.IsAssigned(i) &&
+        assignment_.ExtenderOf(i) != before.ExtenderOf(i)) {
+      directives.push_back({id_of_index_[i], assignment_.ExtenderOf(i)});
+    }
+  }
+  for (const auto& d : directives) RegisterDirective(d);
+  return directives;
+}
+
 std::vector<AssociationDirective> CentralController::RunPolicy(bool guard) {
   if (obs::MetricsScope* s = obs::CurrentScope()) {
     s->ctrl.policy_runs.Add(1);
@@ -319,33 +419,17 @@ std::vector<AssociationDirective> CentralController::RunPolicy(bool guard) {
   // admitting a weak user legitimately lowers a max-min aggregate, and
   // vetoing that would strand the user forever.
   if (guard) {
-    model::Assignment fallback = before;
-    for (std::size_t i = 0; i < net_.NumUsers(); ++i) {
-      const int j = fallback.ExtenderOf(i);
-      if (j != model::Assignment::kUnassigned &&
-          net_.PlcRate(static_cast<std::size_t>(j)) <= 0.0) {
-        fallback.Unassign(i);
-      }
-    }
+    model::Assignment fallback = EvacuationFallback();
     const model::Evaluator eval;
     if (eval.AggregateThroughput(net_, proposed) + 1e-9 <
         eval.AggregateThroughput(net_, fallback)) {
-      proposed = fallback;
+      proposed = std::move(fallback);
       if (obs::MetricsScope* s = obs::CurrentScope()) {
         s->ctrl.reopt_guard_trips.Add(1);
       }
     }
   }
-  assignment_ = std::move(proposed);
-  std::vector<AssociationDirective> directives;
-  for (std::size_t i = 0; i < net_.NumUsers(); ++i) {
-    if (assignment_.IsAssigned(i) &&
-        assignment_.ExtenderOf(i) != before.ExtenderOf(i)) {
-      directives.push_back({id_of_index_[i], assignment_.ExtenderOf(i)});
-    }
-  }
-  for (const auto& d : directives) RegisterDirective(d);
-  return directives;
+  return DiffAndRegister(before, std::move(proposed));
 }
 
 HandleResult CentralController::HandleUserArrival(const ScanReport& report) {
@@ -439,6 +523,93 @@ HandleStatus CentralController::HandleDirectiveAck(const DirectiveAck& ack) {
 
 std::vector<AssociationDirective> CentralController::Reoptimize() {
   return RunPolicy(/*guard=*/true);
+}
+
+ReoptReport CentralController::Reoptimize(double budget_seconds) {
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->ctrl.policy_runs.Add(1);
+  }
+  ReoptReport report;
+  const util::Deadline deadline = util::Deadline::After(budget_seconds);
+  const model::Assignment before = assignment_;
+  const model::Assignment evacuate = EvacuationFallback();
+  const model::Evaluator eval;
+
+  // Degradation ladder, cheapest rung first so that something deployable
+  // exists the moment the budget dies. Each rung starts only while budget
+  // remains and serves only if it finished within budget; inside a rung the
+  // solvers poll the deadline per bounded unit of work, so the overrun past
+  // `budget_seconds` is at most one such unit.
+  model::Assignment chosen = evacuate;
+  report.tier = ReoptTier::kHoldLastGood;
+
+  // Greedy: re-place only the evacuated users, everyone else holds.
+  if (!deadline.Expired()) {
+    GreedyPolicy greedy;
+    greedy.SetDeadline(&deadline);
+    model::Assignment proposed = greedy.Associate(net_, evacuate);
+    if (!deadline.Expired()) {
+      chosen = std::move(proposed);
+      report.tier = ReoptTier::kGreedy;
+    }
+  }
+
+  // Hungarian-only: WOLT Phase I + sticky greedy Phase II without the
+  // local-search polish — the polynomial core of the paper's algorithm.
+  if (!deadline.Expired()) {
+    WoltOptions wopt;
+    wopt.local_search = false;
+    wopt.sticky = true;
+    WoltPolicy hungarian_only(wopt);
+    hungarian_only.SetDeadline(&deadline);
+    model::Assignment proposed = hungarian_only.Associate(net_, before);
+    if (!deadline.Expired()) {
+      chosen = std::move(proposed);
+      report.tier = ReoptTier::kHungarianOnly;
+    }
+  }
+
+  // Full: the configured policy, exactly what Reoptimize() would run.
+  if (!deadline.Expired()) {
+    policy_->SetDeadline(&deadline);
+    model::Assignment proposed = policy_->Associate(net_, before);
+    policy_->SetDeadline(nullptr);  // the token dies with this frame
+    if (!deadline.Expired()) {
+      chosen = std::move(proposed);
+      report.tier = ReoptTier::kFull;
+    }
+  }
+
+  // budget_limited reflects the ladder outcome; the guard below can still
+  // demote the serving tier on quality grounds, which is not a budget event.
+  report.budget_limited = report.tier != ReoptTier::kFull;
+  const bool no_tier_fit = report.tier == ReoptTier::kHoldLastGood;
+
+  // Same do-no-harm contract as Reoptimize(): never deploy below the
+  // hold-last-good baseline.
+  if (eval.AggregateThroughput(net_, chosen) + 1e-9 <
+      eval.AggregateThroughput(net_, evacuate)) {
+    chosen = evacuate;
+    report.tier = ReoptTier::kHoldLastGood;
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->ctrl.reopt_guard_trips.Add(1);
+    }
+  }
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    switch (report.tier) {
+      case ReoptTier::kFull: s->ctrl.reopt_tier_full.Add(1); break;
+      case ReoptTier::kHungarianOnly:
+        s->ctrl.reopt_tier_hungarian.Add(1);
+        break;
+      case ReoptTier::kGreedy: s->ctrl.reopt_tier_greedy.Add(1); break;
+      case ReoptTier::kHoldLastGood: s->ctrl.reopt_tier_hold.Add(1); break;
+    }
+    if (no_tier_fit) s->ctrl.reopt_budget_overruns.Add(1);
+  }
+
+  report.directives = DiffAndRegister(before, std::move(chosen));
+  return report;
 }
 
 std::vector<AssociationDirective> CentralController::CollectRetries() {

@@ -128,13 +128,47 @@ struct RetryParams {
   int max_attempts = 5;
 };
 
+// Which rung of the anytime degradation ladder served a budgeted
+// reoptimization epoch (Reoptimize(budget_seconds)). Ordered cheapest-last:
+// the controller runs the ladder bottom-up and keeps the best tier that
+// completed within the wall-clock budget.
+enum class ReoptTier {
+  kFull = 0,        // the configured policy, full solve
+  kHungarianOnly,   // WOLT Phase I only (no local search), sticky Phase II
+  kGreedy,          // greedy re-insertion of evacuated users only
+  kHoldLastGood,    // previous assignment, dead-backhaul users evacuated
+};
+const char* ToString(ReoptTier t);
+
+// Outcome of one budgeted reoptimization epoch.
+struct ReoptReport {
+  ReoptTier tier = ReoptTier::kFull;  // the rung that served this epoch
+  // True when the budget expired before the full policy finished — i.e. a
+  // degraded tier (or hold-last-good) served the epoch.
+  bool budget_limited = false;
+  std::vector<AssociationDirective> directives;
+};
+
+// Flap quarantine (hysteresis on backhaul capacity oscillation). A PLC link
+// whose capacity reports cross the up/down boundary `flap_threshold` or
+// more times within `window` time units is quarantined: the controller
+// plans as if the link were down (PLC rate forced to 0) until the link has
+// been flap-free for `hold` time units, then the last reported capacity is
+// restored. flap_threshold = 0 (the default) disables quarantine entirely,
+// preserving pre-existing behavior.
+struct QuarantineParams {
+  int flap_threshold = 0;  // up<->down transitions that trip; 0 = off
+  double window = 10.0;    // sliding window the transitions are counted in
+  double hold = 30.0;      // flap-free time required before release
+};
+
 class CentralController {
  public:
   // Takes ownership of the association policy (WOLT in the paper; any
   // AssociationPolicy works). Throws std::invalid_argument on zero
   // extenders or a null policy (construction bugs, not wire input).
   CentralController(std::size_t num_extenders, PolicyPtr policy,
-                    RetryParams retry = {});
+                    RetryParams retry = {}, QuarantineParams quarantine = {});
 
   // Advance the controller's monotonic clock (time units are the caller's;
   // the dynamic simulator uses DES time). Staleness ages and retry backoff
@@ -170,6 +204,19 @@ class CentralController {
   // the dynamic experiments).
   std::vector<AssociationDirective> Reoptimize();
 
+  // Deadline-bounded epoch reoptimization: spend at most `budget_seconds`
+  // of wall clock and always return a valid assignment. The degradation
+  // ladder runs cheapest-first — hold-last-good (with dead-backhaul users
+  // evacuated), greedy re-insertion, WOLT Phase I + sticky Phase II, then
+  // the full configured policy — and each rung only starts while budget
+  // remains and only serves if it finished within budget. Inside a rung the
+  // deadline token is threaded into the solvers, which poll it per bounded
+  // unit of work, so overrun past the budget is at most one such unit. The
+  // do-no-harm guard of Reoptimize() applies to the final selection. A
+  // non-positive budget degenerates to hold-last-good. A generous budget
+  // (one the full policy fits in) produces exactly Reoptimize()'s result.
+  ReoptReport Reoptimize(double budget_seconds);
+
   // Directives due for retransmission at Now(), in user-id order. Each
   // returned directive has its attempt count bumped and its backoff
   // doubled (capped); exhausted directives are abandoned instead and
@@ -193,6 +240,12 @@ class CentralController {
   std::size_t PendingDirectives() const { return pending_.size(); }
   std::size_t DirectivesGivenUp() const { return given_up_; }
 
+  // Flap-quarantine introspection. IsQuarantined is false for out-of-range
+  // extenders and always false when quarantine is disabled.
+  bool IsQuarantined(int extender) const;
+  std::size_t QuarantineTrips() const { return quarantine_trips_; }
+  std::size_t QuarantineReleases() const { return quarantine_releases_; }
+
   std::size_t NumUsers() const { return net_.NumUsers(); }
   const model::Network& network() const { return net_; }
   const model::Assignment& assignment() const { return assignment_; }
@@ -208,22 +261,42 @@ class CentralController {
     double next_retry = 0;  // absolute controller time
   };
 
+  // Per-extender flap-quarantine bookkeeping (see QuarantineParams).
+  struct FlapState {
+    int last_up = -1;               // -1 unknown, 0 down, 1 up
+    std::vector<double> flips;      // transition times within the window
+    bool quarantined = false;
+    double release_at = 0.0;        // earliest release time (controller time)
+    double held_capacity = 0.0;     // last reported capacity, restored on release
+  };
+
   HandleStatus ValidateScan(const ScanReport& report) const;
   void ApplyReport(std::size_t index, const ScanReport& report);
   // guard=true (epoch reoptimization) arms the do-no-harm fallback check.
   std::vector<AssociationDirective> RunPolicy(bool guard = false);
   void RegisterDirective(const AssociationDirective& d);
   void RemoveUserAt(std::size_t index);
+  // The hold-last-good baseline: the current assignment with every user on
+  // a dead (or quarantined) backhaul unassigned.
+  model::Assignment EvacuationFallback() const;
+  // Adopt `proposed` and emit+register a directive for every user whose
+  // extender changed relative to `before`.
+  std::vector<AssociationDirective> DiffAndRegister(
+      const model::Assignment& before, model::Assignment proposed);
 
   model::Network net_;
   model::Assignment assignment_;
   PolicyPtr policy_;
   RetryParams retry_;
+  QuarantineParams quarantine_;
   double now_ = 0.0;
   std::size_t given_up_ = 0;
+  std::size_t quarantine_trips_ = 0;
+  std::size_t quarantine_releases_ = 0;
   std::vector<std::int64_t> id_of_index_;
   std::vector<double> last_scan_;      // by index, controller time
   std::vector<double> last_capacity_;  // by extender, -inf = never
+  std::vector<FlapState> flap_;        // by extender
   std::unordered_map<std::int64_t, std::size_t> index_of_id_;
   std::unordered_map<std::int64_t, PendingDirective> pending_;
 };

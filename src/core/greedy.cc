@@ -14,6 +14,9 @@ model::Assignment GreedyPolicy::Associate(const model::Network& net,
   std::vector<int> load = assign.LoadVector(net.NumExtenders());
 
   for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    // Anytime contract: each placed user leaves a valid partial assignment,
+    // so stopping between users on deadline expiry is always safe.
+    if (util::DeadlineExpired(deadline_)) break;
     if (assign.IsAssigned(i)) continue;
     int best = -1;
     double best_aggregate = -1.0;

@@ -19,7 +19,8 @@ class GreedyPolicy : public AssociationPolicy {
 
   // Users unassigned in `previous` are placed one at a time in index order
   // (index order is arrival order in the dynamic simulator). Existing users
-  // are never re-assigned.
+  // are never re-assigned. Honors the inherited deadline: placement stops
+  // between users on expiry, leaving later arrivals unassigned.
   model::Assignment Associate(const model::Network& net,
                               const model::Assignment& previous) override;
 

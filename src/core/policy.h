@@ -11,6 +11,7 @@
 
 #include "model/assignment.h"
 #include "model/network.h"
+#include "util/deadline.h"
 
 namespace wolt::core {
 
@@ -27,6 +28,18 @@ class AssociationPolicy {
 
   // Convenience: associate from scratch (everyone is a new arrival).
   model::Assignment AssociateFresh(const model::Network& net);
+
+  // Anytime control plane (the controller's per-epoch budget): while a
+  // deadline is set, deadline-aware policies (WOLT) poll it inside their
+  // solvers and return a best-so-far valid assignment on expiry; policies
+  // that are intrinsically fast (Greedy, RSSI) may ignore it. Null (the
+  // default) or an unexpired token leave behavior bit-identical to the
+  // unbudgeted path. The pointer must stay valid across Associate calls.
+  void SetDeadline(const util::Deadline* deadline) { deadline_ = deadline; }
+  const util::Deadline* deadline() const { return deadline_; }
+
+ protected:
+  const util::Deadline* deadline_ = nullptr;
 };
 
 using PolicyPtr = std::unique_ptr<AssociationPolicy>;

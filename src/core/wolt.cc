@@ -94,9 +94,11 @@ Phase1Result WoltPolicy::ComputePhase1(
   }
 
   const assign::HungarianResult hungarian =
-      assign::SolveAssignmentMax(utilities);
+      assign::SolveAssignmentMax(utilities, deadline_);
+  result.deadline_hit = hungarian.deadline_hit;
   result.total_utility = 0.0;
   for (std::size_t r = 0; r < rows; ++r) {
+    if (hungarian.col_of_row[r] < 0) continue;  // deadline-truncated row
     const std::size_t c = static_cast<std::size_t>(hungarian.col_of_row[r]);
     const std::size_t user = extenders_are_rows ? c : r;
     const std::size_t ext = extenders_are_rows ? extenders[r] : extenders[c];
@@ -140,6 +142,10 @@ model::Assignment WoltPolicy::AssociateSubsetSearch(
   double best_aggregate = -1.0;
   std::vector<std::uint8_t> mask(net.NumExtenders(), 0);
   for (std::size_t k = 1; k <= order.size(); ++k) {
+    // Always evaluate the first candidate (every inner solver truncates
+    // internally on expiry, so a result always exists); skip the rest of
+    // the activation ladder once the budget is gone.
+    if (k > 1 && util::DeadlineExpired(deadline_)) break;
     mask[order[k - 1]] = 1;  // masks are nested: candidate k adds one link
     model::Assignment candidate = AssociateOnce(net, previous, mask);
     const double aggregate =
@@ -157,6 +163,7 @@ model::Assignment WoltPolicy::AssociateSubsetSearch(
   assign::LocalSearchOptions polish;
   polish.objective = assign::Phase2Objective::kEndToEnd;
   polish.eval = options_.eval;
+  polish.deadline = deadline_;
   std::vector<std::size_t> leftover;
   std::vector<std::size_t> everyone;
   for (std::size_t i = 0; i < net.NumUsers(); ++i) {
@@ -191,8 +198,11 @@ model::Assignment WoltPolicy::AssociateOnce(
   }
 
   if (options_.use_nlp_phase2) {
+    assign::NlpOptions nlp_options;
+    nlp_options.deadline = deadline_;
     if (mask.empty()) {
-      const assign::NlpResult nlp = assign::SolvePhase2Nlp(net, assign, u2);
+      const assign::NlpResult nlp =
+          assign::SolvePhase2Nlp(net, assign, u2, nlp_options);
       return nlp.rounded;
     }
     // The projected-gradient solver has no activation-mask concept; blank
@@ -205,7 +215,8 @@ model::Assignment WoltPolicy::AssociateOnce(
         masked.SetWifiRate(i, j, 0.0);
       }
     }
-    const assign::NlpResult nlp = assign::SolvePhase2Nlp(masked, assign, u2);
+    const assign::NlpResult nlp =
+        assign::SolvePhase2Nlp(masked, assign, u2, nlp_options);
     return nlp.rounded;
   }
 
@@ -213,6 +224,7 @@ model::Assignment WoltPolicy::AssociateOnce(
   ls.objective = options_.phase2_objective;
   ls.eval = options_.eval;
   ls.extender_mask = mask;
+  ls.deadline = deadline_;
 
   bool seeded = false;
   if (options_.sticky) {

@@ -61,10 +61,13 @@ struct WoltOptions {
 // Phase-I outcome, exposed for tests and the ablation benches.
 struct Phase1Result {
   // Per extender: the user selected for it, or -1 when the extender cannot
-  // be seeded (no reachable user, or fewer users than extenders).
+  // be seeded (no reachable user, or fewer users than extenders — or the
+  // Hungarian solve was truncated by a deadline before reaching it).
   std::vector<int> user_of_extender;
   std::vector<std::size_t> u1_users;  // the set U1
   double total_utility = 0.0;
+  // True iff the Hungarian solve stopped early on deadline expiry.
+  bool deadline_hit = false;
 };
 
 class WoltPolicy : public AssociationPolicy {

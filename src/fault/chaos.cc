@@ -367,14 +367,15 @@ std::vector<ChaosResult> RunChaosSoak(const ChaosParams& params,
   return out;
 }
 
-std::vector<ChaosResult> RunChaosSoakParallel(const ChaosParams& params,
-                                              std::uint64_t base_seed,
-                                              int count, int threads) {
+std::vector<ChaosResult> RunChaosSoakParallel(
+    const ChaosParams& params, std::uint64_t base_seed, int count,
+    int threads, const std::atomic<bool>* cancel) {
   std::vector<ChaosResult> out(static_cast<std::size_t>(std::max(0, count)));
   util::ThreadPool pool(threads);
-  pool.ParallelFor(out.size(), /*chunk=*/1, [&](std::size_t k) {
-    out[k] = RunChaosScenario(params, base_seed + k);
-  });
+  pool.ParallelFor(
+      out.size(), /*chunk=*/1,
+      [&](std::size_t k) { out[k] = RunChaosScenario(params, base_seed + k); },
+      cancel);
   return out;
 }
 

@@ -19,6 +19,7 @@
 // and post-fault reconvergence.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -99,8 +100,11 @@ std::vector<ChaosResult> RunChaosSoak(const ChaosParams& params,
 // scenario is a pure function of its seed and writes only its own slot of
 // the result vector, so the output is element-for-element identical to the
 // sequential RunChaosSoak regardless of thread count or completion order.
-std::vector<ChaosResult> RunChaosSoakParallel(const ChaosParams& params,
-                                              std::uint64_t base_seed,
-                                              int count, int threads);
+// If `cancel` is non-null and becomes true (e.g. from a SIGINT handler),
+// workers stop claiming new scenarios; unrun slots stay default-constructed
+// (completed=false).
+std::vector<ChaosResult> RunChaosSoakParallel(
+    const ChaosParams& params, std::uint64_t base_seed, int count,
+    int threads, const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace wolt::fault

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/fileio.h"
+
 namespace wolt::model {
 namespace {
 
@@ -21,7 +23,10 @@ std::optional<double> ParseDouble(const std::string& s) {
   try {
     std::size_t consumed = 0;
     const double v = std::stod(s, &consumed);
-    if (consumed != s.size() || std::isnan(v)) return std::nullopt;
+    // Reject every non-finite value ("nan", "inf", "infinity", ...): a
+    // single infinite rate or load silently poisons the Evaluator's
+    // aggregates, so malformed input must die here with a typed IoError.
+    if (consumed != s.size() || !std::isfinite(v)) return std::nullopt;
     return v;
   } catch (const std::exception&) {
     return std::nullopt;
@@ -323,10 +328,7 @@ std::optional<Network> LoadNetwork(std::istream& in) {
 }
 
 bool SaveNetworkFile(const Network& net, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  SaveNetwork(net, out);
-  return static_cast<bool>(out);
+  return util::WriteFileAtomic(path, NetworkToString(net));
 }
 
 std::optional<Network> LoadNetworkFile(const std::string& path) {

@@ -46,7 +46,14 @@ ControllerCounters::ControllerCounters(MetricsRegistry& r)
       acks_stale(r.GetCounter("ctrl.acks.stale")),
       evictions(r.GetCounter("ctrl.evictions")),
       reopt_guard_trips(r.GetCounter("ctrl.reopt_guard_trips")),
-      policy_runs(r.GetCounter("ctrl.policy_runs")) {}
+      policy_runs(r.GetCounter("ctrl.policy_runs")),
+      reopt_tier_full(r.GetCounter("ctrl.reopt.tier.full")),
+      reopt_tier_hungarian(r.GetCounter("ctrl.reopt.tier.hungarian")),
+      reopt_tier_greedy(r.GetCounter("ctrl.reopt.tier.greedy")),
+      reopt_tier_hold(r.GetCounter("ctrl.reopt.tier.hold")),
+      reopt_budget_overruns(r.GetCounter("ctrl.reopt.budget_overruns")),
+      quarantine_trips(r.GetCounter("ctrl.quarantine.trips")),
+      quarantine_releases(r.GetCounter("ctrl.quarantine.releases")) {}
 
 SweepCounters::SweepCounters(MetricsRegistry& r)
     : tasks_completed(r.GetCounter("sweep.tasks.completed")),

@@ -92,6 +92,15 @@ struct ControllerCounters {
   Counter& evictions;            // stale users reaped
   Counter& reopt_guard_trips;    // do-no-harm fallback taken
   Counter& policy_runs;
+  // Anytime degradation ladder: which tier served each budgeted epoch.
+  Counter& reopt_tier_full;      // full policy fit the budget
+  Counter& reopt_tier_hungarian; // Hungarian-only fallback served
+  Counter& reopt_tier_greedy;    // greedy re-association served
+  Counter& reopt_tier_hold;      // held last-good assignment
+  Counter& reopt_budget_overruns;  // budget expired before any tier fit
+  // Flap quarantine: oscillating backhauls forced out of reoptimization.
+  Counter& quarantine_trips;
+  Counter& quarantine_releases;
 };
 
 // sweep/Engine: task accounting plus per-phase latency histograms. The
@@ -167,7 +176,10 @@ struct SolverCounters {
 };
 struct ControllerCounters {
   NoopCounter directives_sent, directives_retried, directives_given_up,
-      acks, acks_stale, evictions, reopt_guard_trips, policy_runs;
+      acks, acks_stale, evictions, reopt_guard_trips, policy_runs,
+      reopt_tier_full, reopt_tier_hungarian, reopt_tier_greedy,
+      reopt_tier_hold, reopt_budget_overruns, quarantine_trips,
+      quarantine_releases;
 };
 struct SweepCounters {
   NoopCounter tasks_completed, tasks_failed;

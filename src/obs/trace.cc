@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 
+#include "util/fileio.h"
 #include "util/table.h"
 
 namespace wolt::obs {
@@ -103,10 +104,7 @@ std::string Tracer::ChromeTraceJson() const {
 }
 
 bool Tracer::WriteChromeTrace(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << ChromeTraceJson();
-  return static_cast<bool>(out);
+  return util::WriteFileAtomic(path, ChromeTraceJson());
 }
 
 std::string Tracer::SummaryTableString() const {

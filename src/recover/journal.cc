@@ -1,0 +1,423 @@
+#include "recover/journal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/fileio.h"
+
+namespace wolt::recover {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Binary payload encoding. Fixed-width little-endian-as-stored integers and
+// raw 8-byte doubles: the journal is a same-machine crash-recovery artefact,
+// not an interchange format, so native byte order is fine and gives exact
+// double round trips for free.
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+void PutDouble(std::string* out, double v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+// Bounds-checked sequential reader over a payload; any overrun poisons it.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : p_(data), left_(size) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && left_ == 0; }
+
+  std::uint8_t U8() {
+    std::uint8_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  double Double() {
+    double v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  std::string String() {
+    const std::uint64_t n = U64();
+    if (!ok_ || n > left_) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(p_, static_cast<std::size_t>(n));
+    p_ += n;
+    left_ -= static_cast<std::size_t>(n);
+    return s;
+  }
+
+  // Length-prefixed vectors. The element count is validated against the
+  // bytes remaining before allocating, so a corrupt length cannot trigger a
+  // huge allocation.
+  bool DoubleVec(std::vector<double>* out) {
+    const std::uint64_t n = U64();
+    if (!ok_ || n > left_ / sizeof(double)) {
+      ok_ = false;
+      return false;
+    }
+    out->resize(static_cast<std::size_t>(n));
+    for (double& v : *out) v = Double();
+    return ok_;
+  }
+  bool U64Vec(std::vector<std::uint64_t>* out) {
+    const std::uint64_t n = U64();
+    if (!ok_ || n > left_ / sizeof(std::uint64_t)) {
+      ok_ = false;
+      return false;
+    }
+    out->resize(static_cast<std::size_t>(n));
+    for (std::uint64_t& v : *out) v = U64();
+    return ok_;
+  }
+
+ private:
+  void Raw(void* dst, std::size_t n) {
+    if (!ok_ || n > left_) {
+      ok_ = false;
+      std::memset(dst, 0, n);
+      return;
+    }
+    std::memcpy(dst, p_, n);
+    p_ += n;
+    left_ -= n;
+  }
+
+  const char* p_;
+  std::size_t left_;
+  bool ok_ = true;
+};
+
+void PutSnapshot(std::string* out, const obs::MetricsSnapshot& m) {
+  PutU64(out, m.counters.size());
+  for (const obs::CounterSample& c : m.counters) {
+    PutString(out, c.name);
+    PutU8(out, c.timing ? 1 : 0);
+    PutU64(out, c.value);
+  }
+  PutU64(out, m.gauges.size());
+  for (const obs::GaugeSample& g : m.gauges) {
+    PutString(out, g.name);
+    PutU8(out, g.timing ? 1 : 0);
+    PutDouble(out, g.value);
+  }
+  PutU64(out, m.histograms.size());
+  for (const obs::HistogramSample& h : m.histograms) {
+    PutString(out, h.name);
+    PutU8(out, h.timing ? 1 : 0);
+    PutU64(out, h.bounds.size());
+    for (double b : h.bounds) PutDouble(out, b);
+    PutU64(out, h.counts.size());
+    for (std::uint64_t c : h.counts) PutU64(out, c);
+    PutU64(out, h.underflow);
+    PutU64(out, h.overflow);
+    PutU64(out, h.rejected);
+  }
+}
+
+bool ReadSnapshot(Cursor* cur, obs::MetricsSnapshot* out) {
+  const std::uint64_t nc = cur->U64();
+  if (!cur->ok() || nc > (1u << 20)) return false;
+  out->counters.resize(static_cast<std::size_t>(nc));
+  for (obs::CounterSample& c : out->counters) {
+    c.name = cur->String();
+    c.timing = cur->U8() != 0;
+    c.value = cur->U64();
+  }
+  const std::uint64_t ng = cur->U64();
+  if (!cur->ok() || ng > (1u << 20)) return false;
+  out->gauges.resize(static_cast<std::size_t>(ng));
+  for (obs::GaugeSample& g : out->gauges) {
+    g.name = cur->String();
+    g.timing = cur->U8() != 0;
+    g.value = cur->Double();
+  }
+  const std::uint64_t nh = cur->U64();
+  if (!cur->ok() || nh > (1u << 20)) return false;
+  out->histograms.resize(static_cast<std::size_t>(nh));
+  for (obs::HistogramSample& h : out->histograms) {
+    h.name = cur->String();
+    h.timing = cur->U8() != 0;
+    if (!cur->DoubleVec(&h.bounds)) return false;
+    if (!cur->U64Vec(&h.counts)) return false;
+    h.underflow = cur->U64();
+    h.overflow = cur->U64();
+    h.rejected = cur->U64();
+  }
+  return cur->ok();
+}
+
+// Record kinds inside a frame payload (first byte).
+constexpr std::uint8_t kKindHeader = 1;
+constexpr std::uint8_t kKindTask = 2;
+
+}  // namespace
+
+std::uint64_t Fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string EncodeHeaderPayload(const JournalHeader& header) {
+  std::string out;
+  PutU8(&out, kKindHeader);
+  PutU32(&out, kJournalVersion);
+  PutU64(&out, header.fingerprint);
+  PutU64(&out, header.num_tasks);
+  return out;
+}
+
+bool DecodeHeaderPayload(const std::string& payload, JournalHeader* out) {
+  Cursor cur(payload.data(), payload.size());
+  if (cur.U8() != kKindHeader) return false;
+  if (cur.U32() != kJournalVersion) return false;
+  out->fingerprint = cur.U64();
+  out->num_tasks = cur.U64();
+  return cur.AtEnd();
+}
+
+std::string EncodeTaskPayload(const TaskRecord& record) {
+  std::string out;
+  PutU8(&out, kKindTask);
+  PutU64(&out, record.index);
+  PutString(&out, record.error);
+  PutDouble(&out, record.aggregate_mbps);
+  PutDouble(&out, record.jain_fairness);
+  PutDouble(&out, record.elapsed_us);
+  PutU64(&out, record.user_throughput.size());
+  for (double v : record.user_throughput) PutDouble(&out, v);
+  PutU8(&out, record.has_metrics ? 1 : 0);
+  if (record.has_metrics) PutSnapshot(&out, record.metrics);
+  return out;
+}
+
+bool DecodeTaskPayload(const std::string& payload, TaskRecord* out) {
+  Cursor cur(payload.data(), payload.size());
+  if (cur.U8() != kKindTask) return false;
+  out->index = cur.U64();
+  out->error = cur.String();
+  out->aggregate_mbps = cur.Double();
+  out->jain_fairness = cur.Double();
+  out->elapsed_us = cur.Double();
+  if (!cur.DoubleVec(&out->user_throughput)) return false;
+  out->has_metrics = cur.U8() != 0;
+  if (out->has_metrics && !ReadSnapshot(&cur, &out->metrics)) return false;
+  return cur.AtEnd();
+}
+
+std::string FramePayload(const std::string& payload) {
+  std::string out;
+  PutU32(&out, kJournalMagic);
+  PutU32(&out, static_cast<std::uint32_t>(payload.size()));
+  PutU64(&out, Fnv1a64(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+JournalReadResult ReadJournal(const std::string& path) {
+  JournalReadResult out;
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      out.error = "cannot open journal: " + path;
+      return out;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+
+  constexpr std::size_t kFrameHeader =
+      sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+  std::size_t pos = 0;
+  bool saw_header = false;
+  std::vector<std::uint64_t> seen;
+
+  while (true) {
+    if (bytes.size() - pos < kFrameHeader) break;
+    Cursor frame(bytes.data() + pos, kFrameHeader);
+    const std::uint32_t magic = frame.U32();
+    const std::uint32_t len = frame.U32();
+    const std::uint64_t checksum = frame.U64();
+    if (magic != kJournalMagic) break;
+    if (len > bytes.size() - pos - kFrameHeader) break;  // truncated payload
+    const char* payload_data = bytes.data() + pos + kFrameHeader;
+    if (Fnv1a64(payload_data, len) != checksum) break;
+    const std::string payload(payload_data, len);
+
+    if (!saw_header) {
+      // The first record must be the header; anything else means this is
+      // not a journal (or its head is corrupt) and nothing can be salvaged.
+      if (!DecodeHeaderPayload(payload, &out.header)) {
+        out.error = "journal header record is missing or corrupt: " + path;
+        out.torn_bytes = bytes.size();
+        return out;
+      }
+      saw_header = true;
+    } else {
+      TaskRecord rec;
+      if (!DecodeTaskPayload(payload, &rec)) break;  // corrupt tail
+      if (std::find(seen.begin(), seen.end(), rec.index) != seen.end()) {
+        ++out.duplicates;
+      } else {
+        seen.push_back(rec.index);
+        out.records.push_back(std::move(rec));
+      }
+    }
+    pos += kFrameHeader + len;
+  }
+
+  if (!saw_header) {
+    out.error = "journal has no valid header record: " + path;
+    out.torn_bytes = bytes.size();
+    return out;
+  }
+  out.ok = true;
+  out.valid_bytes = pos;
+  out.torn_bytes = bytes.size() - pos;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JournalWriter
+
+JournalWriter::JournalWriter(const std::string& path,
+                             const JournalHeader& header, Options options)
+    : path_(path), header_(header), options_(std::move(options)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return;
+  const std::string frame = FramePayload(EncodeHeaderPayload(header_));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return;
+  }
+  ok_ = true;
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             const JournalReadResult& existing,
+                             Options options)
+    : path_(path), header_(existing.header), options_(std::move(options)) {
+  if (!existing.ok) return;
+  // Discard the torn tail so appended records land right after the valid
+  // prefix, then keep writing the same file.
+  if (::truncate(path_.c_str(),
+                 static_cast<off_t>(existing.valid_bytes)) != 0) {
+    return;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) return;
+  payloads_.reserve(existing.records.size());
+  seen_indices_.reserve(existing.records.size());
+  for (const TaskRecord& rec : existing.records) {
+    payloads_.push_back(EncodeTaskPayload(rec));
+    seen_indices_.push_back(rec.index);
+  }
+  ok_ = true;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+void JournalWriter::Append(const TaskRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_ || file_ == nullptr) return;
+  if (std::find(seen_indices_.begin(), seen_indices_.end(), record.index) !=
+      seen_indices_.end()) {
+    return;  // already journaled (restored on resume); keep one copy
+  }
+  const std::string payload = EncodeTaskPayload(record);
+  WriteFrame(payload);
+  if (!ok_) return;
+  payloads_.push_back(payload);
+  seen_indices_.push_back(record.index);
+  ++appends_;
+  if (options_.compact_every > 0 && appends_ % options_.compact_every == 0) {
+    Compact();
+  }
+  if (options_.after_append) options_.after_append(appends_);
+}
+
+void JournalWriter::WriteFrame(const std::string& payload) {
+  const std::string frame = FramePayload(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    ok_ = false;
+  }
+}
+
+void JournalWriter::Compact() {
+  // Rewrite the whole journal (header + deduped records) via the atomic
+  // temp+fsync+rename helper, then reopen for appending. A crash anywhere
+  // in here leaves either the old journal (still valid, maybe with
+  // duplicates) or the compacted one — never a torn file at path_.
+  std::string contents = FramePayload(EncodeHeaderPayload(header_));
+  for (const std::string& payload : payloads_) {
+    contents.append(FramePayload(payload));
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!util::WriteFileAtomic(path_, contents)) {
+    ok_ = false;
+    return;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) ok_ = false;
+}
+
+void JournalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace wolt::recover

@@ -1,0 +1,141 @@
+// Write-ahead journal of completed sweep tasks — the durability layer that
+// lets a sweep killed at any instant (including kill -9 mid-record) resume
+// and produce byte-identical output to an uninterrupted run.
+//
+// File layout: a header record followed by one record per completed task,
+// all framed identically:
+//
+//   [u32 magic][u32 payload_len][u64 fnv1a(payload)][payload bytes]
+//
+// Doubles are serialized as their raw 8 bytes (bit-exact round trip — the
+// resume path must reproduce the uninterrupted run's merge inputs exactly).
+// The header payload carries a format version, the grid fingerprint
+// (sweep::Fingerprint) and the task count, so a journal can never be
+// resumed against a different sweep.
+//
+// Crash semantics:
+//  * Appends are fflush'd per record: a process kill (the page cache
+//    survives) loses at most the record being written. Power loss can lose
+//    more; compaction and Close() fsync.
+//  * The reader validates records front to back; the first bad frame (bad
+//    magic, truncated length, checksum mismatch, unparsable payload) ends
+//    the valid prefix, and everything after it is reported as torn bytes.
+//    Resume truncates the file back to the valid prefix before appending.
+//  * Duplicate task indices (possible when a crash lands between "task
+//    re-run" and "journal truncated") dedupe first-record-wins.
+//  * Every `compact_every` appends the journal is rewritten without
+//    duplicates via temp file + fsync + rename, bounding file growth across
+//    repeated crash/resume cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wolt::recover {
+
+inline constexpr std::uint32_t kJournalMagic = 0x574A4C31;  // "WJL1"
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+// FNV-1a 64-bit over a byte string (the per-record checksum).
+std::uint64_t Fnv1a64(const char* data, std::size_t size);
+
+struct JournalHeader {
+  std::uint64_t fingerprint = 0;  // sweep::Fingerprint of the grid
+  std::uint64_t num_tasks = 0;
+};
+
+// One completed task's result, exactly the data the sweep merge consumes.
+struct TaskRecord {
+  std::uint64_t index = 0;
+  std::string error;              // non-empty: the task body threw
+  double aggregate_mbps = 0.0;
+  double jain_fairness = 0.0;
+  double elapsed_us = 0.0;        // timing-quarantined, journaled for
+                                  // include_timing reports
+  std::vector<double> user_throughput;  // raw samples in insertion order
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+};
+
+struct JournalReadResult {
+  bool ok = false;      // file opened and the header record validated
+  std::string error;    // why ok is false
+  JournalHeader header;
+  // Deduplicated task records (first record for an index wins), in file
+  // order of first appearance.
+  std::vector<TaskRecord> records;
+  std::uint64_t valid_bytes = 0;  // length of the validated prefix
+  std::uint64_t torn_bytes = 0;   // bytes past the prefix (discarded)
+  std::size_t duplicates = 0;     // duplicate task records dropped
+};
+
+// Validates `path` front to back. Never throws; failures land in `error`.
+JournalReadResult ReadJournal(const std::string& path);
+
+class JournalWriter {
+ public:
+  struct Options {
+    // Rewrite the journal (dedup + fsync + rename) every this many appends;
+    // 0 disables compaction.
+    std::size_t compact_every = 64;
+    // Test hook, called after each append has been flushed, with the count
+    // of appends made through this writer. The crash harness raises
+    // SIGKILL in here to die at an exact journal position.
+    std::function<void(std::size_t)> after_append;
+  };
+
+  // Fresh journal: truncates `path` and writes the header record.
+  JournalWriter(const std::string& path, const JournalHeader& header,
+                Options options);
+
+  // Resume: truncates the file to `existing.valid_bytes` (discarding the
+  // torn tail ReadJournal found) and appends after the surviving records.
+  JournalWriter(const std::string& path, const JournalReadResult& existing,
+                Options options);
+
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool ok() const { return ok_; }
+
+  // Thread-safe: serialize, frame, write, fflush. Safe to call from the
+  // sweep engine's worker threads.
+  void Append(const TaskRecord& record);
+
+  // fsync + close. Called by the destructor if not called explicitly.
+  void Close();
+
+ private:
+  void OpenAppend();
+  void WriteFrame(const std::string& payload);
+  void Compact();
+
+  std::string path_;
+  JournalHeader header_;
+  Options options_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  bool ok_ = false;
+  std::size_t appends_ = 0;
+  // Every unique record payload written (or restored), for compaction.
+  std::vector<std::string> payloads_;
+  std::vector<std::uint64_t> seen_indices_;
+};
+
+// Payload codecs, exposed for the torn-tail/corruption unit tests.
+std::string EncodeHeaderPayload(const JournalHeader& header);
+std::string EncodeTaskPayload(const TaskRecord& record);
+bool DecodeHeaderPayload(const std::string& payload, JournalHeader* out);
+bool DecodeTaskPayload(const std::string& payload, TaskRecord* out);
+// Frames a payload as it appears on disk (magic + length + checksum).
+std::string FramePayload(const std::string& payload);
+
+}  // namespace wolt::recover

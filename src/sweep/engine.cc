@@ -2,15 +2,48 @@
 
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "recover/journal.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace wolt::sweep {
+namespace {
+
+recover::TaskRecord ToRecord(const TaskResult& task) {
+  recover::TaskRecord rec;
+  rec.index = task.spec.index;
+  rec.error = task.error;
+  rec.aggregate_mbps = task.aggregate_mbps;
+  rec.jain_fairness = task.jain_fairness;
+  rec.elapsed_us = task.elapsed_us;
+  rec.user_throughput = task.user_throughput.Samples();
+  rec.has_metrics = !task.metrics.Empty();
+  if (rec.has_metrics) rec.metrics = task.metrics;
+  return rec;
+}
+
+// Rebuilds a TaskResult slot from its journaled record. Re-Add'ing the raw
+// samples in order reproduces the Accumulator's Welford state bit-exactly,
+// so every downstream merge sees the same inputs as the uninterrupted run.
+void FromRecord(const recover::TaskRecord& rec, const SweepGrid& grid,
+                TaskResult* task) {
+  task->spec = grid.TaskAt(static_cast<std::size_t>(rec.index));
+  task->error = rec.error;
+  task->aggregate_mbps = rec.aggregate_mbps;
+  task->jain_fairness = rec.jain_fairness;
+  task->elapsed_us = rec.elapsed_us;
+  for (double x : rec.user_throughput) task->user_throughput.Add(x);
+  if (rec.has_metrics) task->metrics = rec.metrics;
+  task->completed = true;
+}
+
+}  // namespace
 
 SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {}
 
@@ -24,13 +57,59 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
   SweepResult result;
   result.tasks.resize(num_tasks);
 
+  // Checkpoint journal: restore already-completed tasks, then append each
+  // task as it finishes. `restored[i]` marks slots whose bodies must not
+  // re-run.
+  std::unique_ptr<recover::JournalWriter> journal;
+  std::vector<char> restored;
+  if (!options_.journal_path.empty()) {
+    recover::JournalHeader header;
+    header.fingerprint = Fingerprint(grid);
+    header.num_tasks = num_tasks;
+    recover::JournalWriter::Options jopts;
+    jopts.compact_every = options_.journal_compact_every;
+    jopts.after_append = options_.after_journal_append;
+    if (options_.resume) {
+      recover::JournalReadResult existing =
+          recover::ReadJournal(options_.journal_path);
+      if (!existing.ok) {
+        throw std::runtime_error("cannot resume sweep: " + existing.error);
+      }
+      if (existing.header.fingerprint != header.fingerprint ||
+          existing.header.num_tasks != header.num_tasks) {
+        throw std::runtime_error(
+            "cannot resume sweep: journal was written by a different grid "
+            "(fingerprint or task-count mismatch): " +
+            options_.journal_path);
+      }
+      restored.assign(num_tasks, 0);
+      for (const recover::TaskRecord& rec : existing.records) {
+        const auto index = static_cast<std::size_t>(rec.index);
+        if (index >= num_tasks || restored[index]) continue;
+        FromRecord(rec, grid, &result.tasks[index]);
+        restored[index] = 1;
+        ++result.resumed_tasks;
+      }
+      journal = std::make_unique<recover::JournalWriter>(
+          options_.journal_path, existing, std::move(jopts));
+    } else {
+      journal = std::make_unique<recover::JournalWriter>(
+          options_.journal_path, header, std::move(jopts));
+    }
+    if (!journal->ok()) {
+      throw std::runtime_error("cannot open sweep journal: " +
+                               options_.journal_path);
+    }
+  }
+
   obs::ScopedTimer run_span("sweep.run", "sweep");
   const auto wall_start = std::chrono::steady_clock::now();
   util::ThreadPool pool(options_.threads);
   const bool complete = pool.ParallelFor(
       num_tasks, options_.chunk,
-      [this, &grid, &result](std::size_t index) {
+      [this, &grid, &result, &journal, &restored](std::size_t index) {
         TaskResult& task = result.tasks[index];
+        if (!restored.empty() && restored[index]) return;  // from journal
         task.spec = grid.TaskAt(index);
         if (options_.before_task) options_.before_task(index);
 
@@ -117,8 +196,10 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
           task.metrics = registry->Snapshot();
         }
         task.completed = true;
+        if (journal) journal->Append(ToRecord(task));
       },
       &cancel_);
+  if (journal) journal->Close();  // final flush + fsync, even on cancel
   result.cancelled = !complete;
   result.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)

@@ -45,6 +45,26 @@ struct SweepOptions {
   // task-index order. The deterministic section of the merged snapshot is
   // byte-identical across thread counts (tests/obs_golden_test.cc).
   bool collect_metrics = false;
+
+  // Crash-safe checkpointing (src/recover/): when non-empty, every completed
+  // task's result is appended to this write-ahead journal as it finishes.
+  // A sweep killed at any instant can then re-Run with resume=true: tasks
+  // already journaled are restored verbatim (their bodies never re-run, the
+  // before_task hook is not called for them) and the merged output is
+  // byte-identical to an uninterrupted run at any thread count.
+  std::string journal_path;
+  // Resume from an existing journal at journal_path. Run throws
+  // std::runtime_error if the journal is unreadable or was written by a
+  // different grid (fingerprint/task-count mismatch). Torn tail records are
+  // truncated; duplicate records dedupe first-wins.
+  bool resume = false;
+  // Journal compaction cadence (rewrite deduped via temp+fsync+rename every
+  // N appends); 0 disables compaction.
+  std::size_t journal_compact_every = 64;
+  // Test hook: called after the Nth journal append has been flushed. The
+  // crash harness SIGKILLs itself in here to die at an exact journal
+  // position.
+  std::function<void(std::size_t)> after_journal_append;
 };
 
 struct TaskResult {
@@ -79,6 +99,8 @@ struct SweepResult {
   std::vector<GroupStats> groups;  // indexed by config index
   bool cancelled = false;
   double wall_seconds = 0.0;       // informational
+  // Tasks restored from the journal instead of executed (resume runs only).
+  std::size_t resumed_tasks = 0;
   // Fold of every completed task's snapshot in task-index order, plus
   // engine-level scheduling telemetry (timing-flagged). Empty unless
   // SweepOptions::collect_metrics.

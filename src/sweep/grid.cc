@@ -1,10 +1,12 @@
 #include "sweep/grid.h"
 
+#include <bit>
 #include <stdexcept>
 
 #include "core/greedy.h"
 #include "core/rssi.h"
 #include "core/wolt.h"
+#include "util/rng.h"
 
 namespace wolt::sweep {
 
@@ -91,6 +93,51 @@ TaskSpec SweepGrid::TaskAt(std::size_t index) const {
       (users_idx * extenders.size() + ext_idx) * seeds.size() +
       spec.seed_ordinal;
   return spec;
+}
+
+std::uint64_t Fingerprint(const SweepGrid& grid) {
+  std::uint64_t h = 0x574f4c545357504aULL;  // "WOLTSWPJ"
+  const auto mix = [&h](std::uint64_t v) { h = util::HashCombine64(h, v); };
+  const auto mix_d = [&mix](double v) {
+    mix(std::bit_cast<std::uint64_t>(v));
+  };
+
+  mix(grid.master_seed);
+  mix(grid.seeds.size());
+  for (std::uint64_t s : grid.seeds) mix(s);
+  mix(grid.users.size());
+  for (std::size_t u : grid.users) mix(u);
+  mix(grid.extenders.size());
+  for (std::size_t e : grid.extenders) mix(e);
+  mix(grid.sharing.size());
+  for (model::PlcSharing s : grid.sharing) {
+    mix(static_cast<std::uint64_t>(s));
+  }
+  mix(grid.policies.size());
+  for (PolicyKind p : grid.policies) mix(static_cast<std::uint64_t>(p));
+
+  const sim::ScenarioParams& b = grid.base;
+  mix_d(b.width_m);
+  mix_d(b.height_m);
+  mix(b.num_extenders);
+  mix(b.num_users);
+  mix_d(b.path_loss.pl0_db);
+  mix_d(b.path_loss.exponent);
+  mix_d(b.path_loss.tx_power_dbm);
+  mix_d(b.shadowing_sigma_db);
+  mix(static_cast<std::uint64_t>(b.plc.source));
+  mix(b.plc.measured_anchors.size());
+  for (double a : b.plc.measured_anchors) mix_d(a);
+  mix_d(b.plc.anchor_jitter_sigma);
+  mix_d(b.plc.min_wire_m);
+  mix_d(b.plc.max_wire_m);
+  mix(static_cast<std::uint64_t>(b.plc.max_branch_taps));
+  mix_d(b.plc.shadowing_sigma_db);
+  mix_d(b.plc.min_capacity_mbps);
+  mix_d(b.plc.max_capacity_mbps);
+  mix_d(b.extender_grid_jitter);
+  mix(static_cast<std::uint64_t>(b.max_placement_retries));
+  return h;
 }
 
 }  // namespace wolt::sweep

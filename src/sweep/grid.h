@@ -75,4 +75,10 @@ struct SweepGrid {
   TaskSpec TaskAt(std::size_t index) const;
 };
 
+// Order-sensitive hash of everything that determines a sweep's task space
+// and per-task results: master seed, every axis (lengths and values), and
+// the shared scenario parameters. Stamped into the checkpoint journal
+// header so a journal can never be resumed against a different grid.
+std::uint64_t Fingerprint(const SweepGrid& grid);
+
 }  // namespace wolt::sweep

@@ -1,8 +1,9 @@
 #include "sweep/report.h"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "util/fileio.h"
 
 namespace wolt::sweep {
 namespace {
@@ -15,10 +16,7 @@ std::string Num(double v) {
 }
 
 bool WriteString(const std::string& text, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << text;
-  return static_cast<bool>(out);
+  return util::WriteFileAtomic(path, text);
 }
 
 }  // namespace

@@ -15,16 +15,16 @@ std::string CsvEscape(const std::string& field) {
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
     : out_(path), columns_(header.size()) {
-  if (out_) AddRow(header);
+  if (out_.ok()) AddRow(header);
 }
 
 void CsvWriter::AddRow(const std::vector<std::string>& cells) {
-  if (!out_) return;
+  if (!out_.ok()) return;
   for (std::size_t c = 0; c < columns_; ++c) {
-    if (c) out_ << ',';
-    if (c < cells.size()) out_ << CsvEscape(cells[c]);
+    if (c) out_.stream() << ',';
+    if (c < cells.size()) out_.stream() << CsvEscape(cells[c]);
   }
-  out_ << '\n';
+  out_.stream() << '\n';
 }
 
 }  // namespace wolt::util

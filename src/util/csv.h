@@ -2,25 +2,32 @@
 // alongside the human-readable tables, so results can be re-plotted.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/fileio.h"
 
 namespace wolt::util {
 
 class CsvWriter {
  public:
-  // Opens `path` for writing and emits the header row. `ok()` reports
-  // whether the stream is usable; benches treat an unwritable path as
-  // non-fatal (they still print tables to stdout).
+  // Stages the file at `<path>.tmp` and emits the header row; the finished
+  // file appears at `path` atomically when the writer is destroyed (or
+  // Commit() is called) — a crash mid-dump never leaves a torn CSV behind.
+  // `ok()` reports whether the staging stream is usable; benches treat an
+  // unwritable path as non-fatal (they still print tables to stdout).
   CsvWriter(const std::string& path, std::vector<std::string> header);
 
-  bool ok() const { return static_cast<bool>(out_); }
+  bool ok() const { return out_.ok(); }
 
   void AddRow(const std::vector<std::string>& cells);
 
+  // Finalize: fsync + rename into place. Idempotent; the destructor calls
+  // it if the bench does not.
+  bool Commit() { return out_.Commit(); }
+
  private:
-  std::ofstream out_;
+  AtomicFileWriter out_;
   std::size_t columns_ = 0;
 };
 

@@ -1,0 +1,95 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace wolt::util {
+namespace {
+
+// fsync by path; returns false when the file cannot be opened or synced.
+bool SyncPath(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::string DirOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// fsync file contents, rename over the destination, fsync the directory so
+// the rename is durable too. The directory fsync is best-effort: some
+// filesystems refuse O_RDONLY directory syncs, and the rename itself is
+// already atomic for readers.
+bool CommitTemp(const std::string& tmp, const std::string& path) {
+  if (!SyncPath(tmp, O_WRONLY)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  SyncPath(DirOf(path), O_RDONLY);
+  return true;
+}
+
+}  // namespace
+
+bool WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << contents;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  return CommitTemp(tmp, path);
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  ok_ = static_cast<bool>(out_);
+  if (!ok_) done_ = true;  // nothing to commit or clean up
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!done_) Commit();
+}
+
+bool AtomicFileWriter::Commit() {
+  if (done_) return ok_;
+  done_ = true;
+  out_.flush();
+  if (!out_) {
+    ok_ = false;
+    out_.close();
+    std::remove(tmp_path_.c_str());
+    return false;
+  }
+  out_.close();
+  ok_ = CommitTemp(tmp_path_, path_);
+  return ok_;
+}
+
+void AtomicFileWriter::Abandon() {
+  if (done_) return;
+  done_ = true;
+  ok_ = false;
+  out_.close();
+  std::remove(tmp_path_.c_str());
+}
+
+}  // namespace wolt::util

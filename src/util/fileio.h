@@ -1,0 +1,54 @@
+// Crash-atomic file emission, shared by every reporter and bench that
+// writes an artefact (sweep CSV/JSON, metrics snapshots, traces, saved
+// networks). The contract: readers of `path` observe either the previous
+// complete file or the new complete file, never a torn intermediate —
+// achieved by writing a sibling temp file, fsync'ing it, and rename(2)'ing
+// it over the destination (atomic within a filesystem), then fsync'ing the
+// directory so the rename itself survives a crash.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace wolt::util {
+
+// Writes `contents` to `path` atomically (temp sibling + fsync + rename +
+// directory fsync). Returns false and leaves any existing file untouched on
+// failure; the temp file is cleaned up.
+bool WriteFileAtomic(const std::string& path, const std::string& contents);
+
+// Streaming variant for writers that build output incrementally (CsvWriter).
+// All bytes go to `<path>.tmp`; nothing is visible at `path` until Commit()
+// (called explicitly or by the destructor) renames the finished temp file
+// into place. A crash mid-write leaves only the temp file behind — the
+// destination is never torn.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // Whether the temp file opened and no write/commit error has occurred.
+  bool ok() const { return ok_ && static_cast<bool>(out_); }
+
+  std::ostream& stream() { return out_; }
+
+  // Flush + fsync the temp file, rename it over the destination, fsync the
+  // directory. Idempotent; returns false (and removes the temp file) on any
+  // failure. Called by the destructor if not called explicitly.
+  bool Commit();
+
+  // Drop the temp file without touching the destination.
+  void Abandon();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool ok_ = false;
+  bool done_ = false;
+};
+
+}  // namespace wolt::util

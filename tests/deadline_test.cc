@@ -1,0 +1,319 @@
+// The anytime control plane: cooperative deadline tokens, the controller's
+// degradation ladder, and the flap quarantine.
+//
+// Contracts under test:
+//  * a null or generous deadline leaves every solver and the budgeted
+//    Reoptimize bit-identical to the unbudgeted path;
+//  * a born-expired budget always yields a valid assignment served by the
+//    hold-last-good tier, with the obs counters recording the tier;
+//  * a deadline-truncated Hungarian solve is a consistent partial matching;
+//  * a flapping backhaul is quarantined after the threshold and released
+//    after the hold, restoring the last reported capacity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assign/hungarian.h"
+#include "core/controller.h"
+#include "core/greedy.h"
+#include "core/wolt.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/deadline.h"
+#include "util/rng.h"
+
+namespace wolt::core {
+namespace {
+
+constexpr std::size_t kExtenders = 4;
+
+// Deterministic controller with `num_users` arrived users and live
+// backhauls. Rates are seeded so every run builds the identical state.
+std::unique_ptr<CentralController> MakeController(
+    std::size_t num_users, QuarantineParams quarantine = {}) {
+  auto cc = std::make_unique<CentralController>(
+      kExtenders, std::make_unique<WoltPolicy>(), RetryParams{}, quarantine);
+  const double caps[kExtenders] = {120.0, 90.0, 60.0, 45.0};
+  for (std::size_t j = 0; j < kExtenders; ++j) {
+    EXPECT_EQ(cc->HandleCapacityReport({static_cast<int>(j), caps[j]}),
+              HandleStatus::kOk);
+  }
+  util::Rng rng(4242);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    ScanReport scan;
+    scan.user_id = static_cast<std::int64_t>(100 + u);
+    for (std::size_t j = 0; j < kExtenders; ++j) {
+      scan.rates_mbps.push_back(rng.Uniform(20.0, 120.0));
+    }
+    EXPECT_TRUE(cc->HandleUserArrival(scan).ok());
+  }
+  return cc;
+}
+
+void ExpectSameAssignment(const CentralController& a,
+                          const CentralController& b) {
+  ASSERT_EQ(a.NumUsers(), b.NumUsers());
+  for (std::size_t i = 0; i < a.NumUsers(); ++i) {
+    EXPECT_EQ(a.assignment().ExtenderOf(i), b.assignment().ExtenderOf(i))
+        << "user index " << i;
+  }
+}
+
+std::uint64_t CounterValue(const obs::MetricsSnapshot& snap,
+                           const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+// Every assigned user must actually hear its extender and the extender's
+// backhaul must be believed live — the "always valid" half of the anytime
+// contract.
+void ExpectValidAssignment(const CentralController& cc) {
+  const model::Network& net = cc.network();
+  for (std::size_t i = 0; i < cc.NumUsers(); ++i) {
+    const int j = cc.assignment().ExtenderOf(i);
+    if (j == model::Assignment::kUnassigned) continue;
+    EXPECT_GT(net.WifiRate(i, static_cast<std::size_t>(j)), 0.0)
+        << "user " << i << " assigned to an unreachable extender";
+  }
+}
+
+TEST(DeadlineToken, BasicSemantics) {
+  const util::Deadline unlimited;
+  EXPECT_FALSE(unlimited.Expired());
+  EXPECT_FALSE(util::DeadlineExpired(nullptr));
+  const util::Deadline born_dead = util::Deadline::After(0.0);
+  EXPECT_TRUE(born_dead.Expired());
+  EXPECT_TRUE(born_dead.Expired());  // sticky
+  const util::Deadline negative = util::Deadline::After(-5.0);
+  EXPECT_TRUE(negative.Expired());
+  const util::Deadline generous = util::Deadline::After(3600.0);
+  EXPECT_FALSE(generous.Expired());
+}
+
+TEST(DeadlineHungarian, BornExpiredLeavesEveryRowUnmatched) {
+  assign::Matrix utilities(3, 4, 0.0);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      utilities(r, c) = static_cast<double>(1 + r * 4 + c);
+    }
+  }
+  const util::Deadline dead = util::Deadline::After(0.0);
+  const assign::HungarianResult result =
+      assign::SolveAssignmentMax(utilities, &dead);
+  EXPECT_TRUE(result.deadline_hit);
+  EXPECT_EQ(result.total_utility, 0.0);
+  for (int c : result.col_of_row) EXPECT_EQ(c, -1);
+}
+
+TEST(DeadlineHungarian, UnexpiredDeadlineIsBitIdentical) {
+  util::Rng rng(7);
+  assign::Matrix utilities(6, 9, 0.0);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) {
+      utilities(r, c) = rng.Uniform(0.0, 50.0);
+    }
+  }
+  const util::Deadline generous = util::Deadline::After(3600.0);
+  const assign::HungarianResult with =
+      assign::SolveAssignmentMax(utilities, &generous);
+  const assign::HungarianResult without =
+      assign::SolveAssignmentMax(utilities, nullptr);
+  EXPECT_FALSE(with.deadline_hit);
+  EXPECT_EQ(with.col_of_row, without.col_of_row);
+  EXPECT_EQ(with.total_utility, without.total_utility);
+}
+
+TEST(DeadlineGreedy, BornExpiredPlacesNobodyButStaysValid) {
+  GreedyPolicy greedy;
+  const util::Deadline dead = util::Deadline::After(0.0);
+  greedy.SetDeadline(&dead);
+  model::Network net(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    net.SetWifiRate(i, 0, 50.0);
+    net.SetWifiRate(i, 1, 40.0);
+  }
+  net.SetPlcRate(0, 100.0);
+  net.SetPlcRate(1, 100.0);
+  const model::Assignment out = greedy.AssociateFresh(net);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FALSE(out.IsAssigned(i));
+}
+
+TEST(AnytimeReopt, GenerousBudgetMatchesUnbudgetedReoptimize) {
+  auto budgeted = MakeController(10);
+  auto plain = MakeController(10);
+  // Perturb both identically so reoptimization has real work: kill the
+  // strongest backhaul.
+  EXPECT_EQ(budgeted->HandleCapacityReport({0, 0.0}), HandleStatus::kOk);
+  EXPECT_EQ(plain->HandleCapacityReport({0, 0.0}), HandleStatus::kOk);
+
+  const std::vector<AssociationDirective> want = plain->Reoptimize();
+  const ReoptReport got = budgeted->Reoptimize(/*budget_seconds=*/3600.0);
+
+  EXPECT_EQ(got.tier, ReoptTier::kFull);
+  EXPECT_FALSE(got.budget_limited);
+  ASSERT_EQ(got.directives.size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ(got.directives[k].user_id, want[k].user_id);
+    EXPECT_EQ(got.directives[k].extender, want[k].extender);
+  }
+  ExpectSameAssignment(*budgeted, *plain);
+}
+
+TEST(AnytimeReopt, ZeroBudgetHoldsLastGoodAndStaysValid) {
+  auto cc = MakeController(8);
+  const model::Assignment before = cc->assignment();
+
+  const ReoptReport report = cc->Reoptimize(/*budget_seconds=*/0.0);
+  EXPECT_EQ(report.tier, ReoptTier::kHoldLastGood);
+  EXPECT_TRUE(report.budget_limited);
+  // Healthy backhauls: hold-last-good means literally nothing moves.
+  EXPECT_TRUE(report.directives.empty());
+  ExpectSameAssignment(*cc, *cc);
+  for (std::size_t i = 0; i < cc->NumUsers(); ++i) {
+    EXPECT_EQ(cc->assignment().ExtenderOf(i), before.ExtenderOf(i));
+  }
+  ExpectValidAssignment(*cc);
+}
+
+TEST(AnytimeReopt, ZeroBudgetEvacuatesDeadBackhaul) {
+  auto cc = MakeController(8);
+  EXPECT_EQ(cc->HandleCapacityReport({1, 0.0}), HandleStatus::kOk);
+  const model::Assignment before = cc->assignment();
+
+  const ReoptReport report = cc->Reoptimize(/*budget_seconds=*/0.0);
+  EXPECT_EQ(report.tier, ReoptTier::kHoldLastGood);
+  // Users who sat on extender 1 are evacuated (unassigned, no directive);
+  // everyone else holds.
+  for (std::size_t i = 0; i < cc->NumUsers(); ++i) {
+    if (before.ExtenderOf(i) == 1) {
+      EXPECT_FALSE(cc->assignment().IsAssigned(i)) << "user " << i;
+    } else {
+      EXPECT_EQ(cc->assignment().ExtenderOf(i), before.ExtenderOf(i));
+    }
+  }
+  EXPECT_TRUE(report.directives.empty());
+  ExpectValidAssignment(*cc);
+}
+
+TEST(AnytimeReopt, TinyBudgetAlwaysYieldsValidAssignment) {
+  // 1 microsecond: whatever rung (if any) wins the race, the result must be
+  // deployable (every assigned user hears its extender) and must score at
+  // least the evacuation baseline — the do-no-harm floor. Run several
+  // times: the serving tier may vary with scheduling, the validity must not.
+  for (int round = 0; round < 20; ++round) {
+    auto cc = MakeController(12);
+    EXPECT_EQ(cc->HandleCapacityReport({0, 0.0}), HandleStatus::kOk);
+    const double evacuation_floor = [&] {
+      model::Assignment evac = cc->assignment();
+      for (std::size_t i = 0; i < cc->NumUsers(); ++i) {
+        if (evac.ExtenderOf(i) == 0) evac.Unassign(i);
+      }
+      return model::Evaluator().AggregateThroughput(cc->network(), evac);
+    }();
+    const ReoptReport report = cc->Reoptimize(/*budget_seconds=*/1e-6);
+    (void)report;
+    ExpectValidAssignment(*cc);
+    EXPECT_GE(cc->CurrentAggregate() + 1e-6, evacuation_floor)
+        << "round " << round;
+  }
+}
+
+TEST(AnytimeReopt, ObsCountersRecordServingTier) {
+  obs::MetricsRegistry registry;
+  {
+    obs::ScopedMetrics scoped(registry);
+    auto cc = MakeController(6);
+    cc->Reoptimize(/*budget_seconds=*/0.0);     // hold tier + overrun
+    cc->Reoptimize(/*budget_seconds=*/3600.0);  // full tier
+  }
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snap, "ctrl.reopt.tier.hold"), 1u);
+  EXPECT_EQ(CounterValue(snap, "ctrl.reopt.tier.full"), 1u);
+  EXPECT_EQ(CounterValue(snap, "ctrl.reopt.budget_overruns"), 1u);
+}
+
+TEST(FlapQuarantine, DisabledByDefault) {
+  auto cc = MakeController(4);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(cc->HandleCapacityReport({2, k % 2 ? 60.0 : 0.0}),
+              HandleStatus::kOk);
+  }
+  EXPECT_FALSE(cc->IsQuarantined(2));
+  EXPECT_EQ(cc->QuarantineTrips(), 0u);
+}
+
+TEST(FlapQuarantine, TripsOnThresholdAndReleasesAfterHold) {
+  QuarantineParams q;
+  q.flap_threshold = 3;
+  q.window = 100.0;
+  q.hold = 5.0;
+  auto cc = MakeController(4, q);
+
+  // Three up<->down transitions inside the window: down, up, down.
+  cc->AdvanceTime(1.0);
+  EXPECT_EQ(cc->HandleCapacityReport({2, 0.0}), HandleStatus::kOk);
+  cc->AdvanceTime(2.0);
+  EXPECT_EQ(cc->HandleCapacityReport({2, 60.0}), HandleStatus::kOk);
+  EXPECT_FALSE(cc->IsQuarantined(2));
+  cc->AdvanceTime(3.0);
+  EXPECT_EQ(cc->HandleCapacityReport({2, 0.0}), HandleStatus::kOk);
+  EXPECT_TRUE(cc->IsQuarantined(2));
+  EXPECT_EQ(cc->QuarantineTrips(), 1u);
+  // While quarantined the controller plans as if the link were down, even
+  // when a (possibly transient) healthy report arrives.
+  cc->AdvanceTime(4.0);
+  EXPECT_EQ(cc->HandleCapacityReport({2, 75.0}), HandleStatus::kOk);
+  EXPECT_EQ(cc->network().PlcRate(2), 0.0);
+  EXPECT_TRUE(cc->IsQuarantined(2));
+
+  // Flap-free for the hold: released, last reported capacity restored.
+  cc->AdvanceTime(20.0);
+  EXPECT_FALSE(cc->IsQuarantined(2));
+  EXPECT_EQ(cc->QuarantineReleases(), 1u);
+  EXPECT_EQ(cc->network().PlcRate(2), 75.0);
+}
+
+TEST(FlapQuarantine, FlappingDuringHoldExtendsQuarantine) {
+  QuarantineParams q;
+  q.flap_threshold = 2;
+  q.window = 100.0;
+  q.hold = 10.0;
+  auto cc = MakeController(4, q);
+
+  cc->AdvanceTime(1.0);
+  EXPECT_EQ(cc->HandleCapacityReport({3, 0.0}), HandleStatus::kOk);
+  cc->AdvanceTime(2.0);
+  EXPECT_EQ(cc->HandleCapacityReport({3, 45.0}), HandleStatus::kOk);
+  EXPECT_TRUE(cc->IsQuarantined(3));
+
+  // A fresh flap at t=9 restarts the hold clock: still quarantined at t=13
+  // (old release would have been t=12), released only at t=19+.
+  cc->AdvanceTime(9.0);
+  EXPECT_EQ(cc->HandleCapacityReport({3, 0.0}), HandleStatus::kOk);
+  cc->AdvanceTime(13.0);
+  EXPECT_TRUE(cc->IsQuarantined(3));
+  cc->AdvanceTime(19.5);
+  EXPECT_FALSE(cc->IsQuarantined(3));
+}
+
+TEST(FlapQuarantine, OutOfRangeExtenderIsNeverQuarantined) {
+  auto cc = MakeController(2);
+  EXPECT_FALSE(cc->IsQuarantined(-1));
+  EXPECT_FALSE(cc->IsQuarantined(99));
+}
+
+TEST(ReoptTierNames, ToStringCoversAllTiers) {
+  EXPECT_STREQ(ToString(ReoptTier::kFull), "full");
+  EXPECT_STREQ(ToString(ReoptTier::kHungarianOnly), "hungarian-only");
+  EXPECT_STREQ(ToString(ReoptTier::kGreedy), "greedy");
+  EXPECT_STREQ(ToString(ReoptTier::kHoldLastGood), "hold-last-good");
+}
+
+}  // namespace
+}  // namespace wolt::core

@@ -69,6 +69,11 @@ TEST(IoGoldenTest, MalformedCorpusRejectedWithTypedErrors) {
       {"bad_keyvalue.net", IoErrorKind::kBadKeyValue},
       {"bad_number.net", IoErrorKind::kBadNumber},
       {"negative_rate.net", IoErrorKind::kBadNumber},
+      // Non-finite values: accepted by stod, fatal to the Evaluator's
+      // aggregates — must die at load time with a typed error.
+      {"inf_rate.net", IoErrorKind::kBadNumber},
+      {"inf_plc.net", IoErrorKind::kBadNumber},
+      {"nan_demand.net", IoErrorKind::kBadNumber},
       {"bad_dimension.net", IoErrorKind::kBadDimension},
       {"trailing.net", IoErrorKind::kTrailingInput},
       {"partial_rssi.net", IoErrorKind::kTruncated},
