@@ -22,6 +22,7 @@
 #include "sweep/engine.h"
 #include "sweep/grid.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -85,6 +86,34 @@ BENCHMARK(BM_WoltAssociate)
     ->Args({200, 30})
     ->Args({500, 30})
     ->Args({1000, 50})
+    ->Args({2000, 100})
+    ->Args({5000, 200})
+    ->Unit(benchmark::kMicrosecond);
+
+// The same association with the in-solve parallel multi-start: Phase II's
+// independent starts spread over a thread pool, merged deterministically by
+// start index — the result is byte-identical to the serial solve at every
+// thread count, so only wall time may change (hence UseRealTime; CPU time
+// sums across workers).
+void BM_WoltAssociatePar(benchmark::State& state) {
+  const model::Network net =
+      MakeNetwork(static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+  util::ThreadPool pool(static_cast<int>(state.range(2)));
+  core::WoltOptions wo;
+  wo.phase2_pool = &pool;
+  core::WoltPolicy wolt(wo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wolt.AssociateFresh(net));
+  }
+}
+BENCHMARK(BM_WoltAssociatePar)
+    ->ArgNames({"users", "ext", "threads"})
+    ->Args({1000, 50, 1})
+    ->Args({1000, 50, 2})
+    ->Args({1000, 50, 4})
+    ->Args({1000, 50, 8})
+    ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
 // The same association with and without a MetricsScope installed, from ONE
@@ -284,6 +313,11 @@ BENCHMARK(BM_SweepThroughput)
 int main(int argc, char** argv) {
   wolt::bench::ObsSession obs(argc, argv);
   wolt::bench::ObsSession::Strip(argc, argv);
+  // Build-type provenance for recorded runs: bench/run_benches.sh refuses
+  // to record anything but a Release build unless --allow-debug is passed.
+#ifdef WOLT_BENCH_BUILD_TYPE
+  benchmark::AddCustomContext("wolt_build_type", WOLT_BENCH_BUILD_TYPE);
+#endif
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

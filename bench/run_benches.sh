@@ -13,8 +13,14 @@
 #
 #   bench/run_benches.sh BENCH_sweep.json 'BM_SweepThroughput'
 #
-# Usage: bench/run_benches.sh [output.json] [benchmark_filter]
+# Usage: bench/run_benches.sh [--allow-debug] [output.json] [benchmark_filter]
 #   BENCH_BIN=path/to/bench_scaling_runtime overrides the binary location.
+#
+# Recorded numbers are only comparable between Release builds, so the script
+# refuses to record a run whose JSON context reports any other build type
+# (the binary stamps CMAKE_BUILD_TYPE into the context as wolt_build_type).
+# Pass --allow-debug to record a non-Release run anyway, e.g. while
+# debugging the bench itself.
 #
 # Every run also archives an observability metrics snapshot (solver counter
 # totals accumulated across all benchmark iterations) next to the output as
@@ -28,8 +34,17 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-BENCH_scaling.json}"
-filter="${2:-.}"
+
+allow_debug=0
+positional=()
+for arg in "$@"; do
+  case "${arg}" in
+    --allow-debug) allow_debug=1 ;;
+    *) positional+=("${arg}") ;;
+  esac
+done
+out="${positional[0]:-BENCH_scaling.json}"
+filter="${positional[1]:-.}"
 
 bin="${BENCH_BIN:-}"
 if [[ -z "${bin}" ]]; then
@@ -71,6 +86,18 @@ if [[ ! -s "${tmp}" ]] ||
     [[ "$(jq '.benchmarks | length > 0' "${tmp}" 2>/dev/null)" != "true" ]]; then
   echo "error: ${bin} produced no benchmark results for filter '${filter}'" >&2
   echo "       (missing, invalid, or empty .benchmarks JSON)" >&2
+  exit 1
+fi
+
+# Refuse to record non-Release numbers: they are not comparable with the
+# checked-in baselines. wolt_build_type is the binary's own CMAKE_BUILD_TYPE
+# stamp; library_build_type (google-benchmark's NDEBUG-based guess) is the
+# fallback for binaries predating the stamp.
+build_type="$(jq -r '.context.wolt_build_type // .context.library_build_type // "unknown"' "${tmp}")"
+if [[ "${allow_debug}" -ne 1 && "$(echo "${build_type}" | tr '[:upper:]' '[:lower:]')" != "release" ]]; then
+  echo "error: refusing to record a '${build_type}' build (only Release runs are comparable)" >&2
+  echo "       build with: cmake --preset perf && cmake --build --preset perf -j" >&2
+  echo "       or pass --allow-debug to record anyway" >&2
   exit 1
 fi
 

@@ -81,9 +81,10 @@ PY
   echo "==> coverage: TSan pass over the lock-free metrics path"
   cmake --preset tsan >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target obs_test obs_golden_test \
-    thread_pool_test sweep_determinism_test
+    thread_pool_test sweep_determinism_test local_search_test \
+    solver_differential_test
   ctest --test-dir build-tsan --output-on-failure -R \
-    '^(obs_test|obs_golden_test|thread_pool_test|sweep_determinism_test)$'
+    '^(obs_test|obs_golden_test|thread_pool_test|sweep_determinism_test|local_search_test|solver_differential_test)$'
 
   echo "==> coverage gate passed"
   exit 0
@@ -108,6 +109,10 @@ cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)"
 
 echo "==> tsan: ctest (full suite under TSan)"
+# The full suite includes the in-solve parallel paths: local_search_test's
+# MultiStartParallel byte-identity cases and solver_differential_test's
+# per-start arena reuse run WOLT's Phase-II searches on a live ThreadPool,
+# which is where a data race in the deterministic merge would surface.
 ctest --test-dir build-tsan --output-on-failure
 
 echo "==> determinism smoke: 4-thread sweep CSV == 1-thread sweep CSV"
@@ -138,5 +143,35 @@ rm -f /tmp/wolt_resume.wal /tmp/wolt_resume.csv /tmp/wolt_resume_golden.csv
 
 echo "==> chaos smoke: 10-seed soak with invariant gate (4 threads)"
 ./build/bench/bench_chaos_soak 10 4
+
+echo "==> perf smoke: obs overhead (hooks enabled <= 5% over disabled)"
+# BM_WoltAssociateObs runs the identical WOLT solve with (/1) and without
+# (/0) a live MetricsScope from one benchmark function, so the pair isolates
+# pure instrumentation overhead. Wall-clock noise on shared CI hosts is
+# absorbed by retrying: the gate fails only if all three attempts regress.
+perf_smoke_ok=0
+for attempt in 1 2 3; do
+  ./build/bench/bench_scaling_runtime \
+      --benchmark_filter='^BM_WoltAssociateObs/200/15/[01]$' \
+      --benchmark_min_time=0.2 \
+      --benchmark_format=json >/tmp/wolt_obs_smoke.json 2>/dev/null
+  t_off="$(jq -r '[.benchmarks[] | select(.name | endswith("/0"))][0].cpu_time' /tmp/wolt_obs_smoke.json)"
+  t_on="$(jq -r '[.benchmarks[] | select(.name | endswith("/1"))][0].cpu_time' /tmp/wolt_obs_smoke.json)"
+  if [[ "${t_off}" == "null" || "${t_on}" == "null" ]]; then
+    echo "error: obs-overhead pair missing from benchmark output" >&2
+    exit 1
+  fi
+  if awk -v on="${t_on}" -v off="${t_off}" 'BEGIN { exit !(on <= off * 1.05) }'; then
+    echo "    attempt ${attempt}: obs on/off = ${t_on}/${t_off} — within 5%"
+    perf_smoke_ok=1
+    break
+  fi
+  echo "    attempt ${attempt}: obs on/off = ${t_on}/${t_off} — over 5%, retrying"
+done
+rm -f /tmp/wolt_obs_smoke.json
+if [[ "${perf_smoke_ok}" -ne 1 ]]; then
+  echo "error: observability overhead exceeded 5% on all attempts" >&2
+  exit 1
+fi
 
 echo "==> CI gate passed"

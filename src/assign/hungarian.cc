@@ -12,23 +12,55 @@ namespace {
 // in the final matching means the instance was infeasible.
 constexpr double kBigCost = 1e15;
 
-// Shortest-augmenting-path Hungarian on an n x m cost matrix (n <= m),
-// 1-indexed internally. Returns row assigned to each column in p.
-HungarianResult SolveMinImpl(const Matrix& costs,
-                             const util::Deadline* deadline) {
-  const std::size_t n = costs.rows();
-  const std::size_t m = costs.cols();
+constexpr double kMax = std::numeric_limits<double>::max();
 
-  std::vector<double> u(n + 1, 0.0);
-  std::vector<double> v(m + 1, 0.0);
-  std::vector<std::size_t> p(m + 1, 0);  // p[j] = row matched to column j
-  std::vector<std::size_t> way(m + 1, 0);
-  std::vector<double> minv(m + 1);
-  std::vector<bool> used(m + 1);
+// Shortest-augmenting-path Hungarian on an n x m cost matrix (n <= m),
+// data-oriented formulation:
+//
+//  * Contiguous column-id layout. All per-column state (v/minv/way) stays
+//    in column-id order, so every scan reads the cost row and the dual
+//    arrays with unit stride — no permutation gather in the hot loop. A
+//    used column is retired in place: its `used_mask` entry flips from 0.0
+//    to +inf (which forces its relaxation candidate to +inf, freezing
+//    `way`) and its `minv` is parked at kMax so it decays out of every
+//    later argmin instead of being re-selected.
+//
+//  * Fused passes. The classic e-maxx inner loop makes one branchy scan
+//    over all m columns plus a second full-width delta-application pass.
+//    Here the previous step's minv subtraction and the relaxation through
+//    the new tree column run in one branchless elementwise pass (the shape
+//    the auto-vectorizer wants), followed by a min-reduction and a
+//    first-index match — ties break towards the smallest column id, which
+//    is what the classic ascending scan does. The dual updates for the
+//    used columns are replayed from the recorded per-step deltas once at
+//    the end of the row (a used column's duals are never read until its
+//    row is rescanned, which can only happen after it joined the tree).
+//
+//  * Arena scratch. All working arrays come from a SolverArena; a caller
+//    that reuses one arena keeps repeated solves allocation-free.
+//
+// The restructuring is value-exact: every observable minv entry, delta,
+// dual and tie-break reproduces the classic formulation bit for bit (the
+// +0.0 mask add can at most flip the sign of a zero, which no comparison
+// or dual sum can distinguish), so results are byte-identical to the
+// pre-optimization solver.
+HungarianResult SolveMinImpl(const double* costs, std::size_t n,
+                             std::size_t m, const util::Deadline* deadline,
+                             util::SolverArena& arena) {
+  double* u = arena.AllocFill<double>(n, 0.0);      // row potentials
+  double* v = arena.AllocFill<double>(m, 0.0);      // column potentials
+  double* minv = arena.Alloc<double>(m);            // tentative path costs
+  double* used_mask = arena.Alloc<double>(m);       // 0.0 live, +inf used
+  int* way = arena.Alloc<int>(m);                   // predecessor column
+  int* used_cols = arena.Alloc<int>(m);             // tree columns, in order
+  int* use_step = arena.Alloc<int>(m);              // step column was used at
+  double* delta_hist = arena.Alloc<double>(m + 1);  // per-step deltas
+  int* p_col = arena.AllocFill<int>(m, -1);         // column -> matched row
+  constexpr double kInf = std::numeric_limits<double>::infinity();
 
   std::uint64_t augment_steps = 0;
   bool deadline_hit = false;
-  for (std::size_t i = 1; i <= n; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     // One row augmentation is the solver's bounded unit of work. Stopping
     // before row i leaves rows < i matched to distinct columns — a valid
     // best-so-far partial assignment.
@@ -36,44 +68,96 @@ HungarianResult SolveMinImpl(const Matrix& costs,
       deadline_hit = true;
       break;
     }
-    p[0] = i;
-    std::size_t j0 = 0;
-    minv.assign(m + 1, std::numeric_limits<double>::max());
-    used.assign(m + 1, false);
-    do {
+    for (std::size_t k = 0; k < m; ++k) minv[k] = kMax;
+    for (std::size_t k = 0; k < m; ++k) used_mask[k] = 0.0;
+    double delta_prev = 0.0;  // last step's delta, applied lazily in-pass
+    std::size_t steps = 0;    // completed tree-growing steps this row
+    std::size_t t = 0;        // used-column count
+    int j0c = -1;             // current column id (-1 = virtual root)
+    std::size_t i0 = i;       // row matched to j0c (virtual -> this row)
+    int free_col = -1;
+    for (;;) {
       ++augment_steps;
-      used[j0] = true;
-      const std::size_t i0 = p[j0];
-      const double* row = costs.Row(i0 - 1);
-      double delta = std::numeric_limits<double>::max();
+      const double* row = costs + i0 * m;
+      const double u0 = u[i0];
+      // Fused elementwise pass: apply the previous step's delta and relax
+      // through j0c. Used columns see cur == +inf (mask add), so their
+      // `way` is frozen and their parked-kMax minv only decays — far above
+      // any live candidate (deltas are bounded by kBigCost per step).
+      for (std::size_t k = 0; k < m; ++k) {
+        double mk = minv[k] - delta_prev;
+        const double cur = (row[k] - u0 - v[k]) + used_mask[k];
+        const bool better = cur < mk;
+        mk = better ? cur : mk;
+        way[k] = better ? j0c : way[k];
+        minv[k] = mk;
+      }
+      // Min-reduction + first-index match: the first minimum in ascending
+      // column order is exactly the classic scan's tie-break (a -0.0/+0.0
+      // pair compares equal both ways, so the match finds the same index
+      // the fused scalar scan would have kept). The reduction runs on 8
+      // independent lane accumulators so it vectorizes despite strict FP
+      // semantics — min is exactly associative, so the lane split cannot
+      // change the reduced value (beyond a zero's sign, which the !=
+      // index match cannot see).
+      double lane_min[8];
+      for (std::size_t l = 0; l < 8; ++l) lane_min[l] = kMax;
+      const std::size_t m8 = m - m % 8;
+      for (std::size_t k = 0; k < m8; k += 8) {
+        for (std::size_t l = 0; l < 8; ++l) {
+          const double x = minv[k + l];
+          lane_min[l] = x < lane_min[l] ? x : lane_min[l];
+        }
+      }
+      double best = lane_min[0];
+      for (std::size_t l = 1; l < 8; ++l) {
+        best = lane_min[l] < best ? lane_min[l] : best;
+      }
+      for (std::size_t k = m8; k < m; ++k) {
+        best = minv[k] < best ? minv[k] : best;
+      }
       std::size_t j1 = 0;
-      for (std::size_t j = 1; j <= m; ++j) {
-        if (used[j]) continue;
-        const double cur = row[j - 1] - u[i0] - v[j];
-        if (cur < minv[j]) {
-          minv[j] = cur;
-          way[j] = j0;
-        }
-        if (minv[j] < delta) {
-          delta = minv[j];
-          j1 = j;
-        }
+      while (minv[j1] != best) ++j1;
+      delta_hist[steps++] = best;
+      delta_prev = best;
+      const int jc = static_cast<int>(j1);
+      if (p_col[jc] < 0) {
+        free_col = jc;  // unmatched column reached: augment
+        break;
       }
-      for (std::size_t j = 0; j <= m; ++j) {
-        if (used[j]) {
-          u[p[j]] += delta;
-          v[j] -= delta;
-        } else {
-          minv[j] -= delta;
-        }
+      // Retire j1 in place; record the step so the row-end dual replay
+      // applies exactly the deltas that accrued from this step on.
+      used_mask[j1] = kInf;
+      minv[j1] = kMax;
+      used_cols[t] = jc;
+      use_step[t] = static_cast<int>(steps);  // first delta it receives
+      j0c = jc;
+      i0 = static_cast<std::size_t>(p_col[jc]);
+      ++t;
+    }
+    // Deferred dual replay (before the matching is rewritten, so
+    // u[p_col[...]] still addresses the pre-augmentation rows). Summing
+    // the per-step deltas in step order reproduces the classic stepwise
+    // updates bit for bit.
+    for (std::size_t k = 0; k < t; ++k) {
+      const int jc = used_cols[k];
+      const std::size_t row_k = static_cast<std::size_t>(p_col[jc]);
+      for (std::size_t q = static_cast<std::size_t>(use_step[k]); q < steps;
+           ++q) {
+        u[row_k] += delta_hist[q];
+        v[jc] -= delta_hist[q];
       }
-      j0 = j1;
-    } while (p[j0] != 0);
-    do {
-      const std::size_t j1 = way[j0];
-      p[j0] = p[j1];
-      j0 = j1;
-    } while (j0 != 0);
+    }
+    for (std::size_t q = 0; q < steps; ++q) {
+      u[i] += delta_hist[q];  // the virtual root is used from step one
+    }
+    // Augment along the recorded predecessor chain.
+    int jc = free_col;
+    while (jc >= 0) {
+      const int prev = way[jc];
+      p_col[jc] = prev >= 0 ? p_col[prev] : static_cast<int>(i);
+      jc = prev;
+    }
   }
 
   if (obs::MetricsScope* s = obs::CurrentScope()) {
@@ -84,10 +168,11 @@ HungarianResult SolveMinImpl(const Matrix& costs,
   HungarianResult result;
   result.deadline_hit = deadline_hit;
   result.col_of_row.assign(n, -1);
-  for (std::size_t j = 1; j <= m; ++j) {
-    if (p[j] == 0) continue;
-    result.col_of_row[p[j] - 1] = static_cast<int>(j - 1);
-    const double c = costs(p[j] - 1, j - 1);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (p_col[j] < 0) continue;
+    result.col_of_row[static_cast<std::size_t>(p_col[j])] =
+        static_cast<int>(j);
+    const double c = costs[static_cast<std::size_t>(p_col[j]) * m + j];
     result.total_utility += c;
     if (c >= kBigCost / 2.0) result.feasible = false;
   }
@@ -106,27 +191,37 @@ void CheckShape(const Matrix& matrix) {
 }  // namespace
 
 HungarianResult SolveAssignmentMin(const Matrix& costs,
-                                   const util::Deadline* deadline) {
+                                   const util::Deadline* deadline,
+                                   util::SolverArena* arena) {
   CheckShape(costs);
-  Matrix bounded = costs;
-  double* data = bounded.data();
-  for (std::size_t k = 0; k < bounded.size(); ++k) {
-    if (std::isinf(data[k]) || data[k] > kBigCost) data[k] = kBigCost;
+  util::SolverArena local;
+  util::SolverArena& a = arena ? *arena : local;
+  // Bounded copy in arena storage (no per-call heap traffic with a shared
+  // arena): clamp infinities so dual arithmetic stays finite.
+  double* bounded = a.Alloc<double>(costs.size());
+  const double* data = costs.data();
+  for (std::size_t k = 0; k < costs.size(); ++k) {
+    const double c = data[k];
+    bounded[k] = (std::isinf(c) || c > kBigCost) ? kBigCost : c;
   }
-  return SolveMinImpl(bounded, deadline);
+  return SolveMinImpl(bounded, costs.rows(), costs.cols(), deadline, a);
 }
 
 HungarianResult SolveAssignmentMax(const Matrix& utilities,
-                                   const util::Deadline* deadline) {
+                                   const util::Deadline* deadline,
+                                   util::SolverArena* arena) {
   CheckShape(utilities);
+  util::SolverArena local;
+  util::SolverArena& a = arena ? *arena : local;
   // Negate (and clamp forbidden entries) to reuse the min solver.
-  Matrix costs(utilities.rows(), utilities.cols(), 0.0);
+  double* costs = a.Alloc<double>(utilities.size());
+  const double* data = utilities.data();
   for (std::size_t k = 0; k < utilities.size(); ++k) {
-    const double util = utilities.data()[k];
-    costs.data()[k] =
-        (util == kForbidden || std::isinf(util)) ? kBigCost : -util;
+    const double util = data[k];
+    costs[k] = (util == kForbidden || std::isinf(util)) ? kBigCost : -util;
   }
-  HungarianResult result = SolveMinImpl(costs, deadline);
+  HungarianResult result =
+      SolveMinImpl(costs, utilities.rows(), utilities.cols(), deadline, a);
   // Recompute total in utility space (excluding infeasible picks; rows left
   // unmatched by a deadline-truncated solve carry col_of_row == -1).
   result.total_utility = 0.0;

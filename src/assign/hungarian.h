@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/deadline.h"
 
 namespace wolt::assign {
@@ -83,12 +84,19 @@ inline constexpr double kForbidden =
 // null = unlimited) is polled once per row augmentation: the rows matched
 // so far are kept and the rest left unmatched, so the result is always a
 // consistent best-so-far partial matching.
+//
+// `arena` (may be null) provides the solver scratch: a caller that reuses
+// one arena across solves (resetting it between them) makes every solve
+// after the first allocation-free. With no arena a call-local one is used,
+// which preserves the old per-call allocation behaviour.
 HungarianResult SolveAssignmentMax(const Matrix& utilities,
-                                   const util::Deadline* deadline = nullptr);
+                                   const util::Deadline* deadline = nullptr,
+                                   util::SolverArena* arena = nullptr);
 
 // Minimization twin (used by tests to cross-check against known instances).
 // Forbidden pairs are +infinity costs.
 HungarianResult SolveAssignmentMin(const Matrix& costs,
-                                   const util::Deadline* deadline = nullptr);
+                                   const util::Deadline* deadline = nullptr,
+                                   util::SolverArena* arena = nullptr);
 
 }  // namespace wolt::assign

@@ -18,13 +18,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <vector>
 
 #include "model/assignment.h"
 #include "model/evaluator.h"
 #include "model/network.h"
+#include "model/soa.h"
+#include "util/arena.h"
 #include "util/deadline.h"
+
+namespace wolt::util {
+class ThreadPool;
+}  // namespace wolt::util
 
 namespace wolt::assign {
 
@@ -62,6 +69,29 @@ struct LocalSearchOptions {
   // best-so-far assignment — always valid, possibly not locally optimal.
   // An unexpired deadline never alters the result.
   const util::Deadline* deadline = nullptr;
+  // Optional prebuilt SoA view of the network. When it matches the network's
+  // current version, the search borrows its reciprocal-rate matrix instead
+  // of rebuilding the O(U x E) placement tables per call. Stale or null
+  // views are ignored (the tables are built locally).
+  const model::NetworkSoA* soa = nullptr;
+  // Optional scratch arena for the search state (per-extender accumulators,
+  // memos, swap aggregates). The search only allocates, never resets: a
+  // caller that resets the arena between solves runs them allocation-free
+  // in steady state. Null = a call-local arena.
+  util::SolverArena* arena = nullptr;
+  // In-solve parallelism: when non-null, SolvePhase2MultiStart runs its
+  // unique starts concurrently on this pool and merges deterministically by
+  // start index — byte-identical to the serial path at any thread count
+  // (provided the deadline does not expire mid-solve; expiry degrades to
+  // valid best-so-far results whose identity depends on timing, exactly as
+  // it does serially). The pool outlives the call; a size-1 pool runs
+  // entirely on the caller.
+  util::ThreadPool* pool = nullptr;
+  // Per-start scratch arenas for the parallel path (each concurrent start
+  // needs its own). Grown to the start count on demand and reset per start;
+  // a caller that keeps the deque alive across solves makes the parallel
+  // starts allocation-free in steady state. Null = call-local arenas.
+  std::deque<util::SolverArena>* start_arenas = nullptr;
 };
 
 // Objective value of a (possibly partial) assignment under the selected

@@ -1,6 +1,7 @@
 #include "core/wolt.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "assign/hungarian.h"
@@ -51,6 +52,11 @@ Phase1Result WoltPolicy::ComputePhase1(const model::Network& net) const {
 
 Phase1Result WoltPolicy::ComputePhase1(
     const model::Network& net, std::span<const std::uint8_t> mask) const {
+  // Phase I opens a solve: rewind the solve arena so this solve's scratch
+  // (Hungarian workspace, then the Phase-II search state stacked on top)
+  // reuses the blocks warmed by earlier solves.
+  arena_.Reset();
+
   Phase1Result result;
   result.user_of_extender.assign(net.NumExtenders(), -1);
 
@@ -77,24 +83,50 @@ Phase1Result WoltPolicy::ComputePhase1(
     return std::min(net.PlcRate(ext) / peers, r);
   };
 
+  // Per-extender PLC share, hoisted out of the O(rows x cols) matrix fill
+  // (the division and domain lookup are invariant per extender). +inf makes
+  // the min() below collapse to the raw WiFi rate, reproducing kWifiOnly
+  // without a branch in the inner loop.
+  std::vector<double> share(extenders.size());
+  for (std::size_t k = 0; k < extenders.size(); ++k) {
+    const std::size_t ext = extenders[k];
+    share[k] =
+        options_.phase1_utility == Phase1Utility::kWifiOnly
+            ? std::numeric_limits<double>::infinity()
+            : net.PlcRate(ext) /
+                  domain_count[static_cast<std::size_t>(net.PlcDomain(ext))];
+  }
+
   // Hungarian needs rows <= cols; transpose when users are the scarce side.
+  // Either way the fill walks each user's contiguous rate row exactly once.
   const bool extenders_are_rows = extenders.size() <= num_users;
   const std::size_t rows =
       extenders_are_rows ? extenders.size() : num_users;
   const std::size_t cols =
       extenders_are_rows ? num_users : extenders.size();
   assign::Matrix utilities(rows, cols, 0.0);
-  for (std::size_t r = 0; r < rows; ++r) {
+  if (extenders_are_rows) {
     for (std::size_t c = 0; c < cols; ++c) {
-      const std::size_t user = extenders_are_rows ? c : r;
-      const std::size_t ext = extenders_are_rows ? extenders[r]
-                                                 : extenders[c];
-      utilities(r, c) = utility(user, ext);
+      const double* rates = net.WifiRateRow(c);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double rate = rates[extenders[r]];
+        utilities(r, c) =
+            rate <= 0.0 ? assign::kForbidden : std::min(share[r], rate);
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* rates = net.WifiRateRow(r);
+      double* out = utilities.Row(r);
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double rate = rates[extenders[c]];
+        out[c] = rate <= 0.0 ? assign::kForbidden : std::min(share[c], rate);
+      }
     }
   }
 
   const assign::HungarianResult hungarian =
-      assign::SolveAssignmentMax(utilities, deadline_);
+      assign::SolveAssignmentMax(utilities, deadline_, &arena_);
   result.deadline_hit = hungarian.deadline_hit;
   result.total_utility = 0.0;
   for (std::size_t r = 0; r < rows; ++r) {
@@ -164,6 +196,9 @@ model::Assignment WoltPolicy::AssociateSubsetSearch(
   polish.objective = assign::Phase2Objective::kEndToEnd;
   polish.eval = options_.eval;
   polish.deadline = deadline_;
+  soa_.Refresh(net);
+  polish.soa = &soa_;
+  polish.arena = &arena_;
   std::vector<std::size_t> leftover;
   std::vector<std::size_t> everyone;
   for (std::size_t i = 0; i < net.NumUsers(); ++i) {
@@ -225,6 +260,14 @@ model::Assignment WoltPolicy::AssociateOnce(
   ls.eval = options_.eval;
   ls.extender_mask = mask;
   ls.deadline = deadline_;
+  // Data-oriented hot path: the search borrows the cached SoA view (rebuilt
+  // only when the network changed) and stacks its scratch on the solve
+  // arena Phase I already opened. Steady-state solves touch no heap.
+  soa_.Refresh(net);
+  ls.soa = &soa_;
+  ls.arena = &arena_;
+  ls.pool = options_.phase2_pool;
+  ls.start_arenas = &start_arenas_;
 
   bool seeded = false;
   if (options_.sticky) {

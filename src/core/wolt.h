@@ -17,12 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <vector>
 
 #include "assign/local_search.h"
 #include "core/policy.h"
 #include "model/evaluator.h"
+#include "model/soa.h"
+#include "util/arena.h"
 
 namespace wolt::core {
 
@@ -56,6 +59,12 @@ struct WoltOptions {
   bool subset_search = false;
   model::EvalOptions eval;  // used by the kEndToEnd Phase-II objective and
                             // by the subset search's candidate scoring
+  // In-solve parallelism: when non-null, the fresh (non-sticky) Phase-II
+  // multi-start runs its starts concurrently on this pool with a
+  // deterministic merge — same result as serial at any thread count (see
+  // LocalSearchOptions::pool). The pool must outlive the policy's solves;
+  // null keeps every solve single-threaded.
+  util::ThreadPool* phase2_pool = nullptr;
 };
 
 // Phase-I outcome, exposed for tests and the ablation benches.
@@ -102,6 +111,17 @@ class WoltPolicy : public AssociationPolicy {
                                           const model::Assignment& previous);
 
   WoltOptions options_;
+
+  // Solve-lifetime scratch, retained across Associate calls so repeated
+  // solves run allocation-free in steady state. `arena_` is reset at the
+  // start of every Phase I (the solve boundary); everything below it on the
+  // stack of one solve — Hungarian scratch, then Phase-II search state —
+  // only allocates. `start_arenas_` holds one arena per concurrent
+  // multi-start; `soa_` caches the network's structure-of-arrays view
+  // keyed on Network::Version().
+  mutable util::SolverArena arena_;
+  std::deque<util::SolverArena> start_arenas_;
+  model::NetworkSoA soa_;
 };
 
 }  // namespace wolt::core

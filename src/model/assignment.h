@@ -22,6 +22,9 @@ class Assignment {
   std::size_t NumUsers() const { return extender_of_.size(); }
 
   int ExtenderOf(std::size_t user) const { return extender_of_.at(user); }
+  // Contiguous per-user extender ids (NumUsers() entries, kUnassigned for
+  // unassigned users). For hot kernels that have validated sizes already.
+  const int* Data() const { return extender_of_.data(); }
   bool IsAssigned(std::size_t user) const {
     return extender_of_.at(user) != kUnassigned;
   }

@@ -220,9 +220,9 @@ EvalResult Evaluator::Evaluate(const Network& net,
   return std::move(scratch.result);
 }
 
-const EvalResult& Evaluator::Evaluate(const Network& net,
-                                      const Assignment& assign,
-                                      EvalScratch& scratch) const {
+const EvalResult& Evaluator::EvaluateReference(const Network& net,
+                                               const Assignment& assign,
+                                               EvalScratch& scratch) const {
   if (assign.NumUsers() != net.NumUsers()) {
     throw std::invalid_argument("assignment/network user count mismatch");
   }
@@ -488,6 +488,213 @@ const EvalResult& Evaluator::Evaluate(const Network& net,
       result.user_throughput_mbps[i] =
           rep.end_to_end_mbps / static_cast<double>(rep.num_users);
     }
+  }
+  return result;
+}
+
+const EvalResult& Evaluator::Evaluate(const Network& net,
+                                      const Assignment& assign,
+                                      EvalScratch& scratch) const {
+  if (assign.NumUsers() != net.NumUsers()) {
+    throw std::invalid_argument("assignment/network user count mismatch");
+  }
+  scratch.soa.Refresh(net);
+  const NetworkSoA& soa = scratch.soa;
+  const std::size_t num_users = soa.num_users;
+  const std::size_t num_ext = soa.num_extenders;
+  const int* ext_of = assign.Data();
+
+  // Demand-carrying evaluations take the reference path: cell-level demand
+  // allocations couple users within a cell and are not expressible as the
+  // per-extender reductions below. (A network with demands configured but
+  // none of them on an assigned user still qualifies for the fast path.)
+  if (soa.any_finite_demand) {
+    for (std::size_t i = 0; i < num_users; ++i) {
+      if (ext_of[i] != Assignment::kUnassigned && soa.demand[i] > 0.0) {
+        return EvaluateReference(net, assign, scratch);
+      }
+    }
+  }
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->eval.evaluations.Add(1);
+  }
+
+  EvalResult& result = scratch.result;
+  result.extenders.assign(num_ext, ExtenderReport{});
+  result.user_throughput_mbps.assign(num_users, 0.0);
+  result.aggregate_mbps = 0.0;
+  result.active_extenders = 0;
+
+  // WiFi side: per-extender harmonic sums, gathered from the contiguous
+  // reciprocal-rate rows (1/r precomputed once per network version, so the
+  // accumulation is an add per assigned user with no division and no
+  // bounds-checked accessor).
+  scratch.inv_rate_sum.assign(num_ext, 0.0);
+  scratch.load.assign(num_ext, 0);
+  double* sums = scratch.inv_rate_sum.data();
+  int* load = scratch.load.data();
+  const double* inv_rate = soa.inv_rate.data();
+  for (std::size_t i = 0; i < num_users; ++i) {
+    const int e = ext_of[i];
+    if (e == Assignment::kUnassigned) continue;
+    if (e < 0 || static_cast<std::size_t>(e) >= num_ext) {
+      throw std::invalid_argument("assignment references unknown extender");
+    }
+    const double inv = inv_rate[i * num_ext + static_cast<std::size_t>(e)];
+    if (inv == 0.0) {
+      throw std::invalid_argument("user assigned to unreachable extender");
+    }
+    sums[static_cast<std::size_t>(e)] += inv;
+    ++load[static_cast<std::size_t>(e)];
+  }
+
+  // Co-channel contention (same logic as the reference; rarely configured).
+  scratch.peers.assign(num_ext, 1.0);
+  if (!options_.wifi_contention_domain.empty()) {
+    if (options_.wifi_contention_domain.size() != num_ext) {
+      throw std::invalid_argument("contention domain size mismatch");
+    }
+    scratch.active_in_wifi_domain.clear();
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      const int d = options_.wifi_contention_domain[j];
+      if (d < 0) throw std::invalid_argument("negative domain id");
+      if (static_cast<std::size_t>(d) >= scratch.active_in_wifi_domain.size()) {
+        scratch.active_in_wifi_domain.resize(static_cast<std::size_t>(d) + 1,
+                                             0);
+      }
+      if (load[j] > 0) {
+        ++scratch.active_in_wifi_domain[static_cast<std::size_t>(d)];
+      }
+    }
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      if (load[j] == 0) continue;
+      scratch.peers[j] = static_cast<double>(
+          scratch.active_in_wifi_domain[static_cast<std::size_t>(
+              options_.wifi_contention_domain[j])]);
+    }
+  }
+
+  // Per-extender WiFi demand (Eq. 1 aggregate) and dead-backhaul flags.
+  scratch.wifi_demand.assign(num_ext, 0.0);
+  scratch.dead_backhaul.assign(num_ext, 0);
+  const double* plc = soa.plc_rate.data();
+  const double* peers = scratch.peers.data();
+  double* wifi_demand = scratch.wifi_demand.data();
+  unsigned char* dead = scratch.dead_backhaul.data();
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    if (load[j] == 0) continue;
+    ++result.active_extenders;
+    if (plc[j] <= 0.0) {
+      dead[j] = 1;
+      continue;  // leave wifi_demand at 0 so the airtime allocator skips it
+    }
+    wifi_demand[j] = static_cast<double>(load[j]) / sums[j] / peers[j];
+  }
+
+  // PLC side: airtime allocation per contention domain, reading the CSR
+  // cached in the SoA view (the reference rebuilds it every call).
+  scratch.domain_active.assign(soa.num_domains, 0);
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    if (load[j] > 0) {
+      ++scratch.domain_active[static_cast<std::size_t>(soa.plc_domain[j])];
+    }
+  }
+  scratch.time_share.assign(num_ext, 0.0);
+  scratch.mm_idx.assign(num_ext, 0);
+  for (std::size_t d = 0; d < soa.num_domains; ++d) {
+    const std::size_t begin = static_cast<std::size_t>(soa.domain_start[d]);
+    const std::size_t count =
+        static_cast<std::size_t>(soa.domain_start[d + 1]) - begin;
+    if (count == 0) continue;
+    const int* members = soa.domain_items.data() + begin;
+    switch (options_.plc_sharing) {
+      case PlcSharing::kMaxMinActive:
+        detail::MaxMinSharesInPlace(members, count, plc, wifi_demand,
+                                    scratch.time_share.data(),
+                                    scratch.mm_idx.data());
+        break;
+      case PlcSharing::kEqualActive:
+        detail::EqualSharesInPlace(members, count, wifi_demand,
+                                   scratch.time_share.data(),
+                                   /*denominator_all=*/false);
+        break;
+      case PlcSharing::kEqualAll:
+        detail::EqualSharesInPlace(members, count, wifi_demand,
+                                   scratch.time_share.data(),
+                                   /*denominator_all=*/true);
+        break;
+    }
+  }
+
+  // Reports and bottleneck attribution — expression-for-expression the
+  // reference arithmetic, reading SoA arrays instead of Network accessors.
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    ExtenderReport& rep = result.extenders[j];
+    rep.num_users = load[j];
+    rep.wifi_throughput_mbps = wifi_demand[j];
+    rep.plc_time_share = scratch.time_share[j];
+    rep.plc_throughput_mbps = scratch.time_share[j] * plc[j];
+    if (load[j] == 0) {
+      rep.bottleneck = Bottleneck::kIdle;
+      continue;
+    }
+    if (dead[j]) {
+      rep.bottleneck = Bottleneck::kPlc;  // the backhaul delivers nothing
+      continue;
+    }
+    rep.end_to_end_mbps =
+        std::min(rep.wifi_throughput_mbps, rep.plc_throughput_mbps);
+    const std::size_t d = static_cast<std::size_t>(soa.plc_domain[j]);
+    const double share_denominator =
+        options_.plc_sharing == PlcSharing::kEqualAll
+            ? static_cast<double>(soa.domain_size[d])
+            : static_cast<double>(scratch.domain_active[d]);
+    const double equal_share_capacity = plc[j] / share_denominator;
+    const bool demand_met = rep.end_to_end_mbps >=
+                            rep.wifi_throughput_mbps - kBalanceTolerance;
+    if (std::abs(rep.wifi_throughput_mbps - equal_share_capacity) <=
+        kBalanceTolerance) {
+      rep.bottleneck = Bottleneck::kBalanced;
+    } else {
+      rep.bottleneck = demand_met ? Bottleneck::kWifi : Bottleneck::kPlc;
+    }
+    result.aggregate_mbps += rep.end_to_end_mbps;
+  }
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    std::uint64_t wifi = 0, plcn = 0, balanced = 0, idle = 0, dead_n = 0;
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      switch (result.extenders[j].bottleneck) {
+        case Bottleneck::kWifi:
+          ++wifi;
+          break;
+        case Bottleneck::kPlc:
+          ++plcn;
+          break;
+        case Bottleneck::kBalanced:
+          ++balanced;
+          break;
+        case Bottleneck::kIdle:
+          ++idle;
+          break;
+      }
+      if (dead[j]) ++dead_n;
+    }
+    if (wifi) s->eval.bottleneck_wifi.Add(wifi);
+    if (plcn) s->eval.bottleneck_plc.Add(plcn);
+    if (balanced) s->eval.bottleneck_balanced.Add(balanced);
+    if (idle) s->eval.bottleneck_idle.Add(idle);
+    if (dead_n) s->eval.dead_backhaul.Add(dead_n);
+  }
+
+  // Saturated TCP fair split: equal share of the cell's bottleneck rate.
+  for (std::size_t i = 0; i < num_users; ++i) {
+    const int e = ext_of[i];
+    if (e == Assignment::kUnassigned) continue;
+    const ExtenderReport& rep = result.extenders[static_cast<std::size_t>(e)];
+    result.user_throughput_mbps[i] =
+        rep.end_to_end_mbps / static_cast<double>(rep.num_users);
   }
   return result;
 }

@@ -19,6 +19,7 @@
 
 #include "model/assignment.h"
 #include "model/network.h"
+#include "model/soa.h"
 
 namespace wolt::model {
 
@@ -83,6 +84,11 @@ struct EvalResult {
 struct EvalScratch {
   EvalResult result;
 
+  // Cached SoA view of the last evaluated network; rebuilt only when the
+  // network's Version() changed (the saturated fast path reads rates,
+  // domains and the PLC-domain CSR from here instead of the Network).
+  NetworkSoA soa;
+
   // Per-extender accumulators.
   std::vector<double> inv_rate_sum;
   std::vector<int> load;
@@ -120,8 +126,19 @@ class Evaluator {
 
   // Hot-path variant: evaluates into `scratch` and returns scratch.result.
   // No heap allocation on the saturated path once the scratch has warmed up.
+  // Uses the structure-of-arrays kernel on the saturated path (contiguous
+  // reciprocal-rate rows, cached PLC-domain CSR); results are bit-identical
+  // to EvaluateReference in every field.
   const EvalResult& Evaluate(const Network& net, const Assignment& assign,
                              EvalScratch& scratch) const;
+
+  // The straight-line reference implementation (per-user Network accessor
+  // walks, CSR rebuilt per call). Kept as the differential baseline for the
+  // SoA kernel (tests/evaluator_soa_test.cc) and as the path for
+  // demand-carrying evaluations. Same results, same exceptions.
+  const EvalResult& EvaluateReference(const Network& net,
+                                      const Assignment& assign,
+                                      EvalScratch& scratch) const;
 
   // Aggregate end-to-end throughput only (same computation, convenience).
   double AggregateThroughput(const Network& net,

@@ -1,10 +1,16 @@
 #include "model/network.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 namespace wolt::model {
+
+std::uint64_t Network::NextVersionStamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 double Distance(const Position& a, const Position& b) {
   return std::hypot(a.x - b.x, a.y - b.y);
@@ -23,6 +29,7 @@ Network::Network(std::size_t num_users, std::size_t num_extenders)
 void Network::SetWifiRate(std::size_t user, std::size_t extender, double mbps) {
   if (mbps < 0.0) throw std::invalid_argument("negative WiFi rate");
   rates_.at(user * NumExtenders() + extender) = mbps;
+  version_ = NextVersionStamp();
 }
 
 void Network::SetRssi(std::size_t user, std::size_t extender, double dbm) {
@@ -37,15 +44,18 @@ double Network::Rssi(std::size_t user, std::size_t extender) const {
 void Network::SetPlcRate(std::size_t extender, double mbps) {
   if (mbps < 0.0) throw std::invalid_argument("negative PLC rate");
   extenders_.at(extender).plc_rate_mbps = mbps;
+  version_ = NextVersionStamp();
 }
 
 void Network::SetMaxUsers(std::size_t extender, int max_users) {
   extenders_.at(extender).max_users = max_users;
+  version_ = NextVersionStamp();
 }
 
 void Network::SetPlcDomain(std::size_t extender, int domain) {
   if (domain < 0) throw std::invalid_argument("negative PLC domain");
   extenders_.at(extender).plc_domain = domain;
+  version_ = NextVersionStamp();
 }
 
 int Network::PlcDomain(std::size_t extender) const {
@@ -59,6 +69,7 @@ void Network::SetUserPosition(std::size_t user, Position p) {
 void Network::SetUserDemand(std::size_t user, double mbps) {
   if (mbps < 0.0) throw std::invalid_argument("negative demand");
   users_.at(user).demand_mbps = mbps;
+  version_ = NextVersionStamp();
 }
 
 double Network::UserDemand(std::size_t user) const {
@@ -132,6 +143,7 @@ std::size_t Network::AddUser(const User& user,
   users_.push_back(user);
   rates_.insert(rates_.end(), rates.begin(), rates.end());
   rssi_.insert(rssi_.end(), NumExtenders(), kNoRssi);
+  version_ = NextVersionStamp();
   return users_.size() - 1;
 }
 
@@ -144,6 +156,7 @@ void Network::RemoveUser(std::size_t user) {
                         static_cast<std::ptrdiff_t>(user * NumExtenders());
   rssi_.erase(rssi_row, rssi_row + static_cast<std::ptrdiff_t>(NumExtenders()));
   users_.erase(users_.begin() + static_cast<std::ptrdiff_t>(user));
+  version_ = NextVersionStamp();
 }
 
 }  // namespace wolt::model

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -77,8 +78,22 @@ class Network {
   std::size_t NumUsers() const { return users_.size(); }
   std::size_t NumExtenders() const { return extenders_.size(); }
 
+  // Mutation stamp: refreshed by every mutator that can change what the
+  // solvers see (rates, capacities, domains, demands, membership). Stamps
+  // are drawn from a process-wide counter, never reused, so no two distinct
+  // mutation states ever share an (object address, Version()) pair — even
+  // when a destroyed network's address is recycled for a new one. Derived
+  // caches (model::NetworkSoA) key their validity on exactly that pair.
+  // Copies share the stamp of the state they were copied from, which is
+  // sound: an equal stamp implies equal solver-visible content.
+  std::uint64_t Version() const { return version_; }
+
   // r_ij in Mbit/s; 0 means unreachable.
   double WifiRate(std::size_t user, std::size_t extender) const;
+  // Contiguous rate row of one user (NumExtenders() values).
+  const double* WifiRateRow(std::size_t user) const {
+    return rates_.data() + user * NumExtenders();
+  }
   // c_j in Mbit/s.
   double PlcRate(std::size_t extender) const;
   int MaxUsers(std::size_t extender) const;
@@ -90,8 +105,16 @@ class Network {
 
   const User& UserAt(std::size_t i) const { return users_[i]; }
   const Extender& ExtenderAt(std::size_t j) const { return extenders_[j]; }
-  User& MutableUser(std::size_t i) { return users_[i]; }
-  Extender& MutableExtender(std::size_t j) { return extenders_[j]; }
+  // Mutable access conservatively bumps Version(): the caller may change
+  // solver-visible fields (demand, PLC rate, domain) through the reference.
+  User& MutableUser(std::size_t i) {
+    version_ = NextVersionStamp();
+    return users_[i];
+  }
+  Extender& MutableExtender(std::size_t j) {
+    version_ = NextVersionStamp();
+    return extenders_[j];
+  }
 
   // True iff user i has at least one extender with r_ij > 0.
   bool UserReachable(std::size_t user) const;
@@ -114,11 +137,15 @@ class Network {
   void RemoveUser(std::size_t user);
 
  private:
+  // Next value of the process-wide stamp counter (see Version()).
+  static std::uint64_t NextVersionStamp();
+
   std::vector<User> users_;
   std::vector<Extender> extenders_;
   std::vector<double> rates_;  // row-major [user][extender]
   std::vector<double> rssi_;   // row-major, -inf when unset
   bool has_rssi_ = false;
+  std::uint64_t version_ = NextVersionStamp();
 };
 
 }  // namespace wolt::model

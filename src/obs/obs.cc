@@ -36,7 +36,11 @@ SolverCounters::SolverCounters(MetricsRegistry& r)
       ls_inserts(r.GetCounter("ls.inserts")),
       nlp_solves(r.GetCounter("nlp.solves")),
       nlp_iterations(r.GetCounter("nlp.iterations")),
-      nlp_backtracks(r.GetCounter("nlp.backtracks")) {}
+      nlp_backtracks(r.GetCounter("nlp.backtracks")),
+      arena_grows(r.GetCounter("arena.grows")),
+      arena_block_bytes(r.GetCounter("arena.block_bytes")),
+      ls_starts(r.GetCounter("ls.starts")),
+      ls_parallel_starts(r.GetCounter("ls.parallel_starts")) {}
 
 ControllerCounters::ControllerCounters(MetricsRegistry& r)
     : directives_sent(r.GetCounter("ctrl.directives.sent")),

@@ -79,6 +79,17 @@ struct SolverCounters {
   Counter& nlp_solves;
   Counter& nlp_iterations;  // accepted ascent steps
   Counter& nlp_backtracks;  // rejected trial steps
+
+  // util::SolverArena block growth. Flat across a window of solves ==
+  // those solves ran allocation-free (the steady-state assertion of
+  // tests/solver_differential_test.cc).
+  Counter& arena_grows;
+  Counter& arena_block_bytes;
+
+  // In-solve parallel multi-start: total starts searched and how many of
+  // them ran under a thread pool (0 for the serial path).
+  Counter& ls_starts;
+  Counter& ls_parallel_starts;
 };
 
 // core/CentralController: control-plane traffic and safety valves.
@@ -135,6 +146,14 @@ inline thread_local MetricsScope* tls_scope = nullptr;
 // off. Hot-path contract: one thread-local load.
 inline MetricsScope* CurrentScope() { return internal::tls_scope; }
 
+// The registry behind the calling thread's scope, or nullptr. Lets a
+// parallel region re-install the caller's registry on its worker threads
+// (counter updates commute, so totals stay thread-count-independent).
+inline MetricsRegistry* CurrentRegistry() {
+  MetricsScope* s = CurrentScope();
+  return s ? &s->registry : nullptr;
+}
+
 // RAII install of a scope on the calling thread. Nests: the previous scope
 // is restored on destruction (an inner ScopedMetrics shadows, not merges).
 class ScopedMetrics {
@@ -172,7 +191,8 @@ struct SolverCounters {
   NoopCounter hungarian_solves, hungarian_augment_steps, relocate_generated,
       relocate_pruned, relocate_evaluated, relocate_accepted, swap_generated,
       swap_pruned, swap_evaluated, swap_accepted, ls_passes, ls_memo_skips,
-      ls_inserts, nlp_solves, nlp_iterations, nlp_backtracks;
+      ls_inserts, nlp_solves, nlp_iterations, nlp_backtracks, arena_grows,
+      arena_block_bytes, ls_starts, ls_parallel_starts;
 };
 struct ControllerCounters {
   NoopCounter directives_sent, directives_retried, directives_given_up,
@@ -194,6 +214,7 @@ struct MetricsScope {
 };
 
 constexpr MetricsScope* CurrentScope() { return nullptr; }
+constexpr MetricsRegistry* CurrentRegistry() { return nullptr; }
 
 // Accepts and ignores a registry so call sites compile unchanged; the
 // registry stays empty (snapshots of an un-hooked run report nothing).

@@ -1,0 +1,162 @@
+// Bump allocator for the solver hot paths (assign/ and core/).
+//
+// A SolverArena owns a chain of geometrically growing blocks; Alloc<T>(n)
+// bumps a cursor, Reset() rewinds it to the first block without releasing
+// anything. A solver that allocates its scratch from an arena and resets it
+// per solve reaches a steady state after the first call: every later solve
+// reuses the warmed blocks and performs zero heap allocations. Block growth
+// is observable (`arena.grows` / `arena.block_bytes` solver counters), which
+// is how tests assert the steady state instead of trusting it.
+//
+// Lifetime rules:
+//  * Alloc'd memory is valid until the next Reset() (or destruction). The
+//    arena never runs destructors — only trivially destructible element
+//    types are accepted.
+//  * Reset() does not shrink: capacity is retained for the next solve.
+//  * One arena serves one solve at a time. Concurrent solves (the in-solve
+//    parallel multi-start) each take their own arena.
+//
+// Under AddressSanitizer every Reset() poisons the retained blocks and each
+// Alloc unpoisons exactly the returned range, so touching memory from a
+// previous solve (use-after-reset) faults like a heap use-after-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "obs/obs.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define WOLT_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WOLT_ARENA_ASAN 1
+#endif
+#endif
+#ifndef WOLT_ARENA_ASAN
+#define WOLT_ARENA_ASAN 0
+#endif
+
+#if WOLT_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace wolt::util {
+
+class SolverArena {
+ public:
+  // `first_block_bytes` sizes the initial block lazily allocated on first
+  // use; later blocks double. 64 KiB comfortably holds the Hungarian
+  // scratch of a 1000-user instance in one block.
+  explicit SolverArena(std::size_t first_block_bytes = 64 * 1024)
+      : first_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  SolverArena(const SolverArena&) = delete;
+  SolverArena& operator=(const SolverArena&) = delete;
+
+  // Uninitialized storage for n values of T, aligned for T. n == 0 returns
+  // a non-null aligned pointer that must not be dereferenced.
+  template <typename T>
+  T* Alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(AllocBytes(n * sizeof(T), alignof(T)));
+  }
+
+  // Storage for n values of T, each initialized to `fill`.
+  template <typename T>
+  T* AllocFill(std::size_t n, T fill) {
+    T* p = Alloc<T>(n);
+    for (std::size_t k = 0; k < n; ++k) p[k] = fill;
+    return p;
+  }
+
+  // Rewind to empty, keeping every block for reuse. Under ASan the retained
+  // blocks are poisoned so stale pointers from before the reset fault.
+  void Reset() {
+    block_ = 0;
+    offset_ = 0;
+#if WOLT_ARENA_ASAN
+    for (const Block& b : blocks_) {
+      __asan_poison_memory_region(b.data.get(), b.cap);
+    }
+#endif
+  }
+
+  // Fresh block allocations since construction. Flat across a window of
+  // Reset()+solve cycles == those solves did not touch the heap through
+  // this arena (the steady-state assertion used by tests).
+  std::uint64_t grows() const { return grows_; }
+
+  // Total bytes owned across all blocks.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.cap;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t cap = 0;
+  };
+
+  void* AllocBytes(std::size_t bytes, std::size_t align) {
+    while (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const std::size_t base =
+          reinterpret_cast<std::size_t>(b.data.get()) + offset_;
+      const std::size_t pad = (align - base % align) % align;
+      if (offset_ + pad + bytes <= b.cap) {
+        unsigned char* p = b.data.get() + offset_ + pad;
+        offset_ += pad + bytes;
+#if WOLT_ARENA_ASAN
+        __asan_unpoison_memory_region(p, bytes);
+#endif
+        return p;
+      }
+      ++block_;  // spill into the next retained block
+      offset_ = 0;
+    }
+    return Grow(bytes, align);
+  }
+
+  void* Grow(std::size_t bytes, std::size_t align) {
+    std::size_t cap =
+        blocks_.empty() ? first_block_bytes_ : blocks_.back().cap * 2;
+    // New blocks come from operator new[], which aligns for max_align_t;
+    // oversize requests get their own exactly-fitting block.
+    if (cap < bytes + align) cap = bytes + align;
+    Block b;
+    b.data = std::make_unique<unsigned char[]>(cap);
+    b.cap = cap;
+    blocks_.push_back(std::move(b));
+    ++grows_;
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->solver.arena_grows.Add(1);
+      s->solver.arena_block_bytes.Add(cap);
+    }
+    block_ = blocks_.size() - 1;
+    const std::size_t base =
+        reinterpret_cast<std::size_t>(blocks_.back().data.get());
+    const std::size_t pad = (align - base % align) % align;
+    unsigned char* p = blocks_.back().data.get() + pad;
+    offset_ = pad + bytes;
+#if WOLT_ARENA_ASAN
+    __asan_poison_memory_region(blocks_.back().data.get(), cap);
+    __asan_unpoison_memory_region(p, bytes);
+#endif
+    return p;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   // index of the block the cursor is in
+  std::size_t offset_ = 0;  // bytes consumed in that block
+  std::size_t first_block_bytes_;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace wolt::util

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <deque>
 #include <vector>
 
 #include "assign/brute_force.h"
 #include "testbed/lab.h"
+#include "util/arena.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace wolt::assign {
 namespace {
@@ -175,6 +179,82 @@ TEST(RelocateTest, ReachesBruteForceOptimumOnWifiSum) {
   // fraction of a percent of it on average.
   EXPECT_GE(optimal_hits, cases * 2 / 3);
   EXPECT_GE(ratio_sum / cases, 0.995);
+}
+
+// The in-solve parallel multi-start must be BYTE-identical to the serial
+// solve at every thread count: same objective value (exact, no tolerance)
+// and the same extender for every user. The merge is deterministic by start
+// index, so thread scheduling must never leak into the result.
+TEST(MultiStartParallelTest, ByteIdenticalToSerialAtAnyThreadCount) {
+  util::Rng rng(0x9a7a11e1);
+  for (int inst = 0; inst < 10; ++inst) {
+    const std::size_t users = 18 + static_cast<std::size_t>(inst);
+    model::Network net = RandomNetwork(rng, users, 5);
+    // Punch holes in reachability so the starts genuinely differ.
+    for (std::size_t i = 0; i < users; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        if (rng.UniformInt(0, 3) == 0 && j != i % 5) {
+          net.SetWifiRate(i, j, 0.0);
+        }
+      }
+    }
+    std::vector<std::size_t> all(users);
+    for (std::size_t i = 0; i < users; ++i) all[i] = i;
+
+    model::Assignment serial(users);
+    const double serial_value = SolvePhase2MultiStart(net, serial, all);
+
+    for (int threads : {1, 2, 4, 8}) {
+      util::ThreadPool pool(threads);
+      util::SolverArena arena;
+      std::deque<util::SolverArena> start_arenas;
+      model::NetworkSoA soa;
+      soa.Refresh(net);
+      LocalSearchOptions opts;
+      opts.soa = &soa;
+      opts.arena = &arena;
+      opts.pool = &pool;
+      opts.start_arenas = &start_arenas;
+      model::Assignment par(users);
+      const double par_value = SolvePhase2MultiStart(net, par, all, opts);
+      EXPECT_EQ(par_value, serial_value)
+          << "inst=" << inst << " threads=" << threads;
+      for (std::size_t i = 0; i < users; ++i) {
+        EXPECT_EQ(par.ExtenderOf(i), serial.ExtenderOf(i))
+            << "inst=" << inst << " threads=" << threads << " user=" << i;
+      }
+    }
+  }
+}
+
+// Same identity for the evaluator-backed end-to-end objective, whose
+// searches run through model::IncrementalEvaluator on the workers.
+TEST(MultiStartParallelTest, ByteIdenticalOnEndToEndObjective) {
+  util::Rng rng(0xe2e0);
+  for (int inst = 0; inst < 4; ++inst) {
+    const model::Network net = RandomNetwork(rng, 12, 4);
+    std::vector<std::size_t> all(12);
+    for (std::size_t i = 0; i < 12; ++i) all[i] = i;
+
+    LocalSearchOptions base;
+    base.objective = Phase2Objective::kEndToEnd;
+    model::Assignment serial(12);
+    const double serial_value = SolvePhase2MultiStart(net, serial, all, base);
+
+    for (int threads : {2, 8}) {
+      util::ThreadPool pool(threads);
+      LocalSearchOptions opts = base;
+      opts.pool = &pool;
+      model::Assignment par(12);
+      const double par_value = SolvePhase2MultiStart(net, par, all, opts);
+      EXPECT_EQ(par_value, serial_value)
+          << "inst=" << inst << " threads=" << threads;
+      for (std::size_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(par.ExtenderOf(i), serial.ExtenderOf(i))
+            << "inst=" << inst << " threads=" << threads << " user=" << i;
+      }
+    }
+  }
 }
 
 }  // namespace

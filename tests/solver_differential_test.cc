@@ -24,6 +24,7 @@
 #include "obs/obs.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace wolt {
 namespace {
@@ -175,6 +176,76 @@ TEST_P(SolverDifferentialTest, DominanceAndCounterInvariants) {
   EXPECT_GT(wolt_total, rssi_total);
   EXPECT_GT(wolt_total, greedy_total);
   EXPECT_GE(bf_total, wolt_total - kTol * kNumSeeds);
+}
+
+// Steady-state arena contract: a WoltPolicy retains its solve arena across
+// Associate calls, so after one warm-up solve every later solve of the same
+// instance reuses the warmed blocks — the "arena.grows" counter must stay
+// exactly flat over the whole window. That counter is how "zero heap
+// allocations in the steady-state solve loop" is asserted rather than
+// trusted. Running this test under the sanitize preset additionally proves
+// the reuse is clean: Reset() poisons the retained blocks under ASan, so
+// any pointer that survives a solve boundary faults as a use-after-reset.
+TEST(SolverArenaSteadyState, RepeatedSolvesStopGrowingTheArena) {
+#if WOLT_OBS_ENABLED
+  const model::Network net = MakeNetwork(7, Shape{8, 4});
+
+  core::WoltPolicy wolt;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetrics scoped(registry);
+
+  const model::Assignment first = wolt.AssociateFresh(net);
+  const std::uint64_t warm =
+      CounterValue(registry.Snapshot(), "arena.grows");
+  EXPECT_GT(warm, 0u) << "solve did not route through the arena";
+
+  for (int round = 0; round < 10; ++round) {
+    const model::Assignment again = wolt.AssociateFresh(net);
+    // Same instance, deterministic solver: the answer cannot drift.
+    for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+      EXPECT_EQ(again.ExtenderOf(i), first.ExtenderOf(i)) << "round=" << round;
+    }
+  }
+  EXPECT_EQ(CounterValue(registry.Snapshot(), "arena.grows"), warm)
+      << "steady-state solves allocated through the arena";
+#else
+  GTEST_SKIP() << "obs counters compiled out";
+#endif
+}
+
+// The same zero-grow contract for the in-solve parallel multi-start: each
+// start's arena warms once, then stays fixed while repeated parallel solves
+// reuse it (the per-start arenas are reset by their worker each solve).
+TEST(SolverArenaSteadyState, ParallelMultiStartStopsGrowingTheArenas) {
+#if WOLT_OBS_ENABLED
+  const model::Network net = MakeNetwork(11, Shape{8, 4});
+
+  util::ThreadPool pool(4);
+  core::WoltOptions wo;
+  wo.phase2_pool = &pool;
+  core::WoltPolicy wolt(wo);
+  core::WoltPolicy serial_wolt;
+
+  obs::MetricsRegistry registry;
+  obs::ScopedMetrics scoped(registry);
+
+  const model::Assignment serial = serial_wolt.AssociateFresh(net);
+  const model::Assignment first = wolt.AssociateFresh(net);
+  // The parallel solve must agree with the serial one exactly.
+  for (std::size_t i = 0; i < net.NumUsers(); ++i) {
+    EXPECT_EQ(first.ExtenderOf(i), serial.ExtenderOf(i));
+  }
+
+  const std::uint64_t warm =
+      CounterValue(registry.Snapshot(), "arena.grows");
+  for (int round = 0; round < 10; ++round) {
+    wolt.AssociateFresh(net);
+  }
+  EXPECT_EQ(CounterValue(registry.Snapshot(), "arena.grows"), warm)
+      << "steady-state parallel solves allocated through an arena";
+#else
+  GTEST_SKIP() << "obs counters compiled out";
+#endif
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSharingModes, SolverDifferentialTest,
