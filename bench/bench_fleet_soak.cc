@@ -1,0 +1,142 @@
+// Journaled fleet chaos-soak CLI — the driver behind ci.sh's kill-and-
+// resume smoke and a handy standalone reproduction tool.
+//
+// Runs a deterministic chaos fleet (wire faults, PLC crashes, churn, one
+// permanently wedged shard) with optional crash-safe journaling, renders
+// FleetResult::Report() to a file or stdout, and exits non-zero if the run
+// failed or any fleet invariant (isolation, accounting, degraded-hold) was
+// violated. Because the runtime is deterministic, two invocations with the
+// same --shards/--rounds/--seed produce byte-identical reports — even when
+// one of them was SIGKILLed mid-run and resumed with --resume.
+//
+// Usage:
+//   bench_fleet_soak [--shards=N] [--rounds=N] [--threads=N] [--seed=N]
+//                    [--journal=PATH] [--resume] [--report=PATH]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "fleet/runtime.h"
+
+namespace {
+
+bool ParseU64(const char* arg, const char* key, std::uint64_t* out) {
+  const std::size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) != 0) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg + n, &end, 10);
+  if (end == arg + n || *end != '\0') {
+    std::cerr << "bench_fleet_soak: bad value in '" << arg << "'\n";
+    std::exit(2);
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseStr(const char* arg, const char* key, std::string* out) {
+  const std::size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) != 0) return false;
+  *out = arg + n;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wolt;
+
+  std::uint64_t shards = 64;
+  std::uint64_t rounds = 40;
+  std::uint64_t threads = 4;
+  std::uint64_t seed = 0xF1EE750AC5ULL;
+  std::string journal;
+  std::string report_path;
+  bool resume = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseU64(arg, "--shards=", &shards) ||
+        ParseU64(arg, "--rounds=", &rounds) ||
+        ParseU64(arg, "--threads=", &threads) ||
+        ParseU64(arg, "--seed=", &seed) ||
+        ParseStr(arg, "--journal=", &journal) ||
+        ParseStr(arg, "--report=", &report_path)) {
+      continue;
+    }
+    if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+      continue;
+    }
+    std::cerr << "bench_fleet_soak: unknown argument '" << arg << "'\n";
+    return 2;
+  }
+
+  fleet::FleetParams p;
+  p.num_shards = static_cast<std::size_t>(shards);
+  p.rounds = rounds;
+  p.threads = static_cast<int>(threads);
+  p.queue_capacity = static_cast<std::size_t>(shards) * 6;
+  p.batch_per_shard = 8;
+  p.chaos_from = 2;
+  p.chaos_to = rounds > 2 ? rounds - 2 : rounds;
+  fault::WireFaults w;
+  w.loss = 0.05;
+  w.duplicate = 0.05;
+  w.corrupt = 0.15;
+  p.shard.wire = fault::FaultPlaneParams::Uniform(w);
+  p.shard.plc_crash_prob = 0.1;
+  p.shard.plc_down_rounds = 2;
+  p.shard.departure_prob = 0.08;
+  p.shard.decode_storm_threshold = 6;
+  // One permanently wedged shard: crash-loops into the circuit breaker,
+  // gets probed, re-parks. Exercises the whole supervision cycle under
+  // journaling.
+  p.poison_shards = {static_cast<std::uint32_t>(shards / 3)};
+  p.poison_from = 2;
+  p.poison_to = ~std::uint64_t{0};
+  p.supervisor.backoff_initial = 1;
+  p.supervisor.crash_loop_threshold = 2;
+  p.supervisor.crash_loop_window = 8;
+  p.supervisor.probe_after = 5;
+  p.reopt_units_per_round = static_cast<std::size_t>(shards) + 2;
+  p.journal_path = journal;
+  p.resume = resume;
+
+  fleet::FleetRuntime fleet(p, seed);
+  const fleet::FleetResult result = fleet.Run();
+  if (!result.completed) {
+    std::cerr << "bench_fleet_soak: run failed: " << result.error << "\n";
+    return 1;
+  }
+
+  const std::string report = result.Report();
+  if (report_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
+    out.write(report.data(), static_cast<std::streamsize>(report.size()));
+    if (!out) {
+      std::cerr << "bench_fleet_soak: cannot write " << report_path << "\n";
+      return 1;
+    }
+  }
+
+  std::cerr << "fleet: " << shards << " shards x " << rounds << " rounds, "
+            << result.resumed_rounds << " resumed; enqueued="
+            << result.queue.enqueued << " shed=" << result.queue.shed
+            << " restarts=" << result.restarts
+            << " breaks=" << result.circuit_breaks << "\n";
+
+  if (!result.isolation_ok || !result.accounting_ok ||
+      !result.degraded_held_ok) {
+    std::cerr << "bench_fleet_soak: INVARIANT VIOLATION (isolation="
+              << result.isolation_ok << " accounting=" << result.accounting_ok
+              << " degraded_held=" << result.degraded_held_ok << ")\n";
+    return 1;
+  }
+  return 0;
+}

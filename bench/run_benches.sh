@@ -13,6 +13,11 @@
 #
 #   bench/run_benches.sh BENCH_sweep.json 'BM_SweepThroughput'
 #
+# Fleet-runtime numbers (BM_Fleet*) live in their own binary (bench_fleet);
+# filters starting with BM_Fleet are routed there automatically:
+#
+#   bench/run_benches.sh BENCH_fleet.json 'BM_Fleet'
+#
 # Usage: bench/run_benches.sh [--allow-debug] [output.json] [benchmark_filter]
 #   BENCH_BIN=path/to/bench_scaling_runtime overrides the binary location.
 #
@@ -46,11 +51,18 @@ done
 out="${positional[0]:-BENCH_scaling.json}"
 filter="${positional[1]:-.}"
 
+# Route fleet-runtime filters to the fleet binary; everything else goes to
+# the default scaling binary. BENCH_BIN still overrides both.
+bench_name="bench_scaling_runtime"
+if [[ "${filter}" == BM_Fleet* ]]; then
+  bench_name="bench_fleet"
+fi
+
 bin="${BENCH_BIN:-}"
 if [[ -z "${bin}" ]]; then
   for candidate in \
-      "${repo_root}/build-perf/bench/bench_scaling_runtime" \
-      "${repo_root}/build/bench/bench_scaling_runtime"; do
+      "${repo_root}/build-perf/bench/${bench_name}" \
+      "${repo_root}/build/bench/${bench_name}"; do
     if [[ -x "${candidate}" ]]; then
       bin="${candidate}"
       break
@@ -58,7 +70,7 @@ if [[ -z "${bin}" ]]; then
   done
 fi
 if [[ -z "${bin}" || ! -x "${bin}" ]]; then
-  echo "error: bench_scaling_runtime not found; build it first, e.g.:" >&2
+  echo "error: ${bench_name} not found; build it first, e.g.:" >&2
   echo "  cmake --preset perf && cmake --build --preset perf -j" >&2
   exit 1
 fi

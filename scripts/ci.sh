@@ -112,7 +112,10 @@ echo "==> tsan: ctest (full suite under TSan)"
 # The full suite includes the in-solve parallel paths: local_search_test's
 # MultiStartParallel byte-identity cases and solver_differential_test's
 # per-start arena reuse run WOLT's Phase-II searches on a live ThreadPool,
-# which is where a data race in the deterministic merge would surface.
+# which is where a data race in the deterministic merge would surface. It
+# also covers the fleet runtime (fleet_test/fleet_soak_test/fleet_resume_test
+# run their parallel shard phase and the Shutdown-vs-submit race under TSan,
+# at reduced shard/seed counts).
 ctest --test-dir build-tsan --output-on-failure
 
 echo "==> determinism smoke: 4-thread sweep CSV == 1-thread sweep CSV"
@@ -140,6 +143,28 @@ wait "$pid" 2>/dev/null || true
     --resume=/tmp/wolt_resume.wal --csv=/tmp/wolt_resume.csv >/dev/null
 cmp /tmp/wolt_resume.csv /tmp/wolt_resume_golden.csv
 rm -f /tmp/wolt_resume.wal /tmp/wolt_resume.csv /tmp/wolt_resume_golden.csv
+
+echo "==> fleet kill-and-resume smoke: SIGKILL a journaled 64-shard fleet"
+# 64 shards x 400 rounds runs ~1s, so the kill at 0.3s lands mid-run; if the
+# run ever wins the race anyway, the resume replays the completed journal and
+# the property still holds. The resumed report must byte-match an
+# uninterrupted golden produced at a DIFFERENT thread count — one cmp gates
+# both crash-safety and thread-count invariance. The binary itself exits
+# non-zero on any fleet invariant violation (isolation/accounting/degraded).
+rm -f /tmp/wolt_fleet.wal /tmp/wolt_fleet.txt /tmp/wolt_fleet_golden.txt
+./build/bench/bench_fleet_soak --shards=64 --rounds=400 --threads=8 \
+    --report=/tmp/wolt_fleet_golden.txt 2>/dev/null
+./build/bench/bench_fleet_soak --shards=64 --rounds=400 --threads=4 \
+    --journal=/tmp/wolt_fleet.wal 2>/dev/null &
+pid=$!
+sleep 0.3
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+./build/bench/bench_fleet_soak --shards=64 --rounds=400 --threads=4 \
+    --journal=/tmp/wolt_fleet.wal --resume --report=/tmp/wolt_fleet.txt \
+    2>/dev/null
+cmp /tmp/wolt_fleet.txt /tmp/wolt_fleet_golden.txt
+rm -f /tmp/wolt_fleet.wal /tmp/wolt_fleet.txt /tmp/wolt_fleet_golden.txt
 
 echo "==> chaos smoke: 10-seed soak with invariant gate (4 threads)"
 ./build/bench/bench_chaos_soak 10 4

@@ -12,6 +12,7 @@
 #include "core/greedy.h"
 #include "core/wolt.h"
 #include "obs/obs.h"
+#include "util/codec.h"
 #include "util/deadline.h"
 
 namespace wolt::core {
@@ -135,6 +136,31 @@ const char* ToString(HandleStatus s) {
     case HandleStatus::kIgnoredStale: return "ignored-stale";
   }
   return "?";
+}
+
+const char* ToString(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kNone: return "none";
+    case ErrorCategory::kWireFault: return "wire-fault";
+    case ErrorCategory::kStateConflict: return "state-conflict";
+    case ErrorCategory::kProgrammingError: return "programming-error";
+  }
+  return "?";
+}
+
+ErrorCategory CategoryOf(HandleStatus s) {
+  switch (s) {
+    case HandleStatus::kOk:
+      return ErrorCategory::kNone;
+    case HandleStatus::kMalformed:
+      return ErrorCategory::kWireFault;
+    case HandleStatus::kDuplicateUser:
+    case HandleStatus::kUnknownUser:
+    case HandleStatus::kUnknownExtender:
+    case HandleStatus::kIgnoredStale:
+      return ErrorCategory::kStateConflict;
+  }
+  return ErrorCategory::kProgrammingError;
 }
 
 const char* ToString(ReoptTier t) {
@@ -525,6 +551,39 @@ std::vector<AssociationDirective> CentralController::Reoptimize() {
   return RunPolicy(/*guard=*/true);
 }
 
+model::Assignment CentralController::SolveTier(
+    ReoptTier tier, const util::Deadline* deadline,
+    const model::Assignment& before, const model::Assignment& evacuate) {
+  switch (tier) {
+    case ReoptTier::kHoldLastGood:
+      return evacuate;
+    case ReoptTier::kGreedy: {
+      // Greedy: re-place only the evacuated users, everyone else holds.
+      GreedyPolicy greedy;
+      greedy.SetDeadline(deadline);
+      return greedy.Associate(net_, evacuate);
+    }
+    case ReoptTier::kHungarianOnly: {
+      // WOLT Phase I + sticky greedy Phase II without the local-search
+      // polish — the polynomial core of the paper's algorithm.
+      WoltOptions wopt;
+      wopt.local_search = false;
+      wopt.sticky = true;
+      WoltPolicy hungarian_only(wopt);
+      hungarian_only.SetDeadline(deadline);
+      return hungarian_only.Associate(net_, before);
+    }
+    case ReoptTier::kFull: {
+      // The configured policy, exactly what Reoptimize() would run.
+      policy_->SetDeadline(deadline);
+      model::Assignment proposed = policy_->Associate(net_, before);
+      policy_->SetDeadline(nullptr);  // the token dies with this frame
+      return proposed;
+    }
+  }
+  return evacuate;
+}
+
 ReoptReport CentralController::Reoptimize(double budget_seconds) {
   if (obs::MetricsScope* s = obs::CurrentScope()) {
     s->ctrl.policy_runs.Add(1);
@@ -542,41 +601,13 @@ ReoptReport CentralController::Reoptimize(double budget_seconds) {
   // `budget_seconds` is at most one such unit.
   model::Assignment chosen = evacuate;
   report.tier = ReoptTier::kHoldLastGood;
-
-  // Greedy: re-place only the evacuated users, everyone else holds.
-  if (!deadline.Expired()) {
-    GreedyPolicy greedy;
-    greedy.SetDeadline(&deadline);
-    model::Assignment proposed = greedy.Associate(net_, evacuate);
+  for (ReoptTier tier : {ReoptTier::kGreedy, ReoptTier::kHungarianOnly,
+                         ReoptTier::kFull}) {
+    if (deadline.Expired()) break;
+    model::Assignment proposed = SolveTier(tier, &deadline, before, evacuate);
     if (!deadline.Expired()) {
       chosen = std::move(proposed);
-      report.tier = ReoptTier::kGreedy;
-    }
-  }
-
-  // Hungarian-only: WOLT Phase I + sticky greedy Phase II without the
-  // local-search polish — the polynomial core of the paper's algorithm.
-  if (!deadline.Expired()) {
-    WoltOptions wopt;
-    wopt.local_search = false;
-    wopt.sticky = true;
-    WoltPolicy hungarian_only(wopt);
-    hungarian_only.SetDeadline(&deadline);
-    model::Assignment proposed = hungarian_only.Associate(net_, before);
-    if (!deadline.Expired()) {
-      chosen = std::move(proposed);
-      report.tier = ReoptTier::kHungarianOnly;
-    }
-  }
-
-  // Full: the configured policy, exactly what Reoptimize() would run.
-  if (!deadline.Expired()) {
-    policy_->SetDeadline(&deadline);
-    model::Assignment proposed = policy_->Associate(net_, before);
-    policy_->SetDeadline(nullptr);  // the token dies with this frame
-    if (!deadline.Expired()) {
-      chosen = std::move(proposed);
-      report.tier = ReoptTier::kFull;
+      report.tier = tier;
     }
   }
 
@@ -606,6 +637,43 @@ ReoptReport CentralController::Reoptimize(double budget_seconds) {
       case ReoptTier::kHoldLastGood: s->ctrl.reopt_tier_hold.Add(1); break;
     }
     if (no_tier_fit) s->ctrl.reopt_budget_overruns.Add(1);
+  }
+
+  report.directives = DiffAndRegister(before, std::move(chosen));
+  return report;
+}
+
+ReoptReport CentralController::ReoptimizeAtTier(ReoptTier tier) {
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->ctrl.policy_runs.Add(1);
+  }
+  ReoptReport report;
+  report.tier = tier;
+  const model::Assignment before = assignment_;
+  const model::Assignment evacuate = EvacuationFallback();
+  model::Assignment chosen = SolveTier(tier, nullptr, before, evacuate);
+
+  // Same do-no-harm contract as the budgeted ladder.
+  const model::Evaluator eval;
+  if (eval.AggregateThroughput(net_, chosen) + 1e-9 <
+      eval.AggregateThroughput(net_, evacuate)) {
+    chosen = evacuate;
+    report.tier = ReoptTier::kHoldLastGood;
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->ctrl.reopt_guard_trips.Add(1);
+    }
+  }
+  report.budget_limited = report.tier != ReoptTier::kFull;
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    switch (report.tier) {
+      case ReoptTier::kFull: s->ctrl.reopt_tier_full.Add(1); break;
+      case ReoptTier::kHungarianOnly:
+        s->ctrl.reopt_tier_hungarian.Add(1);
+        break;
+      case ReoptTier::kGreedy: s->ctrl.reopt_tier_greedy.Add(1); break;
+      case ReoptTier::kHoldLastGood: s->ctrl.reopt_tier_hold.Add(1); break;
+    }
   }
 
   report.directives = DiffAndRegister(before, std::move(chosen));
@@ -691,6 +759,153 @@ double CentralController::CapacityAge(int extender) const {
 
 double CentralController::CurrentAggregate() const {
   return model::Evaluator().AggregateThroughput(net_, assignment_);
+}
+
+void CentralController::SaveState(std::string* out) const {
+  const std::size_t num_ext = net_.NumExtenders();
+  const std::size_t num_users = net_.NumUsers();
+  util::PutU64(out, num_ext);
+  util::PutDouble(out, now_);
+  util::PutU64(out, given_up_);
+  util::PutU64(out, quarantine_trips_);
+  util::PutU64(out, quarantine_releases_);
+  util::PutU8(out, net_.HasRssi() ? 1 : 0);
+  util::PutU64(out, num_users);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    util::PutI64(out, id_of_index_[i]);
+    util::PutDouble(out, last_scan_[i]);
+    util::PutU64(out, num_ext);
+    for (std::size_t j = 0; j < num_ext; ++j) {
+      util::PutDouble(out, net_.WifiRate(i, j));
+    }
+    if (net_.HasRssi()) {
+      util::PutU64(out, num_ext);
+      for (std::size_t j = 0; j < num_ext; ++j) {
+        util::PutDouble(out, net_.Rssi(i, j));
+      }
+    }
+    util::PutI32(out, assignment_.ExtenderOf(i));
+  }
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    util::PutDouble(out, net_.PlcRate(j));
+    util::PutDouble(out, last_capacity_[j]);
+    const FlapState& f = flap_[j];
+    util::PutI32(out, f.last_up);
+    util::PutDoubleVec(out, f.flips);
+    util::PutU8(out, f.quarantined ? 1 : 0);
+    util::PutDouble(out, f.release_at);
+    util::PutDouble(out, f.held_capacity);
+  }
+  // Pending directives in user-id order: unordered_map iteration order is
+  // not deterministic, and the snapshot bytes must be.
+  std::vector<std::int64_t> pending_ids;
+  pending_ids.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) pending_ids.push_back(id);
+  std::sort(pending_ids.begin(), pending_ids.end());
+  util::PutU64(out, pending_ids.size());
+  for (std::int64_t id : pending_ids) {
+    const PendingDirective& p = pending_.at(id);
+    util::PutI64(out, id);
+    util::PutI32(out, p.extender);
+    util::PutI32(out, p.attempts);
+    util::PutDouble(out, p.next_retry);
+  }
+}
+
+bool CentralController::RestoreState(util::ByteCursor* cur) {
+  const std::uint64_t num_ext = cur->U64();
+  if (!cur->ok() || num_ext != net_.NumExtenders()) return false;
+  const double now = cur->Double();
+  const std::uint64_t given_up = cur->U64();
+  const std::uint64_t q_trips = cur->U64();
+  const std::uint64_t q_releases = cur->U64();
+  const bool has_rssi = cur->U8() != 0;
+  const std::uint64_t num_users = cur->U64();
+  if (!cur->ok() || num_users > (std::uint64_t{1} << 24)) return false;
+
+  model::Network net(0, num_ext);
+  model::Assignment assignment;
+  std::vector<std::int64_t> ids;
+  std::vector<double> last_scan;
+  std::unordered_map<std::int64_t, std::size_t> index_of_id;
+  ids.reserve(num_users);
+  last_scan.reserve(num_users);
+  std::vector<double> rates, rssi;
+  for (std::uint64_t i = 0; i < num_users; ++i) {
+    const std::int64_t id = cur->I64();
+    const double scan_at = cur->Double();
+    if (!cur->DoubleVec(&rates) || rates.size() != num_ext) return false;
+    for (double r : rates) {
+      if (!std::isfinite(r) || r < 0.0) return false;
+    }
+    if (has_rssi && (!cur->DoubleVec(&rssi) || rssi.size() != num_ext)) {
+      return false;
+    }
+    const int extender = cur->I32();
+    if (!cur->ok() || extender < model::Assignment::kUnassigned ||
+        extender >= static_cast<int>(num_ext)) {
+      return false;
+    }
+    if (index_of_id.count(id)) return false;
+    const std::size_t index = net.AddUser(model::User{}, rates);
+    assignment.AppendUser();
+    if (extender != model::Assignment::kUnassigned) {
+      assignment.Assign(index, static_cast<std::size_t>(extender));
+    }
+    if (has_rssi) {
+      // Exact matrix round trip: -inf marks never-set cells and SetRssi
+      // stores it verbatim, so the restored Rssi() view is bit-identical.
+      for (std::size_t j = 0; j < num_ext; ++j) {
+        net.SetRssi(index, j, rssi[j]);
+      }
+    }
+    ids.push_back(id);
+    last_scan.push_back(scan_at);
+    index_of_id[id] = index;
+  }
+
+  std::vector<double> last_capacity(num_ext, -kInf);
+  std::vector<FlapState> flap(num_ext);
+  for (std::uint64_t j = 0; j < num_ext; ++j) {
+    const double plc = cur->Double();
+    last_capacity[j] = cur->Double();
+    FlapState& f = flap[j];
+    f.last_up = cur->I32();
+    if (!cur->DoubleVec(&f.flips)) return false;
+    f.quarantined = cur->U8() != 0;
+    f.release_at = cur->Double();
+    f.held_capacity = cur->Double();
+    if (!cur->ok() || !std::isfinite(plc) || plc < 0.0) return false;
+    net.SetPlcRate(j, plc);
+  }
+
+  const std::uint64_t num_pending = cur->U64();
+  if (!cur->ok() || num_pending > num_users) return false;
+  std::unordered_map<std::int64_t, PendingDirective> pending;
+  for (std::uint64_t k = 0; k < num_pending; ++k) {
+    const std::int64_t id = cur->I64();
+    PendingDirective p;
+    p.extender = cur->I32();
+    p.attempts = cur->I32();
+    p.next_retry = cur->Double();
+    if (!cur->ok() || !index_of_id.count(id)) return false;
+    pending[id] = p;
+  }
+  if (!cur->ok()) return false;
+
+  net_ = std::move(net);
+  assignment_ = std::move(assignment);
+  now_ = now;
+  given_up_ = given_up;
+  quarantine_trips_ = q_trips;
+  quarantine_releases_ = q_releases;
+  id_of_index_ = std::move(ids);
+  last_scan_ = std::move(last_scan);
+  last_capacity_ = std::move(last_capacity);
+  flap_ = std::move(flap);
+  index_of_id_ = std::move(index_of_id);
+  pending_ = std::move(pending);
+  return true;
 }
 
 }  // namespace wolt::core

@@ -35,6 +35,11 @@
 #include "model/evaluator.h"
 #include "model/network.h"
 
+namespace wolt::util {
+class ByteCursor;
+class Deadline;
+}  // namespace wolt::util
+
 namespace wolt::core {
 
 // --- Wire messages -------------------------------------------------------
@@ -110,10 +115,28 @@ enum class HandleStatus {
 };
 const char* ToString(HandleStatus s);
 
+// Machine-readable fault category behind a HandleStatus — what a fleet
+// supervisor keys restart-vs-circuit-break decisions on. The distinction
+// matters operationally: wire faults and state conflicts are expected under
+// loss/corruption/replay and must never count against a shard's health,
+// while a programming error (an exception escaping the controller) is
+// evidence the shard's state machine is wedged and a restart is warranted.
+enum class ErrorCategory {
+  kNone = 0,          // kOk: nothing went wrong
+  kWireFault,         // bytes arrived mangled (malformed fields)
+  kStateConflict,     // valid message, stale world-view: duplicate arrivals,
+                      // unknown ids (evicted/never seen), superseded acks —
+                      // the expected residue of a lossy, reordering wire
+  kProgrammingError,  // an invariant break, not a wire artefact
+};
+const char* ToString(ErrorCategory c);
+ErrorCategory CategoryOf(HandleStatus s);
+
 struct HandleResult {
   HandleStatus status = HandleStatus::kOk;
   std::vector<AssociationDirective> directives;
   bool ok() const { return status == HandleStatus::kOk; }
+  ErrorCategory category() const { return CategoryOf(status); }
 };
 
 // Retransmission schedule for unacknowledged directives: exponential
@@ -217,6 +240,16 @@ class CentralController {
   // (one the full policy fits in) produces exactly Reoptimize()'s result.
   ReoptReport Reoptimize(double budget_seconds);
 
+  // Clock-free epoch reoptimization at one explicit ladder rung. This is the
+  // deterministic sibling of Reoptimize(budget_seconds): the fleet runtime's
+  // virtual-budget scheduler picks the tier, so the outcome is a pure
+  // function of controller state (no wall clock involved), which is what
+  // makes fleet runs byte-identical across thread counts and across
+  // crash/resume. The do-no-harm guard still applies, so the report's tier
+  // can demote to kHoldLastGood on quality grounds; budget_limited is true
+  // iff a tier below kFull was requested or the guard demoted.
+  ReoptReport ReoptimizeAtTier(ReoptTier tier);
+
   // Directives due for retransmission at Now(), in user-id order. Each
   // returned directive has its attempt count bumped and its backoff
   // doubled (capped); exhausted directives are abandoned instead and
@@ -254,6 +287,20 @@ class CentralController {
   // evaluation model.
   double CurrentAggregate() const;
 
+  // Crash-safe state snapshot: appends every field that affects future
+  // behaviour (network rates, association, ids, staleness clocks, pending
+  // directives, quarantine bookkeeping) to `out`, encoded via util/codec.h
+  // with bit-exact doubles. The policy and the construction parameters are
+  // deliberately NOT captured: restore into a controller constructed with
+  // the same (num_extenders, policy, retry, quarantine).
+  void SaveState(std::string* out) const;
+  // Replaces this controller's state wholesale from a SaveState cursor
+  // position. Returns false — leaving the controller untouched — on a
+  // malformed blob or an extender-count mismatch. A restored controller is
+  // bit-identical in behaviour to the one that saved (the fleet resume
+  // contract).
+  bool RestoreState(util::ByteCursor* cur);
+
  private:
   struct PendingDirective {
     int extender = 0;
@@ -272,6 +319,12 @@ class CentralController {
 
   HandleStatus ValidateScan(const ScanReport& report) const;
   void ApplyReport(std::size_t index, const ScanReport& report);
+  // One rung of the degradation ladder: propose an assignment at `tier`,
+  // threading `deadline` (nullable) into the solvers. Shared by the budgeted
+  // ladder walk and the clock-free ReoptimizeAtTier.
+  model::Assignment SolveTier(ReoptTier tier, const util::Deadline* deadline,
+                              const model::Assignment& before,
+                              const model::Assignment& evacuate);
   // guard=true (epoch reoptimization) arms the do-no-harm fallback check.
   std::vector<AssociationDirective> RunPolicy(bool guard = false);
   void RegisterDirective(const AssociationDirective& d);

@@ -1,0 +1,136 @@
+#include "fleet/queue.h"
+
+#include <algorithm>
+
+#include "util/codec.h"
+
+namespace wolt::fleet {
+
+BoundedFleetQueue::BoundedFleetQueue(std::size_t capacity,
+                                     std::size_t num_shards)
+    : capacity_(capacity), lanes_(num_shards) {}
+
+void BoundedFleetQueue::Push(FleetMessage msg) {
+  if (msg.shard >= lanes_.size()) return;  // misaddressed: drop silently
+  msg.seq = next_seq_++;
+  lanes_[msg.shard].push_back(std::move(msg));
+  ++depth_;
+  ++stats_.enqueued;
+  stats_.peak_depth = std::max<std::uint64_t>(stats_.peak_depth, depth_);
+  ShedWhileOverCapacity();
+}
+
+void BoundedFleetQueue::ShedWhileOverCapacity() {
+  if (capacity_ == 0) return;
+  while (depth_ > capacity_) {
+    // Victim: the most backlogged shard, lowest id on ties; its oldest
+    // message goes first. Deterministic — no clocks, no randomness.
+    std::size_t victim = 0;
+    std::size_t victim_depth = 0;
+    for (std::size_t s = 0; s < lanes_.size(); ++s) {
+      if (lanes_[s].size() > victim_depth) {
+        victim = s;
+        victim_depth = lanes_[s].size();
+      }
+    }
+    if (victim_depth == 0) return;  // unreachable: depth_ > 0 implies a lane
+    const FleetMessage& oldest = lanes_[victim].front();
+    ++stats_.shed;
+    ++stats_.shed_by_class[static_cast<int>(oldest.cls)];
+    lanes_[victim].pop_front();
+    --depth_;
+  }
+}
+
+std::vector<FleetMessage> BoundedFleetQueue::Drain(std::uint32_t shard,
+                                                   std::size_t max_batch) {
+  std::vector<FleetMessage> out;
+  if (shard >= lanes_.size()) return out;
+  std::deque<FleetMessage>& lane = lanes_[shard];
+  const std::size_t take =
+      max_batch == 0 ? lane.size() : std::min(max_batch, lane.size());
+  out.reserve(take);
+  for (std::size_t k = 0; k < take; ++k) {
+    out.push_back(std::move(lane.front()));
+    lane.pop_front();
+  }
+  depth_ -= take;
+  stats_.delivered += take;
+  return out;
+}
+
+std::size_t BoundedFleetQueue::Discard(std::uint32_t shard) {
+  if (shard >= lanes_.size()) return 0;
+  const std::size_t n = lanes_[shard].size();
+  lanes_[shard].clear();
+  depth_ -= n;
+  stats_.discarded += n;
+  return n;
+}
+
+std::size_t BoundedFleetQueue::DepthOf(std::uint32_t shard) const {
+  return shard < lanes_.size() ? lanes_[shard].size() : 0;
+}
+
+void BoundedFleetQueue::SaveState(std::string* out) const {
+  util::PutU64(out, lanes_.size());
+  util::PutU64(out, next_seq_);
+  util::PutU64(out, stats_.enqueued);
+  util::PutU64(out, stats_.delivered);
+  util::PutU64(out, stats_.shed);
+  util::PutU64(out, stats_.discarded);
+  for (std::uint64_t c : stats_.shed_by_class) util::PutU64(out, c);
+  util::PutU64(out, stats_.peak_depth);
+  util::PutU64(out, depth_);
+  for (const std::deque<FleetMessage>& lane : lanes_) {
+    util::PutU64(out, lane.size());
+    for (const FleetMessage& m : lane) {
+      util::PutU32(out, m.shard);
+      util::PutU8(out, static_cast<std::uint8_t>(m.cls));
+      util::PutU64(out, m.seq);
+      util::PutString(out, m.bytes);
+    }
+  }
+}
+
+bool BoundedFleetQueue::RestoreState(util::ByteCursor* cur) {
+  const std::uint64_t num_lanes = cur->U64();
+  if (!cur->ok() || num_lanes != lanes_.size()) return false;
+  QueueStats stats;
+  const std::uint64_t next_seq = cur->U64();
+  stats.enqueued = cur->U64();
+  stats.delivered = cur->U64();
+  stats.shed = cur->U64();
+  stats.discarded = cur->U64();
+  for (std::uint64_t& c : stats.shed_by_class) c = cur->U64();
+  stats.peak_depth = cur->U64();
+  const std::uint64_t depth = cur->U64();
+  if (!cur->ok()) return false;
+
+  std::vector<std::deque<FleetMessage>> lanes(lanes_.size());
+  std::uint64_t total = 0;
+  for (std::deque<FleetMessage>& lane : lanes) {
+    const std::uint64_t n = cur->U64();
+    if (!cur->ok() || n > depth) return false;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      FleetMessage m;
+      m.shard = cur->U32();
+      const std::uint8_t cls = cur->U8();
+      m.seq = cur->U64();
+      m.bytes = cur->String();
+      if (!cur->ok() || cls >= fault::kNumMessageClasses) return false;
+      m.cls = static_cast<fault::MessageClass>(cls);
+      lane.push_back(std::move(m));
+    }
+    total += n;
+  }
+  if (total != depth) return false;
+
+  lanes_ = std::move(lanes);
+  depth_ = static_cast<std::size_t>(depth);
+  next_seq_ = next_seq;
+  stats_ = stats;
+  return true;
+}
+
+}  // namespace wolt::fleet

@@ -1,0 +1,92 @@
+// Bounded, seeded-deterministic ingestion queue of the fleet runtime: every
+// inbound control-plane message (scan, capacity probe, ack, departure) from
+// every building lands here before being batched to its shard's controller.
+//
+// Backpressure contract:
+//  * The queue has an explicit capacity. While the total depth exceeds it,
+//    messages are shed per-shard oldest-first from the most backlogged shard
+//    (ties broken toward the lowest shard id) — the shard least able to keep
+//    up pays, and it pays its stalest data first, never its freshest.
+//  * Shedding is accounted exactly: enqueued == delivered + shed + discarded
+//    + depth holds at every instant (fleet.shed.* obs counters mirror this).
+//  * Do-no-harm: the queue holds only encoded wire bytes. A shard's
+//    last-known-good association state lives in the shard (client-side
+//    applied directives and the controller's assignment) and is structurally
+//    unreachable from here, so overload can delay or drop *messages* but can
+//    never evict committed association state.
+//
+// Determinism: no clocks, no randomness — arrival order (the seq stamp) is
+// assigned by the single-threaded ingest phase of the runtime's round loop,
+// so queue contents are a pure function of the fleet seed and round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "fault/plane.h"
+
+namespace wolt::util {
+class ByteCursor;
+}  // namespace wolt::util
+
+namespace wolt::fleet {
+
+// One control-plane message addressed to a shard's controller.
+struct FleetMessage {
+  std::uint32_t shard = 0;
+  fault::MessageClass cls = fault::MessageClass::kScan;
+  std::string bytes;     // encoded wire line (possibly corrupted in flight)
+  std::uint64_t seq = 0; // global arrival order, stamped by the queue
+};
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;   // messages accepted
+  std::uint64_t delivered = 0;  // messages drained into shard batches
+  std::uint64_t shed = 0;       // dropped by the overload policy
+  std::uint64_t discarded = 0;  // dropped because the shard was unavailable
+  std::uint64_t shed_by_class[fault::kNumMessageClasses] = {};
+  std::uint64_t peak_depth = 0;
+};
+
+class BoundedFleetQueue {
+ public:
+  // `capacity` bounds the total queued message count across all shards;
+  // 0 = unbounded (no shedding).
+  BoundedFleetQueue(std::size_t capacity, std::size_t num_shards);
+
+  // Stamp, append to the shard's lane, then shed while over capacity.
+  void Push(FleetMessage msg);
+
+  // Up to `max_batch` oldest messages of `shard`, in arrival order
+  // (0 = everything queued). Counted as delivered.
+  std::vector<FleetMessage> Drain(std::uint32_t shard, std::size_t max_batch);
+
+  // Drop everything queued for an unavailable (restarting/degraded) shard.
+  // Returns the count; accounted as discarded, not shed.
+  std::size_t Discard(std::uint32_t shard);
+
+  std::size_t Depth() const { return depth_; }
+  std::size_t DepthOf(std::uint32_t shard) const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return lanes_.size(); }
+  const QueueStats& stats() const { return stats_; }
+
+  // Crash-safe snapshot of queued messages, the seq counter and the stats
+  // (bit-exact; part of the fleet journal's state record).
+  void SaveState(std::string* out) const;
+  bool RestoreState(util::ByteCursor* cur);
+
+ private:
+  void ShedWhileOverCapacity();
+
+  std::size_t capacity_;
+  std::vector<std::deque<FleetMessage>> lanes_;  // per shard, seq-ordered
+  std::size_t depth_ = 0;
+  std::uint64_t next_seq_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace wolt::fleet

@@ -1,0 +1,635 @@
+#include "fleet/runtime.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/codec.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace wolt::fleet {
+namespace {
+
+std::uint64_t HashU64(std::uint64_t h, std::uint64_t v) {
+  return util::HashCombine64(h, v);
+}
+
+std::uint64_t HashDouble(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return util::HashCombine64(h, bits);
+}
+
+// Virtual cost of one reoptimization at each ladder rung (see runtime.h).
+std::size_t TierCost(core::ReoptTier tier) {
+  switch (tier) {
+    case core::ReoptTier::kFull:
+      return 4;
+    case core::ReoptTier::kHungarianOnly:
+      return 3;
+    case core::ReoptTier::kGreedy:
+      return 2;
+    case core::ReoptTier::kHoldLastGood:
+      return 1;
+  }
+  return 1;
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<std::size_t>(n, sizeof buf - 1));
+}
+
+}  // namespace
+
+std::uint64_t Fingerprint(const FleetParams& p, std::uint64_t seed) {
+  std::uint64_t h = 0x574F4C54464C4554ULL;  // "WOLTFLET"
+  h = HashU64(h, 1);  // fingerprint format version
+  h = HashU64(h, p.num_shards);
+  h = HashU64(h, p.rounds);
+  h = HashU64(h, p.queue_capacity);
+  h = HashU64(h, p.batch_per_shard);
+
+  const ShardParams& s = p.shard;
+  h = HashU64(h, s.num_extenders);
+  h = HashU64(h, s.num_users);
+  h = HashDouble(h, s.floor_m);
+  h = HashDouble(h, s.retry.initial_backoff);
+  h = HashDouble(h, s.retry.multiplier);
+  h = HashDouble(h, s.retry.max_backoff);
+  h = HashU64(h, static_cast<std::uint64_t>(s.retry.max_attempts));
+  h = HashU64(h, static_cast<std::uint64_t>(s.quarantine.flap_threshold));
+  h = HashDouble(h, s.quarantine.window);
+  h = HashDouble(h, s.quarantine.hold);
+  h = HashDouble(h, s.round_dt);
+  h = HashDouble(h, s.stale_age);
+  h = HashU64(h, s.rejoin_after);
+  h = HashU64(h, s.decode_storm_threshold);
+  for (int c = 0; c < fault::kNumMessageClasses; ++c) {
+    const fault::WireFaults& w = s.wire.per_class[c];
+    h = HashDouble(h, w.loss);
+    h = HashDouble(h, w.duplicate);
+    h = HashDouble(h, w.corrupt);
+    h = HashDouble(h, w.delay_prob);
+    h = HashDouble(h, w.delay_mean);
+    h = HashDouble(h, w.base_latency);
+  }
+  h = HashDouble(h, s.plc_crash_prob);
+  h = HashU64(h, s.plc_down_rounds);
+  h = HashDouble(h, s.departure_prob);
+
+  const SupervisorParams& sup = p.supervisor;
+  h = HashU64(h, static_cast<std::uint64_t>(sup.storm_tolerance));
+  h = HashU64(h, static_cast<std::uint64_t>(sup.overrun_tolerance));
+  h = HashU64(h, sup.backoff_initial);
+  h = HashDouble(h, sup.backoff_multiplier);
+  h = HashU64(h, sup.backoff_max);
+  h = HashU64(h, static_cast<std::uint64_t>(sup.crash_loop_threshold));
+  h = HashU64(h, sup.crash_loop_window);
+  h = HashU64(h, sup.probe_after);
+
+  h = HashU64(h, p.chaos_from);
+  h = HashU64(h, p.chaos_to);
+  h = HashU64(h, p.poison_shards.size());
+  for (std::uint32_t ps : p.poison_shards) h = HashU64(h, ps);
+  h = HashU64(h, p.poison_from);
+  h = HashU64(h, p.poison_to);
+  h = HashU64(h, p.reopt_units_per_round);
+  h = HashU64(h, p.snapshot_every);
+  h = HashU64(h, seed);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// FleetResult
+
+std::string FleetResult::Report() const {
+  std::string out;
+  out += "WOLT fleet report\n";
+  AppendF(&out, "rows shard=%zu fleet=%zu\n", shard_records.size(),
+          fleet_records.size());
+  AppendF(&out,
+          "queue enqueued=%llu delivered=%llu shed=%llu discarded=%llu "
+          "peak=%llu\n",
+          static_cast<unsigned long long>(queue.enqueued),
+          static_cast<unsigned long long>(queue.delivered),
+          static_cast<unsigned long long>(queue.shed),
+          static_cast<unsigned long long>(queue.discarded),
+          static_cast<unsigned long long>(queue.peak_depth));
+  AppendF(&out, "shed_by_class scan=%llu directive=%llu capacity=%llu "
+                "ack=%llu departure=%llu\n",
+          static_cast<unsigned long long>(
+              queue.shed_by_class[static_cast<int>(
+                  fault::MessageClass::kScan)]),
+          static_cast<unsigned long long>(
+              queue.shed_by_class[static_cast<int>(
+                  fault::MessageClass::kDirective)]),
+          static_cast<unsigned long long>(
+              queue.shed_by_class[static_cast<int>(
+                  fault::MessageClass::kCapacity)]),
+          static_cast<unsigned long long>(
+              queue.shed_by_class[static_cast<int>(
+                  fault::MessageClass::kAck)]),
+          static_cast<unsigned long long>(
+              queue.shed_by_class[static_cast<int>(
+                  fault::MessageClass::kDeparture)]));
+  AppendF(&out, "supervisor restarts=%llu circuit_breaks=%llu probes=%llu\n",
+          static_cast<unsigned long long>(restarts),
+          static_cast<unsigned long long>(circuit_breaks),
+          static_cast<unsigned long long>(probes));
+  AppendF(&out, "invariants isolation=%s accounting=%s degraded_hold=%s\n",
+          isolation_ok ? "OK" : "VIOLATED",
+          accounting_ok ? "OK" : "VIOLATED",
+          degraded_held_ok ? "OK" : "VIOLATED");
+  for (const recover::FleetRoundRecord& r : fleet_records) {
+    AppendF(&out,
+            "round %llu enq=%llu del=%llu shed=%llu disc=%llu backlog=%llu "
+            "reopt=%llu units=%llu\n",
+            static_cast<unsigned long long>(r.round),
+            static_cast<unsigned long long>(r.enqueued),
+            static_cast<unsigned long long>(r.delivered),
+            static_cast<unsigned long long>(r.shed),
+            static_cast<unsigned long long>(r.discarded),
+            static_cast<unsigned long long>(r.backlog),
+            static_cast<unsigned long long>(r.reopt_scheduled),
+            static_cast<unsigned long long>(r.reopt_units));
+  }
+  for (const recover::ShardRoundRecord& r : shard_records) {
+    AppendF(&out,
+            "r=%llu s=%lu state=%s tier=%s truth=%.17g proc=%llu rej=%llu "
+            "wf=%llu sc=%llu dir=%llu out=%llu fail=%llu drop=%llu "
+            "flags=%c%c%c%c%c\n",
+            static_cast<unsigned long long>(r.round),
+            static_cast<unsigned long>(r.shard),
+            ToString(static_cast<ShardState>(r.state)),
+            r.tier < 0 ? "-"
+                       : core::ToString(static_cast<core::ReoptTier>(r.tier)),
+            r.truth_aggregate,
+            static_cast<unsigned long long>(r.processed),
+            static_cast<unsigned long long>(r.decode_rejects),
+            static_cast<unsigned long long>(r.wire_faults),
+            static_cast<unsigned long long>(r.state_conflicts),
+            static_cast<unsigned long long>(r.directives),
+            static_cast<unsigned long long>(r.outbound),
+            static_cast<unsigned long long>(r.failures),
+            static_cast<unsigned long long>(r.dropped),
+            r.restarted ? 'R' : '-', r.broke ? 'B' : '-',
+            r.probed ? 'P' : '-', r.held_violation ? 'H' : '-',
+            r.isolation_violation ? 'I' : '-');
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FleetRuntime
+
+struct FleetRuntime::PerShardScratch {
+  std::vector<FleetMessage> batch;
+  RoundOutcome out;
+  ReoptOutcome reopt;
+  bool live = false;
+  bool scheduled = false;
+  core::ReoptTier tier = core::ReoptTier::kFull;
+  bool restarted = false;
+  bool probed = false;
+  bool broke = false;
+  bool held_violation = false;
+  std::size_t dropped = 0;
+};
+
+FleetRuntime::FleetRuntime(FleetParams params, std::uint64_t seed)
+    : params_(std::move(params)),
+      seed_(seed),
+      fingerprint_(Fingerprint(params_, seed)) {
+  shards_.reserve(params_.num_shards);
+  for (std::size_t s = 0; s < params_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<ShardRuntime>(
+        static_cast<std::uint32_t>(s), seed_,
+        ShardParamsFor(static_cast<std::uint32_t>(s))));
+  }
+  supervisor_ =
+      std::make_unique<Supervisor>(params_.supervisor, params_.num_shards);
+  queue_ = std::make_unique<BoundedFleetQueue>(params_.queue_capacity,
+                                               params_.num_shards);
+  held_extenders_.resize(params_.num_shards);
+  last_reopt_round_.assign(params_.num_shards, 0);
+}
+
+FleetRuntime::~FleetRuntime() = default;
+
+ShardParams FleetRuntime::ShardParamsFor(std::uint32_t shard) const {
+  ShardParams sp = params_.shard;
+  if (std::find(params_.poison_shards.begin(), params_.poison_shards.end(),
+                shard) != params_.poison_shards.end()) {
+    sp.poison_from = params_.poison_from;
+    sp.poison_to = params_.poison_to;
+  }
+  return sp;
+}
+
+FleetResult FleetRuntime::Run() {
+  FleetResult result;
+  if (params_.reopt_wall_budget_seconds > 0.0 &&
+      !params_.journal_path.empty()) {
+    result.error =
+        "wall-clock reopt budgets are non-deterministic and cannot be "
+        "journaled";
+    return result;
+  }
+
+  std::uint64_t start_round = 0;
+  std::unique_ptr<recover::FleetJournalWriter> journal;
+  if (!params_.journal_path.empty()) {
+    recover::FleetJournalWriter::Options jopts;
+    jopts.after_append = params_.after_journal_append;
+    if (params_.resume) {
+      recover::FleetJournalReadResult existing =
+          recover::ReadFleetJournal(params_.journal_path);
+      if (!existing.ok) {
+        result.error = existing.error;
+        return result;
+      }
+      if (existing.header.fingerprint != fingerprint_ ||
+          existing.header.num_shards != params_.num_shards ||
+          existing.header.rounds != params_.rounds) {
+        result.error =
+            "fleet journal was written under a different configuration "
+            "(fingerprint mismatch): " +
+            params_.journal_path;
+        return result;
+      }
+      if (existing.has_checkpoint) {
+        util::ByteCursor cur(existing.checkpoint_blob);
+        if (!RestoreState(&cur) || !cur.AtEnd()) {
+          result.error =
+              "fleet journal snapshot is corrupt: " + params_.journal_path;
+          return result;
+        }
+        start_round = existing.checkpoint_round + 1;
+        result.resumed_rounds = start_round;
+        result.shard_records = std::move(existing.shard_records);
+        result.fleet_records = std::move(existing.fleet_records);
+      }
+      journal = std::make_unique<recover::FleetJournalWriter>(
+          params_.journal_path, existing, jopts);
+    } else {
+      recover::FleetJournalHeader header;
+      header.fingerprint = fingerprint_;
+      header.num_shards = params_.num_shards;
+      header.rounds = params_.rounds;
+      journal = std::make_unique<recover::FleetJournalWriter>(
+          params_.journal_path, header, jopts);
+    }
+    if (!journal->ok()) {
+      result.error = "cannot open fleet journal: " + params_.journal_path;
+      return result;
+    }
+  }
+
+  {
+    util::ThreadPool pool(params_.threads);
+    for (std::uint64_t round = start_round; round < params_.rounds; ++round) {
+      RunRound(round, pool, journal.get(), &result);
+    }
+  }
+  if (journal) journal->Close();
+
+  result.queue = queue_->stats();
+  result.restarts = supervisor_->TotalRestarts();
+  result.circuit_breaks = supervisor_->TotalCircuitBreaks();
+  result.probes = supervisor_->TotalProbes();
+  // Fold the invariants from the records so a resumed run judges the
+  // pre-crash rounds too (their records came from the journal).
+  for (const recover::ShardRoundRecord& r : result.shard_records) {
+    if (r.isolation_violation) result.isolation_ok = false;
+    if (r.held_violation) result.degraded_held_ok = false;
+  }
+  const QueueStats& q = result.queue;
+  result.accounting_ok =
+      q.enqueued == q.delivered + q.shed + q.discarded + queue_->Depth();
+  result.completed = true;
+  return result;
+}
+
+void FleetRuntime::RunRound(std::uint64_t round, util::ThreadPool& pool,
+                            recover::FleetJournalWriter* journal,
+                            FleetResult* result) {
+  const std::size_t n = params_.num_shards;
+  const bool chaos = round >= params_.chaos_from && round < params_.chaos_to;
+  const bool wall_mode = params_.reopt_wall_budget_seconds > 0.0;
+  std::vector<PerShardScratch> scratch(n);
+
+  // (a) Supervisor round-driven transitions: due restarts and probes.
+  for (std::size_t s = 0; s < n; ++s) {
+    switch (supervisor_->BeginRound(s, round)) {
+      case SupervisorAction::kRestart:
+        shards_[s]->Restart(round);
+        scratch[s].restarted = true;
+        break;
+      case SupervisorAction::kProbe:
+        scratch[s].probed = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // (b) Traffic generation into the bounded queue, shard order. The
+  // buildings keep living (and scanning) regardless of controller health.
+  {
+    std::vector<FleetMessage> msgs;
+    for (std::size_t s = 0; s < n; ++s) {
+      msgs.clear();
+      shards_[s]->GenerateTraffic(round, chaos, &msgs);
+      for (FleetMessage& m : msgs) queue_->Push(std::move(m));
+    }
+  }
+
+  // (c) Drain live shards; discard the lanes of parked ones.
+  for (std::size_t s = 0; s < n; ++s) {
+    const ShardState st = supervisor_->state(s);
+    scratch[s].live =
+        st == ShardState::kHealthy || st == ShardState::kProbation;
+    if (scratch[s].live) {
+      scratch[s].batch = queue_->Drain(static_cast<std::uint32_t>(s),
+                                       params_.batch_per_shard);
+    } else {
+      scratch[s].dropped = queue_->Discard(static_cast<std::uint32_t>(s));
+    }
+  }
+
+  // (d) Virtual-budget reopt scheduling: staleness-priority walk spending
+  // units down the degradation ladder. Wall mode schedules every live shard
+  // (the shard spends the wall budget itself).
+  std::uint64_t reopt_scheduled = 0;
+  std::uint64_t reopt_units = 0;
+  {
+    std::vector<std::size_t> candidates;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (scratch[s].live) candidates.push_back(s);
+    }
+    if (wall_mode || params_.reopt_units_per_round == 0) {
+      for (std::size_t s : candidates) {
+        scratch[s].scheduled = true;
+        scratch[s].tier = core::ReoptTier::kFull;
+        last_reopt_round_[s] = round;
+        ++reopt_scheduled;
+        reopt_units += TierCost(core::ReoptTier::kFull);
+      }
+    } else {
+      std::sort(candidates.begin(), candidates.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const std::uint64_t stale_a = round - last_reopt_round_[a];
+                  const std::uint64_t stale_b = round - last_reopt_round_[b];
+                  if (stale_a != stale_b) return stale_a > stale_b;
+                  const std::size_t back_a =
+                      queue_->DepthOf(static_cast<std::uint32_t>(a));
+                  const std::size_t back_b =
+                      queue_->DepthOf(static_cast<std::uint32_t>(b));
+                  if (back_a != back_b) return back_a > back_b;
+                  return a < b;
+                });
+      std::size_t units = params_.reopt_units_per_round;
+      for (std::size_t s : candidates) {
+        core::ReoptTier tier;
+        if (units >= 4) {
+          tier = core::ReoptTier::kFull;
+        } else if (units >= 3) {
+          tier = core::ReoptTier::kHungarianOnly;
+        } else if (units >= 2) {
+          tier = core::ReoptTier::kGreedy;
+        } else if (units >= 1) {
+          tier = core::ReoptTier::kHoldLastGood;
+        } else {
+          break;  // budget exhausted: remaining shards wait, growing staler
+        }
+        units -= TierCost(tier);
+        scratch[s].scheduled = true;
+        scratch[s].tier = tier;
+        last_reopt_round_[s] = round;
+        ++reopt_scheduled;
+        reopt_units += TierCost(tier);
+      }
+    }
+  }
+  if (obs::MetricsScope* ms = obs::CurrentScope()) {
+    ms->fleet.reopt_scheduled.Add(reopt_scheduled);
+  }
+
+  // (e) The parallel phase: batch processing plus the scheduled
+  // reoptimization, strictly per-shard state, index-addressed results.
+  {
+    obs::MetricsRegistry* reg = obs::CurrentRegistry();
+    pool.ParallelFor(n, 0, [&](std::size_t s) {
+      if (!scratch[s].live) return;
+      std::optional<obs::ScopedMetrics> sm;
+      if (reg != nullptr) sm.emplace(*reg);
+      scratch[s].out = shards_[s]->ProcessBatch(round, chaos, scratch[s].batch);
+      if (scratch[s].scheduled) {
+        scratch[s].reopt =
+            wall_mode ? shards_[s]->ReoptimizeBudget(
+                            round, params_.reopt_wall_budget_seconds)
+                      : shards_[s]->Reoptimize(round, chaos, scratch[s].tier);
+      }
+    });
+  }
+
+  // (f) Supervision: feed the failure evidence in shard order.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!scratch[s].live) continue;
+    std::vector<FailureEvent> failures = scratch[s].out.failures;
+    failures.insert(failures.end(), scratch[s].reopt.failures.begin(),
+                    scratch[s].reopt.failures.end());
+    if (obs::MetricsScope* ms = obs::CurrentScope()) {
+      for (const FailureEvent& f : failures) {
+        if (f.kind == FailureKind::kReoptOverrun) {
+          ms->fleet.reopt_overruns.Add(1);
+        }
+      }
+    }
+    switch (supervisor_->ObserveFailures(s, round, failures)) {
+      case SupervisorAction::kCircuitBreak:
+        scratch[s].broke = true;
+        held_extenders_[s] = shards_[s]->ClientExtenders();
+        break;
+      case SupervisorAction::kRecover:
+        held_extenders_[s].clear();
+        break;
+      default:
+        break;
+    }
+  }
+
+  // (g) Degraded-hold invariant: a parked shard's clients may only keep the
+  // captured directive or drop to unassociated (departure/rejoin churn) —
+  // never move to a different extender, because nothing can direct them.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (supervisor_->state(s) != ShardState::kDegraded) continue;
+    if (held_extenders_[s].empty()) continue;
+    const std::vector<int> current = shards_[s]->ClientExtenders();
+    for (std::size_t i = 0;
+         i < current.size() && i < held_extenders_[s].size(); ++i) {
+      if (current[i] != held_extenders_[s][i] && current[i] != -1) {
+        scratch[s].held_violation = true;
+        break;
+      }
+    }
+  }
+
+  // (h) Re-enqueue client acks for next round, shard order.
+  for (std::size_t s = 0; s < n; ++s) {
+    for (FleetMessage& m : scratch[s].out.outbound) {
+      queue_->Push(std::move(m));
+    }
+    for (FleetMessage& m : scratch[s].reopt.outbound) {
+      queue_->Push(std::move(m));
+    }
+  }
+
+  // (i) Records: one row per shard plus the fleet-wide aggregates.
+  for (std::size_t s = 0; s < n; ++s) {
+    const PerShardScratch& sc = scratch[s];
+    recover::ShardRoundRecord rec;
+    rec.round = round;
+    rec.shard = static_cast<std::uint32_t>(s);
+    rec.state = static_cast<std::uint8_t>(supervisor_->state(s));
+    rec.tier = sc.scheduled && sc.reopt.ran
+                   ? static_cast<std::int8_t>(sc.reopt.tier)
+                   : std::int8_t{-1};
+    rec.truth_aggregate = shards_[s]->TruthAggregate();
+    rec.processed = sc.out.processed;
+    rec.decode_rejects = sc.out.decode_rejects;
+    rec.wire_faults = sc.out.wire_faults;
+    rec.state_conflicts = sc.out.state_conflicts;
+    rec.directives = sc.out.directives + sc.reopt.directives;
+    rec.outbound = sc.out.outbound.size() + sc.reopt.outbound.size();
+    rec.failures = sc.out.failures.size() + sc.reopt.failures.size();
+    rec.dropped = sc.dropped;
+    rec.restarted = sc.restarted ? 1 : 0;
+    rec.broke = sc.broke ? 1 : 0;
+    rec.probed = sc.probed ? 1 : 0;
+    rec.held_violation = sc.held_violation ? 1 : 0;
+    bool isolation = false;
+    for (const FailureEvent& f : sc.out.failures) {
+      if (f.kind == FailureKind::kInvariant) isolation = true;
+    }
+    rec.isolation_violation = isolation ? 1 : 0;
+    if (journal != nullptr) journal->AppendShardRound(rec);
+    result->shard_records.push_back(rec);
+  }
+  {
+    const QueueStats& q = queue_->stats();
+    recover::FleetRoundRecord rec;
+    rec.round = round;
+    rec.enqueued = q.enqueued - prev_stats_.enqueued;
+    rec.delivered = q.delivered - prev_stats_.delivered;
+    rec.shed = q.shed - prev_stats_.shed;
+    rec.discarded = q.discarded - prev_stats_.discarded;
+    rec.backlog = queue_->Depth();
+    rec.reopt_scheduled = reopt_scheduled;
+    rec.reopt_units = reopt_units;
+    if (obs::MetricsScope* ms = obs::CurrentScope()) {
+      ms->fleet.enqueued.Add(rec.enqueued);
+      ms->fleet.delivered.Add(rec.delivered);
+      ms->fleet.shed_total.Add(rec.shed);
+      ms->fleet.dropped_unavailable.Add(rec.discarded);
+      ms->fleet.shed_scan.Add(
+          q.shed_by_class[static_cast<int>(fault::MessageClass::kScan)] -
+          prev_stats_
+              .shed_by_class[static_cast<int>(fault::MessageClass::kScan)]);
+      ms->fleet.shed_directive.Add(
+          q.shed_by_class[static_cast<int>(fault::MessageClass::kDirective)] -
+          prev_stats_.shed_by_class[static_cast<int>(
+              fault::MessageClass::kDirective)]);
+      ms->fleet.shed_capacity.Add(
+          q.shed_by_class[static_cast<int>(fault::MessageClass::kCapacity)] -
+          prev_stats_.shed_by_class[static_cast<int>(
+              fault::MessageClass::kCapacity)]);
+      ms->fleet.shed_ack.Add(
+          q.shed_by_class[static_cast<int>(fault::MessageClass::kAck)] -
+          prev_stats_
+              .shed_by_class[static_cast<int>(fault::MessageClass::kAck)]);
+      ms->fleet.shed_departure.Add(
+          q.shed_by_class[static_cast<int>(fault::MessageClass::kDeparture)] -
+          prev_stats_.shed_by_class[static_cast<int>(
+              fault::MessageClass::kDeparture)]);
+    }
+    prev_stats_ = q;
+    if (journal != nullptr) journal->AppendFleetRound(rec);
+    result->fleet_records.push_back(rec);
+  }
+
+  // (j) Snapshot the whole fleet every snapshot_every rounds and after the
+  // final round — the resume points.
+  if (journal != nullptr) {
+    const bool last = round + 1 == params_.rounds;
+    const bool due = params_.snapshot_every != 0 &&
+                     (round + 1) % params_.snapshot_every == 0;
+    if (last || due) {
+      std::string blob;
+      SaveState(&blob);
+      journal->AppendSnapshot(round, blob);
+    }
+  }
+}
+
+void FleetRuntime::SaveState(std::string* out) const {
+  std::string queue_blob;
+  queue_->SaveState(&queue_blob);
+  util::PutString(out, queue_blob);
+  std::string sup_blob;
+  supervisor_->SaveState(&sup_blob);
+  util::PutString(out, sup_blob);
+  util::PutU64(out, shards_.size());
+  for (const std::unique_ptr<ShardRuntime>& shard : shards_) {
+    std::string blob;
+    shard->SaveState(&blob);
+    util::PutString(out, blob);
+  }
+  util::PutU64(out, held_extenders_.size());
+  for (const std::vector<int>& held : held_extenders_) {
+    util::PutI32Vec(out, held);
+  }
+  util::PutU64Vec(out, last_reopt_round_);
+}
+
+bool FleetRuntime::RestoreState(util::ByteCursor* cur) {
+  const std::string queue_blob = cur->String();
+  const std::string sup_blob = cur->String();
+  if (!cur->ok()) return false;
+  util::ByteCursor queue_cur(queue_blob);
+  if (!queue_->RestoreState(&queue_cur) || !queue_cur.AtEnd()) return false;
+  util::ByteCursor sup_cur(sup_blob);
+  if (!supervisor_->RestoreState(&sup_cur) || !sup_cur.AtEnd()) return false;
+  const std::uint64_t num_shards = cur->U64();
+  if (!cur->ok() || num_shards != shards_.size()) return false;
+  for (std::unique_ptr<ShardRuntime>& shard : shards_) {
+    const std::string blob = cur->String();
+    if (!cur->ok()) return false;
+    util::ByteCursor shard_cur(blob);
+    if (!shard->RestoreState(&shard_cur) || !shard_cur.AtEnd()) return false;
+  }
+  const std::uint64_t num_held = cur->U64();
+  if (!cur->ok() || num_held != held_extenders_.size()) return false;
+  for (std::vector<int>& held : held_extenders_) {
+    if (!cur->I32Vec(&held)) return false;
+  }
+  if (!cur->U64Vec(&last_reopt_round_)) return false;
+  if (last_reopt_round_.size() != shards_.size()) return false;
+  prev_stats_ = queue_->stats();
+  return true;
+}
+
+}  // namespace wolt::fleet

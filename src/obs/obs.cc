@@ -59,6 +59,22 @@ ControllerCounters::ControllerCounters(MetricsRegistry& r)
       quarantine_trips(r.GetCounter("ctrl.quarantine.trips")),
       quarantine_releases(r.GetCounter("ctrl.quarantine.releases")) {}
 
+FleetCounters::FleetCounters(MetricsRegistry& r)
+    : enqueued(r.GetCounter("fleet.queue.enqueued")),
+      delivered(r.GetCounter("fleet.queue.delivered")),
+      shed_total(r.GetCounter("fleet.shed.messages")),
+      shed_scan(r.GetCounter("fleet.shed.scan")),
+      shed_directive(r.GetCounter("fleet.shed.directive")),
+      shed_capacity(r.GetCounter("fleet.shed.capacity")),
+      shed_ack(r.GetCounter("fleet.shed.ack")),
+      shed_departure(r.GetCounter("fleet.shed.departure")),
+      dropped_unavailable(r.GetCounter("fleet.dropped.unavailable")),
+      restarts(r.GetCounter("fleet.supervisor.restarts")),
+      circuit_breaks(r.GetCounter("fleet.supervisor.circuit_breaks")),
+      probes(r.GetCounter("fleet.supervisor.probes")),
+      reopt_scheduled(r.GetCounter("fleet.reopt.scheduled")),
+      reopt_overruns(r.GetCounter("fleet.reopt.overruns")) {}
+
 SweepCounters::SweepCounters(MetricsRegistry& r)
     : tasks_completed(r.GetCounter("sweep.tasks.completed")),
       tasks_failed(r.GetCounter("sweep.tasks.failed")),

@@ -114,6 +114,27 @@ struct ControllerCounters {
   Counter& quarantine_releases;
 };
 
+// fleet/Runtime: multi-building ingestion, shedding and supervision. The
+// shed counters are the observable half of the overload contract: every
+// message the bounded queue dropped is accounted here, per message class.
+struct FleetCounters {
+  explicit FleetCounters(MetricsRegistry& r);
+  Counter& enqueued;             // messages accepted by the fleet queue
+  Counter& delivered;            // messages drained into a shard batch
+  Counter& shed_total;           // fleet.shed.messages (all classes)
+  Counter& shed_scan;            // fleet.shed.scan
+  Counter& shed_directive;       // fleet.shed.directive
+  Counter& shed_capacity;        // fleet.shed.capacity
+  Counter& shed_ack;             // fleet.shed.ack
+  Counter& shed_departure;       // fleet.shed.departure
+  Counter& dropped_unavailable;  // dropped: shard degraded or restarting
+  Counter& restarts;             // supervisor-ordered shard restarts
+  Counter& circuit_breaks;       // crash loops parked in Degraded
+  Counter& probes;               // half-open probes of degraded shards
+  Counter& reopt_scheduled;      // per-shard reoptimizations scheduled
+  Counter& reopt_overruns;       // shard reopt blew its wall budget
+};
+
 // sweep/Engine: task accounting plus per-phase latency histograms. The
 // histograms are timing-flagged — wall-clock is the one thread-count-
 // dependent signal a sweep produces, and the deterministic snapshot section
@@ -130,11 +151,12 @@ struct SweepCounters {
 // Every hook bundle bound to one registry.
 struct MetricsScope {
   explicit MetricsScope(MetricsRegistry& r)
-      : registry(r), eval(r), solver(r), ctrl(r), sweep(r) {}
+      : registry(r), eval(r), solver(r), ctrl(r), fleet(r), sweep(r) {}
   MetricsRegistry& registry;
   EvalCounters eval;
   SolverCounters solver;
   ControllerCounters ctrl;
+  FleetCounters fleet;
   SweepCounters sweep;
 };
 
@@ -201,6 +223,11 @@ struct ControllerCounters {
       reopt_tier_hold, reopt_budget_overruns, quarantine_trips,
       quarantine_releases;
 };
+struct FleetCounters {
+  NoopCounter enqueued, delivered, shed_total, shed_scan, shed_directive,
+      shed_capacity, shed_ack, shed_departure, dropped_unavailable, restarts,
+      circuit_breaks, probes, reopt_scheduled, reopt_overruns;
+};
 struct SweepCounters {
   NoopCounter tasks_completed, tasks_failed;
   NoopHistogram task_latency_us, phase_generate_us, phase_solve_us;
@@ -210,6 +237,7 @@ struct MetricsScope {
   EvalCounters eval;
   SolverCounters solver;
   ControllerCounters ctrl;
+  FleetCounters fleet;
   SweepCounters sweep;
 };
 

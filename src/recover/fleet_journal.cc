@@ -1,0 +1,327 @@
+#include "recover/fleet_journal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "recover/journal.h"  // Fnv1a64
+#include "util/codec.h"
+
+namespace wolt::recover {
+namespace {
+
+using util::PutString;
+using util::PutU32;
+using util::PutU64;
+using util::PutU8;
+using Cursor = util::ByteCursor;
+
+// Record kinds inside a frame payload (first byte).
+constexpr std::uint8_t kKindHeader = 1;
+constexpr std::uint8_t kKindShardRound = 2;
+constexpr std::uint8_t kKindFleetRound = 3;
+constexpr std::uint8_t kKindSnapshot = 4;
+
+bool DecodeShardRoundPayload(const std::string& payload,
+                             ShardRoundRecord* out) {
+  Cursor cur(payload);
+  if (cur.U8() != kKindShardRound) return false;
+  out->round = cur.U64();
+  out->shard = cur.U32();
+  out->state = cur.U8();
+  out->tier = static_cast<std::int8_t>(cur.U8());
+  out->truth_aggregate = cur.Double();
+  out->processed = cur.U64();
+  out->decode_rejects = cur.U64();
+  out->wire_faults = cur.U64();
+  out->state_conflicts = cur.U64();
+  out->directives = cur.U64();
+  out->outbound = cur.U64();
+  out->failures = cur.U64();
+  out->dropped = cur.U64();
+  out->restarted = cur.U8();
+  out->broke = cur.U8();
+  out->probed = cur.U8();
+  out->held_violation = cur.U8();
+  out->isolation_violation = cur.U8();
+  return cur.AtEnd();
+}
+
+bool DecodeFleetRoundPayload(const std::string& payload,
+                             FleetRoundRecord* out) {
+  Cursor cur(payload);
+  if (cur.U8() != kKindFleetRound) return false;
+  out->round = cur.U64();
+  out->enqueued = cur.U64();
+  out->delivered = cur.U64();
+  out->shed = cur.U64();
+  out->discarded = cur.U64();
+  out->backlog = cur.U64();
+  out->reopt_scheduled = cur.U64();
+  out->reopt_units = cur.U64();
+  return cur.AtEnd();
+}
+
+bool DecodeSnapshotPayload(const std::string& payload, std::uint64_t* round,
+                           std::string* blob) {
+  Cursor cur(payload);
+  if (cur.U8() != kKindSnapshot) return false;
+  *round = cur.U64();
+  *blob = cur.String();
+  return cur.AtEnd();
+}
+
+}  // namespace
+
+std::string EncodeFleetHeaderPayload(const FleetJournalHeader& header) {
+  std::string out;
+  PutU8(&out, kKindHeader);
+  PutU32(&out, kFleetJournalVersion);
+  PutU64(&out, header.fingerprint);
+  PutU64(&out, header.num_shards);
+  PutU64(&out, header.rounds);
+  return out;
+}
+
+bool DecodeFleetHeaderPayload(const std::string& payload,
+                              FleetJournalHeader* out) {
+  Cursor cur(payload);
+  if (cur.U8() != kKindHeader) return false;
+  if (cur.U32() != kFleetJournalVersion) return false;
+  out->fingerprint = cur.U64();
+  out->num_shards = cur.U64();
+  out->rounds = cur.U64();
+  return cur.AtEnd();
+}
+
+std::string EncodeShardRoundPayload(const ShardRoundRecord& record) {
+  std::string out;
+  PutU8(&out, kKindShardRound);
+  PutU64(&out, record.round);
+  PutU32(&out, record.shard);
+  PutU8(&out, record.state);
+  PutU8(&out, static_cast<std::uint8_t>(record.tier));
+  util::PutDouble(&out, record.truth_aggregate);
+  PutU64(&out, record.processed);
+  PutU64(&out, record.decode_rejects);
+  PutU64(&out, record.wire_faults);
+  PutU64(&out, record.state_conflicts);
+  PutU64(&out, record.directives);
+  PutU64(&out, record.outbound);
+  PutU64(&out, record.failures);
+  PutU64(&out, record.dropped);
+  PutU8(&out, record.restarted);
+  PutU8(&out, record.broke);
+  PutU8(&out, record.probed);
+  PutU8(&out, record.held_violation);
+  PutU8(&out, record.isolation_violation);
+  return out;
+}
+
+std::string EncodeFleetRoundPayload(const FleetRoundRecord& record) {
+  std::string out;
+  PutU8(&out, kKindFleetRound);
+  PutU64(&out, record.round);
+  PutU64(&out, record.enqueued);
+  PutU64(&out, record.delivered);
+  PutU64(&out, record.shed);
+  PutU64(&out, record.discarded);
+  PutU64(&out, record.backlog);
+  PutU64(&out, record.reopt_scheduled);
+  PutU64(&out, record.reopt_units);
+  return out;
+}
+
+std::string EncodeSnapshotPayload(std::uint64_t round,
+                                  const std::string& blob) {
+  std::string out;
+  PutU8(&out, kKindSnapshot);
+  PutU64(&out, round);
+  PutString(&out, blob);
+  return out;
+}
+
+std::string FrameFleetPayload(const std::string& payload) {
+  std::string out;
+  PutU32(&out, kFleetJournalMagic);
+  PutU32(&out, static_cast<std::uint32_t>(payload.size()));
+  PutU64(&out, Fnv1a64(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+FleetJournalReadResult ReadFleetJournal(const std::string& path) {
+  FleetJournalReadResult out;
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      out.error = "cannot open fleet journal: " + path;
+      return out;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+
+  constexpr std::size_t kFrameHeader =
+      sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+  std::size_t pos = 0;
+  bool saw_header = false;
+  std::unordered_set<std::uint64_t> seen_shard;  // round*num_shards + shard
+  std::unordered_set<std::uint64_t> seen_fleet;  // round
+  // Record counts at the last snapshot seen; records past it are discarded
+  // after the scan (the resumed run regenerates them).
+  std::size_t cp_shard_count = 0;
+  std::size_t cp_fleet_count = 0;
+
+  while (true) {
+    if (bytes.size() - pos < kFrameHeader) break;
+    Cursor frame(bytes.data() + pos, kFrameHeader);
+    const std::uint32_t magic = frame.U32();
+    const std::uint32_t len = frame.U32();
+    const std::uint64_t checksum = frame.U64();
+    if (magic != kFleetJournalMagic) break;
+    if (len > bytes.size() - pos - kFrameHeader) break;  // truncated payload
+    const char* payload_data = bytes.data() + pos + kFrameHeader;
+    if (Fnv1a64(payload_data, len) != checksum) break;
+    const std::string payload(payload_data, len);
+    const std::size_t frame_end = pos + kFrameHeader + len;
+
+    if (!saw_header) {
+      if (!DecodeFleetHeaderPayload(payload, &out.header)) {
+        out.error = "fleet journal header record is missing or corrupt: " +
+                    path;
+        out.torn_bytes = bytes.size();
+        return out;
+      }
+      saw_header = true;
+      out.header_bytes = frame_end;
+    } else if (payload.empty()) {
+      break;
+    } else if (static_cast<std::uint8_t>(payload[0]) == kKindShardRound) {
+      ShardRoundRecord rec;
+      if (!DecodeShardRoundPayload(payload, &rec)) break;
+      const std::uint64_t key =
+          rec.round * out.header.num_shards + rec.shard;
+      if (!seen_shard.insert(key).second) {
+        ++out.duplicates;
+      } else {
+        out.shard_records.push_back(rec);
+      }
+    } else if (static_cast<std::uint8_t>(payload[0]) == kKindFleetRound) {
+      FleetRoundRecord rec;
+      if (!DecodeFleetRoundPayload(payload, &rec)) break;
+      if (!seen_fleet.insert(rec.round).second) {
+        ++out.duplicates;
+      } else {
+        out.fleet_records.push_back(rec);
+      }
+    } else if (static_cast<std::uint8_t>(payload[0]) == kKindSnapshot) {
+      std::uint64_t round = 0;
+      std::string blob;
+      if (!DecodeSnapshotPayload(payload, &round, &blob)) break;
+      out.has_checkpoint = true;
+      out.checkpoint_round = round;
+      out.checkpoint_blob = std::move(blob);
+      out.checkpoint_bytes = frame_end;
+      cp_shard_count = out.shard_records.size();
+      cp_fleet_count = out.fleet_records.size();
+    } else {
+      break;  // unknown record kind: treat as the start of a torn tail
+    }
+    pos = frame_end;
+  }
+
+  if (!saw_header) {
+    out.error = "fleet journal has no valid header record: " + path;
+    out.torn_bytes = bytes.size();
+    return out;
+  }
+  out.valid_bytes = pos;
+  out.torn_bytes = bytes.size() - pos;
+  // Keep only records covered by the checkpoint: resume truncates to the
+  // checkpoint and re-executes everything after it.
+  if (!out.has_checkpoint) {
+    out.discarded_records = out.shard_records.size() +
+                            out.fleet_records.size();
+    out.shard_records.clear();
+    out.fleet_records.clear();
+  } else {
+    out.discarded_records = (out.shard_records.size() - cp_shard_count) +
+                            (out.fleet_records.size() - cp_fleet_count);
+    out.shard_records.resize(cp_shard_count);
+    out.fleet_records.resize(cp_fleet_count);
+  }
+  out.ok = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FleetJournalWriter
+
+FleetJournalWriter::FleetJournalWriter(const std::string& path,
+                                       const FleetJournalHeader& header,
+                                       Options options)
+    : path_(path), options_(std::move(options)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return;
+  ok_ = true;
+  WriteFrame(EncodeFleetHeaderPayload(header));
+}
+
+FleetJournalWriter::FleetJournalWriter(const std::string& path,
+                                       const FleetJournalReadResult& existing,
+                                       Options options)
+    : path_(path), options_(std::move(options)) {
+  if (!existing.ok) return;
+  const std::uint64_t keep = existing.has_checkpoint
+                                 ? existing.checkpoint_bytes
+                                 : existing.header_bytes;
+  if (::truncate(path_.c_str(), static_cast<off_t>(keep)) != 0) return;
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) return;
+  ok_ = true;
+}
+
+FleetJournalWriter::~FleetJournalWriter() { Close(); }
+
+void FleetJournalWriter::WriteFrame(const std::string& payload) {
+  if (!ok_ || file_ == nullptr) return;
+  const std::string frame = FrameFleetPayload(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    ok_ = false;
+    return;
+  }
+  ++appends_;
+  if (options_.after_append) options_.after_append(appends_);
+}
+
+void FleetJournalWriter::AppendShardRound(const ShardRoundRecord& record) {
+  WriteFrame(EncodeShardRoundPayload(record));
+}
+
+void FleetJournalWriter::AppendFleetRound(const FleetRoundRecord& record) {
+  WriteFrame(EncodeFleetRoundPayload(record));
+}
+
+void FleetJournalWriter::AppendSnapshot(std::uint64_t round,
+                                        const std::string& blob) {
+  WriteFrame(EncodeSnapshotPayload(round, blob));
+}
+
+void FleetJournalWriter::Close() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace wolt::recover

@@ -8,124 +8,21 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/codec.h"
 #include "util/fileio.h"
 
 namespace wolt::recover {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Binary payload encoding. Fixed-width little-endian-as-stored integers and
-// raw 8-byte doubles: the journal is a same-machine crash-recovery artefact,
-// not an interchange format, so native byte order is fine and gives exact
-// double round trips for free.
-
-void PutU8(std::string* out, std::uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, std::uint32_t v) {
-  char buf[sizeof v];
-  std::memcpy(buf, &v, sizeof v);
-  out->append(buf, sizeof v);
-}
-
-void PutU64(std::string* out, std::uint64_t v) {
-  char buf[sizeof v];
-  std::memcpy(buf, &v, sizeof v);
-  out->append(buf, sizeof v);
-}
-
-void PutDouble(std::string* out, double v) {
-  char buf[sizeof v];
-  std::memcpy(buf, &v, sizeof v);
-  out->append(buf, sizeof v);
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU64(out, s.size());
-  out->append(s);
-}
-
-// Bounds-checked sequential reader over a payload; any overrun poisons it.
-class Cursor {
- public:
-  Cursor(const char* data, std::size_t size) : p_(data), left_(size) {}
-
-  bool ok() const { return ok_; }
-  bool AtEnd() const { return ok_ && left_ == 0; }
-
-  std::uint8_t U8() {
-    std::uint8_t v = 0;
-    Raw(&v, sizeof v);
-    return v;
-  }
-  std::uint32_t U32() {
-    std::uint32_t v = 0;
-    Raw(&v, sizeof v);
-    return v;
-  }
-  std::uint64_t U64() {
-    std::uint64_t v = 0;
-    Raw(&v, sizeof v);
-    return v;
-  }
-  double Double() {
-    double v = 0;
-    Raw(&v, sizeof v);
-    return v;
-  }
-  std::string String() {
-    const std::uint64_t n = U64();
-    if (!ok_ || n > left_) {
-      ok_ = false;
-      return {};
-    }
-    std::string s(p_, static_cast<std::size_t>(n));
-    p_ += n;
-    left_ -= static_cast<std::size_t>(n);
-    return s;
-  }
-
-  // Length-prefixed vectors. The element count is validated against the
-  // bytes remaining before allocating, so a corrupt length cannot trigger a
-  // huge allocation.
-  bool DoubleVec(std::vector<double>* out) {
-    const std::uint64_t n = U64();
-    if (!ok_ || n > left_ / sizeof(double)) {
-      ok_ = false;
-      return false;
-    }
-    out->resize(static_cast<std::size_t>(n));
-    for (double& v : *out) v = Double();
-    return ok_;
-  }
-  bool U64Vec(std::vector<std::uint64_t>* out) {
-    const std::uint64_t n = U64();
-    if (!ok_ || n > left_ / sizeof(std::uint64_t)) {
-      ok_ = false;
-      return false;
-    }
-    out->resize(static_cast<std::size_t>(n));
-    for (std::uint64_t& v : *out) v = U64();
-    return ok_;
-  }
-
- private:
-  void Raw(void* dst, std::size_t n) {
-    if (!ok_ || n > left_) {
-      ok_ = false;
-      std::memset(dst, 0, n);
-      return;
-    }
-    std::memcpy(dst, p_, n);
-    p_ += n;
-    left_ -= n;
-  }
-
-  const char* p_;
-  std::size_t left_;
-  bool ok_ = true;
-};
+// Binary payload encoding lives in util/codec.h (shared with the fleet
+// journal and the controller state snapshots): native-order fixed-width
+// integers, raw 8-byte doubles, bounds-checked ByteCursor reads.
+using util::PutDouble;
+using util::PutString;
+using util::PutU32;
+using util::PutU64;
+using util::PutU8;
+using Cursor = util::ByteCursor;
 
 void PutSnapshot(std::string* out, const obs::MetricsSnapshot& m) {
   PutU64(out, m.counters.size());

@@ -14,19 +14,32 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  // Taking run_mu_ first means an in-flight ParallelFor (which holds it for
+  // its whole duration) completes every claimed task before the workers are
+  // told to exit; a ParallelFor that loses the race for run_mu_ observes
+  // shutdown_ and rejects. Either way no job is ever torn down mid-run.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   job_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  workers_.clear();
 }
 
 bool ThreadPool::ParallelFor(std::size_t num_tasks, std::size_t chunk,
                              const std::function<void(std::size_t)>& fn,
                              const std::atomic<bool>* cancel) {
   std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;  // rejected: nothing runs after Shutdown()
+  }
   if (num_tasks == 0) return true;
 
   const std::size_t executors = shards_.size();

@@ -34,14 +34,27 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int size() const { return static_cast<int>(workers_.size()) + 1; }
+  int size() const { return static_cast<int>(shards_.size()); }
+
+  // Deterministic teardown, callable before destruction (the destructor
+  // calls it too). Blocks until any in-flight ParallelFor has fully
+  // completed (every claimed task ran), then joins the workers. After
+  // Shutdown returns, every subsequent ParallelFor is rejected: it runs
+  // nothing and returns false. So work racing a shutdown has exactly two
+  // deterministic outcomes — it ran to completion (call won the race) or
+  // nothing at all ran (call lost it) — never a partial job. Must not be
+  // called from inside a ParallelFor task (it would self-deadlock on the
+  // in-flight job). Idempotent.
+  void Shutdown();
 
   // Runs fn(i) for every i in [0, num_tasks), blocking until all claimed
   // tasks finish. `chunk` is the steal granularity (0 = auto: shards split
   // ~8 chunks per executor). If `cancel` is non-null and becomes true,
   // executors stop claiming new chunks (already-claimed tasks still run to
   // completion); returns false iff cancelled before all tasks ran. fn must
-  // not throw. Calls from multiple threads serialize.
+  // not throw. Calls from multiple threads serialize. Once Shutdown() has
+  // run (or begun and won the serialization race), calls are rejected:
+  // nothing runs and the call returns false.
   bool ParallelFor(std::size_t num_tasks, std::size_t chunk,
                    const std::function<void(std::size_t)>& fn,
                    const std::atomic<bool>* cancel = nullptr);

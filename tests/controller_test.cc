@@ -10,6 +10,7 @@
 #include "core/greedy.h"
 #include "core/rssi.h"
 #include "core/wolt.h"
+#include "util/codec.h"
 
 namespace wolt::core {
 namespace {
@@ -377,6 +378,148 @@ TEST(ControllerTest, RssiFromScanReportGuidesRssiPolicy) {
   ScanReport report{1, {20.0, 20.0}, {-75.0, -55.0}, {}};
   cc.HandleUserArrival(report);
   EXPECT_EQ(cc.ExtenderOf(1), 1);
+}
+
+// --- Error categories -----------------------------------------------------
+
+TEST(ErrorCategoryTest, EveryHandleStatusMapsToItsSupervisionClass) {
+  // The fleet supervisor keys restart decisions on these three buckets:
+  // mangled bytes are wire evidence, stale-world statuses are the normal
+  // residue of a lossy wire, and only kOk is clean.
+  EXPECT_EQ(CategoryOf(HandleStatus::kOk), ErrorCategory::kNone);
+  EXPECT_EQ(CategoryOf(HandleStatus::kMalformed), ErrorCategory::kWireFault);
+  EXPECT_EQ(CategoryOf(HandleStatus::kDuplicateUser),
+            ErrorCategory::kStateConflict);
+  EXPECT_EQ(CategoryOf(HandleStatus::kUnknownUser),
+            ErrorCategory::kStateConflict);
+  EXPECT_EQ(CategoryOf(HandleStatus::kUnknownExtender),
+            ErrorCategory::kStateConflict);
+  EXPECT_EQ(CategoryOf(HandleStatus::kIgnoredStale),
+            ErrorCategory::kStateConflict);
+}
+
+TEST(ErrorCategoryTest, HandleResultExposesItsCategory) {
+  CentralController cc(1, std::make_unique<RssiPolicy>());
+  cc.HandleCapacityReport({0, 100.0});
+  const HandleResult ok = cc.HandleUserArrival({1, {20.0}, {}, {}});
+  EXPECT_EQ(ok.category(), ErrorCategory::kNone);
+  const HandleResult dup = cc.HandleUserArrival({1, {20.0}, {}, {}});
+  EXPECT_EQ(dup.status, HandleStatus::kDuplicateUser);
+  EXPECT_EQ(dup.category(), ErrorCategory::kStateConflict);
+  const HandleResult bad = cc.HandleUserArrival({2, {20.0, 30.0}, {}, {}});
+  EXPECT_EQ(bad.status, HandleStatus::kMalformed);
+  EXPECT_EQ(bad.category(), ErrorCategory::kWireFault);
+  EXPECT_TRUE(ToString(ErrorCategory::kProgrammingError) != nullptr);
+}
+
+// --- Clock-free tier ladder -----------------------------------------------
+
+TEST(ReoptTierTest, FullTierMatchesUnbudgetedReoptimize) {
+  // Two identical controllers with drifted state: ReoptimizeAtTier(kFull)
+  // must land exactly where Reoptimize() does.
+  auto build = [] {
+    CentralController cc(2, std::make_unique<WoltPolicy>());
+    cc.HandleCapacityReport({0, 60.0});
+    cc.HandleCapacityReport({1, 20.0});
+    cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});
+    cc.HandleUserArrival({102, {40.0, 20.0}, {}, {}});
+    cc.HandleUserDeparture(101);
+    cc.HandleUserArrival({103, {25.0, 35.0}, {}, {}});
+    return cc;
+  };
+  CentralController a = build();
+  CentralController b = build();
+  a.Reoptimize();
+  const ReoptReport report = b.ReoptimizeAtTier(ReoptTier::kFull);
+  EXPECT_FALSE(report.budget_limited);
+  EXPECT_NEAR(a.CurrentAggregate(), b.CurrentAggregate(), 1e-12);
+  for (const std::int64_t id : a.UserIds()) {
+    EXPECT_EQ(a.ExtenderOf(id), b.ExtenderOf(id)) << "user " << id;
+  }
+}
+
+TEST(ReoptTierTest, DegradedTiersNeverHarmTheAggregate) {
+  // Every rung below kFull reports budget_limited and, thanks to the
+  // do-no-harm guard, never lands below the pre-reopt aggregate.
+  for (const ReoptTier tier :
+       {ReoptTier::kHungarianOnly, ReoptTier::kGreedy,
+        ReoptTier::kHoldLastGood}) {
+    CentralController cc(2, std::make_unique<WoltPolicy>());
+    cc.HandleCapacityReport({0, 60.0});
+    cc.HandleCapacityReport({1, 20.0});
+    cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});
+    cc.HandleUserArrival({102, {40.0, 20.0}, {}, {}});
+    const double before = cc.CurrentAggregate();
+    const ReoptReport report = cc.ReoptimizeAtTier(tier);
+    EXPECT_TRUE(report.budget_limited) << ToString(tier);
+    EXPECT_GE(cc.CurrentAggregate(), before - 1e-12) << ToString(tier);
+  }
+}
+
+// --- Save/restore ---------------------------------------------------------
+
+TEST(ControllerStateTest, SaveRestoreIsBehaviorallyEquivalent) {
+  CentralController cc(2, std::make_unique<WoltPolicy>());
+  cc.HandleCapacityReport({0, 60.0});
+  cc.HandleCapacityReport({1, 20.0});
+  cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});
+  cc.AdvanceTime(1.0);
+  cc.HandleUserArrival({102, {40.0, 20.0}, {}, {}});
+  cc.HandleUserDeparture(101);
+  cc.HandleUserArrival({103, {25.0, 35.0}, {}, {}});
+
+  std::string blob;
+  cc.SaveState(&blob);
+  CentralController restored(2, std::make_unique<WoltPolicy>());
+  util::ByteCursor cur(blob);
+  ASSERT_TRUE(restored.RestoreState(&cur));
+  EXPECT_TRUE(cur.AtEnd());
+
+  EXPECT_EQ(restored.NumUsers(), cc.NumUsers());
+  EXPECT_NEAR(restored.CurrentAggregate(), cc.CurrentAggregate(), 1e-12);
+  for (const std::int64_t id : cc.UserIds()) {
+    EXPECT_EQ(restored.ExtenderOf(id), cc.ExtenderOf(id)) << "user " << id;
+  }
+  // The restored twin must also *behave* identically from here on.
+  const HandleResult ra = cc.HandleScanUpdate({103, {5.0, 45.0}, {}, {}});
+  const HandleResult rb =
+      restored.HandleScanUpdate({103, {5.0, 45.0}, {}, {}});
+  EXPECT_EQ(ra.status, rb.status);
+  EXPECT_EQ(ra.directives.size(), rb.directives.size());
+  cc.Reoptimize();
+  restored.Reoptimize();
+  EXPECT_NEAR(restored.CurrentAggregate(), cc.CurrentAggregate(), 1e-12);
+  // And re-saving yields the same bytes: the snapshot is canonical.
+  std::string blob_a, blob_b;
+  cc.SaveState(&blob_a);
+  restored.SaveState(&blob_b);
+  EXPECT_EQ(blob_a, blob_b);
+}
+
+TEST(ControllerStateTest, MalformedBlobLeavesControllerUntouched) {
+  CentralController cc(2, std::make_unique<WoltPolicy>());
+  cc.HandleCapacityReport({0, 60.0});
+  cc.HandleCapacityReport({1, 20.0});
+  cc.HandleUserArrival({101, {15.0, 10.0}, {}, {}});
+  std::string blob;
+  cc.SaveState(&blob);
+
+  // Truncated blob: rejected, state intact (all-or-nothing restore).
+  CentralController victim(2, std::make_unique<WoltPolicy>());
+  victim.HandleCapacityReport({0, 10.0});
+  victim.HandleUserArrival({7, {5.0, 0.0}, {}, {}});
+  const double before = victim.CurrentAggregate();
+  std::string truncated = blob.substr(0, blob.size() / 2);
+  util::ByteCursor cur(truncated);
+  EXPECT_FALSE(victim.RestoreState(&cur));
+  EXPECT_EQ(victim.NumUsers(), 1u);
+  EXPECT_NEAR(victim.CurrentAggregate(), before, 1e-12);
+  EXPECT_EQ(victim.ExtenderOf(7), 0);
+
+  // A blob from a controller with a different extender count is refused.
+  CentralController wrong(3, std::make_unique<WoltPolicy>());
+  util::ByteCursor cur2(blob);
+  EXPECT_FALSE(wrong.RestoreState(&cur2));
 }
 
 }  // namespace

@@ -315,5 +315,45 @@ TEST(ReoptTierNames, ToStringCoversAllTiers) {
   EXPECT_STREQ(ToString(ReoptTier::kHoldLastGood), "hold-last-good");
 }
 
+TEST(FlapQuarantine, QuarantineHoldsAcrossEveryDegradationTier) {
+  // A quarantined extender's capacity is pinned to zero for *planning*, and
+  // that pin must survive every rung of the ladder — including the degraded
+  // tiers a budget-starved (or fleet-scheduled) epoch runs at. If any tier
+  // consulted the raw reported capacity instead of the quarantine view, a
+  // flapping backhaul would reabsorb users exactly when the controller is
+  // under the most pressure.
+  for (const ReoptTier tier : {ReoptTier::kFull, ReoptTier::kHungarianOnly,
+                               ReoptTier::kGreedy, ReoptTier::kHoldLastGood}) {
+    QuarantineParams q;
+    q.flap_threshold = 3;
+    q.window = 100.0;
+    q.hold = 50.0;
+    auto cc = MakeController(6, q);
+
+    // Trip the breaker on extender 2: down, up, down inside the window.
+    cc->AdvanceTime(1.0);
+    EXPECT_EQ(cc->HandleCapacityReport({2, 0.0}), HandleStatus::kOk);
+    cc->AdvanceTime(2.0);
+    EXPECT_EQ(cc->HandleCapacityReport({2, 60.0}), HandleStatus::kOk);
+    cc->AdvanceTime(3.0);
+    EXPECT_EQ(cc->HandleCapacityReport({2, 0.0}), HandleStatus::kOk);
+    ASSERT_TRUE(cc->IsQuarantined(2)) << ToString(tier);
+    // A healthy-looking report mid-quarantine must not lift the pin.
+    cc->AdvanceTime(4.0);
+    EXPECT_EQ(cc->HandleCapacityReport({2, 80.0}), HandleStatus::kOk);
+    ASSERT_TRUE(cc->IsQuarantined(2)) << ToString(tier);
+
+    cc->ReoptimizeAtTier(tier);
+
+    EXPECT_EQ(cc->network().PlcRate(2), 0.0) << ToString(tier);
+    ExpectValidAssignment(*cc);
+    for (std::size_t i = 0; i < cc->NumUsers(); ++i) {
+      EXPECT_NE(cc->assignment().ExtenderOf(i), 2)
+          << "tier " << ToString(tier) << " parked user " << i
+          << " on the quarantined extender";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wolt::core

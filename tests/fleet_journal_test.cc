@@ -1,0 +1,300 @@
+// Unit coverage of the fleet journal's framing and recovery semantics:
+// round-trip, checkpoint trimming, torn-tail tolerance, duplicate-record
+// first-wins, foreign-artefact rejection, and resume truncation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "recover/fleet_journal.h"
+#include "recover/journal.h"
+#include "util/codec.h"
+
+namespace wolt::recover {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+FleetJournalHeader TestHeader() {
+  FleetJournalHeader h;
+  h.fingerprint = 0xABCDEF;
+  h.num_shards = 4;
+  h.rounds = 8;
+  return h;
+}
+
+ShardRoundRecord TestShardRecord(std::uint64_t round, std::uint32_t shard) {
+  ShardRoundRecord r;
+  r.round = round;
+  r.shard = shard;
+  r.state = 0;
+  r.tier = shard % 2 == 0 ? 0 : -1;
+  r.truth_aggregate = 12.5 + round;
+  r.processed = 7;
+  r.decode_rejects = 1;
+  r.directives = 2;
+  r.outbound = 2;
+  r.restarted = round == 3 ? 1 : 0;
+  return r;
+}
+
+FleetRoundRecord TestFleetRecord(std::uint64_t round) {
+  FleetRoundRecord r;
+  r.round = round;
+  r.enqueued = 32;
+  r.delivered = 28;
+  r.shed = 3;
+  r.discarded = 1;
+  r.backlog = 0;
+  r.reopt_scheduled = 4;
+  r.reopt_units = 16;
+  return r;
+}
+
+// Writes rounds [0, rounds) with a snapshot after each; returns the path.
+std::string WriteJournal(const std::string& name, std::uint64_t rounds,
+                         std::uint64_t snapshot_every = 1) {
+  const std::string path = TempPath(name);
+  FleetJournalWriter w(path, TestHeader(), {});
+  EXPECT_TRUE(w.ok());
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (std::uint32_t s = 0; s < TestHeader().num_shards; ++s) {
+      w.AppendShardRound(TestShardRecord(round, s));
+    }
+    w.AppendFleetRound(TestFleetRecord(round));
+    if ((round + 1) % snapshot_every == 0) {
+      w.AppendSnapshot(round, "state-after-round-" + std::to_string(round));
+    }
+  }
+  w.Close();
+  return path;
+}
+
+TEST(FleetJournal, RoundTripsRecordsAndCheckpoint) {
+  const std::string path = WriteJournal("wolt_fleet_journal_rt.wal", 3);
+  const FleetJournalReadResult got = ReadFleetJournal(path);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_EQ(got.header.fingerprint, TestHeader().fingerprint);
+  EXPECT_EQ(got.header.num_shards, 4u);
+  EXPECT_EQ(got.header.rounds, 8u);
+  ASSERT_EQ(got.shard_records.size(), 12u);
+  ASSERT_EQ(got.fleet_records.size(), 3u);
+  EXPECT_TRUE(got.has_checkpoint);
+  EXPECT_EQ(got.checkpoint_round, 2u);
+  EXPECT_EQ(got.checkpoint_blob, "state-after-round-2");
+  EXPECT_EQ(got.torn_bytes, 0u);
+  EXPECT_EQ(got.duplicates, 0u);
+  EXPECT_EQ(got.discarded_records, 0u);
+
+  const ShardRoundRecord& r = got.shard_records[5];  // round 1, shard 1
+  EXPECT_EQ(r.round, 1u);
+  EXPECT_EQ(r.shard, 1u);
+  EXPECT_EQ(r.tier, -1);
+  EXPECT_DOUBLE_EQ(r.truth_aggregate, 13.5);
+  EXPECT_EQ(r.processed, 7u);
+  fs::remove(path);
+}
+
+TEST(FleetJournal, RecordsPastTheCheckpointAreDiscarded) {
+  // Snapshot only after round 1 of 3: rounds 2's records are past the
+  // resume point and must be dropped (the resumed run regenerates them).
+  const std::string path = TempPath("wolt_fleet_journal_trim.wal");
+  {
+    FleetJournalWriter w(path, TestHeader(), {});
+    for (std::uint64_t round = 0; round < 3; ++round) {
+      for (std::uint32_t s = 0; s < 4; ++s) {
+        w.AppendShardRound(TestShardRecord(round, s));
+      }
+      w.AppendFleetRound(TestFleetRecord(round));
+      if (round == 1) w.AppendSnapshot(round, "cp");
+    }
+  }
+  const FleetJournalReadResult got = ReadFleetJournal(path);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_TRUE(got.has_checkpoint);
+  EXPECT_EQ(got.checkpoint_round, 1u);
+  EXPECT_EQ(got.shard_records.size(), 8u);   // rounds 0-1 only
+  EXPECT_EQ(got.fleet_records.size(), 2u);
+  EXPECT_EQ(got.discarded_records, 5u);      // round 2: 4 shard + 1 fleet
+  fs::remove(path);
+}
+
+TEST(FleetJournal, NoCheckpointMeansNoRecords) {
+  const std::string path = TempPath("wolt_fleet_journal_nocp.wal");
+  {
+    FleetJournalWriter w(path, TestHeader(), {});
+    w.AppendShardRound(TestShardRecord(0, 0));
+    w.AppendFleetRound(TestFleetRecord(0));
+  }
+  const FleetJournalReadResult got = ReadFleetJournal(path);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_FALSE(got.has_checkpoint);
+  EXPECT_TRUE(got.shard_records.empty());
+  EXPECT_TRUE(got.fleet_records.empty());
+  EXPECT_EQ(got.discarded_records, 2u);
+  fs::remove(path);
+}
+
+TEST(FleetJournal, ToleratesTruncatedTail) {
+  const std::string path = WriteJournal("wolt_fleet_journal_trunc.wal", 3);
+  std::error_code ec;
+  const std::uint64_t size = fs::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  fs::resize_file(path, size - 7, ec);
+  ASSERT_FALSE(ec);
+
+  const FleetJournalReadResult got = ReadFleetJournal(path);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_GT(got.torn_bytes, 0u);
+  // The torn frame was the round-2 snapshot: recovery falls back to the
+  // round-1 checkpoint.
+  EXPECT_TRUE(got.has_checkpoint);
+  EXPECT_EQ(got.checkpoint_round, 1u);
+  EXPECT_EQ(got.shard_records.size(), 8u);
+  fs::remove(path);
+}
+
+TEST(FleetJournal, ToleratesGarbageTail) {
+  const std::string path = WriteJournal("wolt_fleet_journal_garbage.wal", 2);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "garbage-from-a-dying-disk";
+  }
+  const FleetJournalReadResult got = ReadFleetJournal(path);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_EQ(got.torn_bytes, 25u);
+  EXPECT_TRUE(got.has_checkpoint);
+  EXPECT_EQ(got.checkpoint_round, 1u);
+  fs::remove(path);
+}
+
+TEST(FleetJournal, CorruptedPayloadEndsTheValidPrefix) {
+  const std::string path = WriteJournal("wolt_fleet_journal_flip.wal", 3);
+  // Flip one byte inside the round-2 region (past the round-1 snapshot):
+  // its checksum fails, everything after is torn tail.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[bytes.size() - 10] ^= 0x5A;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const FleetJournalReadResult got = ReadFleetJournal(path);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_GT(got.torn_bytes, 0u);
+  EXPECT_TRUE(got.has_checkpoint);
+  EXPECT_LE(got.checkpoint_round, 2u);
+  fs::remove(path);
+}
+
+TEST(FleetJournal, DuplicateRecordsFirstWins) {
+  const std::string path = TempPath("wolt_fleet_journal_dup.wal");
+  {
+    FleetJournalWriter w(path, TestHeader(), {});
+    ShardRoundRecord first = TestShardRecord(0, 0);
+    first.processed = 111;
+    w.AppendShardRound(first);
+    ShardRoundRecord dup = TestShardRecord(0, 0);
+    dup.processed = 222;
+    w.AppendShardRound(dup);
+    w.AppendFleetRound(TestFleetRecord(0));
+    w.AppendFleetRound(TestFleetRecord(0));
+    w.AppendSnapshot(0, "cp");
+  }
+  const FleetJournalReadResult got = ReadFleetJournal(path);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_EQ(got.duplicates, 2u);
+  ASSERT_EQ(got.shard_records.size(), 1u);
+  EXPECT_EQ(got.shard_records[0].processed, 111u);
+  EXPECT_EQ(got.fleet_records.size(), 1u);
+  fs::remove(path);
+}
+
+TEST(FleetJournal, RejectsFilesWithoutAFleetHeader) {
+  const std::string garbage = TempPath("wolt_fleet_journal_bad.wal");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not a journal";
+  }
+  EXPECT_FALSE(ReadFleetJournal(garbage).ok);
+  fs::remove(garbage);
+
+  EXPECT_FALSE(ReadFleetJournal(TempPath("wolt_fleet_journal_enoent")).ok);
+
+  // A *sweep* journal must never pass as a fleet journal: distinct magics.
+  const std::string sweep_path = TempPath("wolt_fleet_journal_sweep.wal");
+  {
+    JournalWriter w(sweep_path, JournalHeader{}, {});
+    ASSERT_TRUE(w.ok());
+  }
+  EXPECT_FALSE(ReadFleetJournal(sweep_path).ok);
+  fs::remove(sweep_path);
+}
+
+TEST(FleetJournal, ResumeWriterTruncatesBackToTheCheckpoint) {
+  const std::string path = TempPath("wolt_fleet_journal_resume.wal");
+  {
+    FleetJournalWriter w(path, TestHeader(), {});
+    w.AppendShardRound(TestShardRecord(0, 0));
+    w.AppendFleetRound(TestFleetRecord(0));
+    w.AppendSnapshot(0, "cp");
+    w.AppendShardRound(TestShardRecord(1, 0));  // past the checkpoint
+  }
+  FleetJournalReadResult existing = ReadFleetJournal(path);
+  ASSERT_TRUE(existing.ok);
+  ASSERT_TRUE(existing.has_checkpoint);
+  ASSERT_LT(existing.checkpoint_bytes, fs::file_size(path));
+  {
+    FleetJournalWriter w(path, existing, {});
+    ASSERT_TRUE(w.ok());
+  }
+  EXPECT_EQ(fs::file_size(path), existing.checkpoint_bytes);
+  // And without a checkpoint, resume keeps only the header.
+  {
+    FleetJournalWriter fresh(path, TestHeader(), {});
+    fresh.AppendShardRound(TestShardRecord(0, 0));
+  }
+  FleetJournalReadResult no_cp = ReadFleetJournal(path);
+  ASSERT_TRUE(no_cp.ok);
+  ASSERT_FALSE(no_cp.has_checkpoint);
+  {
+    FleetJournalWriter w(path, no_cp, {});
+    ASSERT_TRUE(w.ok());
+  }
+  EXPECT_EQ(fs::file_size(path), no_cp.header_bytes);
+  fs::remove(path);
+}
+
+TEST(FleetJournal, AfterAppendHookSeesEveryFlushedFrame) {
+  const std::string path = TempPath("wolt_fleet_journal_hook.wal");
+  std::size_t calls = 0;
+  std::size_t last = 0;
+  {
+    FleetJournalWriter::Options opts;
+    opts.after_append = [&](std::size_t n) {
+      ++calls;
+      last = n;
+    };
+    FleetJournalWriter w(path, TestHeader(), opts);
+    w.AppendShardRound(TestShardRecord(0, 0));
+    w.AppendSnapshot(0, "cp");
+  }
+  // Header + record + snapshot = 3 appends, reported in order.
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last, 3u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace wolt::recover

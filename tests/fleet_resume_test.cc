@@ -1,0 +1,270 @@
+// Kill-anywhere crash/resume property for the journaled fleet runtime,
+// modeled on crash_resume_test.cc (the sweep engine's harness).
+//
+// Each round forks this binary (fork + execve of /proc/self/exe; a static
+// initializer in the child detects the WOLT_FLEET_CRASH_* environment and
+// runs a journaled fleet instead of gtest), SIGKILLs the child from inside
+// the journal's after-append hook at a randomized append count, then
+// resumes the journal in-process and byte-compares FleetResult::Report()
+// against an uninterrupted golden run. Rounds cycle thread counts 1/2/4/8
+// and some rounds additionally tear the journal tail (truncation or
+// appended garbage) or crash a second time during the resume itself.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fleet/runtime.h"
+#include "recover/fleet_journal.h"
+#include "util/rng.h"
+
+namespace wolt::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kShards = 8;
+constexpr std::uint64_t kRounds = 12;
+
+// Small but adversarial: chaos wire + churn, one permanently wedged shard
+// (so resume must also reconstruct supervisor state: backoff, breaker
+// history, held directives), overload shedding, and a tight reopt budget.
+FleetParams CrashFleetParams(int threads) {
+  FleetParams p;
+  p.num_shards = kShards;
+  p.rounds = kRounds;
+  p.threads = threads;
+  p.queue_capacity = kShards * 6;
+  p.batch_per_shard = 8;
+  p.chaos_from = 2;
+  p.chaos_to = 10;
+  fault::WireFaults w;
+  w.loss = 0.05;
+  w.duplicate = 0.05;
+  w.corrupt = 0.15;
+  p.shard.wire = fault::FaultPlaneParams::Uniform(w);
+  p.shard.plc_crash_prob = 0.12;
+  p.shard.departure_prob = 0.08;
+  p.poison_shards = {3};
+  p.poison_from = 2;
+  p.poison_to = ~std::uint64_t{0};
+  p.supervisor.backoff_initial = 1;
+  p.supervisor.crash_loop_threshold = 2;
+  p.supervisor.crash_loop_window = 8;
+  p.supervisor.probe_after = 5;
+  p.reopt_units_per_round = kShards * 2;
+  return p;
+}
+
+constexpr std::uint64_t kFleetSeed = 0xF1EE7C4A5ULL;
+
+// Appends per completed round: one record per shard, one fleet record, one
+// snapshot (snapshot_every=1). Plus the header frame.
+constexpr std::size_t kAppendsPerRound = kShards + 2;
+constexpr std::size_t kTotalAppends = 1 + kRounds * kAppendsPerRound;
+
+// Crash-child mode: when WOLT_FLEET_CRASH_JOURNAL is set, this process is
+// a forked copy meant to run the journaled fleet and die. The static
+// initializer runs before gtest's main, so the child never prints gtest
+// output or runs tests.
+const bool kCrashChildRan = [] {
+  const char* journal = std::getenv("WOLT_FLEET_CRASH_JOURNAL");
+  if (journal == nullptr) return false;
+  const char* kill_at_env = std::getenv("WOLT_FLEET_CRASH_KILL_AT");
+  const char* threads_env = std::getenv("WOLT_FLEET_CRASH_THREADS");
+  const std::size_t kill_at =
+      kill_at_env ? std::strtoull(kill_at_env, nullptr, 10) : 1;
+  const int threads = threads_env ? std::atoi(threads_env) : 1;
+
+  FleetParams p = CrashFleetParams(threads);
+  p.journal_path = journal;
+  p.resume = std::getenv("WOLT_FLEET_CRASH_RESUME") != nullptr;
+  p.after_journal_append = [kill_at](std::size_t appends) {
+    if (appends == kill_at) {
+      // Die with no warning, mid-round, possibly mid-snapshot-window.
+      kill(getpid(), SIGKILL);
+    }
+  };
+  FleetRuntime fleet(p, kFleetSeed);
+  const FleetResult result = fleet.Run();
+  // Resume rejected / journal unusable — the parent asserts on exit 3.
+  if (!result.completed) std::_Exit(3);
+  std::_Exit(0);  // kill point not reached (fewer appends left than kill_at)
+}();
+
+// Fork + exec ourselves in crash-child mode. Returns the child pid.
+pid_t SpawnCrashChild(const std::string& journal, std::size_t kill_at,
+                      int threads, bool resume) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  setenv("WOLT_FLEET_CRASH_JOURNAL", journal.c_str(), 1);
+  setenv("WOLT_FLEET_CRASH_KILL_AT", std::to_string(kill_at).c_str(), 1);
+  setenv("WOLT_FLEET_CRASH_THREADS", std::to_string(threads).c_str(), 1);
+  if (resume) {
+    setenv("WOLT_FLEET_CRASH_RESUME", "1", 1);
+  } else {
+    unsetenv("WOLT_FLEET_CRASH_RESUME");
+  }
+  // execve a fresh copy: the child re-runs static initializers (where the
+  // crash-mode branch lives) with a clean runtime — required under TSan,
+  // which does not support running threads in a forked child otherwise.
+  execl("/proc/self/exe", "/proc/self/exe", static_cast<char*>(nullptr));
+  _exit(127);
+}
+
+// Waits for the child and asserts it died by SIGKILL (kill point reached)
+// or exited 0 (fleet finished before the kill point). Returns true iff it
+// was killed.
+bool AwaitChild(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  if (WIFSIGNALED(status)) {
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    return true;
+  }
+  EXPECT_TRUE(WIFEXITED(status)) << "child neither exited nor was killed";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "crash child failed outright";
+  return false;
+}
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr int kCrashRounds = 12;  // process spawns are slow under sanitizers
+#else
+constexpr int kCrashRounds = 40;
+#endif
+
+TEST(FleetCrashResume, KillAnywhereResumesByteIdentical) {
+  const int thread_cycle[4] = {1, 2, 4, 8};
+  std::string golden[4];
+  for (int t = 0; t < 4; ++t) {
+    FleetRuntime fleet(CrashFleetParams(thread_cycle[t]), kFleetSeed);
+    const FleetResult result = fleet.Run();
+    ASSERT_TRUE(result.completed) << result.error;
+    golden[t] = result.Report();
+    // Thread-count independence of the golden itself (belt and braces; the
+    // fleet determinism test owns this property).
+    EXPECT_EQ(golden[t], golden[0]);
+  }
+
+  util::Rng rng(20260807);
+  const std::string dir =
+      (fs::temp_directory_path() / "wolt_fleet_crash_resume").string();
+  fs::create_directories(dir);
+
+  for (int round = 0; round < kCrashRounds; ++round) {
+    const int threads = thread_cycle[round % 4];
+    const std::string journal =
+        dir + "/round_" + std::to_string(round) + ".wal";
+    // >= 2 so the tail-tear phases can never eat into the header frame.
+    const std::size_t kill_at = static_cast<std::size_t>(
+        rng.UniformInt(2, static_cast<int>(kTotalAppends)));
+
+    // Phase 1: fresh journaled run, SIGKILLed at the kill_at-th append.
+    const bool killed =
+        AwaitChild(SpawnCrashChild(journal, kill_at, threads, false));
+    ASSERT_TRUE(killed) << "fresh run must reach its kill point";
+
+    // Phase 2 (some rounds): hand-tear the journal tail — a mid-frame
+    // crash the SIGKILL-between-appends hook cannot produce on its own.
+    if (round % 3 == 1) {
+      std::error_code ec;
+      const std::uint64_t size = fs::file_size(journal, ec);
+      ASSERT_FALSE(ec);
+      if (size > 5) fs::resize_file(journal, size - 5, ec);
+    } else if (round % 3 == 2) {
+      std::ofstream out(journal, std::ios::binary | std::ios::app);
+      out << "torn-garbage-from-a-dying-disk";
+    }
+
+    // Phase 3 (every other round): crash again, this time mid-resume.
+    if (round % 2 == 1) {
+      const std::size_t kill_again =
+          static_cast<std::size_t>(rng.UniformInt(1, kAppendsPerRound));
+      AwaitChild(SpawnCrashChild(journal, kill_again, threads, true));
+    }
+
+    // Phase 4: resume to completion in-process and byte-compare.
+    FleetParams p = CrashFleetParams(threads);
+    p.journal_path = journal;
+    p.resume = true;
+    FleetRuntime fleet(p, kFleetSeed);
+    const FleetResult resumed = fleet.Run();
+    ASSERT_TRUE(resumed.completed) << "round " << round << ": "
+                                   << resumed.error;
+    EXPECT_LE(resumed.resumed_rounds, kRounds) << "round " << round;
+    EXPECT_EQ(resumed.Report(), golden[round % 4]) << "round " << round;
+
+    // The final journal must itself be a complete, clean record of the
+    // run: a checkpoint after the last round and every record present.
+    const recover::FleetJournalReadResult check =
+        recover::ReadFleetJournal(journal);
+    ASSERT_TRUE(check.ok) << "round " << round << ": " << check.error;
+    EXPECT_EQ(check.torn_bytes, 0u) << "round " << round;
+    ASSERT_TRUE(check.has_checkpoint) << "round " << round;
+    EXPECT_EQ(check.checkpoint_round, kRounds - 1) << "round " << round;
+    EXPECT_EQ(check.shard_records.size(), kShards * kRounds)
+        << "round " << round;
+    EXPECT_EQ(check.fleet_records.size(), kRounds) << "round " << round;
+
+    fs::remove(journal);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FleetCrashResume, ResumeRejectsForeignJournal) {
+  const std::string path =
+      (fs::temp_directory_path() / "wolt_fleet_foreign.wal").string();
+  // Journal under a different seed => different fingerprint.
+  {
+    FleetParams p = CrashFleetParams(1);
+    p.journal_path = path;
+    FleetRuntime fleet(p, kFleetSeed + 1);
+    ASSERT_TRUE(fleet.Run().completed);
+  }
+  FleetParams p = CrashFleetParams(1);
+  p.journal_path = path;
+  p.resume = true;
+  FleetRuntime fleet(p, kFleetSeed);
+  const FleetResult result = fleet.Run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.error.find("fingerprint"), std::string::npos)
+      << result.error;
+  fs::remove(path);
+}
+
+TEST(FleetCrashResume, ResumeOfCompletedRunReExecutesNothing) {
+  const std::string path =
+      (fs::temp_directory_path() / "wolt_fleet_complete.wal").string();
+  std::string want;
+  {
+    FleetParams p = CrashFleetParams(2);
+    p.journal_path = path;
+    FleetRuntime fleet(p, kFleetSeed);
+    const FleetResult result = fleet.Run();
+    ASSERT_TRUE(result.completed) << result.error;
+    want = result.Report();
+  }
+  FleetParams p = CrashFleetParams(2);
+  p.journal_path = path;
+  p.resume = true;
+  std::size_t appended = 0;
+  p.after_journal_append = [&](std::size_t) { ++appended; };
+  FleetRuntime fleet(p, kFleetSeed);
+  const FleetResult resumed = fleet.Run();
+  ASSERT_TRUE(resumed.completed) << resumed.error;
+  EXPECT_EQ(resumed.resumed_rounds, kRounds);  // every round restored
+  EXPECT_EQ(appended, 0u);                     // nothing re-journaled
+  EXPECT_EQ(resumed.Report(), want);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace wolt::fleet

@@ -90,5 +90,47 @@ TEST(ThreadPoolTest, PreCancelledRunsNothing) {
   EXPECT_EQ(ran.load(), 0);
 }
 
+TEST(ThreadPoolTest, ShutdownRejectsSubsequentWork) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.ParallelFor(32, 1, [&](std::size_t) { ++ran; }));
+  EXPECT_EQ(ran.load(), 32);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.ParallelFor(32, 1, [&](std::size_t) { ++ran; }));
+  EXPECT_EQ(ran.load(), 32);  // nothing ran after shutdown
+  pool.Shutdown();            // idempotent
+  EXPECT_FALSE(pool.ParallelFor(1, 1, [&](std::size_t) { ++ran; }));
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ShutdownWithPendingWorkIsAllOrNothing) {
+  // A job racing Shutdown() has exactly two legal outcomes: it ran in full
+  // (the call won the serialization race; returns true) or it was rejected
+  // outright (returns false, zero tasks ran) — never a partial job.
+  for (int trial = 0; trial < 50; ++trial) {
+    ThreadPool pool(4);
+    constexpr std::size_t kTasks = 256;
+    std::atomic<int> ran{0};
+    std::atomic<bool> submitted{false};
+    bool accepted = false;
+    std::thread submitter([&] {
+      submitted.store(true, std::memory_order_release);
+      accepted = pool.ParallelFor(kTasks, 1, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    while (!submitted.load(std::memory_order_acquire)) {
+    }
+    pool.Shutdown();  // blocks until any accepted job fully completed
+    submitter.join();
+    const int total = ran.load();
+    if (accepted) {
+      EXPECT_EQ(total, static_cast<int>(kTasks)) << "trial " << trial;
+    } else {
+      EXPECT_EQ(total, 0) << "trial " << trial;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wolt::util
