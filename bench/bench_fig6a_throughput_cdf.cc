@@ -14,8 +14,14 @@
 // resumable journal, and a rerun with --resume=PATH restores the finished
 // trials and produces byte-identical output to an uninterrupted run.
 //
+// Joint channel axis: --channels=N (N > 0) runs every trial with N
+// orthogonal channels available and co-channel contention scored under the
+// overlap model, adding the WOLT-J joint association+recolouring policy to
+// the comparison (the CI joint determinism smoke runs this path).
+//
 //   $ ./bench_fig6a_throughput_cdf [--trials=100] [--threads=1]
-//                                  [--seed=2020] [--csv=fig6a_cdf.csv]
+//                                  [--seed=2020] [--channels=0]
+//                                  [--csv=fig6a_cdf.csv]
 //                                  [--journal=sweep.wal] [--resume=sweep.wal]
 //                                  [--trace=out.json] [--metrics=out.json]
 #include <cstdio>
@@ -42,10 +48,11 @@ int main(int argc, char** argv) {
   using namespace wolt;
   bench::ObsSession obs(argc, argv);
   const bench::Flags flags(argc, argv,
-                           {"trials", "threads", "seed", "csv", "journal",
-                            "resume", "trace", "metrics"});
+                           {"trials", "threads", "seed", "channels", "csv",
+                            "journal", "resume", "trace", "metrics"});
   const int trials = static_cast<int>(flags.Int("trials", 100));
   const int threads = static_cast<int>(flags.Int("threads", 1));
+  const int channels = static_cast<int>(flags.Int("channels", 0));
   const std::string csv_path = flags.Str("csv", "fig6a_cdf.csv");
   const std::string resume_path = flags.Str("resume", "");
 
@@ -65,6 +72,12 @@ int main(int argc, char** argv) {
   grid.sharing = {model::PlcSharing::kMaxMinActive};
   grid.policies = {sweep::PolicyKind::kWolt, sweep::PolicyKind::kWoltSubset,
                    sweep::PolicyKind::kGreedy, sweep::PolicyKind::kRssi};
+  if (channels > 0) {
+    // Joint axis: score every policy under the overlap model with this many
+    // orthogonal channels, and add the joint solver to the line-up.
+    grid.num_channels = {channels};
+    grid.policies.push_back(sweep::PolicyKind::kJointWolt);
+  }
   grid.base = bench::EnterpriseParams(36);
 
   sweep::SweepOptions options;

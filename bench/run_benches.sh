@@ -18,6 +18,11 @@
 #
 #   bench/run_benches.sh BENCH_fleet.json 'BM_Fleet'
 #
+# Joint-solver numbers (BM_JointAssociate, BM_Recolour) live in bench_joint
+# and are routed the same way, e.g.:
+#
+#   bench/run_benches.sh /tmp/joint.json 'BM_Joint|BM_Recolour'
+#
 # Usage: bench/run_benches.sh [--allow-debug] [output.json] [benchmark_filter]
 #   BENCH_BIN=path/to/bench_scaling_runtime overrides the binary location.
 #
@@ -51,11 +56,14 @@ done
 out="${positional[0]:-BENCH_scaling.json}"
 filter="${positional[1]:-.}"
 
-# Route fleet-runtime filters to the fleet binary; everything else goes to
-# the default scaling binary. BENCH_BIN still overrides both.
+# Route fleet-runtime filters to the fleet binary and joint-solver filters
+# (BM_Joint*, BM_Recolour*) to the joint binary; everything else goes to the
+# default scaling binary. BENCH_BIN still overrides all of them.
 bench_name="bench_scaling_runtime"
 if [[ "${filter}" == BM_Fleet* ]]; then
   bench_name="bench_fleet"
+elif [[ "${filter}" == BM_Joint* || "${filter}" == BM_Recolour* ]]; then
+  bench_name="bench_joint"
 fi
 
 bin="${BENCH_BIN:-}"

@@ -101,7 +101,8 @@ echo "==> sanitize: configure + build (build-asan/, ASan+UBSan)"
 cmake --preset sanitize >/dev/null
 cmake --build build-asan -j"$(nproc)"
 
-echo "==> sanitize: ctest (includes the 100-seed chaos soak)"
+echo "==> sanitize: ctest (includes the 100-seed chaos soak and the"
+echo "    200-seed x 3-sharing-mode joint differential suite)"
 ctest --test-dir build-asan --output-on-failure
 
 echo "==> tsan: configure + build (build-tsan/, ThreadSanitizer)"
@@ -125,6 +126,16 @@ echo "==> determinism smoke: 4-thread sweep CSV == 1-thread sweep CSV"
     --csv=/tmp/wolt_sweep_t4.csv >/dev/null
 cmp /tmp/wolt_sweep_t1.csv /tmp/wolt_sweep_t4.csv
 rm -f /tmp/wolt_sweep_t1.csv /tmp/wolt_sweep_t4.csv
+
+echo "==> determinism smoke: joint sweep axis (--channels=3), 4-thread == 1-thread"
+# The joint path adds the WOLT-J policy and scores every trial under the
+# overlap model; its CSV must stay byte-identical across thread counts too.
+./build/bench/bench_fig6a_throughput_cdf --trials=20 --channels=3 --threads=1 \
+    --csv=/tmp/wolt_joint_t1.csv >/dev/null
+./build/bench/bench_fig6a_throughput_cdf --trials=20 --channels=3 --threads=4 \
+    --csv=/tmp/wolt_joint_t4.csv >/dev/null
+cmp /tmp/wolt_joint_t1.csv /tmp/wolt_joint_t4.csv
+rm -f /tmp/wolt_joint_t1.csv /tmp/wolt_joint_t4.csv
 
 echo "==> crash-resume smoke: SIGKILL a journaled sweep, resume, compare CSV"
 # 500 trials run ~1s, so the kill at 0.2s lands mid-sweep; if the sweep ever

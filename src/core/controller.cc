@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "assign/joint.h"
 #include "core/greedy.h"
 #include "core/wolt.h"
 #include "obs/obs.h"
@@ -169,6 +170,7 @@ const char* ToString(ReoptTier t) {
     case ReoptTier::kHungarianOnly: return "hungarian-only";
     case ReoptTier::kGreedy: return "greedy";
     case ReoptTier::kHoldLastGood: return "hold-last-good";
+    case ReoptTier::kJoint: return "joint";
   }
   return "?";
 }
@@ -446,7 +448,9 @@ std::vector<AssociationDirective> CentralController::RunPolicy(bool guard) {
   // vetoing that would strand the user forever.
   if (guard) {
     model::Assignment fallback = EvacuationFallback();
-    const model::Evaluator eval;
+    // Both sides score under the committed channel plan (plan-free until a
+    // kJoint epoch has been adopted).
+    const model::Evaluator eval(PlanEval(channel_plan_));
     if (eval.AggregateThroughput(net_, proposed) + 1e-9 <
         eval.AggregateThroughput(net_, fallback)) {
       proposed = std::move(fallback);
@@ -580,8 +584,45 @@ model::Assignment CentralController::SolveTier(
       policy_->SetDeadline(nullptr);  // the token dies with this frame
       return proposed;
     }
+    case ReoptTier::kJoint: {
+      // Joint re-association + channel recolouring (assign/joint). The
+      // proposed plan rides in proposed_plan_; the caller commits it to
+      // channel_plan_ only if this rung is adopted. With joint mode off the
+      // plan axis does not exist, so the rung degenerates to kFull.
+      if (joint_.num_channels <= 0) {
+        return SolveTier(ReoptTier::kFull, deadline, before, evacuate);
+      }
+      assign::JointOptions jopt;
+      jopt.num_channels = joint_.num_channels;
+      jopt.carrier_sense_range_m = joint_.carrier_sense_range_m;
+      jopt.max_rounds = joint_.max_rounds;
+      jopt.deadline = deadline;
+      assign::JointResult result =
+          assign::SolveJointAlternating(net_, WoltJointAssociator(), jopt);
+      proposed_plan_ = std::move(result.channels);
+      return std::move(result.assignment);
+    }
   }
   return evacuate;
+}
+
+model::EvalOptions CentralController::PlanEval(
+    const std::vector<int>& plan) const {
+  model::EvalOptions eval;
+  if (!plan.empty()) {
+    eval.wifi_channel = plan;
+    eval.carrier_sense_range_m = joint_.carrier_sense_range_m;
+  }
+  return eval;
+}
+
+void CentralController::SetJointMode(JointModeParams params) {
+  if (params.num_channels < 0 || params.max_rounds < 0 ||
+      !(params.carrier_sense_range_m > 0.0)) {
+    throw std::invalid_argument("bad joint-mode parameters");
+  }
+  joint_ = params;
+  if (joint_.num_channels <= 0) channel_plan_.clear();
 }
 
 ReoptReport CentralController::Reoptimize(double budget_seconds) {
@@ -592,35 +633,46 @@ ReoptReport CentralController::Reoptimize(double budget_seconds) {
   const util::Deadline deadline = util::Deadline::After(budget_seconds);
   const model::Assignment before = assignment_;
   const model::Assignment evacuate = EvacuationFallback();
-  const model::Evaluator eval;
 
   // Degradation ladder, cheapest rung first so that something deployable
   // exists the moment the budget dies. Each rung starts only while budget
   // remains and serves only if it finished within budget; inside a rung the
   // solvers poll the deadline per bounded unit of work, so the overrun past
-  // `budget_seconds` is at most one such unit.
+  // `budget_seconds` is at most one such unit. With joint mode enabled the
+  // ladder tops out at kJoint (re-association + channel recolouring).
+  const bool joint_enabled = joint_.num_channels > 0;
+  const ReoptTier top = joint_enabled ? ReoptTier::kJoint : ReoptTier::kFull;
   model::Assignment chosen = evacuate;
+  std::vector<int> chosen_plan = channel_plan_;
   report.tier = ReoptTier::kHoldLastGood;
   for (ReoptTier tier : {ReoptTier::kGreedy, ReoptTier::kHungarianOnly,
-                         ReoptTier::kFull}) {
+                         ReoptTier::kFull, ReoptTier::kJoint}) {
+    if (tier == ReoptTier::kJoint && !joint_enabled) break;
     if (deadline.Expired()) break;
     model::Assignment proposed = SolveTier(tier, &deadline, before, evacuate);
     if (!deadline.Expired()) {
       chosen = std::move(proposed);
+      chosen_plan =
+          tier == ReoptTier::kJoint ? proposed_plan_ : channel_plan_;
       report.tier = tier;
     }
   }
 
   // budget_limited reflects the ladder outcome; the guard below can still
   // demote the serving tier on quality grounds, which is not a budget event.
-  report.budget_limited = report.tier != ReoptTier::kFull;
+  report.budget_limited = report.tier != top;
   const bool no_tier_fit = report.tier == ReoptTier::kHoldLastGood;
 
   // Same do-no-harm contract as Reoptimize(): never deploy below the
-  // hold-last-good baseline.
-  if (eval.AggregateThroughput(net_, chosen) + 1e-9 <
-      eval.AggregateThroughput(net_, evacuate)) {
+  // hold-last-good baseline. The candidate scores under the plan it would
+  // commit, the baseline under the plan already committed (plan-free when
+  // joint mode never adopted — identical to the pre-joint behaviour).
+  const model::Evaluator chosen_eval(PlanEval(chosen_plan));
+  const model::Evaluator base_eval(PlanEval(channel_plan_));
+  if (chosen_eval.AggregateThroughput(net_, chosen) + 1e-9 <
+      base_eval.AggregateThroughput(net_, evacuate)) {
     chosen = evacuate;
+    chosen_plan = channel_plan_;
     report.tier = ReoptTier::kHoldLastGood;
     if (obs::MetricsScope* s = obs::CurrentScope()) {
       s->ctrl.reopt_guard_trips.Add(1);
@@ -635,10 +687,12 @@ ReoptReport CentralController::Reoptimize(double budget_seconds) {
         break;
       case ReoptTier::kGreedy: s->ctrl.reopt_tier_greedy.Add(1); break;
       case ReoptTier::kHoldLastGood: s->ctrl.reopt_tier_hold.Add(1); break;
+      case ReoptTier::kJoint: s->ctrl.reopt_tier_joint.Add(1); break;
     }
     if (no_tier_fit) s->ctrl.reopt_budget_overruns.Add(1);
   }
 
+  channel_plan_ = std::move(chosen_plan);
   report.directives = DiffAndRegister(before, std::move(chosen));
   return report;
 }
@@ -652,18 +706,24 @@ ReoptReport CentralController::ReoptimizeAtTier(ReoptTier tier) {
   const model::Assignment before = assignment_;
   const model::Assignment evacuate = EvacuationFallback();
   model::Assignment chosen = SolveTier(tier, nullptr, before, evacuate);
+  std::vector<int> chosen_plan =
+      (tier == ReoptTier::kJoint && joint_.num_channels > 0) ? proposed_plan_
+                                                             : channel_plan_;
 
   // Same do-no-harm contract as the budgeted ladder.
-  const model::Evaluator eval;
-  if (eval.AggregateThroughput(net_, chosen) + 1e-9 <
-      eval.AggregateThroughput(net_, evacuate)) {
+  const model::Evaluator chosen_eval(PlanEval(chosen_plan));
+  const model::Evaluator base_eval(PlanEval(channel_plan_));
+  if (chosen_eval.AggregateThroughput(net_, chosen) + 1e-9 <
+      base_eval.AggregateThroughput(net_, evacuate)) {
     chosen = evacuate;
+    chosen_plan = channel_plan_;
     report.tier = ReoptTier::kHoldLastGood;
     if (obs::MetricsScope* s = obs::CurrentScope()) {
       s->ctrl.reopt_guard_trips.Add(1);
     }
   }
-  report.budget_limited = report.tier != ReoptTier::kFull;
+  report.budget_limited = report.tier != ReoptTier::kFull &&
+                          report.tier != ReoptTier::kJoint;
 
   if (obs::MetricsScope* s = obs::CurrentScope()) {
     switch (report.tier) {
@@ -673,9 +733,11 @@ ReoptReport CentralController::ReoptimizeAtTier(ReoptTier tier) {
         break;
       case ReoptTier::kGreedy: s->ctrl.reopt_tier_greedy.Add(1); break;
       case ReoptTier::kHoldLastGood: s->ctrl.reopt_tier_hold.Add(1); break;
+      case ReoptTier::kJoint: s->ctrl.reopt_tier_joint.Add(1); break;
     }
   }
 
+  channel_plan_ = std::move(chosen_plan);
   report.directives = DiffAndRegister(before, std::move(chosen));
   return report;
 }
@@ -758,7 +820,10 @@ double CentralController::CapacityAge(int extender) const {
 }
 
 double CentralController::CurrentAggregate() const {
-  return model::Evaluator().AggregateThroughput(net_, assignment_);
+  // Under joint mode the committed channel plan is part of the physical
+  // model: co-channel cells in range share airtime.
+  return model::Evaluator(PlanEval(channel_plan_))
+      .AggregateThroughput(net_, assignment_);
 }
 
 void CentralController::SaveState(std::string* out) const {
@@ -810,6 +875,10 @@ void CentralController::SaveState(std::string* out) const {
     util::PutI32(out, p.attempts);
     util::PutDouble(out, p.next_retry);
   }
+  // Committed channel plan (appended last; empty when joint mode has never
+  // adopted a kJoint epoch).
+  util::PutU64(out, channel_plan_.size());
+  for (int c : channel_plan_) util::PutI32(out, c);
 }
 
 bool CentralController::RestoreState(util::ByteCursor* cur) {
@@ -891,6 +960,16 @@ bool CentralController::RestoreState(util::ByteCursor* cur) {
     if (!cur->ok() || !index_of_id.count(id)) return false;
     pending[id] = p;
   }
+
+  const std::uint64_t plan_size = cur->U64();
+  if (!cur->ok() || (plan_size != 0 && plan_size != num_ext)) return false;
+  std::vector<int> channel_plan;
+  channel_plan.reserve(plan_size);
+  for (std::uint64_t j = 0; j < plan_size; ++j) {
+    const int c = cur->I32();
+    if (!cur->ok() || c < 0 || c >= model::kMaxWifiChannels) return false;
+    channel_plan.push_back(c);
+  }
   if (!cur->ok()) return false;
 
   net_ = std::move(net);
@@ -905,6 +984,7 @@ bool CentralController::RestoreState(util::ByteCursor* cur) {
   flap_ = std::move(flap);
   index_of_id_ = std::move(index_of_id);
   pending_ = std::move(pending);
+  channel_plan_ = std::move(channel_plan);
   return true;
 }
 

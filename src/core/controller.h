@@ -155,11 +155,14 @@ struct RetryParams {
 // reoptimization epoch (Reoptimize(budget_seconds)). Ordered cheapest-last:
 // the controller runs the ladder bottom-up and keeps the best tier that
 // completed within the wall-clock budget.
+// New tiers append at the end: the value is journal-encoded by the fleet
+// runtime, so reordering would corrupt old journals.
 enum class ReoptTier {
   kFull = 0,        // the configured policy, full solve
   kHungarianOnly,   // WOLT Phase I only (no local search), sticky Phase II
   kGreedy,          // greedy re-insertion of evacuated users only
   kHoldLastGood,    // previous assignment, dead-backhaul users evacuated
+  kJoint,           // joint association + channel recolouring (SetJointMode)
 };
 const char* ToString(ReoptTier t);
 
@@ -183,6 +186,20 @@ struct QuarantineParams {
   int flap_threshold = 0;  // up<->down transitions that trip; 0 = off
   double window = 10.0;    // sliding window the transitions are counted in
   double hold = 30.0;      // flap-free time required before release
+};
+
+// Joint association + channel assignment mode (ReoptTier::kJoint). With
+// num_channels > 0 the controller maintains a committed per-extender channel
+// plan: every quality comparison (do-no-harm guard, CurrentAggregate) scores
+// under the overlap model of that plan, and the kJoint ladder rung — the new
+// top of the budgeted ladder — runs assign::SolveJointAlternating to propose
+// a (re-association, recolouring) pair that is committed atomically on
+// adoption. num_channels = 0 (the default) disables the tier and preserves
+// pre-existing behavior bit-for-bit.
+struct JointModeParams {
+  int num_channels = 0;  // orthogonal channels available; 0 = joint mode off
+  double carrier_sense_range_m = 60.0;  // co-channel contention radius
+  int max_rounds = 4;  // alternating rounds per solve (recolour+reassociate)
 };
 
 class CentralController {
@@ -283,6 +300,15 @@ class CentralController {
   const model::Network& network() const { return net_; }
   const model::Assignment& assignment() const { return assignment_; }
 
+  // Enable (num_channels > 0) or disable (0) joint channel-assignment mode.
+  // Throws std::invalid_argument on negative num_channels/max_rounds or a
+  // non-positive carrier-sense range. Disabling clears the committed plan.
+  void SetJointMode(JointModeParams params);
+  const JointModeParams& joint_mode() const { return joint_; }
+  // The committed per-extender channel plan; empty until a kJoint epoch has
+  // been adopted (or after RestoreState of a controller that had one).
+  const std::vector<int>& ChannelPlan() const { return channel_plan_; }
+
   // Aggregate throughput of the current association under the physical
   // evaluation model.
   double CurrentAggregate() const;
@@ -325,6 +351,9 @@ class CentralController {
   model::Assignment SolveTier(ReoptTier tier, const util::Deadline* deadline,
                               const model::Assignment& before,
                               const model::Assignment& evacuate);
+  // Scoring options under a channel plan: default EvalOptions with `plan`
+  // installed as wifi_channel (empty plan = the plan-free physical model).
+  model::EvalOptions PlanEval(const std::vector<int>& plan) const;
   // guard=true (epoch reoptimization) arms the do-no-harm fallback check.
   std::vector<AssociationDirective> RunPolicy(bool guard = false);
   void RegisterDirective(const AssociationDirective& d);
@@ -352,6 +381,9 @@ class CentralController {
   std::vector<FlapState> flap_;        // by extender
   std::unordered_map<std::int64_t, std::size_t> index_of_id_;
   std::unordered_map<std::int64_t, PendingDirective> pending_;
+  JointModeParams joint_;
+  std::vector<int> channel_plan_;   // committed plan; empty = none
+  std::vector<int> proposed_plan_;  // SolveTier(kJoint) scratch output
 };
 
 }  // namespace wolt::core

@@ -306,4 +306,17 @@ model::Assignment WoltPolicy::AssociateOnce(
   return assign;
 }
 
+assign::JointAssociator WoltJointAssociator(WoltOptions base) {
+  base.phase2_objective = assign::Phase2Objective::kEndToEnd;
+  return [base](const model::Network& net, const model::EvalOptions& eval,
+                const model::Assignment& previous,
+                const util::Deadline* deadline) {
+    WoltOptions o = base;
+    o.eval = eval;
+    WoltPolicy policy(o);
+    policy.SetDeadline(deadline);
+    return policy.Associate(net, previous);
+  };
+}
+
 }  // namespace wolt::core

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "assign/joint.h"
 #include "assign/local_search.h"
 #include "core/policy.h"
 #include "model/evaluator.h"
@@ -123,5 +124,13 @@ class WoltPolicy : public AssociationPolicy {
   std::deque<util::SolverArena> start_arenas_;
   model::NetworkSoA soa_;
 };
+
+// Adapts the full WOLT policy into the joint solver's association oracle
+// (assign::SolveJointAlternating): each call solves with `base`'s options
+// under the eval model the joint solver passes in (which carries the
+// candidate channel plan), threading the deadline token through. The base's
+// phase2_objective is forced to kEndToEnd so the association actually sees
+// co-channel airtime costs — the kWifiSum proxy is blind to them.
+assign::JointAssociator WoltJointAssociator(WoltOptions base = {});
 
 }  // namespace wolt::core

@@ -29,6 +29,8 @@ std::uint64_t HashDouble(std::uint64_t h, double v) {
 // Virtual cost of one reoptimization at each ladder rung (see runtime.h).
 std::size_t TierCost(core::ReoptTier tier) {
   switch (tier) {
+    case core::ReoptTier::kJoint:
+      return 5;
     case core::ReoptTier::kFull:
       return 4;
     case core::ReoptTier::kHungarianOnly:

@@ -220,6 +220,94 @@ EvalResult Evaluator::Evaluate(const Network& net,
   return std::move(scratch.result);
 }
 
+const std::vector<int>* Evaluator::ResolveWifiDomains(
+    const Network& net, EvalScratch& scratch) const {
+  const std::size_t num_ext = net.NumExtenders();
+  if (!options_.wifi_contention_domain.empty()) {
+    if (!options_.wifi_channel.empty()) {
+      throw std::invalid_argument(
+          "wifi_contention_domain and wifi_channel are mutually exclusive");
+    }
+    if (options_.wifi_contention_domain.size() != num_ext) {
+      throw std::invalid_argument("contention domain size mismatch");
+    }
+    for (int d : options_.wifi_contention_domain) {
+      if (d < 0) throw std::invalid_argument("negative domain id");
+    }
+    return &options_.wifi_contention_domain;
+  }
+  if (options_.wifi_channel.empty()) return nullptr;
+  if (options_.wifi_channel.size() != num_ext) {
+    throw std::invalid_argument("channel plan size mismatch");
+  }
+  for (int c : options_.wifi_channel) {
+    if (c < 0) throw std::invalid_argument("negative channel index");
+  }
+  if (options_.carrier_sense_range_m < 0.0) {
+    throw std::invalid_argument("negative carrier-sense range");
+  }
+  if (scratch.chan_cache_valid && scratch.chan_cache_version == net.Version() &&
+      scratch.chan_cache_range == options_.carrier_sense_range_m &&
+      scratch.chan_cache_plan == options_.wifi_channel) {
+    return &scratch.channel_domains;
+  }
+
+  // Union-find (union by min id, path halving) over co-channel extender
+  // pairs within carrier-sense range. Co-channel cells that can hear each
+  // other defer to each other's transmissions, so a whole connected
+  // component shares one airtime budget.
+  std::vector<int>& parent = scratch.channel_parent;
+  parent.resize(num_ext);
+  for (std::size_t j = 0; j < num_ext; ++j) parent[j] = static_cast<int>(j);
+  const auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (std::size_t a = 0; a < num_ext; ++a) {
+    for (std::size_t b = a + 1; b < num_ext; ++b) {
+      if (options_.wifi_channel[a] != options_.wifi_channel[b]) continue;
+      if (Distance(net.ExtenderAt(a).position, net.ExtenderAt(b).position) >
+          options_.carrier_sense_range_m) {
+        continue;
+      }
+      const int ra = find(static_cast<int>(a));
+      const int rb = find(static_cast<int>(b));
+      if (ra == rb) continue;
+      // Attach the larger root under the smaller so every component's root
+      // is its minimum extender id.
+      parent[static_cast<std::size_t>(std::max(ra, rb))] = std::min(ra, rb);
+    }
+  }
+  // Full compression, then label components by first occurrence. With
+  // min-id roots the root IS the first occurrence, so labels are
+  // deterministic and dense.
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    parent[j] = find(static_cast<int>(j));
+  }
+  scratch.channel_domains.assign(num_ext, -1);
+  int next_label = 0;
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    if (parent[j] == static_cast<int>(j)) {
+      scratch.channel_domains[j] = next_label++;
+    }
+  }
+  for (std::size_t j = 0; j < num_ext; ++j) {
+    scratch.channel_domains[j] =
+        scratch.channel_domains[static_cast<std::size_t>(parent[j])];
+  }
+
+  scratch.chan_cache_plan = options_.wifi_channel;
+  scratch.chan_cache_range = options_.carrier_sense_range_m;
+  scratch.chan_cache_version = net.Version();
+  scratch.chan_cache_valid = true;
+  return &scratch.channel_domains;
+}
+
 const EvalResult& Evaluator::EvaluateReference(const Network& net,
                                                const Assignment& assign,
                                                EvalScratch& scratch) const {
@@ -267,16 +355,13 @@ const EvalResult& Evaluator::EvaluateReference(const Network& net,
 
   // Co-channel contention: active cells in one domain time-share the air.
   // peers[j] = number of active cells contending with extender j (1 when
-  // every extender has its own channel).
+  // every extender has its own channel). Domains come either verbatim from
+  // wifi_contention_domain or derived from a wifi_channel plan + geometry.
   scratch.peers.assign(num_ext, 1.0);
-  if (!options_.wifi_contention_domain.empty()) {
-    if (options_.wifi_contention_domain.size() != num_ext) {
-      throw std::invalid_argument("contention domain size mismatch");
-    }
+  if (const std::vector<int>* wifi_domain = ResolveWifiDomains(net, scratch)) {
     scratch.active_in_wifi_domain.clear();
     for (std::size_t j = 0; j < num_ext; ++j) {
-      const int d = options_.wifi_contention_domain[j];
-      if (d < 0) throw std::invalid_argument("negative domain id");
+      const int d = (*wifi_domain)[j];
       if (static_cast<std::size_t>(d) >= scratch.active_in_wifi_domain.size()) {
         scratch.active_in_wifi_domain.resize(static_cast<std::size_t>(d) + 1,
                                              0);
@@ -289,7 +374,7 @@ const EvalResult& Evaluator::EvaluateReference(const Network& net,
       if (scratch.load[j] == 0) continue;
       scratch.peers[j] = static_cast<double>(
           scratch.active_in_wifi_domain[static_cast<std::size_t>(
-              options_.wifi_contention_domain[j])]);
+              (*wifi_domain)[j])]);
     }
   }
 
@@ -551,14 +636,10 @@ const EvalResult& Evaluator::Evaluate(const Network& net,
 
   // Co-channel contention (same logic as the reference; rarely configured).
   scratch.peers.assign(num_ext, 1.0);
-  if (!options_.wifi_contention_domain.empty()) {
-    if (options_.wifi_contention_domain.size() != num_ext) {
-      throw std::invalid_argument("contention domain size mismatch");
-    }
+  if (const std::vector<int>* wifi_domain = ResolveWifiDomains(net, scratch)) {
     scratch.active_in_wifi_domain.clear();
     for (std::size_t j = 0; j < num_ext; ++j) {
-      const int d = options_.wifi_contention_domain[j];
-      if (d < 0) throw std::invalid_argument("negative domain id");
+      const int d = (*wifi_domain)[j];
       if (static_cast<std::size_t>(d) >= scratch.active_in_wifi_domain.size()) {
         scratch.active_in_wifi_domain.resize(static_cast<std::size_t>(d) + 1,
                                              0);
@@ -571,7 +652,7 @@ const EvalResult& Evaluator::Evaluate(const Network& net,
       if (load[j] == 0) continue;
       scratch.peers[j] = static_cast<double>(
           scratch.active_in_wifi_domain[static_cast<std::size_t>(
-              options_.wifi_contention_domain[j])]);
+              (*wifi_domain)[j])]);
     }
   }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "model/assignment.h"
@@ -58,6 +59,17 @@ struct EvalOptions {
   // cells sharing a domain time-share the air: each cell's WiFi throughput
   // is divided by the number of active cells in its domain.
   std::vector<int> wifi_contention_domain;
+  // Channel-plan mode: one channel index per extender (>= 0). Contention
+  // domains are *derived* — connected components of the "same channel AND
+  // within carrier_sense_range_m" graph over extender positions — then fed
+  // through the same co-channel airtime machinery as
+  // wifi_contention_domain. A plan in which no two co-channel extenders are
+  // in carrier-sense range (in particular, any all-distinct plan) yields
+  // singleton domains and is bit-identical to the legacy evaluator.
+  // Mutually exclusive with wifi_contention_domain.
+  std::vector<int> wifi_channel;
+  // Carrier-sense range for deriving co-channel contention from geometry.
+  double carrier_sense_range_m = 60.0;
 };
 
 struct ExtenderReport {
@@ -105,6 +117,17 @@ struct EvalScratch {
   std::vector<int> domain_active;
   std::vector<int> active_in_wifi_domain;
 
+  // Channel-plan mode: derived co-channel contention domains (one id per
+  // extender) plus the cache key they were computed under. Deriving runs a
+  // union-find over extender pairs, so it is cached on (network Version,
+  // plan, carrier-sense range) and reused while none of those change.
+  std::vector<int> channel_domains;
+  std::vector<int> channel_parent;      // union-find scratch
+  std::vector<int> chan_cache_plan;
+  double chan_cache_range = 0.0;
+  std::uint64_t chan_cache_version = 0;
+  bool chan_cache_valid = false;
+
   // Max-min progressive-filling index buffer (two-pointer compaction).
   std::vector<std::size_t> mm_idx;
 
@@ -147,6 +170,17 @@ class Evaluator {
   const EvalOptions& options() const { return options_; }
 
  private:
+  // Resolves the per-extender co-channel WiFi contention domains for this
+  // evaluation, or nullptr when neither wifi_contention_domain nor
+  // wifi_channel is set (the paper's orthogonal assumption). Explicit
+  // domains are returned as-is; a channel plan is turned into domains by
+  // union-find over co-channel extender pairs within carrier-sense range,
+  // cached in `scratch` keyed on (Version, plan, range). Throws
+  // std::invalid_argument on malformed options (both modes set, wrong
+  // sizes, negative ids).
+  const std::vector<int>* ResolveWifiDomains(const Network& net,
+                                             EvalScratch& scratch) const;
+
   EvalOptions options_;
 };
 

@@ -26,7 +26,8 @@ IncrementalEvaluator::IncrementalEvaluator(const Network& net,
   // Deltas are separable only in the saturated, contention-free model; any
   // finite demand (even on a currently unassigned user — it could be moved
   // in later) or co-channel WiFi coupling forces the exact fallback.
-  incremental_ = options_.wifi_contention_domain.empty();
+  incremental_ =
+      options_.wifi_contention_domain.empty() && options_.wifi_channel.empty();
   if (incremental_) {
     for (std::size_t i = 0; i < num_users; ++i) {
       if (net.UserDemand(i) > 0.0) {

@@ -73,6 +73,7 @@ void SaveNetwork(const Network& net, std::ostream& out) {
     EmitDouble(out, e.position.y);
     out << " max_users=" << e.max_users;
     if (e.plc_domain != 0) out << " domain=" << e.plc_domain;
+    if (e.wifi_channel >= 0) out << " channel=" << e.wifi_channel;
     if (!e.label.empty()) out << " label=" << e.label;
     out << "\n";
   }
@@ -128,6 +129,8 @@ const char* ToString(IoErrorKind kind) {
       return "bad-dimension";
     case IoErrorKind::kTrailingInput:
       return "trailing-input";
+    case IoErrorKind::kBadChannel:
+      return "bad-channel";
   }
   return "?";
 }
@@ -214,6 +217,18 @@ LoadResult LoadNetworkDetailed(std::istream& in) {
         return fail(IoErrorKind::kBadNumber, "domain must be >= 0");
       }
       net.SetPlcDomain(j, static_cast<int>(*dom));
+    }
+    if (kv->count("channel")) {
+      // A pinned channel must be a whole number inside the plan range; -1
+      // (unplanned) is deliberately not serialized, so it is rejected too.
+      const auto ch = ParseDouble(kv->at("channel"));
+      if (!ch || *ch != std::floor(*ch) || *ch < 0.0 ||
+          *ch >= static_cast<double>(kMaxWifiChannels)) {
+        return fail(IoErrorKind::kBadChannel,
+                    "channel must be an integer in [0, " +
+                        std::to_string(kMaxWifiChannels) + ")");
+      }
+      net.SetWifiChannel(j, static_cast<int>(*ch));
     }
     if (kv->count("label")) net.SetExtenderLabel(j, kv->at("label"));
   }

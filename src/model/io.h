@@ -5,7 +5,8 @@
 // Format (line-oriented, '#' comments allowed):
 //   wolt-network 1
 //   extenders <n>
-//   extender <j> plc=<mbps> x=<m> y=<m> max_users=<k> [label=<str>]
+//   extender <j> plc=<mbps> x=<m> y=<m> max_users=<k> [channel=<c>]
+//       [label=<str>]
 //   users <n>
 //   user <i> x=<m> y=<m> demand=<mbps> [label=<str>]
 //   rates <i> <r0>,<r1>,...        # one row per user
@@ -34,6 +35,7 @@ enum class IoErrorKind {
   kBadNumber,      // unparsable or out-of-domain numeric value
   kBadDimension,   // rate/RSSI row length != extender count
   kTrailingInput,  // well-formed network followed by garbage
+  kBadChannel,     // channel= not an integer in [0, kMaxWifiChannels)
 };
 
 const char* ToString(IoErrorKind kind);

@@ -62,6 +62,18 @@ int Network::PlcDomain(std::size_t extender) const {
   return extenders_.at(extender).plc_domain;
 }
 
+void Network::SetWifiChannel(std::size_t extender, int channel) {
+  if (channel < -1 || channel >= kMaxWifiChannels) {
+    throw std::invalid_argument("WiFi channel out of range");
+  }
+  extenders_.at(extender).wifi_channel = channel;
+  version_ = NextVersionStamp();
+}
+
+int Network::WifiChannel(std::size_t extender) const {
+  return extenders_.at(extender).wifi_channel;
+}
+
 void Network::SetUserPosition(std::size_t user, Position p) {
   users_.at(user).position = p;
 }
@@ -78,6 +90,10 @@ double Network::UserDemand(std::size_t user) const {
 
 void Network::SetExtenderPosition(std::size_t extender, Position p) {
   extenders_.at(extender).position = p;
+  // Geometry is solver-visible once a channel plan is in play: carrier-sense
+  // contention domains are derived from extender distances, and the channel-
+  // aware evaluator caches that derivation keyed on Version().
+  version_ = NextVersionStamp();
 }
 
 void Network::SetUserLabel(std::size_t user, std::string label) {

@@ -36,8 +36,17 @@ struct Extender {
   // segments (phases, breaker panels) whose extenders do not contend with
   // each other. Extenders time-share only within their domain.
   int plc_domain = 0;
+  // WiFi channel index; -1 means unplanned (the paper's non-overlapping-
+  // channels assumption: every extender is treated as if isolated). A pinned
+  // plan lets scenario files and the joint solver make co-channel airtime
+  // sharing solver-visible (see EvalOptions::wifi_channel).
+  int wifi_channel = -1;
   std::string label;
 };
+
+// Largest representable channel index + 1. Generous for 2.4/5 GHz plans;
+// exists so serialized plans stay bounded and typed errors can reject junk.
+inline constexpr int kMaxWifiChannels = 32;
 
 // One client device.
 struct User {
@@ -67,6 +76,9 @@ class Network {
   // the paper's single-medium assumption.
   void SetPlcDomain(std::size_t extender, int domain);
   int PlcDomain(std::size_t extender) const;
+  // WiFi channel index: -1 (unplanned, the default) or [0, kMaxWifiChannels).
+  void SetWifiChannel(std::size_t extender, int channel);
+  int WifiChannel(std::size_t extender) const;
   void SetUserPosition(std::size_t user, Position p);
   // Offered load; 0 = saturated. Negative values are rejected.
   void SetUserDemand(std::size_t user, double mbps);

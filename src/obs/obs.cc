@@ -55,9 +55,19 @@ ControllerCounters::ControllerCounters(MetricsRegistry& r)
       reopt_tier_hungarian(r.GetCounter("ctrl.reopt.tier.hungarian")),
       reopt_tier_greedy(r.GetCounter("ctrl.reopt.tier.greedy")),
       reopt_tier_hold(r.GetCounter("ctrl.reopt.tier.hold")),
+      reopt_tier_joint(r.GetCounter("ctrl.reopt.tier.joint")),
       reopt_budget_overruns(r.GetCounter("ctrl.reopt.budget_overruns")),
       quarantine_trips(r.GetCounter("ctrl.quarantine.trips")),
       quarantine_releases(r.GetCounter("ctrl.quarantine.releases")) {}
+
+JointCounters::JointCounters(MetricsRegistry& r)
+    : solves(r.GetCounter("joint.solves")),
+      rounds(r.GetCounter("joint.rounds")),
+      recolours(r.GetCounter("joint.recolours")),
+      improvements(r.GetCounter("joint.improvements")),
+      converged(r.GetCounter("joint.converged")),
+      deadline_hits(r.GetCounter("joint.deadline_hits")),
+      bf_plans(r.GetCounter("joint.bf_plans")) {}
 
 FleetCounters::FleetCounters(MetricsRegistry& r)
     : enqueued(r.GetCounter("fleet.queue.enqueued")),

@@ -108,10 +108,23 @@ struct ControllerCounters {
   Counter& reopt_tier_hungarian; // Hungarian-only fallback served
   Counter& reopt_tier_greedy;    // greedy re-association served
   Counter& reopt_tier_hold;      // held last-good assignment
+  Counter& reopt_tier_joint;     // joint association+channel tier served
   Counter& reopt_budget_overruns;  // budget expired before any tier fit
   // Flap quarantine: oscillating backhauls forced out of reoptimization.
   Counter& quarantine_trips;
   Counter& quarantine_releases;
+};
+
+// assign/joint: the alternating association + channel-assignment solver.
+struct JointCounters {
+  explicit JointCounters(MetricsRegistry& r);
+  Counter& solves;          // SolveJointAlternating entries
+  Counter& rounds;          // alternating rounds executed
+  Counter& recolours;       // weighted recolour half-steps taken
+  Counter& improvements;    // rounds whose candidate beat the incumbent
+  Counter& converged;       // solves ending at a fixed point
+  Counter& deadline_hits;   // solves truncated by deadline expiry
+  Counter& bf_plans;        // channel plans enumerated by the joint BF
 };
 
 // fleet/Runtime: multi-building ingestion, shedding and supervision. The
@@ -151,10 +164,12 @@ struct SweepCounters {
 // Every hook bundle bound to one registry.
 struct MetricsScope {
   explicit MetricsScope(MetricsRegistry& r)
-      : registry(r), eval(r), solver(r), ctrl(r), fleet(r), sweep(r) {}
+      : registry(r), eval(r), solver(r), joint(r), ctrl(r), fleet(r),
+        sweep(r) {}
   MetricsRegistry& registry;
   EvalCounters eval;
   SolverCounters solver;
+  JointCounters joint;
   ControllerCounters ctrl;
   FleetCounters fleet;
   SweepCounters sweep;
@@ -220,8 +235,12 @@ struct ControllerCounters {
   NoopCounter directives_sent, directives_retried, directives_given_up,
       acks, acks_stale, evictions, reopt_guard_trips, policy_runs,
       reopt_tier_full, reopt_tier_hungarian, reopt_tier_greedy,
-      reopt_tier_hold, reopt_budget_overruns, quarantine_trips,
-      quarantine_releases;
+      reopt_tier_hold, reopt_tier_joint, reopt_budget_overruns,
+      quarantine_trips, quarantine_releases;
+};
+struct JointCounters {
+  NoopCounter solves, rounds, recolours, improvements, converged,
+      deadline_hits, bf_plans;
 };
 struct FleetCounters {
   NoopCounter enqueued, delivered, shed_total, shed_scan, shed_directive,
@@ -236,6 +255,7 @@ struct SweepCounters {
 struct MetricsScope {
   EvalCounters eval;
   SolverCounters solver;
+  JointCounters joint;
   ControllerCounters ctrl;
   FleetCounters fleet;
   SweepCounters sweep;

@@ -6,10 +6,13 @@
 #include <optional>
 #include <stdexcept>
 
+#include "assign/joint.h"
+#include "core/wolt.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "recover/journal.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace wolt::sweep {
@@ -41,6 +44,53 @@ void FromRecord(const recover::TaskRecord& rec, const SweepGrid& grid,
   for (double x : rec.user_throughput) task->user_throughput.Add(x);
   if (rec.has_metrics) task->metrics = rec.metrics;
   task->completed = true;
+}
+
+// A record from a precomputed (assignment, plan) pair, scored with the
+// caller's (overlap) evaluator — mirrors sim::EvaluateTrial so joint tasks
+// and plan-free tasks populate identical statistics.
+sim::TrialRecord RecordFor(const model::Evaluator& evaluator,
+                           const model::Network& net,
+                           const model::Assignment& assignment) {
+  const model::EvalResult res = evaluator.Evaluate(net, assignment);
+  sim::TrialRecord record;
+  record.aggregate_mbps = res.aggregate_mbps;
+  record.jain_fairness = util::JainFairnessIndex(res.user_throughput_mbps);
+  record.user_throughput_mbps = res.user_throughput_mbps;
+  return record;
+}
+
+// One channel-plan task (spec.num_channels > 0): kJointWolt runs the
+// alternating joint solver; every other policy associates plan-blind and is
+// paired with an unweighted colouring (the orthogonal assumption evaluated
+// under overlap). Either way the record is scored under the overlap model.
+sim::TrialRecord RunJointTask(const SweepGrid& grid, const TaskSpec& spec,
+                              const model::Network& net,
+                              const model::EvalOptions& eval) {
+  assign::JointOptions jopt;
+  jopt.num_channels = spec.num_channels;
+  jopt.carrier_sense_range_m = grid.carrier_sense_range_m;
+  jopt.eval = eval;
+  assign::JointResult jr;
+  if (spec.policy == PolicyKind::kJointWolt) {
+    jr = assign::SolveJointAlternating(net, core::WoltJointAssociator(),
+                                       jopt);
+  } else {
+    const auto associate = [&spec](const model::Network& n,
+                                   const model::EvalOptions& e,
+                                   const model::Assignment& previous,
+                                   const util::Deadline* deadline) {
+      const core::PolicyPtr policy = MakePolicy(spec.policy, e);
+      policy->SetDeadline(deadline);
+      return policy->Associate(n, previous);
+    };
+    jr = assign::SolveJointNaive(net, associate, jopt);
+  }
+  model::EvalOptions overlap = eval;
+  overlap.wifi_contention_domain.clear();
+  overlap.wifi_channel = std::move(jr.channels);
+  overlap.carrier_sense_range_m = grid.carrier_sense_range_m;
+  return RecordFor(model::Evaluator(overlap), net, jr.assignment);
 }
 
 }  // namespace
@@ -163,14 +213,18 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
 
             model::EvalOptions eval = options_.eval;
             eval.plc_sharing = spec.sharing;
-            const model::Evaluator evaluator(eval);
-            const core::PolicyPtr policy = MakePolicy(spec.policy, eval);
 
             sim::TrialRecord record;
             {
               obs::ScopedTimer span("sweep.solve", "sweep",
                                     obs::Tracer::Global(), solve_hist);
-              record = sim::EvaluateTrial(evaluator, *net, *policy);
+              if (spec.num_channels > 0) {
+                record = RunJointTask(grid, spec, *net, eval);
+              } else {
+                const model::Evaluator evaluator(eval);
+                const core::PolicyPtr policy = MakePolicy(spec.policy, eval);
+                record = sim::EvaluateTrial(evaluator, *net, *policy);
+              }
             }
             task.aggregate_mbps = record.aggregate_mbps;
             task.jain_fairness = record.jain_fairness;
@@ -216,6 +270,7 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
       group.num_extenders = task.spec.num_extenders;
       group.sharing = task.spec.sharing;
       group.policy = task.spec.policy;
+      group.num_channels = task.spec.num_channels;
     }
     group.aggregate_mbps.Add(task.aggregate_mbps);
     group.jain.Add(task.jain_fairness);
@@ -247,7 +302,7 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
 std::vector<sim::PolicyTrials> ToPolicyTrials(const SweepGrid& grid,
                                               const SweepResult& result) {
   if (grid.users.size() != 1 || grid.extenders.size() != 1 ||
-      grid.sharing.size() != 1) {
+      grid.sharing.size() != 1 || grid.num_channels.size() != 1) {
     throw std::invalid_argument(
         "ToPolicyTrials needs a single-configuration grid (policy axis "
         "excepted)");

@@ -88,6 +88,7 @@ struct GroupStats {
   std::size_t num_extenders = 0;
   model::PlcSharing sharing = model::PlcSharing::kMaxMinActive;
   PolicyKind policy = PolicyKind::kWolt;
+  int num_channels = 0;  // channel-plan axis value (0 = orthogonal)
 
   util::Accumulator aggregate_mbps;  // one sample per completed replicate
   util::Accumulator jain;

@@ -20,6 +20,8 @@ const char* ToString(PolicyKind kind) {
       return "Greedy";
     case PolicyKind::kRssi:
       return "RSSI";
+    case PolicyKind::kJointWolt:
+      return "WOLT-J";
   }
   return "?";
 }
@@ -41,6 +43,14 @@ core::PolicyPtr MakePolicy(PolicyKind kind, const model::EvalOptions& eval) {
       return std::make_unique<core::GreedyPolicy>();
     case PolicyKind::kRssi:
       return std::make_unique<core::RssiPolicy>();
+    case PolicyKind::kJointWolt: {
+      // The plan-free degenerate form (num_channels == 0 tasks): plain
+      // WOLT. The engine routes num_channels > 0 tasks through the joint
+      // solver instead of this instance.
+      core::WoltOptions options;
+      options.eval = eval;
+      return std::make_unique<core::WoltPolicy>(options);
+    }
   }
   throw std::invalid_argument("unknown PolicyKind");
 }
@@ -52,16 +62,17 @@ void SweepGrid::SeedRange(std::size_t n) {
 
 bool SweepGrid::Valid() const {
   return !seeds.empty() && !users.empty() && !extenders.empty() &&
-         !sharing.empty() && !policies.empty();
+         !sharing.empty() && !num_channels.empty() && !policies.empty();
 }
 
 std::size_t SweepGrid::NumTasks() const {
   return seeds.size() * users.size() * extenders.size() * sharing.size() *
-         policies.size();
+         num_channels.size() * policies.size();
 }
 
 std::size_t SweepGrid::NumConfigs() const {
-  return users.size() * extenders.size() * sharing.size() * policies.size();
+  return users.size() * extenders.size() * sharing.size() *
+         num_channels.size() * policies.size();
 }
 
 TaskSpec SweepGrid::TaskAt(std::size_t index) const {
@@ -71,12 +82,16 @@ TaskSpec SweepGrid::TaskAt(std::size_t index) const {
   TaskSpec spec;
   spec.index = index;
 
-  // Innermost to outermost: seed, policy, sharing, extenders, users.
+  // Innermost to outermost: seed, policy, channels, sharing, extenders,
+  // users. Policy stays adjacent to seed so config_index % policies.size()
+  // still recovers the policy ordinal (ToPolicyTrials relies on this).
   std::size_t rest = index;
   spec.seed_ordinal = rest % seeds.size();
   rest /= seeds.size();
   const std::size_t policy_idx = rest % policies.size();
   rest /= policies.size();
+  const std::size_t chan_idx = rest % num_channels.size();
+  rest /= num_channels.size();
   const std::size_t sharing_idx = rest % sharing.size();
   rest /= sharing.size();
   const std::size_t ext_idx = rest % extenders.size();
@@ -85,6 +100,7 @@ TaskSpec SweepGrid::TaskAt(std::size_t index) const {
 
   spec.seed = seeds[spec.seed_ordinal];
   spec.policy = policies[policy_idx];
+  spec.num_channels = num_channels[chan_idx];
   spec.sharing = sharing[sharing_idx];
   spec.num_extenders = extenders[ext_idx];
   spec.num_users = users[users_idx];
@@ -113,6 +129,9 @@ std::uint64_t Fingerprint(const SweepGrid& grid) {
   for (model::PlcSharing s : grid.sharing) {
     mix(static_cast<std::uint64_t>(s));
   }
+  mix(grid.num_channels.size());
+  for (int c : grid.num_channels) mix(static_cast<std::uint64_t>(c));
+  mix_d(grid.carrier_sense_range_m);
   mix(grid.policies.size());
   for (PolicyKind p : grid.policies) mix(static_cast<std::uint64_t>(p));
 

@@ -3,13 +3,20 @@
 // extenders, PLC sharing mode, association policy), flattened into a dense
 // task index space that the engine's thread pool chunks over.
 //
-// Axis order (outermost to innermost): users, extenders, sharing, policy,
-// seed. The seed axis is innermost so each configuration's replicates are
-// contiguous, and a task's *scenario* coordinates (users, extenders, seed)
-// — but not its policy or sharing mode — determine the topology RNG stream:
-// every policy and sharing mode sees the identical network for a given
-// replicate, which keeps paired comparisons (win counts, per-user deltas)
-// meaningful, exactly as the sequential runner's shared-network trials do.
+// Axis order (outermost to innermost): users, extenders, sharing, channels,
+// policy, seed. The seed axis is innermost so each configuration's
+// replicates are contiguous, and a task's *scenario* coordinates (users,
+// extenders, seed) — but not its policy, sharing mode or channel count —
+// determine the topology RNG stream: every algorithm axis value sees the
+// identical network for a given replicate, which keeps paired comparisons
+// (win counts, per-user deltas) meaningful, exactly as the sequential
+// runner's shared-network trials do.
+//
+// The channels axis (num_channels) selects the channel-plan model per task:
+// 0 = the paper's orthogonal assumption (no plan, no overlap — the
+// pre-existing behaviour), k > 0 = only k orthogonal channels exist, a plan
+// is computed per task and the score is taken under the overlap model
+// (EvalOptions::wifi_channel). See src/assign/joint.h.
 #pragma once
 
 #include <cstddef>
@@ -25,7 +32,13 @@ namespace wolt::sweep {
 // The association policies a sweep can fan out over (constructed fresh per
 // task — policy instances hold scratch state and are not shared across
 // threads).
-enum class PolicyKind { kWolt, kWoltSubset, kGreedy, kRssi };
+// kJointWolt runs the alternating joint association + channel-assignment
+// solver (assign::SolveJointAlternating over the WOLT associator) when the
+// task's num_channels > 0; with num_channels == 0 it degenerates to kWolt.
+// The other kinds associate plan-blind; under num_channels > 0 their
+// assignment is paired with an unweighted greedy colouring and scored under
+// overlap (assign::SolveJointNaive — the retired assumption made explicit).
+enum class PolicyKind { kWolt, kWoltSubset, kGreedy, kRssi, kJointWolt };
 
 const char* ToString(PolicyKind kind);
 
@@ -44,8 +57,10 @@ struct TaskSpec {
   std::size_t num_extenders = 0;
   model::PlcSharing sharing = model::PlcSharing::kMaxMinActive;
   PolicyKind policy = PolicyKind::kWolt;
+  int num_channels = 0;  // 0 = orthogonal assumption (no plan)
   // Ordinal over (users, extenders, seed) only — the topology stream index
-  // shared by every policy/sharing combination of the same replicate.
+  // shared by every policy/sharing/channels combination of the same
+  // replicate.
   std::size_t scenario_ordinal = 0;
 };
 
@@ -59,7 +74,13 @@ struct SweepGrid {
   std::vector<std::size_t> users;
   std::vector<std::size_t> extenders;
   std::vector<model::PlcSharing> sharing;
+  // Channel-plan axis: 0 keeps the orthogonal assumption, k > 0 restricts
+  // the plan to k channels (see the header comment). The default single 0
+  // preserves pre-existing grids bit-for-bit.
+  std::vector<int> num_channels{0};
   std::vector<PolicyKind> policies;
+  // Co-channel contention radius shared by every num_channels > 0 task.
+  double carrier_sense_range_m = 60.0;
 
   // Geometry / PHY / PLC knobs shared by every grid point; num_users and
   // num_extenders are overridden per task.

@@ -23,7 +23,7 @@ bool WriteString(const std::string& text, const std::string& path) {
 
 std::string TaskCsvString(const SweepResult& result, ReportOptions options) {
   std::ostringstream out;
-  out << "index,seed,users,extenders,sharing,policy,completed,"
+  out << "index,seed,users,extenders,sharing,channels,policy,completed,"
          "aggregate_mbps,jain";
   if (options.include_timing) out << ",elapsed_us";
   out << "\n";
@@ -31,6 +31,7 @@ std::string TaskCsvString(const SweepResult& result, ReportOptions options) {
     const TaskSpec& spec = task.spec;
     out << spec.index << ',' << spec.seed << ',' << spec.num_users << ','
         << spec.num_extenders << ',' << model::ToString(spec.sharing) << ','
+        << spec.num_channels << ','
         << ToString(spec.policy) << ',' << (task.completed ? 1 : 0) << ','
         << Num(task.aggregate_mbps) << ',' << Num(task.jain_fairness);
     if (options.include_timing) out << ',' << Num(task.elapsed_us);
@@ -41,13 +42,14 @@ std::string TaskCsvString(const SweepResult& result, ReportOptions options) {
 
 std::string GroupCsvString(const SweepResult& result, ReportOptions) {
   std::ostringstream out;
-  out << "users,extenders,sharing,policy,trials,mean_mbps,stddev_mbps,"
-         "min_mbps,p10_mbps,p50_mbps,p90_mbps,max_mbps,mean_jain,"
-         "user_jain\n";
+  out << "users,extenders,sharing,channels,policy,trials,mean_mbps,"
+         "stddev_mbps,min_mbps,p10_mbps,p50_mbps,p90_mbps,max_mbps,"
+         "mean_jain,user_jain\n";
   for (const GroupStats& g : result.groups) {
     const util::Accumulator& a = g.aggregate_mbps;
     out << g.num_users << ',' << g.num_extenders << ','
-        << model::ToString(g.sharing) << ',' << ToString(g.policy) << ','
+        << model::ToString(g.sharing) << ',' << g.num_channels << ','
+        << ToString(g.policy) << ','
         << a.Count() << ',' << Num(a.Mean()) << ',' << Num(a.StdDev()) << ','
         << Num(a.Min()) << ',' << Num(a.Percentile(10)) << ','
         << Num(a.Percentile(50)) << ',' << Num(a.Percentile(90)) << ','
@@ -66,7 +68,8 @@ std::string JsonString(const SweepResult& result, ReportOptions options) {
     const util::Accumulator& a = group.aggregate_mbps;
     out << (g ? ",\n    {" : "\n    {") << "\"users\": " << group.num_users
         << ", \"extenders\": " << group.num_extenders << ", \"sharing\": \""
-        << model::ToString(group.sharing) << "\", \"policy\": \""
+        << model::ToString(group.sharing)
+        << "\", \"channels\": " << group.num_channels << ", \"policy\": \""
         << ToString(group.policy) << "\", \"trials\": " << a.Count()
         << ", \"mean_mbps\": " << Num(a.Mean())
         << ", \"stddev_mbps\": " << Num(a.StdDev())
@@ -81,7 +84,8 @@ std::string JsonString(const SweepResult& result, ReportOptions options) {
     out << (t ? ",\n    {" : "\n    {") << "\"index\": " << spec.index
         << ", \"seed\": " << spec.seed << ", \"users\": " << spec.num_users
         << ", \"extenders\": " << spec.num_extenders << ", \"sharing\": \""
-        << model::ToString(spec.sharing) << "\", \"policy\": \""
+        << model::ToString(spec.sharing)
+        << "\", \"channels\": " << spec.num_channels << ", \"policy\": \""
         << ToString(spec.policy)
         << "\", \"completed\": " << (task.completed ? "true" : "false")
         << ", \"aggregate_mbps\": " << Num(task.aggregate_mbps)

@@ -37,6 +37,19 @@ std::vector<std::pair<std::size_t, std::size_t>> InterferenceEdges(
 std::vector<int> AssignChannels(const model::Network& net,
                                 const ChannelPlanParams& params = {});
 
+// Association-weighted recolouring for the joint solver: like
+// AssignChannels, but each extender carries a weight (e.g. its current WiFi
+// cell demand or user load) and the colouring (a) orders vertices by
+// descending weighted interference degree (sum of in-range neighbour
+// weights; ties by id) and (b) gives each vertex the channel minimizing the
+// summed weight of its same-channel neighbours (ties to the lowest channel
+// index). With all weights equal and positive it picks exactly the channels
+// AssignChannels would (lowest free channel, else least-used). `weights`
+// must have one non-negative entry per extender.
+std::vector<int> AssignChannelsWeighted(const model::Network& net,
+                                        const std::vector<double>& weights,
+                                        const ChannelPlanParams& params = {});
+
 // All extenders on one channel (worst case baseline).
 std::vector<int> SameChannelPlan(const model::Network& net);
 

@@ -227,6 +227,41 @@ TEST(EvaluatorPropertyTest, RaisingBackhaulNeverLowersAggregate) {
   }
 }
 
+// The joint-solver contract: an all-distinct channel plan must be
+// *bit-identical* to running with no plan at all. The scenarios here never
+// set extender positions, so every extender sits at the origin — all inside
+// carrier-sense range of each other — and orthogonality alone must reduce
+// every contention domain to a singleton (peers = 1.0, an unconditional
+// division whose result is exact).
+TEST(EvaluatorPropertyTest, OrthogonalPlanBitIdenticalToNoPlan) {
+  util::Rng rng(20260807);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Scenario s = RandomScenario(rng);
+    std::vector<int> plan(s.net.NumExtenders());
+    for (std::size_t j = 0; j < plan.size(); ++j) plan[j] = static_cast<int>(j);
+    for (const PlcSharing mode : kAllModes) {
+      const Evaluator plain(EvalOptions{.plc_sharing = mode});
+      EvalOptions channelled{.plc_sharing = mode};
+      channelled.wifi_channel = plan;
+      channelled.carrier_sense_range_m = 60.0;
+      const EvalResult base = plain.Evaluate(s.net, s.assign);
+      const EvalResult under_plan =
+          Evaluator(channelled).Evaluate(s.net, s.assign);
+      const std::string what = "trial " + std::to_string(trial) + " mode " +
+                               std::string(ToString(mode));
+      EXPECT_EQ(under_plan.aggregate_mbps, base.aggregate_mbps) << what;
+      ASSERT_EQ(under_plan.user_throughput_mbps.size(),
+                base.user_throughput_mbps.size())
+          << what;
+      for (std::size_t i = 0; i < base.user_throughput_mbps.size(); ++i) {
+        EXPECT_EQ(under_plan.user_throughput_mbps[i],
+                  base.user_throughput_mbps[i])
+            << what << " user " << i;
+      }
+    }
+  }
+}
+
 TEST(EvaluatorPropertyTest, SymmetricUsersGetEqualShares) {
   util::Rng rng(777);
   for (int trial = 0; trial < 30; ++trial) {

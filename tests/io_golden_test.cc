@@ -77,6 +77,11 @@ TEST(IoGoldenTest, MalformedCorpusRejectedWithTypedErrors) {
       {"bad_dimension.net", IoErrorKind::kBadDimension},
       {"trailing.net", IoErrorKind::kTrailingInput},
       {"partial_rssi.net", IoErrorKind::kTruncated},
+      // A pinned WiFi channel must be a whole number inside the plan range
+      // (model::kMaxWifiChannels); each defect gets the typed kBadChannel.
+      {"channel_out_of_range.net", IoErrorKind::kBadChannel},
+      {"channel_negative.net", IoErrorKind::kBadChannel},
+      {"channel_fractional.net", IoErrorKind::kBadChannel},
   };
   int files = 0;
   for (const auto& entry :
