@@ -19,15 +19,29 @@
 // overlap model, adding the WOLT-J joint association+recolouring policy to
 // the comparison (the CI joint determinism smoke runs this path).
 //
+// Dynamic-workload axes: --mobility=teleport|waypoint|hotspot, --churn=R,
+// --load=diurnal|bursty and --budget=U (ladder units) switch every trial to
+// the trace-driven frontier path (sim::RunTraceFrontier): each trial
+// generates a workload trace over its topology, replays it through a
+// CentralController and scores the mean achieved throughput. Incompatible
+// with --channels (the frontier controller is plan-blind). The CI dynamics
+// determinism smoke cmp's the CSV of a 1-thread and a 4-thread dynamic run.
+//
 //   $ ./bench_fig6a_throughput_cdf [--trials=100] [--threads=1]
 //                                  [--seed=2020] [--channels=0]
+//                                  [--mobility=static] [--churn=0]
+//                                  [--load=constant] [--budget=0]
 //                                  [--csv=fig6a_cdf.csv]
 //                                  [--journal=sweep.wal] [--resume=sweep.wal]
 //                                  [--trace=out.json] [--metrics=out.json]
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "sim/workload.h"
 #include "sweep/engine.h"
 #include "sweep/grid.h"
 #include "testbed/traces.h"
@@ -48,11 +62,34 @@ int main(int argc, char** argv) {
   using namespace wolt;
   bench::ObsSession obs(argc, argv);
   const bench::Flags flags(argc, argv,
-                           {"trials", "threads", "seed", "channels", "csv",
+                           {"trials", "threads", "seed", "channels",
+                            "mobility", "churn", "load", "budget", "csv",
                             "journal", "resume", "trace", "metrics"});
   const int trials = static_cast<int>(flags.Int("trials", 100));
   const int threads = static_cast<int>(flags.Int("threads", 1));
   const int channels = static_cast<int>(flags.Int("channels", 0));
+  const std::optional<sim::MobilityModel> mobility =
+      sim::MobilityModelFromString(flags.Str("mobility", "static"));
+  const std::optional<sim::LoadCurve> load =
+      sim::LoadCurveFromString(flags.Str("load", "constant"));
+  const double churn = std::strtod(flags.Str("churn", "0").c_str(), nullptr);
+  const int budget = static_cast<int>(flags.Int("budget", 0));
+  if (!mobility || !load || churn < 0.0 || budget < 0) {
+    std::fprintf(stderr,
+                 "error: bad dynamic-workload flags (--mobility=static|"
+                 "teleport|waypoint|hotspot --load=constant|diurnal|bursty "
+                 "--churn>=0 --budget>=0)\n");
+    return 1;
+  }
+  const bool dynamic = *mobility != sim::MobilityModel::kStatic ||
+                       *load != sim::LoadCurve::kConstant || churn > 0.0 ||
+                       budget != 0;
+  if (dynamic && channels > 0) {
+    std::fprintf(stderr,
+                 "error: --mobility/--churn/--load/--budget are incompatible "
+                 "with --channels (the frontier controller is plan-blind)\n");
+    return 1;
+  }
   const std::string csv_path = flags.Str("csv", "fig6a_cdf.csv");
   const std::string resume_path = flags.Str("resume", "");
 
@@ -77,6 +114,15 @@ int main(int argc, char** argv) {
     // orthogonal channels, and add the joint solver to the line-up.
     grid.num_channels = {channels};
     grid.policies.push_back(sweep::PolicyKind::kJointWolt);
+  }
+  if (dynamic) {
+    // Trace-driven frontier path: per-trial workload trace replayed through
+    // a CentralController, reoptimizing on the cumulative ladder at this
+    // budget. aggregate_mbps becomes the per-epoch mean.
+    grid.mobility = {*mobility};
+    grid.churn_rates = {churn};
+    grid.load_curves = {*load};
+    grid.reopt_budgets = {budget};
   }
   grid.base = bench::EnterpriseParams(36);
 

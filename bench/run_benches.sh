@@ -23,6 +23,11 @@
 #
 #   bench/run_benches.sh /tmp/joint.json 'BM_Joint|BM_Recolour'
 #
+# Trace-driven dynamics numbers (BM_Workload*, BM_Dynamics*) live in
+# bench_dynamics, e.g. the stickiness-vs-throughput frontier recording:
+#
+#   bench/run_benches.sh BENCH_sweep.json 'BM_Dynamics|BM_Workload'
+#
 # Usage: bench/run_benches.sh [--allow-debug] [output.json] [benchmark_filter]
 #   BENCH_BIN=path/to/bench_scaling_runtime overrides the binary location.
 #
@@ -64,6 +69,8 @@ if [[ "${filter}" == BM_Fleet* ]]; then
   bench_name="bench_fleet"
 elif [[ "${filter}" == BM_Joint* || "${filter}" == BM_Recolour* ]]; then
   bench_name="bench_joint"
+elif [[ "${filter}" == BM_Dynamics* || "${filter}" == BM_Workload* ]]; then
+  bench_name="bench_dynamics"
 fi
 
 bin="${BENCH_BIN:-}"

@@ -119,6 +119,13 @@ echo "==> tsan: ctest (full suite under TSan)"
 # at reduced shard/seed counts).
 ctest --test-dir build-tsan --output-on-failure
 
+echo "==> tsan: 20-seed trace-determinism pass (workload generator)"
+# Byte-identical trace regeneration per seed, run under TSan like the sweep
+# smoke: the generator is single-threaded by construction, so any racing
+# global state (rng substreams, obs counters) would surface here.
+./build-tsan/tests/workload_property_test \
+    --gtest_filter='WorkloadPropertyTest.TraceDeterminismTwentySeeds'
+
 echo "==> determinism smoke: 4-thread sweep CSV == 1-thread sweep CSV"
 ./build/bench/bench_fig6a_throughput_cdf --trials=20 --threads=1 \
     --csv=/tmp/wolt_sweep_t1.csv >/dev/null
@@ -136,6 +143,20 @@ echo "==> determinism smoke: joint sweep axis (--channels=3), 4-thread == 1-thre
     --csv=/tmp/wolt_joint_t4.csv >/dev/null
 cmp /tmp/wolt_joint_t1.csv /tmp/wolt_joint_t4.csv
 rm -f /tmp/wolt_joint_t1.csv /tmp/wolt_joint_t4.csv
+
+echo "==> determinism smoke: dynamic workload axes, 4-thread == 1-thread"
+# The trace-driven frontier path (mobility + churn + diurnal load, budgeted
+# reoptimization): per-trial traces are generated from per-scenario
+# substreams and replayed through a CentralController, so the CSV must stay
+# byte-identical across thread counts exactly like the static sweeps.
+./build/bench/bench_fig6a_throughput_cdf --trials=6 --threads=1 \
+    --mobility=waypoint --churn=0.5 --load=diurnal --budget=4 \
+    --csv=/tmp/wolt_dyn_t1.csv >/dev/null
+./build/bench/bench_fig6a_throughput_cdf --trials=6 --threads=4 \
+    --mobility=waypoint --churn=0.5 --load=diurnal --budget=4 \
+    --csv=/tmp/wolt_dyn_t4.csv >/dev/null
+cmp /tmp/wolt_dyn_t1.csv /tmp/wolt_dyn_t4.csv
+rm -f /tmp/wolt_dyn_t1.csv /tmp/wolt_dyn_t4.csv
 
 echo "==> crash-resume smoke: SIGKILL a journaled sweep, resume, compare CSV"
 # 500 trials run ~1s, so the kill at 0.2s lands mid-sweep; if the sweep ever

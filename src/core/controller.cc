@@ -175,12 +175,50 @@ const char* ToString(ReoptTier t) {
   return "?";
 }
 
+std::size_t TierCost(ReoptTier tier) {
+  switch (tier) {
+    case ReoptTier::kJoint:
+      return 5;
+    case ReoptTier::kFull:
+      return 4;
+    case ReoptTier::kHungarianOnly:
+      return 3;
+    case ReoptTier::kGreedy:
+      return 2;
+    case ReoptTier::kHoldLastGood:
+      return 1;
+  }
+  return 1;
+}
+
+ReoptTier TierForBudgetUnits(int units, bool joint_enabled) {
+  if (units <= 0) {
+    return joint_enabled ? ReoptTier::kJoint : ReoptTier::kFull;
+  }
+  const auto u = static_cast<std::size_t>(units);
+  if (joint_enabled && u >= TierCost(ReoptTier::kJoint)) {
+    return ReoptTier::kJoint;
+  }
+  if (u >= TierCost(ReoptTier::kFull)) return ReoptTier::kFull;
+  if (u >= TierCost(ReoptTier::kHungarianOnly)) {
+    return ReoptTier::kHungarianOnly;
+  }
+  if (u >= TierCost(ReoptTier::kGreedy)) return ReoptTier::kGreedy;
+  return ReoptTier::kHoldLastGood;
+}
+
 std::string Encode(const ScanReport& msg) {
   std::string out = "SCAN user=" + std::to_string(msg.user_id) +
                     " rates=" + JoinDoubles(msg.rates_mbps);
   if (!msg.rssi_dbm.empty()) out += " rssi=" + JoinDoubles(msg.rssi_dbm);
   if (msg.associated_extender) {
     out += " assoc=" + std::to_string(*msg.associated_extender);
+  }
+  if (msg.demand_mbps) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", *msg.demand_mbps);
+    out += " demand=";
+    out += buf;
   }
   return out;
 }
@@ -208,7 +246,7 @@ std::string Encode(const CapacityReport& msg) {
 std::optional<ScanReport> DecodeScanReport(const std::string& line) {
   const auto fields = ParseFields(line, "SCAN");
   if (!fields || !fields->count("user") || !fields->count("rates") ||
-      !OnlyKeys(*fields, {"user", "rates", "rssi", "assoc"})) {
+      !OnlyKeys(*fields, {"user", "rates", "rssi", "assoc", "demand"})) {
     return std::nullopt;
   }
   ScanReport msg;
@@ -227,6 +265,11 @@ std::optional<ScanReport> DecodeScanReport(const std::string& line) {
     const auto assoc = ParseInt(fields->at("assoc"));
     if (!assoc || *assoc < -1) return std::nullopt;
     msg.associated_extender = *assoc;
+  }
+  if (fields->count("demand")) {
+    const auto demand = ParseDouble(fields->at("demand"));
+    if (!demand || *demand < 0.0) return std::nullopt;
+    msg.demand_mbps = *demand;
   }
   return msg;
 }
@@ -383,6 +426,10 @@ HandleStatus CentralController::ValidateScan(const ScanReport& report) const {
   if (report.associated_extender && *report.associated_extender < -1) {
     return HandleStatus::kMalformed;
   }
+  if (report.demand_mbps &&
+      (!std::isfinite(*report.demand_mbps) || *report.demand_mbps < 0.0)) {
+    return HandleStatus::kMalformed;
+  }
   return HandleStatus::kOk;
 }
 
@@ -394,6 +441,7 @@ void CentralController::ApplyReport(std::size_t index,
       net_.SetRssi(index, j, report.rssi_dbm[j]);
     }
   }
+  if (report.demand_mbps) net_.SetUserDemand(index, *report.demand_mbps);
   last_scan_[index] = now_;
 }
 
@@ -512,6 +560,34 @@ HandleResult CentralController::HandleScanUpdate(const ScanReport& report) {
     }
   }
   return result;
+}
+
+HandleStatus CentralController::IngestScan(const ScanReport& report) {
+  if (const HandleStatus v = ValidateScan(report); v != HandleStatus::kOk) {
+    return v;
+  }
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->workload.replay_events.Add(1);
+  }
+  const auto it = index_of_id_.find(report.user_id);
+  if (it == index_of_id_.end()) {
+    // New user, registered unassigned; the next Reoptimize*() places it.
+    const std::size_t index = net_.AddUser(model::User{}, report.rates_mbps);
+    assignment_.AppendUser();
+    id_of_index_.push_back(report.user_id);
+    last_scan_.push_back(now_);
+    index_of_id_[report.user_id] = index;
+    ApplyReport(index, report);
+    return HandleStatus::kOk;
+  }
+  const std::size_t index = it->second;
+  ApplyReport(index, report);
+  const int current = assignment_.ExtenderOf(index);
+  if (current != model::Assignment::kUnassigned &&
+      net_.WifiRate(index, static_cast<std::size_t>(current)) <= 0.0) {
+    assignment_.Unassign(index);
+  }
+  return HandleStatus::kOk;
 }
 
 void CentralController::RemoveUserAt(std::size_t index) {
@@ -697,6 +773,61 @@ ReoptReport CentralController::Reoptimize(double budget_seconds) {
   return report;
 }
 
+ReoptReport CentralController::ReoptimizeUpToTier(ReoptTier top) {
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->ctrl.policy_runs.Add(1);
+  }
+  ReoptReport report;
+  const model::Assignment before = assignment_;
+  const model::Assignment evacuate = EvacuationFallback();
+  const bool joint_enabled = joint_.num_channels > 0;
+
+  // Hold-last-good is the zero-cost floor of the candidate set; every
+  // affordable rung competes against it and against each other on scored
+  // throughput. Iterating cheapest-first with a strict improvement
+  // threshold makes ties stick with the cheaper (less disruptive) rung.
+  model::Assignment chosen = evacuate;
+  std::vector<int> chosen_plan = channel_plan_;
+  report.tier = ReoptTier::kHoldLastGood;
+  const model::Evaluator base_eval(PlanEval(channel_plan_));
+  double best = base_eval.AggregateThroughput(net_, evacuate);
+  for (ReoptTier tier : {ReoptTier::kGreedy, ReoptTier::kHungarianOnly,
+                         ReoptTier::kFull, ReoptTier::kJoint}) {
+    if (TierCost(tier) > TierCost(top)) break;
+    if (tier == ReoptTier::kJoint && !joint_enabled) break;
+    model::Assignment proposed = SolveTier(tier, nullptr, before, evacuate);
+    std::vector<int> plan =
+        tier == ReoptTier::kJoint ? proposed_plan_ : channel_plan_;
+    const model::Evaluator eval(PlanEval(plan));
+    const double score = eval.AggregateThroughput(net_, proposed);
+    if (score > best + 1e-9) {
+      best = score;
+      chosen = std::move(proposed);
+      chosen_plan = std::move(plan);
+      report.tier = tier;
+    }
+  }
+  report.budget_limited =
+      TierCost(top) <
+      TierCost(joint_enabled ? ReoptTier::kJoint : ReoptTier::kFull);
+
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    switch (report.tier) {
+      case ReoptTier::kFull: s->ctrl.reopt_tier_full.Add(1); break;
+      case ReoptTier::kHungarianOnly:
+        s->ctrl.reopt_tier_hungarian.Add(1);
+        break;
+      case ReoptTier::kGreedy: s->ctrl.reopt_tier_greedy.Add(1); break;
+      case ReoptTier::kHoldLastGood: s->ctrl.reopt_tier_hold.Add(1); break;
+      case ReoptTier::kJoint: s->ctrl.reopt_tier_joint.Add(1); break;
+    }
+  }
+
+  channel_plan_ = std::move(chosen_plan);
+  report.directives = DiffAndRegister(before, std::move(chosen));
+  return report;
+}
+
 ReoptReport CentralController::ReoptimizeAtTier(ReoptTier tier) {
   if (obs::MetricsScope* s = obs::CurrentScope()) {
     s->ctrl.policy_runs.Add(1);
@@ -839,6 +970,7 @@ void CentralController::SaveState(std::string* out) const {
   for (std::size_t i = 0; i < num_users; ++i) {
     util::PutI64(out, id_of_index_[i]);
     util::PutDouble(out, last_scan_[i]);
+    util::PutDouble(out, net_.UserAt(i).demand_mbps);
     util::PutU64(out, num_ext);
     for (std::size_t j = 0; j < num_ext; ++j) {
       util::PutDouble(out, net_.WifiRate(i, j));
@@ -903,6 +1035,8 @@ bool CentralController::RestoreState(util::ByteCursor* cur) {
   for (std::uint64_t i = 0; i < num_users; ++i) {
     const std::int64_t id = cur->I64();
     const double scan_at = cur->Double();
+    const double demand = cur->Double();
+    if (!cur->ok() || !std::isfinite(demand) || demand < 0.0) return false;
     if (!cur->DoubleVec(&rates) || rates.size() != num_ext) return false;
     for (double r : rates) {
       if (!std::isfinite(r) || r < 0.0) return false;
@@ -917,6 +1051,7 @@ bool CentralController::RestoreState(util::ByteCursor* cur) {
     }
     if (index_of_id.count(id)) return false;
     const std::size_t index = net.AddUser(model::User{}, rates);
+    net.SetUserDemand(index, demand);
     assignment.AppendUser();
     if (extender != model::Assignment::kUnassigned) {
       assignment.Assign(index, static_cast<std::size_t>(extender));

@@ -53,6 +53,10 @@ struct ScanReport {
   // Lets the CC reconcile its believed association against reality after
   // directives were lost on the wire.
   std::optional<int> associated_extender;
+  // Optional: the client's current offered load in Mbit/s (0 = saturated).
+  // Carried by dynamic workload traces so diurnal/bursty demand curves reach
+  // the evaluator; absent = leave the user's stored demand untouched.
+  std::optional<double> demand_mbps;
 };
 
 // CC -> client: associate with this extender.
@@ -166,6 +170,18 @@ enum class ReoptTier {
 };
 const char* ToString(ReoptTier t);
 
+// Virtual-unit cost of one reoptimization at each ladder rung — the
+// deterministic budget currency shared by the fleet scheduler and the
+// workload frontier sweeps (wall-clock budgets are not reproducible across
+// hosts, so budgeted-but-deterministic paths price tiers in these units).
+std::size_t TierCost(ReoptTier tier);
+
+// The best rung affordable with `units` budget units: the most expensive
+// tier whose TierCost fits. units <= 0 means unbudgeted — the full solve
+// (kJoint when joint mode is on). kJoint is only returned with
+// joint_enabled, since the tier is inert without a channel plan.
+ReoptTier TierForBudgetUnits(int units, bool joint_enabled = false);
+
 // Outcome of one budgeted reoptimization epoch.
 struct ReoptReport {
   ReoptTier tier = ReoptTier::kFull;  // the rung that served this epoch
@@ -232,6 +248,15 @@ class CentralController {
   // (reconciliation after lost directives).
   HandleResult HandleScanUpdate(const ScanReport& report);
 
+  // Trace-replay ingestion: apply a scan (arrival or refresh) WITHOUT
+  // running the association policy. New users are registered unassigned and
+  // existing users get their measurements refreshed (same unreachable-
+  // extender unassignment rule as HandleScanUpdate, but no reconciliation
+  // and no directives) — the epoch boundary's Reoptimize*() call places
+  // everyone in one solve instead of one policy run per trace event.
+  // Validation and statuses match the per-event handlers.
+  HandleStatus IngestScan(const ScanReport& report);
+
   // A user disconnected. No directives result (remaining users keep their
   // extenders until the next arrival/update/reoptimize).
   HandleStatus HandleUserDeparture(std::int64_t user_id);
@@ -266,6 +291,17 @@ class CentralController {
   // can demote to kHoldLastGood on quality grounds; budget_limited is true
   // iff a tier below kFull was requested or the guard demoted.
   ReoptReport ReoptimizeAtTier(ReoptTier tier);
+
+  // Clock-free cumulative ladder: solve every rung whose TierCost fits
+  // within `top`'s cost and commit the best-scoring candidate (ties go to
+  // the cheaper rung, which holds more users in place). Because the
+  // candidate set at a larger budget is a superset of the set at any
+  // smaller one, the committed aggregate — and therefore regret against a
+  // fixed per-epoch oracle — is monotone in the budget, which is the
+  // contract the trace-frontier sweep measures. ReoptimizeAtTier() by
+  // contrast runs exactly one solver and only guards against the
+  // hold-last-good baseline.
+  ReoptReport ReoptimizeUpToTier(ReoptTier top);
 
   // Directives due for retransmission at Now(), in user-id order. Each
   // returned directive has its attempt count bumped and its backoff

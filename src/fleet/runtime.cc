@@ -26,22 +26,9 @@ std::uint64_t HashDouble(std::uint64_t h, double v) {
   return util::HashCombine64(h, bits);
 }
 
-// Virtual cost of one reoptimization at each ladder rung (see runtime.h).
-std::size_t TierCost(core::ReoptTier tier) {
-  switch (tier) {
-    case core::ReoptTier::kJoint:
-      return 5;
-    case core::ReoptTier::kFull:
-      return 4;
-    case core::ReoptTier::kHungarianOnly:
-      return 3;
-    case core::ReoptTier::kGreedy:
-      return 2;
-    case core::ReoptTier::kHoldLastGood:
-      return 1;
-  }
-  return 1;
-}
+// Virtual cost of one reoptimization at each ladder rung: the shared
+// core::TierCost currency (also used by the workload frontier sweeps).
+using core::TierCost;
 
 void AppendF(std::string* out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -85,6 +85,20 @@ FleetCounters::FleetCounters(MetricsRegistry& r)
       reopt_scheduled(r.GetCounter("fleet.reopt.scheduled")),
       reopt_overruns(r.GetCounter("fleet.reopt.overruns")) {}
 
+WorkloadCounters::WorkloadCounters(MetricsRegistry& r)
+    : traces(r.GetCounter("workload.traces")),
+      events(r.GetCounter("workload.events")),
+      arrivals(r.GetCounter("workload.arrivals")),
+      departures(r.GetCounter("workload.departures")),
+      moves(r.GetCounter("workload.moves")),
+      load_updates(r.GetCounter("workload.load_updates")),
+      background_updates(r.GetCounter("workload.background_updates")),
+      replay_events(r.GetCounter("workload.replay.events")),
+      epochs(r.GetCounter("workload.frontier.epochs")),
+      oracle_solves(r.GetCounter("workload.oracle.solves")),
+      oracle_exact(r.GetCounter("workload.oracle.exact")),
+      reassociations(r.GetCounter("workload.frontier.reassociations")) {}
+
 SweepCounters::SweepCounters(MetricsRegistry& r)
     : tasks_completed(r.GetCounter("sweep.tasks.completed")),
       tasks_failed(r.GetCounter("sweep.tasks.failed")),

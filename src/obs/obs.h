@@ -148,6 +148,24 @@ struct FleetCounters {
   Counter& reopt_overruns;       // shard reopt blew its wall budget
 };
 
+// sim/workload + frontier replay: trace generation volume and the
+// stickiness-frontier epoch accounting (oracle solves, reassociations).
+struct WorkloadCounters {
+  explicit WorkloadCounters(MetricsRegistry& r);
+  Counter& traces;              // GenerateTrace calls
+  Counter& events;              // total trace events generated
+  Counter& arrivals;
+  Counter& departures;
+  Counter& moves;
+  Counter& load_updates;        // offered-load curve samples/flips
+  Counter& background_updates;  // contention-domain busy-share flips
+  Counter& replay_events;       // trace events fed into a controller
+  Counter& epochs;              // frontier reoptimization epochs
+  Counter& oracle_solves;       // per-epoch oracle evaluations
+  Counter& oracle_exact;        // ...of which were exact brute force
+  Counter& reassociations;      // sticky users redirected at a boundary
+};
+
 // sweep/Engine: task accounting plus per-phase latency histograms. The
 // histograms are timing-flagged — wall-clock is the one thread-count-
 // dependent signal a sweep produces, and the deterministic snapshot section
@@ -165,13 +183,14 @@ struct SweepCounters {
 struct MetricsScope {
   explicit MetricsScope(MetricsRegistry& r)
       : registry(r), eval(r), solver(r), joint(r), ctrl(r), fleet(r),
-        sweep(r) {}
+        workload(r), sweep(r) {}
   MetricsRegistry& registry;
   EvalCounters eval;
   SolverCounters solver;
   JointCounters joint;
   ControllerCounters ctrl;
   FleetCounters fleet;
+  WorkloadCounters workload;
   SweepCounters sweep;
 };
 
@@ -247,6 +266,11 @@ struct FleetCounters {
       shed_capacity, shed_ack, shed_departure, dropped_unavailable, restarts,
       circuit_breaks, probes, reopt_scheduled, reopt_overruns;
 };
+struct WorkloadCounters {
+  NoopCounter traces, events, arrivals, departures, moves, load_updates,
+      background_updates, replay_events, epochs, oracle_solves, oracle_exact,
+      reassociations;
+};
 struct SweepCounters {
   NoopCounter tasks_completed, tasks_failed;
   NoopHistogram task_latency_us, phase_generate_us, phase_solve_us;
@@ -258,6 +282,7 @@ struct MetricsScope {
   JointCounters joint;
   ControllerCounters ctrl;
   FleetCounters fleet;
+  WorkloadCounters workload;
   SweepCounters sweep;
 };
 

@@ -123,6 +123,10 @@ std::string EncodeTaskPayload(const TaskRecord& record) {
   PutString(&out, record.error);
   PutDouble(&out, record.aggregate_mbps);
   PutDouble(&out, record.jain_fairness);
+  PutDouble(&out, record.oracle_mbps);
+  PutDouble(&out, record.regret);
+  PutDouble(&out, record.reassoc_per_user_epoch);
+  PutU64(&out, record.quarantine_trips);
   PutDouble(&out, record.elapsed_us);
   PutU64(&out, record.user_throughput.size());
   for (double v : record.user_throughput) PutDouble(&out, v);
@@ -138,6 +142,10 @@ bool DecodeTaskPayload(const std::string& payload, TaskRecord* out) {
   out->error = cur.String();
   out->aggregate_mbps = cur.Double();
   out->jain_fairness = cur.Double();
+  out->oracle_mbps = cur.Double();
+  out->regret = cur.Double();
+  out->reassoc_per_user_epoch = cur.Double();
+  out->quarantine_trips = cur.U64();
   out->elapsed_us = cur.Double();
   if (!cur.DoubleVec(&out->user_throughput)) return false;
   out->has_metrics = cur.U8() != 0;

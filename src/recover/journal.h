@@ -40,7 +40,9 @@
 namespace wolt::recover {
 
 inline constexpr std::uint32_t kJournalMagic = 0x574A4C31;  // "WJL1"
-inline constexpr std::uint32_t kJournalVersion = 1;
+// Version 2 added the dynamic-workload frontier columns (oracle, regret,
+// reassociation rate, quarantine trips) to TaskRecord.
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 // FNV-1a 64-bit over a byte string (the per-record checksum).
 std::uint64_t Fnv1a64(const char* data, std::size_t size);
@@ -56,6 +58,11 @@ struct TaskRecord {
   std::string error;              // non-empty: the task body threw
   double aggregate_mbps = 0.0;
   double jain_fairness = 0.0;
+  // Frontier columns (0 for static tasks); see sweep::TaskResult.
+  double oracle_mbps = 0.0;
+  double regret = 0.0;
+  double reassoc_per_user_epoch = 0.0;
+  std::uint64_t quarantine_trips = 0;
   double elapsed_us = 0.0;        // timing-quarantined, journaled for
                                   // include_timing reports
   std::vector<double> user_throughput;  // raw samples in insertion order

@@ -12,13 +12,16 @@
 // are parameters.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/controller.h"
 #include "core/policy.h"
 #include "fault/health.h"
 #include "model/evaluator.h"
 #include "sim/scenario.h"
+#include "sim/workload.h"
 #include "util/rng.h"
 
 namespace wolt::sim {
@@ -77,5 +80,82 @@ std::vector<EpochStats> RunDynamicSimulation(
     const ScenarioGenerator& generator,
     const std::vector<core::AssociationPolicy*>& policies,
     const DynamicsParams& params, util::Rng& rng);
+
+// --- Trace-driven stickiness-vs-throughput frontier ----------------------
+//
+// Replays a pre-generated WorkloadTrace (sim/workload.h) into a
+// CentralController: scans are ingested without running the policy
+// (IngestScan), departures and background capacity changes are applied as
+// they occur, and the controller reoptimizes once per epoch boundary at an
+// explicit ladder tier. Because the trace is fully precomputed and the
+// replay draws no randomness, the outcome is a pure function of
+// (base network, trace, policy, params) — byte-identical at any thread
+// count, which is what lets the sweep engine parallelize frontier tasks.
+
+struct FrontierParams {
+  double epoch_length = 12.0;  // time units between reoptimizations
+  int epochs = 3;
+  // Top ladder rung the controller may afford each epoch (the sweep's
+  // reopt_budget axis maps budget units onto tiers via
+  // core::TierForBudgetUnits). The boundary solve is the cumulative
+  // ladder (ReoptimizeUpToTier): every rung within this budget competes
+  // and the best-scoring candidate is committed, so throughput — and
+  // regret against the fixed per-epoch oracle — is monotone in the budget.
+  core::ReoptTier tier = core::ReoptTier::kFull;
+  // Per-epoch oracle on the frozen snapshot: exact brute force when the
+  // population is at most oracle_bf_max_users AND the relaxed search space
+  // (|A|+1)^|U| fits oracle_max_combinations; WOLT-S with subset search
+  // (solved from scratch, no stickiness) otherwise.
+  bool compute_oracle = true;
+  std::size_t oracle_bf_max_users = 9;
+  std::uint64_t oracle_max_combinations = 20'000'000;
+  core::RetryParams retry;
+  core::QuarantineParams quarantine;  // flap-quarantine interaction knob
+  model::EvalOptions eval;
+};
+
+struct FrontierEpoch {
+  int epoch = 0;
+  std::size_t population = 0;  // users known at the epoch boundary
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t moves = 0;
+  double aggregate_mbps = 0.0;  // achieved at the boundary solve
+  double jain_fairness = 0.0;
+  // Frozen-snapshot optimum (0 when compute_oracle is off). oracle_exact
+  // marks brute-force epochs; false means the WOLT-S upper-bound proxy.
+  double oracle_mbps = 0.0;
+  bool oracle_exact = false;
+  // Previously-associated users whose extender changed at this boundary
+  // (arrivals placed for the first time are not counted).
+  std::size_t reassociations = 0;
+  core::ReoptTier served_tier = core::ReoptTier::kFull;
+  std::size_t quarantine_trips = 0;  // trips during this epoch
+};
+
+struct FrontierResult {
+  std::vector<FrontierEpoch> epochs;
+  double mean_aggregate_mbps = 0.0;
+  double mean_oracle_mbps = 0.0;
+  double mean_jain = 0.0;
+  // Mean over epochs of max(0, (oracle - achieved) / oracle); 0 when the
+  // oracle is disabled or the population was empty all run.
+  double regret = 0.0;
+  // Stickiness: total reassociations / sum over epochs of population.
+  double reassoc_per_user_epoch = 0.0;
+  std::size_t total_reassociations = 0;
+  std::size_t quarantine_trips = 0;
+  // Per-user end-to-end throughput at the final epoch boundary.
+  std::vector<double> final_user_throughput_mbps;
+};
+
+// `base` must be the extenders-only network the trace was generated
+// against (NumUsers() == 0, NumExtenders() == trace.num_extenders); it
+// supplies PLC capacities and contention domains. Throws
+// std::invalid_argument on mismatched inputs or bad params.
+FrontierResult RunTraceFrontier(const model::Network& base,
+                                const WorkloadTrace& trace,
+                                core::PolicyPtr policy,
+                                const FrontierParams& params);
 
 }  // namespace wolt::sim

@@ -7,10 +7,13 @@
 #include <stdexcept>
 
 #include "assign/joint.h"
+#include "core/controller.h"
 #include "core/wolt.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "recover/journal.h"
+#include "sim/dynamics.h"
+#include "sim/workload.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -24,6 +27,10 @@ recover::TaskRecord ToRecord(const TaskResult& task) {
   rec.error = task.error;
   rec.aggregate_mbps = task.aggregate_mbps;
   rec.jain_fairness = task.jain_fairness;
+  rec.oracle_mbps = task.oracle_mbps;
+  rec.regret = task.regret;
+  rec.reassoc_per_user_epoch = task.reassoc_per_user_epoch;
+  rec.quarantine_trips = task.quarantine_trips;
   rec.elapsed_us = task.elapsed_us;
   rec.user_throughput = task.user_throughput.Samples();
   rec.has_metrics = !task.metrics.Empty();
@@ -40,6 +47,10 @@ void FromRecord(const recover::TaskRecord& rec, const SweepGrid& grid,
   task->error = rec.error;
   task->aggregate_mbps = rec.aggregate_mbps;
   task->jain_fairness = rec.jain_fairness;
+  task->oracle_mbps = rec.oracle_mbps;
+  task->regret = rec.regret;
+  task->reassoc_per_user_epoch = rec.reassoc_per_user_epoch;
+  task->quarantine_trips = rec.quarantine_trips;
   task->elapsed_us = rec.elapsed_us;
   for (double x : rec.user_throughput) task->user_throughput.Add(x);
   if (rec.has_metrics) task->metrics = rec.metrics;
@@ -91,6 +102,41 @@ sim::TrialRecord RunJointTask(const SweepGrid& grid, const TaskSpec& spec,
   overlap.wifi_channel = std::move(jr.channels);
   overlap.carrier_sense_range_m = grid.carrier_sense_range_m;
   return RecordFor(model::Evaluator(overlap), net, jr.assignment);
+}
+
+// One dynamic-workload task: generate the deterministic trace over the
+// shared extenders-only topology, replay it through a CentralController at
+// the budgeted ladder tier and return the frontier statistics. The trace
+// seed folds in only the scenario coordinates plus a domain salt — never
+// policy, budget or sharing — so paired policies replay identical traces.
+sim::FrontierResult RunFrontierTask(const SweepGrid& grid,
+                                    const TaskSpec& spec,
+                                    const sim::ScenarioGenerator& generator,
+                                    const model::Network& net,
+                                    const model::EvalOptions& eval) {
+  sim::WorkloadParams wp = grid.workload;
+  wp.mobility.model = spec.mobility;
+  wp.arrival_rate = spec.churn_rate;
+  wp.load = spec.load;
+  wp.initial_users = spec.num_users;
+  wp.horizon =
+      grid.frontier_epoch_length * static_cast<double>(grid.frontier_epochs);
+
+  const std::uint64_t trace_seed = util::HashCombine64(
+      util::HashCombine64(grid.master_seed, spec.seed),
+      0x544b4c4f57545243ULL + spec.scenario_ordinal);  // trace-domain salt
+  const sim::WorkloadTrace trace =
+      sim::GenerateTrace(generator, net, wp, trace_seed);
+
+  sim::FrontierParams fp;
+  fp.epoch_length = grid.frontier_epoch_length;
+  fp.epochs = grid.frontier_epochs;
+  fp.tier = core::TierForBudgetUnits(spec.reopt_budget);
+  fp.compute_oracle = grid.frontier_oracle;
+  fp.oracle_bf_max_users = grid.frontier_oracle_bf_max_users;
+  fp.quarantine = grid.frontier_quarantine;
+  fp.eval = eval;
+  return sim::RunTraceFrontier(net, trace, MakePolicy(spec.policy, eval), fp);
 }
 
 }  // namespace
@@ -201,7 +247,10 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
                 spec.scenario_ordinal);
 
             sim::ScenarioParams params = grid.base;
-            params.num_users = spec.num_users;
+            // Dynamic tasks build the extenders-only topology from the
+            // same stream; users come from the trace (the users-axis value
+            // becomes the initial arrival batch).
+            params.num_users = spec.IsDynamic() ? 0 : spec.num_users;
             params.num_extenders = spec.num_extenders;
             const sim::ScenarioGenerator generator(params);
             std::optional<model::Network> net;
@@ -218,7 +267,22 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
             {
               obs::ScopedTimer span("sweep.solve", "sweep",
                                     obs::Tracer::Global(), solve_hist);
-              if (spec.num_channels > 0) {
+              if (spec.IsDynamic()) {
+                if (spec.num_channels > 0) {
+                  throw std::invalid_argument(
+                      "dynamic-workload axes are incompatible with the "
+                      "channels axis");
+                }
+                const sim::FrontierResult fr =
+                    RunFrontierTask(grid, spec, generator, *net, eval);
+                record.aggregate_mbps = fr.mean_aggregate_mbps;
+                record.jain_fairness = fr.mean_jain;
+                record.user_throughput_mbps = fr.final_user_throughput_mbps;
+                task.oracle_mbps = fr.mean_oracle_mbps;
+                task.regret = fr.regret;
+                task.reassoc_per_user_epoch = fr.reassoc_per_user_epoch;
+                task.quarantine_trips = fr.quarantine_trips;
+              } else if (spec.num_channels > 0) {
                 record = RunJointTask(grid, spec, *net, eval);
               } else {
                 const model::Evaluator evaluator(eval);
@@ -271,10 +335,17 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
       group.sharing = task.spec.sharing;
       group.policy = task.spec.policy;
       group.num_channels = task.spec.num_channels;
+      group.mobility = task.spec.mobility;
+      group.churn_rate = task.spec.churn_rate;
+      group.load = task.spec.load;
+      group.reopt_budget = task.spec.reopt_budget;
     }
     group.aggregate_mbps.Add(task.aggregate_mbps);
     group.jain.Add(task.jain_fairness);
     group.user_throughput.Merge(task.user_throughput);
+    group.oracle_mbps.Add(task.oracle_mbps);
+    group.regret.Add(task.regret);
+    group.reassoc.Add(task.reassoc_per_user_epoch);
   }
 
   if (options_.collect_metrics) {
@@ -302,7 +373,9 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
 std::vector<sim::PolicyTrials> ToPolicyTrials(const SweepGrid& grid,
                                               const SweepResult& result) {
   if (grid.users.size() != 1 || grid.extenders.size() != 1 ||
-      grid.sharing.size() != 1 || grid.num_channels.size() != 1) {
+      grid.sharing.size() != 1 || grid.num_channels.size() != 1 ||
+      grid.mobility.size() != 1 || grid.churn_rates.size() != 1 ||
+      grid.load_curves.size() != 1 || grid.reopt_budgets.size() != 1) {
     throw std::invalid_argument(
         "ToPolicyTrials needs a single-configuration grid (policy axis "
         "excepted)");

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -76,6 +77,13 @@ struct TaskResult {
   // Per-user throughput samples accumulated within the task (merged into
   // the group accumulator in task-index order).
   util::Accumulator user_throughput;
+  // Frontier columns (dynamic tasks only; all 0 on the static path).
+  // aggregate_mbps/jain_fairness hold the per-epoch means for dynamic
+  // tasks; user_throughput holds the final epoch's per-user samples.
+  double oracle_mbps = 0.0;  // mean per-epoch frozen-snapshot optimum
+  double regret = 0.0;       // mean relative regret vs that oracle
+  double reassoc_per_user_epoch = 0.0;  // stickiness metric
+  std::uint64_t quarantine_trips = 0;
   double elapsed_us = 0.0;     // informational; thread-count dependent
   // Per-task metrics snapshot (empty unless SweepOptions::collect_metrics).
   obs::MetricsSnapshot metrics;
@@ -89,10 +97,20 @@ struct GroupStats {
   model::PlcSharing sharing = model::PlcSharing::kMaxMinActive;
   PolicyKind policy = PolicyKind::kWolt;
   int num_channels = 0;  // channel-plan axis value (0 = orthogonal)
+  // Dynamic-workload coordinates of the configuration (axis defaults for
+  // static grids).
+  sim::MobilityModel mobility = sim::MobilityModel::kStatic;
+  double churn_rate = 0.0;
+  sim::LoadCurve load = sim::LoadCurve::kConstant;
+  int reopt_budget = 0;
 
   util::Accumulator aggregate_mbps;  // one sample per completed replicate
   util::Accumulator jain;
   util::Accumulator user_throughput;  // all users of all replicates
+  // Frontier statistics (all-zero samples on static configurations).
+  util::Accumulator oracle_mbps;
+  util::Accumulator regret;
+  util::Accumulator reassoc;  // reassociations per user-epoch
 };
 
 struct SweepResult {

@@ -62,17 +62,19 @@ void SweepGrid::SeedRange(std::size_t n) {
 
 bool SweepGrid::Valid() const {
   return !seeds.empty() && !users.empty() && !extenders.empty() &&
-         !sharing.empty() && !num_channels.empty() && !policies.empty();
+         !sharing.empty() && !num_channels.empty() && !policies.empty() &&
+         !mobility.empty() && !churn_rates.empty() && !load_curves.empty() &&
+         !reopt_budgets.empty();
 }
 
 std::size_t SweepGrid::NumTasks() const {
   return seeds.size() * users.size() * extenders.size() * sharing.size() *
-         num_channels.size() * policies.size();
+         num_channels.size() * mobility.size() * churn_rates.size() *
+         load_curves.size() * reopt_budgets.size() * policies.size();
 }
 
 std::size_t SweepGrid::NumConfigs() const {
-  return users.size() * extenders.size() * sharing.size() *
-         num_channels.size() * policies.size();
+  return NumTasks() / seeds.size();
 }
 
 TaskSpec SweepGrid::TaskAt(std::size_t index) const {
@@ -82,14 +84,23 @@ TaskSpec SweepGrid::TaskAt(std::size_t index) const {
   TaskSpec spec;
   spec.index = index;
 
-  // Innermost to outermost: seed, policy, channels, sharing, extenders,
-  // users. Policy stays adjacent to seed so config_index % policies.size()
-  // still recovers the policy ordinal (ToPolicyTrials relies on this).
+  // Innermost to outermost: seed, policy, budget, load, churn, mobility,
+  // channels, sharing, extenders, users. Policy stays adjacent to seed so
+  // config_index % policies.size() still recovers the policy ordinal
+  // (ToPolicyTrials relies on this).
   std::size_t rest = index;
   spec.seed_ordinal = rest % seeds.size();
   rest /= seeds.size();
   const std::size_t policy_idx = rest % policies.size();
   rest /= policies.size();
+  const std::size_t budget_idx = rest % reopt_budgets.size();
+  rest /= reopt_budgets.size();
+  const std::size_t load_idx = rest % load_curves.size();
+  rest /= load_curves.size();
+  const std::size_t churn_idx = rest % churn_rates.size();
+  rest /= churn_rates.size();
+  const std::size_t mobility_idx = rest % mobility.size();
+  rest /= mobility.size();
   const std::size_t chan_idx = rest % num_channels.size();
   rest /= num_channels.size();
   const std::size_t sharing_idx = rest % sharing.size();
@@ -100,6 +111,10 @@ TaskSpec SweepGrid::TaskAt(std::size_t index) const {
 
   spec.seed = seeds[spec.seed_ordinal];
   spec.policy = policies[policy_idx];
+  spec.reopt_budget = reopt_budgets[budget_idx];
+  spec.load = load_curves[load_idx];
+  spec.churn_rate = churn_rates[churn_idx];
+  spec.mobility = mobility[mobility_idx];
   spec.num_channels = num_channels[chan_idx];
   spec.sharing = sharing[sharing_idx];
   spec.num_extenders = extenders[ext_idx];
@@ -134,6 +149,49 @@ std::uint64_t Fingerprint(const SweepGrid& grid) {
   mix_d(grid.carrier_sense_range_m);
   mix(grid.policies.size());
   for (PolicyKind p : grid.policies) mix(static_cast<std::uint64_t>(p));
+
+  mix(grid.mobility.size());
+  for (sim::MobilityModel m : grid.mobility) {
+    mix(static_cast<std::uint64_t>(m));
+  }
+  mix(grid.churn_rates.size());
+  for (double c : grid.churn_rates) mix_d(c);
+  mix(grid.load_curves.size());
+  for (sim::LoadCurve l : grid.load_curves) {
+    mix(static_cast<std::uint64_t>(l));
+  }
+  mix(grid.reopt_budgets.size());
+  for (int u : grid.reopt_budgets) mix(static_cast<std::uint64_t>(u));
+
+  const sim::WorkloadParams& w = grid.workload;
+  mix_d(w.horizon);
+  mix_d(w.arrival_rate);
+  mix_d(w.mean_session);
+  mix(w.initial_users);
+  mix(static_cast<std::uint64_t>(w.mobility.model));
+  mix_d(w.mobility.speed_min);
+  mix_d(w.mobility.speed_max);
+  mix_d(w.mobility.pause);
+  mix(static_cast<std::uint64_t>(w.mobility.num_hotspots));
+  mix_d(w.mobility.hotspot_sigma_m);
+  mix_d(w.mobility.hotspot_bias);
+  mix_d(w.move_tick);
+  mix(static_cast<std::uint64_t>(w.load));
+  mix_d(w.base_demand_mbps);
+  mix_d(w.load_period);
+  mix_d(w.load_floor);
+  mix_d(w.burst_rate);
+  mix_d(w.burst_high);
+  mix_d(w.burst_low);
+  mix_d(w.background_share);
+  mix_d(w.background_flip_rate);
+  mix_d(grid.frontier_epoch_length);
+  mix(static_cast<std::uint64_t>(grid.frontier_epochs));
+  mix(grid.frontier_oracle ? 1u : 0u);
+  mix(grid.frontier_oracle_bf_max_users);
+  mix(static_cast<std::uint64_t>(grid.frontier_quarantine.flap_threshold));
+  mix_d(grid.frontier_quarantine.window);
+  mix_d(grid.frontier_quarantine.hold);
 
   const sim::ScenarioParams& b = grid.base;
   mix_d(b.width_m);

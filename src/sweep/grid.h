@@ -4,9 +4,10 @@
 // task index space that the engine's thread pool chunks over.
 //
 // Axis order (outermost to innermost): users, extenders, sharing, channels,
-// policy, seed. The seed axis is innermost so each configuration's
-// replicates are contiguous, and a task's *scenario* coordinates (users,
-// extenders, seed) — but not its policy, sharing mode or channel count —
+// mobility, churn, load, budget, policy, seed. The seed axis is innermost
+// so each configuration's replicates are contiguous, and a task's
+// *scenario* coordinates (users, extenders, seed) — but not its policy,
+// sharing mode, channel count or dynamic coordinates —
 // determine the topology RNG stream: every algorithm axis value sees the
 // identical network for a given replicate, which keeps paired comparisons
 // (win counts, per-user deltas) meaningful, exactly as the sequential
@@ -17,15 +18,26 @@
 // pre-existing behaviour), k > 0 = only k orthogonal channels exist, a plan
 // is computed per task and the score is taken under the overlap model
 // (EvalOptions::wifi_channel). See src/assign/joint.h.
+//
+// Dynamic-workload axes (mobility, churn_rates, load_curves, reopt_budgets)
+// select the trace-driven frontier path per task: any non-default value
+// makes the task generate a WorkloadTrace (sim/workload.h) over the shared
+// topology and replay it through a CentralController via
+// sim::RunTraceFrontier, scoring mean achieved throughput, per-epoch-oracle
+// regret and the reassociation (stickiness) rate. The all-default axes
+// ({kStatic}, {0}, {kConstant}, {0}) preserve pre-existing static grids
+// bit-for-bit.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "core/controller.h"
 #include "core/policy.h"
 #include "model/evaluator.h"
 #include "sim/scenario.h"
+#include "sim/workload.h"
 
 namespace wolt::sweep {
 
@@ -58,10 +70,24 @@ struct TaskSpec {
   model::PlcSharing sharing = model::PlcSharing::kMaxMinActive;
   PolicyKind policy = PolicyKind::kWolt;
   int num_channels = 0;  // 0 = orthogonal assumption (no plan)
+  // Dynamic-workload coordinates (defaults = the static path).
+  sim::MobilityModel mobility = sim::MobilityModel::kStatic;
+  double churn_rate = 0.0;  // trace arrival rate (users per time unit)
+  sim::LoadCurve load = sim::LoadCurve::kConstant;
+  // Reoptimization budget in ladder units (core::TierForBudgetUnits);
+  // 0 = unbudgeted (kFull).
+  int reopt_budget = 0;
   // Ordinal over (users, extenders, seed) only — the topology stream index
   // shared by every policy/sharing/channels combination of the same
   // replicate.
   std::size_t scenario_ordinal = 0;
+
+  // True when any dynamic axis left its default: the task runs the
+  // trace-driven frontier instead of the one-shot static solve.
+  bool IsDynamic() const {
+    return mobility != sim::MobilityModel::kStatic || churn_rate > 0.0 ||
+           load != sim::LoadCurve::kConstant || reopt_budget != 0;
+  }
 };
 
 struct SweepGrid {
@@ -81,6 +107,25 @@ struct SweepGrid {
   std::vector<PolicyKind> policies;
   // Co-channel contention radius shared by every num_channels > 0 task.
   double carrier_sense_range_m = 60.0;
+
+  // Dynamic-workload axes. The defaults are the identity point: a grid
+  // that leaves all four untouched decodes and runs exactly as before.
+  std::vector<sim::MobilityModel> mobility{sim::MobilityModel::kStatic};
+  std::vector<double> churn_rates{0.0};  // trace arrival rate per time unit
+  std::vector<sim::LoadCurve> load_curves{sim::LoadCurve::kConstant};
+  std::vector<int> reopt_budgets{0};  // ladder units; 0 = kFull
+
+  // Shared workload knobs for dynamic tasks. Per task, `arrival_rate`,
+  // `mobility.model`, `load` and `initial_users` are overridden by the axis
+  // values (initial_users from the users axis); `horizon` is derived from
+  // the frontier epochs. Everything else (speeds, session length, demand
+  // curve shape, background traffic) comes from here.
+  sim::WorkloadParams workload;
+  double frontier_epoch_length = 12.0;
+  int frontier_epochs = 3;
+  bool frontier_oracle = true;  // per-epoch oracle + regret columns
+  std::size_t frontier_oracle_bf_max_users = 9;
+  core::QuarantineParams frontier_quarantine;  // default: quarantine off
 
   // Geometry / PHY / PLC knobs shared by every grid point; num_users and
   // num_extenders are overridden per task.

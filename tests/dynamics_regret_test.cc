@@ -1,0 +1,208 @@
+// Differential tests for the trace-driven frontier (sim::RunTraceFrontier):
+// on instances small enough for an exact per-epoch oracle, the oracle
+// dominates every policy, WOLT-S dominates the greedy/RSSI baselines under
+// the identical trace, and regret is monotonically non-increasing as the
+// reoptimization budget climbs the ladder tiers (hold-last-good -> greedy
+// -> Hungarian-sticky -> full policy). Everything here is deterministic:
+// one fixed trace is replayed for every comparison.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/greedy.h"
+#include "core/rssi.h"
+#include "core/wolt.h"
+#include "sim/dynamics.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace wolt::sim {
+namespace {
+
+struct Fixture {
+  model::Network base;
+  WorkloadTrace trace;
+  FrontierParams params;
+};
+
+// 5 extenders, <= 9 concurrent users: the relaxed brute-force space
+// (|A|+1)^|U| stays within FrontierParams::oracle_max_combinations, so
+// every epoch's oracle is exact (asserted below).
+Fixture MakeFixture() {
+  ScenarioParams scenario;
+  scenario.num_extenders = 5;
+  scenario.num_users = 0;
+  const ScenarioGenerator generator(scenario);
+  util::Rng topo_rng(17);
+
+  Fixture f{generator.Generate(topo_rng), {}, {}};
+
+  WorkloadParams wp;
+  wp.horizon = 12.0;
+  wp.initial_users = 4;
+  wp.arrival_rate = 0.25;
+  wp.mean_session = 8.0;
+  wp.mobility.model = MobilityModel::kWaypoint;
+  wp.move_tick = 1.0;
+  f.trace = GenerateTrace(generator, f.base, wp, 99);
+
+  f.params.epoch_length = 4.0;
+  f.params.epochs = 3;
+  return f;
+}
+
+core::PolicyPtr WoltSubset() {
+  core::WoltOptions options;
+  options.subset_search = true;
+  return std::make_unique<core::WoltPolicy>(options);
+}
+
+TEST(DynamicsRegretTest, OracleDominatesEveryPolicyOnIdenticalTrace) {
+  const Fixture f = MakeFixture();
+
+  struct Run {
+    std::string name;
+    FrontierResult result;
+  };
+  std::vector<Run> runs;
+  runs.push_back({"WOLT-S", RunTraceFrontier(f.base, f.trace, WoltSubset(),
+                                             f.params)});
+  runs.push_back({"Greedy",
+                  RunTraceFrontier(f.base, f.trace,
+                                   std::make_unique<core::GreedyPolicy>(),
+                                   f.params)});
+  runs.push_back({"RSSI",
+                  RunTraceFrontier(f.base, f.trace,
+                                   std::make_unique<core::RssiPolicy>(),
+                                   f.params)});
+
+  for (const Run& run : runs) {
+    SCOPED_TRACE(run.name);
+    ASSERT_EQ(run.result.epochs.size(), 3u);
+    for (const FrontierEpoch& e : run.result.epochs) {
+      ASSERT_TRUE(e.oracle_exact) << "instance outgrew the exact oracle";
+      // The relaxed brute force searches a superset of anything the
+      // controller can commit, so it dominates epoch by epoch.
+      EXPECT_GE(e.oracle_mbps, e.aggregate_mbps - 1e-9)
+          << "epoch " << e.epoch;
+      EXPECT_GT(e.population, 0u);
+    }
+    EXPECT_GE(run.result.regret, 0.0);
+    EXPECT_LE(run.result.regret, 1.0);
+  }
+
+  // The oracle is policy-independent: identical trace, identical frozen
+  // snapshots at every boundary (IngestScan does not run the policy).
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    for (int e = 0; e < 3; ++e) {
+      EXPECT_DOUBLE_EQ(runs[i].result.epochs[e].oracle_mbps,
+                       runs[0].result.epochs[e].oracle_mbps);
+    }
+  }
+
+  // WOLT-S dominates both baselines on the shared trace.
+  EXPECT_GE(runs[0].result.mean_aggregate_mbps,
+            runs[1].result.mean_aggregate_mbps - 1e-9);
+  EXPECT_GE(runs[0].result.mean_aggregate_mbps,
+            runs[2].result.mean_aggregate_mbps - 1e-9);
+  EXPECT_LE(runs[0].result.regret, runs[1].result.regret + 1e-9);
+  EXPECT_LE(runs[0].result.regret, runs[2].result.regret + 1e-9);
+}
+
+TEST(DynamicsRegretTest, RegretNonIncreasingUpTheBudgetLadder) {
+  const Fixture f = MakeFixture();
+
+  // Ladder units 1..4 map to kHoldLastGood, kGreedy, kHungarianOnly, kFull
+  // (core::TierForBudgetUnits). Richer budgets can only help: the frontier
+  // solves with the cumulative ladder (ReoptimizeUpToTier), whose candidate
+  // set at a larger budget is a superset of the set at any smaller one.
+  std::vector<double> regret;
+  for (int units = 1; units <= 4; ++units) {
+    FrontierParams p = f.params;
+    p.tier = core::TierForBudgetUnits(units);
+    const FrontierResult r =
+        RunTraceFrontier(f.base, f.trace, WoltSubset(), p);
+    regret.push_back(r.regret);
+  }
+  for (std::size_t i = 1; i < regret.size(); ++i) {
+    EXPECT_LE(regret[i], regret[i - 1] + 1e-9)
+        << "regret increased from budget " << i << " to " << i + 1;
+  }
+  // The bottom rung never places arrivals between epochs, so it must be
+  // strictly worse than the full policy on this growing trace.
+  EXPECT_GT(regret.front(), regret.back());
+}
+
+TEST(DynamicsRegretTest, UnbudgetedEqualsFullTier) {
+  const Fixture f = MakeFixture();
+
+  FrontierParams full = f.params;
+  full.tier = core::TierForBudgetUnits(0);  // unbudgeted -> kFull
+  EXPECT_EQ(full.tier, core::ReoptTier::kFull);
+  const FrontierResult a =
+      RunTraceFrontier(f.base, f.trace, WoltSubset(), full);
+
+  FrontierParams four = f.params;
+  four.tier = core::TierForBudgetUnits(4);
+  EXPECT_EQ(four.tier, core::ReoptTier::kFull);
+  const FrontierResult b =
+      RunTraceFrontier(f.base, f.trace, WoltSubset(), four);
+
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.epochs[e].aggregate_mbps, b.epochs[e].aggregate_mbps);
+    EXPECT_EQ(a.epochs[e].reassociations, b.epochs[e].reassociations);
+  }
+  EXPECT_DOUBLE_EQ(a.regret, b.regret);
+}
+
+TEST(DynamicsRegretTest, ReplayIsDeterministic) {
+  const Fixture f = MakeFixture();
+  const FrontierResult a =
+      RunTraceFrontier(f.base, f.trace, WoltSubset(), f.params);
+  const FrontierResult b =
+      RunTraceFrontier(f.base, f.trace, WoltSubset(), f.params);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.epochs[e].aggregate_mbps, b.epochs[e].aggregate_mbps);
+    EXPECT_DOUBLE_EQ(a.epochs[e].oracle_mbps, b.epochs[e].oracle_mbps);
+    EXPECT_EQ(a.epochs[e].reassociations, b.epochs[e].reassociations);
+  }
+  EXPECT_DOUBLE_EQ(a.mean_aggregate_mbps, b.mean_aggregate_mbps);
+  EXPECT_DOUBLE_EQ(a.reassoc_per_user_epoch, b.reassoc_per_user_epoch);
+}
+
+TEST(DynamicsRegretTest, RejectsMismatchedInputs) {
+  const Fixture f = MakeFixture();
+
+  // Users-bearing base network.
+  ScenarioParams with_users;
+  with_users.num_extenders = 5;
+  with_users.num_users = 3;
+  const ScenarioGenerator gen(with_users);
+  util::Rng rng(1);
+  const model::Network populated = gen.Generate(rng);
+  EXPECT_THROW(
+      RunTraceFrontier(populated, f.trace, WoltSubset(), f.params),
+      std::invalid_argument);
+
+  // Extender-count mismatch.
+  ScenarioParams small;
+  small.num_extenders = 3;
+  small.num_users = 0;
+  const ScenarioGenerator gen3(small);
+  util::Rng rng3(2);
+  const model::Network three = gen3.Generate(rng3);
+  EXPECT_THROW(RunTraceFrontier(three, f.trace, WoltSubset(), f.params),
+               std::invalid_argument);
+
+  // Bad epoch parameters.
+  FrontierParams bad = f.params;
+  bad.epochs = 0;
+  EXPECT_THROW(RunTraceFrontier(f.base, f.trace, WoltSubset(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wolt::sim
