@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include "bench_util.h"
+#include "fault/storage.h"
 #include "fleet/runtime.h"
 #include "recover/fleet_journal.h"
 #include "util/codec.h"
@@ -128,6 +130,49 @@ void BM_FleetJournalReplay(benchmark::State& state) {
   fs::remove(path);
 }
 BENCHMARK(BM_FleetJournalReplay)
+    ->ArgName("shards")
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Rot-recovery latency: the same replay when the journal's tail frame is
+// bit-rotted. The reader walks to the damage, classifies it against the
+// per-frame checksum, truncates to the last good frame, and the fleet
+// restores from the surviving snapshot — the degraded-media analog of
+// BM_FleetJournalReplay. Runs against an in-memory disk image (MemVfs) so
+// the numbers isolate frame walking + checksum validation from page-cache
+// luck.
+void BM_FleetJournalRotReplay(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  const std::string path = "fleet_rot.wal";
+  fault::MemVfs mem;
+  fleet::FleetParams p = BenchParams(shards, 6, 8);
+  p.journal_path = path;
+  p.vfs = &mem;
+  {
+    fleet::FleetRuntime fleet(p, 0xBE7CF1EE7ULL);
+    fleet.Run();
+  }
+  const std::optional<std::string> bytes = mem.GetFileBytes(path);
+  if (!bytes || bytes->size() < 8) {
+    state.SkipWithError("journaled run left no journal");
+    return;
+  }
+  mem.FlipBit(path, (bytes->size() - 3) * 8);
+  std::size_t truncated = 0;
+  for (auto _ : state) {
+    const recover::FleetJournalReadResult read =
+        recover::ReadFleetJournal(path, &mem);
+    truncated += read.tail_rot ? 1 : 0;
+    fleet::FleetRuntime fleet(p, 0xBE7CF1EE7ULL);
+    util::ByteCursor cur(read.checkpoint_blob);
+    const bool ok = fleet.RestoreState(&cur);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["rot_truncated"] =
+      static_cast<double>(truncated) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FleetJournalRotReplay)
     ->ArgName("shards")
     ->Arg(64)
     ->Arg(256)

@@ -9,18 +9,33 @@
 // same --shards/--rounds/--seed produce byte-identical reports — even when
 // one of them was SIGKILLed mid-run and resumed with --resume.
 //
+// SIGINT/SIGTERM stop the run cooperatively at the next round boundary
+// (async-signal-safe handler, see bench::CancelOnSignal): the journal is
+// flushed round-aligned, the partial report is written, and the process
+// exits 128+signo — a --resume invocation then completes the run with a
+// byte-identical report.
+//
 // Usage:
 //   bench_fleet_soak [--shards=N] [--rounds=N] [--threads=N] [--seed=N]
 //                    [--journal=PATH] [--resume] [--report=PATH]
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "bench_util.h"
 #include "fleet/runtime.h"
+#include "io/vfs.h"
+#include "util/fileio.h"
+
+namespace {
+
+std::atomic<bool> g_cancel{false};
+
+}  // namespace
 
 namespace {
 
@@ -105,6 +120,8 @@ int main(int argc, char** argv) {
   p.reopt_units_per_round = static_cast<std::size_t>(shards) + 2;
   p.journal_path = journal;
   p.resume = resume;
+  p.cancel = &g_cancel;
+  bench::CancelOnSignal::Install(&g_cancel);
 
   fleet::FleetRuntime fleet(p, seed);
   const fleet::FleetResult result = fleet.Run();
@@ -117,12 +134,20 @@ int main(int argc, char** argv) {
   if (report_path.empty()) {
     std::cout << report;
   } else {
-    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
-    out.write(report.data(), static_cast<std::streamsize>(report.size()));
-    if (!out) {
-      std::cerr << "bench_fleet_soak: cannot write " << report_path << "\n";
-      return 1;
-    }
+    // Atomic (temp + fsync + rename): a crash mid-write can never leave a
+    // half-report where a previous good one stood.
+    const wolt::io::IoStatus st = util::WriteFileAtomic(report_path, report);
+    wolt::io::CountWriteError(st, report_path);
+    if (!st.ok()) return 1;
+  }
+
+  if (result.cancelled) {
+    std::fprintf(stderr,
+                 "bench_fleet_soak: interrupted by signal %d; journal %s "
+                 "flushed — rerun with --resume to finish\n",
+                 bench::CancelOnSignal::SignalNumber(),
+                 journal.empty() ? "(none)" : journal.c_str());
+    return bench::CancelOnSignal::ExitCode();
   }
 
   std::cerr << "fleet: " << shards << " shards x " << rounds << " rounds, "

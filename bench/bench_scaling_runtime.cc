@@ -5,7 +5,9 @@
 // throughput evaluator, and the Phase-II move-evaluation loop in isolation.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "assign/hungarian.h"
@@ -14,6 +16,7 @@
 #include "core/greedy.h"
 #include "core/rssi.h"
 #include "core/wolt.h"
+#include "fault/storage.h"
 #include "model/evaluator.h"
 #include "model/incremental.h"
 #include "obs/metrics.h"
@@ -302,6 +305,60 @@ BENCHMARK(BM_SweepThroughput)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The same grid with crash-safe journaling on, routed through the io::Vfs
+// seam. vfs:0 journals to a real temp file (RealVfs, batched fsync policy)
+// and records what journaling actually costs with the disk in the loop.
+// vfs:1 journals to an in-memory disk (fault::MemVfs): journal encoding +
+// seam dispatch without disk latency. vfs:2 wraps that same in-memory disk
+// in a zero-probability FaultVfs — identical journal work plus ONE extra
+// Vfs layer, so the vfs:2 / vfs:1 ratio isolates exactly what a Vfs
+// indirection costs the sweep; ci.sh gates it at <= 1% (if a whole extra
+// layer is free, the seam the production path pays for is too).
+void BM_SweepThroughputJournal(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  sweep::SweepGrid grid;
+  grid.master_seed = 2020;
+  grid.SeedRange(24);
+  grid.users = {36};
+  grid.extenders = {15};
+  grid.sharing = {model::PlcSharing::kMaxMinActive};
+  grid.policies = {sweep::PolicyKind::kWolt, sweep::PolicyKind::kGreedy,
+                   sweep::PolicyKind::kRssi};
+  const int vfs_mode = static_cast<int>(state.range(1));
+  const std::string path =
+      vfs_mode != 0
+          ? std::string("sweep_bench.wal")
+          : (fs::temp_directory_path() / "wolt_bench_sweep_journal.wal")
+                .string();
+  fault::MemVfs mem;
+  fault::FaultVfs layered(mem, fault::StorageFaultParams{}, /*seed=*/0);
+  sweep::SweepOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  options.journal_path = path;
+  options.vfs = vfs_mode == 0 ? nullptr
+                              : (vfs_mode == 1 ? static_cast<io::Vfs*>(&mem)
+                                               : &layered);
+  double aggregate = 0.0;
+  for (auto _ : state) {
+    sweep::SweepEngine engine(options);
+    const sweep::SweepResult result = engine.Run(grid);
+    aggregate = result.groups[0].aggregate_mbps.Mean();
+    benchmark::DoNotOptimize(aggregate);
+  }
+  if (vfs_mode == 0) fs::remove(path);
+  state.counters["tasks"] = static_cast<double>(grid.NumTasks());
+  state.counters["mean_aggregate_mbps"] = aggregate;
+}
+BENCHMARK(BM_SweepThroughputJournal)
+    ->ArgNames({"threads", "vfs"})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 2})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -4,11 +4,14 @@
 // optionally dumps raw series as CSV next to the binary.
 #pragma once
 
+#include <signal.h>
+
 #include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <string>
@@ -109,7 +112,8 @@ class ObsSession {
     if (!metrics_path_.empty()) {
       obs::MetricsSnapshot snap = registry_.Snapshot();
       snap.Merge(extra_);
-      util::WriteFileAtomic(metrics_path_, snap.Json());
+      wolt::io::CountWriteError(util::WriteFileAtomic(metrics_path_, snap.Json()),
+                                metrics_path_);
       std::printf("\nmetrics -> %s\n%s", metrics_path_.c_str(),
                   snap.TableString().c_str());
     }
@@ -172,41 +176,48 @@ class CancelOnSignal {
   // atomic store (e.g. SweepEngine::Cancel through a file-scope pointer)
   // qualifies. Re-installation replaces both. Capturing lambdas do not
   // convert to the hook type by design: captures would not be signal-safe.
+  //
+  // The handler itself is async-signal-safe by construction: one
+  // sig_atomic_t store, one lock-free atomic store, one indirect call —
+  // no stdio, no allocation, no locks, no function-local static guards.
+  // Installed via sigaction (defined behavior in multithreaded programs,
+  // unlike std::signal) with SA_RESTART so slow syscalls on other threads
+  // resume instead of surfacing spurious EINTR.
   static void Install(std::atomic<bool>* cancel, void (*hook)() = nullptr) {
-    Token() = cancel;
-    Hook() = hook;
-    std::signal(SIGINT, &CancelOnSignal::Handle);
-    std::signal(SIGTERM, &CancelOnSignal::Handle);
+    // Written before the handler is registered, read-only afterwards — the
+    // handler can never observe a half-installed state.
+    token_ = cancel;
+    hook_ = hook;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = &CancelOnSignal::Handle;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
   }
 
-  static bool Raised() {
-    return Signo().load(std::memory_order_relaxed) != 0;
-  }
-  static int SignalNumber() {
-    return Signo().load(std::memory_order_relaxed);
-  }
+  static bool Raised() { return signo_ != 0; }
+  static int SignalNumber() { return static_cast<int>(signo_); }
   static int ExitCode() { return 128 + SignalNumber(); }
 
  private:
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "the cancel token store must be async-signal-safe");
+
   static void Handle(int sig) {
-    Signo().store(sig, std::memory_order_relaxed);
-    if (std::atomic<bool>* c = Token()) {
+    signo_ = sig;
+    if (std::atomic<bool>* c = token_) {
       c->store(true, std::memory_order_relaxed);
     }
-    if (void (*h)() = Hook()) h();
+    if (void (*h)() = hook_) h();
   }
-  static std::atomic<int>& Signo() {
-    static std::atomic<int> signo{0};
-    return signo;
-  }
-  static std::atomic<bool>*& Token() {
-    static std::atomic<bool>* token = nullptr;
-    return token;
-  }
-  static auto Hook() -> void (*&)() {
-    static void (*hook)() = nullptr;
-    return hook;
-  }
+
+  // The flag the run loop polls. volatile sig_atomic_t: the only type the
+  // language guarantees a handler may write while interrupted code reads.
+  static inline volatile std::sig_atomic_t signo_ = 0;
+  static inline std::atomic<bool>* token_ = nullptr;
+  static inline void (*hook_)() = nullptr;
 };
 
 inline void PrintHeader(const std::string& artefact,

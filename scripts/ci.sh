@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 build + tests, the full suite under ASan/UBSan, the full
 # suite under TSan (the sweep engine's thread pool races would be invisible
-# to ASan), a parallel-determinism smoke (a 4-thread sweep must emit byte-
-# identical CSV to a 1-thread sweep), and a chaos smoke. Run from anywhere;
-# everything happens at the repo root.
+# to ASan), storage-fault smokes (exhaustive crash-point harness in the
+# default and ASan builds, randomized crash points under TSan), a parallel-
+# determinism smoke (a 4-thread sweep must emit byte-identical CSV to a
+# 1-thread sweep), a chaos smoke, and two perf gates (obs hooks <= 5%, Vfs
+# storage seam <= 1%). Run from anywhere; everything happens at the repo
+# root.
 #
 #   scripts/ci.sh               the full gate above
 #   scripts/ci.sh --coverage    observability coverage gate instead: gcov
@@ -97,6 +100,15 @@ cmake --build build -j"$(nproc)"
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure
 
+echo "==> storage-fault smoke: exhaustive crash-point harness (default build)"
+# Every I/O op index in a journaled 64-task sweep and a 16-shard fleet run
+# gets a simulated power cut (in-process, MemVfs disk) followed by a resume
+# that must reproduce the uninterrupted run byte-for-byte, at 1 and 4
+# threads; a second exhaustive pass injects ENOSPC at every op and requires
+# graceful journal degradation with unchanged results.
+./build/tests/storage_crash_test \
+    --gtest_filter='StorageCrashSweep.*:StorageCrashFleet.*'
+
 echo "==> sanitize: configure + build (build-asan/, ASan+UBSan)"
 cmake --preset sanitize >/dev/null
 cmake --build build-asan -j"$(nproc)"
@@ -104,6 +116,13 @@ cmake --build build-asan -j"$(nproc)"
 echo "==> sanitize: ctest (includes the 100-seed chaos soak and the"
 echo "    200-seed x 3-sharing-mode joint differential suite)"
 ctest --test-dir build-asan --output-on-failure
+
+echo "==> storage-fault smoke: crash-point pass under ASan (strided)"
+# The harness strides its op grid under sanitizers; this still power-cuts
+# both the sweep and the fleet at dozens of distinct I/O ops with ASan
+# watching the resume path.
+./build-asan/tests/storage_crash_test \
+    --gtest_filter='StorageCrashSweep.PowerCut*:StorageCrashFleet.PowerCut*'
 
 echo "==> tsan: configure + build (build-tsan/, ThreadSanitizer)"
 cmake --preset tsan >/dev/null
@@ -118,6 +137,13 @@ echo "==> tsan: ctest (full suite under TSan)"
 # run their parallel shard phase and the Shutdown-vs-submit race under TSan,
 # at reduced shard/seed counts).
 ctest --test-dir build-tsan --output-on-failure
+
+echo "==> storage-fault smoke: 20-seed randomized crash points under TSan"
+# Random (seeded) crash points across 1/2/4-thread sweep and fleet runs:
+# the crash lands wherever the schedule put the I/O, so TSan sees the
+# journal append path race against worker threads in many interleavings.
+./build-tsan/tests/storage_crash_test \
+    --gtest_filter='StorageCrashRandomized.TwentyRandomCrashPoints'
 
 echo "==> tsan: 20-seed trace-determinism pass (workload generator)"
 # Byte-identical trace regeneration per seed, run under TSan like the sweep
@@ -228,6 +254,41 @@ done
 rm -f /tmp/wolt_obs_smoke.json
 if [[ "${perf_smoke_ok}" -ne 1 ]]; then
   echo "error: observability overhead exceeded 5% on all attempts" >&2
+  exit 1
+fi
+
+echo "==> perf smoke: Vfs seam dispatch (<= 1% on the journaled sweep)"
+# BM_SweepThroughputJournal journals the BM_SweepThroughput grid through
+# the io::Vfs seam. vfs:1 writes to an in-memory disk; vfs:2 wraps that
+# same disk in a zero-probability FaultVfs — identical journal work plus
+# ONE extra Vfs layer, so the vfs:2/vfs:1 ratio is exactly the cost of a
+# Vfs indirection with encoding and disk latency factored out. A 1% budget
+# sits inside shared-host noise, so: interleaved repetitions, min-of-5
+# cpu_time floors, and the gate fails only if all five attempts regress.
+seam_smoke_ok=0
+for attempt in 1 2 3 4 5; do
+  ./build/bench/bench_scaling_runtime \
+      --benchmark_filter='^BM_SweepThroughputJournal/threads:1/vfs:[12]' \
+      --benchmark_enable_random_interleaving=true \
+      --benchmark_min_time=0.3 \
+      --benchmark_repetitions=5 \
+      --benchmark_format=json >/tmp/wolt_seam_smoke.json 2>/dev/null
+  t_base="$(jq -r '[.benchmarks[] | select(.run_type == "iteration" and (.name | contains("/vfs:1/"))) | .cpu_time] | min' /tmp/wolt_seam_smoke.json)"
+  t_layered="$(jq -r '[.benchmarks[] | select(.run_type == "iteration" and (.name | contains("/vfs:2/"))) | .cpu_time] | min' /tmp/wolt_seam_smoke.json)"
+  if [[ "${t_base}" == "null" || "${t_layered}" == "null" ]]; then
+    echo "error: seam-overhead pair missing from benchmark output" >&2
+    exit 1
+  fi
+  if awk -v layered="${t_layered}" -v base="${t_base}" 'BEGIN { exit !(layered <= base * 1.01) }'; then
+    echo "    attempt ${attempt}: layered/base = ${t_layered}/${t_base} — within 1%"
+    seam_smoke_ok=1
+    break
+  fi
+  echo "    attempt ${attempt}: layered/base = ${t_layered}/${t_base} — over 1%, retrying"
+done
+rm -f /tmp/wolt_seam_smoke.json
+if [[ "${seam_smoke_ok}" -ne 1 ]]; then
+  echo "error: Vfs seam overhead exceeded 1% on all attempts" >&2
   exit 1
 fi
 

@@ -243,37 +243,50 @@ FleetResult FleetRuntime::Run() {
   if (!params_.journal_path.empty()) {
     recover::FleetJournalWriter::Options jopts;
     jopts.after_append = params_.after_journal_append;
+    jopts.vfs = params_.vfs;
+    jopts.sync_every_append = params_.journal_sync_every_append;
+    bool resumed = false;
     if (params_.resume) {
       recover::FleetJournalReadResult existing =
-          recover::ReadFleetJournal(params_.journal_path);
-      if (!existing.ok) {
-        result.error = existing.error;
-        return result;
-      }
-      if (existing.header.fingerprint != fingerprint_ ||
-          existing.header.num_shards != params_.num_shards ||
-          existing.header.rounds != params_.rounds) {
+          recover::ReadFleetJournal(params_.journal_path, params_.vfs);
+      if (existing.ok && (existing.header.fingerprint != fingerprint_ ||
+                          existing.header.num_shards != params_.num_shards ||
+                          existing.header.rounds != params_.rounds)) {
+        // A *valid* journal from another configuration is caller error —
+        // resuming over it would destroy good data.
         result.error =
             "fleet journal was written under a different configuration "
             "(fingerprint mismatch): " +
             params_.journal_path;
         return result;
       }
-      if (existing.has_checkpoint) {
-        util::ByteCursor cur(existing.checkpoint_blob);
-        if (!RestoreState(&cur) || !cur.AtEnd()) {
-          result.error =
-              "fleet journal snapshot is corrupt: " + params_.journal_path;
-          return result;
+      if (existing.ok) {
+        if (existing.has_checkpoint) {
+          util::ByteCursor cur(existing.checkpoint_blob);
+          if (!RestoreState(&cur) || !cur.AtEnd()) {
+            result.error =
+                "fleet journal snapshot is corrupt: " + params_.journal_path;
+            return result;
+          }
+          start_round = existing.checkpoint_round + 1;
+          result.resumed_rounds = start_round;
+          result.shard_records = std::move(existing.shard_records);
+          result.fleet_records = std::move(existing.fleet_records);
         }
-        start_round = existing.checkpoint_round + 1;
-        result.resumed_rounds = start_round;
-        result.shard_records = std::move(existing.shard_records);
-        result.fleet_records = std::move(existing.fleet_records);
+        journal = std::make_unique<recover::FleetJournalWriter>(
+            params_.journal_path, existing, jopts);
+        resumed = true;
+      } else {
+        // Unreadable/headerless journal (e.g. the crash landed before the
+        // header was durable): nothing to restore, restart fresh. The run
+        // must not die because its checkpoint did.
+        std::fprintf(stderr,
+                     "wolt: fleet journal %s unreadable (%s); restarting "
+                     "the run fresh\n",
+                     params_.journal_path.c_str(), existing.error.c_str());
       }
-      journal = std::make_unique<recover::FleetJournalWriter>(
-          params_.journal_path, existing, jopts);
-    } else {
+    }
+    if (!resumed) {
       recover::FleetJournalHeader header;
       header.fingerprint = fingerprint_;
       header.num_shards = params_.num_shards;
@@ -281,19 +294,25 @@ FleetResult FleetRuntime::Run() {
       journal = std::make_unique<recover::FleetJournalWriter>(
           params_.journal_path, header, jopts);
     }
-    if (!journal->ok()) {
-      result.error = "cannot open fleet journal: " + params_.journal_path;
-      return result;
-    }
+    // A journal that failed to open has already degraded itself (one loud
+    // warning + counters); the run continues unjournaled.
   }
 
   {
     util::ThreadPool pool(params_.threads);
     for (std::uint64_t round = start_round; round < params_.rounds; ++round) {
+      if (params_.cancel != nullptr &&
+          params_.cancel->load(std::memory_order_relaxed)) {
+        result.cancelled = true;
+        break;  // round boundary: the journal is snapshot-aligned
+      }
       RunRound(round, pool, journal.get(), &result);
     }
   }
-  if (journal) journal->Close();
+  if (journal) {
+    journal->Close();
+    result.journal_degraded = journal->degraded();
+  }
 
   result.queue = queue_->stats();
   result.restarts = supervisor_->TotalRestarts();

@@ -31,6 +31,7 @@
 // reserved for the latency bench, which is exempt from byte-compares.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -83,13 +84,27 @@ struct FleetParams {
   double reopt_wall_budget_seconds = 0.0;
 
   // Crash-safe journal; empty = no journal. `resume` replays the journal's
-  // last snapshot and continues. `snapshot_every` is in rounds (the final
-  // round always snapshots).
+  // last snapshot and continues; an unreadable journal restarts the run
+  // fresh (with a stderr warning) rather than failing it — only a *valid*
+  // journal from a different configuration is refused. `snapshot_every` is
+  // in rounds (the final round always snapshots).
   std::string journal_path;
   bool resume = false;
   std::uint64_t snapshot_every = 1;
   // Forwarded to the journal writer (crash-harness hook).
   std::function<void(std::size_t)> after_journal_append;
+  // Storage backend for the journal; nullptr = the real filesystem. Not
+  // part of the fingerprint (plumbing, not configuration).
+  io::Vfs* vfs = nullptr;
+  // fsync the journal after every append (see JournalWriter::Options).
+  bool journal_sync_every_append = false;
+
+  // Cooperative cancellation: polled between rounds (never mid-round, so
+  // the journal stays round-aligned). A set token stops the loop after the
+  // current round; the journal is snapshotted, flushed and closed, and the
+  // result has cancelled=true — resumable like any crash. Not part of the
+  // fingerprint. The soak bench flips this from its SIGINT handler.
+  std::atomic<bool>* cancel = nullptr;
 };
 
 // Configuration identity: resuming a journal written under any other
@@ -99,6 +114,12 @@ std::uint64_t Fingerprint(const FleetParams& params, std::uint64_t seed);
 struct FleetResult {
   bool completed = false;
   std::string error;
+  // FleetParams::cancel was observed set; the run stopped early at a round
+  // boundary with the journal flushed (resume picks up from there).
+  bool cancelled = false;
+  // The journal writer hit an I/O failure and disabled itself mid-run; the
+  // results are complete but the journal is not resumable past that point.
+  bool journal_degraded = false;
 
   std::vector<recover::ShardRoundRecord> shard_records;
   std::vector<recover::FleetRoundRecord> fleet_records;

@@ -1,0 +1,201 @@
+#include "io/vfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/obs.h"
+
+namespace wolt::io {
+
+IoStatus IoStatus::Fail(const char* op, int err) {
+  IoStatus st;
+  st.op = op;
+  st.err = err == 0 ? EIO : err;  // a failure must carry a cause
+  return st;
+}
+
+std::string IoStatus::Message() const {
+  if (ok()) return "ok";
+  return std::string(op) + " failed: " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// RealVfs
+
+int RealVfs::OpenWrite(const std::string& path, OpenMode mode,
+                       IoStatus* status) {
+  const int flags = O_WRONLY | O_CREAT |
+                    (mode == OpenMode::kTruncate ? O_TRUNC : O_APPEND);
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    *status = IoStatus::Fail("open", errno);
+    return -1;
+  }
+  *status = IoStatus::Ok();
+  return fd;
+}
+
+long RealVfs::Write(int handle, const char* data, std::size_t size,
+                    IoStatus* status) {
+  const ssize_t n = ::write(handle, data, size);
+  if (n < 0) {
+    *status = IoStatus::Fail("write", errno);
+    return -1;
+  }
+  *status = IoStatus::Ok();
+  return static_cast<long>(n);
+}
+
+IoStatus RealVfs::Fsync(int handle) {
+  if (::fsync(handle) != 0) return IoStatus::Fail("fsync", errno);
+  return IoStatus::Ok();
+}
+
+IoStatus RealVfs::Close(int handle) {
+  // close(2) is deliberately NOT retried on EINTR: on Linux the descriptor
+  // is released regardless, and a retry could close a recycled fd owned by
+  // another thread. A failing close still reports the deferred write error.
+  if (::close(handle) != 0) return IoStatus::Fail("close", errno);
+  return IoStatus::Ok();
+}
+
+IoStatus RealVfs::Rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return IoStatus::Fail("rename", errno);
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus RealVfs::Truncate(const std::string& path, std::uint64_t size) {
+  int rc;
+  do {
+    rc = ::truncate(path.c_str(), static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return IoStatus::Fail("truncate", errno);
+  return IoStatus::Ok();
+}
+
+IoStatus RealVfs::Remove(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) return IoStatus::Fail("remove", errno);
+  return IoStatus::Ok();
+}
+
+IoStatus RealVfs::SyncDir(const std::string& dir) {
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return IoStatus::Fail("opendir", errno);
+  IoStatus st = IoStatus::Ok();
+  if (::fsync(fd) != 0) st = IoStatus::Fail("fsyncdir", errno);
+  ::close(fd);
+  return st;
+}
+
+IoStatus RealVfs::ReadFileBytes(const std::string& path, std::string* out) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return IoStatus::Fail("open", errno);
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return IoStatus::Fail("read", err);
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  *out = std::move(bytes);
+  return IoStatus::Ok();
+}
+
+Vfs& DefaultVfs() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+IoStatus WriteAll(Vfs& vfs, int handle, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    IoStatus st;
+    const long n = vfs.Write(handle, data.data() + off, data.size() - off,
+                             &st);
+    if (n < 0) {
+      if (st.err == EINTR) {
+        if (obs::MetricsScope* s = obs::CurrentScope()) {
+          s->io.retries_eintr.Add(1);
+        }
+        continue;
+      }
+      return st;
+    }
+    if (static_cast<std::size_t>(n) < data.size() - off) {
+      if (obs::MetricsScope* s = obs::CurrentScope()) {
+        s->io.short_writes.Add(1);
+      }
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus FsyncRetry(Vfs& vfs, int handle) {
+  for (;;) {
+    const IoStatus st = vfs.Fsync(handle);
+    if (st.ok() || st.err != EINTR) return st;
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->io.retries_eintr.Add(1);
+    }
+  }
+}
+
+std::string DirOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void CountWriteError(const IoStatus& status, const std::string& what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "wolt: io error writing %s: %s\n", what.c_str(),
+               status.Message().c_str());
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->io.write_errors.Add(1);
+    switch (status.err) {
+      case ENOSPC:
+#ifdef EDQUOT
+      case EDQUOT:
+#endif
+        s->io.write_errors_enospc.Add(1);
+        break;
+      case EIO:
+        s->io.write_errors_eio.Add(1);
+        break;
+      default:
+        s->io.write_errors_other.Add(1);
+        break;
+    }
+  }
+}
+
+}  // namespace wolt::io

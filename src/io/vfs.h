@@ -1,0 +1,122 @@
+// Storage seam: every byte this repository persists (journals, atomic
+// report writes, CSV dumps, trace files) goes through a wolt::io::Vfs, so
+// the storage layer can be swapped wholesale — for the real POSIX
+// filesystem in production, for fault::FaultVfs in the storage fault plane,
+// or for fault::MemVfs in the crash-consistency harness that simulates a
+// power cut at every single I/O operation (tests/storage_crash_test.cc).
+//
+// Design rules:
+//  * RealVfs is a thin shim over the raw syscalls — one virtual call per
+//    operation on paths that already pay a syscall, zero cost on paths
+//    that do not persist anything (no Vfs object is even touched unless a
+//    file is being written).
+//  * Vfs::Write may be SHORT (like write(2)) and may fail with EINTR; the
+//    shared retry loop lives in WriteAll so every writer in the tree gets
+//    identical durability behaviour and the fault plane can exercise the
+//    retry path.
+//  * Every operation reports a typed, errno-carrying IoStatus instead of a
+//    bare bool, so callers can tell ENOSPC (disk full: keep the old file,
+//    degrade loudly) from EIO (medium error: same, but worth paging about).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wolt::io {
+
+// Errno-carrying result of a storage operation. `op` names the failing
+// primitive ("open", "write", "fsync", "close", "rename", ...) with static
+// storage duration, so IoStatus is cheap to copy and never allocates on the
+// success path.
+struct IoStatus {
+  int err = 0;            // 0 = success, otherwise an errno value
+  const char* op = "";    // failing primitive; "" on success
+
+  bool ok() const { return err == 0; }
+  explicit operator bool() const { return ok(); }
+
+  // "write failed: No space left on device (errno 28)" — for logs.
+  std::string Message() const;
+
+  static IoStatus Ok() { return IoStatus{}; }
+  static IoStatus Fail(const char* op, int err);
+};
+
+// Abstract storage backend. Write handles are small non-negative integers
+// scoped to one Vfs instance (RealVfs hands back raw fds; MemVfs invents
+// its own). All implementations must be safe for concurrent use from
+// multiple threads on distinct handles; callers serialize per-handle access
+// themselves (the journals hold a mutex across append sequences).
+class Vfs {
+ public:
+  enum class OpenMode {
+    kTruncate,  // create or truncate-to-empty
+    kAppend,    // create if missing, position at end
+  };
+
+  virtual ~Vfs() = default;
+
+  // Returns a handle >= 0, or -1 with *status filled in.
+  virtual int OpenWrite(const std::string& path, OpenMode mode,
+                        IoStatus* status) = 0;
+  // Returns bytes written (possibly short, like write(2)) or -1 on error.
+  virtual long Write(int handle, const char* data, std::size_t size,
+                     IoStatus* status) = 0;
+  virtual IoStatus Fsync(int handle) = 0;
+  virtual IoStatus Close(int handle) = 0;
+  virtual IoStatus Rename(const std::string& from, const std::string& to) = 0;
+  virtual IoStatus Truncate(const std::string& path, std::uint64_t size) = 0;
+  virtual IoStatus Remove(const std::string& path) = 0;
+  // Durability barrier on the directory entry metadata (the rename itself).
+  // Best-effort on filesystems that refuse directory fsync; callers treat
+  // failure as non-fatal by convention.
+  virtual IoStatus SyncDir(const std::string& dir) = 0;
+  // Whole-file read (journal replay). `out` is replaced on success.
+  virtual IoStatus ReadFileBytes(const std::string& path, std::string* out) = 0;
+};
+
+// POSIX-backed implementation. Stateless; one process-wide instance is
+// enough (see DefaultVfs).
+class RealVfs : public Vfs {
+ public:
+  int OpenWrite(const std::string& path, OpenMode mode,
+                IoStatus* status) override;
+  long Write(int handle, const char* data, std::size_t size,
+             IoStatus* status) override;
+  IoStatus Fsync(int handle) override;
+  IoStatus Close(int handle) override;
+  IoStatus Rename(const std::string& from, const std::string& to) override;
+  IoStatus Truncate(const std::string& path, std::uint64_t size) override;
+  IoStatus Remove(const std::string& path) override;
+  IoStatus SyncDir(const std::string& dir) override;
+  IoStatus ReadFileBytes(const std::string& path, std::string* out) override;
+};
+
+// The process-wide RealVfs. Callers that accept an optional `Vfs*` treat
+// nullptr as this instance, so production call sites never name a Vfs.
+Vfs& DefaultVfs();
+inline Vfs& OrDefault(Vfs* vfs) { return vfs != nullptr ? *vfs : DefaultVfs(); }
+
+// Writes all of `data`, retrying short writes and EINTR (both real — a
+// signal landing mid-write — and injected by the fault plane). Retries are
+// counted on the io.retries.eintr / io.short_writes obs counters when a
+// metrics scope is installed. Returns the first hard failure.
+IoStatus WriteAll(Vfs& vfs, int handle, std::string_view data);
+
+// Fsync with EINTR retry (fsync, unlike close, is safe to retry).
+IoStatus FsyncRetry(Vfs& vfs, int handle);
+
+// Directory of `path` for the post-rename directory sync ("." when the
+// path has no slash).
+std::string DirOf(const std::string& path);
+
+// Audit hook for emitters: logs the failure to stderr (once per distinct
+// call site burst is not attempted — every failure is loud) and bumps
+// io.write_errors plus the errno-classified io.write_errors.{enospc,eio,
+// other} counters when a metrics scope is installed. `what` names the
+// artefact being written (usually the path).
+void CountWriteError(const IoStatus& status, const std::string& what);
+
+}  // namespace wolt::io

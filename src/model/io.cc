@@ -343,7 +343,9 @@ std::optional<Network> LoadNetwork(std::istream& in) {
 }
 
 bool SaveNetworkFile(const Network& net, const std::string& path) {
-  return util::WriteFileAtomic(path, NetworkToString(net));
+  const wolt::io::IoStatus st = util::WriteFileAtomic(path, NetworkToString(net));
+  wolt::io::CountWriteError(st, path);
+  return st.ok();
 }
 
 std::optional<Network> LoadNetworkFile(const std::string& path) {

@@ -106,6 +106,25 @@ SweepCounters::SweepCounters(MetricsRegistry& r)
       phase_generate_us(LatencyHist(r, "sweep.phase.generate_us")),
       phase_solve_us(LatencyHist(r, "sweep.phase.solve_us")) {}
 
+IoCounters::IoCounters(MetricsRegistry& r)
+    : write_errors(r.GetCounter("io.write_errors")),
+      write_errors_enospc(r.GetCounter("io.write_errors.enospc")),
+      write_errors_eio(r.GetCounter("io.write_errors.eio")),
+      write_errors_other(r.GetCounter("io.write_errors.other")),
+      retries_eintr(r.GetCounter("io.retries.eintr")),
+      short_writes(r.GetCounter("io.short_writes")) {}
+
+RecoverCounters::RecoverCounters(MetricsRegistry& r)
+    : journal_io_error(r.GetCounter("recover.journal.io_error")),
+      journal_degraded(r.GetCounter("recover.journal.degraded")),
+      journal_compact_failed(r.GetCounter("recover.journal.compact_failed")),
+      journal_rot_truncated(r.GetCounter("recover.journal.rot_truncated")),
+      journal_torn_tail(r.GetCounter("recover.journal.torn_tail")),
+      fleet_io_error(r.GetCounter("recover.fleet.io_error")),
+      fleet_degraded(r.GetCounter("recover.fleet.degraded")),
+      fleet_rot_truncated(r.GetCounter("recover.fleet.rot_truncated")),
+      fleet_torn_tail(r.GetCounter("recover.fleet.torn_tail")) {}
+
 }  // namespace wolt::obs
 
 #endif  // WOLT_OBS_ENABLED

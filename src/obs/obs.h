@@ -179,11 +179,41 @@ struct SweepCounters {
   Histogram& phase_solve_us;        // timing: associate + evaluate
 };
 
+// io/vfs + util/fileio: storage-layer retries and audited write failures.
+// write_errors is the headline "an artefact failed to persist" signal; the
+// errno-classified splits let an operator tell disk-full from medium error.
+struct IoCounters {
+  explicit IoCounters(MetricsRegistry& r);
+  Counter& write_errors;         // io.write_errors (all audited failures)
+  Counter& write_errors_enospc;  // io.write_errors.enospc (ENOSPC/EDQUOT)
+  Counter& write_errors_eio;     // io.write_errors.eio
+  Counter& write_errors_other;   // io.write_errors.other
+  Counter& retries_eintr;        // io.retries.eintr (write/fsync retried)
+  Counter& short_writes;         // io.short_writes (partial write continued)
+};
+
+// recover/journal + recover/fleet_journal: graceful-degradation accounting.
+// io_error counts failed appends; degraded counts the one-way flips into
+// best-effort (journaling-disabled) mode; rot_truncated/torn_tail classify
+// what replay discarded from the tail of a damaged journal.
+struct RecoverCounters {
+  explicit RecoverCounters(MetricsRegistry& r);
+  Counter& journal_io_error;       // recover.journal.io_error
+  Counter& journal_degraded;       // recover.journal.degraded
+  Counter& journal_compact_failed; // recover.journal.compact_failed
+  Counter& journal_rot_truncated;  // recover.journal.rot_truncated
+  Counter& journal_torn_tail;      // recover.journal.torn_tail
+  Counter& fleet_io_error;         // recover.fleet.io_error
+  Counter& fleet_degraded;         // recover.fleet.degraded
+  Counter& fleet_rot_truncated;    // recover.fleet.rot_truncated
+  Counter& fleet_torn_tail;        // recover.fleet.torn_tail
+};
+
 // Every hook bundle bound to one registry.
 struct MetricsScope {
   explicit MetricsScope(MetricsRegistry& r)
       : registry(r), eval(r), solver(r), joint(r), ctrl(r), fleet(r),
-        workload(r), sweep(r) {}
+        workload(r), sweep(r), io(r), recover(r) {}
   MetricsRegistry& registry;
   EvalCounters eval;
   SolverCounters solver;
@@ -192,6 +222,8 @@ struct MetricsScope {
   FleetCounters fleet;
   WorkloadCounters workload;
   SweepCounters sweep;
+  IoCounters io;
+  RecoverCounters recover;
 };
 
 namespace internal {
@@ -275,6 +307,15 @@ struct SweepCounters {
   NoopCounter tasks_completed, tasks_failed;
   NoopHistogram task_latency_us, phase_generate_us, phase_solve_us;
 };
+struct IoCounters {
+  NoopCounter write_errors, write_errors_enospc, write_errors_eio,
+      write_errors_other, retries_eintr, short_writes;
+};
+struct RecoverCounters {
+  NoopCounter journal_io_error, journal_degraded, journal_compact_failed,
+      journal_rot_truncated, journal_torn_tail, fleet_io_error,
+      fleet_degraded, fleet_rot_truncated, fleet_torn_tail;
+};
 
 struct MetricsScope {
   EvalCounters eval;
@@ -284,6 +325,8 @@ struct MetricsScope {
   FleetCounters fleet;
   WorkloadCounters workload;
   SweepCounters sweep;
+  IoCounters io;
+  RecoverCounters recover;
 };
 
 constexpr MetricsScope* CurrentScope() { return nullptr; }

@@ -104,7 +104,9 @@ std::string Tracer::ChromeTraceJson() const {
 }
 
 bool Tracer::WriteChromeTrace(const std::string& path) const {
-  return util::WriteFileAtomic(path, ChromeTraceJson());
+  const wolt::io::IoStatus st = util::WriteFileAtomic(path, ChromeTraceJson());
+  wolt::io::CountWriteError(st, path);
+  return st.ok();
 }
 
 std::string Tracer::SummaryTableString() const {

@@ -1,13 +1,10 @@
 #include "recover/fleet_journal.h"
 
-#include <unistd.h>
-
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <unordered_set>
 #include <utility>
 
+#include "obs/obs.h"
 #include "recover/journal.h"  // Fnv1a64
 #include "util/codec.h"
 
@@ -154,25 +151,22 @@ std::string FrameFleetPayload(const std::string& payload) {
   return out;
 }
 
-FleetJournalReadResult ReadFleetJournal(const std::string& path) {
+FleetJournalReadResult ReadFleetJournal(const std::string& path,
+                                        io::Vfs* vfs_in) {
+  io::Vfs& vfs = io::OrDefault(vfs_in);
   FleetJournalReadResult out;
 
   std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      out.error = "cannot open fleet journal: " + path;
-      return out;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    bytes = buf.str();
+  if (!vfs.ReadFileBytes(path, &bytes).ok()) {
+    out.error = "cannot open fleet journal: " + path;
+    return out;
   }
 
   constexpr std::size_t kFrameHeader =
       sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
   std::size_t pos = 0;
   bool saw_header = false;
+  bool decode_failed = false;
   std::unordered_set<std::uint64_t> seen_shard;  // round*num_shards + shard
   std::unordered_set<std::uint64_t> seen_fleet;  // round
   // Record counts at the last snapshot seen; records past it are discarded
@@ -203,10 +197,14 @@ FleetJournalReadResult ReadFleetJournal(const std::string& path) {
       saw_header = true;
       out.header_bytes = frame_end;
     } else if (payload.empty()) {
+      decode_failed = true;
       break;
     } else if (static_cast<std::uint8_t>(payload[0]) == kKindShardRound) {
       ShardRoundRecord rec;
-      if (!DecodeShardRoundPayload(payload, &rec)) break;
+      if (!DecodeShardRoundPayload(payload, &rec)) {
+        decode_failed = true;
+        break;
+      }
       const std::uint64_t key =
           rec.round * out.header.num_shards + rec.shard;
       if (!seen_shard.insert(key).second) {
@@ -216,7 +214,10 @@ FleetJournalReadResult ReadFleetJournal(const std::string& path) {
       }
     } else if (static_cast<std::uint8_t>(payload[0]) == kKindFleetRound) {
       FleetRoundRecord rec;
-      if (!DecodeFleetRoundPayload(payload, &rec)) break;
+      if (!DecodeFleetRoundPayload(payload, &rec)) {
+        decode_failed = true;
+        break;
+      }
       if (!seen_fleet.insert(rec.round).second) {
         ++out.duplicates;
       } else {
@@ -225,7 +226,10 @@ FleetJournalReadResult ReadFleetJournal(const std::string& path) {
     } else if (static_cast<std::uint8_t>(payload[0]) == kKindSnapshot) {
       std::uint64_t round = 0;
       std::string blob;
-      if (!DecodeSnapshotPayload(payload, &round, &blob)) break;
+      if (!DecodeSnapshotPayload(payload, &round, &blob)) {
+        decode_failed = true;
+        break;
+      }
       out.has_checkpoint = true;
       out.checkpoint_round = round;
       out.checkpoint_blob = std::move(blob);
@@ -233,7 +237,9 @@ FleetJournalReadResult ReadFleetJournal(const std::string& path) {
       cp_shard_count = out.shard_records.size();
       cp_fleet_count = out.fleet_records.size();
     } else {
-      break;  // unknown record kind: treat as the start of a torn tail
+      // Unknown record kind under a valid checksum: medium corruption.
+      decode_failed = true;
+      break;
     }
     pos = frame_end;
   }
@@ -245,6 +251,33 @@ FleetJournalReadResult ReadFleetJournal(const std::string& path) {
   }
   out.valid_bytes = pos;
   out.torn_bytes = bytes.size() - pos;
+  // Classify why the valid prefix ended: an incomplete final frame is a torn
+  // append (expected after a crash); a complete-looking frame with a bad
+  // magic/checksum/payload is bit-rot. Either way replay truncates to the
+  // last good checksum frame instead of aborting.
+  if (out.torn_bytes > 0) {
+    const std::size_t tail = bytes.size() - pos;
+    if (decode_failed) {
+      out.tail_rot = true;
+    } else if (tail < kFrameHeader) {
+      out.tail_torn = true;
+    } else {
+      Cursor frame(bytes.data() + pos, kFrameHeader);
+      const std::uint32_t magic = frame.U32();
+      const std::uint32_t len = frame.U32();
+      if (magic != kFleetJournalMagic) {
+        out.tail_rot = true;
+      } else if (len > tail - kFrameHeader) {
+        out.tail_torn = true;
+      } else {
+        out.tail_rot = true;  // checksum mismatch
+      }
+    }
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      if (out.tail_torn) s->recover.fleet_torn_tail.Add(1);
+      if (out.tail_rot) s->recover.fleet_rot_truncated.Add(1);
+    }
+  }
   // Keep only records covered by the checkpoint: resume truncates to the
   // checkpoint and re-executes everything after it.
   if (!out.has_checkpoint) {
@@ -268,35 +301,52 @@ FleetJournalReadResult ReadFleetJournal(const std::string& path) {
 FleetJournalWriter::FleetJournalWriter(const std::string& path,
                                        const FleetJournalHeader& header,
                                        Options options)
-    : path_(path), options_(std::move(options)) {
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) return;
+    : path_(path),
+      options_(std::move(options)),
+      vfs_(&io::OrDefault(options_.vfs)) {
+  io::IoStatus st;
+  fd_ = vfs_->OpenWrite(path_, io::Vfs::OpenMode::kTruncate, &st);
+  if (fd_ < 0) {
+    Degrade(st, "cannot open fleet journal");
+    return;
+  }
   ok_ = true;
-  WriteFrame(EncodeFleetHeaderPayload(header));
+  WriteFrame(EncodeFleetHeaderPayload(header));  // degrades on failure
 }
 
 FleetJournalWriter::FleetJournalWriter(const std::string& path,
                                        const FleetJournalReadResult& existing,
                                        Options options)
-    : path_(path), options_(std::move(options)) {
-  if (!existing.ok) return;
+    : path_(path),
+      options_(std::move(options)),
+      vfs_(&io::OrDefault(options_.vfs)) {
+  if (!existing.ok) return;  // caller decides; typically restart fresh
   const std::uint64_t keep = existing.has_checkpoint
                                  ? existing.checkpoint_bytes
                                  : existing.header_bytes;
-  if (::truncate(path_.c_str(), static_cast<off_t>(keep)) != 0) return;
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) return;
+  io::IoStatus st = vfs_->Truncate(path_, keep);
+  if (!st.ok()) {
+    Degrade(st, "cannot truncate fleet journal to checkpoint");
+    return;
+  }
+  fd_ = vfs_->OpenWrite(path_, io::Vfs::OpenMode::kAppend, &st);
+  if (fd_ < 0) {
+    Degrade(st, "cannot reopen fleet journal");
+    return;
+  }
   ok_ = true;
 }
 
 FleetJournalWriter::~FleetJournalWriter() { Close(); }
 
 void FleetJournalWriter::WriteFrame(const std::string& payload) {
-  if (!ok_ || file_ == nullptr) return;
-  const std::string frame = FrameFleetPayload(payload);
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
-    ok_ = false;
+  if (!ok_ || fd_ < 0) return;
+  io::IoStatus st = io::WriteAll(*vfs_, fd_, FrameFleetPayload(payload));
+  if (st.ok() && options_.sync_every_append) {
+    st = io::FsyncRetry(*vfs_, fd_);
+  }
+  if (!st.ok()) {
+    Degrade(st, "fleet journal append failed");
     return;
   }
   ++appends_;
@@ -317,11 +367,30 @@ void FleetJournalWriter::AppendSnapshot(std::uint64_t round,
 }
 
 void FleetJournalWriter::Close() {
-  if (file_ == nullptr) return;
-  std::fflush(file_);
-  ::fsync(::fileno(file_));
-  std::fclose(file_);
-  file_ = nullptr;
+  if (fd_ < 0) return;
+  io::IoStatus st = io::FsyncRetry(*vfs_, fd_);
+  const io::IoStatus close_st = vfs_->Close(fd_);
+  if (st.ok()) st = close_st;
+  fd_ = -1;
+  if (!st.ok()) Degrade(st, "fleet journal close failed");
+}
+
+void FleetJournalWriter::Degrade(const io::IoStatus& status, const char* what) {
+  if (fd_ >= 0) {
+    vfs_->Close(fd_);
+    fd_ = -1;
+  }
+  ok_ = false;
+  if (degraded_) return;
+  degraded_ = true;
+  std::fprintf(stderr,
+               "wolt: fleet journal %s: %s (%s) — journaling disabled, the "
+               "run continues best-effort (no crash resume past this point)\n",
+               path_.c_str(), what, status.Message().c_str());
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->recover.fleet_io_error.Add(1);
+    s->recover.fleet_degraded.Add(1);
+  }
 }
 
 }  // namespace wolt::recover

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "io/vfs.h"
+
 namespace wolt::recover {
 
 inline constexpr std::uint32_t kFleetJournalMagic = 0x57464C31;  // "WFL1"
@@ -92,10 +94,18 @@ struct FleetJournalReadResult {
   std::uint64_t torn_bytes = 0;        // discarded tail past the prefix
   std::size_t duplicates = 0;          // duplicate records dropped
   std::size_t discarded_records = 0;   // valid records past the checkpoint
+  // Tail classification (see JournalReadResult): torn = incomplete final
+  // frame, rot = complete-looking frame with bad magic/checksum/payload.
+  // Counted on recover.fleet.{torn_tail,rot_truncated}.
+  bool tail_torn = false;
+  bool tail_rot = false;
 };
 
 // Validates `path` front to back. Never throws; failures land in `error`.
-FleetJournalReadResult ReadFleetJournal(const std::string& path);
+// Damage never aborts replay: the corrupt tail is classified (torn vs rot)
+// and truncated back to the last good checksum frame.
+FleetJournalReadResult ReadFleetJournal(const std::string& path,
+                                        io::Vfs* vfs = nullptr);
 
 class FleetJournalWriter {
  public:
@@ -104,6 +114,10 @@ class FleetJournalWriter {
     // of appends made through this writer. The crash harness raises SIGKILL
     // in here to die at an exact journal position.
     std::function<void(std::size_t)> after_append;
+    // Storage backend; nullptr = the real filesystem.
+    io::Vfs* vfs = nullptr;
+    // fsync after every append (see JournalWriter::Options).
+    bool sync_every_append = false;
   };
 
   // Fresh journal: truncates `path` and writes the header record.
@@ -121,7 +135,12 @@ class FleetJournalWriter {
   FleetJournalWriter(const FleetJournalWriter&) = delete;
   FleetJournalWriter& operator=(const FleetJournalWriter&) = delete;
 
+  // Journaling is active. When false every append is a no-op; the fleet run
+  // keeps going (best-effort mode, no crash resume past that point).
   bool ok() const { return ok_; }
+  // The writer gave up after an I/O failure; one loud stderr warning was
+  // emitted and recover.fleet.{io_error,degraded} were bumped.
+  bool degraded() const { return degraded_; }
 
   void AppendShardRound(const ShardRoundRecord& record);
   void AppendFleetRound(const FleetRoundRecord& record);
@@ -132,11 +151,14 @@ class FleetJournalWriter {
 
  private:
   void WriteFrame(const std::string& payload);
+  void Degrade(const io::IoStatus& status, const char* what);
 
   std::string path_;
   Options options_;
-  std::FILE* file_ = nullptr;
+  io::Vfs* vfs_ = nullptr;
+  int fd_ = -1;
   bool ok_ = false;
+  bool degraded_ = false;
   std::size_t appends_ = 0;
 };
 

@@ -1,13 +1,10 @@
 #include "recover/journal.h"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
+#include "obs/obs.h"
 #include "util/codec.h"
 #include "util/fileio.h"
 
@@ -162,25 +159,56 @@ std::string FramePayload(const std::string& payload) {
   return out;
 }
 
-JournalReadResult ReadJournal(const std::string& path) {
+namespace {
+
+// Classifies the invalid tail starting at `pos` and bumps the matching obs
+// counters. A tail shorter than a frame header, or one whose declared
+// payload runs past end-of-file, is a torn final append (expected after a
+// crash). A complete-looking frame with a bad magic, bad checksum, or
+// undecodable payload is bit-rot on the medium.
+void ClassifyTail(const std::string& bytes, std::size_t pos, bool decode_failed,
+                  bool* torn, bool* rot) {
+  constexpr std::size_t kFrameHeader =
+      sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+  *torn = false;
+  *rot = false;
+  const std::size_t tail = bytes.size() - pos;
+  if (tail == 0) return;
+  if (decode_failed) {
+    *rot = true;  // checksum passed but the payload is garbage
+  } else if (tail < kFrameHeader) {
+    *torn = true;
+  } else {
+    Cursor frame(bytes.data() + pos, kFrameHeader);
+    const std::uint32_t magic = frame.U32();
+    const std::uint32_t len = frame.U32();
+    if (magic != kJournalMagic) {
+      *rot = true;
+    } else if (len > tail - kFrameHeader) {
+      *torn = true;  // payload cut off by the crash
+    } else {
+      *rot = true;  // checksum mismatch
+    }
+  }
+}
+
+}  // namespace
+
+JournalReadResult ReadJournal(const std::string& path, io::Vfs* vfs_in) {
+  io::Vfs& vfs = io::OrDefault(vfs_in);
   JournalReadResult out;
 
   std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      out.error = "cannot open journal: " + path;
-      return out;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    bytes = buf.str();
+  if (!vfs.ReadFileBytes(path, &bytes).ok()) {
+    out.error = "cannot open journal: " + path;
+    return out;
   }
 
   constexpr std::size_t kFrameHeader =
       sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
   std::size_t pos = 0;
   bool saw_header = false;
+  bool decode_failed = false;
   std::vector<std::uint64_t> seen;
 
   while (true) {
@@ -206,7 +234,10 @@ JournalReadResult ReadJournal(const std::string& path) {
       saw_header = true;
     } else {
       TaskRecord rec;
-      if (!DecodeTaskPayload(payload, &rec)) break;  // corrupt tail
+      if (!DecodeTaskPayload(payload, &rec)) {  // corrupt tail
+        decode_failed = true;
+        break;
+      }
       if (std::find(seen.begin(), seen.end(), rec.index) != seen.end()) {
         ++out.duplicates;
       } else {
@@ -225,6 +256,11 @@ JournalReadResult ReadJournal(const std::string& path) {
   out.ok = true;
   out.valid_bytes = pos;
   out.torn_bytes = bytes.size() - pos;
+  ClassifyTail(bytes, pos, decode_failed, &out.tail_torn, &out.tail_rot);
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    if (out.tail_torn) s->recover.journal_torn_tail.Add(1);
+    if (out.tail_rot) s->recover.journal_rot_truncated.Add(1);
+  }
   return out;
 }
 
@@ -233,32 +269,40 @@ JournalReadResult ReadJournal(const std::string& path) {
 
 JournalWriter::JournalWriter(const std::string& path,
                              const JournalHeader& header, Options options)
-    : path_(path), header_(header), options_(std::move(options)) {
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) return;
-  const std::string frame = FramePayload(EncodeHeaderPayload(header_));
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
-    std::fclose(file_);
-    file_ = nullptr;
+    : path_(path),
+      header_(header),
+      options_(std::move(options)),
+      vfs_(&io::OrDefault(options_.vfs)) {
+  io::IoStatus st;
+  fd_ = vfs_->OpenWrite(path_, io::Vfs::OpenMode::kTruncate, &st);
+  if (fd_ < 0) {
+    Degrade(st, "cannot open sweep journal");
     return;
   }
   ok_ = true;
+  WriteFrame(EncodeHeaderPayload(header_));  // degrades on failure
 }
 
 JournalWriter::JournalWriter(const std::string& path,
                              const JournalReadResult& existing,
                              Options options)
-    : path_(path), header_(existing.header), options_(std::move(options)) {
-  if (!existing.ok) return;
+    : path_(path),
+      header_(existing.header),
+      options_(std::move(options)),
+      vfs_(&io::OrDefault(options_.vfs)) {
+  if (!existing.ok) return;  // caller decides; typically restart fresh
   // Discard the torn tail so appended records land right after the valid
   // prefix, then keep writing the same file.
-  if (::truncate(path_.c_str(),
-                 static_cast<off_t>(existing.valid_bytes)) != 0) {
+  io::IoStatus st = vfs_->Truncate(path_, existing.valid_bytes);
+  if (!st.ok()) {
+    Degrade(st, "cannot truncate torn journal tail");
     return;
   }
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) return;
+  fd_ = vfs_->OpenWrite(path_, io::Vfs::OpenMode::kAppend, &st);
+  if (fd_ < 0) {
+    Degrade(st, "cannot reopen sweep journal");
+    return;
+  }
   payloads_.reserve(existing.records.size());
   seen_indices_.reserve(existing.records.size());
   for (const TaskRecord& rec : existing.records) {
@@ -272,7 +316,7 @@ JournalWriter::~JournalWriter() { Close(); }
 
 void JournalWriter::Append(const TaskRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!ok_ || file_ == nullptr) return;
+  if (!ok_ || fd_ < 0) return;
   if (std::find(seen_indices_.begin(), seen_indices_.end(), record.index) !=
       seen_indices_.end()) {
     return;  // already journaled (restored on resume); keep one copy
@@ -290,39 +334,68 @@ void JournalWriter::Append(const TaskRecord& record) {
 }
 
 void JournalWriter::WriteFrame(const std::string& payload) {
-  const std::string frame = FramePayload(payload);
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
-    ok_ = false;
+  io::IoStatus st = io::WriteAll(*vfs_, fd_, FramePayload(payload));
+  if (st.ok() && options_.sync_every_append) {
+    st = io::FsyncRetry(*vfs_, fd_);
   }
+  if (!st.ok()) Degrade(st, "journal append failed");
 }
 
 void JournalWriter::Compact() {
   // Rewrite the whole journal (header + deduped records) via the atomic
   // temp+fsync+rename helper, then reopen for appending. A crash anywhere
   // in here leaves either the old journal (still valid, maybe with
-  // duplicates) or the compacted one — never a torn file at path_.
+  // duplicates) or the compacted one — never a torn file at path_. The same
+  // holds for an I/O *failure* (ENOSPC mid-rewrite): WriteFileAtomic leaves
+  // the destination untouched, so the old journal stays valid and appends
+  // simply continue after it.
   std::string contents = FramePayload(EncodeHeaderPayload(header_));
   for (const std::string& payload : payloads_) {
     contents.append(FramePayload(payload));
   }
-  std::fclose(file_);
-  file_ = nullptr;
-  if (!util::WriteFileAtomic(path_, contents)) {
-    ok_ = false;
-    return;
+  vfs_->Close(fd_);
+  fd_ = -1;
+  const io::IoStatus write_st = util::WriteFileAtomic(path_, contents, vfs_);
+  if (!write_st.ok()) {
+    std::fprintf(stderr,
+                 "wolt: journal %s: compaction failed (%s); keeping the "
+                 "uncompacted journal\n",
+                 path_.c_str(), write_st.Message().c_str());
+    if (obs::MetricsScope* s = obs::CurrentScope()) {
+      s->recover.journal_compact_failed.Add(1);
+    }
   }
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) ok_ = false;
+  io::IoStatus open_st;
+  fd_ = vfs_->OpenWrite(path_, io::Vfs::OpenMode::kAppend, &open_st);
+  if (fd_ < 0) Degrade(open_st, "cannot reopen journal after compaction");
 }
 
 void JournalWriter::Close() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return;
-  std::fflush(file_);
-  ::fsync(::fileno(file_));
-  std::fclose(file_);
-  file_ = nullptr;
+  if (fd_ < 0) return;
+  io::IoStatus st = io::FsyncRetry(*vfs_, fd_);
+  const io::IoStatus close_st = vfs_->Close(fd_);
+  if (st.ok()) st = close_st;
+  fd_ = -1;
+  if (!st.ok()) Degrade(st, "journal close failed");
+}
+
+void JournalWriter::Degrade(const io::IoStatus& status, const char* what) {
+  if (fd_ >= 0) {
+    vfs_->Close(fd_);
+    fd_ = -1;
+  }
+  ok_ = false;
+  if (degraded_) return;
+  degraded_ = true;
+  std::fprintf(stderr,
+               "wolt: journal %s: %s (%s) — journaling disabled, the run "
+               "continues best-effort (no crash resume past this point)\n",
+               path_.c_str(), what, status.Message().c_str());
+  if (obs::MetricsScope* s = obs::CurrentScope()) {
+    s->recover.journal_io_error.Add(1);
+    s->recover.journal_degraded.Add(1);
+  }
 }
 
 }  // namespace wolt::recover

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "io/vfs.h"
 #include "obs/metrics.h"
 
 namespace wolt::recover {
@@ -80,10 +81,19 @@ struct JournalReadResult {
   std::uint64_t valid_bytes = 0;  // length of the validated prefix
   std::uint64_t torn_bytes = 0;   // bytes past the prefix (discarded)
   std::size_t duplicates = 0;     // duplicate task records dropped
+  // Why the valid prefix ended (both false when the file parsed cleanly):
+  // a torn tail is an incomplete final frame (crash mid-append, expected);
+  // a rotted tail is a complete-looking frame whose magic/checksum/payload
+  // is wrong (medium corruption). Counted on recover.journal.torn_tail /
+  // recover.journal.rot_truncated when a metrics scope is installed.
+  bool tail_torn = false;
+  bool tail_rot = false;
 };
 
 // Validates `path` front to back. Never throws; failures land in `error`.
-JournalReadResult ReadJournal(const std::string& path);
+// Replay never aborts on damage: a corrupt tail is classified (torn vs rot)
+// and truncated back to the last good checksum frame.
+JournalReadResult ReadJournal(const std::string& path, io::Vfs* vfs = nullptr);
 
 class JournalWriter {
  public:
@@ -95,6 +105,12 @@ class JournalWriter {
     // of appends made through this writer. The crash harness raises
     // SIGKILL in here to die at an exact journal position.
     std::function<void(std::size_t)> after_append;
+    // Storage backend; nullptr = the real filesystem.
+    io::Vfs* vfs = nullptr;
+    // fsync after every append. Default off: per-record fflush-to-kernel
+    // survives a process kill, and compaction/Close() fsync. The crash
+    // harness turns this on so every append is a distinct durable point.
+    bool sync_every_append = false;
   };
 
   // Fresh journal: truncates `path` and writes the header record.
@@ -111,26 +127,37 @@ class JournalWriter {
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
+  // Journaling is active. When false the writer is a no-op; the run itself
+  // keeps going (best-effort mode) — losing the journal must never take the
+  // sweep down with it.
   bool ok() const { return ok_; }
 
-  // Thread-safe: serialize, frame, write, fflush. Safe to call from the
-  // sweep engine's worker threads.
+  // The writer gave up on journaling after an I/O failure (open, append,
+  // truncate or reopen-after-compaction). Flipping to degraded emits one
+  // loud stderr warning and bumps recover.journal.{io_error,degraded}.
+  bool degraded() const { return degraded_; }
+
+  // Thread-safe: serialize, frame, write. Safe to call from the sweep
+  // engine's worker threads. An I/O failure degrades the writer instead of
+  // corrupting the journal: the file keeps its valid prefix.
   void Append(const TaskRecord& record);
 
   // fsync + close. Called by the destructor if not called explicitly.
   void Close();
 
  private:
-  void OpenAppend();
   void WriteFrame(const std::string& payload);
   void Compact();
+  void Degrade(const io::IoStatus& status, const char* what);
 
   std::string path_;
   JournalHeader header_;
   Options options_;
+  io::Vfs* vfs_ = nullptr;
   std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
   bool ok_ = false;
+  bool degraded_ = false;
   std::size_t appends_ = 0;
   // Every unique record payload written (or restored), for compaction.
   std::vector<std::string> payloads_;

@@ -814,7 +814,9 @@ std::optional<WorkloadTrace> TraceFromString(const std::string& text) {
 }
 
 bool SaveTraceFile(const WorkloadTrace& trace, const std::string& path) {
-  return util::WriteFileAtomic(path, TraceToString(trace));
+  const wolt::io::IoStatus st = util::WriteFileAtomic(path, TraceToString(trace));
+  wolt::io::CountWriteError(st, path);
+  return st.ok();
 }
 
 TraceLoadResult LoadTraceFile(const std::string& path) {

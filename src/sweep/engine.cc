@@ -1,6 +1,7 @@
 #include "sweep/engine.h"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <memory>
 #include <optional>
@@ -165,37 +166,49 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
     recover::JournalWriter::Options jopts;
     jopts.compact_every = options_.journal_compact_every;
     jopts.after_append = options_.after_journal_append;
+    jopts.vfs = options_.vfs;
+    jopts.sync_every_append = options_.journal_sync_every_append;
+    bool resumed = false;
     if (options_.resume) {
       recover::JournalReadResult existing =
-          recover::ReadJournal(options_.journal_path);
-      if (!existing.ok) {
-        throw std::runtime_error("cannot resume sweep: " + existing.error);
-      }
-      if (existing.header.fingerprint != header.fingerprint ||
-          existing.header.num_tasks != header.num_tasks) {
+          recover::ReadJournal(options_.journal_path, options_.vfs);
+      if (existing.ok && (existing.header.fingerprint != header.fingerprint ||
+                          existing.header.num_tasks != header.num_tasks)) {
+        // A *valid* journal from a different grid is caller error, never
+        // silently discarded — resuming over it would destroy good data.
         throw std::runtime_error(
             "cannot resume sweep: journal was written by a different grid "
             "(fingerprint or task-count mismatch): " +
             options_.journal_path);
       }
-      restored.assign(num_tasks, 0);
-      for (const recover::TaskRecord& rec : existing.records) {
-        const auto index = static_cast<std::size_t>(rec.index);
-        if (index >= num_tasks || restored[index]) continue;
-        FromRecord(rec, grid, &result.tasks[index]);
-        restored[index] = 1;
-        ++result.resumed_tasks;
+      if (existing.ok) {
+        restored.assign(num_tasks, 0);
+        for (const recover::TaskRecord& rec : existing.records) {
+          const auto index = static_cast<std::size_t>(rec.index);
+          if (index >= num_tasks || restored[index]) continue;
+          FromRecord(rec, grid, &result.tasks[index]);
+          restored[index] = 1;
+          ++result.resumed_tasks;
+        }
+        journal = std::make_unique<recover::JournalWriter>(
+            options_.journal_path, existing, std::move(jopts));
+        resumed = true;
+      } else {
+        // Unreadable/headerless journal (e.g. the crash landed before the
+        // header was durable): nothing to restore, restart fresh. The sweep
+        // must not die because its checkpoint did.
+        std::fprintf(stderr,
+                     "wolt: sweep journal %s unreadable (%s); restarting "
+                     "the sweep fresh\n",
+                     options_.journal_path.c_str(), existing.error.c_str());
       }
-      journal = std::make_unique<recover::JournalWriter>(
-          options_.journal_path, existing, std::move(jopts));
-    } else {
+    }
+    if (!resumed) {
       journal = std::make_unique<recover::JournalWriter>(
           options_.journal_path, header, std::move(jopts));
     }
-    if (!journal->ok()) {
-      throw std::runtime_error("cannot open sweep journal: " +
-                               options_.journal_path);
-    }
+    // A journal that failed to open has already degraded itself (one loud
+    // warning + counters); the sweep continues unjournaled.
   }
 
   obs::ScopedTimer run_span("sweep.run", "sweep");
@@ -317,7 +330,10 @@ SweepResult SweepEngine::Run(const SweepGrid& grid) {
         if (journal) journal->Append(ToRecord(task));
       },
       &cancel_);
-  if (journal) journal->Close();  // final flush + fsync, even on cancel
+  if (journal) {
+    journal->Close();  // final flush + fsync, even on cancel
+    result.journal_degraded = journal->degraded();
+  }
   result.cancelled = !complete;
   result.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)

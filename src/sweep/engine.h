@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "io/vfs.h"
 #include "model/evaluator.h"
 #include "obs/metrics.h"
 #include "sim/runner.h"
@@ -54,18 +55,25 @@ struct SweepOptions {
   // before_task hook is not called for them) and the merged output is
   // byte-identical to an uninterrupted run at any thread count.
   std::string journal_path;
-  // Resume from an existing journal at journal_path. Run throws
-  // std::runtime_error if the journal is unreadable or was written by a
-  // different grid (fingerprint/task-count mismatch). Torn tail records are
-  // truncated; duplicate records dedupe first-wins.
+  // Resume from an existing journal at journal_path. An unreadable or empty
+  // journal restarts the sweep fresh (with a stderr warning) — a half-dead
+  // journal must never stop the run itself. Run still throws
+  // std::runtime_error when the journal was written by a *different* grid
+  // (fingerprint/task-count mismatch): that is caller error, not damage.
+  // Torn/rotted tail records are truncated; duplicates dedupe first-wins.
   bool resume = false;
   // Journal compaction cadence (rewrite deduped via temp+fsync+rename every
   // N appends); 0 disables compaction.
   std::size_t journal_compact_every = 64;
+  // fsync the journal after every append (see JournalWriter::Options).
+  bool journal_sync_every_append = false;
   // Test hook: called after the Nth journal append has been flushed. The
   // crash harness SIGKILLs itself in here to die at an exact journal
   // position.
   std::function<void(std::size_t)> after_journal_append;
+  // Storage backend for the journal; nullptr = the real filesystem. The
+  // fault-injection harness (src/fault/storage.h) substitutes a FaultVfs.
+  io::Vfs* vfs = nullptr;
 };
 
 struct TaskResult {
@@ -120,6 +128,9 @@ struct SweepResult {
   double wall_seconds = 0.0;       // informational
   // Tasks restored from the journal instead of executed (resume runs only).
   std::size_t resumed_tasks = 0;
+  // The journal writer hit an I/O failure and disabled itself mid-run; the
+  // results are complete but the journal is not resumable past that point.
+  bool journal_degraded = false;
   // Fold of every completed task's snapshot in task-index order, plus
   // engine-level scheduling telemetry (timing-flagged). Empty unless
   // SweepOptions::collect_metrics.

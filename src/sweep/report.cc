@@ -16,7 +16,9 @@ std::string Num(double v) {
 }
 
 bool WriteString(const std::string& text, const std::string& path) {
-  return util::WriteFileAtomic(path, text);
+  const io::IoStatus st = util::WriteFileAtomic(path, text);
+  io::CountWriteError(st, path);
+  return st.ok();
 }
 
 }  // namespace

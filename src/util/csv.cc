@@ -13,8 +13,9 @@ std::string CsvEscape(const std::string& field) {
   return escaped;
 }
 
-CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
-    : out_(path), columns_(header.size()) {
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header,
+                     io::Vfs* vfs)
+    : out_(path, vfs), columns_(header.size()) {
   if (out_.ok()) AddRow(header);
 }
 

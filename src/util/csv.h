@@ -16,15 +16,20 @@ class CsvWriter {
   // Commit() is called) — a crash mid-dump never leaves a torn CSV behind.
   // `ok()` reports whether the staging stream is usable; benches treat an
   // unwritable path as non-fatal (they still print tables to stdout).
-  CsvWriter(const std::string& path, std::vector<std::string> header);
+  // `vfs` = nullptr writes to the real filesystem.
+  CsvWriter(const std::string& path, std::vector<std::string> header,
+            io::Vfs* vfs = nullptr);
 
   bool ok() const { return out_.ok(); }
+
+  // First I/O error encountered, with its errno (Ok() while healthy).
+  const io::IoStatus& status() const { return out_.status(); }
 
   void AddRow(const std::vector<std::string>& cells);
 
   // Finalize: fsync + rename into place. Idempotent; the destructor calls
   // it if the bench does not.
-  bool Commit() { return out_.Commit(); }
+  io::IoStatus Commit() { return out_.Commit(); }
 
  private:
   AtomicFileWriter out_;

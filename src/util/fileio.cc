@@ -1,95 +1,114 @@
 #include "util/fileio.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cstdio>
+#include <cerrno>
 
 namespace wolt::util {
-namespace {
 
-// fsync by path; returns false when the file cannot be opened or synced.
-bool SyncPath(const std::string& path, int open_flags) {
-  const int fd = ::open(path.c_str(), open_flags);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
-}
-
-std::string DirOf(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) return ".";
-  if (slash == 0) return "/";
-  return path.substr(0, slash);
-}
-
-// fsync file contents, rename over the destination, fsync the directory so
-// the rename is durable too. The directory fsync is best-effort: some
-// filesystems refuse O_RDONLY directory syncs, and the rename itself is
-// already atomic for readers.
-bool CommitTemp(const std::string& tmp, const std::string& path) {
-  if (!SyncPath(tmp, O_WRONLY)) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  SyncPath(DirOf(path), O_RDONLY);
-  return true;
-}
-
-}  // namespace
-
-bool WriteFileAtomic(const std::string& path, const std::string& contents) {
+io::IoStatus WriteFileAtomic(const std::string& path,
+                             const std::string& contents, io::Vfs* vfs_in) {
+  io::Vfs& vfs = io::OrDefault(vfs_in);
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << contents;
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
+  io::IoStatus st;
+  const int fd = vfs.OpenWrite(tmp, io::Vfs::OpenMode::kTruncate, &st);
+  if (fd < 0) return st;
+  st = io::WriteAll(vfs, fd, contents);
+  if (st.ok()) st = io::FsyncRetry(vfs, fd);
+  const io::IoStatus close_st = vfs.Close(fd);
+  if (st.ok()) st = close_st;
+  if (!st.ok()) {
+    vfs.Remove(tmp);
+    return st;
+  }
+  st = vfs.Rename(tmp, path);
+  if (!st.ok()) {
+    vfs.Remove(tmp);
+    return st;
+  }
+  // Best-effort: some filesystems refuse O_RDONLY directory syncs, and the
+  // rename itself is already atomic for readers.
+  vfs.SyncDir(io::DirOf(path));
+  return io::IoStatus::Ok();
+}
+
+// --- AtomicFileWriter::Buf --------------------------------------------------
+
+void AtomicFileWriter::Buf::Reset(io::Vfs* vfs, int fd, io::IoStatus* status) {
+  vfs_ = vfs;
+  fd_ = fd;
+  status_ = status;
+  setp(data_, data_ + sizeof(data_));
+}
+
+bool AtomicFileWriter::Buf::FlushBuffer() {
+  if (fd_ < 0) return false;
+  const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
+  if (n > 0) {
+    const io::IoStatus st = io::WriteAll(*vfs_, fd_, {pbase(), n});
+    if (!st.ok()) {
+      if (status_->ok()) *status_ = st;  // first error wins
       return false;
     }
   }
-  return CommitTemp(tmp, path);
+  setp(data_, data_ + sizeof(data_));
+  return true;
 }
 
-AtomicFileWriter::AtomicFileWriter(std::string path)
-    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
-  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
-  ok_ = static_cast<bool>(out_);
-  if (!ok_) done_ = true;  // nothing to commit or clean up
+int AtomicFileWriter::Buf::overflow(int ch) {
+  if (!FlushBuffer()) return traits_type::eof();
+  if (ch != traits_type::eof()) sputc(static_cast<char>(ch));
+  return ch == traits_type::eof() ? 0 : ch;
+}
+
+int AtomicFileWriter::Buf::sync() { return FlushBuffer() ? 0 : -1; }
+
+// --- AtomicFileWriter -------------------------------------------------------
+
+AtomicFileWriter::AtomicFileWriter(std::string path, io::Vfs* vfs)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      vfs_(&io::OrDefault(vfs)),
+      stream_(&buf_) {
+  fd_ = vfs_->OpenWrite(tmp_path_, io::Vfs::OpenMode::kTruncate, &status_);
+  if (fd_ < 0) {
+    done_ = true;  // nothing to commit or clean up
+    stream_.setstate(std::ios::badbit);
+    return;
+  }
+  buf_.Reset(vfs_, fd_, &status_);
 }
 
 AtomicFileWriter::~AtomicFileWriter() {
   if (!done_) Commit();
 }
 
-bool AtomicFileWriter::Commit() {
-  if (done_) return ok_;
+io::IoStatus AtomicFileWriter::Commit() {
+  if (done_) return status_;
   done_ = true;
-  out_.flush();
-  if (!out_) {
-    ok_ = false;
-    out_.close();
-    std::remove(tmp_path_.c_str());
-    return false;
+  stream_.flush();  // drains Buf through the Vfs
+  if (status_.ok()) status_ = io::FsyncRetry(*vfs_, fd_);
+  const io::IoStatus close_st = vfs_->Close(fd_);
+  if (status_.ok()) status_ = close_st;
+  fd_ = -1;
+  if (!status_.ok()) {
+    vfs_->Remove(tmp_path_);
+    return status_;
   }
-  out_.close();
-  ok_ = CommitTemp(tmp_path_, path_);
-  return ok_;
+  status_ = vfs_->Rename(tmp_path_, path_);
+  if (!status_.ok()) {
+    vfs_->Remove(tmp_path_);
+    return status_;
+  }
+  vfs_->SyncDir(io::DirOf(path_));  // best-effort, see WriteFileAtomic
+  return status_;
 }
 
 void AtomicFileWriter::Abandon() {
   if (done_) return;
   done_ = true;
-  ok_ = false;
-  out_.close();
-  std::remove(tmp_path_.c_str());
+  status_ = io::IoStatus::Fail("abandon", ECANCELED);
+  vfs_->Close(fd_);
+  fd_ = -1;
+  vfs_->Remove(tmp_path_);
 }
 
 }  // namespace wolt::util

@@ -5,17 +5,30 @@
 // achieved by writing a sibling temp file, fsync'ing it, and rename(2)'ing
 // it over the destination (atomic within a filesystem), then fsync'ing the
 // directory so the rename itself survives a crash.
+//
+// All I/O routes through an io::Vfs (nullptr = the real filesystem), so the
+// storage fault plane (fault/storage.h) can inject short writes, ENOSPC,
+// fsync lies and torn renames underneath these writers; the old-or-new
+// property is proven against every such schedule by
+// tests/storage_fault_test.cc.
 #pragma once
 
-#include <fstream>
+#include <ostream>
+#include <streambuf>
 #include <string>
+
+#include "io/vfs.h"
 
 namespace wolt::util {
 
 // Writes `contents` to `path` atomically (temp sibling + fsync + rename +
-// directory fsync). Returns false and leaves any existing file untouched on
-// failure; the temp file is cleaned up.
-bool WriteFileAtomic(const std::string& path, const std::string& contents);
+// directory fsync), retrying EINTR and short writes. On failure any existing
+// file is left untouched, the temp file is cleaned up, and the returned
+// status carries the errno of the first failing primitive (so callers can
+// tell ENOSPC from EIO).
+io::IoStatus WriteFileAtomic(const std::string& path,
+                             const std::string& contents,
+                             io::Vfs* vfs = nullptr);
 
 // Streaming variant for writers that build output incrementally (CsvWriter).
 // All bytes go to `<path>.tmp`; nothing is visible at `path` until Commit()
@@ -24,30 +37,57 @@ bool WriteFileAtomic(const std::string& path, const std::string& contents);
 // destination is never torn.
 class AtomicFileWriter {
  public:
-  explicit AtomicFileWriter(std::string path);
+  explicit AtomicFileWriter(std::string path, io::Vfs* vfs = nullptr);
   ~AtomicFileWriter();
 
   AtomicFileWriter(const AtomicFileWriter&) = delete;
   AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
 
   // Whether the temp file opened and no write/commit error has occurred.
-  bool ok() const { return ok_ && static_cast<bool>(out_); }
+  bool ok() const { return status_.ok() && !stream_.fail(); }
 
-  std::ostream& stream() { return out_; }
+  // First error encountered (open, write, fsync, close, rename), with its
+  // errno. Remains Ok() while the writer is healthy.
+  const io::IoStatus& status() const { return status_; }
+
+  std::ostream& stream() { return stream_; }
 
   // Flush + fsync the temp file, rename it over the destination, fsync the
-  // directory. Idempotent; returns false (and removes the temp file) on any
-  // failure. Called by the destructor if not called explicitly.
-  bool Commit();
+  // directory. Idempotent; on failure removes the temp file, leaves the
+  // destination untouched, and returns the first failing primitive's status.
+  // Called by the destructor if not called explicitly.
+  io::IoStatus Commit();
 
   // Drop the temp file without touching the destination.
   void Abandon();
 
  private:
+  // std::streambuf that drains into the Vfs file via io::WriteAll, so
+  // stream() callers keep ostream formatting while every byte still crosses
+  // the fault-injectable seam.
+  class Buf : public std::streambuf {
+   public:
+    void Reset(io::Vfs* vfs, int fd, io::IoStatus* status);
+
+   protected:
+    int overflow(int ch) override;
+    int sync() override;
+
+   private:
+    bool FlushBuffer();
+    io::Vfs* vfs_ = nullptr;
+    int fd_ = -1;
+    io::IoStatus* status_ = nullptr;
+    char data_[4096];
+  };
+
   std::string path_;
   std::string tmp_path_;
-  std::ofstream out_;
-  bool ok_ = false;
+  io::Vfs* vfs_;
+  int fd_ = -1;
+  io::IoStatus status_;
+  Buf buf_;
+  std::ostream stream_;
   bool done_ = false;
 };
 
